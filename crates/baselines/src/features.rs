@@ -1,0 +1,158 @@
+//! Shared feature extraction for the per-bucket regression baselines
+//! (GP and RF).
+//!
+//! The paper turns weight completion into `m` independent regression
+//! problems ("we consider 8 individual regression problems", §VI-A.5).
+//! For a target (edge, bucket) cell we expose the regressors a
+//! road-network practitioner would use: calendar position, how much of
+//! the edge's neighbourhood is observed, and the observed neighbourhood /
+//! network mean of the target bucket.
+
+use gcwc::TrainSample;
+use gcwc_graph::EdgeGraph;
+
+/// Number of features produced by [`cell_features`].
+pub const NUM_FEATURES: usize = 6;
+
+/// Features for the (edge `e`, bucket `b`) cell of a sample.
+pub fn cell_features(
+    sample: &TrainSample,
+    graph: &EdgeGraph,
+    e: usize,
+    b: usize,
+) -> [f64; NUM_FEATURES] {
+    let ipd = sample.context.intervals_per_day as f64;
+    let phase = 2.0 * std::f64::consts::PI * sample.context.time_of_day as f64 / ipd;
+    let weekend = if sample.context.is_weekend() { 1.0 } else { 0.0 };
+
+    let covered = |i: usize| sample.context.row_flags[i] > 0.0;
+    let nbrs = graph.neighbors(e);
+    let covered_nbrs: Vec<usize> = nbrs.iter().copied().filter(|&i| covered(i)).collect();
+    let nbr_frac =
+        if nbrs.is_empty() { 0.0 } else { covered_nbrs.len() as f64 / nbrs.len() as f64 };
+    let nbr_mean = if covered_nbrs.is_empty() {
+        0.0
+    } else {
+        covered_nbrs.iter().map(|&i| sample.input[(i, b)]).sum::<f64>() / covered_nbrs.len() as f64
+    };
+    let n = sample.input.rows();
+    let covered_all: Vec<usize> = (0..n).filter(|&i| covered(i)).collect();
+    let global_mean = if covered_all.is_empty() {
+        0.0
+    } else {
+        covered_all.iter().map(|&i| sample.input[(i, b)]).sum::<f64>() / covered_all.len() as f64
+    };
+    [phase.sin(), phase.cos(), weekend, nbr_frac, nbr_mean, global_mean]
+}
+
+/// Collects per-bucket regression training pairs `(features, target)`
+/// over all samples and covered label rows.
+pub fn training_pairs(
+    samples: &[TrainSample],
+    graph: &EdgeGraph,
+    bucket: usize,
+) -> (Vec<[f64; NUM_FEATURES]>, Vec<f64>) {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for s in samples {
+        for e in 0..s.label.rows() {
+            if s.label_mask[e] > 0.0 {
+                xs.push(cell_features(s, graph, e, bucket));
+                ys.push(s.label[(e, bucket)]);
+            }
+        }
+    }
+    (xs, ys)
+}
+
+/// Clips negatives and renormalises each row into a distribution
+/// (uniform fallback for all-zero rows). Used by the regression
+/// baselines to make their per-bucket outputs valid histograms.
+pub fn normalize_rows_to_histograms(pred: &mut gcwc_linalg::Matrix) {
+    let m = pred.cols();
+    for i in 0..pred.rows() {
+        let row = pred.row_mut(i);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = v.max(0.0);
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        } else {
+            row.fill(1.0 / m as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcwc_linalg::Matrix;
+    use gcwc_traffic::{generators, Context};
+
+    fn setup() -> (TrainSample, EdgeGraph) {
+        let hw = generators::highway_tollgate(1);
+        let n = hw.num_edges();
+        let mut input = Matrix::zeros(n, 4);
+        let mut flags = vec![0.0; n];
+        // Edge 0 covered with a distinctive bucket-1 value.
+        input[(0, 1)] = 0.8;
+        flags[0] = 1.0;
+        let sample = TrainSample {
+            snapshot_index: 0,
+            input: input.clone(),
+            label: input,
+            label_mask: flags.clone(),
+            context: Context {
+                time_of_day: 24, // 6:00 of a 96-interval day
+                day_of_week: 5,
+                intervals_per_day: 96,
+                row_flags: flags,
+            },
+            history: vec![],
+        };
+        (sample, hw.graph)
+    }
+
+    #[test]
+    fn feature_vector_shape_and_calendar() {
+        let (s, g) = setup();
+        let f = cell_features(&s, &g, 1, 1);
+        assert_eq!(f.len(), NUM_FEATURES);
+        // 6:00 = quarter day: sin = 1, cos = 0.
+        assert!((f[0] - 1.0).abs() < 1e-9);
+        assert!(f[1].abs() < 1e-9);
+        assert_eq!(f[2], 1.0, "Saturday is weekend");
+    }
+
+    #[test]
+    fn neighbor_mean_sees_covered_neighbors() {
+        let (s, g) = setup();
+        // Any neighbour of edge 0 must see its bucket-1 value.
+        let nb = g.neighbors(0)[0];
+        let f = cell_features(&s, &g, nb, 1);
+        assert!(f[3] > 0.0, "covered neighbour fraction");
+        assert!((f[4] - 0.8).abs() < 1e-9, "neighbour mean");
+        assert!((f[5] - 0.8).abs() < 1e-9, "global mean (single covered edge)");
+    }
+
+    #[test]
+    fn training_pairs_only_cover_masked_rows() {
+        let (s, g) = setup();
+        let (xs, ys) = training_pairs(&[s], &g, 1);
+        assert_eq!(xs.len(), 1);
+        assert_eq!(ys, vec![0.8]);
+    }
+
+    #[test]
+    fn normalization_produces_histograms() {
+        let mut pred = Matrix::from_rows(&[&[2.0, 2.0], &[-1.0, -2.0], &[0.3, 0.1]]);
+        normalize_rows_to_histograms(&mut pred);
+        assert_eq!(pred.row(0), &[0.5, 0.5]);
+        assert_eq!(pred.row(1), &[0.5, 0.5]); // negative row -> uniform
+        assert!((pred.row(2)[0] - 0.75).abs() < 1e-12);
+    }
+}

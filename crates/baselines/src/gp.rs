@@ -1,0 +1,193 @@
+//! Gaussian-process regression baseline (§VI-A.5, baseline 2).
+//!
+//! Exact GP regression with an RBF kernel on the shared cell features,
+//! one GP per histogram bucket, fitted on a random subsample of training
+//! cells (exact GPs are cubic in the training size). Predictions are
+//! clipped and row-normalised into histograms.
+
+use gcwc::{CompletionModel, OutputKind, TrainSample};
+use gcwc_graph::EdgeGraph;
+use gcwc_linalg::rng::{sample_indices, seeded};
+use gcwc_linalg::{Cholesky, Matrix};
+
+use crate::features::{cell_features, normalize_rows_to_histograms, training_pairs, NUM_FEATURES};
+
+/// Configuration of the GP baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct GpConfig {
+    /// RBF length scale.
+    pub length_scale: f64,
+    /// Signal variance.
+    pub signal_var: f64,
+    /// Observation noise variance (added to the kernel diagonal).
+    pub noise_var: f64,
+    /// Maximum training points per bucket GP.
+    pub max_points: usize,
+    /// Subsampling seed.
+    pub seed: u64,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        Self { length_scale: 0.7, signal_var: 1.0, noise_var: 0.05, max_points: 250, seed: 17 }
+    }
+}
+
+struct BucketGp {
+    points: Vec<[f64; NUM_FEATURES]>,
+    alpha: Vec<f64>,
+    mean: f64,
+}
+
+/// The Gaussian-process regression model.
+pub struct GpModel {
+    graph: EdgeGraph,
+    cfg: GpConfig,
+    output: OutputKind,
+    gps: Vec<BucketGp>,
+}
+
+impl GpModel {
+    /// Creates an unfitted GP baseline over `graph`.
+    pub fn new(graph: EdgeGraph, output: OutputKind, cfg: GpConfig) -> Self {
+        Self { graph, cfg, output, gps: Vec::new() }
+    }
+
+    fn kernel(&self, a: &[f64; NUM_FEATURES], b: &[f64; NUM_FEATURES]) -> f64 {
+        let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        self.cfg.signal_var * (-d2 / (2.0 * self.cfg.length_scale * self.cfg.length_scale)).exp()
+    }
+
+    fn fit_bucket(&self, samples: &[TrainSample], bucket: usize) -> BucketGp {
+        let (mut xs, mut ys) = training_pairs(samples, &self.graph, bucket);
+        if xs.is_empty() {
+            return BucketGp { points: Vec::new(), alpha: Vec::new(), mean: 0.0 };
+        }
+        if xs.len() > self.cfg.max_points {
+            let mut rng = seeded(self.cfg.seed ^ bucket as u64);
+            let keep = sample_indices(&mut rng, xs.len(), self.cfg.max_points);
+            xs = keep.iter().map(|&i| xs[i]).collect();
+            ys = keep.iter().map(|&i| ys[i]).collect();
+        }
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let centred: Vec<f64> = ys.iter().map(|y| y - mean).collect();
+        let k = Matrix::from_fn(xs.len(), xs.len(), |i, j| {
+            self.kernel(&xs[i], &xs[j]) + if i == j { self.cfg.noise_var } else { 0.0 }
+        });
+        let chol = Cholesky::new(&k).expect("kernel + noise must be positive definite");
+        let alpha = chol.solve(&centred);
+        BucketGp { points: xs, alpha, mean }
+    }
+
+    fn predict_cell(&self, gp: &BucketGp, x: &[f64; NUM_FEATURES]) -> f64 {
+        if gp.points.is_empty() {
+            return gp.mean;
+        }
+        gp.mean + gp.points.iter().zip(&gp.alpha).map(|(p, &a)| a * self.kernel(p, x)).sum::<f64>()
+    }
+}
+
+impl CompletionModel for GpModel {
+    fn name(&self) -> String {
+        "GP".to_owned()
+    }
+
+    fn fit(&mut self, samples: &[TrainSample]) {
+        let buckets = samples.first().map_or(0, |s| s.label.cols());
+        self.gps = (0..buckets).map(|b| self.fit_bucket(samples, b)).collect();
+    }
+
+    fn predict(&self, sample: &TrainSample) -> Matrix {
+        assert!(!self.gps.is_empty(), "GP model must be fitted before predict");
+        let n = sample.input.rows();
+        let m = self.gps.len();
+        let mut pred = Matrix::zeros(n, m);
+        for e in 0..n {
+            for (b, gp) in self.gps.iter().enumerate() {
+                let x = cell_features(sample, &self.graph, e, b.min(sample.input.cols() - 1));
+                pred[(e, b)] = self.predict_cell(gp, &x);
+            }
+        }
+        match self.output {
+            OutputKind::Histogram => normalize_rows_to_histograms(&mut pred),
+            OutputKind::Average => pred.map_inplace(|v| v.clamp(0.0, 1.0)),
+        }
+        pred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcwc::{build_samples, TaskKind};
+    use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+
+    fn setup() -> (gcwc_traffic::NetworkInstance, Vec<TrainSample>) {
+        let hw = generators::highway_tollgate(1);
+        let sim = SimConfig { days: 1, intervals_per_day: 24, ..Default::default() };
+        let data = simulate(&hw, HistogramSpec::hist4(), &sim);
+        let ds = data.to_dataset(0.5, 5, 3);
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        (hw, build_samples(&ds, &idx, TaskKind::Estimation, 0))
+    }
+
+    #[test]
+    fn fit_predict_produces_histograms() {
+        let (hw, samples) = setup();
+        let mut gp = GpModel::new(hw.graph.clone(), OutputKind::Histogram, GpConfig::default());
+        gp.fit(&samples[..16]);
+        let pred = gp.predict(&samples[20]);
+        assert_eq!(pred.shape(), (24, 4));
+        for i in 0..24 {
+            let s: f64 = pred.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn interpolates_training_data_roughly() {
+        // A GP with small noise should fit its own training targets.
+        let (hw, samples) = setup();
+        let cfg = GpConfig { noise_var: 1e-3, max_points: 100, ..Default::default() };
+        let mut gp = GpModel::new(hw.graph.clone(), OutputKind::Histogram, cfg);
+        // Pick a slice of samples with actual coverage (night intervals
+        // can be fully uncovered).
+        let covered: Vec<TrainSample> =
+            samples.iter().filter(|s| s.label_mask.iter().sum::<f64>() > 3.0).cloned().collect();
+        assert!(covered.len() >= 2, "need covered samples");
+        gp.fit(&covered[..covered.len().min(6)]);
+        let s = &covered[0];
+        let pred = gp.predict(s);
+        // On covered rows the prediction must be closer to the label
+        // than the uniform distribution is, on average.
+        let mut err_gp = 0.0;
+        let mut err_uniform = 0.0;
+        let mut count = 0;
+        for e in 0..24 {
+            if s.label_mask[e] > 0.0 {
+                for b in 0..4 {
+                    err_gp += (pred[(e, b)] - s.label[(e, b)]).abs();
+                    err_uniform += (0.25 - s.label[(e, b)]).abs();
+                }
+                count += 1;
+            }
+        }
+        assert!(count > 0);
+        assert!(err_gp < err_uniform, "GP {err_gp} vs uniform {err_uniform}");
+    }
+
+    #[test]
+    fn average_output_is_clamped() {
+        let (hw, _) = setup();
+        let sim = SimConfig { days: 1, intervals_per_day: 24, ..Default::default() };
+        let data = simulate(&hw, HistogramSpec::hist4(), &sim);
+        let ds = data.to_dataset(0.5, 5, 3);
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let samples = build_samples(&ds, &idx, TaskKind::Average, 0);
+        let mut gp = GpModel::new(hw.graph.clone(), OutputKind::Average, GpConfig::default());
+        gp.fit(&samples[..16]);
+        let pred = gp.predict(&samples[20]);
+        assert_eq!(pred.cols(), 1);
+        assert!(pred.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

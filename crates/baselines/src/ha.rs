@@ -1,0 +1,113 @@
+//! Historical Average (HA) baseline (§VI-A.5, baseline 1).
+//!
+//! For each edge, all training-label histograms are averaged into one
+//! reference distribution, used as the estimate for every test interval.
+//! (The evaluation harness additionally computes a record-level HA from
+//! the raw simulator output as the MKLR/FLR reference distribution; this
+//! model is the same idea packaged behind [`CompletionModel`].)
+
+use gcwc::{CompletionModel, TrainSample};
+use gcwc_linalg::Matrix;
+
+/// The Historical Average model.
+#[derive(Clone, Debug, Default)]
+pub struct HaModel {
+    /// Per-edge mean histogram (uniform fallback when an edge never had
+    /// data).
+    estimate: Option<Matrix>,
+}
+
+impl HaModel {
+    /// Creates an unfitted HA model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CompletionModel for HaModel {
+    fn name(&self) -> String {
+        "HA".to_owned()
+    }
+
+    fn fit(&mut self, samples: &[TrainSample]) {
+        assert!(!samples.is_empty(), "HA needs training data");
+        let n = samples[0].label.rows();
+        let m = samples[0].label.cols();
+        let mut sums = Matrix::zeros(n, m);
+        let mut counts = vec![0usize; n];
+        for s in samples {
+            for e in 0..n {
+                if s.label_mask[e] > 0.0 {
+                    for (dst, src) in sums.row_mut(e).iter_mut().zip(s.label.row(e)) {
+                        *dst += src;
+                    }
+                    counts[e] += 1;
+                }
+            }
+        }
+        let uniform = 1.0 / m as f64;
+        for e in 0..n {
+            if counts[e] > 0 {
+                for v in sums.row_mut(e) {
+                    *v /= counts[e] as f64;
+                }
+            } else {
+                sums.row_mut(e).fill(uniform);
+            }
+        }
+        self.estimate = Some(sums);
+    }
+
+    fn predict(&self, _sample: &TrainSample) -> Matrix {
+        self.estimate.clone().expect("HA model must be fitted before predict")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcwc_traffic::Context;
+
+    fn sample(label: Matrix, mask: Vec<f64>) -> TrainSample {
+        let n = label.rows();
+        TrainSample {
+            snapshot_index: 0,
+            input: label.clone(),
+            label,
+            label_mask: mask,
+            context: Context {
+                time_of_day: 0,
+                day_of_week: 0,
+                intervals_per_day: 96,
+                row_flags: vec![1.0; n],
+            },
+            history: vec![],
+        }
+    }
+
+    #[test]
+    fn averages_covered_rows() {
+        let a = sample(Matrix::from_rows(&[&[1.0, 0.0], &[0.6, 0.4]]), vec![1.0, 1.0]);
+        let b = sample(Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]), vec![1.0, 0.0]);
+        let mut ha = HaModel::new();
+        ha.fit(&[a.clone(), b]);
+        let p = ha.predict(&a);
+        assert_eq!(p.row(0), &[0.5, 0.5]); // mean of (1,0) and (0,1)
+        assert_eq!(p.row(1), &[0.6, 0.4]); // only the covered sample counts
+    }
+
+    #[test]
+    fn uncovered_edges_get_uniform() {
+        let a = sample(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]), vec![1.0, 0.0]);
+        let mut ha = HaModel::new();
+        ha.fit(std::slice::from_ref(&a));
+        assert_eq!(ha.predict(&a).row(1), &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fitted before predict")]
+    fn predict_before_fit_panics() {
+        let a = sample(Matrix::zeros(1, 2), vec![0.0]);
+        HaModel::new().predict(&a);
+    }
+}

@@ -1,0 +1,26 @@
+//! # gcwc-baselines
+//!
+//! The six comparison methods of the paper's §VI-A.5, implemented from
+//! scratch: Historical Average (HA), Gaussian-process regression (GP),
+//! random-forest regression (RF), the latent space model (LSM, graph-
+//! regularised NMF), a classical CNN with the same layer schedule as
+//! GCWC, and the diffusion convolutional recurrent network (DR).
+//! All implement [`gcwc::CompletionModel`], so the experiment harness
+//! treats them uniformly.
+
+#![warn(missing_docs)]
+
+pub mod cnn;
+pub mod dr;
+pub mod features;
+pub mod gp;
+pub mod ha;
+pub mod lsm;
+pub mod rf;
+
+pub use cnn::CnnModel;
+pub use dr::{DrConfig, DrModel};
+pub use gp::{GpConfig, GpModel};
+pub use ha::HaModel;
+pub use lsm::{LsmConfig, LsmModel};
+pub use rf::{RfConfig, RfModel};

@@ -1,0 +1,281 @@
+//! Random-forest regression baseline (§VI-A.5, baseline 3).
+//!
+//! Bagged CART regression trees (variance-reduction splits, random
+//! feature subsets per split) on the shared cell features, one forest
+//! per histogram bucket.
+
+use gcwc::{CompletionModel, OutputKind, TrainSample};
+use gcwc_graph::EdgeGraph;
+use gcwc_linalg::rng::seeded;
+use gcwc_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::features::{cell_features, normalize_rows_to_histograms, training_pairs, NUM_FEATURES};
+
+/// Configuration of the RF baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct RfConfig {
+    /// Trees per forest.
+    pub trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_split: usize,
+    /// Features tried per split.
+    pub features_per_split: usize,
+    /// Seed for bootstrap and feature sampling.
+    pub seed: u64,
+}
+
+impl Default for RfConfig {
+    fn default() -> Self {
+        Self { trees: 20, max_depth: 8, min_split: 10, features_per_split: 3, seed: 23 }
+    }
+}
+
+/// A regression tree node (flat arena).
+#[derive(Clone, Debug)]
+enum TreeNode {
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// A single CART regression tree.
+#[derive(Clone, Debug, Default)]
+pub struct RegressionTree {
+    nodes: Vec<TreeNode>,
+}
+
+impl RegressionTree {
+    /// Fits a tree on `(xs, ys)` rows selected by `indices`.
+    fn fit(
+        xs: &[[f64; NUM_FEATURES]],
+        ys: &[f64],
+        indices: &[usize],
+        cfg: &RfConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut tree = Self { nodes: Vec::new() };
+        tree.grow(xs, ys, indices.to_vec(), 0, cfg, rng);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        xs: &[[f64; NUM_FEATURES]],
+        ys: &[f64],
+        indices: Vec<usize>,
+        depth: usize,
+        cfg: &RfConfig,
+        rng: &mut StdRng,
+    ) -> usize {
+        let mean = indices.iter().map(|&i| ys[i]).sum::<f64>() / indices.len() as f64;
+        if depth >= cfg.max_depth || indices.len() < cfg.min_split {
+            self.nodes.push(TreeNode::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        // Best split over a random feature subset.
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        let feats = gcwc_linalg::rng::sample_indices(
+            rng,
+            NUM_FEATURES,
+            cfg.features_per_split.min(NUM_FEATURES),
+        );
+        for f in feats {
+            let mut vals: Vec<f64> = indices.iter().map(|&i| xs[i][f]).collect();
+            vals.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            // Candidate thresholds: a few quantile midpoints.
+            for q in [0.25, 0.5, 0.75] {
+                let idx = ((vals.len() - 1) as f64 * q) as usize;
+                let threshold = (vals[idx] + vals[(idx + 1).min(vals.len() - 1)]) / 2.0;
+                let (mut ls, mut lc, mut rs, mut rc) = (0.0, 0usize, 0.0, 0usize);
+                for &i in &indices {
+                    if xs[i][f] <= threshold {
+                        ls += ys[i];
+                        lc += 1;
+                    } else {
+                        rs += ys[i];
+                        rc += 1;
+                    }
+                }
+                if lc == 0 || rc == 0 {
+                    continue;
+                }
+                let (lm, rm) = (ls / lc as f64, rs / rc as f64);
+                let sse: f64 = indices
+                    .iter()
+                    .map(|&i| {
+                        let mu = if xs[i][f] <= threshold { lm } else { rm };
+                        (ys[i] - mu) * (ys[i] - mu)
+                    })
+                    .sum();
+                if best.is_none_or(|(_, _, b)| sse < b) {
+                    best = Some((f, threshold, sse));
+                }
+            }
+        }
+        let Some((feature, threshold, _)) = best else {
+            self.nodes.push(TreeNode::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| xs[i][feature] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            self.nodes.push(TreeNode::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        // Reserve this node's slot, then grow children.
+        let slot = self.nodes.len();
+        self.nodes.push(TreeNode::Leaf { value: mean }); // placeholder
+        let left = self.grow(xs, ys, left_idx, depth + 1, cfg, rng);
+        let right = self.grow(xs, ys, right_idx, depth + 1, cfg, rng);
+        self.nodes[slot] = TreeNode::Split { feature, threshold, left, right };
+        slot
+    }
+
+    /// Predicts one feature vector.
+    pub fn predict(&self, x: &[f64; NUM_FEATURES]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                TreeNode::Leaf { value } => return *value,
+                TreeNode::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// The random-forest regression model.
+pub struct RfModel {
+    graph: EdgeGraph,
+    cfg: RfConfig,
+    output: OutputKind,
+    forests: Vec<Vec<RegressionTree>>,
+}
+
+impl RfModel {
+    /// Creates an unfitted RF baseline over `graph`.
+    pub fn new(graph: EdgeGraph, output: OutputKind, cfg: RfConfig) -> Self {
+        Self { graph, cfg, output, forests: Vec::new() }
+    }
+
+    fn fit_bucket(&self, samples: &[TrainSample], bucket: usize) -> Vec<RegressionTree> {
+        let (xs, ys) = training_pairs(samples, &self.graph, bucket);
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let mut rng = seeded(self.cfg.seed ^ (bucket as u64) << 8);
+        (0..self.cfg.trees)
+            .map(|_| {
+                // Bootstrap resample.
+                let indices: Vec<usize> =
+                    (0..xs.len()).map(|_| rng.random_range(0..xs.len())).collect();
+                RegressionTree::fit(&xs, &ys, &indices, &self.cfg, &mut rng)
+            })
+            .collect()
+    }
+
+    fn predict_cell(&self, forest: &[RegressionTree], x: &[f64; NUM_FEATURES]) -> f64 {
+        if forest.is_empty() {
+            return 0.0;
+        }
+        forest.iter().map(|t| t.predict(x)).sum::<f64>() / forest.len() as f64
+    }
+}
+
+impl CompletionModel for RfModel {
+    fn name(&self) -> String {
+        "RF".to_owned()
+    }
+
+    fn fit(&mut self, samples: &[TrainSample]) {
+        let buckets = samples.first().map_or(0, |s| s.label.cols());
+        self.forests = (0..buckets).map(|b| self.fit_bucket(samples, b)).collect();
+    }
+
+    fn predict(&self, sample: &TrainSample) -> Matrix {
+        assert!(!self.forests.is_empty(), "RF model must be fitted before predict");
+        let n = sample.input.rows();
+        let m = self.forests.len();
+        let mut pred = Matrix::zeros(n, m);
+        for e in 0..n {
+            for (b, forest) in self.forests.iter().enumerate() {
+                let x = cell_features(sample, &self.graph, e, b.min(sample.input.cols() - 1));
+                pred[(e, b)] = self.predict_cell(forest, &x);
+            }
+        }
+        match self.output {
+            OutputKind::Histogram => normalize_rows_to_histograms(&mut pred),
+            OutputKind::Average => pred.map_inplace(|v| v.clamp(0.0, 1.0)),
+        }
+        pred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcwc::{build_samples, TaskKind};
+    use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+
+    #[test]
+    fn tree_fits_simple_step_function() {
+        // y = 1 when feature 0 > 0, else 0.
+        let xs: Vec<[f64; NUM_FEATURES]> = (0..40)
+            .map(|i| {
+                let v = (i as f64 - 20.0) / 10.0;
+                [v, 0.0, 0.0, 0.0, 0.0, 0.0]
+            })
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| if x[0] > 0.0 { 1.0 } else { 0.0 }).collect();
+        let cfg = RfConfig { features_per_split: 6, ..Default::default() };
+        let mut rng = seeded(1);
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        let tree = RegressionTree::fit(&xs, &ys, &idx, &cfg, &mut rng);
+        let lo = tree.predict(&[-1.5, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let hi = tree.predict(&[1.5, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!(lo < 0.3, "lo = {lo}");
+        assert!(hi > 0.7, "hi = {hi}");
+    }
+
+    #[test]
+    fn forest_outputs_histograms() {
+        let hw = generators::highway_tollgate(1);
+        let sim = SimConfig { days: 1, intervals_per_day: 24, ..Default::default() };
+        let data = simulate(&hw, HistogramSpec::hist4(), &sim);
+        let ds = data.to_dataset(0.5, 5, 3);
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let samples = build_samples(&ds, &idx, TaskKind::Estimation, 0);
+        let mut rf = RfModel::new(hw.graph.clone(), OutputKind::Histogram, RfConfig::default());
+        rf.fit(&samples[..16]);
+        let pred = rf.predict(&samples[20]);
+        assert_eq!(pred.shape(), (24, 4));
+        for i in 0..24 {
+            let s: f64 = pred.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let hw = generators::highway_tollgate(1);
+        let sim = SimConfig { days: 1, intervals_per_day: 12, ..Default::default() };
+        let data = simulate(&hw, HistogramSpec::hist4(), &sim);
+        let ds = data.to_dataset(0.5, 5, 3);
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let samples = build_samples(&ds, &idx, TaskKind::Estimation, 0);
+        let run = || {
+            let mut rf = RfModel::new(hw.graph.clone(), OutputKind::Histogram, RfConfig::default());
+            rf.fit(&samples[..8]);
+            rf.predict(&samples[9])
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,144 @@
+//! Micro-benchmarks of the computational kernels behind every model:
+//! Chebyshev expansion, grouped graph convolution (forward + backward),
+//! graph pooling, dense 2-D convolution (CP-CNN), and a full GCWC
+//! training step.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcwc::{ModelConfig, TrainSample};
+use gcwc_graph::{ChebyshevBasis, GraphHierarchy, PolyBasis, PoolingMap};
+use gcwc_linalg::rng::seeded;
+use gcwc_linalg::Matrix;
+use gcwc_nn::{ConvSpec, ParamStore, Tape};
+use gcwc_traffic::{generators, Context};
+use std::hint::black_box;
+
+fn city_graph() -> gcwc_graph::EdgeGraph {
+    generators::city_network(1).graph
+}
+
+fn bench_chebyshev_expansion(c: &mut Criterion) {
+    let graph = city_graph();
+    let mut group = c.benchmark_group("chebyshev_forward");
+    for k in [2usize, 4, 8] {
+        let basis = ChebyshevBasis::from_adjacency(graph.adjacency(), k);
+        let x = Matrix::from_fn(172, 8, |i, j| ((i + j) % 7) as f64 * 0.1);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(basis.forward(black_box(&x))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_grouped_graph_conv(c: &mut Criterion) {
+    let graph = city_graph();
+    let basis: Rc<dyn PolyBasis> = Rc::new(ChebyshevBasis::from_adjacency(graph.adjacency(), 8));
+    let mut store = ParamStore::new();
+    let mut rng = seeded(1);
+    let thetas: Vec<_> = (0..8)
+        .map(|i| store.add(format!("t{i}"), gcwc_nn::init::glorot_uniform(&mut rng, 1, 8)))
+        .collect();
+    let input = Matrix::from_fn(172, 8, |i, j| ((i * j) % 5) as f64 * 0.05);
+    c.bench_function("graph_conv_fwd_bwd_172x8", |b| {
+        b.iter(|| {
+            let mut local = store.clone();
+            local.zero_grads();
+            let mut tape = Tape::new();
+            let x = tape.constant(input.clone());
+            let th: Vec<_> = thetas.iter().map(|&t| tape.param(&local, t)).collect();
+            let y = tape.poly_conv_grouped(x, &th, Rc::clone(&basis), 8);
+            let loss = tape.sum_all(y);
+            tape.backward(loss, &mut local);
+            black_box(local.grad_norm())
+        })
+    });
+}
+
+fn bench_graph_pooling(c: &mut Criterion) {
+    let graph = city_graph();
+    let h = GraphHierarchy::build(graph.adjacency(), 2);
+    let map = PoolingMap::from_hierarchy(&h, 0, 2);
+    let x = Matrix::from_fn(172, 64, |i, j| ((i * 31 + j) % 17) as f64);
+    c.bench_function("graph_max_pool_172x64", |b| {
+        b.iter(|| black_box(map.max_forward(black_box(&x))))
+    });
+}
+
+fn bench_conv2d_cpcnn(c: &mut Criterion) {
+    // The CP-CNN's first convolution at CI scale: batch 172, 4×8 maps.
+    let spec = ConvSpec { batch: 172, in_ch: 1, out_ch: 4, h: 4, w: 8, kh: 2, kw: 2 };
+    let mut store = ParamStore::new();
+    let mut rng = seeded(2);
+    let k = store.add("k", gcwc_nn::init::glorot_uniform(&mut rng, 4, 4));
+    let bias = store.add("b", Matrix::zeros(1, 4));
+    let input = Matrix::from_fn(172, 32, |i, j| ((i + j) % 9) as f64 * 0.1);
+    c.bench_function("conv2d_cpcnn_batch172", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let x = tape.constant(input.clone());
+            let kn = tape.param(&store, k);
+            let bn = tape.param(&store, bias);
+            black_box(tape.conv2d(x, kn, bn, spec));
+        })
+    });
+}
+
+fn sample_for(n: usize, m: usize) -> TrainSample {
+    let mut rng = seeded(3);
+    use rand::Rng;
+    let mut mat = Matrix::zeros(n, m);
+    let mut flags = vec![0.0; n];
+    for e in 0..n {
+        if rng.random::<f64>() < 0.5 {
+            flags[e] = 1.0;
+            for j in 0..m {
+                mat[(e, j)] = 1.0 / m as f64;
+            }
+        }
+    }
+    TrainSample {
+        snapshot_index: 0,
+        input: mat.clone(),
+        label: mat,
+        label_mask: flags.clone(),
+        context: Context {
+            time_of_day: 0,
+            day_of_week: 0,
+            intervals_per_day: 96,
+            row_flags: flags,
+        },
+        history: vec![],
+    }
+}
+
+fn bench_gcwc_step(c: &mut Criterion) {
+    use gcwc::CompletionModel;
+    let graph = city_graph();
+    let sample = sample_for(172, 8);
+    c.bench_function("gcwc_train_step_ci", |b| {
+        // One full fit over a single sample for one epoch: forward,
+        // backward, Adam step.
+        b.iter_batched(
+            || gcwc::GcwcModel::new(&graph, 8, ModelConfig::ci_hist().with_epochs(1), 1),
+            |mut model| {
+                model.fit(std::slice::from_ref(&sample));
+                black_box(model.num_params())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("gcwc_predict_ci", |b| {
+        let mut model = gcwc::GcwcModel::new(&graph, 8, ModelConfig::ci_hist().with_epochs(1), 1);
+        model.fit(std::slice::from_ref(&sample));
+        b.iter(|| black_box(model.predict(&sample)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_chebyshev_expansion, bench_grouped_graph_conv, bench_graph_pooling,
+              bench_conv2d_cpcnn, bench_gcwc_step
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion companion to Figure 6: training-batch and per-instance
+//! testing time of GCWC vs A-GCWC as the network scales.
+//!
+//! The `exp_runner fig6a/fig6b` binary produces the paper's full curves
+//! (scales ×10…×50 with `--full`); this bench keeps small scales under
+//! Criterion's statistical machinery for regression tracking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcwc_bench::{measure, Profile, ScalModel};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut profile = Profile::smoke();
+    profile.scal_batches = 1;
+    let mut group = c.benchmark_group("fig6_train_batch");
+    group.sample_size(10);
+    for scale in [1usize, 2] {
+        for model in [ScalModel::Gcwc, ScalModel::GcwcM2] {
+            group.bench_with_input(
+                BenchmarkId::new(model.name(), scale),
+                &(model, scale),
+                |b, &(model, scale)| {
+                    b.iter(|| black_box(measure(model, scale, &profile).train_batch_secs))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig6
+}
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//! Chebyshev order, graph pooling, A-GCWC context subsets, histogram
+//! resolution, and LSM missing-data handling.
+
+use gcwc::{
+    build_samples, AGcwcModel, CompletionModel, GcwcModel, ModelConfig, OutputKind, TaskKind,
+};
+use gcwc_baselines::{LsmConfig, LsmModel};
+use gcwc_metrics::MklrAccumulator;
+use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+
+use crate::profile::Profile;
+
+/// One ablation result.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Study name.
+    pub study: &'static str,
+    /// Variant label.
+    pub variant: String,
+    /// MKLR on held-out data (lower better).
+    pub mklr: f64,
+    /// Trainable parameter count (0 for non-parametric variants).
+    pub params: usize,
+}
+
+/// Evaluation: fit on the first 80% of snapshots, MKLR on the rest.
+fn mklr_of(
+    model: &mut dyn CompletionModel,
+    data: &gcwc_traffic::TrafficData,
+    ds: &gcwc_traffic::Dataset,
+) -> f64 {
+    let split = ds.len() * 4 / 5;
+    let train_idx: Vec<usize> = (0..split).collect();
+    let test_idx: Vec<usize> = (split..ds.len()).collect();
+    let train = build_samples(ds, &train_idx, TaskKind::Estimation, 0);
+    let test = build_samples(ds, &test_idx, TaskKind::Estimation, 0);
+    model.fit(&train);
+    let ha = data.historical_average(&train_idx);
+    let m = ds.spec.buckets;
+    let uniform = vec![1.0 / m as f64; m];
+    let mut mklr = MklrAccumulator::new();
+    for s in &test {
+        let pred = model.predict(s);
+        let truth = &ds.snapshots[s.snapshot_index].truth;
+        for e in 0..ds.num_edges {
+            if let Some(gt) = truth.row(e) {
+                mklr.add(gt, pred.row(e), ha[e].as_deref().unwrap_or(&uniform));
+            }
+        }
+    }
+    mklr.value().unwrap_or(f64::NAN)
+}
+
+/// Runs all ablation studies on the highway dataset.
+pub fn run_all(profile: &Profile) -> Vec<AblationRow> {
+    let hw = generators::highway_tollgate(profile.seed);
+    let sim = SimConfig {
+        days: profile.days,
+        intervals_per_day: profile.intervals_per_day,
+        records_per_interval: 9.0,
+        seed: profile.seed ^ 0x5EED,
+        ..SimConfig::default()
+    };
+    let data8 = simulate(&hw, HistogramSpec::hist8(), &sim);
+    let ds8 = data8.to_dataset(0.6, 5, profile.seed);
+    let mut rows = Vec::new();
+
+    // 1. Chebyshev order K (the C{K}×1 choice of Table III).
+    for k in [1usize, 2, 4, 8] {
+        let mut cfg = ModelConfig::hw_hist().with_epochs(profile.epochs);
+        for l in &mut cfg.conv_layers {
+            l.cheb_order = k;
+        }
+        let mut model = GcwcModel::new(&hw.graph, 8, cfg, profile.seed);
+        let mklr = mklr_of(&mut model, &data8, &ds8);
+        rows.push(AblationRow {
+            study: "cheb_order",
+            variant: format!("K={k}"),
+            mklr,
+            params: model.num_params(),
+        });
+    }
+
+    // 2. Graph pooling on/off.
+    for (label, pools) in [("P4-P2 (paper)", [4usize, 2usize]), ("no pooling", [1, 1])] {
+        let mut cfg = ModelConfig::hw_hist().with_epochs(profile.epochs);
+        cfg.conv_layers[0].pool = pools[0];
+        cfg.conv_layers[1].pool = pools[1];
+        let mut model = GcwcModel::new(&hw.graph, 8, cfg, profile.seed);
+        let mklr = mklr_of(&mut model, &data8, &ds8);
+        rows.push(AblationRow {
+            study: "pooling",
+            variant: label.to_owned(),
+            mklr,
+            params: model.num_params(),
+        });
+    }
+
+    // 3. A-GCWC context subsets.
+    let subsets: [(&str, [bool; 3]); 5] = [
+        ("none (=GCWC)", [false, false, false]),
+        ("time only", [true, false, false]),
+        ("day only", [false, true, false]),
+        ("row-flag only", [false, false, true]),
+        ("all (paper)", [true, true, true]),
+    ];
+    for (label, mask) in subsets {
+        let mut cfg = ModelConfig::hw_hist().with_epochs(profile.epochs);
+        cfg.context_mask = mask;
+        let mut model = AGcwcModel::new(&hw.graph, 8, profile.intervals_per_day, cfg, profile.seed);
+        let mklr = mklr_of(&mut model, &data8, &ds8);
+        rows.push(AblationRow {
+            study: "contexts",
+            variant: label.to_owned(),
+            mklr,
+            params: model.num_params(),
+        });
+    }
+
+    // 4. HIST-4 vs HIST-8 (§VI-A.1 reports similar results).
+    for (label, spec) in [("HIST-8", HistogramSpec::hist8()), ("HIST-4", HistogramSpec::hist4())] {
+        let data = simulate(&hw, spec, &sim);
+        let ds = data.to_dataset(0.6, 5, profile.seed);
+        let cfg = ModelConfig::hw_hist().with_epochs(profile.epochs);
+        let mut model = GcwcModel::new(&hw.graph, spec.buckets, cfg, profile.seed);
+        let mklr = mklr_of(&mut model, &data, &ds);
+        rows.push(AblationRow {
+            study: "hist_buckets",
+            variant: label.to_owned(),
+            mklr,
+            params: model.num_params(),
+        });
+    }
+
+    // 5. LSM missing-data handling: the paper's naive zero-fill vs a
+    //    properly masked factorisation.
+    for (label, mask_missing) in [("zeros (paper)", false), ("masked", true)] {
+        let cfg = LsmConfig { mask_missing, ..LsmConfig::default() };
+        let mut model = LsmModel::new(hw.graph.clone(), OutputKind::Histogram, cfg);
+        let mklr = mklr_of(&mut model, &data8, &ds8);
+        rows.push(AblationRow { study: "lsm_missing", variant: label.to_owned(), mklr, params: 0 });
+    }
+
+    rows
+}
+
+/// Renders the ablation rows grouped by study.
+pub fn render(rows: &[AblationRow]) -> String {
+    let mut out = String::from("Ablations (HW, estimation, rm = 0.6; MKLR lower is better)\n");
+    let mut last = "";
+    for r in rows {
+        if r.study != last {
+            out.push_str(&format!("\n[{}]\n", r.study));
+            last = r.study;
+        }
+        out.push_str(&format!(
+            "  {:<16} MKLR {:>6.3}   #Para {:>7}\n",
+            r.variant, r.mklr, r.params
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_ablations_run() {
+        let mut profile = Profile::smoke();
+        profile.days = 1;
+        profile.epochs = 1;
+        let rows = run_all(&profile);
+        // 4 cheb + 2 pooling + 5 contexts + 2 hist + 2 lsm = 15 rows.
+        assert_eq!(rows.len(), 15);
+        assert!(rows.iter().all(|r| r.mklr.is_finite()));
+        let rendered = render(&rows);
+        assert!(rendered.contains("cheb_order"));
+        assert!(rendered.contains("lsm_missing"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! exp_runner [--fast|--full|--smoke] <command>
+//!
+//! Commands:
+//!   table3             Table III  (model constructions, #Para)
+//!   table4 … table13   Tables IV–XIII (MKLR / FLR / MAPE sweeps)
+//!   tables             all of Tables IV–XIII
+//!   fig6a              Figure 6(a): training time per 20-instance batch
+//!   fig6b              Figure 6(b): testing time per instance
+//!   ablations          design-choice ablations (Chebyshev order, pooling,
+//!                      context subsets, HIST-4/8, LSM missing handling)
+//!   all                everything above
+//! ```
+//!
+//! The default profile is `--fast` (minutes on CPU; reduced days/epochs
+//! but the full protocol structure). `--full` runs the paper-scale
+//! protocol. Run with `cargo run --release -p gcwc-bench --bin
+//! exp_runner -- <command>`.
+
+use gcwc_bench::{ablations, params_table, run_table, scalability, Profile, ScalModel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut profile = Profile::fast();
+    let mut commands: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--fast" => profile = Profile::fast(),
+            "--full" => profile = Profile::full(),
+            "--smoke" => profile = Profile::smoke(),
+            cmd => commands.push(cmd.to_owned()),
+        }
+    }
+    if commands.is_empty() {
+        eprintln!("usage: exp_runner [--fast|--full|--smoke] <table3|table4..table13|tables|fig6a|fig6b|ablations|all>");
+        std::process::exit(2);
+    }
+
+    for cmd in commands {
+        match cmd.as_str() {
+            "table3" => {
+                println!("{}", params_table::render(&params_table::table3(&profile)));
+            }
+            "tables" => {
+                gcwc_bench::tables::for_each_table(&profile, |t| {
+                    println!("{}", t.render());
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                });
+            }
+            "fig6a" => run_fig6(&profile, true, false),
+            "fig6b" => run_fig6(&profile, false, true),
+            "ablations" => {
+                println!("{}", ablations::render(&ablations::run_all(&profile)));
+            }
+            "all" => {
+                println!("{}", params_table::render(&params_table::table3(&profile)));
+                gcwc_bench::tables::for_each_table(&profile, |t| {
+                    println!("{}", t.render());
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                });
+                println!("{}", ablations::render(&ablations::run_all(&profile)));
+                {
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                }
+                run_fig6(&profile, true, true);
+            }
+            id => run_and_print(id, &profile),
+        }
+    }
+}
+
+fn run_and_print(id: &str, profile: &Profile) {
+    match run_table(id, profile) {
+        Some(t) => println!("{}", t.render()),
+        None => {
+            eprintln!("unknown command: {id}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_fig6(profile: &Profile, show_train: bool, show_test: bool) {
+    // Measure every (model, scale) point once; print whichever views
+    // were requested.
+    let mut points: Vec<(usize, usize, Vec<gcwc_bench::ScalPoint>)> = Vec::new();
+    for &scale in &profile.scales {
+        let mut row = Vec::new();
+        let mut edges = 0;
+        for m in ScalModel::all() {
+            let p = scalability::measure(m, scale, profile);
+            edges = p.edges;
+            row.push(p);
+            eprintln!("  [fig6] scale={scale} {} done", m.name());
+        }
+        points.push((scale, edges, row));
+    }
+    let views: [(bool, &str, fn(&gcwc_bench::ScalPoint) -> f64); 2] = [
+        (show_train, "Figure 6(a): avg training time per 20-instance batch (s)", |p| {
+            p.train_batch_secs
+        }),
+        (show_test, "Figure 6(b): avg testing time per instance (s)", |p| p.test_instance_secs),
+    ];
+    for (enabled, title, extract) in views {
+        if !enabled {
+            continue;
+        }
+        println!("{title}");
+        print!("{:>8}{:>8}", "scale", "edges");
+        for m in ScalModel::all() {
+            print!("{:>12}", m.name());
+        }
+        println!();
+        for (scale, edges, row) in &points {
+            print!("{scale:>8}{edges:>8}");
+            for p in row {
+                print!("{:>12.4}", extract(p));
+            }
+            println!();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,207 @@
+//! The evaluation harness: runs the §VI protocol end to end for one
+//! (dataset, task, method, removal-ratio) cell and aggregates MKLR,
+//! FLR and MAPE over the cross-validation folds.
+
+use gcwc::{build_samples, OutputKind, TaskKind, MAX_SPEED};
+use gcwc_metrics::{FlrAccumulator, MapeAccumulator, MklrAccumulator};
+use gcwc_traffic::{generators, simulate, HistogramSpec, NetworkInstance, SimConfig, TrafficData};
+
+use crate::methods::{make_model, Method};
+use crate::profile::{DatasetKind, Profile};
+
+/// A generated dataset bundle: network + raw traffic.
+pub struct Bundle {
+    /// The network instance.
+    pub instance: NetworkInstance,
+    /// Raw simulated traffic.
+    pub data: TrafficData,
+}
+
+/// Generates the synthetic stand-in for a dataset under a profile.
+pub fn make_bundle(kind: DatasetKind, profile: &Profile) -> Bundle {
+    let instance = match kind {
+        DatasetKind::Highway => generators::highway_tollgate(profile.seed),
+        DatasetKind::City => generators::city_network(profile.seed),
+    };
+    let sim = SimConfig {
+        days: profile.days,
+        intervals_per_day: profile.intervals_per_day,
+        // Loop detectors (HW) yield denser records than skewed GPS (CI).
+        records_per_interval: match kind {
+            // Loop detectors log every passing vehicle: dense counts.
+            DatasetKind::Highway => 25.0,
+            // Skewed taxi GPS coverage: far sparser per edge.
+            DatasetKind::City => 7.0,
+        },
+        seed: profile.seed ^ 0x5EED,
+        ..SimConfig::default()
+    };
+    let data = simulate(&instance, HistogramSpec::hist8(), &sim);
+    Bundle { instance, data }
+}
+
+/// MKLR and FLR of one method on one task at one removal ratio.
+#[derive(Clone, Copy, Debug)]
+pub struct HistScores {
+    /// Mean KL-divergence ratio (Eq. 11); lower is better.
+    pub mklr: f64,
+    /// Fraction of likelihood ratio (Eq. 12); higher is better.
+    pub flr: f64,
+}
+
+/// Runs the histogram evaluation (Estimation or Prediction) for one
+/// method at one removal ratio.
+pub fn evaluate_hist(
+    bundle: &Bundle,
+    kind: DatasetKind,
+    task: TaskKind,
+    method: Method,
+    rm: f64,
+    profile: &Profile,
+) -> HistScores {
+    assert!(matches!(task, TaskKind::Estimation | TaskKind::Prediction));
+    let spec = bundle.data.spec;
+    let m = spec.buckets;
+    let ds = bundle.data.to_dataset(rm, profile.min_records, profile.seed ^ (rm * 100.0) as u64);
+    let mut mklr = MklrAccumulator::new();
+    let mut flr = FlrAccumulator::new();
+    let uniform = vec![1.0 / m as f64; m];
+
+    for (fi, fold) in ds.cv_folds(profile.folds).iter().enumerate() {
+        let train = build_samples(&ds, &fold.train, task, profile.history_len);
+        let test = build_samples(&ds, &fold.test, task, profile.history_len);
+        let mut model = make_model(
+            method,
+            &bundle.instance,
+            kind,
+            m,
+            OutputKind::Histogram,
+            profile,
+            profile.seed ^ (fi as u64) << 32,
+        );
+        model.fit(&train);
+        let ha = bundle.data.historical_average(&fold.train);
+        for s in &test {
+            let target = match task {
+                TaskKind::Estimation => s.snapshot_index,
+                TaskKind::Prediction => s.snapshot_index + 1,
+                TaskKind::Average => unreachable!(),
+            };
+            if target >= ds.len() {
+                continue;
+            }
+            let truth = &ds.snapshots[target].truth;
+            let pred = model.predict(s);
+            for e in 0..ds.num_edges {
+                let Some(gt) = truth.row(e) else { continue };
+                let reference = ha[e].as_deref().unwrap_or(&uniform);
+                mklr.add(gt, pred.row(e), reference);
+                flr.add(bundle.data.records_at(target, e), pred.row(e), reference, &spec);
+            }
+        }
+    }
+    HistScores { mklr: mklr.value().unwrap_or(f64::NAN), flr: flr.value().unwrap_or(f64::NAN) }
+}
+
+/// Runs the AVG evaluation (MAPE, Eq. 13) for one method at one removal
+/// ratio.
+pub fn evaluate_average(
+    bundle: &Bundle,
+    kind: DatasetKind,
+    method: Method,
+    rm: f64,
+    profile: &Profile,
+) -> f64 {
+    let m = bundle.data.spec.buckets;
+    let ds = bundle.data.to_dataset(rm, profile.min_records, profile.seed ^ (rm * 100.0) as u64);
+    let mut mape = MapeAccumulator::new();
+    for (fi, fold) in ds.cv_folds(profile.folds).iter().enumerate() {
+        let train = build_samples(&ds, &fold.train, TaskKind::Average, profile.history_len);
+        let test = build_samples(&ds, &fold.test, TaskKind::Average, profile.history_len);
+        let mut model = make_model(
+            method,
+            &bundle.instance,
+            kind,
+            m,
+            OutputKind::Average,
+            profile,
+            profile.seed ^ (fi as u64) << 32,
+        );
+        model.fit(&train);
+        for s in &test {
+            let snap = &ds.snapshots[s.snapshot_index];
+            let pred = model.predict(s);
+            assert_eq!(pred.cols(), 1, "average models must output a column");
+            for e in 0..ds.num_edges {
+                if let Some(y) = snap.avg_truth[e] {
+                    mape.add(y, pred[(e, 0)] * MAX_SPEED);
+                }
+            }
+        }
+    }
+    mape.value_percent().unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_hist_estimation_all_plumbing() {
+        let profile = Profile::smoke();
+        let bundle = make_bundle(DatasetKind::Highway, &profile);
+        let scores = evaluate_hist(
+            &bundle,
+            DatasetKind::Highway,
+            TaskKind::Estimation,
+            Method::Gcwc,
+            0.5,
+            &profile,
+        );
+        assert!(scores.mklr.is_finite() && scores.mklr > 0.0, "mklr {}", scores.mklr);
+        assert!((0.0..=1.0).contains(&scores.flr), "flr {}", scores.flr);
+    }
+
+    #[test]
+    fn smoke_prediction_runs() {
+        let profile = Profile::smoke();
+        let bundle = make_bundle(DatasetKind::Highway, &profile);
+        let scores = evaluate_hist(
+            &bundle,
+            DatasetKind::Highway,
+            TaskKind::Prediction,
+            Method::Cnn,
+            0.5,
+            &profile,
+        );
+        assert!(scores.mklr.is_finite());
+    }
+
+    #[test]
+    fn smoke_average_runs() {
+        let profile = Profile::smoke();
+        let bundle = make_bundle(DatasetKind::Highway, &profile);
+        let mape = evaluate_average(&bundle, DatasetKind::Highway, Method::Lsm, 0.5, &profile);
+        assert!(mape.is_finite() && mape >= 0.0, "mape {mape}");
+    }
+
+    #[test]
+    fn gcwc_beats_ha_reference_on_estimation() {
+        // The core claim of the paper at smoke scale: MKLR < 1 means the
+        // model improves on the historical average.
+        let mut profile = Profile::smoke();
+        profile.days = 2;
+        profile.intervals_per_day = 24;
+        profile.epochs = 25;
+        let bundle = make_bundle(DatasetKind::Highway, &profile);
+        let scores = evaluate_hist(
+            &bundle,
+            DatasetKind::Highway,
+            TaskKind::Estimation,
+            Method::Gcwc,
+            0.5,
+            &profile,
+        );
+        assert!(scores.mklr < 1.0, "GCWC should beat HA, mklr = {}", scores.mklr);
+    }
+}

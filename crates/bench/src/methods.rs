@@ -1,0 +1,145 @@
+//! Method registry: builds any of the paper's seven methods behind the
+//! uniform [`CompletionModel`] interface.
+
+use gcwc::{AGcwcModel, CompletionModel, GcwcModel, ModelConfig, OutputKind};
+use gcwc_baselines::{
+    CnnModel, DrConfig, DrModel, GpConfig, GpModel, HaModel, LsmConfig, LsmModel, RfConfig, RfModel,
+};
+use gcwc_traffic::NetworkInstance;
+
+use crate::profile::{DatasetKind, Profile};
+
+/// The methods compared in Tables IV–XIII.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Historical average (the reference; not a table column).
+    Ha,
+    /// Gaussian-process regression.
+    Gp,
+    /// Random-forest regression.
+    Rf,
+    /// Latent space model (graph-regularised NMF).
+    Lsm,
+    /// Classical CNN.
+    Cnn,
+    /// Diffusion convolutional recurrent network.
+    Dr,
+    /// The paper's basic model.
+    Gcwc,
+    /// The paper's context-aware model.
+    AGcwc,
+}
+
+impl Method {
+    /// Column header.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Ha => "HA",
+            Method::Gp => "GP",
+            Method::Rf => "RF",
+            Method::Lsm => "LSM",
+            Method::Cnn => "CNN",
+            Method::Dr => "DR",
+            Method::Gcwc => "GCWC",
+            Method::AGcwc => "A-GCWC",
+        }
+    }
+
+    /// The columns of the histogram tables (IV–XI), in paper order.
+    pub fn hist_columns() -> &'static [Method] {
+        &[Method::Gp, Method::Rf, Method::Lsm, Method::Cnn, Method::Dr, Method::Gcwc, Method::AGcwc]
+    }
+
+    /// The columns of the MAPE tables (XII–XIII), in paper order.
+    pub fn avg_columns() -> &'static [Method] {
+        &[Method::Lsm, Method::Cnn, Method::Dr, Method::Gcwc, Method::AGcwc]
+    }
+}
+
+/// The Table III model configuration for a dataset/output pair, with the
+/// profile's epoch budget applied.
+pub fn model_config(kind: DatasetKind, output: OutputKind, profile: &Profile) -> ModelConfig {
+    let base = match (kind, output) {
+        (DatasetKind::Highway, OutputKind::Histogram) => ModelConfig::hw_hist(),
+        (DatasetKind::Highway, OutputKind::Average) => ModelConfig::hw_avg(),
+        (DatasetKind::City, OutputKind::Histogram) => ModelConfig::ci_hist(),
+        (DatasetKind::City, OutputKind::Average) => ModelConfig::ci_avg(),
+    };
+    base.with_epochs(profile.epochs_for(kind))
+}
+
+/// Builds an unfitted model.
+pub fn make_model(
+    method: Method,
+    instance: &NetworkInstance,
+    kind: DatasetKind,
+    m: usize,
+    output: OutputKind,
+    profile: &Profile,
+    seed: u64,
+) -> Box<dyn CompletionModel> {
+    let cfg = model_config(kind, output, profile);
+    match method {
+        Method::Ha => Box::new(HaModel::new()),
+        Method::Gp => Box::new(GpModel::new(
+            instance.graph.clone(),
+            output,
+            GpConfig { seed, ..GpConfig::default() },
+        )),
+        Method::Rf => Box::new(RfModel::new(
+            instance.graph.clone(),
+            output,
+            RfConfig { seed, ..RfConfig::default() },
+        )),
+        Method::Lsm => Box::new(LsmModel::new(
+            instance.graph.clone(),
+            output,
+            LsmConfig { seed, ..LsmConfig::default() },
+        )),
+        Method::Cnn => Box::new(CnnModel::new(instance.num_edges(), m, cfg, seed)),
+        Method::Dr => Box::new(DrModel::new(
+            &instance.graph,
+            m,
+            output,
+            DrConfig { epochs: profile.epochs_for(kind), ..DrConfig::default() },
+            seed,
+        )),
+        Method::Gcwc => Box::new(GcwcModel::new(&instance.graph, m, cfg, seed)),
+        Method::AGcwc => {
+            Box::new(AGcwcModel::new(&instance.graph, m, profile.intervals_per_day, cfg, seed))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcwc_traffic::generators;
+
+    #[test]
+    fn every_method_constructs() {
+        let hw = generators::highway_tollgate(1);
+        let profile = Profile::smoke();
+        for &m in Method::hist_columns() {
+            let model =
+                make_model(m, &hw, DatasetKind::Highway, 8, OutputKind::Histogram, &profile, 1);
+            assert_eq!(model.name(), m.name());
+        }
+    }
+
+    #[test]
+    fn avg_columns_match_paper() {
+        let names: Vec<&str> = Method::avg_columns().iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["LSM", "CNN", "DR", "GCWC", "A-GCWC"]);
+    }
+
+    #[test]
+    fn config_selection() {
+        let p = Profile::smoke();
+        let hw = model_config(DatasetKind::Highway, OutputKind::Histogram, &p);
+        assert_eq!(hw.conv_layers[0].filters, 16);
+        assert_eq!(hw.epochs, p.epochs);
+        let ci = model_config(DatasetKind::City, OutputKind::Histogram, &p);
+        assert_eq!(ci.conv_layers[0].filters, 8);
+    }
+}

@@ -1,0 +1,237 @@
+//! Figure 6: scalability of GCWC / A-GCWC on enlarged city networks.
+//!
+//! The paper tiles the CI network ×10…×50 (up to 8 600 edges), measures
+//! the average training time of a 20-instance batch (Fig. 6a) and the
+//! average per-instance testing time (Fig. 6b), and additionally
+//! simulates distributed processing by partitioning the network in two
+//! and training the halves sequentially ("-M2" variants).
+
+use std::time::Instant;
+
+use gcwc::{AGcwcModel, CompletionModel, GcwcModel, ModelConfig, TrainSample};
+use gcwc_graph::EdgeGraph;
+use gcwc_linalg::rng::seeded;
+use gcwc_linalg::Matrix;
+use gcwc_traffic::{generators, Context};
+use rand::Rng;
+
+use crate::profile::Profile;
+
+/// Which model variant a scalability row measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScalModel {
+    /// GCWC on the whole network.
+    Gcwc,
+    /// A-GCWC on the whole network.
+    AGcwc,
+    /// GCWC with the network split in two halves trained sequentially.
+    GcwcM2,
+    /// A-GCWC with the two-way split.
+    AGcwcM2,
+}
+
+impl ScalModel {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalModel::Gcwc => "GCWC",
+            ScalModel::AGcwc => "A-GCWC",
+            ScalModel::GcwcM2 => "GCWC-M2",
+            ScalModel::AGcwcM2 => "A-GCWC-M2",
+        }
+    }
+
+    /// All variants, in the figure's legend order.
+    pub fn all() -> [ScalModel; 4] {
+        [ScalModel::Gcwc, ScalModel::AGcwc, ScalModel::GcwcM2, ScalModel::AGcwcM2]
+    }
+}
+
+/// One measured point of Figure 6.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalPoint {
+    /// Network scale factor.
+    pub scale: usize,
+    /// Total edges at this scale.
+    pub edges: usize,
+    /// Seconds per 20-instance training batch (Fig. 6a).
+    pub train_batch_secs: f64,
+    /// Seconds per tested instance (Fig. 6b).
+    pub test_instance_secs: f64,
+}
+
+/// Splits a graph into two halves (by node index), returning the two
+/// induced sub-adjacencies. This destroys the cut edges, exactly as the
+/// paper's M2 partitioning does.
+pub fn split_in_two(graph: &EdgeGraph) -> (EdgeGraph, EdgeGraph) {
+    let n = graph.num_nodes();
+    let half = n / 2;
+    let first: Vec<usize> = (0..half).collect();
+    let second: Vec<usize> = (half..n).collect();
+    (graph.induced_subgraph(&first), graph.induced_subgraph(&second))
+}
+
+fn synthetic_samples(n: usize, m: usize, count: usize, ipd: usize, seed: u64) -> Vec<TrainSample> {
+    let mut rng = seeded(seed);
+    (0..count)
+        .map(|i| {
+            // Random sparse histogram matrix: ~half the rows covered.
+            let mut mat = Matrix::zeros(n, m);
+            let mut flags = vec![0.0; n];
+            for e in 0..n {
+                if rng.random::<f64>() < 0.5 {
+                    flags[e] = 1.0;
+                    let mut sum = 0.0;
+                    for j in 0..m {
+                        let v = rng.random::<f64>();
+                        mat[(e, j)] = v;
+                        sum += v;
+                    }
+                    for j in 0..m {
+                        mat[(e, j)] /= sum;
+                    }
+                }
+            }
+            TrainSample {
+                snapshot_index: i,
+                input: mat.clone(),
+                label: mat,
+                label_mask: flags.clone(),
+                context: Context {
+                    time_of_day: i % ipd,
+                    day_of_week: (i / ipd) % 7,
+                    intervals_per_day: ipd,
+                    row_flags: flags,
+                },
+                history: vec![],
+            }
+        })
+        .collect()
+}
+
+fn restrict_samples(samples: &[TrainSample], lo: usize, hi: usize) -> Vec<TrainSample> {
+    samples
+        .iter()
+        .map(|s| {
+            let rows: Vec<usize> = (lo..hi).collect();
+            TrainSample {
+                snapshot_index: s.snapshot_index,
+                input: s.input.select_rows(&rows),
+                label: s.label.select_rows(&rows),
+                label_mask: s.label_mask[lo..hi].to_vec(),
+                context: Context {
+                    row_flags: s.context.row_flags[lo..hi].to_vec(),
+                    ..s.context.clone()
+                },
+                history: vec![],
+            }
+        })
+        .collect()
+}
+
+fn timed_fit_predict(
+    model: &mut dyn CompletionModel,
+    train: &[TrainSample],
+    test: &[TrainSample],
+) -> (f64, f64) {
+    let t0 = Instant::now();
+    model.fit(train);
+    let fit_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    for s in test {
+        let _ = model.predict(s);
+    }
+    let predict_secs = t1.elapsed().as_secs_f64() / test.len() as f64;
+    (fit_secs, predict_secs)
+}
+
+/// Measures one scalability point: average seconds per 20-instance
+/// training batch and per tested instance.
+pub fn measure(model: ScalModel, scale: usize, profile: &Profile) -> ScalPoint {
+    let base = generators::city_network(profile.seed);
+    let graph =
+        if scale == 1 { base.graph.clone() } else { generators::scaled_city(&base.graph, scale) };
+    let n = graph.num_nodes();
+    let m = 8;
+    let batch = 20;
+    let batches = profile.scal_batches;
+    // One epoch over `batches` batches = the measured workload.
+    let cfg = ModelConfig::ci_hist().with_epochs(1);
+    let samples = synthetic_samples(n, m, batch * batches, profile.intervals_per_day, profile.seed);
+    let test = &samples[..4.min(samples.len())];
+
+    let (fit_secs, predict_secs) = match model {
+        ScalModel::Gcwc => {
+            let mut mdl = GcwcModel::new(&graph, m, cfg, profile.seed);
+            timed_fit_predict(&mut mdl, &samples, test)
+        }
+        ScalModel::AGcwc => {
+            let mut mdl = AGcwcModel::new(&graph, m, profile.intervals_per_day, cfg, profile.seed);
+            timed_fit_predict(&mut mdl, &samples, test)
+        }
+        ScalModel::GcwcM2 | ScalModel::AGcwcM2 => {
+            let (g1, g2) = split_in_two(&graph);
+            let half = g1.num_nodes();
+            let s1 = restrict_samples(&samples, 0, half);
+            let s2 = restrict_samples(&samples, half, n);
+            let t1 = &s1[..4.min(s1.len())];
+            let t2 = &s2[..4.min(s2.len())];
+            let ((f1, p1), (f2, p2)) = if model == ScalModel::GcwcM2 {
+                let mut m1 = GcwcModel::new(&g1, m, cfg.clone(), profile.seed);
+                let mut m2 = GcwcModel::new(&g2, m, cfg, profile.seed);
+                (timed_fit_predict(&mut m1, &s1, t1), timed_fit_predict(&mut m2, &s2, t2))
+            } else {
+                let ipd = profile.intervals_per_day;
+                let mut m1 = AGcwcModel::new(&g1, m, ipd, cfg.clone(), profile.seed);
+                let mut m2 = AGcwcModel::new(&g2, m, ipd, cfg, profile.seed);
+                (timed_fit_predict(&mut m1, &s1, t1), timed_fit_predict(&mut m2, &s2, t2))
+            };
+            // Sequential processing: times add.
+            (f1 + f2, p1 + p2)
+        }
+    };
+    ScalPoint {
+        scale,
+        edges: n,
+        train_batch_secs: fit_secs / batches as f64,
+        test_instance_secs: predict_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_halves_cover_all_nodes() {
+        let base = generators::city_network(1);
+        let (a, b) = split_in_two(&base.graph);
+        assert_eq!(a.num_nodes() + b.num_nodes(), 172);
+    }
+
+    #[test]
+    fn synthetic_samples_are_valid() {
+        let samples = synthetic_samples(10, 4, 3, 48, 1);
+        assert_eq!(samples.len(), 3);
+        for s in &samples {
+            for e in 0..10 {
+                let sum: f64 = s.input.row(e).iter().sum();
+                if s.label_mask[e] > 0.0 {
+                    assert!((sum - 1.0).abs() < 1e-9);
+                } else {
+                    assert_eq!(sum, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_measure_scale_one() {
+        let mut profile = Profile::smoke();
+        profile.scal_batches = 1;
+        let p = measure(ScalModel::Gcwc, 1, &profile);
+        assert_eq!(p.edges, 172);
+        assert!(p.train_batch_secs > 0.0);
+        assert!(p.test_instance_secs > 0.0);
+    }
+}

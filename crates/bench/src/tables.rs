@@ -1,0 +1,275 @@
+//! Regenerates the paper's result tables (IV–XIII) as formatted text.
+
+use gcwc::TaskKind;
+
+use crate::harness::{evaluate_average, evaluate_hist, make_bundle, Bundle};
+use crate::methods::Method;
+use crate::profile::{DatasetKind, Profile};
+
+/// Which metric a histogram table reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HistMetric {
+    /// Mean KL-divergence ratio (lower better).
+    Mklr,
+    /// Fraction of likelihood ratio (higher better).
+    Flr,
+}
+
+/// A rendered table: header + one row per removal ratio.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Paper artefact name, e.g. "Table IV".
+    pub title: String,
+    /// Column names (first is "rm").
+    pub columns: Vec<String>,
+    /// `rows[i] = (rm, values per method)`.
+    pub rows: Vec<(f64, Vec<f64>)>,
+}
+
+impl Table {
+    /// Formats the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        out.push_str(&format!("{:>4}", "rm"));
+        for c in &self.columns[1..] {
+            out.push_str(&format!("{c:>9}"));
+        }
+        out.push('\n');
+        for (rm, vals) in &self.rows {
+            out.push_str(&format!("{rm:>4.1}"));
+            for v in vals {
+                out.push_str(&format!("{v:>9.2}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs the paired MKLR + FLR tables for one (dataset, task) setting —
+/// both metrics come from the same fitted models, so Tables IV/VI,
+/// V/VII, VIII/X and IX/XI are produced in one sweep.
+pub fn hist_table_pair(
+    mklr_title: &str,
+    flr_title: &str,
+    kind: DatasetKind,
+    task: TaskKind,
+    profile: &Profile,
+    bundle: &Bundle,
+) -> (Table, Table) {
+    let methods = Method::hist_columns();
+    let mut mklr_rows = Vec::new();
+    let mut flr_rows = Vec::new();
+    for &rm in &profile.removal_ratios {
+        let mut mklr_vals = Vec::with_capacity(methods.len());
+        let mut flr_vals = Vec::with_capacity(methods.len());
+        for &m in methods {
+            let scores = evaluate_hist(bundle, kind, task, m, rm, profile);
+            mklr_vals.push(scores.mklr);
+            flr_vals.push(scores.flr);
+            eprintln!("  [{mklr_title}] rm={rm:.1} {} done", m.name());
+        }
+        mklr_rows.push((rm, mklr_vals));
+        flr_rows.push((rm, flr_vals));
+    }
+    let mut columns = vec!["rm".to_owned()];
+    columns.extend(methods.iter().map(|m| m.name().to_owned()));
+    (
+        Table { title: mklr_title.to_owned(), columns: columns.clone(), rows: mklr_rows },
+        Table { title: flr_title.to_owned(), columns, rows: flr_rows },
+    )
+}
+
+/// Runs one MKLR or FLR table (Tables IV–XI).
+pub fn hist_table(
+    title: &str,
+    kind: DatasetKind,
+    task: TaskKind,
+    metric: HistMetric,
+    profile: &Profile,
+    bundle: &Bundle,
+) -> Table {
+    let methods = Method::hist_columns();
+    let mut rows = Vec::new();
+    for &rm in &profile.removal_ratios {
+        let mut vals = Vec::with_capacity(methods.len());
+        for &m in methods {
+            let scores = evaluate_hist(bundle, kind, task, m, rm, profile);
+            vals.push(match metric {
+                HistMetric::Mklr => scores.mklr,
+                HistMetric::Flr => scores.flr,
+            });
+            eprintln!("  [{title}] rm={rm:.1} {} done", m.name());
+        }
+        rows.push((rm, vals));
+    }
+    let mut columns = vec!["rm".to_owned()];
+    columns.extend(methods.iter().map(|m| m.name().to_owned()));
+    Table { title: title.to_owned(), columns, rows }
+}
+
+/// Runs all of Tables IV–XIII with shared evaluations (each
+/// dataset/task pair is swept once, feeding its MKLR and FLR tables),
+/// invoking `emit` as soon as each table is ready so long runs stream
+/// their results.
+pub fn for_each_table(profile: &Profile, mut emit: impl FnMut(&Table)) {
+    let hw = make_bundle(DatasetKind::Highway, profile);
+    let ci = make_bundle(DatasetKind::City, profile);
+    let pairs: [(&str, &str, DatasetKind, TaskKind, &Bundle); 4] = [
+        (
+            "Table IV: MKLR, HW, Estimation",
+            "Table VI: FLR, HW, Estimation",
+            DatasetKind::Highway,
+            TaskKind::Estimation,
+            &hw,
+        ),
+        (
+            "Table V: MKLR, CI, Estimation",
+            "Table VII: FLR, CI, Estimation",
+            DatasetKind::City,
+            TaskKind::Estimation,
+            &ci,
+        ),
+        (
+            "Table VIII: MKLR, HW, Prediction",
+            "Table X: FLR, HW, Prediction",
+            DatasetKind::Highway,
+            TaskKind::Prediction,
+            &hw,
+        ),
+        (
+            "Table IX: MKLR, CI, Prediction",
+            "Table XI: FLR, CI, Prediction",
+            DatasetKind::City,
+            TaskKind::Prediction,
+            &ci,
+        ),
+    ];
+    for (mt, ft, kind, task, bundle) in pairs {
+        let (m, f) = hist_table_pair(mt, ft, kind, task, profile, bundle);
+        emit(&m);
+        emit(&f);
+    }
+    emit(&mape_table("Table XII: MAPE %, HW, Average", DatasetKind::Highway, profile, &hw));
+    emit(&mape_table("Table XIII: MAPE %, CI, Average", DatasetKind::City, profile, &ci));
+}
+
+/// Collects all of Tables IV–XIII (see [`for_each_table`]).
+pub fn run_all_tables(profile: &Profile) -> Vec<Table> {
+    let mut out = Vec::new();
+    for_each_table(profile, |t| out.push(t.clone()));
+    out
+}
+
+/// Runs one MAPE table (Tables XII–XIII).
+pub fn mape_table(title: &str, kind: DatasetKind, profile: &Profile, bundle: &Bundle) -> Table {
+    let methods = Method::avg_columns();
+    let mut rows = Vec::new();
+    for &rm in &profile.removal_ratios {
+        let mut vals = Vec::with_capacity(methods.len());
+        for &m in methods {
+            vals.push(evaluate_average(bundle, kind, m, rm, profile));
+            eprintln!("  [{title}] rm={rm:.1} {} done", m.name());
+        }
+        rows.push((rm, vals));
+    }
+    let mut columns = vec!["rm".to_owned()];
+    columns.extend(methods.iter().map(|m| m.name().to_owned()));
+    Table { title: title.to_owned(), columns, rows }
+}
+
+/// The full catalogue of tables, keyed by the exp_runner subcommand.
+pub fn run_table(id: &str, profile: &Profile) -> Option<Table> {
+    let spec: (&str, DatasetKind, Option<(TaskKind, HistMetric)>) = match id {
+        "table4" => (
+            "Table IV: MKLR, HW, Estimation",
+            DatasetKind::Highway,
+            Some((TaskKind::Estimation, HistMetric::Mklr)),
+        ),
+        "table5" => (
+            "Table V: MKLR, CI, Estimation",
+            DatasetKind::City,
+            Some((TaskKind::Estimation, HistMetric::Mklr)),
+        ),
+        "table6" => (
+            "Table VI: FLR, HW, Estimation",
+            DatasetKind::Highway,
+            Some((TaskKind::Estimation, HistMetric::Flr)),
+        ),
+        "table7" => (
+            "Table VII: FLR, CI, Estimation",
+            DatasetKind::City,
+            Some((TaskKind::Estimation, HistMetric::Flr)),
+        ),
+        "table8" => (
+            "Table VIII: MKLR, HW, Prediction",
+            DatasetKind::Highway,
+            Some((TaskKind::Prediction, HistMetric::Mklr)),
+        ),
+        "table9" => (
+            "Table IX: MKLR, CI, Prediction",
+            DatasetKind::City,
+            Some((TaskKind::Prediction, HistMetric::Mklr)),
+        ),
+        "table10" => (
+            "Table X: FLR, HW, Prediction",
+            DatasetKind::Highway,
+            Some((TaskKind::Prediction, HistMetric::Flr)),
+        ),
+        "table11" => (
+            "Table XI: FLR, CI, Prediction",
+            DatasetKind::City,
+            Some((TaskKind::Prediction, HistMetric::Flr)),
+        ),
+        "table12" => ("Table XII: MAPE %, HW, Average", DatasetKind::Highway, None),
+        "table13" => ("Table XIII: MAPE %, CI, Average", DatasetKind::City, None),
+        _ => return None,
+    };
+    let (title, kind, hist) = spec;
+    let bundle = make_bundle(kind, profile);
+    Some(match hist {
+        Some((task, metric)) => hist_table(title, kind, task, metric, profile, &bundle),
+        None => mape_table(title, kind, profile, &bundle),
+    })
+}
+
+/// All table ids in paper order.
+pub const ALL_TABLES: [&str; 10] = [
+    "table4", "table5", "table6", "table7", "table8", "table9", "table10", "table11", "table12",
+    "table13",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_layout() {
+        let t = Table {
+            title: "Table T".into(),
+            columns: vec!["rm".into(), "GP".into(), "GCWC".into()],
+            rows: vec![(0.5, vec![1.0, 0.43]), (0.6, vec![1.01, 0.44])],
+        };
+        let s = t.render();
+        assert!(s.contains("Table T"));
+        assert!(s.contains("GCWC"));
+        assert!(s.contains("0.43"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn unknown_table_id_is_none() {
+        assert!(run_table("table99", &Profile::smoke()).is_none());
+    }
+
+    #[test]
+    fn smoke_table4_runs_end_to_end() {
+        let mut profile = Profile::smoke();
+        profile.removal_ratios = vec![0.5];
+        let t = run_table("table4", &profile).unwrap();
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0].1.len(), Method::hist_columns().len());
+        assert!(t.rows[0].1.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,37 @@
+//! # gcwc
+//!
+//! The paper's primary contribution: **Graph Convolutional Weight
+//! Completion** (GCWC, §IV) and its context-aware extension
+//! (**A-GCWC**, §V), together with the task definitions (Estimation /
+//! Prediction / Average, §VI-A.3), Table III model configurations, and
+//! the shared training loop.
+//!
+//! ```
+//! use gcwc::{GcwcModel, ModelConfig, CompletionModel, build_samples, TaskKind};
+//! use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+//!
+//! let hw = generators::highway_tollgate(1);
+//! let sim = SimConfig { days: 1, intervals_per_day: 8, ..Default::default() };
+//! let data = simulate(&hw, HistogramSpec::hist8(), &sim);
+//! let dataset = data.to_dataset(0.5, 5, 42);
+//! let idx: Vec<usize> = (0..dataset.len()).collect();
+//! let samples = build_samples(&dataset, &idx, TaskKind::Estimation, 0);
+//!
+//! let cfg = ModelConfig::hw_hist().with_epochs(1);
+//! let mut model = GcwcModel::new(&hw.graph, 8, cfg, 7);
+//! model.fit(&samples);
+//! let completed = model.predict(&samples[0]); // n × m, every row a histogram
+//! assert_eq!(completed.rows(), 24);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod model;
+pub mod task;
+pub mod train;
+
+pub use config::{ConvLayer, CpCnnConfig, ModelConfig, OutputKind};
+pub use model::{AGcwcModel, GcwcModel};
+pub use task::{build_samples, CompletionModel, TaskKind, TrainSample, MAX_SPEED};
+pub use train::TrainReport;

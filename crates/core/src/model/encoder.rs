@@ -1,0 +1,259 @@
+//! The shared graph-convolutional encoder/decoder of GCWC and A-GCWC
+//! (paper §IV).
+//!
+//! Per bucket column `w_{·j}` of the input matrix, the encoder applies a
+//! stack of Chebyshev graph convolutions with tanh activations and graph
+//! max-pooling over Graclus clusters (the auto-encoder's *encoding*),
+//! then a fully connected decoder shared across buckets maps the pooled
+//! features back to one value per edge (the *decoding*). Assembling the
+//! per-bucket outputs yields the logit matrix `Z ∈ R^{n×m}`.
+
+use std::rc::Rc;
+
+use gcwc_graph::{ChebyshevBasis, EdgeGraph, GraphHierarchy, PolyBasis, PoolingMap};
+use gcwc_linalg::Matrix;
+use gcwc_nn::{dropout_mask, Dense, NodeId, ParamId, ParamStore, Tape};
+use rand::rngs::StdRng;
+
+use crate::config::{log2_exact, ModelConfig, OutputKind};
+
+/// One graph-convolution stage with its basis, filters and pooling map.
+struct EncoderLayer {
+    basis: Rc<dyn PolyBasis>,
+    /// `thetas[k]` is the `c_in × c_out` mixing matrix of tap `k`.
+    thetas: Vec<ParamId>,
+    bias: ParamId,
+    pool: Option<Rc<PoolingMap>>,
+    out_nodes: usize,
+    out_filters: usize,
+}
+
+/// The graph-convolutional encoder + per-bucket FC decoder.
+pub struct Encoder {
+    layers: Vec<EncoderLayer>,
+    fc: Dense,
+    n: usize,
+    m: usize,
+    dropout: f64,
+    output: OutputKind,
+}
+
+impl Encoder {
+    /// Builds the encoder for `graph` with `m` histogram buckets.
+    pub fn new(
+        graph: &EdgeGraph,
+        m: usize,
+        cfg: &ModelConfig,
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+    ) -> Self {
+        let n = graph.num_nodes();
+        let hierarchy = GraphHierarchy::build(graph.adjacency(), cfg.coarsen_levels());
+        let mut level = 0usize;
+        let mut c_in = 1usize;
+        let mut layers = Vec::with_capacity(cfg.conv_layers.len());
+        for (li, lc) in cfg.conv_layers.iter().enumerate() {
+            let basis: Rc<dyn PolyBasis> =
+                Rc::new(ChebyshevBasis::from_adjacency(hierarchy.graph(level), lc.cheb_order));
+            let thetas = (0..lc.cheb_order)
+                .map(|k| {
+                    store.add(
+                        format!("conv{li}.theta{k}"),
+                        gcwc_nn::init::glorot_uniform(rng, c_in, lc.filters),
+                    )
+                })
+                .collect();
+            let bias = store.add(format!("conv{li}.bias"), Matrix::zeros(1, lc.filters));
+            let (pool, out_nodes) = if lc.pool > 1 {
+                let to = level + log2_exact(lc.pool);
+                let map = Rc::new(PoolingMap::from_hierarchy(&hierarchy, level, to));
+                let out = map.num_outputs();
+                level = to;
+                (Some(map), out)
+            } else {
+                (None, hierarchy.num_nodes(level))
+            };
+            layers.push(EncoderLayer {
+                basis,
+                thetas,
+                bias,
+                pool,
+                out_nodes,
+                out_filters: lc.filters,
+            });
+            c_in = lc.filters;
+        }
+        let last = layers.last().expect("at least one conv layer");
+        let fc_in = last.out_nodes * last.out_filters;
+        let fc = Dense::new(store, rng, "fc", fc_in, n);
+        Self { layers, fc, n, m, dropout: cfg.dropout, output: cfg.output }
+    }
+
+    /// Number of edges `n`.
+    pub fn num_edges(&self) -> usize {
+        self.n
+    }
+
+    /// Number of buckets `m`.
+    pub fn num_buckets(&self) -> usize {
+        self.m
+    }
+
+    /// Output head kind.
+    pub fn output_kind(&self) -> OutputKind {
+        self.output
+    }
+
+    /// Computes the logit matrix `Z ∈ R^{n×m}` from an input weight
+    /// matrix.
+    ///
+    /// All `m` bucket columns run through the conv stack in one batched
+    /// pass (grouped graph convolutions with filters shared across
+    /// buckets, exactly the paper's per-column filter application); the
+    /// per-bucket FC decoder then maps each bucket's pooled features to
+    /// `n` logits.
+    pub fn logits(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        input: &Matrix,
+        train: bool,
+        rng: &mut StdRng,
+    ) -> NodeId {
+        assert_eq!(input.shape(), (self.n, self.m), "input shape mismatch");
+        // Group-major layout: group g (bucket g) holds c channels.
+        let mut x = tape.constant(input.clone());
+        for layer in &self.layers {
+            let thetas: Vec<NodeId> = layer.thetas.iter().map(|&t| tape.param(store, t)).collect();
+            x = tape.poly_conv_grouped(x, &thetas, Rc::clone(&layer.basis), self.m);
+            let bias = tape.param(store, layer.bias);
+            let tiled = tape.tile_cols(bias, self.m);
+            x = tape.add_row_broadcast(x, tiled);
+            x = tape.tanh(x);
+            if let Some(pool) = &layer.pool {
+                x = tape.graph_max_pool(x, Rc::clone(pool));
+            }
+        }
+        let last = self.layers.last().expect("non-empty");
+        let (nodes, f) = (last.out_nodes, last.out_filters);
+        let cols: Vec<NodeId> = (0..self.m)
+            .map(|g| {
+                let block = tape.select_cols(x, g * f, f); // nodes × f
+                let mut flat = tape.reshape(block, 1, nodes * f);
+                if train && self.dropout > 0.0 {
+                    let mask = dropout_mask(rng, 1, nodes * f, self.dropout);
+                    flat = tape.dropout(flat, mask);
+                }
+                let row = self.fc.apply(tape, store, flat); // 1 × n
+                tape.transpose(row) // n × 1
+            })
+            .collect();
+        tape.hstack(&cols) // n × m
+    }
+
+    /// The model head: row-softmax histograms (`n × m`) for HIST, or a
+    /// sigmoid column of normalised speeds (`n × 1`) for AVG — the
+    /// per-bucket logits are averaged before the sigmoid, per §VI-A.3.
+    pub fn output(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        input: &Matrix,
+        train: bool,
+        rng: &mut StdRng,
+    ) -> NodeId {
+        let z = self.logits(tape, store, input, train, rng);
+        match self.output {
+            OutputKind::Histogram => tape.softmax_rows(z),
+            OutputKind::Average => {
+                // Mean over buckets -> n × 1 -> sigmoid.
+                let ones = tape.constant(Matrix::filled(self.m, 1, 1.0 / self.m as f64));
+                let mean = tape.matmul(z, ones);
+                tape.sigmoid(mean)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcwc_linalg::rng::seeded;
+    use gcwc_traffic::generators::highway_tollgate;
+
+    fn encoder(output: OutputKind) -> (Encoder, ParamStore) {
+        let hw = highway_tollgate(1);
+        let mut cfg = ModelConfig::hw_hist();
+        cfg.output = output;
+        let mut store = ParamStore::new();
+        let mut rng = seeded(3);
+        let enc = Encoder::new(&hw.graph, 8, &cfg, &mut store, &mut rng);
+        (enc, store)
+    }
+
+    #[test]
+    fn histogram_output_is_row_stochastic() {
+        let (enc, store) = encoder(OutputKind::Histogram);
+        let mut tape = Tape::new();
+        let mut rng = seeded(4);
+        let input =
+            Matrix::from_fn(24, 8, |i, j| if i < 12 { ((i + j) % 3) as f64 * 0.2 } else { 0.0 });
+        let out = enc.output(&mut tape, &store, &input, false, &mut rng);
+        let v = tape.value(out);
+        assert_eq!(v.shape(), (24, 8));
+        for i in 0..24 {
+            let s: f64 = v.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+            assert!(v.row(i).iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn average_output_is_unit_interval_column() {
+        let (enc, store) = encoder(OutputKind::Average);
+        let mut tape = Tape::new();
+        let mut rng = seeded(5);
+        let input = Matrix::from_fn(24, 8, |i, _| i as f64 * 0.01);
+        let out = enc.output(&mut tape, &store, &input, false, &mut rng);
+        let v = tape.value(out);
+        assert_eq!(v.shape(), (24, 1));
+        assert!(v.as_slice().iter().all(|&p| p > 0.0 && p < 1.0));
+    }
+
+    #[test]
+    fn evaluation_forward_is_deterministic() {
+        let (enc, store) = encoder(OutputKind::Histogram);
+        let input = Matrix::from_fn(24, 8, |i, j| ((i * j) % 5) as f64 * 0.1);
+        let run = |seed: u64| {
+            let mut tape = Tape::new();
+            let mut rng = seeded(seed);
+            let out = enc.output(&mut tape, &store, &input, false, &mut rng);
+            tape.value(out).clone()
+        };
+        assert_eq!(run(1), run(99), "eval mode must not depend on the RNG");
+    }
+
+    #[test]
+    fn dropout_changes_training_forward() {
+        let (enc, store) = encoder(OutputKind::Histogram);
+        let input = Matrix::from_fn(24, 8, |i, j| ((i * j) % 5) as f64 * 0.1);
+        let mut tape1 = Tape::new();
+        let out1 = enc.output(&mut tape1, &store, &input, true, &mut seeded(1));
+        let mut tape2 = Tape::new();
+        let out2 = enc.output(&mut tape2, &store, &input, true, &mut seeded(2));
+        assert_ne!(tape1.value(out1), tape2.value(out2));
+    }
+
+    #[test]
+    fn zero_input_still_produces_valid_histograms() {
+        // The degenerate all-missing matrix must not crash and must give
+        // valid distributions (completion from pure bias).
+        let (enc, store) = encoder(OutputKind::Histogram);
+        let mut tape = Tape::new();
+        let out = enc.output(&mut tape, &store, &Matrix::zeros(24, 8), false, &mut seeded(1));
+        let v = tape.value(out);
+        for i in 0..24 {
+            assert!((v.row(i).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! The basic GCWC model (paper §IV).
+
+use gcwc_graph::EdgeGraph;
+use gcwc_linalg::rng::seeded;
+use gcwc_linalg::Matrix;
+use gcwc_nn::{ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::config::{ModelConfig, OutputKind};
+use crate::model::encoder::Encoder;
+use crate::task::{CompletionModel, TrainSample};
+use crate::train::{run_training, TrainReport};
+
+/// ε of the KL loss (Eq. 3).
+pub const LOSS_EPS: f64 = 1e-6;
+
+/// Graph Convolutional Weight Completion.
+pub struct GcwcModel {
+    store: ParamStore,
+    encoder: Encoder,
+    cfg: ModelConfig,
+    rng: StdRng,
+    last_report: TrainReport,
+}
+
+impl GcwcModel {
+    /// Creates an untrained GCWC model for `graph` with `m` buckets.
+    pub fn new(graph: &EdgeGraph, m: usize, cfg: ModelConfig, seed: u64) -> Self {
+        let mut rng = seeded(seed);
+        let mut store = ParamStore::new();
+        let encoder = Encoder::new(graph, m, &cfg, &mut store, &mut rng);
+        Self { store, encoder, cfg, rng, last_report: TrainReport::default() }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// The training report of the last [`CompletionModel::fit`] call.
+    pub fn last_report(&self) -> &TrainReport {
+        &self.last_report
+    }
+
+    /// Saves the trained parameters to a checkpoint file.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), gcwc_nn::PersistError> {
+        gcwc_nn::persist::save(&self.store, path)
+    }
+
+    /// Restores parameters from a checkpoint produced by a model with
+    /// the identical architecture.
+    pub fn load(&mut self, path: &std::path::Path) -> Result<(), gcwc_nn::PersistError> {
+        gcwc_nn::persist::load(&mut self.store, path)
+    }
+
+    /// Builds the per-sample loss node (KL for HIST, masked MSE for AVG).
+    ///
+    /// Applies denoising augmentation: with probability `row_dropout`
+    /// each covered input row is zeroed while remaining in the loss
+    /// mask, so the decoder is also trained to complete rows it cannot
+    /// see.
+    pub(crate) fn sample_loss(
+        encoder: &Encoder,
+        row_dropout: f64,
+        tape: &mut Tape,
+        store: &ParamStore,
+        sample: &TrainSample,
+        rng: &mut StdRng,
+    ) -> gcwc_nn::NodeId {
+        let (input, _) =
+            crate::task::corrupt_input(&sample.input, &sample.context.row_flags, row_dropout, rng);
+        let pred = encoder.output(tape, store, &input, true, rng);
+        match encoder.output_kind() {
+            OutputKind::Histogram => {
+                tape.kl_loss_masked(pred, sample.label.clone(), sample.label_mask.clone(), LOSS_EPS)
+            }
+            OutputKind::Average => {
+                let mask = Matrix::from_vec(sample.label_mask.len(), 1, sample.label_mask.clone());
+                tape.mse_masked(pred, sample.label.clone(), mask)
+            }
+        }
+    }
+}
+
+impl CompletionModel for GcwcModel {
+    fn name(&self) -> String {
+        "GCWC".to_owned()
+    }
+
+    fn fit(&mut self, samples: &[TrainSample]) {
+        let encoder = &self.encoder;
+        let row_dropout = self.cfg.row_dropout;
+        let mut rng = seeded(self.rng.random());
+        self.last_report = run_training(
+            &mut self.store,
+            self.cfg.optim,
+            self.cfg.epochs,
+            self.cfg.batch_size,
+            samples,
+            &mut rng,
+            |tape, store, sample, rng| {
+                Self::sample_loss(encoder, row_dropout, tape, store, sample, rng)
+            },
+        );
+    }
+
+    fn predict(&self, sample: &TrainSample) -> Matrix {
+        let mut tape = Tape::new();
+        let mut rng = seeded(0); // unused in eval mode
+        let out = self.encoder.output(&mut tape, &self.store, &sample.input, false, &mut rng);
+        tape.value(out).clone()
+    }
+
+    fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{build_samples, TaskKind};
+    use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+
+    fn tiny_setup() -> (gcwc_traffic::NetworkInstance, gcwc_traffic::Dataset) {
+        let hw = generators::highway_tollgate(1);
+        let cfg = SimConfig {
+            days: 2,
+            intervals_per_day: 16,
+            records_per_interval: 10.0,
+            ..Default::default()
+        };
+        let data = simulate(&hw, HistogramSpec::hist8(), &cfg);
+        let ds = data.to_dataset(0.5, 5, 11);
+        (hw, ds)
+    }
+
+    #[test]
+    fn fit_reduces_kl_loss() {
+        let (hw, ds) = tiny_setup();
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let samples = build_samples(&ds, &idx, TaskKind::Estimation, 0);
+        let cfg = ModelConfig::hw_hist().with_epochs(8);
+        let mut model = GcwcModel::new(&hw.graph, 8, cfg, 42);
+        model.fit(&samples);
+        let losses = &model.last_report().epoch_losses;
+        assert_eq!(losses.len(), 8);
+        assert!(losses.last().unwrap() < &(losses[0] * 0.9), "loss should drop: {losses:?}");
+    }
+
+    #[test]
+    fn predictions_are_valid_histograms_for_all_edges() {
+        let (hw, ds) = tiny_setup();
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let samples = build_samples(&ds, &idx, TaskKind::Estimation, 0);
+        let cfg = ModelConfig::hw_hist().with_epochs(3);
+        let mut model = GcwcModel::new(&hw.graph, 8, cfg, 42);
+        model.fit(&samples[..8]);
+        let pred = model.predict(&samples[9]);
+        assert_eq!(pred.shape(), (24, 8));
+        for i in 0..24 {
+            let s: f64 = pred.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn average_variant_outputs_column() {
+        let (hw, ds) = tiny_setup();
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let samples = build_samples(&ds, &idx, TaskKind::Average, 0);
+        let cfg = ModelConfig::hw_avg().with_epochs(3);
+        let mut model = GcwcModel::new(&hw.graph, 8, cfg, 42);
+        model.fit(&samples[..8]);
+        let pred = model.predict(&samples[9]);
+        assert_eq!(pred.shape(), (24, 1));
+        assert!(pred.as_slice().iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn param_count_is_plausible() {
+        let (hw, _) = tiny_setup();
+        let model = GcwcModel::new(&hw.graph, 8, ModelConfig::hw_hist(), 1);
+        let p = model.num_params();
+        // conv1 (8·16 + 16) + conv2 (8·16·16 + 16) + FC ((n/8)·16+1)·24.
+        assert!(p > 2_000 && p < 40_000, "param count {p}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (hw, ds) = tiny_setup();
+        let idx: Vec<usize> = (0..8).collect();
+        let samples = build_samples(&ds, &idx, TaskKind::Estimation, 0);
+        let run = || {
+            let cfg = ModelConfig::hw_hist().with_epochs(2);
+            let mut model = GcwcModel::new(&hw.graph, 8, cfg, 7);
+            model.fit(&samples);
+            model.predict(&samples[0])
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,9 @@
+//! The GCWC and A-GCWC models.
+
+pub mod agcwc;
+pub mod encoder;
+pub mod gcwc;
+
+pub use agcwc::AGcwcModel;
+pub use encoder::Encoder;
+pub use gcwc::GcwcModel;

@@ -1,0 +1,290 @@
+//! Polynomial filter bases on graphs.
+//!
+//! Simplified ChebNet (paper §IV-B) filters a signal `x` with
+//! `Σ_k θ_k T_k(L̃) x` where `T_k` is the Chebyshev polynomial of the
+//! scaled Laplacian: `x̂_0 = x`, `x̂_1 = L̃x`, `x̂_k = 2L̃x̂_{k−1} − x̂_{k−2}`.
+//! The DR baseline uses the same machinery with random-walk powers
+//! `P^k = (D⁻¹A)^k` instead.
+//!
+//! Both bases are exposed through [`PolyBasis`], which provides the
+//! forward expansion and the adjoint combination needed for
+//! back-propagation (`Σ_k B_kᵀ`-weighted recombination).
+
+use crate::laplacian;
+use gcwc_linalg::{CsrMatrix, Matrix};
+
+/// A family `{M_0, …, M_{K−1}}` of fixed graph operators applied to node
+/// signals, with an efficient adjoint.
+pub trait PolyBasis {
+    /// Number of taps `K`.
+    fn order(&self) -> usize;
+
+    /// Number of graph nodes `n`.
+    fn num_nodes(&self) -> usize;
+
+    /// Computes `[M_0 x, …, M_{K−1} x]` for a dense signal `x ∈ R^{n×c}`.
+    fn forward(&self, x: &Matrix) -> Vec<Matrix>;
+
+    /// Computes `Σ_k M_kᵀ b_k` for dense `b_k ∈ R^{n×c}` (the adjoint of
+    /// [`PolyBasis::forward`] contracted with cotangents `b_k`).
+    fn adjoint_combine(&self, b: &[Matrix]) -> Matrix;
+}
+
+/// Chebyshev polynomials of the scaled Laplacian `L̃ = 2L/λmax − I`.
+#[derive(Clone, Debug)]
+pub struct ChebyshevBasis {
+    lt: CsrMatrix,
+    k: usize,
+}
+
+impl ChebyshevBasis {
+    /// Builds the order-`k` basis from a symmetric adjacency matrix.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn from_adjacency(a: &CsrMatrix, k: usize) -> Self {
+        assert!(k >= 1, "Chebyshev order must be at least 1");
+        Self { lt: laplacian::scaled_laplacian(a), k }
+    }
+
+    /// Builds the basis from a precomputed scaled Laplacian.
+    pub fn from_scaled_laplacian(lt: CsrMatrix, k: usize) -> Self {
+        assert!(k >= 1, "Chebyshev order must be at least 1");
+        assert_eq!(lt.rows(), lt.cols(), "Laplacian must be square");
+        Self { lt, k }
+    }
+
+    /// The scaled Laplacian.
+    pub fn scaled_laplacian(&self) -> &CsrMatrix {
+        &self.lt
+    }
+}
+
+impl PolyBasis for ChebyshevBasis {
+    fn order(&self) -> usize {
+        self.k
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.lt.rows()
+    }
+
+    fn forward(&self, x: &Matrix) -> Vec<Matrix> {
+        assert_eq!(x.rows(), self.lt.rows(), "signal row count mismatch");
+        let mut out = Vec::with_capacity(self.k);
+        out.push(x.clone()); // T_0 x = x
+        if self.k >= 2 {
+            out.push(self.lt.matmul_dense(x)); // T_1 x = L̃x
+        }
+        for k in 2..self.k {
+            let next = &self.lt.matmul_dense(&out[k - 1]).scale(2.0) - &out[k - 2];
+            out.push(next);
+        }
+        out
+    }
+
+    fn adjoint_combine(&self, b: &[Matrix]) -> Matrix {
+        assert_eq!(b.len(), self.k, "cotangent count mismatch");
+        // L̃ is symmetric, so T_k(L̃)ᵀ = T_k(L̃); evaluate Σ_k T_k(L̃) b_k
+        // with Clenshaw's recurrence: c_k = b_k + 2L̃c_{k+1} − c_{k+2},
+        // result = b_0 + L̃c_1 − c_2.
+        let kk = self.k;
+        if kk == 1 {
+            return b[0].clone();
+        }
+        let zero = Matrix::zeros(b[0].rows(), b[0].cols());
+        let mut c_next = zero.clone(); // c_{k+1}
+        let mut c_next2 = zero; // c_{k+2}
+        for k in (1..kk).rev() {
+            let c_k = &(&b[k] + &self.lt.matmul_dense(&c_next).scale(2.0)) - &c_next2;
+            c_next2 = std::mem::replace(&mut c_next, c_k);
+        }
+        &(&b[0] + &self.lt.matmul_dense(&c_next)) - &c_next2
+    }
+}
+
+/// Random-walk diffusion powers `P^k` with `P = D⁻¹A` (rows of zero degree
+/// get a zero row, i.e. no diffusion), used by the DR baseline.
+#[derive(Clone, Debug)]
+pub struct RandomWalkBasis {
+    p: CsrMatrix,
+    pt: CsrMatrix,
+    k: usize,
+}
+
+impl RandomWalkBasis {
+    /// Builds the order-`k` basis (`[I, P, …, P^{k−1}]`) from an adjacency
+    /// matrix.
+    pub fn from_adjacency(a: &CsrMatrix, k: usize) -> Self {
+        assert!(k >= 1, "diffusion order must be at least 1");
+        assert_eq!(a.rows(), a.cols(), "adjacency must be square");
+        let deg = a.row_sums();
+        let p = CsrMatrix::from_triplets(
+            a.rows(),
+            a.cols(),
+            a.iter().map(|(i, j, v)| (i, j, if deg[i] > 0.0 { v / deg[i] } else { 0.0 })),
+        );
+        let pt = p.transpose();
+        Self { p, pt, k }
+    }
+
+    /// The random-walk matrix `P`.
+    pub fn walk_matrix(&self) -> &CsrMatrix {
+        &self.p
+    }
+}
+
+impl PolyBasis for RandomWalkBasis {
+    fn order(&self) -> usize {
+        self.k
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.p.rows()
+    }
+
+    fn forward(&self, x: &Matrix) -> Vec<Matrix> {
+        assert_eq!(x.rows(), self.p.rows(), "signal row count mismatch");
+        let mut out = Vec::with_capacity(self.k);
+        out.push(x.clone());
+        for k in 1..self.k {
+            let next = self.p.matmul_dense(&out[k - 1]);
+            out.push(next);
+        }
+        out
+    }
+
+    fn adjoint_combine(&self, b: &[Matrix]) -> Matrix {
+        assert_eq!(b.len(), self.k, "cotangent count mismatch");
+        // Σ_k (P^k)ᵀ b_k = Σ_k (Pᵀ)^k b_k via Horner: s = b_{K−1};
+        // s = Pᵀ s + b_k for k = K−2 … 0.
+        let mut s = b[self.k - 1].clone();
+        for k in (0..self.k - 1).rev() {
+            s = &self.pt.matmul_dense(&s) + &b[k];
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> CsrMatrix {
+        CsrMatrix::from_dense(&Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0],
+            &[1.0, 0.0, 1.0],
+            &[0.0, 1.0, 0.0],
+        ]))
+    }
+
+    /// Dense reference: explicit T_k(L̃) matrices.
+    fn dense_cheb_mats(lt: &Matrix, k: usize) -> Vec<Matrix> {
+        let n = lt.rows();
+        let mut out = vec![Matrix::identity(n)];
+        if k >= 2 {
+            out.push(lt.clone());
+        }
+        for i in 2..k {
+            let next = &lt.matmul(&out[i - 1]).scale(2.0) - &out[i - 2];
+            out.push(next);
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_dense_reference() {
+        let a = path3();
+        let k = 5;
+        let basis = ChebyshevBasis::from_adjacency(&a, k);
+        let lt = basis.scaled_laplacian().to_dense();
+        let mats = dense_cheb_mats(&lt, k);
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[0.5, -1.0], &[3.0, 0.0]]);
+        let fwd = basis.forward(&x);
+        for (t, m) in fwd.iter().zip(&mats) {
+            assert!(t.approx_eq(&m.matmul(&x), 1e-10));
+        }
+    }
+
+    #[test]
+    fn adjoint_matches_dense_reference() {
+        let a = path3();
+        let k = 6;
+        let basis = ChebyshevBasis::from_adjacency(&a, k);
+        let lt = basis.scaled_laplacian().to_dense();
+        let mats = dense_cheb_mats(&lt, k);
+        let b: Vec<Matrix> = (0..k)
+            .map(|i| Matrix::from_fn(3, 2, |r, c| (i + r * 2 + c) as f64 * 0.3 - 1.0))
+            .collect();
+        let got = basis.adjoint_combine(&b);
+        let mut want = Matrix::zeros(3, 2);
+        for (m, bi) in mats.iter().zip(&b) {
+            want = &want + &m.transpose().matmul(bi);
+        }
+        assert!(got.approx_eq(&want, 1e-9), "{got:?} vs {want:?}");
+    }
+
+    #[test]
+    fn order_one_is_identity() {
+        let basis = ChebyshevBasis::from_adjacency(&path3(), 1);
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let fwd = basis.forward(&x);
+        assert_eq!(fwd.len(), 1);
+        assert_eq!(fwd[0], x);
+        assert_eq!(basis.adjoint_combine(std::slice::from_ref(&x)), x);
+    }
+
+    #[test]
+    fn chebyshev_propagates_to_neighbors() {
+        // A signal on one node must reach its neighbours through T_1.
+        let basis = ChebyshevBasis::from_adjacency(&path3(), 2);
+        let x = Matrix::from_rows(&[&[0.0], &[0.0], &[1.0]]);
+        let fwd = basis.forward(&x);
+        // T_1 x = L̃x: node 1 (the neighbour of node 2) gets a non-zero.
+        assert!(fwd[1][(1, 0)].abs() > 1e-9);
+    }
+
+    #[test]
+    fn random_walk_rows_are_stochastic() {
+        let basis = RandomWalkBasis::from_adjacency(&path3(), 3);
+        let p = basis.walk_matrix();
+        for s in p.row_sums() {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_walk_forward_and_adjoint_match_dense() {
+        let a = path3();
+        let k = 4;
+        let basis = RandomWalkBasis::from_adjacency(&a, k);
+        let p = basis.walk_matrix().to_dense();
+        let mut pows = vec![Matrix::identity(3)];
+        for i in 1..k {
+            pows.push(p.matmul(&pows[i - 1]));
+        }
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, -1.0]]);
+        for (f, m) in basis.forward(&x).iter().zip(&pows) {
+            assert!(f.approx_eq(&m.matmul(&x), 1e-10));
+        }
+        let b: Vec<Matrix> = (0..k)
+            .map(|i| Matrix::from_fn(3, 2, |r, c| (i * 6 + r * 2 + c) as f64 * 0.1))
+            .collect();
+        let got = basis.adjoint_combine(&b);
+        let mut want = Matrix::zeros(3, 2);
+        for (m, bi) in pows.iter().zip(&b) {
+            want = &want + &m.transpose().matmul(bi);
+        }
+        assert!(got.approx_eq(&want, 1e-10));
+    }
+
+    #[test]
+    fn random_walk_isolated_node_does_not_diffuse() {
+        // Node 2 isolated.
+        let a = CsrMatrix::from_triplets(3, 3, [(0, 1, 1.0), (1, 0, 1.0)]);
+        let basis = RandomWalkBasis::from_adjacency(&a, 2);
+        let x = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]);
+        let fwd = basis.forward(&x);
+        assert_eq!(fwd[1][(2, 0)], 0.0, "isolated node receives nothing");
+    }
+}

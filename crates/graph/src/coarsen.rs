@@ -1,0 +1,241 @@
+//! Multilevel graph coarsening for graph pooling.
+//!
+//! The paper (§IV-C) pools convolved features over clusters of edges
+//! identified from the graph topology, following the multi-level pooling
+//! of Defferrard et al. We implement deterministic heavy-edge matching
+//! (the Graclus kernel): nodes are visited in order of increasing degree
+//! and matched with the unmatched neighbour maximising the normalised
+//! edge weight `w(u,v)·(1/d(u) + 1/d(v))`; unmatched nodes become
+//! singleton clusters. Each level roughly halves the node count, so a
+//! pooling of size `2^ℓ` consumes `ℓ` levels.
+
+use gcwc_linalg::CsrMatrix;
+
+/// One coarsening level: the cluster membership and the coarse graph.
+#[derive(Clone, Debug)]
+pub struct CoarsenLevel {
+    /// `clusters[c]` lists the finer-level nodes merged into coarse node
+    /// `c` (length 1 or 2).
+    pub clusters: Vec<Vec<usize>>,
+    /// Adjacency of the coarse graph (cluster-to-cluster edge weights
+    /// summed; intra-cluster edges dropped).
+    pub graph: CsrMatrix,
+}
+
+/// A multilevel coarsening hierarchy.
+///
+/// `graph(0)` is the original graph; `graph(l)` for `l ≥ 1` the graph
+/// after `l` rounds of matching.
+#[derive(Clone, Debug)]
+pub struct GraphHierarchy {
+    graphs: Vec<CsrMatrix>,
+    levels: Vec<CoarsenLevel>,
+}
+
+impl GraphHierarchy {
+    /// Builds `levels` rounds of coarsening on top of `adjacency`.
+    pub fn build(adjacency: &CsrMatrix, levels: usize) -> Self {
+        let mut graphs = vec![adjacency.clone()];
+        let mut lvls = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            let lvl = coarsen_once(graphs.last().expect("non-empty"));
+            graphs.push(lvl.graph.clone());
+            lvls.push(lvl);
+        }
+        Self { graphs, levels: lvls }
+    }
+
+    /// Number of coarsening levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Adjacency at level `l` (0 = original).
+    pub fn graph(&self, l: usize) -> &CsrMatrix {
+        &self.graphs[l]
+    }
+
+    /// Clusters merging level `l` nodes into level `l+1` nodes.
+    pub fn clusters(&self, l: usize) -> &[Vec<usize>] {
+        &self.levels[l].clusters
+    }
+
+    /// Number of nodes at level `l`.
+    pub fn num_nodes(&self, l: usize) -> usize {
+        self.graphs[l].rows()
+    }
+
+    /// Composes clusters from level `from` to level `to`:
+    /// `result[c]` lists the level-`from` nodes belonging to level-`to`
+    /// node `c`.
+    ///
+    /// # Panics
+    /// Panics unless `from < to ≤ num_levels()`.
+    pub fn compose(&self, from: usize, to: usize) -> Vec<Vec<usize>> {
+        assert!(from < to && to <= self.levels.len(), "invalid level range {from}..{to}");
+        let mut composed: Vec<Vec<usize>> = self.levels[from].clusters.to_vec();
+        for l in from + 1..to {
+            composed = self.levels[l]
+                .clusters
+                .iter()
+                .map(|members| {
+                    let mut flat = Vec::new();
+                    for &m in members {
+                        flat.extend_from_slice(&composed[m]);
+                    }
+                    flat
+                })
+                .collect();
+        }
+        composed
+    }
+}
+
+/// Performs one round of deterministic heavy-edge matching.
+pub fn coarsen_once(adj: &CsrMatrix) -> CoarsenLevel {
+    let n = adj.rows();
+    let degrees: Vec<f64> = adj.row_sums();
+    // Visit order: increasing degree, ties by index — low-degree nodes
+    // match first so peripheral structure is not absorbed greedily.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        degrees[a].partial_cmp(&degrees[b]).expect("finite degrees").then(a.cmp(&b))
+    });
+
+    let mut matched = vec![false; n];
+    let mut clusters: Vec<Vec<usize>> = Vec::with_capacity(n / 2 + 1);
+    let mut assignment = vec![usize::MAX; n];
+    for &u in &order {
+        if matched[u] {
+            continue;
+        }
+        matched[u] = true;
+        // Best unmatched neighbour by normalised cut weight.
+        let mut best: Option<(usize, f64)> = None;
+        for (v, w) in adj.row_entries(u) {
+            if matched[v] {
+                continue;
+            }
+            let du = degrees[u].max(1e-12);
+            let dv = degrees[v].max(1e-12);
+            let score = w * (1.0 / du + 1.0 / dv);
+            let better = match best {
+                None => true,
+                Some((bv, bs)) => score > bs || (score == bs && v < bv),
+            };
+            if better {
+                best = Some((v, score));
+            }
+        }
+        let c = clusters.len();
+        match best {
+            Some((v, _)) => {
+                matched[v] = true;
+                assignment[u] = c;
+                assignment[v] = c;
+                clusters.push(vec![u, v]);
+            }
+            None => {
+                assignment[u] = c;
+                clusters.push(vec![u]);
+            }
+        }
+    }
+
+    // Coarse graph: sum inter-cluster weights, drop intra-cluster edges.
+    let nc = clusters.len();
+    let triplets = adj.iter().filter_map(|(i, j, v)| {
+        let (ci, cj) = (assignment[i], assignment[j]);
+        (ci != cj).then_some((ci, cj, v))
+    });
+    let graph = CsrMatrix::from_triplets(nc, nc, triplets);
+    CoarsenLevel { clusters, graph }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcwc_linalg::Matrix;
+
+    fn path(n: usize) -> CsrMatrix {
+        CsrMatrix::from_triplets(n, n, (0..n - 1).flat_map(|i| [(i, i + 1, 1.0), (i + 1, i, 1.0)]))
+    }
+
+    #[test]
+    fn one_level_roughly_halves() {
+        let lvl = coarsen_once(&path(8));
+        assert!(lvl.clusters.len() <= 5 && lvl.clusters.len() >= 4);
+        // Every original node appears exactly once.
+        let mut seen = [0usize; 8];
+        for c in &lvl.clusters {
+            assert!(!c.is_empty() && c.len() <= 2);
+            for &m in c {
+                seen[m] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn coarse_graph_is_symmetric_without_self_loops() {
+        let lvl = coarsen_once(&path(9));
+        let d = lvl.graph.to_dense();
+        assert!(d.approx_eq(&d.transpose(), 1e-12));
+        for i in 0..d.rows() {
+            assert_eq!(d[(i, i)], 0.0);
+        }
+    }
+
+    #[test]
+    fn hierarchy_levels_shrink() {
+        let h = GraphHierarchy::build(&path(16), 3);
+        assert_eq!(h.num_nodes(0), 16);
+        assert!(h.num_nodes(1) < 16);
+        assert!(h.num_nodes(2) < h.num_nodes(1));
+        assert!(h.num_nodes(3) < h.num_nodes(2));
+    }
+
+    #[test]
+    fn compose_partitions_original_nodes() {
+        let h = GraphHierarchy::build(&path(12), 2);
+        let composed = h.compose(0, 2);
+        assert_eq!(composed.len(), h.num_nodes(2));
+        let mut all: Vec<usize> = composed.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..12).collect::<Vec<_>>());
+        // Pools of size ≤ 4 after two pairing levels.
+        assert!(composed.iter().all(|c| (1..=4).contains(&c.len())));
+    }
+
+    #[test]
+    fn disconnected_nodes_become_singletons() {
+        // 3 isolated nodes: no matching possible.
+        let adj = CsrMatrix::from_triplets(3, 3, []);
+        let lvl = coarsen_once(&adj);
+        assert_eq!(lvl.clusters.len(), 3);
+        assert!(lvl.clusters.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = path(10);
+        let h1 = GraphHierarchy::build(&a, 2);
+        let h2 = GraphHierarchy::build(&a, 2);
+        for l in 0..2 {
+            assert_eq!(h1.clusters(l), h2.clusters(l));
+        }
+    }
+
+    #[test]
+    fn triangle_coarsens_to_two() {
+        let a = CsrMatrix::from_dense(&Matrix::from_rows(&[
+            &[0.0, 1.0, 1.0],
+            &[1.0, 0.0, 1.0],
+            &[1.0, 1.0, 0.0],
+        ]));
+        let lvl = coarsen_once(&a);
+        assert_eq!(lvl.clusters.len(), 2);
+        // The coarse graph keeps the pair-singleton connection.
+        assert!(lvl.graph.nnz() > 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Edge graphs `G = (E, A)` per §III-A of the paper.
+//!
+//! The nodes of the edge graph are the *directed edges* of the road
+//! network; `A[i][j] = 1` iff travel is possible from edge `e_i` to edge
+//! `e_j` (or from `e_j` to `e_i`) through a single shared vertex — i.e.
+//! `head(e_i) = tail(e_j)` or `head(e_j) = tail(e_i)`. This makes `A`
+//! symmetric and the edge graph undirected, exactly as in the paper's
+//! Figure 2 (where `A[5][2] = 1` but `A[2][1] = 0`).
+
+use crate::road::RoadNetwork;
+use gcwc_linalg::{CsrMatrix, Matrix};
+
+/// The undirected edge graph of a road network.
+#[derive(Clone, Debug)]
+pub struct EdgeGraph {
+    n: usize,
+    adjacency: CsrMatrix,
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl EdgeGraph {
+    /// Builds the edge graph of `net` following §III-A.
+    pub fn from_road_network(net: &RoadNetwork) -> Self {
+        let n = net.num_edges();
+        let mut triplets = Vec::new();
+        let mut neighbors = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (ei, ej) = (net.edge(i), net.edge(j));
+                // Travel e_i -> e_j or e_j -> e_i via one shared vertex.
+                if ei.to == ej.from || ej.to == ei.from {
+                    triplets.push((i, j, 1.0));
+                }
+            }
+        }
+        let adjacency = CsrMatrix::from_triplets(n, n, triplets);
+        for (i, nbrs) in neighbors.iter_mut().enumerate() {
+            nbrs.extend(adjacency.row_entries(i).map(|(c, _)| c));
+        }
+        Self { n, adjacency, neighbors }
+    }
+
+    /// Builds an edge graph directly from a symmetric adjacency matrix
+    /// (used by the scalability harness to tile networks).
+    ///
+    /// # Panics
+    /// Panics if `a` is not square or not symmetric.
+    pub fn from_adjacency(a: CsrMatrix) -> Self {
+        assert_eq!(a.rows(), a.cols(), "adjacency must be square");
+        for (i, j, v) in a.iter() {
+            assert!(
+                (a.get(j, i) - v).abs() < 1e-12,
+                "adjacency must be symmetric (mismatch at ({i},{j}))"
+            );
+        }
+        let n = a.rows();
+        let mut neighbors = vec![Vec::new(); n];
+        for (i, nbrs) in neighbors.iter_mut().enumerate() {
+            nbrs.extend(a.row_entries(i).map(|(c, _)| c));
+        }
+        Self { n, adjacency: a, neighbors }
+    }
+
+    /// Number of nodes (road-network edges).
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The symmetric adjacency matrix `A`.
+    pub fn adjacency(&self) -> &CsrMatrix {
+        &self.adjacency
+    }
+
+    /// Dense copy of `A` (tests, small graphs).
+    pub fn adjacency_dense(&self) -> Matrix {
+        self.adjacency.to_dense()
+    }
+
+    /// Neighbours of node `i`.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.neighbors[i]
+    }
+
+    /// Degree of node `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.neighbors[i].len()
+    }
+
+    /// Connected components as lists of node indices (BFS).
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.n];
+        let mut components = Vec::new();
+        for start in 0..self.n {
+            if seen[start] {
+                continue;
+            }
+            let mut queue = std::collections::VecDeque::from([start]);
+            seen[start] = true;
+            let mut comp = Vec::new();
+            while let Some(u) = queue.pop_front() {
+                comp.push(u);
+                for &v in &self.neighbors[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            components.push(comp);
+        }
+        components
+    }
+
+    /// The largest connected component (ties broken by lowest index).
+    pub fn largest_component(&self) -> Vec<usize> {
+        self.connected_components().into_iter().max_by_key(|c| c.len()).unwrap_or_default()
+    }
+
+    /// Induced subgraph on `nodes` (renumbered in the given order).
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> EdgeGraph {
+        let mut remap = vec![usize::MAX; self.n];
+        for (new, &old) in nodes.iter().enumerate() {
+            remap[old] = new;
+        }
+        let triplets = self.adjacency.iter().filter_map(|(i, j, v)| {
+            let (ni, nj) = (remap[i], remap[j]);
+            (ni != usize::MAX && nj != usize::MAX).then_some((ni, nj, v))
+        });
+        EdgeGraph::from_adjacency(CsrMatrix::from_triplets(nodes.len(), nodes.len(), triplets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::road::RoadClass;
+
+    /// The 6-edge road network from the paper's Figure 2:
+    /// vertices v1..v4; e1: v1->v2, e2: v2->v1, e3: v2->v3, e4: v3->v2,
+    /// e5: v4->v2, e6: v2->v4 (a star around v2 plus the v1 pair).
+    fn figure2_network() -> RoadNetwork {
+        let mut net = RoadNetwork::new();
+        let v1 = net.add_vertex(0.0, 0.0);
+        let v2 = net.add_vertex(1.0, 0.0);
+        let v3 = net.add_vertex(2.0, 0.0);
+        let v4 = net.add_vertex(1.0, 1.0);
+        net.add_edge(v1, v2, RoadClass::Local); // e1 (index 0)
+        net.add_edge(v2, v1, RoadClass::Local); // e2 (index 1)
+        net.add_edge(v2, v3, RoadClass::Local); // e3 (index 2)
+        net.add_edge(v3, v2, RoadClass::Local); // e4 (index 3)
+        net.add_edge(v4, v2, RoadClass::Local); // e5 (index 4)
+        net.add_edge(v2, v4, RoadClass::Local); // e6 (index 5)
+        net
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = EdgeGraph::from_road_network(&figure2_network());
+        let a = g.adjacency_dense();
+        assert_eq!(a, a.transpose());
+    }
+
+    #[test]
+    fn figure2_examples_hold() {
+        let g = EdgeGraph::from_road_network(&figure2_network());
+        let a = g.adjacency_dense();
+        // A[5][2] = 1: travel e5 (v4->v2) then e3 (v2->v3) via v2.
+        // (paper indexes from 1; ours from 0: e5 is 4, e2 is 1, e3 is 2)
+        assert_eq!(a[(4, 2)], 1.0, "e5 -> e3 via v2");
+        assert_eq!(a[(4, 1)], 1.0, "e5 -> e2 via v2 (paper's A[5][2]=1)");
+        // A[2][1] = 0: neither e2 -> e1 nor e1 -> e2 is a legal turn
+        // (e1: v1->v2, e2: v2->v1 — e1 then e2 is a U-turn through v2?
+        // e1.to = v2 = e2.from, so actually adjacent).
+        // The paper's true zero example: e2 (v2->v1) and e1 (v1->v2)
+        // ARE adjacent through both vertices; the zero in the paper's
+        // matrix is between edges that share no transfer vertex, e.g.
+        // e1 (v1->v2) and e4 (v3->v2): e1.to=v2 != e4.from=v3 and
+        // e4.to=v2 != e1.from=v1.
+        assert_eq!(a[(0, 3)], 0.0, "e1 and e4 are not single-vertex connected");
+        assert_eq!(a[(0, 0)], 0.0, "no self loops");
+    }
+
+    #[test]
+    fn chain_edge_graph_is_path() {
+        // v0 -> v1 -> v2 -> v3: three directed edges forming a path; the
+        // edge graph must be the path e0 - e1 - e2.
+        let mut net = RoadNetwork::new();
+        for i in 0..4 {
+            net.add_vertex(i as f64, 0.0);
+        }
+        net.add_edge(0, 1, RoadClass::Local);
+        net.add_edge(1, 2, RoadClass::Local);
+        net.add_edge(2, 3, RoadClass::Local);
+        let g = EdgeGraph::from_road_network(&net);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(2), 1);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn components_and_largest() {
+        // Two disconnected directed chains.
+        let mut net = RoadNetwork::new();
+        for i in 0..6 {
+            net.add_vertex(i as f64, 0.0);
+        }
+        net.add_edge(0, 1, RoadClass::Local);
+        net.add_edge(1, 2, RoadClass::Local);
+        net.add_edge(3, 4, RoadClass::Local); // separate component
+        let g = EdgeGraph::from_road_network(&net);
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(g.largest_component(), vec![0, 1]);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_local_structure() {
+        let g = EdgeGraph::from_road_network(&figure2_network());
+        let sub = g.induced_subgraph(&[4, 2, 1]);
+        // In the subgraph: node 0 = old 4 (e5), node 1 = old 2 (e3),
+        // node 2 = old 1 (e2); e5-e3 and e5-e2 links survive.
+        let a = sub.adjacency_dense();
+        assert_eq!(a[(0, 1)], 1.0);
+        assert_eq!(a[(0, 2)], 1.0);
+        assert_eq!(a, a.transpose());
+    }
+
+    #[test]
+    fn from_adjacency_rejects_asymmetric() {
+        let a = CsrMatrix::from_triplets(2, 2, [(0, 1, 1.0)]);
+        let result = std::panic::catch_unwind(|| EdgeGraph::from_adjacency(a));
+        assert!(result.is_err());
+    }
+}

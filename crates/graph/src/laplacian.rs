@@ -1,0 +1,92 @@
+//! Graph Laplacians and the Simplified-ChebNet rescaling.
+//!
+//! `L = D − A` with `D` the diagonal degree matrix, and the scaled
+//! Laplacian `L̃ = 2L/λmax − I` whose spectrum lies in `[−1, 1]`, as
+//! required by the Chebyshev filters (paper §IV-B).
+
+use gcwc_linalg::{eigen, CsrMatrix};
+
+/// Builds the combinatorial Laplacian `L = D − A`.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn laplacian(a: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(a.rows(), a.cols(), "adjacency must be square");
+    let n = a.rows();
+    let degrees = a.row_sums();
+    let triplets = a.iter().map(|(i, j, v)| (i, j, -v)).chain((0..n).map(|i| (i, i, degrees[i])));
+    CsrMatrix::from_triplets(n, n, triplets)
+}
+
+/// Largest eigenvalue of the Laplacian via power iteration.
+pub fn lambda_max(l: &CsrMatrix) -> f64 {
+    eigen::largest_eigenvalue(l, 1_000, 1e-9)
+}
+
+/// Builds the scaled Laplacian `L̃ = 2L/λmax − I`.
+///
+/// When the graph has no edges (`λmax = 0`) the convention `L̃ = −I` is
+/// used (the limit of the formula as `L → 0` with λmax clamped to a small
+/// positive value), which keeps Chebyshev filters well defined.
+pub fn scaled_laplacian(a: &CsrMatrix) -> CsrMatrix {
+    let l = laplacian(a);
+    let lmax = lambda_max(&l).max(1e-12);
+    let n = l.rows();
+    let scaled = l.scale(2.0 / lmax);
+    let neg_identity = CsrMatrix::from_triplets(n, n, (0..n).map(|i| (i, i, -1.0)));
+    scaled.add(&neg_identity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcwc_linalg::Matrix;
+
+    fn path3_adjacency() -> CsrMatrix {
+        CsrMatrix::from_dense(&Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0],
+            &[1.0, 0.0, 1.0],
+            &[0.0, 1.0, 0.0],
+        ]))
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let l = laplacian(&path3_adjacency());
+        for s in l.row_sums() {
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn laplacian_known_values() {
+        let l = laplacian(&path3_adjacency()).to_dense();
+        let expected =
+            Matrix::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 1.0]]);
+        assert!(l.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn lambda_max_path3() {
+        let l = laplacian(&path3_adjacency());
+        assert!((lambda_max(&l) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaled_laplacian_spectrum_in_unit_interval() {
+        let lt = scaled_laplacian(&path3_adjacency());
+        // λ(L) ∈ {0, 1, 3} → λ(L̃) = 2λ/3 − 1 ∈ {−1, −1/3, 1}.
+        let max = eigen::largest_eigenvalue(&lt, 1000, 1e-10);
+        assert!(max <= 1.0 + 1e-6, "max eigenvalue {max}");
+        // Symmetry must be preserved.
+        let d = lt.to_dense();
+        assert!(d.approx_eq(&d.transpose(), 1e-12));
+    }
+
+    #[test]
+    fn scaled_laplacian_of_empty_graph_is_neg_identity() {
+        let a = CsrMatrix::from_triplets(3, 3, []);
+        let lt = scaled_laplacian(&a).to_dense();
+        assert!(lt.approx_eq(&Matrix::identity(3).scale(-1.0), 1e-9));
+    }
+}

@@ -1,0 +1,21 @@
+//! # gcwc-graph
+//!
+//! Graph machinery for the GCWC reproduction: directed road networks,
+//! the paper's edge-graph construction (§III-A), combinatorial and
+//! scaled Laplacians, Chebyshev / random-walk polynomial filter bases,
+//! Graclus-style multilevel coarsening, and graph max-pooling maps.
+
+#![warn(missing_docs)]
+
+pub mod chebyshev;
+pub mod coarsen;
+pub mod edge_graph;
+pub mod laplacian;
+pub mod pool;
+pub mod road;
+
+pub use chebyshev::{ChebyshevBasis, PolyBasis, RandomWalkBasis};
+pub use coarsen::{coarsen_once, CoarsenLevel, GraphHierarchy};
+pub use edge_graph::EdgeGraph;
+pub use pool::PoolingMap;
+pub use road::{RoadClass, RoadEdge, RoadNetwork, Vertex};

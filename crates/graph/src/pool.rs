@@ -1,0 +1,172 @@
+//! Graph max-pooling maps.
+//!
+//! A [`PoolingMap`] records, for each coarse node, which fine nodes it
+//! covers; pooling takes the per-column maximum over the covered rows.
+//! The argmax positions are returned so back-propagation can route
+//! gradients to the winning rows.
+
+use crate::coarsen::GraphHierarchy;
+use gcwc_linalg::Matrix;
+
+/// A row-pooling map from `num_inputs` fine nodes to `clusters.len()`
+/// coarse nodes.
+#[derive(Clone, Debug)]
+pub struct PoolingMap {
+    clusters: Vec<Vec<usize>>,
+    num_inputs: usize,
+}
+
+impl PoolingMap {
+    /// Builds a pooling map from explicit clusters over `num_inputs`
+    /// fine nodes.
+    ///
+    /// # Panics
+    /// Panics if any cluster is empty or references an out-of-range node.
+    pub fn new(clusters: Vec<Vec<usize>>, num_inputs: usize) -> Self {
+        for c in &clusters {
+            assert!(!c.is_empty(), "empty pooling cluster");
+            assert!(c.iter().all(|&m| m < num_inputs), "cluster member out of range");
+        }
+        Self { clusters, num_inputs }
+    }
+
+    /// Builds the map that pools hierarchy level `from` down to level `to`.
+    pub fn from_hierarchy(h: &GraphHierarchy, from: usize, to: usize) -> Self {
+        Self::new(h.compose(from, to), h.num_nodes(from))
+    }
+
+    /// Number of coarse nodes.
+    pub fn num_outputs(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of fine nodes.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The clusters.
+    pub fn clusters(&self) -> &[Vec<usize>] {
+        &self.clusters
+    }
+
+    /// Max-pools the rows of `x` (`num_inputs × c`), returning the pooled
+    /// matrix (`num_outputs × c`) and for every output entry the winning
+    /// input row (row-major over the output shape).
+    pub fn max_forward(&self, x: &Matrix) -> (Matrix, Vec<usize>) {
+        assert_eq!(x.rows(), self.num_inputs, "pooling input row mismatch");
+        let c = x.cols();
+        let mut out = Matrix::zeros(self.clusters.len(), c);
+        let mut argmax = vec![0usize; self.clusters.len() * c];
+        for (ci, members) in self.clusters.iter().enumerate() {
+            for j in 0..c {
+                let mut best_row = members[0];
+                let mut best = x[(best_row, j)];
+                for &m in &members[1..] {
+                    if x[(m, j)] > best {
+                        best = x[(m, j)];
+                        best_row = m;
+                    }
+                }
+                out[(ci, j)] = best;
+                argmax[ci * c + j] = best_row;
+            }
+        }
+        (out, argmax)
+    }
+
+    /// Routes output gradients back to the argmax input rows.
+    pub fn max_backward(&self, grad_out: &Matrix, argmax: &[usize]) -> Matrix {
+        assert_eq!(grad_out.rows(), self.clusters.len(), "grad row mismatch");
+        let c = grad_out.cols();
+        assert_eq!(argmax.len(), grad_out.rows() * c, "argmax length mismatch");
+        let mut grad_in = Matrix::zeros(self.num_inputs, c);
+        for ci in 0..grad_out.rows() {
+            for j in 0..c {
+                let src = argmax[ci * c + j];
+                grad_in[(src, j)] += grad_out[(ci, j)];
+            }
+        }
+        grad_in
+    }
+
+    /// Mean-pools the rows of `x` (used by ablations).
+    pub fn mean_forward(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.rows(), self.num_inputs, "pooling input row mismatch");
+        let c = x.cols();
+        let mut out = Matrix::zeros(self.clusters.len(), c);
+        for (ci, members) in self.clusters.iter().enumerate() {
+            for j in 0..c {
+                let s: f64 = members.iter().map(|&m| x[(m, j)]).sum();
+                out[(ci, j)] = s / members.len() as f64;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> PoolingMap {
+        PoolingMap::new(vec![vec![0, 2], vec![1, 3], vec![4]], 5)
+    }
+
+    #[test]
+    fn max_forward_picks_maxima() {
+        let x =
+            Matrix::from_rows(&[&[1.0, 9.0], &[2.0, 0.0], &[5.0, -1.0], &[3.0, 7.0], &[4.0, 4.0]]);
+        let (out, argmax) = map().max_forward(&x);
+        assert_eq!(out, Matrix::from_rows(&[&[5.0, 9.0], &[3.0, 7.0], &[4.0, 4.0]]));
+        assert_eq!(argmax, vec![2, 0, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn max_backward_routes_to_winners() {
+        let x =
+            Matrix::from_rows(&[&[1.0, 9.0], &[2.0, 0.0], &[5.0, -1.0], &[3.0, 7.0], &[4.0, 4.0]]);
+        let m = map();
+        let (_, argmax) = m.max_forward(&x);
+        let g = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let gi = m.max_backward(&g, &argmax);
+        assert_eq!(gi[(2, 0)], 1.0); // winner of cluster 0 col 0
+        assert_eq!(gi[(0, 1)], 2.0);
+        assert_eq!(gi[(3, 0)], 3.0);
+        assert_eq!(gi[(3, 1)], 4.0);
+        assert_eq!(gi[(4, 0)], 5.0);
+        assert_eq!(gi[(4, 1)], 6.0);
+        assert_eq!(gi[(1, 0)], 0.0); // losers get nothing
+    }
+
+    #[test]
+    fn gradient_mass_is_preserved() {
+        let x = Matrix::from_fn(5, 3, |i, j| (i * 3 + j) as f64);
+        let m = map();
+        let (_, argmax) = m.max_forward(&x);
+        let g = Matrix::filled(3, 3, 1.0);
+        let gi = m.max_backward(&g, &argmax);
+        assert_eq!(gi.sum(), g.sum());
+    }
+
+    #[test]
+    fn mean_forward_averages() {
+        let x = Matrix::from_rows(&[&[2.0], &[4.0], &[6.0], &[8.0], &[1.0]]);
+        let out = map().mean_forward(&x);
+        assert_eq!(out, Matrix::from_rows(&[&[4.0], &[6.0], &[1.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pooling cluster")]
+    fn rejects_empty_cluster() {
+        PoolingMap::new(vec![vec![]], 3);
+    }
+
+    #[test]
+    fn singleton_identity() {
+        let m = PoolingMap::new(vec![vec![0], vec![1]], 2);
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let (out, _) = m.max_forward(&x);
+        assert_eq!(out, x);
+    }
+}

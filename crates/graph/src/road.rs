@@ -1,0 +1,191 @@
+//! Directed road networks `H = (V, E)`.
+//!
+//! Vertices are road intersections (with planar coordinates, used by the
+//! traffic simulator for distances) and edges are directed road segments.
+
+/// A road intersection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Vertex {
+    /// X coordinate (metres, arbitrary origin).
+    pub x: f64,
+    /// Y coordinate (metres).
+    pub y: f64,
+}
+
+/// Functional class of a road segment; drives free-flow speed in the
+/// simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RoadClass {
+    /// Motorway / tollgate mainline.
+    Highway,
+    /// Major urban road.
+    Arterial,
+    /// Minor urban road.
+    Local,
+}
+
+impl RoadClass {
+    /// Typical free-flow speed in m/s for this class.
+    pub fn free_flow_speed(self) -> f64 {
+        match self {
+            RoadClass::Highway => 30.0,
+            RoadClass::Arterial => 16.0,
+            RoadClass::Local => 10.0,
+        }
+    }
+}
+
+/// A directed road segment from one intersection to another.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoadEdge {
+    /// Tail vertex (travel starts here).
+    pub from: usize,
+    /// Head vertex (travel ends here).
+    pub to: usize,
+    /// Functional class.
+    pub class: RoadClass,
+}
+
+/// A directed road network `H = (V, E)` per §III-A of the paper.
+#[derive(Clone, Debug, Default)]
+pub struct RoadNetwork {
+    vertices: Vec<Vertex>,
+    edges: Vec<RoadEdge>,
+}
+
+impl RoadNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a vertex, returning its index.
+    pub fn add_vertex(&mut self, x: f64, y: f64) -> usize {
+        self.vertices.push(Vertex { x, y });
+        self.vertices.len() - 1
+    }
+
+    /// Adds a directed edge, returning its index.
+    ///
+    /// # Panics
+    /// Panics if either endpoint does not exist or the edge is a self-loop.
+    pub fn add_edge(&mut self, from: usize, to: usize, class: RoadClass) -> usize {
+        assert!(from < self.vertices.len(), "from vertex {from} missing");
+        assert!(to < self.vertices.len(), "to vertex {to} missing");
+        assert_ne!(from, to, "self-loop edges are not road segments");
+        self.edges.push(RoadEdge { from, to, class });
+        self.edges.len() - 1
+    }
+
+    /// Adds a pair of directed edges in both directions.
+    pub fn add_two_way(&mut self, a: usize, b: usize, class: RoadClass) -> (usize, usize) {
+        (self.add_edge(a, b, class), self.add_edge(b, a, class))
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Vertex by index.
+    pub fn vertex(&self, i: usize) -> Vertex {
+        self.vertices[i]
+    }
+
+    /// Edge by index.
+    pub fn edge(&self, i: usize) -> RoadEdge {
+        self.edges[i]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[RoadEdge] {
+        &self.edges
+    }
+
+    /// Euclidean length of edge `i` in metres.
+    pub fn edge_length(&self, i: usize) -> f64 {
+        let e = self.edges[i];
+        let (a, b) = (self.vertices[e.from], self.vertices[e.to]);
+        ((a.x - b.x).powi(2) + (a.y - b.y).powi(2)).sqrt()
+    }
+
+    /// Restricts the network to the given edge indices, renumbering edges
+    /// (vertices are kept). Returns the sub-network and, for provenance,
+    /// the original index of each retained edge.
+    pub fn edge_subnetwork(&self, keep: &[usize]) -> (RoadNetwork, Vec<usize>) {
+        let mut sub = RoadNetwork { vertices: self.vertices.clone(), edges: Vec::new() };
+        let mut original = Vec::with_capacity(keep.len());
+        for &i in keep {
+            sub.edges.push(self.edges[i]);
+            original.push(i);
+        }
+        (sub, original)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_segment_road() -> RoadNetwork {
+        let mut net = RoadNetwork::new();
+        let a = net.add_vertex(0.0, 0.0);
+        let b = net.add_vertex(100.0, 0.0);
+        let c = net.add_vertex(100.0, 100.0);
+        net.add_edge(a, b, RoadClass::Arterial);
+        net.add_edge(b, c, RoadClass::Local);
+        net
+    }
+
+    #[test]
+    fn counts() {
+        let net = two_segment_road();
+        assert_eq!(net.num_vertices(), 3);
+        assert_eq!(net.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_length_euclidean() {
+        let net = two_segment_road();
+        assert!((net.edge_length(0) - 100.0).abs() < 1e-12);
+        assert!((net.edge_length(1) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_way_adds_both_directions() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_vertex(0.0, 0.0);
+        let b = net.add_vertex(1.0, 0.0);
+        let (f, r) = net.add_two_way(a, b, RoadClass::Highway);
+        assert_eq!(net.edge(f).from, a);
+        assert_eq!(net.edge(r).from, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_vertex(0.0, 0.0);
+        net.add_edge(a, a, RoadClass::Local);
+    }
+
+    #[test]
+    fn free_flow_ordering() {
+        assert!(RoadClass::Highway.free_flow_speed() > RoadClass::Arterial.free_flow_speed());
+        assert!(RoadClass::Arterial.free_flow_speed() > RoadClass::Local.free_flow_speed());
+    }
+
+    #[test]
+    fn subnetwork_keeps_selected_edges() {
+        let net = two_segment_road();
+        let (sub, orig) = net.edge_subnetwork(&[1]);
+        assert_eq!(sub.num_edges(), 1);
+        assert_eq!(orig, vec![1]);
+        assert_eq!(sub.edge(0).class, RoadClass::Local);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for graph machinery on random graphs.
+
+use gcwc_graph::{laplacian, ChebyshevBasis, EdgeGraph, GraphHierarchy, PolyBasis, PoolingMap};
+use gcwc_linalg::{eigen, CsrMatrix, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a random symmetric adjacency on `n` nodes (each undirected
+/// pair present with probability ~0.3).
+fn random_adjacency(max_n: usize) -> impl Strategy<Value = CsrMatrix> {
+    (3usize..max_n)
+        .prop_flat_map(|n| {
+            proptest::collection::vec(proptest::bool::weighted(0.3), n * (n - 1) / 2)
+                .prop_map(move |bits| {
+                    let mut triplets = Vec::new();
+                    let mut k = 0;
+                    for i in 0..n {
+                        for j in i + 1..n {
+                            if bits[k] {
+                                triplets.push((i, j, 1.0));
+                                triplets.push((j, i, 1.0));
+                            }
+                            k += 1;
+                        }
+                    }
+                    CsrMatrix::from_triplets(n, n, triplets)
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The Laplacian of any graph annihilates the constant vector.
+    #[test]
+    fn laplacian_kernel_contains_ones(a in random_adjacency(10)) {
+        let l = laplacian::laplacian(&a);
+        let ones = vec![1.0; a.rows()];
+        for v in l.matvec(&ones) {
+            prop_assert!(v.abs() < 1e-9);
+        }
+    }
+
+    /// The scaled Laplacian's spectrum stays within [−1, 1 + ε].
+    #[test]
+    fn scaled_laplacian_spectral_bound(a in random_adjacency(10)) {
+        let lt = laplacian::scaled_laplacian(&a);
+        let lmax = eigen::largest_eigenvalue(&lt, 2000, 1e-10);
+        prop_assert!(lmax <= 1.0 + 1e-5, "λmax(L̃) = {lmax}");
+    }
+
+    /// Coarsening always partitions the node set at every level.
+    #[test]
+    fn hierarchy_partitions_nodes(a in random_adjacency(12), levels in 1usize..4) {
+        let n = a.rows();
+        let h = GraphHierarchy::build(&a, levels);
+        for l in 1..=levels {
+            let composed = h.compose(0, l);
+            let mut all: Vec<usize> = composed.iter().flatten().copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..n).collect::<Vec<_>>(), "level {}", l);
+        }
+    }
+
+    /// Pooling then gradient routing conserves gradient mass.
+    #[test]
+    fn pooling_gradient_mass_conserved(a in random_adjacency(10), cols in 1usize..5) {
+        let h = GraphHierarchy::build(&a, 1);
+        let map = PoolingMap::from_hierarchy(&h, 0, 1);
+        let x = Matrix::from_fn(a.rows(), cols, |i, j| ((i * 13 + j * 7) % 23) as f64);
+        let (_, argmax) = map.max_forward(&x);
+        let g = Matrix::from_fn(map.num_outputs(), cols, |i, j| (i + j) as f64 * 0.5 + 1.0);
+        let gi = map.max_backward(&g, &argmax);
+        prop_assert!((gi.sum() - g.sum()).abs() < 1e-9);
+    }
+
+    /// Chebyshev forward/adjoint satisfy the inner-product adjoint
+    /// identity: ⟨T(x), b⟩ = ⟨x, Tᵀ(b)⟩.
+    #[test]
+    fn chebyshev_adjoint_identity(a in random_adjacency(8), k in 2usize..5) {
+        let n = a.rows();
+        let basis = ChebyshevBasis::from_adjacency(&a, k);
+        let x = Matrix::from_fn(n, 2, |i, j| (i as f64 - j as f64) * 0.3);
+        let b: Vec<Matrix> =
+            (0..k).map(|t| Matrix::from_fn(n, 2, |i, j| ((t + i + j) % 5) as f64 * 0.2)).collect();
+        let fwd = basis.forward(&x);
+        let lhs: f64 = fwd
+            .iter()
+            .zip(&b)
+            .map(|(tx, bt)| {
+                tx.as_slice().iter().zip(bt.as_slice()).map(|(p, q)| p * q).sum::<f64>()
+            })
+            .sum();
+        let adj = basis.adjoint_combine(&b);
+        let rhs: f64 =
+            x.as_slice().iter().zip(adj.as_slice()).map(|(p, q)| p * q).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-8, "{lhs} vs {rhs}");
+    }
+
+    /// Induced subgraphs preserve symmetry and drop external edges.
+    #[test]
+    fn induced_subgraph_properties(a in random_adjacency(10)) {
+        let g = EdgeGraph::from_adjacency(a);
+        let n = g.num_nodes();
+        let keep: Vec<usize> = (0..n).step_by(2).collect();
+        let sub = g.induced_subgraph(&keep);
+        let d = sub.adjacency_dense();
+        prop_assert_eq!(d.clone(), d.transpose());
+        // Edges in the subgraph must exist between the kept originals.
+        for i in 0..keep.len() {
+            for j in 0..keep.len() {
+                if d[(i, j)] != 0.0 {
+                    prop_assert!(g.neighbors(keep[i]).contains(&keep[j]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Matrix decompositions: Cholesky factorisation and triangular solves.
+//!
+//! Used by the Gaussian-process baseline to solve `(K + σ²I) α = y` for a
+//! symmetric positive-definite kernel matrix `K`.
+
+use crate::matrix::Matrix;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+/// Errors from numeric decompositions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecompError {
+    /// The input matrix was not square.
+    NotSquare,
+    /// A non-positive pivot was encountered; the matrix is not positive
+    /// definite (within floating-point tolerance).
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+}
+
+impl std::fmt::Display for DecompError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompError::NotSquare => write!(f, "matrix is not square"),
+            DecompError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecompError {}
+
+impl Cholesky {
+    /// Factorises a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry is assumed, not
+    /// checked.
+    pub fn new(a: &Matrix) -> Result<Self, DecompError> {
+        if a.rows() != a.cols() {
+            return Err(DecompError::NotSquare);
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(DecompError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via forward then backward substitution.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "solve rhs length mismatch");
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// log-determinant of `A`: `2 Σ log L[i][i]`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B Bᵀ + I for B with full rank => SPD.
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]])
+    }
+
+    #[test]
+    fn factor_reconstructs_input() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.factor();
+        let rec = l.matmul(&l.transpose());
+        assert!(rec.approx_eq(&a, 1e-10), "{rec:?} vs {a:?}");
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let x = ch.solve(&b);
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn identity_solve_is_noop() {
+        let ch = Cholesky::new(&Matrix::identity(4)).unwrap();
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ch.solve(&b), b.to_vec());
+        assert!((ch.log_det()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_det_known() {
+        // diag(2, 3): det = 6.
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.log_det() - 6.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert_eq!(Cholesky::new(&Matrix::zeros(2, 3)).unwrap_err(), DecompError::NotSquare);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(Cholesky::new(&a), Err(DecompError::NotPositiveDefinite { .. })));
+    }
+}

@@ -1,0 +1,144 @@
+//! Seeded random-number helpers shared across the workspace.
+//!
+//! Every stochastic component (simulator, initialisers, removal masking,
+//! bagging) takes an explicit `&mut StdRng` so experiments are exactly
+//! reproducible from a single seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a `u64` seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Samples a standard normal deviate via the Box–Muller transform.
+///
+/// Implemented locally so the workspace does not need `rand_distr`.
+pub fn normal(rng: &mut StdRng) -> f64 {
+    // Avoid ln(0) by sampling from the open interval (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `N(mean, std²)`.
+pub fn normal_with(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+    mean + std * normal(rng)
+}
+
+/// Samples a Poisson-distributed count via Knuth's method.
+///
+/// Adequate for the small rates (`λ ≲ 50`) of per-interval record counts.
+pub fn poisson(rng: &mut StdRng, lambda: f64) -> usize {
+    assert!(lambda >= 0.0, "negative Poisson rate");
+    if lambda == 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            // Defensive bound; unreachable for the rates used here.
+            return k;
+        }
+    }
+}
+
+/// Fisher–Yates shuffle.
+pub fn shuffle<T>(rng: &mut StdRng, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Chooses `k` distinct indices from `0..n` uniformly at random.
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_indices(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} from {n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    shuffle(rng, &mut idx);
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..16 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded(7);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_with_shifts_and_scales() {
+        let mut rng = seeded(9);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal_with(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_matches_rate() {
+        let mut rng = seeded(3);
+        let n = 20_000;
+        let lambda = 4.5;
+        let total: usize = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_rate() {
+        let mut rng = seeded(3);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = seeded(11);
+        let idx = sample_indices(&mut rng, 100, 40);
+        assert_eq!(idx.len(), 40);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 40, "indices must be distinct");
+        assert!(idx.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = seeded(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        shuffle(&mut rng, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

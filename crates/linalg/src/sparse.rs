@@ -1,0 +1,255 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! Graph Laplacians and Chebyshev recursions over them are sparse: a road
+//! edge graph has a handful of neighbours per edge, so applying `T_k(L̃)`
+//! as sparse matrix–vector products turns the graph convolution from
+//! `O(n²)` into `O(|A|)` per filter tap. Only the operations the models
+//! need are implemented.
+
+use crate::matrix::Matrix;
+
+/// A sparse matrix in compressed sparse row format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// `row_ptr[i]..row_ptr[i+1]` indexes the entries of row `i`.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate coordinates are summed. Zero-valued entries are dropped.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Self {
+        let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
+        for (r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+            if v != 0.0 {
+                per_row[r].push((c, v));
+            }
+        }
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for entries in &mut per_row {
+            entries.sort_unstable_by_key(|&(c, _)| c);
+            let mut k = 0;
+            while k < entries.len() {
+                let c = entries[k].0;
+                let mut v = 0.0;
+                while k < entries.len() && entries[k].0 == c {
+                    v += entries[k].1;
+                    k += 1;
+                }
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Converts a dense matrix into CSR form, dropping exact zeros.
+    pub fn from_dense(m: &Matrix) -> Self {
+        let mut triplets = Vec::new();
+        for i in 0..m.rows() {
+            for (j, &v) in m.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    triplets.push((i, j, v));
+                }
+            }
+        }
+        Self::from_triplets(m.rows(), m.cols(), triplets)
+    }
+
+    /// The `n × n` identity in CSR form.
+    pub fn identity(n: usize) -> Self {
+        Self::from_triplets(n, n, (0..n).map(|i| (i, i, 1.0)))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over `(row, col, value)` of all stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |i| self.row_entries(i).map(move |(c, v)| (i, c, v)))
+    }
+
+    /// Iterates over `(col, value)` pairs of row `i`.
+    pub fn row_entries(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.row_ptr[i]..self.row_ptr[i + 1];
+        self.col_idx[range.clone()].iter().copied().zip(self.values[range].iter().copied())
+    }
+
+    /// Reads the entry at `(i, j)` (zero when not stored).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.row_entries(i).find(|&(c, _)| c == j).map_or(0.0, |(_, v)| v)
+    }
+
+    /// Sparse matrix × dense vector product.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "matvec shape mismatch");
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.row_entries(i).map(|(c, x)| x * v[c]).sum();
+        }
+        out
+    }
+
+    /// Sparse × dense matrix product, returning a dense matrix.
+    pub fn matmul_dense(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows(), "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols());
+        for i in 0..self.rows {
+            for (c, v) in self.row_entries(i) {
+                let src = rhs.row(c);
+                let dst = out.row_mut(i);
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += v * s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose (CSR → CSR of the transposed matrix).
+    pub fn transpose(&self) -> CsrMatrix {
+        CsrMatrix::from_triplets(self.cols, self.rows, self.iter().map(|(r, c, v)| (c, r, v)))
+    }
+
+    /// Scales every stored entry by `s`.
+    pub fn scale(&self, s: f64) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v *= s;
+        }
+        out
+    }
+
+    /// Converts back to a dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for (i, j, v) in self.iter() {
+            m[(i, j)] = v;
+        }
+        m
+    }
+
+    /// Sum of two sparse matrices of identical shape.
+    pub fn add(&self, rhs: &CsrMatrix) -> CsrMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        CsrMatrix::from_triplets(self.rows, self.cols, self.iter().chain(rhs.iter()))
+    }
+
+    /// Row sums (degree vector when `self` is an adjacency matrix).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows).map(|i| self.row_entries(i).map(|(_, v)| v).sum()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 0 3 ]
+        CsrMatrix::from_triplets(2, 3, [(0, 0, 1.0), (0, 2, 2.0), (1, 2, 3.0)])
+    }
+
+    #[test]
+    fn from_triplets_and_get() {
+        let m = sample();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(1, 2), 3.0);
+    }
+
+    #[test]
+    fn duplicate_triplets_are_summed() {
+        let m = CsrMatrix::from_triplets(1, 1, [(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn cancelling_duplicates_are_dropped() {
+        let m = CsrMatrix::from_triplets(1, 2, [(0, 0, 1.0), (0, 0, -1.0), (0, 1, 2.0)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = Matrix::from_rows(&[&[0.0, 1.5], &[-2.0, 0.0]]);
+        assert_eq!(CsrMatrix::from_dense(&d).to_dense(), d);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sample();
+        let v = [1.0, 10.0, 100.0];
+        assert_eq!(m.matvec(&v), m.to_dense().matvec(&v));
+    }
+
+    #[test]
+    fn matmul_dense_matches_dense() {
+        let m = sample();
+        let rhs = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(m.matmul_dense(&rhs), m.to_dense().matmul(&rhs));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().to_dense(), m.to_dense().transpose());
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let m = sample();
+        let two = m.add(&m);
+        assert_eq!(two.to_dense(), m.to_dense().scale(2.0));
+        assert_eq!(m.scale(2.0).to_dense(), two.to_dense());
+    }
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let i = CsrMatrix::identity(4);
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.matvec(&v), v.to_vec());
+    }
+
+    #[test]
+    fn row_sums_degree() {
+        let m = sample();
+        assert_eq!(m.row_sums(), vec![3.0, 3.0]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use gcwc_linalg::{Cholesky, CsrMatrix, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a small matrix with bounded entries.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in matrix(3, 3), b in matrix(3, 3), c in matrix(3, 3)) {
+        let left = a.matmul(&(&b + &c));
+        let right = &a.matmul(&b) + &a.matmul(&c);
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn transpose_reverses_product(a in matrix(3, 4), b in matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn addition_commutes(a in matrix(4, 4), b in matrix(4, 4)) {
+        prop_assert!((&a + &b).approx_eq(&(&b + &a), 1e-12));
+    }
+
+    #[test]
+    fn hadamard_commutes(a in matrix(3, 5), b in matrix(3, 5)) {
+        prop_assert!(a.hadamard(&b).approx_eq(&b.hadamard(&a), 1e-12));
+    }
+
+    #[test]
+    fn scale_is_linear(a in matrix(3, 3), s in -5.0f64..5.0, t in -5.0f64..5.0) {
+        let left = a.scale(s + t);
+        let right = &a.scale(s) + &a.scale(t);
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn csr_roundtrip(a in matrix(4, 6)) {
+        let sparse = CsrMatrix::from_dense(&a);
+        prop_assert_eq!(sparse.to_dense(), a);
+    }
+
+    #[test]
+    fn csr_matvec_matches_dense(a in matrix(4, 5), v in proptest::collection::vec(-3.0f64..3.0, 5)) {
+        let sparse = CsrMatrix::from_dense(&a);
+        let lhs = sparse.matvec(&v);
+        let rhs = a.matvec(&v);
+        for (l, r) in lhs.iter().zip(&rhs) {
+            prop_assert!((l - r).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn csr_transpose_matches_dense(a in matrix(3, 7)) {
+        let sparse = CsrMatrix::from_dense(&a);
+        prop_assert_eq!(sparse.transpose().to_dense(), a.transpose());
+    }
+
+    #[test]
+    fn cholesky_solves_spd_systems(l_entries in proptest::collection::vec(0.2f64..2.0, 6),
+                                   b in proptest::collection::vec(-4.0f64..4.0, 3)) {
+        // Build SPD A = L Lᵀ + I from a random lower-triangular L.
+        let mut l = Matrix::zeros(3, 3);
+        let mut idx = 0;
+        for i in 0..3 {
+            for j in 0..=i {
+                l[(i, j)] = l_entries[idx];
+                idx += 1;
+            }
+        }
+        let a = &l.matmul(&l.transpose()) + &Matrix::identity(3);
+        let ch = Cholesky::new(&a).expect("SPD by construction");
+        let x = ch.solve(&b);
+        let ax = a.matvec(&x);
+        for (lhs, rhs) in ax.iter().zip(&b) {
+            prop_assert!((lhs - rhs).abs() < 1e-8, "residual {} vs {}", lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_triangle_inequality(a in matrix(4, 4), b in matrix(4, 4)) {
+        let sum = &a + &b;
+        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+    }
+
+    #[test]
+    fn select_rows_preserves_content(a in matrix(5, 3), i in 0usize..5, j in 0usize..5) {
+        let s = a.select_rows(&[i, j]);
+        prop_assert_eq!(s.row(0), a.row(i));
+        prop_assert_eq!(s.row(1), a.row(j));
+    }
+}

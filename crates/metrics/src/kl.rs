@@ -1,0 +1,56 @@
+//! Kullback–Leibler divergence between histograms.
+
+/// `KL(p ‖ q) = Σ_j p_j · ln((p_j + ε)/(q_j + ε))`.
+///
+/// The small `ε` guards the logarithm against empty buckets, exactly as
+/// in the paper's Eq. 3/11.
+pub fn kl_divergence(p: &[f64], q: &[f64], eps: f64) -> f64 {
+    assert_eq!(p.len(), q.len(), "histogram length mismatch");
+    p.iter().zip(q).map(|(&pj, &qj)| pj * ((pj + eps) / (qj + eps)).ln()).sum()
+}
+
+/// The default ε used throughout the evaluation.
+pub const KL_EPS: f64 = 1e-6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_divergence() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(kl_divergence(&p, &p, KL_EPS).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_value() {
+        // KL between (1, 0) and (0.5, 0.5) ~ ln 2 (up to ε effects).
+        let d = kl_divergence(&[1.0, 0.0], &[0.5, 0.5], 1e-12);
+        assert!((d - std::f64::consts::LN_2).abs() < 1e-6, "got {d}");
+    }
+
+    #[test]
+    fn asymmetric() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        let pq = kl_divergence(&p, &q, KL_EPS);
+        let qp = kl_divergence(&q, &p, KL_EPS);
+        assert!(pq > 0.0 && qp > 0.0);
+        assert!((pq - qp).abs() > 1e-3, "KL should be asymmetric");
+    }
+
+    #[test]
+    fn nonnegative_on_random_histograms() {
+        // Gibbs' inequality (holds up to tiny ε slack).
+        let p = [0.1, 0.2, 0.3, 0.4];
+        let q = [0.4, 0.3, 0.2, 0.1];
+        assert!(kl_divergence(&p, &q, KL_EPS) > -1e-9);
+    }
+
+    #[test]
+    fn eps_prevents_infinity() {
+        let d = kl_divergence(&[1.0, 0.0], &[0.0, 1.0], KL_EPS);
+        assert!(d.is_finite());
+        assert!(d > 5.0, "strong divergence expected, got {d}");
+    }
+}

@@ -1,0 +1,17 @@
+//! # gcwc-metrics
+//!
+//! Evaluation metrics of the paper's §VI-A.6: KL divergence, the Mean
+//! KL-divergence Ratio (MKLR, Eq. 11), the Fraction of Likelihood Ratio
+//! (FLR, Eq. 12) and the Mean Absolute Percentage Error (MAPE, Eq. 13).
+
+#![warn(missing_docs)]
+
+pub mod flr;
+pub mod kl;
+pub mod mape;
+pub mod mklr;
+
+pub use flr::FlrAccumulator;
+pub use kl::kl_divergence;
+pub use mape::MapeAccumulator;
+pub use mklr::MklrAccumulator;

@@ -1,0 +1,84 @@
+//! Mean Absolute Percentage Error (Eq. 13), for the AVG functionality.
+
+/// Streaming accumulator for MAPE over evaluated (interval, edge) cells.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MapeAccumulator {
+    sum: f64,
+    count: usize,
+}
+
+impl MapeAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one cell: ground-truth average speed `y` and estimate `y_hat`.
+    ///
+    /// Cells with non-positive ground truth are skipped (the percentage
+    /// error is undefined there; the simulator never produces them).
+    pub fn add(&mut self, y: f64, y_hat: f64) {
+        if y <= 0.0 {
+            return;
+        }
+        self.sum += (y - y_hat).abs() / y;
+        self.count += 1;
+    }
+
+    /// Number of cells accumulated.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// MAPE in percent; `None` until at least one cell is accumulated.
+    pub fn value_percent(&self) -> Option<f64> {
+        (self.count > 0).then(|| 100.0 * self.sum / self.count as f64)
+    }
+
+    /// Merges another accumulator.
+    pub fn merge(&mut self, other: &MapeAccumulator) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_estimates_give_zero() {
+        let mut acc = MapeAccumulator::new();
+        acc.add(10.0, 10.0);
+        acc.add(20.0, 20.0);
+        assert_eq!(acc.value_percent(), Some(0.0));
+    }
+
+    #[test]
+    fn known_percentage() {
+        let mut acc = MapeAccumulator::new();
+        acc.add(10.0, 9.0); // 10%
+        acc.add(20.0, 24.0); // 20%
+        assert!((acc.value_percent().unwrap() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_truth_skipped() {
+        let mut acc = MapeAccumulator::new();
+        acc.add(0.0, 5.0);
+        assert_eq!(acc.value_percent(), None);
+    }
+
+    #[test]
+    fn merge() {
+        let mut a = MapeAccumulator::new();
+        a.add(10.0, 9.0);
+        let mut b = MapeAccumulator::new();
+        b.add(10.0, 12.0);
+        let mut m = MapeAccumulator::new();
+        m.merge(&a);
+        m.merge(&b);
+        assert!((m.value_percent().unwrap() - 15.0).abs() < 1e-12);
+        assert_eq!(m.count(), 2);
+    }
+}

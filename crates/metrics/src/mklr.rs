@@ -1,0 +1,106 @@
+//! Mean KL-divergence Ratio (Eq. 11).
+//!
+//! `MKLR = Σ_{i,j} I_ij · KL(w_G ‖ ŵ) / Σ_{i,j} I_ij · KL(w_G ‖ HA)`:
+//! the method's total KL divergence from ground truth, normalised by the
+//! divergence of the Historical Average reference. Lower is better;
+//! values above 1 mean the method is worse than HA.
+
+use crate::kl::{kl_divergence, KL_EPS};
+
+/// Streaming accumulator for MKLR over all test intervals and edges.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MklrAccumulator {
+    numerator: f64,
+    denominator: f64,
+    count: usize,
+}
+
+impl MklrAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one evaluated (interval, edge) cell: ground truth `w_g`, the
+    /// method's estimate `w_hat`, and the HA reference `ha`.
+    ///
+    /// Call only for cells with `I_ij = 1` (edge covered by ground-truth
+    /// data in that interval).
+    pub fn add(&mut self, w_g: &[f64], w_hat: &[f64], ha: &[f64]) {
+        self.numerator += kl_divergence(w_g, w_hat, KL_EPS);
+        self.denominator += kl_divergence(w_g, ha, KL_EPS);
+        self.count += 1;
+    }
+
+    /// Number of cells accumulated.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The MKLR value; `None` until at least one cell with a non-zero HA
+    /// divergence is accumulated.
+    pub fn value(&self) -> Option<f64> {
+        (self.denominator > 0.0).then(|| self.numerator / self.denominator)
+    }
+
+    /// Merges another accumulator (for per-fold aggregation).
+    pub fn merge(&mut self, other: &MklrAccumulator) {
+        self.numerator += other.numerator;
+        self.denominator += other.denominator;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_estimate_gives_zero() {
+        let mut acc = MklrAccumulator::new();
+        let gt = [0.5, 0.3, 0.2];
+        acc.add(&gt, &gt, &[1.0 / 3.0; 3]);
+        assert!(acc.value().unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn ha_estimate_gives_one() {
+        let mut acc = MklrAccumulator::new();
+        let gt = [0.5, 0.3, 0.2];
+        let ha = [0.2, 0.4, 0.4];
+        acc.add(&gt, &ha, &ha);
+        let v = acc.value().unwrap();
+        assert!((v - 1.0).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn worse_than_ha_exceeds_one() {
+        let mut acc = MklrAccumulator::new();
+        let gt = [0.9, 0.1];
+        let ha = [0.7, 0.3];
+        let bad = [0.1, 0.9];
+        acc.add(&gt, &bad, &ha);
+        assert!(acc.value().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn empty_accumulator_has_no_value() {
+        assert_eq!(MklrAccumulator::new().value(), None);
+    }
+
+    #[test]
+    fn merge_combines_sums() {
+        let gt = [0.6, 0.4];
+        let ha = [0.5, 0.5];
+        let est = [0.55, 0.45];
+        let mut a = MklrAccumulator::new();
+        a.add(&gt, &est, &ha);
+        let mut b = MklrAccumulator::new();
+        b.add(&gt, &est, &ha);
+        let mut merged = MklrAccumulator::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.count(), 2);
+        assert!((merged.value().unwrap() - a.value().unwrap()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the evaluation metrics.
+
+use gcwc_metrics::{kl_divergence, FlrAccumulator, MapeAccumulator, MklrAccumulator};
+use gcwc_traffic::HistogramSpec;
+use proptest::prelude::*;
+
+/// Strategy: a normalised histogram of the given size.
+fn histogram(buckets: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..1.0, buckets).prop_map(|mut v| {
+        let s: f64 = v.iter().sum();
+        for x in &mut v {
+            *x /= s;
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Gibbs' inequality: KL ≥ 0 with equality iff p == q.
+    #[test]
+    fn kl_is_nonnegative(p in histogram(8), q in histogram(8)) {
+        let d = kl_divergence(&p, &q, 1e-9);
+        prop_assert!(d >= -1e-9, "KL = {d}");
+    }
+
+    #[test]
+    fn kl_of_self_is_zero(p in histogram(6)) {
+        prop_assert!(kl_divergence(&p, &p, 1e-9).abs() < 1e-12);
+    }
+
+    /// MKLR of the reference itself is exactly 1.
+    #[test]
+    fn mklr_of_reference_is_one(gt in histogram(8), ha in histogram(8)) {
+        prop_assume!(kl_divergence(&gt, &ha, 1e-6) > 1e-9);
+        let mut acc = MklrAccumulator::new();
+        acc.add(&gt, &ha, &ha);
+        let v = acc.value().unwrap();
+        prop_assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    /// A perfect estimate yields MKLR 0 and the estimate always scores in
+    /// FLR against any reference that differs.
+    #[test]
+    fn perfect_estimate_dominates(gt in histogram(4),
+                                  ha in histogram(4),
+                                  obs in proptest::collection::vec(0.0f64..39.9, 1..20)) {
+        let mut mklr = MklrAccumulator::new();
+        mklr.add(&gt, &gt, &ha);
+        prop_assert!(mklr.value().unwrap_or(0.0) < 1e-9);
+
+        // FLR: the empirical histogram of the observations maximises the
+        // likelihood, so it always at least ties any other histogram.
+        let spec = HistogramSpec::hist4();
+        let empirical = spec.build(&obs).unwrap();
+        let ll = |h: &[f64]| -> f64 {
+            obs.iter().map(|&o| (spec.likelihood(h, o) + 1e-6_f64).ln()).sum()
+        };
+        prop_assert!(ll(&empirical) >= ll(&ha) - 1e-9);
+    }
+
+    /// FLR is a fraction and merging preserves it being a fraction.
+    #[test]
+    fn flr_stays_in_unit_interval(histograms in proptest::collection::vec((histogram(4), histogram(4)), 1..10),
+                                  obs in proptest::collection::vec(0.0f64..39.9, 1..5)) {
+        let spec = HistogramSpec::hist4();
+        let mut acc = FlrAccumulator::new();
+        for (est, ha) in &histograms {
+            acc.add(&obs, est, ha, &spec);
+        }
+        let v = acc.value().unwrap();
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    /// MAPE is shift-sensitive and scale-correct: estimating y for truth
+    /// y gives 0; estimating (1+e)·y gives 100·e %.
+    #[test]
+    fn mape_measures_relative_error(y in 1.0f64..40.0, e in 0.0f64..0.9) {
+        let mut acc = MapeAccumulator::new();
+        acc.add(y, y * (1.0 + e));
+        let got = acc.value_percent().unwrap();
+        prop_assert!((got - e * 100.0).abs() < 1e-9);
+    }
+
+    /// Merging accumulators equals accumulating everything in one pass.
+    #[test]
+    fn accumulator_merge_is_homomorphic(cells in proptest::collection::vec((histogram(4), histogram(4), histogram(4)), 2..8)) {
+        let mut whole = MklrAccumulator::new();
+        let mut left = MklrAccumulator::new();
+        let mut right = MklrAccumulator::new();
+        for (i, (gt, est, ha)) in cells.iter().enumerate() {
+            whole.add(gt, est, ha);
+            if i % 2 == 0 { left.add(gt, est, ha) } else { right.add(gt, est, ha) }
+        }
+        let mut merged = MklrAccumulator::new();
+        merged.merge(&left);
+        merged.merge(&right);
+        prop_assert_eq!(merged.count(), whole.count());
+        let (a, b) = (merged.value().unwrap(), whole.value().unwrap());
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+}

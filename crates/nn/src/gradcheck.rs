@@ -1,0 +1,88 @@
+//! Finite-difference gradient checking.
+//!
+//! Every tape operation's backward rule is validated against a central
+//! finite difference of the forward pass. The checker is exported so
+//! downstream crates (the GCWC models, the DR baseline) can verify their
+//! composite graphs end to end.
+
+use crate::params::ParamStore;
+use crate::tape::{NodeId, Tape};
+
+/// Result of a gradient check: the worst absolute and relative error
+/// found across all parameter scalars.
+#[derive(Clone, Copy, Debug)]
+pub struct GradCheckReport {
+    /// Largest |analytic − numeric|.
+    pub max_abs_err: f64,
+    /// Largest |analytic − numeric| / max(1, |numeric|).
+    pub max_rel_err: f64,
+    /// Number of scalars compared.
+    pub checked: usize,
+}
+
+/// Compares autodiff gradients with central finite differences.
+///
+/// `build` must deterministically construct the loss (a `1 × 1` node)
+/// from the current parameter values; it is invoked `2·#scalars + 1`
+/// times.
+pub fn check_gradients(
+    store: &mut ParamStore,
+    mut build: impl FnMut(&mut Tape, &ParamStore) -> NodeId,
+    step: f64,
+) -> GradCheckReport {
+    // Analytic gradients.
+    store.zero_grads();
+    let mut tape = Tape::new();
+    let loss = build(&mut tape, store);
+    tape.backward(loss, store);
+    let analytic: Vec<Vec<f64>> = store.iter().map(|(_, p)| p.grad.as_slice().to_vec()).collect();
+
+    let ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
+    let mut report = GradCheckReport { max_abs_err: 0.0, max_rel_err: 0.0, checked: 0 };
+    for (pi, &id) in ids.iter().enumerate() {
+        let len = store.value(id).len();
+        for k in 0..len {
+            let original = store.value(id).as_slice()[k];
+
+            store.value_mut(id).as_mut_slice()[k] = original + step;
+            let mut t_plus = Tape::new();
+            let l_plus = build(&mut t_plus, store);
+            let f_plus = t_plus.value(l_plus)[(0, 0)];
+
+            store.value_mut(id).as_mut_slice()[k] = original - step;
+            let mut t_minus = Tape::new();
+            let l_minus = build(&mut t_minus, store);
+            let f_minus = t_minus.value(l_minus)[(0, 0)];
+
+            store.value_mut(id).as_mut_slice()[k] = original;
+
+            let numeric = (f_plus - f_minus) / (2.0 * step);
+            let abs_err = (analytic[pi][k] - numeric).abs();
+            let rel_err = abs_err / numeric.abs().max(1.0);
+            report.max_abs_err = report.max_abs_err.max(abs_err);
+            report.max_rel_err = report.max_rel_err.max(rel_err);
+            report.checked += 1;
+        }
+    }
+    report
+}
+
+/// Asserts that the gradient check passes within `tol` (relative).
+///
+/// # Panics
+/// Panics with a diagnostic when the worst relative error exceeds `tol`.
+pub fn assert_gradients(
+    store: &mut ParamStore,
+    build: impl FnMut(&mut Tape, &ParamStore) -> NodeId,
+    tol: f64,
+) {
+    let report = check_gradients(store, build, 1e-5);
+    assert!(
+        report.max_rel_err <= tol,
+        "gradient check failed: max_rel_err = {:.3e}, max_abs_err = {:.3e} over {} scalars",
+        report.max_rel_err,
+        report.max_abs_err,
+        report.checked
+    );
+    assert!(report.checked > 0, "gradient check compared nothing");
+}

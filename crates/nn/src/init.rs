@@ -1,0 +1,51 @@
+//! Weight initialisation.
+
+use gcwc_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Glorot/Xavier uniform initialisation: entries drawn from
+/// `U(−a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn glorot_uniform(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-a..a))
+}
+
+/// Small-scale uniform initialisation `U(−scale, scale)` (embeddings).
+pub fn uniform(rng: &mut StdRng, rows: usize, cols: usize, scale: f64) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-scale..scale))
+}
+
+/// Zero initialisation (biases).
+pub fn zeros(rows: usize, cols: usize) -> Matrix {
+    Matrix::zeros(rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcwc_linalg::rng::seeded;
+
+    #[test]
+    fn glorot_bounds() {
+        let mut rng = seeded(1);
+        let m = glorot_uniform(&mut rng, 100, 50);
+        let a = (6.0 / 150.0f64).sqrt();
+        assert!(m.max() < a && m.min() > -a);
+        assert!(m.mean().abs() < 0.01);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = seeded(2);
+        let m = uniform(&mut rng, 64, 8, 0.05);
+        assert!(m.max() < 0.05 && m.min() > -0.05);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = glorot_uniform(&mut seeded(3), 4, 4);
+        let b = glorot_uniform(&mut seeded(3), 4, 4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,168 @@
+//! Trainable parameter storage.
+//!
+//! Parameters live outside the per-sample [`crate::tape::Tape`]: the tape
+//! copies values in at graph-construction time and accumulates gradients
+//! back out during the backward pass. This keeps tapes cheap to rebuild
+//! per sample (define-by-run) while parameters persist across samples,
+//! batches and epochs.
+
+use gcwc_linalg::Matrix;
+
+/// Identifies a parameter within a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+/// A named trainable tensor with its accumulated gradient.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Human-readable name (used in diagnostics and parameter counting).
+    pub name: String,
+    /// Current value.
+    pub value: Matrix,
+    /// Gradient accumulated since the last [`ParamStore::zero_grads`].
+    pub grad: Matrix,
+}
+
+/// A flat collection of model parameters.
+#[derive(Clone, Debug, Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter, returning its id.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        self.params.push(Param { name: name.into(), value, grad });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of trainable scalars (the paper's `#Para` column).
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Immutable access to a parameter's value.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access to a parameter's value (used by optimizers/tests).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    /// Immutable access to a parameter's gradient.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].grad
+    }
+
+    /// Adds `delta` into the gradient of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, delta: &Matrix) {
+        let g = &mut self.params[id.0].grad;
+        assert_eq!(
+            g.shape(),
+            delta.shape(),
+            "gradient shape mismatch for {}",
+            self.params[id.0].name
+        );
+        for (dst, src) in g.as_mut_slice().iter_mut().zip(delta.as_slice()) {
+            *dst += src;
+        }
+    }
+
+    /// Clears all gradients to zero.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.as_mut_slice().fill(0.0);
+        }
+    }
+
+    /// Iterates over all parameters.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Param)> {
+        self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// Iterates mutably over all parameters.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Param)> {
+        self.params.iter_mut().enumerate().map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// Global L2 norm of all gradients.
+    pub fn grad_norm(&self) -> f64 {
+        self.params
+            .iter()
+            .map(|p| p.grad.as_slice().iter().map(|g| g * g).sum::<f64>())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Scales every gradient by `s` (used for gradient clipping and
+    /// batch averaging).
+    pub fn scale_grads(&mut self, s: f64) {
+        for p in &mut self.params {
+            for g in p.grad.as_mut_slice() {
+                *g *= s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_count() {
+        let mut store = ParamStore::new();
+        let a = store.add("w", Matrix::zeros(3, 4));
+        let b = store.add("b", Matrix::zeros(1, 4));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.num_scalars(), 16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gradients_accumulate() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::zeros(2, 2));
+        store.accumulate_grad(id, &Matrix::filled(2, 2, 1.0));
+        store.accumulate_grad(id, &Matrix::filled(2, 2, 0.5));
+        assert_eq!(store.grad(id), &Matrix::filled(2, 2, 1.5));
+        store.zero_grads();
+        assert_eq!(store.grad(id), &Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn grad_norm_and_scale() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::zeros(1, 2));
+        store.accumulate_grad(id, &Matrix::from_rows(&[&[3.0, 4.0]]));
+        assert!((store.grad_norm() - 5.0).abs() < 1e-12);
+        store.scale_grads(0.5);
+        assert_eq!(store.grad(id), &Matrix::from_rows(&[&[1.5, 2.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape mismatch")]
+    fn shape_mismatch_panics() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::zeros(2, 2));
+        store.accumulate_grad(id, &Matrix::zeros(1, 2));
+    }
+}

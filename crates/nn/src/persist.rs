@@ -1,0 +1,219 @@
+//! Parameter persistence.
+//!
+//! Trained models can be saved to and restored from a simple,
+//! dependency-free text format: one `param <name> <rows> <cols>` header
+//! per tensor followed by its row-major values in hexadecimal IEEE-754
+//! (lossless round trip). Loading validates names and shapes against
+//! the target store, so a checkpoint can only be restored into a model
+//! with the identical architecture.
+
+use std::path::Path;
+
+use gcwc_linalg::Matrix;
+
+use crate::params::ParamStore;
+
+/// Errors from checkpoint loading.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying file error.
+    File(std::io::Error),
+    /// Structural problem with the checkpoint.
+    Format(String),
+    /// The checkpoint does not match the target model.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::File(e) => write!(f, "file error: {e}"),
+            PersistError::Format(m) => write!(f, "bad checkpoint: {m}"),
+            PersistError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::File(e)
+    }
+}
+
+/// Serialises all parameter values (not gradients) to the checkpoint
+/// format.
+pub fn to_checkpoint(store: &ParamStore) -> String {
+    let mut out = String::from("# gcwc-checkpoint v1\n");
+    for (_, p) in store.iter() {
+        out.push_str(&format!("param {} {} {}\n", p.name, p.value.rows(), p.value.cols()));
+        for (i, v) in p.value.as_slice().iter().enumerate() {
+            if i > 0 {
+                out.push(if i % 8 == 0 { '\n' } else { ' ' });
+            }
+            out.push_str(&format!("{:016x}", v.to_bits()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Saves a parameter store to a file.
+pub fn save(store: &ParamStore, path: &Path) -> Result<(), PersistError> {
+    std::fs::write(path, to_checkpoint(store))?;
+    Ok(())
+}
+
+/// Restores parameter values from checkpoint text into `store`.
+///
+/// Every parameter in the store must appear in the checkpoint with the
+/// same name, order and shape.
+pub fn from_checkpoint(store: &mut ParamStore, content: &str) -> Result<(), PersistError> {
+    let mut tokens =
+        content.lines().filter(|l| !l.starts_with('#')).flat_map(|l| l.split_whitespace());
+
+    let ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
+    for id in ids {
+        let (name, rows, cols) = {
+            let keyword = tokens
+                .next()
+                .ok_or_else(|| PersistError::Format("unexpected end of checkpoint".into()))?;
+            if keyword != "param" {
+                return Err(PersistError::Format(format!("expected 'param', got '{keyword}'")));
+            }
+            let name = tokens
+                .next()
+                .ok_or_else(|| PersistError::Format("missing parameter name".into()))?
+                .to_owned();
+            let rows: usize = tokens
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| PersistError::Format("bad row count".into()))?;
+            let cols: usize = tokens
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| PersistError::Format("bad column count".into()))?;
+            (name, rows, cols)
+        };
+        {
+            let current = store.iter().find(|(i, _)| *i == id).expect("id exists").1;
+            if current.name != name {
+                return Err(PersistError::Mismatch(format!(
+                    "expected parameter '{}', checkpoint has '{name}'",
+                    current.name
+                )));
+            }
+            if current.value.shape() != (rows, cols) {
+                return Err(PersistError::Mismatch(format!(
+                    "parameter '{name}': shape {:?} vs checkpoint {rows}x{cols}",
+                    current.value.shape()
+                )));
+            }
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            let tok = tokens
+                .next()
+                .ok_or_else(|| PersistError::Format(format!("truncated values for '{name}'")))?;
+            let bits = u64::from_str_radix(tok, 16)
+                .map_err(|_| PersistError::Format(format!("bad value '{tok}' in '{name}'")))?;
+            data.push(f64::from_bits(bits));
+        }
+        *store.value_mut(id) = Matrix::from_vec(rows, cols, data);
+    }
+    if tokens.next().is_some() {
+        return Err(PersistError::Mismatch("checkpoint has more parameters than the model".into()));
+    }
+    Ok(())
+}
+
+/// Loads a checkpoint file into `store`.
+pub fn load(store: &mut ParamStore, path: &Path) -> Result<(), PersistError> {
+    from_checkpoint(store, &std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcwc_linalg::rng::seeded;
+
+    fn sample_store() -> ParamStore {
+        let mut store = ParamStore::new();
+        let mut rng = seeded(1);
+        store.add("layer.w", crate::init::glorot_uniform(&mut rng, 3, 4));
+        store.add("layer.b", Matrix::from_rows(&[&[0.5, -1.25, 3.75e-7]]));
+        store
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let store = sample_store();
+        let text = to_checkpoint(&store);
+        let mut restored = sample_store();
+        // Perturb before loading so we know loading does the work.
+        restored.value_mut(crate::params::ParamId(0)).as_mut_slice()[0] = 99.0;
+        from_checkpoint(&mut restored, &text).unwrap();
+        for ((_, a), (_, b)) in store.iter().zip(restored.iter()) {
+            assert_eq!(a.value, b.value, "{} must round-trip exactly", a.name);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let store = sample_store();
+        let dir = std::env::temp_dir().join("gcwc_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        save(&store, &path).unwrap();
+        let mut restored = sample_store();
+        load(&mut restored, &path).unwrap();
+        assert_eq!(
+            store.value(crate::params::ParamId(1)),
+            restored.value(crate::params::ParamId(1))
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn name_mismatch_is_rejected() {
+        let store = sample_store();
+        let text = to_checkpoint(&store);
+        let mut other = ParamStore::new();
+        other.add("different.name", Matrix::zeros(3, 4));
+        other.add("layer.b", Matrix::zeros(1, 3));
+        let err = from_checkpoint(&mut other, &text).unwrap_err();
+        assert!(matches!(err, PersistError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let store = sample_store();
+        let text = to_checkpoint(&store);
+        let mut other = ParamStore::new();
+        other.add("layer.w", Matrix::zeros(4, 3)); // transposed shape
+        other.add("layer.b", Matrix::zeros(1, 3));
+        let err = from_checkpoint(&mut other, &text).unwrap_err();
+        assert!(matches!(err, PersistError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected() {
+        let store = sample_store();
+        let text = to_checkpoint(&store);
+        let cut = &text[..text.len() / 2];
+        let mut other = sample_store();
+        let err = from_checkpoint(&mut other, cut).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn extra_parameters_are_rejected() {
+        let store = sample_store();
+        let text = to_checkpoint(&store);
+        let mut small = ParamStore::new();
+        small.add("layer.w", Matrix::zeros(3, 4));
+        let err = from_checkpoint(&mut small, &text).unwrap_err();
+        assert!(matches!(err, PersistError::Mismatch(_)), "{err}");
+    }
+}

@@ -1,0 +1,1130 @@
+//! Reverse-mode automatic differentiation over dense matrices.
+//!
+//! A [`Tape`] is a define-by-run computation graph: every builder method
+//! evaluates its result eagerly and records the operation so that
+//! [`Tape::backward`] can later push cotangents from a scalar loss back
+//! to every parameter leaf. Tapes are rebuilt per training sample — the
+//! matrices involved are small (≤ `8 600 × 16`), so construction cost is
+//! negligible next to the matmuls.
+
+use std::rc::Rc;
+
+use gcwc_graph::{PolyBasis, PoolingMap};
+use gcwc_linalg::Matrix;
+
+use crate::params::{ParamId, ParamStore};
+
+/// Identifies a node within a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+/// Shape bookkeeping for 2-D convolutions (`same` padding, stride 1).
+///
+/// Tensors are laid out as matrices with `batch·channels` rows and `h·w`
+/// columns (row-major image per row).
+#[derive(Clone, Copy, Debug)]
+pub struct ConvSpec {
+    /// Batch size.
+    pub batch: usize,
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Image height.
+    pub h: usize,
+    /// Image width.
+    pub w: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+}
+
+/// Shape bookkeeping for 2-D max pooling (stride = window, floor).
+#[derive(Clone, Copy, Debug)]
+pub struct PoolSpec {
+    /// Batch size.
+    pub batch: usize,
+    /// Channels.
+    pub ch: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Pool window height.
+    pub ph: usize,
+    /// Pool window width.
+    pub pw: usize,
+}
+
+impl PoolSpec {
+    /// Output height (`floor(h / ph)`).
+    pub fn out_h(&self) -> usize {
+        self.h / self.ph
+    }
+
+    /// Output width (`floor(w / pw)`).
+    pub fn out_w(&self) -> usize {
+        self.w / self.pw
+    }
+}
+
+pub(crate) enum Op {
+    Const,
+    Param(ParamId),
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    DivEps {
+        a: NodeId,
+        b: NodeId,
+        eps: f64,
+    },
+    Scale(NodeId, f64),
+    MatMul(NodeId, NodeId),
+    AddRowBroadcast {
+        x: NodeId,
+        bias: NodeId,
+    },
+    Tanh(NodeId),
+    Sigmoid(NodeId),
+    Relu(NodeId),
+    LogEps {
+        x: NodeId,
+        eps: f64,
+    },
+    SoftmaxRows(NodeId),
+    NormalizeRows {
+        x: NodeId,
+        eps: f64,
+    },
+    PowScalar {
+        x: NodeId,
+        p: f64,
+    },
+    SumAll(NodeId),
+    Transpose(NodeId),
+    Reshape {
+        x: NodeId,
+    },
+    HstackList(Vec<NodeId>),
+    SelectRow {
+        x: NodeId,
+        row: usize,
+    },
+    SelectCols {
+        x: NodeId,
+        start: usize,
+    },
+    TileCols {
+        x: NodeId,
+        times: usize,
+    },
+    Dropout {
+        x: NodeId,
+        mask: Matrix,
+    },
+    PolyConv {
+        x: NodeId,
+        thetas: Vec<NodeId>,
+        basis: Rc<dyn PolyBasis>,
+        saved: Vec<Matrix>,
+        groups: usize,
+    },
+    GraphMaxPool {
+        x: NodeId,
+        map: Rc<PoolingMap>,
+        argmax: Vec<usize>,
+    },
+    Conv2d {
+        x: NodeId,
+        kernel: NodeId,
+        bias: NodeId,
+        spec: ConvSpec,
+    },
+    MaxPool2d {
+        x: NodeId,
+        spec: PoolSpec,
+        argmax: Vec<usize>,
+    },
+    BatchOuter {
+        col: NodeId,
+        rows: NodeId,
+    },
+    KlLossMasked {
+        pred: NodeId,
+        label: Matrix,
+        row_mask: Vec<f64>,
+        eps: f64,
+    },
+    MseMasked {
+        pred: NodeId,
+        label: Matrix,
+        mask: Matrix,
+    },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// A define-by-run reverse-mode autodiff tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> NodeId {
+        debug_assert!(value.is_finite(), "non-finite value produced by tape op");
+        self.nodes.push(Node { value, op });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    // ----- leaves --------------------------------------------------------
+
+    /// Records a constant (no gradient flows into it).
+    pub fn constant(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Const)
+    }
+
+    /// Records a parameter leaf, copying its current value in.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    // ----- arithmetic -----------------------------------------------------
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a) + self.value(b);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise difference `a − b`.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a) - self.value(b);
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).hadamard(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Elementwise quotient `a / (b + eps)`.
+    pub fn div_eps(&mut self, a: NodeId, b: NodeId, eps: f64) -> NodeId {
+        let v = self.value(a).zip_with(self.value(b), |x, y| x / (y + eps));
+        self.push(v, Op::DivEps { a, b, eps })
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: NodeId, s: f64) -> NodeId {
+        let v = self.value(a).scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Adds a `1 × c` bias row to every row of an `r × c` matrix.
+    pub fn add_row_broadcast(&mut self, x: NodeId, bias: NodeId) -> NodeId {
+        let xv = self.value(x);
+        let bv = self.value(bias);
+        assert_eq!(bv.rows(), 1, "bias must be a row vector");
+        assert_eq!(bv.cols(), xv.cols(), "bias width mismatch");
+        let mut v = xv.clone();
+        for i in 0..v.rows() {
+            for (dst, src) in v.row_mut(i).iter_mut().zip(bv.row(0)) {
+                *dst += src;
+            }
+        }
+        self.push(v, Op::AddRowBroadcast { x, bias })
+    }
+
+    // ----- activations ----------------------------------------------------
+
+    /// Elementwise `tanh`.
+    pub fn tanh(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).map(f64::tanh);
+        self.push(v, Op::Tanh(x))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).map(|t| 1.0 / (1.0 + (-t).exp()));
+        self.push(v, Op::Sigmoid(x))
+    }
+
+    /// Elementwise rectifier.
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).map(|t| t.max(0.0));
+        self.push(v, Op::Relu(x))
+    }
+
+    /// Elementwise `ln(x + eps)`.
+    pub fn log_eps(&mut self, x: NodeId, eps: f64) -> NodeId {
+        let v = self.value(x).map(|t| (t + eps).ln());
+        self.push(v, Op::LogEps { x, eps })
+    }
+
+    /// Elementwise power `x^p` (requires `x > 0` when `p` is fractional).
+    pub fn pow_scalar(&mut self, x: NodeId, p: f64) -> NodeId {
+        let v = self.value(x).map(|t| t.powf(p));
+        self.push(v, Op::PowScalar { x, p })
+    }
+
+    /// Row-wise softmax (numerically stabilised).
+    pub fn softmax_rows(&mut self, x: NodeId) -> NodeId {
+        let xv = self.value(x);
+        let mut v = xv.clone();
+        for i in 0..v.rows() {
+            let row = v.row_mut(i);
+            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for t in row.iter_mut() {
+                *t = (*t - max).exp();
+                sum += *t;
+            }
+            for t in row.iter_mut() {
+                *t /= sum;
+            }
+        }
+        self.push(v, Op::SoftmaxRows(x))
+    }
+
+    /// Row-wise normalisation `y_ij = x_ij / (Σ_j x_ij + eps)`.
+    ///
+    /// Used for the Bayesian-inference combination (Eq. 10): inputs are
+    /// positive, so the result is a valid distribution per row.
+    pub fn normalize_rows(&mut self, x: NodeId, eps: f64) -> NodeId {
+        let xv = self.value(x);
+        let mut v = xv.clone();
+        for i in 0..v.rows() {
+            let s: f64 = v.row(i).iter().sum::<f64>() + eps;
+            for t in v.row_mut(i) {
+                *t /= s;
+            }
+        }
+        self.push(v, Op::NormalizeRows { x, eps })
+    }
+
+    // ----- shape ----------------------------------------------------------
+
+    /// Sums all entries into a `1 × 1` node.
+    pub fn sum_all(&mut self, x: NodeId) -> NodeId {
+        let v = Matrix::from_vec(1, 1, vec![self.value(x).sum()]);
+        self.push(v, Op::SumAll(x))
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).transpose();
+        self.push(v, Op::Transpose(x))
+    }
+
+    /// Reinterprets the row-major data with a new shape.
+    pub fn reshape(&mut self, x: NodeId, rows: usize, cols: usize) -> NodeId {
+        let xv = self.value(x);
+        assert_eq!(xv.len(), rows * cols, "reshape size mismatch");
+        let v = Matrix::from_vec(rows, cols, xv.as_slice().to_vec());
+        self.push(v, Op::Reshape { x })
+    }
+
+    /// Concatenates nodes side by side (equal row counts).
+    pub fn hstack(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "hstack of nothing");
+        let mut v = self.value(parts[0]).clone();
+        for &p in &parts[1..] {
+            v = v.hstack(self.value(p));
+        }
+        self.push(v, Op::HstackList(parts.to_vec()))
+    }
+
+    /// Extracts row `row` as a `1 × c` node.
+    pub fn select_row(&mut self, x: NodeId, row: usize) -> NodeId {
+        let v = Matrix::row_vector(self.value(x).row(row));
+        self.push(v, Op::SelectRow { x, row })
+    }
+
+    /// Horizontally tiles `x` `times` times (`r × c` → `r × (times·c)`).
+    ///
+    /// Used to broadcast a shared per-filter bias across bucket groups.
+    pub fn tile_cols(&mut self, x: NodeId, times: usize) -> NodeId {
+        assert!(times >= 1, "tile count must be positive");
+        let xv = self.value(x);
+        let (r, c) = xv.shape();
+        let mut v = Matrix::zeros(r, c * times);
+        for i in 0..r {
+            for t in 0..times {
+                v.row_mut(i)[t * c..(t + 1) * c].copy_from_slice(xv.row(i));
+            }
+        }
+        self.push(v, Op::TileCols { x, times })
+    }
+
+    /// Extracts the column block `start..start+len` as an `r × len` node.
+    pub fn select_cols(&mut self, x: NodeId, start: usize, len: usize) -> NodeId {
+        let xv = self.value(x);
+        assert!(start + len <= xv.cols(), "column block out of range");
+        let mut v = Matrix::zeros(xv.rows(), len);
+        for r in 0..xv.rows() {
+            v.row_mut(r).copy_from_slice(&xv.row(r)[start..start + len]);
+        }
+        self.push(v, Op::SelectCols { x, start })
+    }
+
+    /// Inverted dropout with the given keep-mask (entries 0 or
+    /// `1/(1−p)`); build the mask with
+    /// [`crate::layers::dropout_mask`].
+    pub fn dropout(&mut self, x: NodeId, mask: Matrix) -> NodeId {
+        let v = self.value(x).hadamard(&mask);
+        self.push(v, Op::Dropout { x, mask })
+    }
+
+    // ----- graph ops ------------------------------------------------------
+
+    /// Graph polynomial convolution: `Σ_k M_k(graph) · x · θ_k`.
+    ///
+    /// `x` is `n × c_in`; each `θ_k` is `c_in × c_out`; the basis supplies
+    /// the fixed operators `M_k` (Chebyshev of the scaled Laplacian for
+    /// GCWC, random-walk powers for DR).
+    pub fn poly_conv(&mut self, x: NodeId, thetas: &[NodeId], basis: Rc<dyn PolyBasis>) -> NodeId {
+        self.poly_conv_grouped(x, thetas, basis, 1)
+    }
+
+    /// Grouped graph polynomial convolution.
+    ///
+    /// `x` is `n × (groups · c_in)` laid out group-major; the *same*
+    /// `θ_k ∈ R^{c_in×c_out}` filters are applied to every group,
+    /// producing `n × (groups · c_out)`. This is how GCWC shares filters
+    /// across the `m` histogram buckets (paper §IV-B applies each filter
+    /// to every bucket column) while paying the sparse basis expansion
+    /// only once.
+    pub fn poly_conv_grouped(
+        &mut self,
+        x: NodeId,
+        thetas: &[NodeId],
+        basis: Rc<dyn PolyBasis>,
+        groups: usize,
+    ) -> NodeId {
+        assert_eq!(thetas.len(), basis.order(), "theta count must equal basis order");
+        assert!(groups >= 1, "need at least one group");
+        let xv = self.value(x);
+        assert_eq!(xv.cols() % groups, 0, "columns not divisible by groups");
+        let c_in = xv.cols() / groups;
+        let c_out = self.value(thetas[0]).cols();
+        let n = xv.rows();
+        let saved = basis.forward(xv);
+        let mut out = Matrix::zeros(n, groups * c_out);
+        for (tx, &th) in saved.iter().zip(thetas) {
+            let thv = &self.nodes[th.0].value;
+            assert_eq!(thv.rows(), c_in, "theta input-channel mismatch");
+            for g in 0..groups {
+                // out[:, g·c_out ..] += tx[:, g·c_in ..] · θ_k
+                for i in 0..n {
+                    let tx_row = &tx.row(i)[g * c_in..(g + 1) * c_in];
+                    let out_row = &mut out.row_mut(i)[g * c_out..(g + 1) * c_out];
+                    for (ci, &a) in tx_row.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for (o, &b) in out_row.iter_mut().zip(thv.row(ci)) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        }
+        self.push(out, Op::PolyConv { x, thetas: thetas.to_vec(), basis, saved, groups })
+    }
+
+    /// Graph max pooling over precomputed clusters.
+    pub fn graph_max_pool(&mut self, x: NodeId, map: Rc<PoolingMap>) -> NodeId {
+        let (v, argmax) = map.max_forward(self.value(x));
+        self.push(v, Op::GraphMaxPool { x, map, argmax })
+    }
+
+    // ----- dense conv ops (CP-CNN, classic CNN baseline) -------------------
+
+    /// Batched 2-D convolution with `same` zero padding and stride 1.
+    ///
+    /// `x` is `(batch·in_ch) × (h·w)`; `kernel` is
+    /// `out_ch × (in_ch·kh·kw)`; `bias` is `1 × out_ch`. Output is
+    /// `(batch·out_ch) × (h·w)`.
+    pub fn conv2d(&mut self, x: NodeId, kernel: NodeId, bias: NodeId, spec: ConvSpec) -> NodeId {
+        let v = conv2d_forward(self.value(x), self.value(kernel), self.value(bias), &spec);
+        self.push(v, Op::Conv2d { x, kernel, bias, spec })
+    }
+
+    /// Batched 2-D max pooling with stride = window (floor semantics).
+    pub fn max_pool2d(&mut self, x: NodeId, spec: PoolSpec) -> NodeId {
+        let (v, argmax) = maxpool2d_forward(self.value(x), &spec);
+        self.push(v, Op::MaxPool2d { x, spec, argmax })
+    }
+
+    /// Batched outer product: for a column `p ∈ R^{β×1}` and rows
+    /// `Z ∈ R^{n×m}`, produces `n × (β·m)` where block row `b` is the
+    /// row-major flattening of `p · Z[b,·]` (the CP-CNN input maps,
+    /// paper §V-B3).
+    pub fn batch_outer(&mut self, col: NodeId, rows: NodeId) -> NodeId {
+        let p = self.value(col);
+        let z = self.value(rows);
+        assert_eq!(p.cols(), 1, "first operand must be a column vector");
+        let (beta, n, m) = (p.rows(), z.rows(), z.cols());
+        let mut v = Matrix::zeros(n, beta * m);
+        for b in 0..n {
+            for k in 0..beta {
+                for j in 0..m {
+                    v[(b, k * m + j)] = p[(k, 0)] * z[(b, j)];
+                }
+            }
+        }
+        self.push(v, Op::BatchOuter { col, rows })
+    }
+
+    // ----- losses -----------------------------------------------------------
+
+    /// The paper's masked KL loss (Eq. 3): the divergence
+    /// `KL(w_i· ‖ ŵ_i·)` summed over covered rows,
+    /// `L = Σ_i I_i Σ_j w_ij · ln((w_ij + ε)/(ŵ_ij + ε))`,
+    /// where `pred = Ŵ`, `label = W`, and `row_mask[i] = I_i`.
+    ///
+    /// Note: Eq. 3 *as printed* weights the log-ratio by `ŵ` (the reverse
+    /// direction), which contradicts both the equation's own name
+    /// `KL(w‖ŵ)` and the forward-KL evaluation metric (Eq. 11); training
+    /// the reverse direction is mode-seeking and measurably hurts MKLR.
+    /// We implement the stated forward divergence.
+    pub fn kl_loss_masked(
+        &mut self,
+        pred: NodeId,
+        label: Matrix,
+        row_mask: Vec<f64>,
+        eps: f64,
+    ) -> NodeId {
+        let p = self.value(pred);
+        assert_eq!(p.shape(), label.shape(), "label shape mismatch");
+        assert_eq!(row_mask.len(), p.rows(), "mask length mismatch");
+        let mut loss = 0.0;
+        for i in 0..p.rows() {
+            if row_mask[i] == 0.0 {
+                continue;
+            }
+            for (w_hat, w) in p.row(i).iter().zip(label.row(i)) {
+                loss += row_mask[i] * w * ((w + eps) / (w_hat + eps)).ln();
+            }
+        }
+        let v = Matrix::from_vec(1, 1, vec![loss]);
+        self.push(v, Op::KlLossMasked { pred, label, row_mask, eps })
+    }
+
+    /// Masked mean squared error:
+    /// `L = Σ_ij mask_ij (pred_ij − label_ij)² / max(1, Σ mask)`.
+    pub fn mse_masked(&mut self, pred: NodeId, label: Matrix, mask: Matrix) -> NodeId {
+        let p = self.value(pred);
+        assert_eq!(p.shape(), label.shape(), "label shape mismatch");
+        assert_eq!(p.shape(), mask.shape(), "mask shape mismatch");
+        let count: f64 = mask.sum().max(1.0);
+        let mut loss = 0.0;
+        for ((&pv, &lv), &mv) in p.as_slice().iter().zip(label.as_slice()).zip(mask.as_slice()) {
+            loss += mv * (pv - lv) * (pv - lv);
+        }
+        let v = Matrix::from_vec(1, 1, vec![loss / count]);
+        self.push(v, Op::MseMasked { pred, label, mask })
+    }
+
+    // ----- backward ---------------------------------------------------------
+
+    /// Back-propagates from the scalar node `loss`, accumulating parameter
+    /// gradients into `store`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 × 1`.
+    pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
+        let n = self.nodes.len();
+        let mut grads: Vec<Option<Matrix>> = (0..n).map(|_| None).collect();
+        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        for i in (0..n).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            // Split borrows: the node being differentiated vs the grads
+            // vec we accumulate into.
+            let node = &self.nodes[i];
+            match &node.op {
+                Op::Const => {}
+                Op::Param(pid) => store.accumulate_grad(*pid, &g),
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let ga = g.hadamard(&self.nodes[b.0].value);
+                    let gb = g.hadamard(&self.nodes[a.0].value);
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::DivEps { a, b, eps } => {
+                    let av = &self.nodes[a.0].value;
+                    let bv = &self.nodes[b.0].value;
+                    let ga = g.zip_with(bv, |gv, y| gv / (y + eps));
+                    let gb = Matrix::from_fn(g.rows(), g.cols(), |r, c| {
+                        let d = bv[(r, c)] + eps;
+                        -g[(r, c)] * av[(r, c)] / (d * d)
+                    });
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Scale(a, s) => accumulate(&mut grads, *a, g.scale(*s)),
+                Op::MatMul(a, b) => {
+                    let av = &self.nodes[a.0].value;
+                    let bv = &self.nodes[b.0].value;
+                    let ga = g.matmul(&bv.transpose());
+                    let gb = av.transpose().matmul(&g);
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::AddRowBroadcast { x, bias } => {
+                    let mut gb = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (dst, src) in gb.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *dst += src;
+                        }
+                    }
+                    accumulate(&mut grads, *x, g);
+                    accumulate(&mut grads, *bias, gb);
+                }
+                Op::Tanh(x) => {
+                    let gx = g.zip_with(&node.value, |gv, y| gv * (1.0 - y * y));
+                    accumulate(&mut grads, *x, gx);
+                }
+                Op::Sigmoid(x) => {
+                    let gx = g.zip_with(&node.value, |gv, y| gv * y * (1.0 - y));
+                    accumulate(&mut grads, *x, gx);
+                }
+                Op::Relu(x) => {
+                    let gx = g.zip_with(&node.value, |gv, y| if y > 0.0 { gv } else { 0.0 });
+                    accumulate(&mut grads, *x, gx);
+                }
+                Op::LogEps { x, eps } => {
+                    let xv = &self.nodes[x.0].value;
+                    let gx = g.zip_with(xv, |gv, t| gv / (t + eps));
+                    accumulate(&mut grads, *x, gx);
+                }
+                Op::PowScalar { x, p } => {
+                    let xv = &self.nodes[x.0].value;
+                    let gx = g.zip_with(xv, |gv, t| gv * p * t.powf(p - 1.0));
+                    accumulate(&mut grads, *x, gx);
+                }
+                Op::SoftmaxRows(x) => {
+                    let y = &node.value;
+                    let mut gx = Matrix::zeros(g.rows(), g.cols());
+                    for r in 0..g.rows() {
+                        let dot: f64 = g.row(r).iter().zip(y.row(r)).map(|(a, b)| a * b).sum();
+                        for c in 0..g.cols() {
+                            gx[(r, c)] = y[(r, c)] * (g[(r, c)] - dot);
+                        }
+                    }
+                    accumulate(&mut grads, *x, gx);
+                }
+                Op::NormalizeRows { x, eps } => {
+                    let xv = &self.nodes[x.0].value;
+                    let y = &node.value;
+                    let mut gx = Matrix::zeros(g.rows(), g.cols());
+                    for r in 0..g.rows() {
+                        let s: f64 = xv.row(r).iter().sum::<f64>() + eps;
+                        let dot: f64 = g.row(r).iter().zip(y.row(r)).map(|(a, b)| a * b).sum();
+                        for c in 0..g.cols() {
+                            gx[(r, c)] = (g[(r, c)] - dot) / s;
+                        }
+                    }
+                    accumulate(&mut grads, *x, gx);
+                }
+                Op::SumAll(x) => {
+                    let s = g[(0, 0)];
+                    let xv = &self.nodes[x.0].value;
+                    accumulate(&mut grads, *x, Matrix::filled(xv.rows(), xv.cols(), s));
+                }
+                Op::Transpose(x) => {
+                    accumulate(&mut grads, *x, g.transpose());
+                }
+                Op::Reshape { x } => {
+                    let xv = &self.nodes[x.0].value;
+                    let gx = Matrix::from_vec(xv.rows(), xv.cols(), g.as_slice().to_vec());
+                    accumulate(&mut grads, *x, gx);
+                }
+                Op::HstackList(parts) => {
+                    let mut offset = 0;
+                    let part_shapes: Vec<(usize, usize)> =
+                        parts.iter().map(|p| self.nodes[p.0].value.shape()).collect();
+                    let parts = parts.clone();
+                    for (&p, (rows, cols)) in parts.iter().zip(part_shapes) {
+                        let mut gp = Matrix::zeros(rows, cols);
+                        for r in 0..rows {
+                            gp.row_mut(r).copy_from_slice(&g.row(r)[offset..offset + cols]);
+                        }
+                        offset += cols;
+                        accumulate(&mut grads, p, gp);
+                    }
+                }
+                Op::TileCols { x, times } => {
+                    let xv = &self.nodes[x.0].value;
+                    let (r, c) = xv.shape();
+                    let mut gx = Matrix::zeros(r, c);
+                    for i in 0..r {
+                        for t in 0..*times {
+                            for (dst, &src) in
+                                gx.row_mut(i).iter_mut().zip(&g.row(i)[t * c..(t + 1) * c])
+                            {
+                                *dst += src;
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, *x, gx);
+                }
+                Op::SelectCols { x, start } => {
+                    let xv = &self.nodes[x.0].value;
+                    let mut gx = Matrix::zeros(xv.rows(), xv.cols());
+                    for r in 0..g.rows() {
+                        gx.row_mut(r)[*start..*start + g.cols()].copy_from_slice(g.row(r));
+                    }
+                    accumulate(&mut grads, *x, gx);
+                }
+                Op::SelectRow { x, row } => {
+                    let xv = &self.nodes[x.0].value;
+                    let mut gx = Matrix::zeros(xv.rows(), xv.cols());
+                    gx.row_mut(*row).copy_from_slice(g.row(0));
+                    accumulate(&mut grads, *x, gx);
+                }
+                Op::Dropout { x, mask } => {
+                    let gx = g.hadamard(mask);
+                    accumulate(&mut grads, *x, gx);
+                }
+                Op::PolyConv { x, thetas, basis, saved, groups } => {
+                    // Per tap k (summing over groups g):
+                    //   dθ_k = Σ_g (M_k x)_gᵀ G_g
+                    //   B_k|_g = G_g θ_kᵀ,  dx = Σ_k M_kᵀ B_k.
+                    let groups = *groups;
+                    let thetas = thetas.clone();
+                    let n = g.rows();
+                    let c_out = g.cols() / groups;
+                    let xv_cols = self.nodes[x.0].value.cols();
+                    let c_in = xv_cols / groups;
+                    let mut cotangents = Vec::with_capacity(thetas.len());
+                    for (tx, &th) in saved.iter().zip(&thetas) {
+                        let thv = &self.nodes[th.0].value;
+                        let mut gth = Matrix::zeros(c_in, c_out);
+                        let mut b_k = Matrix::zeros(n, xv_cols);
+                        for gi in 0..groups {
+                            for i in 0..n {
+                                let g_row = &g.row(i)[gi * c_out..(gi + 1) * c_out];
+                                let tx_row = &tx.row(i)[gi * c_in..(gi + 1) * c_in];
+                                for (ci, &a) in tx_row.iter().enumerate() {
+                                    if a != 0.0 {
+                                        for (dst, &gv) in gth.row_mut(ci).iter_mut().zip(g_row) {
+                                            *dst += a * gv;
+                                        }
+                                    }
+                                }
+                                let b_row = &mut b_k.row_mut(i)[gi * c_in..(gi + 1) * c_in];
+                                for (ci, dst) in b_row.iter_mut().enumerate() {
+                                    *dst += g_row
+                                        .iter()
+                                        .zip(thv.row(ci))
+                                        .map(|(&gv, &t)| gv * t)
+                                        .sum::<f64>();
+                                }
+                            }
+                        }
+                        cotangents.push(b_k);
+                        accumulate(&mut grads, th, gth);
+                    }
+                    let gx = basis.adjoint_combine(&cotangents);
+                    accumulate(&mut grads, *x, gx);
+                }
+                Op::GraphMaxPool { x, map, argmax } => {
+                    let gx = map.max_backward(&g, argmax);
+                    accumulate(&mut grads, *x, gx);
+                }
+                Op::Conv2d { x, kernel, bias, spec } => {
+                    let xv = &self.nodes[x.0].value;
+                    let kv = &self.nodes[kernel.0].value;
+                    let (gx, gk, gb) = conv2d_backward(xv, kv, &g, spec);
+                    accumulate(&mut grads, *x, gx);
+                    accumulate(&mut grads, *kernel, gk);
+                    accumulate(&mut grads, *bias, gb);
+                }
+                Op::MaxPool2d { x, spec, argmax } => {
+                    let gx = maxpool2d_backward(&g, spec, argmax);
+                    accumulate(&mut grads, *x, gx);
+                }
+                Op::BatchOuter { col, rows } => {
+                    let p = &self.nodes[col.0].value;
+                    let z = &self.nodes[rows.0].value;
+                    let (beta, n, m) = (p.rows(), z.rows(), z.cols());
+                    let mut gp = Matrix::zeros(beta, 1);
+                    let mut gz = Matrix::zeros(n, m);
+                    for b in 0..n {
+                        for k in 0..beta {
+                            for j in 0..m {
+                                let gv = g[(b, k * m + j)];
+                                gp[(k, 0)] += gv * z[(b, j)];
+                                gz[(b, j)] += gv * p[(k, 0)];
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, *col, gp);
+                    accumulate(&mut grads, *rows, gz);
+                }
+                Op::KlLossMasked { pred, label, row_mask, eps } => {
+                    // d/dŵ [w · ln((w+ε)/(ŵ+ε))] = −w/(ŵ+ε).
+                    let pv = &self.nodes[pred.0].value;
+                    let go = g[(0, 0)];
+                    let mut gp = Matrix::zeros(pv.rows(), pv.cols());
+                    for r in 0..pv.rows() {
+                        if row_mask[r] == 0.0 {
+                            continue;
+                        }
+                        for c in 0..pv.cols() {
+                            let w_hat = pv[(r, c)];
+                            let w = label[(r, c)];
+                            gp[(r, c)] = -go * row_mask[r] * w / (w_hat + eps);
+                        }
+                    }
+                    accumulate(&mut grads, *pred, gp);
+                }
+                Op::MseMasked { pred, label, mask } => {
+                    let pv = &self.nodes[pred.0].value;
+                    let go = g[(0, 0)];
+                    let count: f64 = mask.sum().max(1.0);
+                    let gp = Matrix::from_fn(pv.rows(), pv.cols(), |r, c| {
+                        go * 2.0 * mask[(r, c)] * (pv[(r, c)] - label[(r, c)]) / count
+                    });
+                    accumulate(&mut grads, *pred, gp);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], id: NodeId, delta: Matrix) {
+    match &mut grads[id.0] {
+        Some(existing) => {
+            assert_eq!(existing.shape(), delta.shape(), "gradient shape mismatch");
+            for (dst, src) in existing.as_mut_slice().iter_mut().zip(delta.as_slice()) {
+                *dst += src;
+            }
+        }
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+// ----- dense conv kernels ----------------------------------------------------
+
+fn conv2d_forward(x: &Matrix, kernel: &Matrix, bias: &Matrix, spec: &ConvSpec) -> Matrix {
+    let ConvSpec { batch, in_ch, out_ch, h, w, kh, kw } = *spec;
+    assert_eq!(x.rows(), batch * in_ch, "conv input row mismatch");
+    assert_eq!(x.cols(), h * w, "conv input col mismatch");
+    assert_eq!(kernel.shape(), (out_ch, in_ch * kh * kw), "kernel shape mismatch");
+    assert_eq!(bias.shape(), (1, out_ch), "bias shape mismatch");
+    let (ph0, pw0) = ((kh - 1) / 2, (kw - 1) / 2);
+    let mut out = Matrix::zeros(batch * out_ch, h * w);
+    for b in 0..batch {
+        for oc in 0..out_ch {
+            let orow = b * out_ch + oc;
+            for i in 0..h {
+                for j in 0..w {
+                    let mut acc = bias[(0, oc)];
+                    for ic in 0..in_ch {
+                        let xrow = b * in_ch + ic;
+                        for di in 0..kh {
+                            let si = i as isize + di as isize - ph0 as isize;
+                            if si < 0 || si >= h as isize {
+                                continue;
+                            }
+                            for dj in 0..kw {
+                                let sj = j as isize + dj as isize - pw0 as isize;
+                                if sj < 0 || sj >= w as isize {
+                                    continue;
+                                }
+                                let kcol = ic * kh * kw + di * kw + dj;
+                                acc +=
+                                    kernel[(oc, kcol)] * x[(xrow, si as usize * w + sj as usize)];
+                            }
+                        }
+                    }
+                    out[(orow, i * w + j)] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn conv2d_backward(
+    x: &Matrix,
+    kernel: &Matrix,
+    g: &Matrix,
+    spec: &ConvSpec,
+) -> (Matrix, Matrix, Matrix) {
+    let ConvSpec { batch, in_ch, out_ch, h, w, kh, kw } = *spec;
+    let (ph0, pw0) = ((kh - 1) / 2, (kw - 1) / 2);
+    let mut gx = Matrix::zeros(batch * in_ch, h * w);
+    let mut gk = Matrix::zeros(out_ch, in_ch * kh * kw);
+    let mut gb = Matrix::zeros(1, out_ch);
+    for b in 0..batch {
+        for oc in 0..out_ch {
+            let orow = b * out_ch + oc;
+            for i in 0..h {
+                for j in 0..w {
+                    let gv = g[(orow, i * w + j)];
+                    if gv == 0.0 {
+                        continue;
+                    }
+                    gb[(0, oc)] += gv;
+                    for ic in 0..in_ch {
+                        let xrow = b * in_ch + ic;
+                        for di in 0..kh {
+                            let si = i as isize + di as isize - ph0 as isize;
+                            if si < 0 || si >= h as isize {
+                                continue;
+                            }
+                            for dj in 0..kw {
+                                let sj = j as isize + dj as isize - pw0 as isize;
+                                if sj < 0 || sj >= w as isize {
+                                    continue;
+                                }
+                                let kcol = ic * kh * kw + di * kw + dj;
+                                let xidx = (xrow, si as usize * w + sj as usize);
+                                gk[(oc, kcol)] += gv * x[xidx];
+                                gx[xidx] += gv * kernel[(oc, kcol)];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (gx, gk, gb)
+}
+
+fn maxpool2d_forward(x: &Matrix, spec: &PoolSpec) -> (Matrix, Vec<usize>) {
+    let PoolSpec { batch, ch, h, w, ph, pw } = *spec;
+    assert_eq!(x.rows(), batch * ch, "pool input row mismatch");
+    assert_eq!(x.cols(), h * w, "pool input col mismatch");
+    let (ho, wo) = (spec.out_h(), spec.out_w());
+    assert!(ho > 0 && wo > 0, "pool window larger than input");
+    let mut out = Matrix::zeros(batch * ch, ho * wo);
+    let mut argmax = vec![0usize; batch * ch * ho * wo];
+    for r in 0..batch * ch {
+        for oi in 0..ho {
+            for oj in 0..wo {
+                let mut best = f64::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for di in 0..ph {
+                    for dj in 0..pw {
+                        let idx = (oi * ph + di) * w + (oj * pw + dj);
+                        if x[(r, idx)] > best {
+                            best = x[(r, idx)];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                out[(r, oi * wo + oj)] = best;
+                argmax[r * ho * wo + oi * wo + oj] = best_idx;
+            }
+        }
+    }
+    (out, argmax)
+}
+
+fn maxpool2d_backward(g: &Matrix, spec: &PoolSpec, argmax: &[usize]) -> Matrix {
+    let PoolSpec { batch, ch, h, w, .. } = *spec;
+    let (ho, wo) = (spec.out_h(), spec.out_w());
+    let mut gx = Matrix::zeros(batch * ch, h * w);
+    for r in 0..batch * ch {
+        for o in 0..ho * wo {
+            gx[(r, argmax[r * ho * wo + o])] += g[(r, o)];
+        }
+    }
+    gx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]));
+        let y = tape.softmax_rows(x);
+        let v = tape.value(y);
+        for i in 0..2 {
+            assert!((v.row(i).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(v.row(i).iter().all(|&p| p > 0.0));
+        }
+        // Monotone in the logits.
+        assert!(v[(0, 2)] > v[(0, 1)] && v[(0, 1)] > v[(0, 0)]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Matrix::from_rows(&[&[1000.0, 1001.0]]));
+        let b = tape.constant(Matrix::from_rows(&[&[0.0, 1.0]]));
+        let sa = tape.softmax_rows(a);
+        let sb = tape.softmax_rows(b);
+        let (va, vb) = (tape.value(sa).clone(), tape.value(sb).clone());
+        assert!(va.approx_eq(&vb, 1e-12));
+        assert!(va.is_finite());
+    }
+
+    #[test]
+    fn normalize_rows_normalises() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::from_rows(&[&[2.0, 2.0], &[1.0, 3.0]]));
+        let y = tape.normalize_rows(x, 0.0);
+        assert_eq!(tape.value(y), &Matrix::from_rows(&[&[0.5, 0.5], &[0.25, 0.75]]));
+    }
+
+    #[test]
+    fn conv2d_identity_kernel_is_identity() {
+        // 1×1 kernel with weight 1 and zero bias reproduces the input.
+        let mut tape = Tape::new();
+        let spec = ConvSpec { batch: 2, in_ch: 1, out_ch: 1, h: 3, w: 4, kh: 1, kw: 1 };
+        let input = Matrix::from_fn(2, 12, |i, j| (i * 12 + j) as f64);
+        let x = tape.constant(input.clone());
+        let k = tape.constant(Matrix::from_vec(1, 1, vec![1.0]));
+        let b = tape.constant(Matrix::zeros(1, 1));
+        let y = tape.conv2d(x, k, b, spec);
+        assert_eq!(tape.value(y), &input);
+    }
+
+    #[test]
+    fn conv2d_same_padding_shapes() {
+        let mut tape = Tape::new();
+        let spec = ConvSpec { batch: 1, in_ch: 2, out_ch: 3, h: 4, w: 5, kh: 2, kw: 2 };
+        let x = tape.constant(Matrix::zeros(2, 20));
+        let k = tape.constant(Matrix::zeros(3, 8));
+        let b = tape.constant(Matrix::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let y = tape.conv2d(x, k, b, spec);
+        assert_eq!(tape.value(y).shape(), (3, 20));
+        // Zero input, zero kernel: output = bias per channel.
+        assert!(tape.value(y).row(0).iter().all(|&v| v == 1.0));
+        assert!(tape.value(y).row(2).iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn maxpool2d_known_values() {
+        let mut tape = Tape::new();
+        // One 2×4 image: [[1,5,2,0],[3,4,9,8]] pooled 2×2 -> [5, 9].
+        let spec = PoolSpec { batch: 1, ch: 1, h: 2, w: 4, ph: 2, pw: 2 };
+        let x = tape.constant(Matrix::from_rows(&[&[1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 9.0, 8.0]]));
+        let y = tape.max_pool2d(x, spec);
+        assert_eq!(tape.value(y), &Matrix::from_rows(&[&[5.0, 9.0]]));
+    }
+
+    #[test]
+    fn batch_outer_known_values() {
+        let mut tape = Tape::new();
+        let col = tape.constant(Matrix::from_rows(&[&[2.0], &[3.0]])); // β = 2
+        let rows = tape.constant(Matrix::from_rows(&[&[1.0, 10.0], &[5.0, 7.0]])); // n=2, m=2
+        let y = tape.batch_outer(col, rows);
+        // Block row 0: [2·1, 2·10, 3·1, 3·10].
+        assert_eq!(
+            tape.value(y),
+            &Matrix::from_rows(&[&[2.0, 20.0, 3.0, 30.0], &[10.0, 14.0, 15.0, 21.0]])
+        );
+    }
+
+    #[test]
+    fn kl_loss_zero_for_exact_prediction() {
+        let mut tape = Tape::new();
+        let label = Matrix::from_rows(&[&[0.5, 0.5], &[0.9, 0.1]]);
+        let pred = tape.constant(label.clone());
+        let loss = tape.kl_loss_masked(pred, label, vec![1.0, 1.0], 1e-9);
+        assert!(tape.value(loss)[(0, 0)].abs() < 1e-9);
+    }
+
+    #[test]
+    fn kl_loss_ignores_masked_rows() {
+        let mut tape = Tape::new();
+        let label = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let pred = tape.constant(Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0]]));
+        // Row 1 is badly wrong but masked out.
+        let loss = tape.kl_loss_masked(pred, label, vec![1.0, 0.0], 1e-9);
+        assert!(tape.value(loss)[(0, 0)].abs() < 1e-9);
+    }
+
+    #[test]
+    fn mse_masked_counts_only_masked_cells() {
+        let mut tape = Tape::new();
+        let pred = tape.constant(Matrix::from_rows(&[&[1.0], &[5.0]]));
+        let label = Matrix::from_rows(&[&[0.0], &[0.0]]);
+        let mask = Matrix::from_rows(&[&[1.0], &[0.0]]);
+        let loss = tape.mse_masked(pred, label, mask);
+        assert_eq!(tape.value(loss)[(0, 0)], 1.0); // (1-0)² / 1
+    }
+
+    #[test]
+    fn tile_and_select_are_inverse_on_first_block() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let tiled = tape.tile_cols(x, 3);
+        assert_eq!(tape.value(tiled).cols(), 6);
+        let back = tape.select_cols(tiled, 2, 2);
+        assert_eq!(tape.value(back), &Matrix::from_rows(&[&[1.0, 2.0]]));
+    }
+
+    #[test]
+    fn transpose_and_reshape_values() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let t = tape.transpose(x);
+        assert_eq!(tape.value(t), &Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]));
+        let r = tape.reshape(x, 1, 4);
+        assert_eq!(tape.value(r), &Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]));
+    }
+
+    #[test]
+    fn backward_requires_scalar_loss() {
+        let mut store = ParamStore::new();
+        let id = store.add("x", Matrix::zeros(2, 2));
+        let mut tape = Tape::new();
+        let x = tape.param(&store, id);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tape.backward(x, &mut store);
+        }));
+        assert!(result.is_err(), "non-scalar loss must panic");
+    }
+}

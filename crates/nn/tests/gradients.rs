@@ -1,0 +1,550 @@
+//! Finite-difference validation of every tape operation's backward rule.
+
+use std::rc::Rc;
+
+use gcwc_graph::{ChebyshevBasis, PoolingMap, RandomWalkBasis};
+use gcwc_linalg::rng::seeded;
+use gcwc_linalg::{CsrMatrix, Matrix};
+use gcwc_nn::gradcheck::assert_gradients;
+use gcwc_nn::{ConvSpec, ParamStore, PoolSpec, Tape};
+
+const TOL: f64 = 1e-5;
+
+fn rand_param(
+    store: &mut ParamStore,
+    name: &str,
+    r: usize,
+    c: usize,
+    seed: u64,
+) -> gcwc_nn::ParamId {
+    let mut rng = seeded(seed);
+    store.add(name, gcwc_nn::init::glorot_uniform(&mut rng, r, c))
+}
+
+/// A generic scalarisation: weighted sum so gradients are non-uniform.
+fn weighted_sum(tape: &mut Tape, x: gcwc_nn::NodeId) -> gcwc_nn::NodeId {
+    let v = tape.value(x).clone();
+    let weights =
+        Matrix::from_fn(v.rows(), v.cols(), |i, j| 0.3 + 0.1 * (i as f64) - 0.07 * (j as f64));
+    let w = tape.constant(weights);
+    let prod = tape.mul(x, w);
+    tape.sum_all(prod)
+}
+
+#[test]
+fn grad_add_sub_mul() {
+    let mut store = ParamStore::new();
+    let a = rand_param(&mut store, "a", 3, 4, 1);
+    let b = rand_param(&mut store, "b", 3, 4, 2);
+    assert_gradients(
+        &mut store,
+        |tape, store| {
+            let an = tape.param(store, a);
+            let bn = tape.param(store, b);
+            let s = tape.add(an, bn);
+            let d = tape.sub(s, bn);
+            let m = tape.mul(d, s);
+            weighted_sum(tape, m)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_div_eps() {
+    let mut store = ParamStore::new();
+    let a = rand_param(&mut store, "a", 2, 3, 3);
+    // Keep denominators away from zero.
+    let mut rng = seeded(4);
+    let b = store
+        .add("b", Matrix::from_fn(2, 3, |_, _| 1.0 + gcwc_linalg::rng::normal(&mut rng).abs()));
+    assert_gradients(
+        &mut store,
+        |tape, store| {
+            let an = tape.param(store, a);
+            let bn = tape.param(store, b);
+            let q = tape.div_eps(an, bn, 1e-6);
+            weighted_sum(tape, q)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_matmul_chain() {
+    let mut store = ParamStore::new();
+    let a = rand_param(&mut store, "a", 3, 4, 5);
+    let b = rand_param(&mut store, "b", 4, 2, 6);
+    let c = rand_param(&mut store, "c", 2, 3, 7);
+    assert_gradients(
+        &mut store,
+        |tape, store| {
+            let an = tape.param(store, a);
+            let bn = tape.param(store, b);
+            let cn = tape.param(store, c);
+            let ab = tape.matmul(an, bn);
+            let abc = tape.matmul(ab, cn);
+            weighted_sum(tape, abc)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_bias_broadcast() {
+    let mut store = ParamStore::new();
+    let x = rand_param(&mut store, "x", 4, 3, 8);
+    let b = rand_param(&mut store, "b", 1, 3, 9);
+    assert_gradients(
+        &mut store,
+        |tape, store| {
+            let xn = tape.param(store, x);
+            let bn = tape.param(store, b);
+            let y = tape.add_row_broadcast(xn, bn);
+            weighted_sum(tape, y)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_activations() {
+    let mut store = ParamStore::new();
+    let x = rand_param(&mut store, "x", 3, 3, 10);
+    assert_gradients(
+        &mut store,
+        |tape, store| {
+            let xn = tape.param(store, x);
+            let t = tape.tanh(xn);
+            let s = tape.sigmoid(t);
+            weighted_sum(tape, s)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_relu() {
+    let mut store = ParamStore::new();
+    // Offsets keep entries away from the kink at 0 where the numeric
+    // derivative is undefined.
+    let mut rng = seeded(11);
+    let x = store.add(
+        "x",
+        Matrix::from_fn(3, 3, |_, _| {
+            let v = gcwc_linalg::rng::normal(&mut rng);
+            if v.abs() < 0.2 {
+                v + 0.5
+            } else {
+                v
+            }
+        }),
+    );
+    assert_gradients(
+        &mut store,
+        |tape, store| {
+            let xn = tape.param(store, x);
+            let y = tape.relu(xn);
+            weighted_sum(tape, y)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_log_and_pow() {
+    let mut store = ParamStore::new();
+    let mut rng = seeded(12);
+    let x = store
+        .add("x", Matrix::from_fn(2, 3, |_, _| 0.5 + gcwc_linalg::rng::normal(&mut rng).abs()));
+    assert_gradients(
+        &mut store,
+        |tape, store| {
+            let xn = tape.param(store, x);
+            let l = tape.log_eps(xn, 1e-6);
+            let p = tape.pow_scalar(xn, 2.0);
+            let s = tape.add(l, p);
+            weighted_sum(tape, s)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_softmax_rows() {
+    let mut store = ParamStore::new();
+    let x = rand_param(&mut store, "x", 4, 5, 13);
+    assert_gradients(
+        &mut store,
+        |tape, store| {
+            let xn = tape.param(store, x);
+            let y = tape.softmax_rows(xn);
+            weighted_sum(tape, y)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_normalize_rows() {
+    let mut store = ParamStore::new();
+    let mut rng = seeded(14);
+    let x = store
+        .add("x", Matrix::from_fn(3, 4, |_, _| 0.3 + gcwc_linalg::rng::normal(&mut rng).abs()));
+    assert_gradients(
+        &mut store,
+        |tape, store| {
+            let xn = tape.param(store, x);
+            let y = tape.normalize_rows(xn, 1e-9);
+            weighted_sum(tape, y)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_reshape_hstack_select() {
+    let mut store = ParamStore::new();
+    let a = rand_param(&mut store, "a", 3, 4, 15);
+    let b = rand_param(&mut store, "b", 3, 2, 16);
+    assert_gradients(
+        &mut store,
+        |tape, store| {
+            let an = tape.param(store, a);
+            let bn = tape.param(store, b);
+            let stacked = tape.hstack(&[an, bn]); // 3x6
+            let reshaped = tape.reshape(stacked, 2, 9);
+            let row = tape.select_row(reshaped, 1);
+            weighted_sum(tape, row)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_dropout_mask_is_linear() {
+    let mut store = ParamStore::new();
+    let x = rand_param(&mut store, "x", 3, 3, 17);
+    let mask = gcwc_nn::dropout_mask(&mut seeded(18), 3, 3, 0.4);
+    assert_gradients(
+        &mut store,
+        move |tape, store| {
+            let xn = tape.param(store, x);
+            let y = tape.dropout(xn, mask.clone());
+            weighted_sum(tape, y)
+        },
+        TOL,
+    );
+}
+
+fn path_adjacency(n: usize) -> CsrMatrix {
+    CsrMatrix::from_triplets(n, n, (0..n - 1).flat_map(|i| [(i, i + 1, 1.0), (i + 1, i, 1.0)]))
+}
+
+#[test]
+fn grad_chebyshev_conv() {
+    let mut store = ParamStore::new();
+    let n = 6;
+    let (c_in, c_out, k) = (3, 2, 4);
+    let x = rand_param(&mut store, "x", n, c_in, 19);
+    let thetas: Vec<_> = (0..k)
+        .map(|i| rand_param(&mut store, &format!("theta{i}"), c_in, c_out, 20 + i as u64))
+        .collect();
+    let basis: Rc<dyn gcwc_graph::PolyBasis> =
+        Rc::new(ChebyshevBasis::from_adjacency(&path_adjacency(n), k));
+    assert_gradients(
+        &mut store,
+        move |tape, store| {
+            let xn = tape.param(store, x);
+            let th: Vec<_> = thetas.iter().map(|&t| tape.param(store, t)).collect();
+            let y = tape.poly_conv(xn, &th, Rc::clone(&basis));
+            weighted_sum(tape, y)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_random_walk_conv() {
+    let mut store = ParamStore::new();
+    let n = 5;
+    let (c_in, c_out, k) = (2, 3, 3);
+    let x = rand_param(&mut store, "x", n, c_in, 30);
+    let thetas: Vec<_> = (0..k)
+        .map(|i| rand_param(&mut store, &format!("theta{i}"), c_in, c_out, 31 + i as u64))
+        .collect();
+    let basis: Rc<dyn gcwc_graph::PolyBasis> =
+        Rc::new(RandomWalkBasis::from_adjacency(&path_adjacency(n), k));
+    assert_gradients(
+        &mut store,
+        move |tape, store| {
+            let xn = tape.param(store, x);
+            let th: Vec<_> = thetas.iter().map(|&t| tape.param(store, t)).collect();
+            let y = tape.poly_conv(xn, &th, Rc::clone(&basis));
+            weighted_sum(tape, y)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_graph_max_pool() {
+    let mut store = ParamStore::new();
+    // Values spread out so the argmax is stable under the probe step.
+    let x = store.add("x", Matrix::from_fn(6, 2, |i, j| (i * 2 + j) as f64 * 0.7 - 3.0));
+    let map = Rc::new(PoolingMap::new(vec![vec![0, 1], vec![2, 3, 4], vec![5]], 6));
+    assert_gradients(
+        &mut store,
+        move |tape, store| {
+            let xn = tape.param(store, x);
+            let y = tape.graph_max_pool(xn, Rc::clone(&map));
+            weighted_sum(tape, y)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_conv2d() {
+    let mut store = ParamStore::new();
+    let spec = ConvSpec { batch: 2, in_ch: 2, out_ch: 3, h: 4, w: 5, kh: 2, kw: 2 };
+    let x = rand_param(&mut store, "x", spec.batch * spec.in_ch, spec.h * spec.w, 40);
+    let k = rand_param(&mut store, "k", spec.out_ch, spec.in_ch * spec.kh * spec.kw, 41);
+    let b = rand_param(&mut store, "b", 1, spec.out_ch, 42);
+    assert_gradients(
+        &mut store,
+        move |tape, store| {
+            let xn = tape.param(store, x);
+            let kn = tape.param(store, k);
+            let bn = tape.param(store, b);
+            let y = tape.conv2d(xn, kn, bn, spec);
+            weighted_sum(tape, y)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_maxpool2d() {
+    let mut store = ParamStore::new();
+    let spec = PoolSpec { batch: 2, ch: 2, h: 4, w: 6, ph: 2, pw: 2 };
+    // Distinct values keep argmax stable around the finite-difference probe.
+    let x = store.add(
+        "x",
+        Matrix::from_fn(spec.batch * spec.ch, spec.h * spec.w, |i, j| {
+            ((i * 31 + j * 17) % 97) as f64 * 0.1
+        }),
+    );
+    assert_gradients(
+        &mut store,
+        move |tape, store| {
+            let xn = tape.param(store, x);
+            let y = tape.max_pool2d(xn, spec);
+            weighted_sum(tape, y)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_batch_outer() {
+    let mut store = ParamStore::new();
+    let col = rand_param(&mut store, "col", 4, 1, 50);
+    let rows = rand_param(&mut store, "rows", 3, 5, 51);
+    assert_gradients(
+        &mut store,
+        |tape, store| {
+            let c = tape.param(store, col);
+            let r = tape.param(store, rows);
+            let y = tape.batch_outer(c, r);
+            weighted_sum(tape, y)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_kl_loss_masked() {
+    let mut store = ParamStore::new();
+    let x = rand_param(&mut store, "x", 4, 5, 60);
+    let label = {
+        let mut rng = seeded(61);
+        let mut m = Matrix::from_fn(4, 5, |_, _| gcwc_linalg::rng::normal(&mut rng).abs() + 0.1);
+        for i in 0..4 {
+            let s: f64 = m.row(i).iter().sum();
+            for v in m.row_mut(i) {
+                *v /= s;
+            }
+        }
+        m
+    };
+    let mask = vec![1.0, 0.0, 1.0, 1.0];
+    assert_gradients(
+        &mut store,
+        move |tape, store| {
+            let xn = tape.param(store, x);
+            let pred = tape.softmax_rows(xn);
+            tape.kl_loss_masked(pred, label.clone(), mask.clone(), 1e-6)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_mse_masked() {
+    let mut store = ParamStore::new();
+    let x = rand_param(&mut store, "x", 3, 4, 70);
+    let label = Matrix::from_fn(3, 4, |i, j| (i + j) as f64 * 0.2);
+    let mask = Matrix::from_fn(3, 4, |i, _| if i == 1 { 0.0 } else { 1.0 });
+    assert_gradients(
+        &mut store,
+        move |tape, store| {
+            let xn = tape.param(store, x);
+            let pred = tape.sigmoid(xn);
+            tape.mse_masked(pred, label.clone(), mask.clone())
+        },
+        TOL,
+    );
+}
+
+/// End-to-end composite: a miniature GCWC-like stack (graph conv → pool →
+/// dense → softmax → KL) must gradient-check as a whole.
+#[test]
+fn grad_composite_gcwc_like_stack() {
+    let mut store = ParamStore::new();
+    let n = 6;
+    let (m_buckets, f) = (3, 4);
+    let x = rand_param(&mut store, "x", n, m_buckets, 80);
+    let k = 3;
+    let thetas: Vec<_> = (0..k)
+        .map(|i| rand_param(&mut store, &format!("th{i}"), m_buckets, f, 81 + i as u64))
+        .collect();
+    let fc_w = rand_param(&mut store, "fc.w", 3 * f, n * m_buckets, 90);
+    let fc_b = rand_param(&mut store, "fc.b", 1, n * m_buckets, 91);
+    let basis: Rc<dyn gcwc_graph::PolyBasis> =
+        Rc::new(ChebyshevBasis::from_adjacency(&path_adjacency(n), k));
+    let map = Rc::new(PoolingMap::new(vec![vec![0, 1], vec![2, 3], vec![4, 5]], n));
+    let label = {
+        let mut l = Matrix::filled(n, m_buckets, 1.0 / m_buckets as f64);
+        l[(0, 0)] = 0.5;
+        l[(0, 1)] = 0.3;
+        l[(0, 2)] = 0.2;
+        l
+    };
+    let mask = vec![1.0, 1.0, 0.0, 1.0, 1.0, 0.0];
+    assert_gradients(
+        &mut store,
+        move |tape, store| {
+            let xn = tape.param(store, x);
+            let th: Vec<_> = thetas.iter().map(|&t| tape.param(store, t)).collect();
+            let conv = tape.poly_conv(xn, &th, Rc::clone(&basis));
+            let act = tape.tanh(conv);
+            let pooled = tape.graph_max_pool(act, Rc::clone(&map));
+            let flat = tape.reshape(pooled, 1, 3 * f);
+            let w = tape.param(store, fc_w);
+            let b = tape.param(store, fc_b);
+            let z = tape.matmul(flat, w);
+            let z = tape.add_row_broadcast(z, b);
+            let z = tape.reshape(z, n, m_buckets);
+            let pred = tape.softmax_rows(z);
+            tape.kl_loss_masked(pred, label.clone(), mask.clone(), 1e-6)
+        },
+        1e-4,
+    );
+}
+
+#[test]
+fn grad_transpose() {
+    let mut store = ParamStore::new();
+    let x = rand_param(&mut store, "x", 3, 5, 100);
+    assert_gradients(
+        &mut store,
+        |tape, store| {
+            let xn = tape.param(store, x);
+            let t = tape.transpose(xn);
+            weighted_sum(tape, t)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_select_cols() {
+    let mut store = ParamStore::new();
+    let x = rand_param(&mut store, "x", 4, 6, 110);
+    assert_gradients(
+        &mut store,
+        |tape, store| {
+            let xn = tape.param(store, x);
+            let block = tape.select_cols(xn, 2, 3);
+            weighted_sum(tape, block)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn grad_grouped_poly_conv() {
+    let mut store = ParamStore::new();
+    let n = 6;
+    let (groups, c_in, c_out, k) = (3usize, 2usize, 4usize, 3usize);
+    let x = rand_param(&mut store, "x", n, groups * c_in, 120);
+    let thetas: Vec<_> = (0..k)
+        .map(|i| rand_param(&mut store, &format!("gth{i}"), c_in, c_out, 121 + i as u64))
+        .collect();
+    let basis: Rc<dyn gcwc_graph::PolyBasis> =
+        Rc::new(ChebyshevBasis::from_adjacency(&path_adjacency(n), k));
+    assert_gradients(
+        &mut store,
+        move |tape, store| {
+            let xn = tape.param(store, x);
+            let th: Vec<_> = thetas.iter().map(|&t| tape.param(store, t)).collect();
+            let y = tape.poly_conv_grouped(xn, &th, Rc::clone(&basis), groups);
+            weighted_sum(tape, y)
+        },
+        TOL,
+    );
+}
+
+/// The grouped op must agree with running each group through the plain
+/// op separately.
+#[test]
+fn grouped_poly_conv_matches_separate_groups() {
+    let mut store = ParamStore::new();
+    let n = 5;
+    let (groups, c_in, c_out, k) = (2usize, 3usize, 2usize, 4usize);
+    let x = rand_param(&mut store, "x", n, groups * c_in, 130);
+    let thetas: Vec<_> = (0..k)
+        .map(|i| rand_param(&mut store, &format!("sth{i}"), c_in, c_out, 131 + i as u64))
+        .collect();
+    let basis: Rc<dyn gcwc_graph::PolyBasis> =
+        Rc::new(ChebyshevBasis::from_adjacency(&path_adjacency(n), k));
+
+    let mut tape = Tape::new();
+    let xn = tape.param(&store, x);
+    let th: Vec<_> = thetas.iter().map(|&t| tape.param(&store, t)).collect();
+    let grouped = tape.poly_conv_grouped(xn, &th, Rc::clone(&basis), groups);
+
+    for g in 0..groups {
+        let block_in = tape.select_cols(xn, g * c_in, c_in);
+        let single = tape.poly_conv(block_in, &th, Rc::clone(&basis));
+        let block_out = tape.select_cols(grouped, g * c_out, c_out);
+        let sv = tape.value(single).clone();
+        assert!(tape.value(block_out).approx_eq(&sv, 1e-10), "group {g} mismatch");
+    }
+}
+
+#[test]
+fn grad_tile_cols() {
+    let mut store = ParamStore::new();
+    let x = rand_param(&mut store, "x", 2, 3, 140);
+    assert_gradients(
+        &mut store,
+        |tape, store| {
+            let xn = tape.param(store, x);
+            let tiled = tape.tile_cols(xn, 4);
+            weighted_sum(tape, tiled)
+        },
+        TOL,
+    );
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for tape semantics (beyond the pointwise
+//! gradient checks in `gradients.rs`).
+
+use gcwc_linalg::Matrix;
+use gcwc_nn::{ParamStore, Tape};
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-5.0f64..5.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tape's arithmetic agrees with direct matrix arithmetic.
+    #[test]
+    fn tape_arithmetic_matches_matrices(a in matrix(3, 4), b in matrix(3, 4)) {
+        let mut tape = Tape::new();
+        let an = tape.constant(a.clone());
+        let bn = tape.constant(b.clone());
+        let sum = tape.add(an, bn);
+        let diff = tape.sub(an, bn);
+        let prod = tape.mul(an, bn);
+        prop_assert_eq!(tape.value(sum), &(&a + &b));
+        prop_assert_eq!(tape.value(diff), &(&a - &b));
+        prop_assert_eq!(tape.value(prod), &a.hadamard(&b));
+    }
+
+    /// Softmax output rows always form distributions.
+    #[test]
+    fn softmax_always_normalises(x in matrix(4, 6)) {
+        let mut tape = Tape::new();
+        let xn = tape.constant(x);
+        let y = tape.softmax_rows(xn);
+        for i in 0..4 {
+            let s: f64 = tape.value(y).row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            prop_assert!(tape.value(y).row(i).iter().all(|&p| p > 0.0));
+        }
+    }
+
+    /// Gradient accumulation is additive: backward of (f + f) gives
+    /// exactly twice the gradient of f.
+    #[test]
+    fn gradients_are_additive(a in matrix(2, 3)) {
+        let grad_of = |double: bool| -> Vec<f64> {
+            let mut store = ParamStore::new();
+            let id = store.add("x", a.clone());
+            let mut tape = Tape::new();
+            let x = tape.param(&store, id);
+            let sq = tape.mul(x, x);
+            let one = tape.sum_all(sq);
+            let loss = if double { tape.add(one, one) } else { one };
+            let loss = tape.sum_all(loss);
+            tape.backward(loss, &mut store);
+            store.grad(id).as_slice().to_vec()
+        };
+        let single = grad_of(false);
+        let double = grad_of(true);
+        for (s, d) in single.iter().zip(&double) {
+            prop_assert!((2.0 * s - d).abs() < 1e-9);
+        }
+    }
+
+    /// Linearity of the backward pass: grad of (c·f) = c · grad f.
+    #[test]
+    fn backward_is_linear_in_scaling(a in matrix(2, 2), c in -3.0f64..3.0) {
+        let grad_of = |scale: f64| -> Vec<f64> {
+            let mut store = ParamStore::new();
+            let id = store.add("x", a.clone());
+            let mut tape = Tape::new();
+            let x = tape.param(&store, id);
+            let t = tape.tanh(x);
+            let scaled = tape.scale(t, scale);
+            let loss = tape.sum_all(scaled);
+            tape.backward(loss, &mut store);
+            store.grad(id).as_slice().to_vec()
+        };
+        let base = grad_of(1.0);
+        let scaled = grad_of(c);
+        for (b, s) in base.iter().zip(&scaled) {
+            prop_assert!((c * b - s).abs() < 1e-9, "{} vs {}", c * b, s);
+        }
+    }
+
+    /// Reshape and transpose round-trips preserve both values and
+    /// gradients.
+    #[test]
+    fn transpose_roundtrip_is_identity(a in matrix(3, 5)) {
+        let mut store = ParamStore::new();
+        let id = store.add("x", a.clone());
+        let mut tape = Tape::new();
+        let x = tape.param(&store, id);
+        let t = tape.transpose(x);
+        let tt = tape.transpose(t);
+        prop_assert_eq!(tape.value(tt), &a);
+        let w = tape.constant(Matrix::from_fn(3, 5, |i, j| (i + 2 * j) as f64));
+        let prod = tape.mul(tt, w);
+        let loss = tape.sum_all(prod);
+        tape.backward(loss, &mut store);
+        // d(sum(x ⊙ w))/dx = w regardless of the double transpose.
+        prop_assert_eq!(store.grad(id), &Matrix::from_fn(3, 5, |i, j| (i + 2 * j) as f64));
+    }
+
+    /// Dropout in eval style (all-ones mask) is the identity.
+    #[test]
+    fn unit_dropout_mask_is_identity(a in matrix(3, 3)) {
+        let mut tape = Tape::new();
+        let x = tape.constant(a.clone());
+        let y = tape.dropout(x, Matrix::filled(3, 3, 1.0));
+        prop_assert_eq!(tape.value(y), &a);
+    }
+
+    /// normalize_rows of positive matrices always yields distributions
+    /// and is idempotent.
+    #[test]
+    fn normalize_rows_is_idempotent(raw in proptest::collection::vec(0.01f64..5.0, 12)) {
+        let a = Matrix::from_vec(3, 4, raw);
+        let mut tape = Tape::new();
+        let x = tape.constant(a);
+        let once = tape.normalize_rows(x, 0.0);
+        let twice = tape.normalize_rows(once, 0.0);
+        let v1 = tape.value(once).clone();
+        prop_assert!(v1.approx_eq(tape.value(twice), 1e-12));
+        for i in 0..3 {
+            prop_assert!((v1.row(i).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+}

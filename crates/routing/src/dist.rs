@@ -1,0 +1,257 @@
+//! Discrete travel-time distributions.
+//!
+//! A completed stochastic weight is a *speed* histogram; for routing we
+//! convert it to a travel-*time* distribution over the edge (time =
+//! length / speed per bucket) on a fixed time grid, and convolve the
+//! per-edge distributions along a path — exactly the computation behind
+//! the paper's introduction example, where path `P1` with travel-time
+//! distribution `{(30, 0.2), (40, 0.8)}` beats `P2 = {(30, 0.5),
+//! (40, 0.3), (50, 0.2)}` for a 40-minute deadline despite having the
+//! worse mean.
+
+use gcwc_traffic::HistogramSpec;
+
+/// A discrete travel-time distribution on a uniform grid.
+///
+/// `probs[i]` is the probability that the travel time falls in
+/// `[i·resolution, (i+1)·resolution)` seconds.
+///
+/// The paper's introduction example — `P1 = {(30, 0.2), (40, 0.8)}` beats
+/// `P2 = {(30, 0.5), (40, 0.3), (50, 0.2)}` for a 40-minute deadline even
+/// though `P2` has the lower mean:
+///
+/// ```
+/// use gcwc_routing::TravelTimeDist;
+/// let p1 = TravelTimeDist::from_points(&[(1800.0, 0.2), (2400.0, 0.8)], 60.0);
+/// let p2 = TravelTimeDist::from_points(&[(1800.0, 0.5), (2400.0, 0.3), (3000.0, 0.2)], 60.0);
+/// assert!(p2.mean() < p1.mean());                                 // P2 faster on average…
+/// let deadline = 41.0 * 60.0;
+/// assert!(p1.on_time_probability(deadline) > p2.on_time_probability(deadline)); // …but P1 is safer
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct TravelTimeDist {
+    resolution: f64,
+    probs: Vec<f64>,
+}
+
+impl TravelTimeDist {
+    /// Builds a distribution from `(seconds, probability)` pairs,
+    /// quantised to `resolution`-second bins and normalised.
+    ///
+    /// # Panics
+    /// Panics if `resolution` is not positive, any probability is
+    /// negative, or the total mass is zero.
+    pub fn from_points(points: &[(f64, f64)], resolution: f64) -> Self {
+        assert!(resolution > 0.0, "resolution must be positive");
+        let mut max_t = 0.0f64;
+        let mut total = 0.0;
+        for &(t, p) in points {
+            assert!(p >= 0.0, "negative probability");
+            assert!(t >= 0.0, "negative travel time");
+            if p > 0.0 {
+                max_t = max_t.max(t);
+            }
+            total += p;
+        }
+        assert!(total > 0.0, "distribution has no mass");
+        let bins = (max_t / resolution).floor() as usize + 1;
+        let mut probs = vec![0.0; bins];
+        for &(t, p) in points {
+            if p > 0.0 {
+                probs[(t / resolution).floor() as usize] += p / total;
+            }
+        }
+        Self { resolution, probs }
+    }
+
+    /// Converts a speed histogram on an edge of `length_m` metres into a
+    /// travel-time distribution: each speed bucket's midpoint maps to
+    /// `length / speed` seconds.
+    ///
+    /// Zero-probability buckets contribute nothing; the first bucket's
+    /// midpoint is clamped away from zero speed.
+    pub fn from_speed_histogram(
+        hist: &[f64],
+        spec: &HistogramSpec,
+        length_m: f64,
+        resolution: f64,
+    ) -> Self {
+        assert_eq!(hist.len(), spec.buckets, "histogram length mismatch");
+        assert!(length_m > 0.0, "edge length must be positive");
+        let points: Vec<(f64, f64)> = hist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p > 0.0)
+            .map(|(b, &p)| {
+                let speed = spec.bucket_midpoint(b).max(0.5);
+                (length_m / speed, p)
+            })
+            .collect();
+        Self::from_points(&points, resolution)
+    }
+
+    /// A deterministic (single-spike) distribution.
+    pub fn deterministic(seconds: f64, resolution: f64) -> Self {
+        Self::from_points(&[(seconds, 1.0)], resolution)
+    }
+
+    /// Grid resolution in seconds.
+    pub fn resolution(&self) -> f64 {
+        self.resolution
+    }
+
+    /// The bin probabilities.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Mean travel time in seconds (bin midpoints).
+    pub fn mean(&self) -> f64 {
+        self.probs.iter().enumerate().map(|(i, &p)| p * (i as f64 + 0.5) * self.resolution).sum()
+    }
+
+    /// `P(travel time ≤ deadline_seconds)` — the on-time arrival
+    /// probability driving high-resolution path choice.
+    pub fn on_time_probability(&self, deadline_seconds: f64) -> f64 {
+        if deadline_seconds < 0.0 {
+            return 0.0;
+        }
+        let full_bins = (deadline_seconds / self.resolution).floor() as usize;
+        let mut p: f64 = self.probs.iter().take(full_bins).sum();
+        // Partial mass of the bin containing the deadline (uniform
+        // within-bin assumption).
+        if full_bins < self.probs.len() {
+            let frac = (deadline_seconds - full_bins as f64 * self.resolution) / self.resolution;
+            p += self.probs[full_bins] * frac;
+        }
+        p.min(1.0)
+    }
+
+    /// The q-quantile of the travel time (`0 < q ≤ 1`), in seconds.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if acc >= q - 1e-12 {
+                return (i as f64 + 1.0) * self.resolution;
+            }
+        }
+        self.probs.len() as f64 * self.resolution
+    }
+
+    /// Convolution: the distribution of the sum of two independent
+    /// travel times (sequential edges of a path).
+    ///
+    /// # Panics
+    /// Panics if the resolutions differ.
+    pub fn convolve(&self, other: &TravelTimeDist) -> TravelTimeDist {
+        assert!(
+            (self.resolution - other.resolution).abs() < 1e-12,
+            "resolution mismatch in convolution"
+        );
+        let mut probs = vec![0.0; self.probs.len() + other.probs.len() - 1];
+        for (i, &a) in self.probs.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            for (j, &b) in other.probs.iter().enumerate() {
+                probs[i + j] += a * b;
+            }
+        }
+        TravelTimeDist { resolution: self.resolution, probs }
+    }
+
+    /// Total probability mass (1 up to floating-point error).
+    pub fn total_mass(&self) -> f64 {
+        self.probs.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's introduction example in minutes (60-second bins).
+    fn p1() -> TravelTimeDist {
+        TravelTimeDist::from_points(&[(30.0 * 60.0, 0.2), (40.0 * 60.0, 0.8)], 60.0)
+    }
+
+    fn p2() -> TravelTimeDist {
+        TravelTimeDist::from_points(
+            &[(30.0 * 60.0, 0.5), (40.0 * 60.0, 0.3), (50.0 * 60.0, 0.2)],
+            60.0,
+        )
+    }
+
+    #[test]
+    fn paper_intro_example_means() {
+        // P1 mean 38 min, P2 mean 37 min (the paper's numbers, up to the
+        // half-bin midpoint shift which applies equally to both).
+        let diff = p1().mean() - p2().mean();
+        assert!((diff - 60.0).abs() < 1.0, "P1 is one minute slower on average");
+    }
+
+    #[test]
+    fn paper_intro_example_on_time() {
+        // Deadline 40 minutes (end of the 40-min bin): P1 guarantees
+        // arrival, P2 is late with probability 0.2.
+        let deadline = 41.0 * 60.0;
+        assert!((p1().on_time_probability(deadline) - 1.0).abs() < 1e-9);
+        assert!((p2().on_time_probability(deadline) - 0.8).abs() < 1e-9);
+        // Mean-based choice picks P2; distribution-based picks P1.
+        assert!(p2().mean() < p1().mean());
+    }
+
+    #[test]
+    fn speed_histogram_conversion() {
+        let spec = HistogramSpec::hist4();
+        // All mass at bucket 1: midpoint 15 m/s over 300 m -> 20 s.
+        let d = TravelTimeDist::from_speed_histogram(&[0.0, 1.0, 0.0, 0.0], &spec, 300.0, 1.0);
+        assert!((d.mean() - 20.5).abs() < 0.6);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolution_of_spikes() {
+        let a = TravelTimeDist::deterministic(10.0, 1.0);
+        let b = TravelTimeDist::deterministic(5.0, 1.0);
+        let c = a.convolve(&b);
+        assert!((c.mean() - 15.0).abs() < 1.1);
+        assert!((c.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolution_mass_and_mean_are_additive() {
+        let c = p1().convolve(&p2());
+        assert!((c.total_mass() - 1.0).abs() < 1e-9);
+        let expected = p1().mean() + p2().mean();
+        // Mean of the sum = sum of means (small bin-midpoint error).
+        assert!((c.mean() - expected).abs() < 60.0, "{} vs {expected}", c.mean());
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let d = p2();
+        assert!(d.quantile(0.1) <= d.quantile(0.5));
+        assert!(d.quantile(0.5) <= d.quantile(0.95));
+    }
+
+    #[test]
+    fn on_time_probability_is_monotone_cdf() {
+        let d = p2();
+        let mut last = 0.0;
+        for minutes in [0.0, 25.0, 31.0, 41.0, 51.0, 100.0] {
+            let p = d.on_time_probability(minutes * 60.0);
+            assert!(p >= last - 1e-12);
+            last = p;
+        }
+        assert!((last - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no mass")]
+    fn empty_distribution_panics() {
+        TravelTimeDist::from_points(&[], 1.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # gcwc-routing
+//!
+//! High-resolution stochastic routing on completed weights — the paper's
+//! motivating application (§I) and its "integrate GCWC with existing
+//! routing algorithms" future-work item (§VII).
+//!
+//! * [`TravelTimeDist`] — discrete travel-time distributions derived
+//!   from completed speed histograms, with convolution along paths,
+//!   on-time arrival probability and quantiles.
+//! * [`Path`] — validated edge sequences with stochastic and mean
+//!   travel times.
+//! * [`search`] — Dijkstra and Yen's k-shortest simple paths by
+//!   expected time, generating candidates that
+//!   [`choose_by_on_time_probability`] then ranks the way the paper's
+//!   introduction example prescribes.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod path;
+pub mod search;
+
+pub use dist::TravelTimeDist;
+pub use path::{choose_by_on_time_probability, Path};
+pub use search::{edge_costs, k_shortest_paths, shortest_path};

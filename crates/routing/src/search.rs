@@ -1,0 +1,253 @@
+//! Path search: Dijkstra and Yen's k-shortest simple paths over a road
+//! network weighted by expected travel time, generating the candidate
+//! set that stochastic path choice then ranks by on-time probability.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use gcwc_linalg::Matrix;
+use gcwc_traffic::{HistogramSpec, RoadNetwork};
+
+use crate::path::Path;
+
+/// Per-edge expected travel times (seconds) derived from a completed
+/// weight matrix.
+pub fn edge_costs(net: &RoadNetwork, completed: &Matrix, spec: &HistogramSpec) -> Vec<f64> {
+    (0..net.num_edges())
+        .map(|e| {
+            let mean_speed = spec.mean_speed(completed.row(e)).max(0.5);
+            net.edge_length(e).max(1.0) / mean_speed
+        })
+        .collect()
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    vertex: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost.
+        other.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra shortest path from `from` to `to` by the given edge costs,
+/// optionally banning some edges/vertices (used by Yen's spur search).
+/// Returns the edge sequence, or `None` when unreachable.
+fn dijkstra_with_bans(
+    net: &RoadNetwork,
+    costs: &[f64],
+    from: usize,
+    to: usize,
+    banned_edges: &[bool],
+    banned_vertices: &[bool],
+) -> Option<Vec<usize>> {
+    let nv = net.num_vertices();
+    // Outgoing adjacency: vertex -> (edge index, head vertex).
+    let mut out: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nv];
+    for e in 0..net.num_edges() {
+        let edge = net.edge(e);
+        out[edge.from].push((e, edge.to));
+    }
+    let mut dist = vec![f64::INFINITY; nv];
+    let mut pred_edge: Vec<Option<usize>> = vec![None; nv];
+    let mut heap = BinaryHeap::new();
+    dist[from] = 0.0;
+    heap.push(HeapEntry { cost: 0.0, vertex: from });
+    while let Some(HeapEntry { cost, vertex }) = heap.pop() {
+        if cost > dist[vertex] {
+            continue;
+        }
+        if vertex == to {
+            break;
+        }
+        for &(e, head) in &out[vertex] {
+            if banned_edges[e] || banned_vertices[head] {
+                continue;
+            }
+            let next = cost + costs[e];
+            if next < dist[head] {
+                dist[head] = next;
+                pred_edge[head] = Some(e);
+                heap.push(HeapEntry { cost: next, vertex: head });
+            }
+        }
+    }
+    if dist[to].is_infinite() {
+        return None;
+    }
+    // Reconstruct.
+    let mut edges = Vec::new();
+    let mut v = to;
+    while v != from {
+        let e = pred_edge[v].expect("predecessor on reached vertex");
+        edges.push(e);
+        v = net.edge(e).from;
+    }
+    edges.reverse();
+    Some(edges)
+}
+
+/// Shortest path from vertex `from` to vertex `to` by expected travel
+/// time. Returns `None` when unreachable.
+pub fn shortest_path(net: &RoadNetwork, costs: &[f64], from: usize, to: usize) -> Option<Path> {
+    assert_eq!(costs.len(), net.num_edges(), "cost vector length mismatch");
+    let banned_e = vec![false; net.num_edges()];
+    let banned_v = vec![false; net.num_vertices()];
+    dijkstra_with_bans(net, costs, from, to, &banned_e, &banned_v)
+        .map(|edges| Path::new(net, edges))
+}
+
+/// Yen's algorithm: up to `k` loop-free shortest paths by expected
+/// travel time, in non-decreasing cost order.
+pub fn k_shortest_paths(
+    net: &RoadNetwork,
+    costs: &[f64],
+    from: usize,
+    to: usize,
+    k: usize,
+) -> Vec<Path> {
+    assert!(k >= 1, "k must be positive");
+    let Some(first) = shortest_path(net, costs, from, to) else {
+        return Vec::new();
+    };
+    let path_cost = |edges: &[usize]| -> f64 { edges.iter().map(|&e| costs[e]).sum() };
+    let mut accepted: Vec<Vec<usize>> = vec![first.edges().to_vec()];
+    let mut candidates: Vec<(f64, Vec<usize>)> = Vec::new();
+
+    while accepted.len() < k {
+        let last = accepted.last().expect("non-empty").clone();
+        // Spur from every prefix of the last accepted path.
+        for spur_idx in 0..last.len() {
+            let root = &last[..spur_idx];
+            let spur_vertex = if spur_idx == 0 { from } else { net.edge(last[spur_idx - 1]).to };
+            // Ban edges that would recreate an accepted path with this
+            // root, and vertices already on the root (loop-free).
+            let mut banned_e = vec![false; net.num_edges()];
+            for acc in &accepted {
+                if acc.len() > spur_idx && acc[..spur_idx] == *root {
+                    banned_e[acc[spur_idx]] = true;
+                }
+            }
+            let mut banned_v = vec![false; net.num_vertices()];
+            let mut v = from;
+            for &e in root {
+                banned_v[v] = true;
+                v = net.edge(e).to;
+            }
+            if let Some(spur) =
+                dijkstra_with_bans(net, costs, spur_vertex, to, &banned_e, &banned_v)
+            {
+                let mut total: Vec<usize> = root.to_vec();
+                total.extend(spur);
+                if !accepted.contains(&total) && !candidates.iter().any(|(_, c)| c == &total) {
+                    candidates.push((path_cost(&total), total));
+                }
+            }
+        }
+        // Take the cheapest candidate.
+        let Some(best_idx) = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.0.partial_cmp(&b.0).expect("finite costs"))
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        accepted.push(candidates.swap_remove(best_idx).1);
+    }
+    accepted.into_iter().map(|edges| Path::new(net, edges)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcwc_traffic::generators::{self, city_grid};
+
+    fn uniform_completed(n: usize) -> (Matrix, HistogramSpec) {
+        let spec = HistogramSpec::hist8();
+        let mut w = Matrix::zeros(n, 8);
+        for e in 0..n {
+            w[(e, 3)] = 1.0; // 17.5 m/s everywhere
+        }
+        (w, spec)
+    }
+
+    #[test]
+    fn dijkstra_on_grid_finds_manhattan_route() {
+        let net = city_grid(4, 4);
+        let (w, spec) = uniform_completed(net.num_edges());
+        let costs = edge_costs(&net, &w, &spec);
+        // Vertex 0 is (0,0); vertex 15 is (3,3): 6 blocks.
+        let p = shortest_path(&net, &costs, 0, 15).expect("grid is connected");
+        assert_eq!(p.len(), 6, "4x4 grid corner-to-corner is six segments");
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut net = city_grid(2, 2);
+        let isolated = net.add_vertex(10_000.0, 10_000.0);
+        let (w, spec) = uniform_completed(net.num_edges());
+        let costs = edge_costs(&net, &w, &spec);
+        assert!(shortest_path(&net, &costs, 0, isolated).is_none());
+    }
+
+    #[test]
+    fn k_shortest_are_distinct_and_ordered() {
+        let net = city_grid(4, 4);
+        let (w, spec) = uniform_completed(net.num_edges());
+        let costs = edge_costs(&net, &w, &spec);
+        let paths = k_shortest_paths(&net, &costs, 0, 15, 4);
+        assert!(paths.len() >= 3, "a grid has many corner-to-corner routes");
+        let cost_of = |p: &Path| -> f64 { p.edges().iter().map(|&e| costs[e]).sum() };
+        for w2 in paths.windows(2) {
+            assert!(cost_of(&w2[0]) <= cost_of(&w2[1]) + 1e-9, "costs must be ordered");
+            assert_ne!(w2[0].edges(), w2[1].edges(), "paths must be distinct");
+        }
+    }
+
+    #[test]
+    fn k_shortest_paths_are_loop_free() {
+        let net = city_grid(3, 3);
+        let (w, spec) = uniform_completed(net.num_edges());
+        let costs = edge_costs(&net, &w, &spec);
+        for p in k_shortest_paths(&net, &costs, 0, 8, 5) {
+            let mut seen = vec![false; net.num_vertices()];
+            let mut v = net.edge(p.edges()[0]).from;
+            seen[v] = true;
+            for &e in p.edges() {
+                v = net.edge(e).to;
+                assert!(!seen[v], "vertex revisited: loop in path");
+                seen[v] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn costs_respect_speeds() {
+        let hw = generators::highway_tollgate(1);
+        let spec = HistogramSpec::hist8();
+        let mut slow = Matrix::zeros(24, 8);
+        let mut fast = Matrix::zeros(24, 8);
+        for e in 0..24 {
+            slow[(e, 0)] = 1.0;
+            fast[(e, 7)] = 1.0;
+        }
+        let c_slow = edge_costs(&hw.net, &slow, &spec);
+        let c_fast = edge_costs(&hw.net, &fast, &spec);
+        for e in 0..24 {
+            assert!(c_slow[e] > c_fast[e]);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for stochastic routing invariants.
+
+use gcwc_routing::TravelTimeDist;
+use gcwc_traffic::HistogramSpec;
+use proptest::prelude::*;
+
+fn histogram(buckets: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1.0, buckets).prop_filter_map("needs mass", |mut v| {
+        let s: f64 = v.iter().sum();
+        if s < 1e-6 {
+            return None;
+        }
+        for x in &mut v {
+            *x /= s;
+        }
+        Some(v)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Converting any speed histogram yields a proper distribution.
+    #[test]
+    fn conversion_preserves_mass(hist in histogram(8), length in 50.0f64..2000.0) {
+        let spec = HistogramSpec::hist8();
+        let d = TravelTimeDist::from_speed_histogram(&hist, &spec, length, 5.0);
+        prop_assert!((d.total_mass() - 1.0).abs() < 1e-9);
+        prop_assert!(d.mean() > 0.0);
+    }
+
+    /// Convolution preserves probability mass and adds means (up to
+    /// binning error of one bin per operand).
+    #[test]
+    fn convolution_conserves_mass_and_means(h1 in histogram(8), h2 in histogram(8)) {
+        let spec = HistogramSpec::hist8();
+        let a = TravelTimeDist::from_speed_histogram(&h1, &spec, 400.0, 2.0);
+        let b = TravelTimeDist::from_speed_histogram(&h2, &spec, 700.0, 2.0);
+        let c = a.convolve(&b);
+        prop_assert!((c.total_mass() - 1.0).abs() < 1e-9);
+        let expected = a.mean() + b.mean();
+        prop_assert!((c.mean() - expected).abs() < 2.0 + 1e-9,
+            "{} vs {}", c.mean(), expected);
+    }
+
+    /// The on-time probability is a CDF: monotone, 0 at 0⁻, 1 at ∞.
+    #[test]
+    fn on_time_probability_is_a_cdf(hist in histogram(8), length in 100.0f64..1000.0) {
+        let spec = HistogramSpec::hist8();
+        let d = TravelTimeDist::from_speed_histogram(&hist, &spec, length, 5.0);
+        prop_assert_eq!(d.on_time_probability(-1.0), 0.0);
+        let mut last = 0.0;
+        for k in 0..30 {
+            let p = d.on_time_probability(k as f64 * 60.0);
+            prop_assert!(p + 1e-12 >= last);
+            prop_assert!(p <= 1.0 + 1e-12);
+            last = p;
+        }
+        prop_assert!((d.on_time_probability(1e7) - 1.0).abs() < 1e-9);
+    }
+
+    /// Quantile and CDF are mutually consistent:
+    /// `P(T ≤ quantile(q)) ≥ q`.
+    #[test]
+    fn quantile_inverts_cdf(hist in histogram(8), q in 0.05f64..0.95) {
+        let spec = HistogramSpec::hist8();
+        let d = TravelTimeDist::from_speed_histogram(&hist, &spec, 500.0, 5.0);
+        let t = d.quantile(q);
+        prop_assert!(d.on_time_probability(t) >= q - 1e-9);
+    }
+
+    /// Faster speeds stochastically dominate: shifting histogram mass to
+    /// faster buckets never lowers the on-time probability.
+    #[test]
+    fn faster_speeds_dominate(deadline in 20.0f64..500.0) {
+        let spec = HistogramSpec::hist8();
+        let slow = vec![0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let fast = vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.5, 0.5];
+        let ds = TravelTimeDist::from_speed_histogram(&slow, &spec, 800.0, 2.0);
+        let df = TravelTimeDist::from_speed_histogram(&fast, &spec, 800.0, 2.0);
+        prop_assert!(df.on_time_probability(deadline) >= ds.on_time_probability(deadline) - 1e-12);
+    }
+}

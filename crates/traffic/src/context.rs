@@ -1,0 +1,83 @@
+//! Contextual features for A-GCWC (§V-A): time-of-day `X_T`,
+//! day-of-week `X_D`, and the row-flag vector `X_R`.
+
+/// The context attached to one weight matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Context {
+    /// Interval within the day, `0..intervals_per_day`.
+    pub time_of_day: usize,
+    /// Day of the week, `0..7` (0 = Monday).
+    pub day_of_week: usize,
+    /// Number of intervals per day (96 in the paper).
+    pub intervals_per_day: usize,
+    /// Row flags: `1.0` for edges covered by traffic data.
+    pub row_flags: Vec<f64>,
+}
+
+impl Context {
+    /// One-hot encoding of the time interval (`X_T`, length
+    /// `intervals_per_day`).
+    pub fn time_one_hot(&self) -> Vec<f64> {
+        one_hot(self.time_of_day, self.intervals_per_day)
+    }
+
+    /// One-hot encoding of the weekday (`X_D`, length 7).
+    pub fn day_one_hot(&self) -> Vec<f64> {
+        one_hot(self.day_of_week, 7)
+    }
+
+    /// Whether this context falls on a weekend.
+    pub fn is_weekend(&self) -> bool {
+        self.day_of_week >= 5
+    }
+}
+
+fn one_hot(index: usize, len: usize) -> Vec<f64> {
+    assert!(index < len, "one-hot index {index} out of range {len}");
+    let mut v = vec![0.0; len];
+    v[index] = 1.0;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Context {
+        Context {
+            time_of_day: 2,
+            day_of_week: 6,
+            intervals_per_day: 96,
+            row_flags: vec![1.0, 0.0, 1.0],
+        }
+    }
+
+    #[test]
+    fn time_one_hot_sets_single_bit() {
+        let v = ctx().time_one_hot();
+        assert_eq!(v.len(), 96);
+        assert_eq!(v.iter().sum::<f64>(), 1.0);
+        assert_eq!(v[2], 1.0);
+    }
+
+    #[test]
+    fn day_one_hot() {
+        let v = ctx().day_one_hot();
+        assert_eq!(v.len(), 7);
+        assert_eq!(v[6], 1.0);
+    }
+
+    #[test]
+    fn weekend_detection() {
+        assert!(ctx().is_weekend());
+        let weekday = Context { day_of_week: 2, ..ctx() };
+        assert!(!weekday.is_weekend());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_interval_panics() {
+        let bad = Context { time_of_day: 96, ..ctx() };
+        bad.time_one_hot();
+    }
+}

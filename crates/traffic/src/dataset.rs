@@ -1,0 +1,286 @@
+//! Datasets: the evaluation protocol of §VI-A.2 / §VI-A.3.
+//!
+//! A [`Dataset`] is a time-ordered sequence of [`Snapshot`]s, each pairing
+//! an incomplete input matrix `W` (ground truth with `n·rm` rows removed)
+//! with its ground-truth matrix `W_G`, average-speed truth, and context.
+//! Five-fold cross validation splits the time-ordered snapshots into
+//! contiguous folds exactly as the paper prescribes.
+
+use gcwc_linalg::rng::seeded;
+
+use crate::context::Context;
+use crate::histogram::HistogramSpec;
+use crate::sim::TrafficData;
+use crate::weights::WeightMatrix;
+
+/// One time interval's worth of evaluation data.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Global interval index into the source [`TrafficData`].
+    pub index: usize,
+    /// Context (`X_T`, `X_D`, `X_R` of the *input* matrix).
+    pub context: Context,
+    /// Incomplete input matrix `W` (removal applied).
+    pub input: WeightMatrix,
+    /// Ground-truth matrix `W_G` (all edges with ≥ `min_records`).
+    pub truth: WeightMatrix,
+    /// Ground-truth average speed per edge (`None` when uncovered).
+    pub avg_truth: Vec<Option<f64>>,
+}
+
+/// A train/test split of snapshot indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fold {
+    /// Training snapshot indices.
+    pub train: Vec<usize>,
+    /// Test snapshot indices.
+    pub test: Vec<usize>,
+}
+
+/// A full evaluation dataset.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Time-ordered snapshots.
+    pub snapshots: Vec<Snapshot>,
+    /// Histogram specification.
+    pub spec: HistogramSpec,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Intervals per day.
+    pub intervals_per_day: usize,
+    /// The removal ratio used to create the inputs.
+    pub removal_ratio: f64,
+}
+
+impl TrafficData {
+    /// Instantiates the ground-truth weight matrix for interval `t`
+    /// (edges with at least `min_records` records).
+    pub fn ground_truth(&self, t: usize, min_records: usize) -> WeightMatrix {
+        let rows = (0..self.num_edges)
+            .map(|e| {
+                let r = self.records_at(t, e);
+                if r.len() >= min_records {
+                    self.spec.build(r)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        WeightMatrix::from_rows(rows, self.spec.buckets)
+    }
+
+    /// Ground-truth average speeds for interval `t`.
+    pub fn average_truth(&self, t: usize, min_records: usize) -> Vec<Option<f64>> {
+        (0..self.num_edges)
+            .map(|e| {
+                let r = self.records_at(t, e);
+                (r.len() >= min_records).then(|| r.iter().sum::<f64>() / r.len() as f64)
+            })
+            .collect()
+    }
+
+    /// The HA baseline / reference distribution: one histogram per edge
+    /// from *all* records in the given (training) intervals.
+    pub fn historical_average(&self, intervals: &[usize]) -> Vec<Option<Vec<f64>>> {
+        let mut per_edge: Vec<Vec<f64>> = vec![Vec::new(); self.num_edges];
+        for &t in intervals {
+            for (e, speeds) in per_edge.iter_mut().enumerate() {
+                speeds.extend_from_slice(self.records_at(t, e));
+            }
+        }
+        per_edge.into_iter().map(|r| self.spec.build(&r)).collect()
+    }
+
+    /// Historical average speeds (scalar HA for the AVG functionality).
+    pub fn historical_average_speed(&self, intervals: &[usize]) -> Vec<Option<f64>> {
+        let mut sums = vec![0.0; self.num_edges];
+        let mut counts = vec![0usize; self.num_edges];
+        for &t in intervals {
+            for e in 0..self.num_edges {
+                for &s in self.records_at(t, e) {
+                    sums[e] += s;
+                    counts[e] += 1;
+                }
+            }
+        }
+        (0..self.num_edges).map(|e| (counts[e] > 0).then(|| sums[e] / counts[e] as f64)).collect()
+    }
+
+    /// Builds the evaluation dataset for a removal ratio `rm`
+    /// (§VI-A.2: remove `⌊n·rm⌋` random edges from each ground-truth
+    /// matrix; 5 records minimum for instantiating a weight).
+    pub fn to_dataset(&self, rm: f64, min_records: usize, seed: u64) -> Dataset {
+        let mut rng = seeded(seed);
+        let snapshots = (0..self.num_intervals())
+            .map(|t| {
+                let truth = self.ground_truth(t, min_records);
+                let input = truth.remove_random(rm, &mut rng);
+                let context = Context {
+                    time_of_day: self.time_of_day[t],
+                    day_of_week: self.day_of_week[t],
+                    intervals_per_day: self.intervals_per_day,
+                    row_flags: input.row_flags(),
+                };
+                Snapshot {
+                    index: t,
+                    context,
+                    input,
+                    truth,
+                    avg_truth: self.average_truth(t, min_records),
+                }
+            })
+            .collect();
+        Dataset {
+            snapshots,
+            spec: self.spec,
+            num_edges: self.num_edges,
+            intervals_per_day: self.intervals_per_day,
+            removal_ratio: rm,
+        }
+    }
+}
+
+impl Dataset {
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True when the dataset has no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Splits the time-ordered snapshots into `k` contiguous folds and
+    /// returns the `k` train/test splits of §VI-A.2 (each fold is the
+    /// test set once).
+    pub fn cv_folds(&self, k: usize) -> Vec<Fold> {
+        assert!(k >= 2, "need at least 2 folds");
+        let n = self.snapshots.len();
+        assert!(n >= k, "not enough snapshots for {k} folds");
+        let bounds: Vec<usize> = (0..=k).map(|i| i * n / k).collect();
+        (0..k)
+            .map(|fold| {
+                let (lo, hi) = (bounds[fold], bounds[fold + 1]);
+                let test: Vec<usize> = (lo..hi).collect();
+                let train: Vec<usize> = (0..n).filter(|i| *i < lo || *i >= hi).collect();
+                Fold { train, test }
+            })
+            .collect()
+    }
+
+    /// For prediction (§VI-A.3): the label snapshot of input `i` is
+    /// snapshot `i + 1`, when it exists.
+    pub fn prediction_label(&self, i: usize) -> Option<&Snapshot> {
+        self.snapshots.get(i + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::highway_tollgate;
+    use crate::histogram::is_valid_histogram;
+    use crate::sim::{simulate, SimConfig};
+
+    fn data() -> TrafficData {
+        let hw = highway_tollgate(1);
+        let cfg = SimConfig { days: 2, intervals_per_day: 12, ..Default::default() };
+        simulate(&hw, HistogramSpec::hist8(), &cfg)
+    }
+
+    #[test]
+    fn ground_truth_respects_min_records() {
+        let d = data();
+        let gt = d.ground_truth(5, 5);
+        for e in 0..d.num_edges {
+            let covered = d.records_at(5, e).len() >= 5;
+            assert_eq!(gt.is_covered(e), covered);
+            if let Some(h) = gt.row(e) {
+                assert!(is_valid_histogram(h, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_rows_removed() {
+        let d = data();
+        let ds = d.to_dataset(0.5, 5, 42);
+        assert_eq!(ds.len(), 24);
+        for s in &ds.snapshots {
+            // Input coverage is a subset of truth coverage.
+            for e in 0..ds.num_edges {
+                if s.input.is_covered(e) {
+                    assert!(s.truth.is_covered(e));
+                }
+            }
+            // At least floor(n/2) rows are uncovered in the input.
+            assert!(s.input.num_covered() <= ds.num_edges - ds.num_edges / 2);
+        }
+    }
+
+    #[test]
+    fn context_matches_calendar() {
+        let d = data();
+        let ds = d.to_dataset(0.5, 5, 42);
+        assert_eq!(ds.snapshots[13].context.time_of_day, 1);
+        assert_eq!(ds.snapshots[13].context.day_of_week, 1);
+        assert_eq!(ds.snapshots[13].context.row_flags, ds.snapshots[13].input.row_flags());
+    }
+
+    #[test]
+    fn cv_folds_partition_time() {
+        let d = data();
+        let ds = d.to_dataset(0.5, 5, 1);
+        let folds = ds.cv_folds(5);
+        assert_eq!(folds.len(), 5);
+        let mut covered = vec![false; ds.len()];
+        for f in &folds {
+            for &t in &f.test {
+                assert!(!covered[t], "snapshot {t} tested twice");
+                covered[t] = true;
+            }
+            // Disjoint train/test.
+            for &t in &f.test {
+                assert!(!f.train.contains(&t));
+            }
+            assert_eq!(f.train.len() + f.test.len(), ds.len());
+        }
+        assert!(covered.iter().all(|&c| c), "every snapshot tested once");
+    }
+
+    #[test]
+    fn historical_average_is_valid() {
+        let d = data();
+        let ha = d.historical_average(&(0..d.num_intervals()).collect::<Vec<_>>());
+        let any = ha.iter().flatten().count();
+        assert!(any > 0, "some edges must have HA");
+        for h in ha.iter().flatten() {
+            assert!(is_valid_histogram(h, 1e-9));
+        }
+    }
+
+    #[test]
+    fn average_truth_matches_record_means() {
+        let d = data();
+        let avg = d.average_truth(3, 1);
+        for e in 0..d.num_edges {
+            let r = d.records_at(3, e);
+            match avg[e] {
+                Some(m) => {
+                    let expect = r.iter().sum::<f64>() / r.len() as f64;
+                    assert!((m - expect).abs() < 1e-12);
+                }
+                None => assert!(r.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn prediction_label_is_next_interval() {
+        let d = data();
+        let ds = d.to_dataset(0.6, 5, 9);
+        assert_eq!(ds.prediction_label(0).unwrap().index, 1);
+        assert!(ds.prediction_label(ds.len() - 1).is_none());
+    }
+}

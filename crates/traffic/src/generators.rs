@@ -1,0 +1,237 @@
+//! Synthetic road networks standing in for the paper's proprietary data
+//! sources (see DESIGN.md §2).
+//!
+//! * [`highway_tollgate`] — a 24-link highway tollgate corridor matching
+//!   the HW dataset's graph size (loop detectors: near-complete,
+//!   high-volume coverage).
+//! * [`city_network`] — a city grid from which the densest connected
+//!   172-edge subnetwork is selected by the paper's own §VI-A.1
+//!   procedure (top-popularity edges → largest connected subgraph →
+//!   greedy densest growth).
+//! * [`scaled_city`] — the ×10…×50 enlarged networks of Figure 6.
+
+use gcwc_linalg::rng::{normal, seeded};
+use gcwc_linalg::CsrMatrix;
+use rand::rngs::StdRng;
+
+use crate::edge_graph_ext::greedy_dense_subset;
+use gcwc_graph::{EdgeGraph, RoadClass, RoadNetwork};
+
+/// A road network together with its edge graph and per-edge traffic
+/// popularity (relative data volume, mean 1).
+#[derive(Clone, Debug)]
+pub struct NetworkInstance {
+    /// The road network (only the retained edges).
+    pub net: RoadNetwork,
+    /// Its edge graph.
+    pub graph: EdgeGraph,
+    /// Per-edge popularity, normalised to mean 1.
+    pub popularity: Vec<f64>,
+}
+
+impl NetworkInstance {
+    /// Number of edges `n`.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_nodes()
+    }
+}
+
+/// Builds the 24-link highway tollgate network (HW stand-in): a two-way
+/// mainline with tollgate plazas and ramps.
+pub fn highway_tollgate(seed: u64) -> NetworkInstance {
+    let mut net = RoadNetwork::new();
+    // Mainline corridor v0..v5 (spacing 2 km).
+    let main: Vec<usize> = (0..6).map(|i| net.add_vertex(i as f64 * 2_000.0, 0.0)).collect();
+    for w in main.windows(2) {
+        net.add_two_way(w[0], w[1], RoadClass::Highway); // 10 edges
+    }
+    // Tollgate plazas off v1 and v4.
+    let g1 = net.add_vertex(2_000.0, 800.0);
+    net.add_two_way(main[1], g1, RoadClass::Arterial); // 12
+    let g2 = net.add_vertex(8_000.0, -800.0);
+    net.add_two_way(main[4], g2, RoadClass::Arterial); // 14
+                                                       // Ramps off v2 and v3.
+    let r1 = net.add_vertex(4_000.0, 600.0);
+    net.add_two_way(main[2], r1, RoadClass::Arterial); // 16
+    let r2 = net.add_vertex(6_000.0, -600.0);
+    net.add_two_way(main[3], r2, RoadClass::Arterial); // 18
+                                                       // Corridor extension with a third gate.
+    let e1 = net.add_vertex(12_000.0, 0.0);
+    net.add_two_way(main[5], e1, RoadClass::Highway); // 20
+    let e2 = net.add_vertex(14_000.0, 0.0);
+    net.add_two_way(e1, e2, RoadClass::Highway); // 22
+    let g3 = net.add_vertex(12_000.0, 800.0);
+    net.add_two_way(e1, g3, RoadClass::Arterial); // 24
+    assert_eq!(net.num_edges(), 24);
+
+    let graph = EdgeGraph::from_road_network(&net);
+    // Loop detectors: popularity nearly uniform, mild volume differences
+    // between mainline and ramps.
+    let mut rng = seeded(seed);
+    let popularity = normalize_mean_one(
+        (0..net.num_edges())
+            .map(|i| {
+                let base = match net.edge(i).class {
+                    RoadClass::Highway => 1.3,
+                    _ => 0.8,
+                };
+                base * (1.0 + 0.1 * normal(&mut rng)).max(0.3)
+            })
+            .collect(),
+    );
+    NetworkInstance { net, graph, popularity }
+}
+
+/// Builds a two-way `rows × cols` grid city; every third street is an
+/// arterial, the rest local roads. Block size 400 m.
+pub fn city_grid(rows: usize, cols: usize) -> RoadNetwork {
+    let mut net = RoadNetwork::new();
+    let mut ids = vec![vec![0usize; cols]; rows];
+    for (r, row_ids) in ids.iter_mut().enumerate() {
+        for (c, id) in row_ids.iter_mut().enumerate() {
+            *id = net.add_vertex(c as f64 * 400.0, r as f64 * 400.0);
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            let class_h = if r % 3 == 0 { RoadClass::Arterial } else { RoadClass::Local };
+            let class_v = if c % 3 == 0 { RoadClass::Arterial } else { RoadClass::Local };
+            if c + 1 < cols {
+                net.add_two_way(ids[r][c], ids[r][c + 1], class_h);
+            }
+            if r + 1 < rows {
+                net.add_two_way(ids[r][c], ids[r + 1][c], class_v);
+            }
+        }
+    }
+    net
+}
+
+/// Builds the CI stand-in: a 10×10 grid city with skewed GPS popularity,
+/// reduced to its densest connected 172-edge subnetwork following the
+/// paper's §VI-A.1 selection (popularity-ranked seed, connected greedy
+/// growth).
+pub fn city_network(seed: u64) -> NetworkInstance {
+    city_network_sized(seed, 172)
+}
+
+/// [`city_network`] with a custom target edge count (tests, ablations).
+pub fn city_network_sized(seed: u64, target_edges: usize) -> NetworkInstance {
+    let full = city_grid(10, 10);
+    let full_graph = EdgeGraph::from_road_network(&full);
+    let mut rng = seeded(seed);
+    // GPS data is skewed (log-normal popularity): arterials see far more
+    // taxis than local roads.
+    let popularity_full: Vec<f64> = (0..full.num_edges())
+        .map(|i| {
+            let class_bias = match full.edge(i).class {
+                RoadClass::Arterial => 1.0,
+                _ => 0.0,
+            };
+            (0.9 * normal(&mut rng) + class_bias).exp()
+        })
+        .collect();
+
+    let keep = greedy_dense_subset(&full_graph, &popularity_full, target_edges);
+    let (net, original) = full.edge_subnetwork(&keep);
+    let graph = full_graph.induced_subgraph(&keep);
+    let popularity = normalize_mean_one(original.iter().map(|&i| popularity_full[i]).collect());
+    assert_eq!(net.num_edges(), target_edges);
+    NetworkInstance { net, graph, popularity }
+}
+
+/// Enlarges the city edge graph by tiling `scale` copies connected in a
+/// chain (Figure 6's ×10…×50 networks). Consecutive tiles are linked
+/// through three bridge connections so the result stays connected.
+pub fn scaled_city(base: &EdgeGraph, scale: usize) -> EdgeGraph {
+    assert!(scale >= 1, "scale must be positive");
+    let n = base.num_nodes();
+    let mut triplets = Vec::new();
+    for t in 0..scale {
+        let off = t * n;
+        for (i, j, v) in base.adjacency().iter() {
+            triplets.push((off + i, off + j, v));
+        }
+        if t + 1 < scale {
+            let next = (t + 1) * n;
+            for b in 0..3.min(n) {
+                triplets.push((off + b, next + b, 1.0));
+                triplets.push((next + b, off + b, 1.0));
+            }
+        }
+    }
+    EdgeGraph::from_adjacency(CsrMatrix::from_triplets(n * scale, n * scale, triplets))
+}
+
+fn normalize_mean_one(mut v: Vec<f64>) -> Vec<f64> {
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    for x in &mut v {
+        *x /= mean;
+    }
+    v
+}
+
+/// Generates popularity for an arbitrary edge count (scalability runs on
+/// tiled graphs that have no underlying road network).
+pub fn synthetic_popularity(n: usize, skew: f64, rng: &mut StdRng) -> Vec<f64> {
+    normalize_mean_one((0..n).map(|_| (skew * normal(rng)).exp()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn highway_has_24_connected_edges() {
+        let hw = highway_tollgate(1);
+        assert_eq!(hw.num_edges(), 24);
+        assert_eq!(hw.graph.largest_component().len(), 24);
+        let mean: f64 = hw.popularity.iter().sum::<f64>() / 24.0;
+        assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn city_has_172_connected_edges() {
+        let ci = city_network(2);
+        assert_eq!(ci.num_edges(), 172);
+        assert_eq!(ci.graph.largest_component().len(), 172);
+    }
+
+    #[test]
+    fn city_popularity_is_skewed() {
+        let ci = city_network(3);
+        let max = ci.popularity.iter().cloned().fold(0.0, f64::max);
+        let min = ci.popularity.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 3.0, "expected skewed popularity, got {min}..{max}");
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let g = city_grid(3, 3);
+        // 2*3 horizontal + 2*3 vertical segments, two-way: 24 edges.
+        assert_eq!(g.num_edges(), 24);
+    }
+
+    #[test]
+    fn scaled_city_is_connected_and_sized() {
+        let ci = city_network(4);
+        let s = scaled_city(&ci.graph, 3);
+        assert_eq!(s.num_nodes(), 172 * 3);
+        assert_eq!(s.largest_component().len(), 172 * 3);
+    }
+
+    #[test]
+    fn scaled_city_scale_one_is_identity() {
+        let ci = city_network(5);
+        let s = scaled_city(&ci.graph, 1);
+        assert_eq!(s.adjacency_dense(), ci.graph.adjacency_dense());
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = city_network(9);
+        let b = city_network(9);
+        assert_eq!(a.popularity, b.popularity);
+        assert_eq!(a.graph.adjacency_dense(), b.graph.adjacency_dense());
+    }
+}

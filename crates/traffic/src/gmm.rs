@@ -1,0 +1,291 @@
+//! Gaussian mixture models over speed records — the paper's §VII
+//! future-work item ("support continuous distribution models such as
+//! Gaussian mixture models").
+//!
+//! A [`GaussianMixture`] is fitted to raw speed records with EM and can
+//! be converted to/from the histogram representation the models operate
+//! on, so completed histograms can be post-processed into smooth
+//! continuous weights for downstream consumers (e.g. routing).
+
+use rand::rngs::StdRng;
+
+/// One mixture component.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Component {
+    /// Mixing weight (components sum to 1).
+    pub weight: f64,
+    /// Mean speed (m/s).
+    pub mean: f64,
+    /// Standard deviation (m/s).
+    pub std: f64,
+}
+
+/// A univariate Gaussian mixture over speeds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GaussianMixture {
+    components: Vec<Component>,
+}
+
+const MIN_STD: f64 = 0.25;
+
+impl GaussianMixture {
+    /// Fits a `k`-component mixture to speed records with EM.
+    ///
+    /// Returns `None` when there are fewer records than components.
+    /// Deterministic given the RNG state (used only for initialisation
+    /// jitter).
+    pub fn fit(records: &[f64], k: usize, iterations: usize, rng: &mut StdRng) -> Option<Self> {
+        if records.len() < k || k == 0 {
+            return None;
+        }
+        // Initialise means at spread quantiles with a little jitter.
+        let mut sorted = records.to_vec();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite speeds"));
+        let global_std = {
+            let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+            (sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / sorted.len() as f64)
+                .sqrt()
+                .max(MIN_STD)
+        };
+        let mut comps: Vec<Component> = (0..k)
+            .map(|i| {
+                let q = (i as f64 + 0.5) / k as f64;
+                let idx = ((sorted.len() - 1) as f64 * q) as usize;
+                Component {
+                    weight: 1.0 / k as f64,
+                    mean: sorted[idx] + 0.05 * global_std * gcwc_linalg::rng::normal(rng),
+                    std: global_std,
+                }
+            })
+            .collect();
+
+        let n = records.len();
+        let mut resp = vec![0.0; n * k];
+        for _ in 0..iterations {
+            // E step.
+            for (i, &x) in records.iter().enumerate() {
+                let mut total = 0.0;
+                for (j, c) in comps.iter().enumerate() {
+                    let p = c.weight * gaussian_pdf(x, c.mean, c.std);
+                    resp[i * k + j] = p;
+                    total += p;
+                }
+                if total > 0.0 {
+                    for j in 0..k {
+                        resp[i * k + j] /= total;
+                    }
+                } else {
+                    for j in 0..k {
+                        resp[i * k + j] = 1.0 / k as f64;
+                    }
+                }
+            }
+            // M step.
+            for (j, c) in comps.iter_mut().enumerate() {
+                let nj: f64 = (0..n).map(|i| resp[i * k + j]).sum();
+                if nj < 1e-9 {
+                    continue;
+                }
+                let mean = (0..n).map(|i| resp[i * k + j] * records[i]).sum::<f64>() / nj;
+                let var = (0..n)
+                    .map(|i| resp[i * k + j] * (records[i] - mean) * (records[i] - mean))
+                    .sum::<f64>()
+                    / nj;
+                c.weight = nj / n as f64;
+                c.mean = mean;
+                c.std = var.sqrt().max(MIN_STD);
+            }
+        }
+        comps.sort_by(|a, b| a.mean.partial_cmp(&b.mean).expect("finite means"));
+        Some(Self { components: comps })
+    }
+
+    /// Builds a mixture directly from a histogram: one component per
+    /// non-empty bucket, centred at the bucket midpoint with the bucket
+    /// width as spread.
+    pub fn from_histogram(hist: &[f64], spec: &crate::histogram::HistogramSpec) -> Self {
+        let width = spec.bucket_width();
+        let components: Vec<Component> = hist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p > 1e-12)
+            .map(|(b, &p)| Component {
+                weight: p,
+                mean: spec.bucket_midpoint(b),
+                std: (width / 2.0).max(MIN_STD),
+            })
+            .collect();
+        assert!(!components.is_empty(), "histogram has no mass");
+        Self { components }
+    }
+
+    /// The components, ordered by mean.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Mixture density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|c| c.weight * gaussian_pdf(x, c.mean, c.std)).sum()
+    }
+
+    /// Mixture CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|c| c.weight * gaussian_cdf(x, c.mean, c.std)).sum()
+    }
+
+    /// Mixture mean.
+    pub fn mean(&self) -> f64 {
+        self.components.iter().map(|c| c.weight * c.mean).sum()
+    }
+
+    /// Discretises the mixture back into the histogram representation
+    /// (probability mass per bucket; out-of-range tails are clamped into
+    /// the edge buckets).
+    pub fn to_histogram(&self, spec: &crate::histogram::HistogramSpec) -> Vec<f64> {
+        let mut hist = vec![0.0; spec.buckets];
+        let width = spec.bucket_width();
+        for b in 0..spec.buckets {
+            let lo = spec.min_speed + b as f64 * width;
+            let hi = lo + width;
+            let mut mass = self.cdf(hi) - self.cdf(lo);
+            if b == 0 {
+                mass += self.cdf(lo); // left tail
+            }
+            if b == spec.buckets - 1 {
+                mass += 1.0 - self.cdf(hi); // right tail
+            }
+            hist[b] = mass.max(0.0);
+        }
+        let total: f64 = hist.iter().sum();
+        if total > 0.0 {
+            for h in &mut hist {
+                *h /= total;
+            }
+        }
+        hist
+    }
+
+    /// Average log-likelihood of records under the mixture.
+    pub fn mean_log_likelihood(&self, records: &[f64]) -> f64 {
+        assert!(!records.is_empty(), "no records");
+        records.iter().map(|&x| (self.pdf(x) + 1e-12).ln()).sum::<f64>() / records.len() as f64
+    }
+}
+
+fn gaussian_pdf(x: f64, mean: f64, std: f64) -> f64 {
+    let z = (x - mean) / std;
+    (-0.5 * z * z).exp() / (std * (2.0 * std::f64::consts::PI).sqrt())
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max error ~1.5e-7, ample for bucket masses).
+fn gaussian_cdf(x: f64, mean: f64, std: f64) -> f64 {
+    let z = (x - mean) / (std * std::f64::consts::SQRT_2);
+    0.5 * (1.0 + erf(z))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::{is_valid_histogram, HistogramSpec};
+    use gcwc_linalg::rng::seeded;
+
+    fn bimodal_sample(rng: &mut StdRng, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    8.0 + gcwc_linalg::rng::normal(rng)
+                } else {
+                    24.0 + 1.5 * gcwc_linalg::rng::normal(rng)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn em_recovers_bimodal_structure() {
+        let mut rng = seeded(1);
+        let records = bimodal_sample(&mut rng, 600);
+        let gmm = GaussianMixture::fit(&records, 2, 40, &mut rng).unwrap();
+        let c = gmm.components();
+        assert_eq!(c.len(), 2);
+        assert!((c[0].mean - 8.0).abs() < 1.0, "slow mode {}", c[0].mean);
+        assert!((c[1].mean - 24.0).abs() < 1.0, "fast mode {}", c[1].mean);
+        assert!((c[0].weight - 1.0 / 3.0).abs() < 0.08);
+    }
+
+    #[test]
+    fn fit_requires_enough_records() {
+        let mut rng = seeded(2);
+        assert!(GaussianMixture::fit(&[10.0], 2, 10, &mut rng).is_none());
+        assert!(GaussianMixture::fit(&[], 1, 10, &mut rng).is_none());
+    }
+
+    #[test]
+    fn mixture_is_a_density() {
+        let mut rng = seeded(3);
+        let records = bimodal_sample(&mut rng, 300);
+        let gmm = GaussianMixture::fit(&records, 2, 30, &mut rng).unwrap();
+        // Numeric integral of the pdf ≈ 1.
+        let integral: f64 = (-100..400).map(|i| gmm.pdf(i as f64 * 0.2) * 0.2).sum();
+        assert!((integral - 1.0).abs() < 1e-3, "integral {integral}");
+        // CDF is monotone from 0 to 1.
+        assert!(gmm.cdf(-50.0) < 1e-6);
+        assert!((gmm.cdf(100.0) - 1.0).abs() < 1e-6);
+        assert!(gmm.cdf(20.0) > gmm.cdf(10.0));
+    }
+
+    #[test]
+    fn histogram_roundtrip_preserves_shape() {
+        let spec = HistogramSpec::hist8();
+        let hist = vec![0.0, 0.3, 0.5, 0.2, 0.0, 0.0, 0.0, 0.0];
+        let gmm = GaussianMixture::from_histogram(&hist, &spec);
+        let back = gmm.to_histogram(&spec);
+        assert!(is_valid_histogram(&back, 1e-9));
+        // The dominant bucket survives the smooth round trip.
+        let argmax = |h: &[f64]| {
+            h.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+        };
+        assert_eq!(argmax(&back), argmax(&hist));
+        // Mean is approximately preserved.
+        assert!((gmm.mean() - spec.mean_speed(&hist)).abs() < 1.0);
+    }
+
+    #[test]
+    fn gmm_beats_coarse_histogram_in_likelihood() {
+        // On bimodal data the fitted mixture should explain held-out
+        // records at least as well as a 4-bucket histogram density.
+        let mut rng = seeded(4);
+        let train = bimodal_sample(&mut rng, 400);
+        let test = bimodal_sample(&mut rng, 200);
+        let gmm = GaussianMixture::fit(&train, 2, 40, &mut rng).unwrap();
+        let spec = HistogramSpec::hist4();
+        let hist = spec.build(&train).unwrap();
+        let width = spec.bucket_width();
+        let hist_ll: f64 =
+            test.iter().map(|&x| ((spec.likelihood(&hist, x) / width) + 1e-12).ln()).sum::<f64>()
+                / test.len() as f64;
+        let gmm_ll = gmm.mean_log_likelihood(&test);
+        assert!(gmm_ll > hist_ll, "gmm {gmm_ll} vs hist {hist_ll}");
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-5);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,162 @@
+//! Equi-width speed histograms (the paper's stochastic weights, §III-B).
+
+/// Specification of an equi-width speed histogram.
+///
+/// ```
+/// use gcwc_traffic::HistogramSpec;
+/// let spec = HistogramSpec::hist8(); // 8 buckets of 5 m/s over [0, 40)
+/// let hist = spec.build(&[3.0, 4.0, 11.0, 12.0]).unwrap();
+/// assert_eq!(hist, vec![0.5, 0.0, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0]);
+/// assert_eq!(spec.mean_speed(&hist), (2.5 + 12.5) / 2.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSpec {
+    /// Lower bound of the first bucket (m/s).
+    pub min_speed: f64,
+    /// Upper bound of the last bucket (m/s).
+    pub max_speed: f64,
+    /// Number of buckets `m`.
+    pub buckets: usize,
+}
+
+impl HistogramSpec {
+    /// The paper's HIST-8 setting: 8 buckets of 5 m/s over `[0, 40)`.
+    pub fn hist8() -> Self {
+        Self { min_speed: 0.0, max_speed: 40.0, buckets: 8 }
+    }
+
+    /// The paper's HIST-4 setting: 4 buckets of 10 m/s over `[0, 40)`.
+    pub fn hist4() -> Self {
+        Self { min_speed: 0.0, max_speed: 40.0, buckets: 4 }
+    }
+
+    /// Width of each bucket.
+    pub fn bucket_width(&self) -> f64 {
+        (self.max_speed - self.min_speed) / self.buckets as f64
+    }
+
+    /// The bucket index for a speed, clamping out-of-range speeds into
+    /// the edge buckets.
+    pub fn bucket_of(&self, speed: f64) -> usize {
+        let w = self.bucket_width();
+        let raw = ((speed - self.min_speed) / w).floor();
+        (raw.max(0.0) as usize).min(self.buckets - 1)
+    }
+
+    /// Midpoint speed of bucket `b`.
+    pub fn bucket_midpoint(&self, b: usize) -> f64 {
+        assert!(b < self.buckets, "bucket {b} out of range");
+        self.min_speed + (b as f64 + 0.5) * self.bucket_width()
+    }
+
+    /// Builds a normalised histogram from raw speed records.
+    ///
+    /// Returns `None` when `records` is empty (no distribution can be
+    /// instantiated).
+    pub fn build(&self, records: &[f64]) -> Option<Vec<f64>> {
+        if records.is_empty() {
+            return None;
+        }
+        let mut h = vec![0.0; self.buckets];
+        for &r in records {
+            h[self.bucket_of(r)] += 1.0;
+        }
+        let total = records.len() as f64;
+        for v in &mut h {
+            *v /= total;
+        }
+        Some(h)
+    }
+
+    /// Probability that a histogram assigns to observing `speed`
+    /// (its bucket's probability mass).
+    pub fn likelihood(&self, hist: &[f64], speed: f64) -> f64 {
+        assert_eq!(hist.len(), self.buckets, "histogram length mismatch");
+        hist[self.bucket_of(speed)]
+    }
+
+    /// Expected speed under a histogram (bucket midpoints).
+    pub fn mean_speed(&self, hist: &[f64]) -> f64 {
+        assert_eq!(hist.len(), self.buckets, "histogram length mismatch");
+        hist.iter().enumerate().map(|(b, &p)| p * self.bucket_midpoint(b)).sum()
+    }
+}
+
+/// Whether a vector is a valid histogram: non-negative and summing to 1
+/// within `tol`.
+pub fn is_valid_histogram(hist: &[f64], tol: f64) -> bool {
+    hist.iter().all(|&p| p >= -tol) && (hist.iter().sum::<f64>() - 1.0).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist8_shape() {
+        let s = HistogramSpec::hist8();
+        assert_eq!(s.buckets, 8);
+        assert_eq!(s.bucket_width(), 5.0);
+        assert_eq!(s.bucket_of(0.0), 0);
+        assert_eq!(s.bucket_of(4.99), 0);
+        assert_eq!(s.bucket_of(5.0), 1);
+        assert_eq!(s.bucket_of(39.9), 7);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let s = HistogramSpec::hist8();
+        assert_eq!(s.bucket_of(-3.0), 0);
+        assert_eq!(s.bucket_of(55.0), 7);
+    }
+
+    #[test]
+    fn build_normalises() {
+        let s = HistogramSpec::hist4();
+        let h = s.build(&[1.0, 2.0, 11.0, 25.0]).unwrap();
+        assert_eq!(h, vec![0.5, 0.25, 0.25, 0.0]);
+        assert!(is_valid_histogram(&h, 1e-12));
+    }
+
+    #[test]
+    fn build_empty_is_none() {
+        assert!(HistogramSpec::hist8().build(&[]).is_none());
+    }
+
+    #[test]
+    fn paper_figure1_example() {
+        // e5's histogram over [5,10), [10,15), [15,20) with probabilities
+        // 0.3 / 0.5 / 0.2: three of ten records in [5,10), five in
+        // [10,15), two in [15,20).
+        let s = HistogramSpec { min_speed: 5.0, max_speed: 20.0, buckets: 3 };
+        let records = [6.0, 7.0, 8.0, 11.0, 12.0, 12.5, 13.0, 14.0, 16.0, 18.0];
+        let h = s.build(&records).unwrap();
+        assert_eq!(h, vec![0.3, 0.5, 0.2]);
+    }
+
+    #[test]
+    fn likelihood_reads_bucket_mass() {
+        let s = HistogramSpec::hist4();
+        let h = vec![0.5, 0.25, 0.25, 0.0];
+        assert_eq!(s.likelihood(&h, 3.0), 0.5);
+        assert_eq!(s.likelihood(&h, 35.0), 0.0);
+    }
+
+    #[test]
+    fn mean_speed_midpoints() {
+        let s = HistogramSpec::hist4();
+        // All mass in bucket 1 ([10, 20)) -> mean = 15.
+        let h = vec![0.0, 1.0, 0.0, 0.0];
+        assert_eq!(s.mean_speed(&h), 15.0);
+        // Uniform -> overall midpoint 20.
+        let u = vec![0.25; 4];
+        assert_eq!(s.mean_speed(&u), 20.0);
+    }
+
+    #[test]
+    fn valid_histogram_detection() {
+        assert!(is_valid_histogram(&[0.2, 0.8], 1e-9));
+        assert!(!is_valid_histogram(&[0.2, 0.7], 1e-9));
+        assert!(!is_valid_histogram(&[-0.1, 1.1], 1e-9));
+    }
+}

@@ -1,0 +1,264 @@
+//! CSV import/export for traffic data.
+//!
+//! Real deployments extract speed records from GPS matching or loop
+//! detectors; this module defines the on-disk exchange format so the
+//! models can run on external data: one record per line,
+//! `interval,edge,speed`, with a small header carrying the calendar
+//! layout. Weight matrices export as `edge,b0,…,b{m−1}` per covered row.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::histogram::HistogramSpec;
+use crate::sim::TrafficData;
+use crate::weights::WeightMatrix;
+
+/// Errors from reading traffic CSV files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying file error.
+    File(std::io::Error),
+    /// Structural problem with the content.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::File(e) => write!(f, "file error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::File(e)
+    }
+}
+
+/// Serialises traffic records to the exchange CSV format.
+pub fn records_to_csv(data: &TrafficData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# gcwc-traffic v1 edges={} intervals_per_day={} min_speed={} max_speed={} buckets={}",
+        data.num_edges,
+        data.intervals_per_day,
+        data.spec.min_speed,
+        data.spec.max_speed,
+        data.spec.buckets
+    );
+    out.push_str("interval,edge,speed\n");
+    for t in 0..data.num_intervals() {
+        for e in 0..data.num_edges {
+            for &s in data.records_at(t, e) {
+                let _ = writeln!(out, "{t},{e},{s:.3}");
+            }
+        }
+    }
+    out
+}
+
+/// Writes traffic records to a CSV file.
+pub fn write_records(data: &TrafficData, path: &Path) -> Result<(), IoError> {
+    std::fs::write(path, records_to_csv(data))?;
+    Ok(())
+}
+
+/// Parses the exchange CSV format back into [`TrafficData`].
+///
+/// The number of intervals is inferred from the maximum interval index;
+/// the calendar restarts at Monday.
+pub fn records_from_csv(content: &str) -> Result<TrafficData, IoError> {
+    let mut lines = content.lines().enumerate();
+    let (_, header) =
+        lines.next().ok_or(IoError::Parse { line: 1, message: "empty file".into() })?;
+    let meta = parse_header(header)?;
+    let (num_edges, intervals_per_day, spec) = meta;
+
+    let mut rows: Vec<(usize, usize, f64)> = Vec::new();
+    let mut max_interval = 0usize;
+    for (idx, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line == "interval,edge,speed" {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let parse_err = |message: &str| IoError::Parse { line: idx + 1, message: message.into() };
+        let t: usize = parts
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| parse_err("bad interval"))?;
+        let e: usize = parts
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| parse_err("bad edge"))?;
+        let s: f64 = parts
+            .next()
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| parse_err("bad speed"))?;
+        if e >= num_edges {
+            return Err(parse_err("edge index out of range"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(parse_err("speed must be a non-negative number"));
+        }
+        max_interval = max_interval.max(t);
+        rows.push((t, e, s));
+    }
+    let num_intervals = max_interval + 1;
+    let mut records = vec![vec![Vec::new(); num_edges]; num_intervals];
+    for (t, e, s) in rows {
+        records[t][e].push(s);
+    }
+    let time_of_day: Vec<usize> = (0..num_intervals).map(|t| t % intervals_per_day).collect();
+    let day_of_week: Vec<usize> = (0..num_intervals).map(|t| (t / intervals_per_day) % 7).collect();
+    Ok(TrafficData { spec, intervals_per_day, num_edges, records, time_of_day, day_of_week })
+}
+
+/// Reads traffic records from a CSV file.
+pub fn read_records(path: &Path) -> Result<TrafficData, IoError> {
+    records_from_csv(&std::fs::read_to_string(path)?)
+}
+
+fn parse_header(header: &str) -> Result<(usize, usize, HistogramSpec), IoError> {
+    let err = |message: &str| IoError::Parse { line: 1, message: message.into() };
+    if !header.starts_with("# gcwc-traffic v1") {
+        return Err(err("missing '# gcwc-traffic v1' header"));
+    }
+    let mut edges = None;
+    let mut ipd = None;
+    let mut min_speed = None;
+    let mut max_speed = None;
+    let mut buckets = None;
+    for token in header.split_whitespace() {
+        if let Some((key, value)) = token.split_once('=') {
+            match key {
+                "edges" => edges = value.parse().ok(),
+                "intervals_per_day" => ipd = value.parse().ok(),
+                "min_speed" => min_speed = value.parse().ok(),
+                "max_speed" => max_speed = value.parse().ok(),
+                "buckets" => buckets = value.parse().ok(),
+                _ => {}
+            }
+        }
+    }
+    let spec = HistogramSpec {
+        min_speed: min_speed.ok_or_else(|| err("missing min_speed"))?,
+        max_speed: max_speed.ok_or_else(|| err("missing max_speed"))?,
+        buckets: buckets.ok_or_else(|| err("missing buckets"))?,
+    };
+    Ok((
+        edges.ok_or_else(|| err("missing edges"))?,
+        ipd.ok_or_else(|| err("missing intervals_per_day"))?,
+        spec,
+    ))
+}
+
+/// Serialises a weight matrix: `edge,b0,…` per covered row.
+pub fn weights_to_csv(w: &WeightMatrix) -> String {
+    let mut out = String::from("edge");
+    for b in 0..w.num_buckets() {
+        let _ = write!(out, ",b{b}");
+    }
+    out.push('\n');
+    for e in 0..w.num_edges() {
+        if let Some(row) = w.row(e) {
+            let _ = write!(out, "{e}");
+            for v in row {
+                let _ = write!(out, ",{v:.6}");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::highway_tollgate;
+    use crate::sim::{simulate, SimConfig};
+
+    fn sample_data() -> TrafficData {
+        let hw = highway_tollgate(1);
+        let cfg = SimConfig { days: 1, intervals_per_day: 6, ..Default::default() };
+        simulate(&hw, HistogramSpec::hist8(), &cfg)
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_records() {
+        let data = sample_data();
+        let csv = records_to_csv(&data);
+        let back = records_from_csv(&csv).unwrap();
+        assert_eq!(back.num_edges, data.num_edges);
+        assert_eq!(back.intervals_per_day, data.intervals_per_day);
+        assert_eq!(back.num_intervals(), data.num_intervals());
+        assert_eq!(back.spec, data.spec);
+        for t in 0..data.num_intervals() {
+            for e in 0..data.num_edges {
+                let orig = data.records_at(t, e);
+                let round = back.records_at(t, e);
+                assert_eq!(orig.len(), round.len());
+                for (a, b) in orig.iter().zip(round) {
+                    assert!((a - b).abs() < 1e-3, "speed {a} vs {b}");
+                }
+            }
+        }
+        assert_eq!(back.time_of_day, data.time_of_day);
+        assert_eq!(back.day_of_week, data.day_of_week);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let data = sample_data();
+        let dir = std::env::temp_dir().join("gcwc_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.csv");
+        write_records(&data, &path).unwrap();
+        let back = read_records(&path).unwrap();
+        assert_eq!(back.total_records(), data.total_records());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let err = records_from_csv("not a header\n1,2,3\n").unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_rows_are_rejected_with_line_numbers() {
+        let header = "# gcwc-traffic v1 edges=2 intervals_per_day=4 min_speed=0 max_speed=40 buckets=8\ninterval,edge,speed\n";
+        for (row, expect) in [
+            ("x,0,5.0", "bad interval"),
+            ("0,9,5.0", "out of range"),
+            ("0,0,-1.0", "non-negative"),
+            ("0,0,abc", "bad speed"),
+        ] {
+            let err = records_from_csv(&format!("{header}{row}\n")).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("line 3"), "{msg}");
+            assert!(msg.contains(expect), "{msg} should mention {expect}");
+        }
+    }
+
+    #[test]
+    fn weights_csv_lists_covered_rows() {
+        let w = WeightMatrix::from_rows(vec![Some(vec![0.5, 0.5]), None, Some(vec![1.0, 0.0])], 2);
+        let csv = weights_to_csv(&w);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "edge,b0,b1");
+        assert_eq!(lines.len(), 3, "only covered rows are written");
+        assert!(lines[1].starts_with("0,"));
+        assert!(lines[2].starts_with("2,"));
+    }
+}

@@ -1,0 +1,328 @@
+//! Stochastic traffic simulator.
+//!
+//! Generates per-edge, per-interval raw speed records with the
+//! statistical structure the GCWC models exploit (and that real GPS /
+//! loop-detector data exhibits — DESIGN.md §2):
+//!
+//! * **time-of-day congestion**: weekday morning/evening peak dips,
+//!   flatter weekend profiles;
+//! * **spatial correlation**: the congestion field is smoothed over the
+//!   edge graph, so adjacent edges see similar speeds;
+//! * **incidents**: rare long slowdowns that also slow neighbouring
+//!   edges;
+//! * **driver heterogeneity**: a slow-vehicle mixture plus Gaussian
+//!   spread, producing multi-modal speed histograms;
+//! * **skewed coverage**: record counts follow per-edge popularity and a
+//!   daily flow profile, so many edge-intervals fall below the 5-record
+//!   threshold and become missing rows — the data sparseness problem.
+
+use gcwc_linalg::rng::{normal, poisson, seeded};
+use rand::Rng;
+
+use crate::generators::NetworkInstance;
+use crate::histogram::HistogramSpec;
+
+/// Simulator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Number of simulated days.
+    pub days: usize,
+    /// Intervals per day (96 in the paper).
+    pub intervals_per_day: usize,
+    /// Base expected records per edge per interval (before popularity
+    /// and flow modulation).
+    pub records_per_interval: f64,
+    /// Standard deviation of per-record speed noise, as a fraction of
+    /// the interval mean speed.
+    pub speed_noise: f64,
+    /// Fraction of slow vehicles (trucks etc. at ~65% of mean speed).
+    pub slow_vehicle_fraction: f64,
+    /// Probability of an incident per edge per day.
+    pub incident_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            days: 14,
+            intervals_per_day: 96,
+            records_per_interval: 6.0,
+            speed_noise: 0.16,
+            slow_vehicle_fraction: 0.22,
+            incident_rate: 0.05,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Raw simulated traffic: speed records per interval per edge.
+#[derive(Clone, Debug)]
+pub struct TrafficData {
+    /// Histogram specification used downstream.
+    pub spec: HistogramSpec,
+    /// Intervals per day.
+    pub intervals_per_day: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// `records[t][e]` = speed records (m/s) on edge `e` in interval `t`.
+    pub records: Vec<Vec<Vec<f64>>>,
+    /// Time-of-day index per interval (`0..intervals_per_day`).
+    pub time_of_day: Vec<usize>,
+    /// Day-of-week per interval (`0..7`, 0 = Monday).
+    pub day_of_week: Vec<usize>,
+}
+
+impl TrafficData {
+    /// Total number of intervals.
+    pub fn num_intervals(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Records on edge `e` during interval `t`.
+    pub fn records_at(&self, t: usize, e: usize) -> &[f64] {
+        &self.records[t][e]
+    }
+
+    /// Total number of records across all intervals and edges.
+    pub fn total_records(&self) -> usize {
+        self.records.iter().flatten().map(Vec::len).sum()
+    }
+}
+
+/// The weekday/weekend congestion factor in `(0, 1]`: the fraction of
+/// free-flow speed attainable at time-of-day fraction `tod ∈ [0, 1)`.
+pub fn congestion_factor(tod: f64, weekend: bool) -> f64 {
+    let dip = |centre: f64, width: f64, depth: f64| {
+        depth * (-((tod - centre) * (tod - centre)) / (2.0 * width * width)).exp()
+    };
+    let c = if weekend {
+        // A single shallow midday dip.
+        1.0 - dip(13.0 / 24.0, 0.12, 0.22)
+    } else {
+        // Morning (8:00) and evening (17:30) peaks. Urban rush hours
+        // commonly halve attainable speeds.
+        1.0 - dip(8.0 / 24.0, 0.05, 0.58) - dip(17.5 / 24.0, 0.06, 0.52)
+    };
+    c.max(0.2)
+}
+
+/// Relative traffic volume at time-of-day fraction `tod` (more records
+/// during peaks and daytime, almost none at night).
+pub fn flow_factor(tod: f64, weekend: bool) -> f64 {
+    let bump = |centre: f64, width: f64, height: f64| {
+        height * (-((tod - centre) * (tod - centre)) / (2.0 * width * width)).exp()
+    };
+    let day = bump(0.5, 0.18, 0.9);
+    let peaks =
+        if weekend { 0.0 } else { bump(8.0 / 24.0, 0.05, 0.8) + bump(17.5 / 24.0, 0.06, 0.7) };
+    (0.08 + day + peaks).min(2.0)
+}
+
+/// Runs the simulator over a network instance.
+pub fn simulate(instance: &NetworkInstance, spec: HistogramSpec, cfg: &SimConfig) -> TrafficData {
+    let n = instance.num_edges();
+    let mut rng = seeded(cfg.seed);
+    // Fixed per-edge personality: multiplicative speed bias.
+    let edge_bias: Vec<f64> =
+        (0..n).map(|_| (1.0 + 0.08 * normal(&mut rng)).clamp(0.7, 1.3)).collect();
+    let free_flow: Vec<f64> =
+        (0..n).map(|i| instance.net.edge(i).class.free_flow_speed()).collect();
+
+    let total = cfg.days * cfg.intervals_per_day;
+    let mut records = Vec::with_capacity(total);
+    let mut time_of_day = Vec::with_capacity(total);
+    let mut day_of_week = Vec::with_capacity(total);
+
+    for day in 0..cfg.days {
+        let dow = day % 7;
+        let weekend = dow >= 5;
+        // Incidents for the day: (edge, start, end, factor).
+        let mut incident_factor = vec![vec![1.0f64; n]; cfg.intervals_per_day];
+        for e in 0..n {
+            if rng.random::<f64>() < cfg.incident_rate {
+                let start = rng.random_range(0..cfg.intervals_per_day);
+                let len = rng.random_range(4..=12);
+                for t in start..(start + len).min(cfg.intervals_per_day) {
+                    incident_factor[t][e] = incident_factor[t][e].min(0.35);
+                    for &nb in instance.graph.neighbors(e) {
+                        incident_factor[t][nb] = incident_factor[t][nb].min(0.7);
+                    }
+                }
+            }
+        }
+
+        for t in 0..cfg.intervals_per_day {
+            let tod = t as f64 / cfg.intervals_per_day as f64;
+            let c = congestion_factor(tod, weekend);
+            let flow = flow_factor(tod, weekend);
+
+            // Spatially correlated congestion noise: iid normals smoothed
+            // over the edge graph (three rounds), so current conditions
+            // propagate along the network the way real congestion does.
+            let mut z: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+            for _ in 0..3 {
+                let snapshot = z.clone();
+                for (e, zi) in z.iter_mut().enumerate() {
+                    let nbrs = instance.graph.neighbors(e);
+                    if !nbrs.is_empty() {
+                        let avg: f64 =
+                            nbrs.iter().map(|&v| snapshot[v]).sum::<f64>() / nbrs.len() as f64;
+                        *zi = 0.5 * snapshot[e] + 0.5 * avg;
+                    }
+                }
+            }
+
+            let mut interval_records = Vec::with_capacity(n);
+            for e in 0..n {
+                let mean = free_flow[e]
+                    * edge_bias[e]
+                    * (c + 0.18 * z[e]).clamp(0.12, 1.1)
+                    * incident_factor[t][e];
+                let lambda = cfg.records_per_interval * instance.popularity[e] * flow;
+                let count = poisson(&mut rng, lambda);
+                let mut speeds = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let vehicle =
+                        if rng.random::<f64>() < cfg.slow_vehicle_fraction { 0.65 } else { 1.0 };
+                    let s = mean * vehicle * (1.0 + cfg.speed_noise * normal(&mut rng));
+                    speeds.push(s.clamp(0.3, spec.max_speed - 1e-6));
+                }
+                interval_records.push(speeds);
+            }
+            records.push(interval_records);
+            time_of_day.push(t);
+            day_of_week.push(dow);
+        }
+    }
+
+    TrafficData {
+        spec,
+        intervals_per_day: cfg.intervals_per_day,
+        num_edges: n,
+        records,
+        time_of_day,
+        day_of_week,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::highway_tollgate;
+
+    fn small_sim() -> TrafficData {
+        let hw = highway_tollgate(1);
+        let cfg = SimConfig { days: 2, intervals_per_day: 24, ..Default::default() };
+        simulate(&hw, HistogramSpec::hist8(), &cfg)
+    }
+
+    #[test]
+    fn shapes_and_calendar() {
+        let data = small_sim();
+        assert_eq!(data.num_intervals(), 48);
+        assert_eq!(data.num_edges, 24);
+        assert_eq!(data.time_of_day[25], 1);
+        assert_eq!(data.day_of_week[0], 0);
+        assert_eq!(data.day_of_week[47], 1);
+    }
+
+    #[test]
+    fn speeds_in_range() {
+        let data = small_sim();
+        for t in 0..data.num_intervals() {
+            for e in 0..data.num_edges {
+                for &s in data.records_at(t, e) {
+                    assert!((0.3..40.0).contains(&s), "speed {s} out of range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peak_hours_are_slower_on_weekdays() {
+        // Congestion factor: 8:00 weekday must be well below 3:00.
+        let peak = congestion_factor(8.0 / 24.0, false);
+        let night = congestion_factor(3.0 / 24.0, false);
+        assert!(peak < 0.7 * night, "peak {peak} vs night {night}");
+        // Weekend 8:00 is barely affected.
+        assert!(congestion_factor(8.0 / 24.0, true) > 0.9);
+    }
+
+    #[test]
+    fn flow_is_higher_at_peak_than_night() {
+        assert!(flow_factor(8.0 / 24.0, false) > 4.0 * flow_factor(3.0 / 24.0, false));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small_sim();
+        let b = small_sim();
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn produces_sparse_coverage() {
+        // At night many edge-intervals must have <5 records.
+        let data = small_sim();
+        let mut below = 0;
+        let mut total = 0;
+        for t in 0..data.num_intervals() {
+            for e in 0..data.num_edges {
+                total += 1;
+                if data.records_at(t, e).len() < 5 {
+                    below += 1;
+                }
+            }
+        }
+        let frac = below as f64 / total as f64;
+        assert!(frac > 0.2 && frac < 0.95, "sparse fraction {frac}");
+    }
+
+    #[test]
+    fn adjacent_edges_correlate() {
+        // Average mean-speed correlation between adjacent edges should be
+        // clearly positive in a congested interval set.
+        let hw = highway_tollgate(1);
+        let cfg = SimConfig { days: 4, intervals_per_day: 24, ..Default::default() };
+        let data = simulate(&hw, HistogramSpec::hist8(), &cfg);
+        // Collect per-interval mean speeds of an adjacent pair and a
+        // distant pair with enough data.
+        let means = |e: usize| -> Vec<f64> {
+            (0..data.num_intervals())
+                .map(|t| {
+                    let r = data.records_at(t, e);
+                    if r.is_empty() {
+                        f64::NAN
+                    } else {
+                        r.iter().sum::<f64>() / r.len() as f64
+                    }
+                })
+                .collect()
+        };
+        let corr = |a: &[f64], b: &[f64]| -> f64 {
+            let pairs: Vec<(f64, f64)> = a
+                .iter()
+                .zip(b)
+                .filter(|(x, y)| x.is_finite() && y.is_finite())
+                .map(|(&x, &y)| (x, y))
+                .collect();
+            let n = pairs.len() as f64;
+            let (mx, my) = (
+                pairs.iter().map(|p| p.0).sum::<f64>() / n,
+                pairs.iter().map(|p| p.1).sum::<f64>() / n,
+            );
+            let cov: f64 = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n;
+            let (sx, sy) = (
+                (pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n).sqrt(),
+                (pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n).sqrt(),
+            );
+            cov / (sx * sy)
+        };
+        let e = 0;
+        let nb = hw.graph.neighbors(e)[0];
+        let c_adjacent = corr(&means(e), &means(nb));
+        assert!(c_adjacent > 0.3, "adjacent correlation {c_adjacent}");
+    }
+}

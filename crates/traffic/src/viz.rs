@@ -1,0 +1,96 @@
+//! Terminal visualisation helpers: ASCII histograms and sparklines for
+//! inspecting stochastic weights (used by the examples and handy in a
+//! REPL / debugger).
+
+use crate::histogram::HistogramSpec;
+
+/// Renders a speed histogram as a labelled horizontal bar chart.
+pub fn histogram_bars(hist: &[f64], spec: &HistogramSpec, width: usize) -> String {
+    assert_eq!(hist.len(), spec.buckets, "histogram length mismatch");
+    let max = hist.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+    let mut out = String::new();
+    for (b, &p) in hist.iter().enumerate() {
+        let lo = spec.min_speed + b as f64 * spec.bucket_width();
+        let hi = lo + spec.bucket_width();
+        let bar_len = ((p / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "[{lo:>4.0}-{hi:<4.0} m/s] {p:>5.2} {}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Renders a sequence of values as a one-line Unicode sparkline.
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = (hi - lo).max(1e-12);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            BLOCKS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Renders a compact comparison row: name, value, and a bar scaled
+/// against `max_value`.
+pub fn metric_bar(name: &str, value: f64, max_value: f64, width: usize) -> String {
+    let frac = (value / max_value.max(1e-12)).clamp(0.0, 1.0);
+    let bar = "#".repeat((frac * width as f64).round() as usize);
+    format!("{name:<10} {value:>7.3} {bar}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bars_shape() {
+        let spec = HistogramSpec::hist4();
+        let out = histogram_bars(&[0.5, 0.25, 0.25, 0.0], &spec, 20);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("0-10"));
+        // The dominant bucket gets the full-width bar.
+        assert!(lines[0].matches('#').count() == 20);
+        assert!(lines[3].matches('#').count() == 0);
+    }
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        let s = sparkline(&[0.0, 1.0, 0.5]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '█');
+    }
+
+    #[test]
+    fn sparkline_constant_series_is_flat() {
+        let s = sparkline(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.chars().collect::<Vec<_>>(), vec!['▁', '▁', '▁']);
+    }
+
+    #[test]
+    fn sparkline_empty_is_empty() {
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn metric_bar_scales() {
+        let full = metric_bar("GCWC", 1.0, 1.0, 10);
+        assert!(full.ends_with("##########"));
+        let half = metric_bar("HA", 0.5, 1.0, 10);
+        assert_eq!(half.matches('#').count(), 5);
+    }
+}

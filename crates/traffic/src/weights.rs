@@ -1,0 +1,159 @@
+//! Stochastic weight matrices (`W`, `W_G`, `Ŵ` of the paper).
+
+use gcwc_linalg::rng::sample_indices;
+use gcwc_linalg::Matrix;
+use rand::rngs::StdRng;
+
+/// An `n × m` stochastic weight matrix where uncovered edges have
+/// all-zero rows, plus the explicit coverage flags.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightMatrix {
+    hist: Matrix,
+    covered: Vec<bool>,
+}
+
+impl WeightMatrix {
+    /// Builds from per-edge optional histograms.
+    pub fn from_rows(rows: Vec<Option<Vec<f64>>>, buckets: usize) -> Self {
+        let n = rows.len();
+        let mut hist = Matrix::zeros(n, buckets);
+        let mut covered = vec![false; n];
+        for (i, row) in rows.into_iter().enumerate() {
+            if let Some(h) = row {
+                assert_eq!(h.len(), buckets, "histogram length mismatch at row {i}");
+                hist.row_mut(i).copy_from_slice(&h);
+                covered[i] = true;
+            }
+        }
+        Self { hist, covered }
+    }
+
+    /// Builds directly from a matrix and coverage flags.
+    pub fn new(hist: Matrix, covered: Vec<bool>) -> Self {
+        assert_eq!(hist.rows(), covered.len(), "coverage length mismatch");
+        Self { hist, covered }
+    }
+
+    /// Number of edges `n`.
+    pub fn num_edges(&self) -> usize {
+        self.hist.rows()
+    }
+
+    /// Number of buckets `m`.
+    pub fn num_buckets(&self) -> usize {
+        self.hist.cols()
+    }
+
+    /// The underlying `n × m` matrix (zero rows for uncovered edges).
+    pub fn matrix(&self) -> &Matrix {
+        &self.hist
+    }
+
+    /// Whether edge `i` is covered by traffic data.
+    pub fn is_covered(&self, i: usize) -> bool {
+        self.covered[i]
+    }
+
+    /// Coverage flags.
+    pub fn coverage(&self) -> &[bool] {
+        &self.covered
+    }
+
+    /// Number of covered edges.
+    pub fn num_covered(&self) -> usize {
+        self.covered.iter().filter(|&&c| c).count()
+    }
+
+    /// Histogram of edge `i`, if covered.
+    pub fn row(&self, i: usize) -> Option<&[f64]> {
+        self.covered[i].then(|| self.hist.row(i))
+    }
+
+    /// The paper's row-flag context `X_R` (`1.0` for covered rows).
+    pub fn row_flags(&self) -> Vec<f64> {
+        self.covered.iter().map(|&c| if c { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// The removal protocol of §VI-A.2: selects `⌊n·rm⌋` edges uniformly
+    /// at random from *all* `n` edges and zeroes their rows, producing the
+    /// incomplete input matrix `W`.
+    pub fn remove_random(&self, rm: f64, rng: &mut StdRng) -> WeightMatrix {
+        assert!((0.0..=1.0).contains(&rm), "removal ratio must be in [0, 1]");
+        let n = self.num_edges();
+        let k = ((n as f64) * rm).floor() as usize;
+        let removed = sample_indices(rng, n, k);
+        let mut out = self.clone();
+        for &i in &removed {
+            out.hist.row_mut(i).fill(0.0);
+            out.covered[i] = false;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcwc_linalg::rng::seeded;
+
+    fn sample() -> WeightMatrix {
+        WeightMatrix::from_rows(
+            vec![Some(vec![0.5, 0.5]), None, Some(vec![1.0, 0.0]), Some(vec![0.25, 0.75])],
+            2,
+        )
+    }
+
+    #[test]
+    fn coverage_flags() {
+        let w = sample();
+        assert_eq!(w.num_edges(), 4);
+        assert_eq!(w.num_covered(), 3);
+        assert!(w.is_covered(0));
+        assert!(!w.is_covered(1));
+        assert_eq!(w.row_flags(), vec![1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn uncovered_rows_are_zero() {
+        let w = sample();
+        assert!(w.matrix().row_is_zero(1));
+        assert_eq!(w.row(1), None);
+        assert_eq!(w.row(0), Some(&[0.5, 0.5][..]));
+    }
+
+    #[test]
+    fn removal_drops_expected_count() {
+        let w = sample();
+        let mut rng = seeded(1);
+        let removed = w.remove_random(0.5, &mut rng); // floor(4*0.5) = 2 removed
+                                                      // At most 3 covered before; between 1 and 3 covered after
+                                                      // (removal targets all edges, covered or not).
+        assert!(removed.num_covered() <= w.num_covered());
+        let zeroed = (0..4).filter(|&i| !removed.is_covered(i)).count();
+        assert!(zeroed >= 2, "at least the removed edges are uncovered");
+    }
+
+    #[test]
+    fn removal_zero_ratio_is_identity() {
+        let w = sample();
+        let mut rng = seeded(2);
+        assert_eq!(w.remove_random(0.0, &mut rng), w);
+    }
+
+    #[test]
+    fn removal_full_ratio_empties_everything() {
+        let w = sample();
+        let mut rng = seeded(3);
+        let out = w.remove_random(1.0, &mut rng);
+        assert_eq!(out.num_covered(), 0);
+        assert_eq!(out.matrix().sum(), 0.0);
+    }
+
+    #[test]
+    fn removal_is_deterministic_per_seed() {
+        let w = sample();
+        let a = w.remove_random(0.5, &mut seeded(7));
+        let b = w.remove_random(0.5, &mut seeded(7));
+        assert_eq!(a, b);
+    }
+}

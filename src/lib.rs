@@ -1,0 +1,24 @@
+//! # gcwc-repro
+//!
+//! Root facade for the GCWC reproduction workspace. The implementation
+//! lives in the member crates, re-exported here for convenience:
+//!
+//! * [`gcwc`] — the paper's models (GCWC, A-GCWC) and task definitions.
+//! * [`gcwc_baselines`] — HA, GP, RF, LSM, CNN and DR comparators.
+//! * [`gcwc_traffic`] — synthetic networks, traffic simulation, datasets.
+//! * [`gcwc_graph`] — edge graphs, Laplacians, coarsening, filter bases.
+//! * [`gcwc_nn`] — the autodiff tape, layers and optimisers.
+//! * [`gcwc_metrics`] — MKLR, FLR, MAPE, KL divergence.
+//! * [`gcwc_routing`] — stochastic routing on completed weights.
+//!
+//! See `README.md` for a tour and `DESIGN.md` / `EXPERIMENTS.md` for the
+//! reproduction methodology and results.
+
+pub use gcwc;
+pub use gcwc_baselines;
+pub use gcwc_graph;
+pub use gcwc_linalg;
+pub use gcwc_metrics;
+pub use gcwc_nn;
+pub use gcwc_routing;
+pub use gcwc_traffic;

@@ -1,0 +1,134 @@
+//! Property-based integration tests over the public API.
+
+use gcwc::{build_samples, CompletionModel, GcwcModel, ModelConfig, TaskKind};
+use gcwc_graph::{ChebyshevBasis, EdgeGraph, GraphHierarchy, PolyBasis, PoolingMap};
+use gcwc_linalg::{CsrMatrix, Matrix};
+use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig, WeightMatrix};
+use proptest::prelude::*;
+
+/// Arbitrary small connected path adjacency.
+fn path_adjacency(n: usize) -> CsrMatrix {
+    CsrMatrix::from_triplets(n, n, (0..n - 1).flat_map(|i| [(i, i + 1, 1.0), (i + 1, i, 1.0)]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Chebyshev expansion is linear: T(αx) = αT(x).
+    #[test]
+    fn chebyshev_is_linear(alpha in -3.0f64..3.0, n in 3usize..10, k in 2usize..6) {
+        let basis = ChebyshevBasis::from_adjacency(&path_adjacency(n), k);
+        let x = Matrix::from_fn(n, 2, |i, j| (i * 2 + j) as f64 * 0.3 - 1.0);
+        let fx = basis.forward(&x);
+        let fax = basis.forward(&x.scale(alpha));
+        for (a, b) in fx.iter().zip(&fax) {
+            prop_assert!(a.scale(alpha).approx_eq(b, 1e-9));
+        }
+    }
+
+    /// Graph pooling then "un-pooling" preserves column maxima.
+    #[test]
+    fn pooling_preserves_column_max(n in 4usize..12, c in 1usize..4) {
+        let x = Matrix::from_fn(n, c, |i, j| ((i * 7 + j * 13) % 19) as f64);
+        let h = GraphHierarchy::build(&path_adjacency(n), 1);
+        let map = PoolingMap::from_hierarchy(&h, 0, 1);
+        let (pooled, _) = map.max_forward(&x);
+        for j in 0..c {
+            let max_in = (0..n).map(|i| x[(i, j)]).fold(f64::NEG_INFINITY, f64::max);
+            let max_out = (0..pooled.rows()).map(|i| pooled[(i, j)]).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(max_in, max_out);
+        }
+    }
+
+    /// The removal protocol removes exactly ⌊n·rm⌋ rows and never
+    /// invents coverage.
+    #[test]
+    fn removal_protocol_is_exact(rm in 0.0f64..1.0, seed in 0u64..500) {
+        let n = 20;
+        let rows = (0..n).map(|i| {
+            (i % 3 != 0).then(|| vec![0.5, 0.5])
+        }).collect::<Vec<_>>();
+        let w = WeightMatrix::from_rows(rows, 2);
+        let mut rng = gcwc_linalg::rng::seeded(seed);
+        let removed = w.remove_random(rm, &mut rng);
+        for e in 0..n {
+            if removed.is_covered(e) {
+                prop_assert!(w.is_covered(e), "coverage must not appear");
+            }
+        }
+        // The removed set is drawn from all edges, so coverage drops by
+        // at most ⌊n·rm⌋ and survives at least max(0, covered − ⌊n·rm⌋).
+        let k = (n as f64 * rm).floor() as usize;
+        prop_assert!(removed.num_covered() + k >= w.num_covered());
+    }
+
+    /// Model predictions are valid histograms for arbitrary seeds.
+    #[test]
+    fn predictions_valid_for_any_seed(seed in 0u64..100) {
+        let hw = generators::highway_tollgate(seed);
+        let sim = SimConfig { days: 1, intervals_per_day: 6, seed, ..Default::default() };
+        let data = simulate(&hw, HistogramSpec::hist4(), &sim);
+        let ds = data.to_dataset(0.5, 5, seed);
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let samples = build_samples(&ds, &idx, TaskKind::Estimation, 0);
+        let mut model = GcwcModel::new(&hw.graph, 4, ModelConfig::hw_hist().with_epochs(1), seed);
+        model.fit(&samples[..3]);
+        let pred = model.predict(&samples[4]);
+        for e in 0..24 {
+            let s: f64 = pred.row(e).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-8);
+            prop_assert!(pred.row(e).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    /// Edge graphs are always symmetric and loop-free regardless of the
+    /// generator seed.
+    #[test]
+    fn edge_graphs_are_symmetric(seed in 0u64..200) {
+        let ci = generators::city_network_sized(seed, 40);
+        let a = ci.graph.adjacency_dense();
+        prop_assert_eq!(a.clone(), a.transpose());
+        for i in 0..a.rows() {
+            prop_assert_eq!(a[(i, i)], 0.0);
+        }
+    }
+}
+
+/// Laplacian spectra of every generated network stay within the scaled
+/// bound after rescaling (non-proptest: heavier).
+#[test]
+fn scaled_laplacian_bound_on_generated_networks() {
+    for seed in [1u64, 7, 42] {
+        let hw = generators::highway_tollgate(seed);
+        let basis = ChebyshevBasis::from_adjacency(hw.graph.adjacency(), 3);
+        let lt = basis.scaled_laplacian();
+        let lmax = gcwc_linalg::eigen::largest_eigenvalue(lt, 1000, 1e-9);
+        assert!(lmax <= 1.0 + 1e-6, "seed {seed}: λmax(L̃) = {lmax}");
+    }
+}
+
+/// Hierarchies over the city network cover every node exactly once at
+/// every level.
+#[test]
+fn city_hierarchy_partitions() {
+    let ci = generators::city_network(3);
+    let h = GraphHierarchy::build(ci.graph.adjacency(), 3);
+    for level in 1..=3 {
+        let composed = h.compose(0, level);
+        let mut all: Vec<usize> = composed.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..172).collect::<Vec<_>>(), "level {level}");
+    }
+}
+
+/// An edge graph built from a road network agrees with one built from
+/// its own adjacency matrix.
+#[test]
+fn edge_graph_roundtrip_through_adjacency() {
+    let hw = generators::highway_tollgate(1);
+    let rebuilt = EdgeGraph::from_adjacency(hw.graph.adjacency().clone());
+    assert_eq!(rebuilt.adjacency_dense(), hw.graph.adjacency_dense());
+    for i in 0..rebuilt.num_nodes() {
+        assert_eq!(rebuilt.neighbors(i), hw.graph.neighbors(i));
+    }
+}
