@@ -181,6 +181,7 @@ impl CompletionModel for CnnModel {
             this.cfg.optim,
             this.cfg.epochs,
             this.cfg.batch_size,
+            gcwc_linalg::Threads::auto(),
             samples,
             &mut rng,
             |tape, store, sample, rng| this.sample_loss(tape, store, sample, rng),

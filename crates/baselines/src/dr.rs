@@ -9,7 +9,7 @@
 //! propagates well on small graphs but weakens on large ones and under
 //! sparseness.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use gcwc::model::gcwc::LOSS_EPS;
 use gcwc::train::{run_training, TrainReport};
@@ -85,10 +85,10 @@ impl Gate {
         tape: &mut Tape,
         store: &ParamStore,
         x: NodeId,
-        basis: &Rc<dyn PolyBasis>,
+        basis: &Arc<dyn PolyBasis>,
     ) -> NodeId {
         let thetas: Vec<NodeId> = self.thetas.iter().map(|&t| tape.param(store, t)).collect();
-        let conv = tape.poly_conv(x, &thetas, Rc::clone(basis));
+        let conv = tape.poly_conv(x, &thetas, Arc::clone(basis));
         let bias = tape.param(store, self.bias);
         tape.add_row_broadcast(conv, bias)
     }
@@ -97,7 +97,7 @@ impl Gate {
 /// The diffusion convolutional recurrent model.
 pub struct DrModel {
     store: ParamStore,
-    basis: Rc<dyn PolyBasis>,
+    basis: Arc<dyn PolyBasis>,
     gate_r: Gate,
     gate_u: Gate,
     gate_c: Gate,
@@ -115,8 +115,8 @@ impl DrModel {
         let mut rng = seeded(seed);
         let mut store = ParamStore::new();
         let n = graph.num_nodes();
-        let basis: Rc<dyn PolyBasis> =
-            Rc::new(RandomWalkBasis::from_adjacency(graph.adjacency(), cfg.diffusion_order));
+        let basis: Arc<dyn PolyBasis> =
+            Arc::new(RandomWalkBasis::from_adjacency(graph.adjacency(), cfg.diffusion_order));
         let input = m + cfg.hidden;
         let gate_r =
             Gate::new(&mut store, &mut rng, "dr.r", cfg.diffusion_order, input, cfg.hidden);
@@ -207,6 +207,7 @@ impl CompletionModel for DrModel {
             this.cfg.optim,
             this.cfg.epochs,
             this.cfg.batch_size,
+            gcwc_linalg::Threads::auto(),
             samples,
             &mut rng,
             |tape, store, sample, _| this.sample_loss(tape, store, sample),

@@ -3,7 +3,7 @@
 //! graph pooling, dense 2-D convolution (CP-CNN), and a full GCWC
 //! training step.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gcwc::{ModelConfig, TrainSample};
@@ -33,7 +33,7 @@ fn bench_chebyshev_expansion(c: &mut Criterion) {
 
 fn bench_grouped_graph_conv(c: &mut Criterion) {
     let graph = city_graph();
-    let basis: Rc<dyn PolyBasis> = Rc::new(ChebyshevBasis::from_adjacency(graph.adjacency(), 8));
+    let basis: Arc<dyn PolyBasis> = Arc::new(ChebyshevBasis::from_adjacency(graph.adjacency(), 8));
     let mut store = ParamStore::new();
     let mut rng = seeded(1);
     let thetas: Vec<_> = (0..8)
@@ -47,7 +47,7 @@ fn bench_grouped_graph_conv(c: &mut Criterion) {
             let mut tape = Tape::new();
             let x = tape.constant(input.clone());
             let th: Vec<_> = thetas.iter().map(|&t| tape.param(&local, t)).collect();
-            let y = tape.poly_conv_grouped(x, &th, Rc::clone(&basis), 8);
+            let y = tape.poly_conv_grouped(x, &th, Arc::clone(&basis), 8);
             let loss = tape.sum_all(y);
             tape.backward(loss, &mut local);
             black_box(local.grad_norm())
@@ -135,10 +135,59 @@ fn bench_gcwc_step(c: &mut Criterion) {
     });
 }
 
+/// Serial vs. parallel throughput of the two kernels behind every
+/// model, and of a full data-parallel training batch. Outputs are
+/// bit-identical across thread counts; only wall-clock time differs.
+fn bench_thread_scaling(c: &mut Criterion) {
+    use gcwc::CompletionModel;
+    use gcwc_linalg::parallel::with_threads;
+
+    let threads = [1usize, 2, 4];
+
+    let mut group = c.benchmark_group("matmul_512_threads");
+    let a = Matrix::from_fn(512, 512, |i, j| ((i * 31 + j) % 23) as f64 * 0.03);
+    let b_mat = Matrix::from_fn(512, 512, |i, j| ((i + 7 * j) % 19) as f64 * 0.05);
+    for &t in &threads {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| with_threads(t, || black_box(a.matmul(black_box(&b_mat)))))
+        });
+    }
+    group.finish();
+
+    let graph = city_graph();
+    let mut group = c.benchmark_group("chebyshev_k8_threads");
+    let basis = ChebyshevBasis::from_adjacency(graph.adjacency(), 8);
+    let x = Matrix::from_fn(172, 64, |i, j| ((i + j) % 7) as f64 * 0.1);
+    for &t in &threads {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| with_threads(t, || black_box(basis.forward(black_box(&x)))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("gcwc_train_batch_threads");
+    group.sample_size(10);
+    let samples: Vec<TrainSample> = (0..8).map(|_| sample_for(172, 8)).collect();
+    for &t in &threads {
+        let cfg = ModelConfig::ci_hist().with_epochs(1).with_threads(t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter_batched(
+                || gcwc::GcwcModel::new(&graph, 8, cfg.clone(), 1),
+                |mut model| {
+                    model.fit(&samples);
+                    black_box(model.num_params())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_chebyshev_expansion, bench_grouped_graph_conv, bench_graph_pooling,
-              bench_conv2d_cpcnn, bench_gcwc_step
+              bench_conv2d_cpcnn, bench_gcwc_step, bench_thread_scaling
 }
 criterion_main!(benches);

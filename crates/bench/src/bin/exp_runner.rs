@@ -9,6 +9,7 @@
 //!   tables             all of Tables IV–XIII
 //!   fig6a              Figure 6(a): training time per 20-instance batch
 //!   fig6b              Figure 6(b): testing time per instance
+//!   threads            serial-vs-parallel training throughput sweep
 //!   ablations          design-choice ablations (Chebyshev order, pooling,
 //!                      context subsets, HIST-4/8, LSM missing handling)
 //!   all                everything above
@@ -16,7 +17,9 @@
 //!
 //! The default profile is `--fast` (minutes on CPU; reduced days/epochs
 //! but the full protocol structure). `--full` runs the paper-scale
-//! protocol. Run with `cargo run --release -p gcwc-bench --bin
+//! protocol. `--threads=N` pins the worker-thread count for every
+//! experiment (results are bit-identical for any value; only wall-clock
+//! time changes). Run with `cargo run --release -p gcwc-bench --bin
 //! exp_runner -- <command>`.
 
 use gcwc_bench::{ablations, params_table, run_table, scalability, Profile, ScalModel};
@@ -25,16 +28,30 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut profile = Profile::fast();
     let mut commands: Vec<String> = Vec::new();
+    let mut threads = 0usize;
     for a in &args {
         match a.as_str() {
             "--fast" => profile = Profile::fast(),
             "--full" => profile = Profile::full(),
             "--smoke" => profile = Profile::smoke(),
+            flag if flag.starts_with("--threads=") => {
+                threads = match flag["--threads=".len()..].parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--threads=N takes a non-negative integer, got {flag:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             cmd => commands.push(cmd.to_owned()),
         }
     }
+    profile.threads = threads;
+    // Models built outside run_training (prediction paths, baselines)
+    // follow the process-wide kernel default.
+    gcwc_linalg::parallel::set_global_threads(threads);
     if commands.is_empty() {
-        eprintln!("usage: exp_runner [--fast|--full|--smoke] <table3|table4..table13|tables|fig6a|fig6b|ablations|all>");
+        eprintln!("usage: exp_runner [--fast|--full|--smoke] [--threads=N] <table3|table4..table13|tables|fig6a|fig6b|threads|ablations|all>");
         std::process::exit(2);
     }
 
@@ -52,6 +69,7 @@ fn main() {
             }
             "fig6a" => run_fig6(&profile, true, false),
             "fig6b" => run_fig6(&profile, false, true),
+            "threads" => run_thread_sweep(&profile),
             "ablations" => {
                 println!("{}", ablations::render(&ablations::run_all(&profile)));
             }
@@ -68,6 +86,7 @@ fn main() {
                     let _ = std::io::stdout().flush();
                 }
                 run_fig6(&profile, true, true);
+                run_thread_sweep(&profile);
             }
             id => run_and_print(id, &profile),
         }
@@ -82,6 +101,21 @@ fn run_and_print(id: &str, profile: &Profile) {
             std::process::exit(2);
         }
     }
+}
+
+fn run_thread_sweep(profile: &Profile) {
+    let ambient = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1usize, 2, 4];
+    if !counts.contains(&ambient) {
+        counts.push(ambient);
+    }
+    let points = scalability::thread_sweep(profile, &counts);
+    println!("Serial vs. parallel training throughput (GCWC, CI scale 1)");
+    println!("{:>8}{:>16}{:>10}", "threads", "batch secs", "speedup");
+    for p in &points {
+        println!("{:>8}{:>16.4}{:>10.2}", p.threads, p.train_batch_secs, p.speedup);
+    }
+    println!();
 }
 
 fn run_fig6(profile: &Profile, show_train: bool, show_test: bool) {

@@ -19,5 +19,5 @@ pub mod tables;
 pub use harness::{evaluate_average, evaluate_hist, make_bundle, Bundle, HistScores};
 pub use methods::{make_model, Method};
 pub use profile::{DatasetKind, Profile};
-pub use scalability::{measure, ScalModel, ScalPoint};
+pub use scalability::{measure, thread_sweep, ScalModel, ScalPoint, ThreadPoint};
 pub use tables::{run_table, Table, ALL_TABLES};

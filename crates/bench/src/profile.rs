@@ -51,6 +51,10 @@ pub struct Profile {
     pub scales: Vec<usize>,
     /// Batches measured per scalability point.
     pub scal_batches: usize,
+    /// Worker threads per training batch (0 = ambient: `GCWC_THREADS`
+    /// or the machine's available parallelism). Results are
+    /// bit-identical for every value; only throughput changes.
+    pub threads: usize,
 }
 
 impl Profile {
@@ -68,6 +72,7 @@ impl Profile {
             seed: 20190411, // ICDE'19 in Macau
             scales: vec![1, 2, 4],
             scal_batches: 2,
+            threads: 0,
         }
     }
 
@@ -107,6 +112,7 @@ impl Profile {
             seed: 7,
             scales: vec![1],
             scal_batches: 1,
+            threads: 0,
         }
     }
 }

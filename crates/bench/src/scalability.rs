@@ -156,7 +156,7 @@ pub fn measure(model: ScalModel, scale: usize, profile: &Profile) -> ScalPoint {
     let batch = 20;
     let batches = profile.scal_batches;
     // One epoch over `batches` batches = the measured workload.
-    let cfg = ModelConfig::ci_hist().with_epochs(1);
+    let cfg = ModelConfig::ci_hist().with_epochs(1).with_threads(profile.threads);
     let samples = synthetic_samples(n, m, batch * batches, profile.intervals_per_day, profile.seed);
     let test = &samples[..4.min(samples.len())];
 
@@ -198,6 +198,36 @@ pub fn measure(model: ScalModel, scale: usize, profile: &Profile) -> ScalPoint {
     }
 }
 
+/// One row of the serial-vs-parallel throughput sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadPoint {
+    /// Worker threads used for the training batch.
+    pub threads: usize,
+    /// Seconds per 20-instance training batch.
+    pub train_batch_secs: f64,
+    /// Throughput relative to the sweep's first row (pass `1` first to
+    /// make that the serial baseline).
+    pub speedup: f64,
+}
+
+/// Measures GCWC training throughput at each thread count in
+/// `thread_counts` (same workload as the scale-1 Figure 6 point) and
+/// reports the speedup over the serial run. Losses and weights are
+/// bit-identical across rows; only wall-clock time varies.
+pub fn thread_sweep(profile: &Profile, thread_counts: &[usize]) -> Vec<ThreadPoint> {
+    let mut points = Vec::with_capacity(thread_counts.len());
+    let mut serial_secs = None;
+    for &t in thread_counts {
+        let mut p = profile.clone();
+        p.threads = t;
+        let point = measure(ScalModel::Gcwc, 1, &p);
+        let secs = point.train_batch_secs;
+        let base = *serial_secs.get_or_insert(secs);
+        points.push(ThreadPoint { threads: t, train_batch_secs: secs, speedup: base / secs });
+    }
+    points
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +253,17 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn thread_sweep_reports_speedups() {
+        let mut profile = Profile::smoke();
+        profile.scal_batches = 1;
+        let points = thread_sweep(&profile, &[1, 2]);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].threads, 1);
+        assert!((points[0].speedup - 1.0).abs() < 1e-12, "first row is the baseline");
+        assert!(points[1].train_batch_secs > 0.0 && points[1].speedup > 0.0);
     }
 
     #[test]

@@ -330,6 +330,7 @@ impl CompletionModel for AGcwcModel {
             this.cfg.optim,
             this.cfg.epochs,
             this.cfg.batch_size,
+            gcwc_linalg::Threads::fixed(this.cfg.threads),
             samples,
             &mut rng,
             |tape, store, sample, rng| this.sample_loss(tape, store, sample, rng),

@@ -8,7 +8,7 @@
 //! features back to one value per edge (the *decoding*). Assembling the
 //! per-bucket outputs yields the logit matrix `Z ∈ R^{n×m}`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use gcwc_graph::{ChebyshevBasis, EdgeGraph, GraphHierarchy, PolyBasis, PoolingMap};
 use gcwc_linalg::Matrix;
@@ -19,11 +19,11 @@ use crate::config::{log2_exact, ModelConfig, OutputKind};
 
 /// One graph-convolution stage with its basis, filters and pooling map.
 struct EncoderLayer {
-    basis: Rc<dyn PolyBasis>,
+    basis: Arc<dyn PolyBasis>,
     /// `thetas[k]` is the `c_in × c_out` mixing matrix of tap `k`.
     thetas: Vec<ParamId>,
     bias: ParamId,
-    pool: Option<Rc<PoolingMap>>,
+    pool: Option<Arc<PoolingMap>>,
     out_nodes: usize,
     out_filters: usize,
 }
@@ -53,8 +53,8 @@ impl Encoder {
         let mut c_in = 1usize;
         let mut layers = Vec::with_capacity(cfg.conv_layers.len());
         for (li, lc) in cfg.conv_layers.iter().enumerate() {
-            let basis: Rc<dyn PolyBasis> =
-                Rc::new(ChebyshevBasis::from_adjacency(hierarchy.graph(level), lc.cheb_order));
+            let basis: Arc<dyn PolyBasis> =
+                Arc::new(ChebyshevBasis::from_adjacency(hierarchy.graph(level), lc.cheb_order));
             let thetas = (0..lc.cheb_order)
                 .map(|k| {
                     store.add(
@@ -66,7 +66,7 @@ impl Encoder {
             let bias = store.add(format!("conv{li}.bias"), Matrix::zeros(1, lc.filters));
             let (pool, out_nodes) = if lc.pool > 1 {
                 let to = level + log2_exact(lc.pool);
-                let map = Rc::new(PoolingMap::from_hierarchy(&hierarchy, level, to));
+                let map = Arc::new(PoolingMap::from_hierarchy(&hierarchy, level, to));
                 let out = map.num_outputs();
                 level = to;
                 (Some(map), out)
@@ -125,13 +125,13 @@ impl Encoder {
         let mut x = tape.constant(input.clone());
         for layer in &self.layers {
             let thetas: Vec<NodeId> = layer.thetas.iter().map(|&t| tape.param(store, t)).collect();
-            x = tape.poly_conv_grouped(x, &thetas, Rc::clone(&layer.basis), self.m);
+            x = tape.poly_conv_grouped(x, &thetas, Arc::clone(&layer.basis), self.m);
             let bias = tape.param(store, layer.bias);
             let tiled = tape.tile_cols(bias, self.m);
             x = tape.add_row_broadcast(x, tiled);
             x = tape.tanh(x);
             if let Some(pool) = &layer.pool {
-                x = tape.graph_max_pool(x, Rc::clone(pool));
+                x = tape.graph_max_pool(x, Arc::clone(pool));
             }
         }
         let last = self.layers.last().expect("non-empty");

@@ -97,6 +97,7 @@ impl CompletionModel for GcwcModel {
             self.cfg.optim,
             self.cfg.epochs,
             self.cfg.batch_size,
+            gcwc_linalg::Threads::fixed(self.cfg.threads),
             samples,
             &mut rng,
             |tape, store, sample, rng| {

@@ -1,8 +1,26 @@
-//! Shared mini-batch training loop.
+//! Shared mini-batch training loop, data-parallel within each batch.
+//!
+//! Samples inside a mini-batch are independent — gradients only meet at
+//! the batch barrier — so the loop farms samples out to scoped worker
+//! threads. Determinism is preserved bit-for-bit for every thread
+//! count:
+//!
+//! 1. every sample's RNG is seeded from the master stream *in batch
+//!    order* before any worker starts, so the stream consumed never
+//!    depends on scheduling;
+//! 2. each worker writes a private per-sample [`GradBuffer`] (one per
+//!    sample, not one per worker — float addition is non-associative,
+//!    so per-worker partial sums would round differently as the worker
+//!    count changed);
+//! 3. buffers are merged into the [`ParamStore`] in sample-index order
+//!    after the batch completes, reproducing the serial accumulation
+//!    order exactly.
 
-use gcwc_linalg::rng::shuffle;
-use gcwc_nn::{Adam, NodeId, ParamStore, Tape};
+use gcwc_linalg::parallel::{self, Threads};
+use gcwc_linalg::rng::{seeded, shuffle};
+use gcwc_nn::{Adam, GradBuffer, NodeId, ParamStore, Tape};
 use rand::rngs::StdRng;
+use rand::Rng;
 
 use crate::task::TrainSample;
 
@@ -23,14 +41,22 @@ impl TrainReport {
 /// Runs mini-batch training: for every sample `forward_loss` builds the
 /// tape and returns the scalar loss node; gradients are averaged over
 /// the batch and applied with Adam.
+///
+/// Samples within a batch are evaluated by up to `threads` scoped
+/// worker threads. Epoch losses and parameter updates are bit-identical
+/// for every thread count (see the module docs); `forward_loss`
+/// receives a per-sample RNG seeded from the master stream in batch
+/// order, so it must derive all randomness from that argument.
+#[allow(clippy::too_many_arguments)] // deliberate flat signature: one call per model, no builder worth it
 pub fn run_training(
     store: &mut ParamStore,
     optim: gcwc_nn::OptimConfig,
     epochs: usize,
     batch_size: usize,
+    threads: Threads,
     samples: &[TrainSample],
     rng: &mut StdRng,
-    mut forward_loss: impl FnMut(&mut Tape, &ParamStore, &TrainSample, &mut StdRng) -> NodeId,
+    forward_loss: impl Fn(&mut Tape, &ParamStore, &TrainSample, &mut StdRng) -> NodeId + Sync,
 ) -> TrainReport {
     assert!(batch_size >= 1, "batch size must be positive");
     let mut report = TrainReport::default();
@@ -44,11 +70,15 @@ pub fn run_training(
         let mut epoch_loss = 0.0;
         for batch in order.chunks(batch_size) {
             store.zero_grads();
-            for &si in batch {
-                let mut tape = Tape::new();
-                let loss = forward_loss(&mut tape, store, &samples[si], rng);
-                epoch_loss += tape.value(loss)[(0, 0)];
-                tape.backward(loss, store);
+            // One seed per sample, drawn in batch order *before* any
+            // worker runs: the master stream's consumption is the same
+            // for every thread count.
+            let seeds: Vec<u64> = batch.iter().map(|_| rng.random()).collect();
+            let results = run_batch(store, batch, &seeds, samples, threads, &forward_loss);
+            // Fixed merge order — batch position, never worker id.
+            for (loss, buffer) in &results {
+                epoch_loss += *loss;
+                buffer.merge_into(store);
             }
             store.scale_grads(1.0 / batch.len() as f64);
             adam.step(store);
@@ -57,6 +87,84 @@ pub fn run_training(
         report.epoch_losses.push(epoch_loss / samples.len() as f64);
     }
     report
+}
+
+/// Builds the tape for one sample and runs its backward pass into a
+/// private buffer. Both the serial and the parallel batch path call
+/// exactly this function, which is what makes them bit-identical.
+fn eval_sample<F>(
+    store: &ParamStore,
+    sample: &TrainSample,
+    seed: u64,
+    forward_loss: &F,
+) -> (f64, GradBuffer)
+where
+    F: Fn(&mut Tape, &ParamStore, &TrainSample, &mut StdRng) -> NodeId + Sync,
+{
+    let mut rng = seeded(seed);
+    let mut tape = Tape::new();
+    let mut buffer = GradBuffer::new();
+    let loss = forward_loss(&mut tape, store, sample, &mut rng);
+    let value = tape.value(loss)[(0, 0)];
+    tape.backward(loss, &mut buffer);
+    (value, buffer)
+}
+
+/// Evaluates every sample of `batch`, returning `(loss, gradients)` in
+/// batch order. With more than one thread, the batch is split into
+/// contiguous chunks, one per scoped worker; workers run their kernels
+/// single-threaded (the thread budget is already spent on samples).
+fn run_batch<F>(
+    store: &ParamStore,
+    batch: &[usize],
+    seeds: &[u64],
+    samples: &[TrainSample],
+    threads: Threads,
+    forward_loss: &F,
+) -> Vec<(f64, GradBuffer)>
+where
+    F: Fn(&mut Tape, &ParamStore, &TrainSample, &mut StdRng) -> NodeId + Sync,
+{
+    let workers = threads.get().min(batch.len());
+    if workers <= 1 {
+        return batch
+            .iter()
+            .zip(seeds)
+            .map(|(&si, &seed)| eval_sample(store, &samples[si], seed, forward_loss))
+            .collect();
+    }
+    let mut results: Vec<Option<(f64, GradBuffer)>> = (0..batch.len()).map(|_| None).collect();
+    let run_chunk = |start: usize, chunk: &mut [Option<(f64, GradBuffer)>]| {
+        // Kernels run single-threaded inside workers: the thread budget
+        // is already spent at the sample level.
+        parallel::with_threads(1, || {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let si = batch[start + k];
+                *slot = Some(eval_sample(store, &samples[si], seeds[start + k], forward_loss));
+            }
+        });
+    };
+    std::thread::scope(|scope| {
+        let mut rest = results.as_mut_slice();
+        let mut offset = 0usize;
+        let mut own: Option<(usize, &mut [Option<(f64, GradBuffer)>])> = None;
+        for w in 0..workers {
+            let count = batch.len() / workers + usize::from(w < batch.len() % workers);
+            let (chunk, tail) = rest.split_at_mut(count);
+            rest = tail;
+            let start = offset;
+            offset += count;
+            if w == 0 {
+                own = Some((start, chunk));
+            } else {
+                let run_chunk = &run_chunk;
+                scope.spawn(move || run_chunk(start, chunk));
+            }
+        }
+        let (start, chunk) = own.expect("workers >= 2 implies a first chunk");
+        run_chunk(start, chunk);
+    });
+    results.into_iter().map(|r| r.expect("every batch slot is filled")).collect()
 }
 
 #[cfg(test)]
@@ -95,6 +203,7 @@ mod tests {
             OptimConfig { learning_rate: 0.1, ..Default::default() },
             150,
             2,
+            Threads::auto(),
             &samples,
             &mut rng,
             |tape, store, sample, _| {
@@ -120,10 +229,57 @@ mod tests {
             OptimConfig::default(),
             5,
             4,
+            Threads::auto(),
             &[],
             &mut rng,
             |tape, _, _, _| tape.constant(Matrix::zeros(1, 1)),
         );
         assert!(report.epoch_losses.is_empty());
+    }
+
+    /// A loss whose gradient depends on the per-sample RNG, so the test
+    /// also proves the RNG stream is thread-count-invariant.
+    fn noisy_run(threads: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::filled(2, 3, 0.4));
+        let samples: Vec<TrainSample> =
+            (0..7).map(|i| dummy_sample(i as f64 * 0.5 - 1.0)).collect();
+        let mut rng = seeded(99);
+        let report = run_training(
+            &mut store,
+            OptimConfig { learning_rate: 0.05, ..Default::default() },
+            4,
+            3,
+            Threads::fixed(threads),
+            &samples,
+            &mut rng,
+            |tape, store, sample, rng| {
+                use rand::Rng;
+                let wn = tape.param(store, w);
+                let jitter = rng.random::<f64>() * 0.1;
+                let scaled = tape.scale(wn, 1.0 + jitter);
+                let target = Matrix::filled(2, 3, sample.label[(0, 0)]);
+                tape.mse_masked(scaled, target, Matrix::filled(2, 3, 1.0))
+            },
+        );
+        (report.epoch_losses, store.value(w).as_slice().to_vec())
+    }
+
+    #[test]
+    fn training_is_bit_identical_across_thread_counts() {
+        let (serial_losses, serial_w) = noisy_run(1);
+        for threads in [2, 3, 4, 8] {
+            let (losses, w) = noisy_run(threads);
+            assert_eq!(
+                losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+                serial_losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+                "epoch losses diverged at {threads} threads"
+            );
+            assert_eq!(
+                w.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                serial_w.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "final weights diverged at {threads} threads"
+            );
+        }
     }
 }

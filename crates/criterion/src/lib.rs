@@ -1,0 +1,263 @@
+//! Vendored stand-in for the subset of the `criterion` crate API this
+//! workspace uses.
+//!
+//! The build environment cannot reach a crates.io mirror, so the
+//! workspace's `harness = false` benches link against this minimal
+//! harness instead: it runs each benchmark `sample_size` times after a
+//! warm-up pass and prints mean / min / max wall-clock time per
+//! iteration. No statistical outlier analysis, no HTML reports — just
+//! stable, comparable numbers on stdout.
+//!
+//! Supported: `Criterion::default().sample_size(n)`, `bench_function`,
+//! `benchmark_group` (with `sample_size`, `bench_with_input`,
+//! `finish`), `BenchmarkId::{new, from_parameter}`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The shim times each routine
+/// invocation individually, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Routine input is small; batch many per sample.
+    SmallInput,
+    /// Routine input is large; one setup per timed invocation.
+    LargeInput,
+    /// Input per iteration.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to every benchmark closure; runs and times the workload.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, one sample per invocation.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup is untimed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_secs_f64() * 1e9;
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1e3)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1e6)
+    } else {
+        format!("{:.3} s", nanos / 1e9)
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().unwrap();
+    let max = *samples.iter().max().unwrap();
+    println!(
+        "{id:<40} time: [{} {} {}]  ({} samples)",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max),
+        samples.len()
+    );
+}
+
+/// The benchmark manager: owns configuration, runs benchmarks, prints
+/// results.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Benches are invoked as `bench-binary [--bench] [FILTER]`; honor
+        // a filter substring so `cargo bench -- matmul` narrows the run.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { sample_size: 50, filter }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        if self.matches(id) {
+            let mut b = Bencher { sample_size: self.sample_size, samples: Vec::new() };
+            f(&mut b);
+            report(id, &b.samples);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+}
+
+/// A set of benchmarks reported under a shared prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full_id) {
+            let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+            let mut b = Bencher { sample_size, samples: Vec::new() };
+            f(&mut b, input);
+            report(&full_id, &b.samples);
+        }
+        self
+    }
+
+    /// Finishes the group (report-flushing no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark targets sharing a `Criterion` config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets_run(c: &mut Criterion) {
+        c.bench_function("shim_smoke", |b| b.iter(|| black_box(3u64 + 4)));
+        let mut group = c.benchmark_group("shim_group");
+        group.sample_size(3);
+        for n in [1usize, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter_batched(|| vec![0u8; n], |v| v.len(), BatchSize::LargeInput)
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group! {
+        name = smoke;
+        config = Criterion::default().sample_size(2);
+        targets = targets_run
+    }
+
+    #[test]
+    fn harness_runs_without_panicking() {
+        smoke();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -15,7 +15,7 @@ use gcwc_linalg::{CsrMatrix, Matrix};
 
 /// A family `{M_0, …, M_{K−1}}` of fixed graph operators applied to node
 /// signals, with an efficient adjoint.
-pub trait PolyBasis {
+pub trait PolyBasis: Send + Sync {
     /// Number of taps `K`.
     fn order(&self) -> usize;
 

@@ -7,24 +7,24 @@ use proptest::prelude::*;
 /// Strategy: a random symmetric adjacency on `n` nodes (each undirected
 /// pair present with probability ~0.3).
 fn random_adjacency(max_n: usize) -> impl Strategy<Value = CsrMatrix> {
-    (3usize..max_n)
-        .prop_flat_map(|n| {
-            proptest::collection::vec(proptest::bool::weighted(0.3), n * (n - 1) / 2)
-                .prop_map(move |bits| {
-                    let mut triplets = Vec::new();
-                    let mut k = 0;
-                    for i in 0..n {
-                        for j in i + 1..n {
-                            if bits[k] {
-                                triplets.push((i, j, 1.0));
-                                triplets.push((j, i, 1.0));
-                            }
-                            k += 1;
+    (3usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::bool::weighted(0.3), n * (n - 1) / 2).prop_map(
+            move |bits| {
+                let mut triplets = Vec::new();
+                let mut k = 0;
+                for i in 0..n {
+                    for j in i + 1..n {
+                        if bits[k] {
+                            triplets.push((i, j, 1.0));
+                            triplets.push((j, i, 1.0));
                         }
+                        k += 1;
                     }
-                    CsrMatrix::from_triplets(n, n, triplets)
-                })
-        })
+                }
+                CsrMatrix::from_triplets(n, n, triplets)
+            },
+        )
+    })
 }
 
 proptest! {

@@ -13,9 +13,11 @@
 pub mod decomp;
 pub mod eigen;
 pub mod matrix;
+pub mod parallel;
 pub mod rng;
 pub mod sparse;
 
 pub use decomp::{Cholesky, DecompError};
 pub use matrix::Matrix;
+pub use parallel::Threads;
 pub use sparse::CsrMatrix;

@@ -178,7 +178,8 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self * rhs`.
+    /// Matrix product `self * rhs`, using the ambient thread count
+    /// (see [`crate::parallel`]).
     ///
     /// Uses an ikj loop order so the inner loop streams over contiguous
     /// rows of both the output and `rhs` (see the perf-book guidance on
@@ -187,6 +188,15 @@ impl Matrix {
     /// # Panics
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_with(rhs, crate::parallel::current_threads())
+    }
+
+    /// Matrix product with an explicit thread count.
+    ///
+    /// Output rows are partitioned into contiguous chunks, one per
+    /// thread, and every row is computed by the exact serial per-row
+    /// loop — the result is bit-identical for every thread count.
+    pub fn matmul_with(&self, rhs: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.cols,
             rhs.rows,
@@ -195,19 +205,23 @@ impl Matrix {
             rhs.shape()
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                let o_row = out.row_mut(i);
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let cols = rhs.cols;
+        let work = self.rows * self.cols * cols;
+        let threads = if work < crate::parallel::MIN_PARALLEL_WORK { 1 } else { threads };
+        crate::parallel::par_rows(&mut out.data, cols, threads, |start, chunk| {
+            for (r, o_row) in chunk.chunks_mut(cols.max(1)).enumerate() {
+                let a_row = self.row(start + r);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = rhs.row(k);
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -215,15 +229,24 @@ impl Matrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec shape mismatch");
         let mut out = vec![0.0; self.rows];
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = self.row(i).iter().zip(v).map(|(a, b)| a * b).sum();
-        }
+        let threads = if self.rows * self.cols < crate::parallel::MIN_PARALLEL_WORK {
+            1
+        } else {
+            crate::parallel::current_threads()
+        };
+        crate::parallel::par_rows(&mut out, 1, threads, |start, chunk| {
+            for (k, o) in chunk.iter_mut().enumerate() {
+                *o = self.row(start + k).iter().zip(v).map(|(a, b)| a * b).sum();
+            }
+        });
         out
     }
 
     /// Applies `f` entrywise, returning a new matrix.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        crate::parallel::par_map(&self.data, &mut out.data, crate::parallel::current_threads(), f);
+        out
     }
 
     /// Applies `f` entrywise in place.
@@ -239,13 +262,17 @@ impl Matrix {
     }
 
     /// Combines two same-shape matrices entrywise with `f`.
-    pub fn zip_with(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+    pub fn zip_with(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64 + Sync) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "zip_with shape mismatch");
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
-        }
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        crate::parallel::par_zip(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            crate::parallel::current_threads(),
+            f,
+        );
+        out
     }
 
     /// Scales every entry by `s`.
@@ -254,8 +281,12 @@ impl Matrix {
     }
 
     /// Sum of all entries.
+    ///
+    /// Computed blockwise over a fixed partition (see
+    /// [`crate::parallel::par_sum`]) so the rounding never depends on
+    /// the thread count.
     pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+        crate::parallel::par_sum(&self.data, crate::parallel::current_threads())
     }
 
     /// Mean of all entries (`NaN` for an empty matrix).
@@ -275,7 +306,8 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+        crate::parallel::par_sum_map(&self.data, crate::parallel::current_threads(), |x| x * x)
+            .sqrt()
     }
 
     /// Per-row sums.

@@ -115,25 +115,46 @@ impl CsrMatrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec shape mismatch");
         let mut out = vec![0.0; self.rows];
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = self.row_entries(i).map(|(c, x)| x * v[c]).sum();
-        }
+        let threads = if self.nnz() < crate::parallel::MIN_PARALLEL_WORK {
+            1
+        } else {
+            crate::parallel::current_threads()
+        };
+        crate::parallel::par_rows(&mut out, 1, threads, |start, chunk| {
+            for (k, o) in chunk.iter_mut().enumerate() {
+                *o = self.row_entries(start + k).map(|(c, x)| x * v[c]).sum();
+            }
+        });
         out
     }
 
-    /// Sparse × dense matrix product, returning a dense matrix.
+    /// Sparse × dense matrix product, returning a dense matrix; uses
+    /// the ambient thread count (see [`crate::parallel`]).
     pub fn matmul_dense(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_dense_with(rhs, crate::parallel::current_threads())
+    }
+
+    /// Sparse × dense matrix product with an explicit thread count.
+    ///
+    /// Output rows are partitioned into contiguous per-thread chunks
+    /// and each row is accumulated by the exact serial loop, so the
+    /// result is bit-identical for every thread count.
+    pub fn matmul_dense_with(&self, rhs: &Matrix, threads: usize) -> Matrix {
         assert_eq!(self.cols, rhs.rows(), "matmul shape mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.cols());
-        for i in 0..self.rows {
-            for (c, v) in self.row_entries(i) {
-                let src = rhs.row(c);
-                let dst = out.row_mut(i);
-                for (d, &s) in dst.iter_mut().zip(src) {
-                    *d += v * s;
+        let cols = rhs.cols();
+        let threads =
+            if self.nnz() * cols.max(1) < crate::parallel::MIN_PARALLEL_WORK { 1 } else { threads };
+        crate::parallel::par_rows(out.as_mut_slice(), cols, threads, |start, chunk| {
+            for (r, dst) in chunk.chunks_mut(cols.max(1)).enumerate() {
+                for (c, v) in self.row_entries(start + r) {
+                    let src = rhs.row(c);
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d += v * s;
+                    }
                 }
             }
-        }
+        });
         out
     }
 

@@ -35,6 +35,35 @@ pub fn check_gradients(
     let mut tape = Tape::new();
     let loss = build(&mut tape, store);
     tape.backward(loss, store);
+    finite_difference_report(store, &mut build, step)
+}
+
+/// Like [`check_gradients`], but runs the analytic backward pass into a
+/// private [`crate::params::GradBuffer`] merged into the store — the
+/// exact path the data-parallel training loop takes. Because the merge
+/// is a plain in-order addition into zeroed gradients, the report must
+/// match [`check_gradients`] for every op.
+pub fn check_gradients_buffered(
+    store: &mut ParamStore,
+    mut build: impl FnMut(&mut Tape, &ParamStore) -> NodeId,
+    step: f64,
+) -> GradCheckReport {
+    store.zero_grads();
+    let mut tape = Tape::new();
+    let loss = build(&mut tape, store);
+    let mut buffer = crate::params::GradBuffer::new();
+    tape.backward(loss, &mut buffer);
+    buffer.merge_into(store);
+    finite_difference_report(store, &mut build, step)
+}
+
+/// Compares the gradients currently held in `store` against central
+/// finite differences of `build`'s forward pass.
+fn finite_difference_report(
+    store: &mut ParamStore,
+    build: &mut impl FnMut(&mut Tape, &ParamStore) -> NodeId,
+    step: f64,
+) -> GradCheckReport {
     let analytic: Vec<Vec<f64>> = store.iter().map(|(_, p)| p.grad.as_slice().to_vec()).collect();
 
     let ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
@@ -85,4 +114,25 @@ pub fn assert_gradients(
         report.checked
     );
     assert!(report.checked > 0, "gradient check compared nothing");
+}
+
+/// Asserts the buffered gradient check (see [`check_gradients_buffered`])
+/// passes within `tol` (relative).
+///
+/// # Panics
+/// Panics with a diagnostic when the worst relative error exceeds `tol`.
+pub fn assert_gradients_buffered(
+    store: &mut ParamStore,
+    build: impl FnMut(&mut Tape, &ParamStore) -> NodeId,
+    tol: f64,
+) {
+    let report = check_gradients_buffered(store, build, 1e-5);
+    assert!(
+        report.max_rel_err <= tol,
+        "buffered gradient check failed: max_rel_err = {:.3e}, max_abs_err = {:.3e} over {} scalars",
+        report.max_rel_err,
+        report.max_abs_err,
+        report.checked
+    );
+    assert!(report.checked > 0, "buffered gradient check compared nothing");
 }

@@ -19,6 +19,6 @@ pub mod tape;
 
 pub use layers::{dropout_mask, Dense, Embedding};
 pub use optim::{Adam, OptimConfig, Sgd};
-pub use params::{Param, ParamId, ParamStore};
+pub use params::{GradBuffer, GradSink, Param, ParamId, ParamStore};
 pub use persist::PersistError;
 pub use tape::{ConvSpec, NodeId, PoolSpec, Tape};

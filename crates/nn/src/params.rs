@@ -123,6 +123,81 @@ impl ParamStore {
     }
 }
 
+/// Destination for the parameter gradients produced by
+/// [`crate::tape::Tape::backward`].
+///
+/// The training loop passes a [`ParamStore`] directly when running
+/// serially, or a private per-sample [`GradBuffer`] when running
+/// data-parallel so buffers can be merged in a fixed sample order
+/// afterwards (float addition is not associative, so merge order is
+/// part of the determinism contract).
+pub trait GradSink {
+    /// Adds `delta` into the gradient slot of `id`.
+    fn accumulate_grad(&mut self, id: ParamId, delta: &Matrix);
+}
+
+impl GradSink for ParamStore {
+    fn accumulate_grad(&mut self, id: ParamId, delta: &Matrix) {
+        ParamStore::accumulate_grad(self, id, delta);
+    }
+}
+
+/// A private, store-shaped gradient accumulator.
+///
+/// Workers in the data-parallel training loop each own one buffer per
+/// sample; [`GradBuffer::merge_into`] then folds buffers into the real
+/// [`ParamStore`] in ascending parameter order, so the final gradients
+/// depend only on the order of `merge_into` calls — never on how
+/// samples were distributed over threads.
+#[derive(Clone, Debug, Default)]
+pub struct GradBuffer {
+    /// Indexed by `ParamId`; `None` means no gradient touched that slot.
+    slots: Vec<Option<Matrix>>,
+}
+
+impl GradBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no gradient has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// The accumulated gradient for `id`, if any.
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.slots.get(id.0).and_then(|s| s.as_ref())
+    }
+
+    /// Folds this buffer into `store` in ascending [`ParamId`] order.
+    pub fn merge_into(&self, store: &mut ParamStore) {
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if let Some(g) = slot {
+                ParamStore::accumulate_grad(store, ParamId(idx), g);
+            }
+        }
+    }
+}
+
+impl GradSink for GradBuffer {
+    fn accumulate_grad(&mut self, id: ParamId, delta: &Matrix) {
+        if self.slots.len() <= id.0 {
+            self.slots.resize(id.0 + 1, None);
+        }
+        match &mut self.slots[id.0] {
+            Some(g) => {
+                assert_eq!(g.shape(), delta.shape(), "gradient shape mismatch in GradBuffer");
+                for (dst, src) in g.as_mut_slice().iter_mut().zip(delta.as_slice()) {
+                    *dst += src;
+                }
+            }
+            slot @ None => *slot = Some(delta.clone()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +239,59 @@ mod tests {
         let mut store = ParamStore::new();
         let id = store.add("w", Matrix::zeros(2, 2));
         store.accumulate_grad(id, &Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn grad_buffer_accumulates_and_merges_in_id_order() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Matrix::zeros(1, 2));
+        let b = store.add("b", Matrix::zeros(2, 1));
+
+        let mut buf = GradBuffer::new();
+        assert!(buf.is_empty());
+        GradSink::accumulate_grad(&mut buf, b, &Matrix::filled(2, 1, 2.0));
+        GradSink::accumulate_grad(&mut buf, b, &Matrix::filled(2, 1, 0.25));
+        assert!(!buf.is_empty());
+        assert_eq!(buf.get(b), Some(&Matrix::filled(2, 1, 2.25)));
+        assert_eq!(buf.get(a), None);
+
+        buf.merge_into(&mut store);
+        assert_eq!(store.grad(a), &Matrix::zeros(1, 2));
+        assert_eq!(store.grad(b), &Matrix::filled(2, 1, 2.25));
+    }
+
+    #[test]
+    fn grad_buffer_merge_matches_direct_accumulation_bitwise() {
+        // Merging per-sample buffers in sample order must reproduce the
+        // serial accumulation exactly: same additions, same order.
+        let deltas = [0.1, 0.07, -0.3, 1e-8];
+        let mut serial = ParamStore::new();
+        let id = serial.add("w", Matrix::zeros(1, 1));
+        for d in deltas {
+            serial.accumulate_grad(id, &Matrix::filled(1, 1, d));
+        }
+
+        let mut merged = ParamStore::new();
+        let id2 = merged.add("w", Matrix::zeros(1, 1));
+        let buffers: Vec<GradBuffer> = deltas
+            .iter()
+            .map(|&d| {
+                let mut buf = GradBuffer::new();
+                GradSink::accumulate_grad(&mut buf, id2, &Matrix::filled(1, 1, d));
+                buf
+            })
+            .collect();
+        for buf in &buffers {
+            buf.merge_into(&mut merged);
+        }
+        assert_eq!(serial.grad(id)[(0, 0)].to_bits(), merged.grad(id2)[(0, 0)].to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape mismatch in GradBuffer")]
+    fn grad_buffer_shape_mismatch_panics() {
+        let mut buf = GradBuffer::new();
+        GradSink::accumulate_grad(&mut buf, ParamId(0), &Matrix::zeros(2, 2));
+        GradSink::accumulate_grad(&mut buf, ParamId(0), &Matrix::zeros(1, 2));
     }
 }

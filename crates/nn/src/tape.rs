@@ -7,7 +7,7 @@
 //! matrices involved are small (≤ `8 600 × 16`), so construction cost is
 //! negligible next to the matmuls.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use gcwc_graph::{PolyBasis, PoolingMap};
 use gcwc_linalg::Matrix;
@@ -127,13 +127,13 @@ pub(crate) enum Op {
     PolyConv {
         x: NodeId,
         thetas: Vec<NodeId>,
-        basis: Rc<dyn PolyBasis>,
+        basis: Arc<dyn PolyBasis>,
         saved: Vec<Matrix>,
         groups: usize,
     },
     GraphMaxPool {
         x: NodeId,
-        map: Rc<PoolingMap>,
+        map: Arc<PoolingMap>,
         argmax: Vec<usize>,
     },
     Conv2d {
@@ -414,7 +414,7 @@ impl Tape {
     /// `x` is `n × c_in`; each `θ_k` is `c_in × c_out`; the basis supplies
     /// the fixed operators `M_k` (Chebyshev of the scaled Laplacian for
     /// GCWC, random-walk powers for DR).
-    pub fn poly_conv(&mut self, x: NodeId, thetas: &[NodeId], basis: Rc<dyn PolyBasis>) -> NodeId {
+    pub fn poly_conv(&mut self, x: NodeId, thetas: &[NodeId], basis: Arc<dyn PolyBasis>) -> NodeId {
         self.poly_conv_grouped(x, thetas, basis, 1)
     }
 
@@ -430,7 +430,7 @@ impl Tape {
         &mut self,
         x: NodeId,
         thetas: &[NodeId],
-        basis: Rc<dyn PolyBasis>,
+        basis: Arc<dyn PolyBasis>,
         groups: usize,
     ) -> NodeId {
         assert_eq!(thetas.len(), basis.order(), "theta count must equal basis order");
@@ -465,7 +465,7 @@ impl Tape {
     }
 
     /// Graph max pooling over precomputed clusters.
-    pub fn graph_max_pool(&mut self, x: NodeId, map: Rc<PoolingMap>) -> NodeId {
+    pub fn graph_max_pool(&mut self, x: NodeId, map: Arc<PoolingMap>) -> NodeId {
         let (v, argmax) = map.max_forward(self.value(x));
         self.push(v, Op::GraphMaxPool { x, map, argmax })
     }
@@ -561,11 +561,13 @@ impl Tape {
     // ----- backward ---------------------------------------------------------
 
     /// Back-propagates from the scalar node `loss`, accumulating parameter
-    /// gradients into `store`.
+    /// gradients into `sink` — a [`ParamStore`] in serial training, or a
+    /// private [`crate::params::GradBuffer`] per sample in data-parallel
+    /// training.
     ///
     /// # Panics
     /// Panics if `loss` is not `1 × 1`.
-    pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
+    pub fn backward(&mut self, loss: NodeId, sink: &mut impl crate::params::GradSink) {
         assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
         let n = self.nodes.len();
         let mut grads: Vec<Option<Matrix>> = (0..n).map(|_| None).collect();
@@ -578,7 +580,7 @@ impl Tape {
             let node = &self.nodes[i];
             match &node.op {
                 Op::Const => {}
-                Op::Param(pid) => store.accumulate_grad(*pid, &g),
+                Op::Param(pid) => sink.accumulate_grad(*pid, &g),
                 Op::Add(a, b) => {
                     accumulate(&mut grads, *a, g.clone());
                     accumulate(&mut grads, *b, g);

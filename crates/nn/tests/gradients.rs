@@ -1,12 +1,12 @@
 //! Finite-difference validation of every tape operation's backward rule.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use gcwc_graph::{ChebyshevBasis, PoolingMap, RandomWalkBasis};
 use gcwc_linalg::rng::seeded;
 use gcwc_linalg::{CsrMatrix, Matrix};
-use gcwc_nn::gradcheck::assert_gradients;
-use gcwc_nn::{ConvSpec, ParamStore, PoolSpec, Tape};
+use gcwc_nn::gradcheck::{assert_gradients, assert_gradients_buffered};
+use gcwc_nn::{ConvSpec, GradBuffer, ParamStore, PoolSpec, Tape};
 
 const TOL: f64 = 1e-5;
 
@@ -250,14 +250,14 @@ fn grad_chebyshev_conv() {
     let thetas: Vec<_> = (0..k)
         .map(|i| rand_param(&mut store, &format!("theta{i}"), c_in, c_out, 20 + i as u64))
         .collect();
-    let basis: Rc<dyn gcwc_graph::PolyBasis> =
-        Rc::new(ChebyshevBasis::from_adjacency(&path_adjacency(n), k));
+    let basis: Arc<dyn gcwc_graph::PolyBasis> =
+        Arc::new(ChebyshevBasis::from_adjacency(&path_adjacency(n), k));
     assert_gradients(
         &mut store,
         move |tape, store| {
             let xn = tape.param(store, x);
             let th: Vec<_> = thetas.iter().map(|&t| tape.param(store, t)).collect();
-            let y = tape.poly_conv(xn, &th, Rc::clone(&basis));
+            let y = tape.poly_conv(xn, &th, Arc::clone(&basis));
             weighted_sum(tape, y)
         },
         TOL,
@@ -273,14 +273,14 @@ fn grad_random_walk_conv() {
     let thetas: Vec<_> = (0..k)
         .map(|i| rand_param(&mut store, &format!("theta{i}"), c_in, c_out, 31 + i as u64))
         .collect();
-    let basis: Rc<dyn gcwc_graph::PolyBasis> =
-        Rc::new(RandomWalkBasis::from_adjacency(&path_adjacency(n), k));
+    let basis: Arc<dyn gcwc_graph::PolyBasis> =
+        Arc::new(RandomWalkBasis::from_adjacency(&path_adjacency(n), k));
     assert_gradients(
         &mut store,
         move |tape, store| {
             let xn = tape.param(store, x);
             let th: Vec<_> = thetas.iter().map(|&t| tape.param(store, t)).collect();
-            let y = tape.poly_conv(xn, &th, Rc::clone(&basis));
+            let y = tape.poly_conv(xn, &th, Arc::clone(&basis));
             weighted_sum(tape, y)
         },
         TOL,
@@ -292,12 +292,12 @@ fn grad_graph_max_pool() {
     let mut store = ParamStore::new();
     // Values spread out so the argmax is stable under the probe step.
     let x = store.add("x", Matrix::from_fn(6, 2, |i, j| (i * 2 + j) as f64 * 0.7 - 3.0));
-    let map = Rc::new(PoolingMap::new(vec![vec![0, 1], vec![2, 3, 4], vec![5]], 6));
+    let map = Arc::new(PoolingMap::new(vec![vec![0, 1], vec![2, 3, 4], vec![5]], 6));
     assert_gradients(
         &mut store,
         move |tape, store| {
             let xn = tape.param(store, x);
-            let y = tape.graph_max_pool(xn, Rc::clone(&map));
+            let y = tape.graph_max_pool(xn, Arc::clone(&map));
             weighted_sum(tape, y)
         },
         TOL,
@@ -421,9 +421,9 @@ fn grad_composite_gcwc_like_stack() {
         .collect();
     let fc_w = rand_param(&mut store, "fc.w", 3 * f, n * m_buckets, 90);
     let fc_b = rand_param(&mut store, "fc.b", 1, n * m_buckets, 91);
-    let basis: Rc<dyn gcwc_graph::PolyBasis> =
-        Rc::new(ChebyshevBasis::from_adjacency(&path_adjacency(n), k));
-    let map = Rc::new(PoolingMap::new(vec![vec![0, 1], vec![2, 3], vec![4, 5]], n));
+    let basis: Arc<dyn gcwc_graph::PolyBasis> =
+        Arc::new(ChebyshevBasis::from_adjacency(&path_adjacency(n), k));
+    let map = Arc::new(PoolingMap::new(vec![vec![0, 1], vec![2, 3], vec![4, 5]], n));
     let label = {
         let mut l = Matrix::filled(n, m_buckets, 1.0 / m_buckets as f64);
         l[(0, 0)] = 0.5;
@@ -437,9 +437,9 @@ fn grad_composite_gcwc_like_stack() {
         move |tape, store| {
             let xn = tape.param(store, x);
             let th: Vec<_> = thetas.iter().map(|&t| tape.param(store, t)).collect();
-            let conv = tape.poly_conv(xn, &th, Rc::clone(&basis));
+            let conv = tape.poly_conv(xn, &th, Arc::clone(&basis));
             let act = tape.tanh(conv);
-            let pooled = tape.graph_max_pool(act, Rc::clone(&map));
+            let pooled = tape.graph_max_pool(act, Arc::clone(&map));
             let flat = tape.reshape(pooled, 1, 3 * f);
             let w = tape.param(store, fc_w);
             let b = tape.param(store, fc_b);
@@ -492,14 +492,14 @@ fn grad_grouped_poly_conv() {
     let thetas: Vec<_> = (0..k)
         .map(|i| rand_param(&mut store, &format!("gth{i}"), c_in, c_out, 121 + i as u64))
         .collect();
-    let basis: Rc<dyn gcwc_graph::PolyBasis> =
-        Rc::new(ChebyshevBasis::from_adjacency(&path_adjacency(n), k));
+    let basis: Arc<dyn gcwc_graph::PolyBasis> =
+        Arc::new(ChebyshevBasis::from_adjacency(&path_adjacency(n), k));
     assert_gradients(
         &mut store,
         move |tape, store| {
             let xn = tape.param(store, x);
             let th: Vec<_> = thetas.iter().map(|&t| tape.param(store, t)).collect();
-            let y = tape.poly_conv_grouped(xn, &th, Rc::clone(&basis), groups);
+            let y = tape.poly_conv_grouped(xn, &th, Arc::clone(&basis), groups);
             weighted_sum(tape, y)
         },
         TOL,
@@ -517,17 +517,17 @@ fn grouped_poly_conv_matches_separate_groups() {
     let thetas: Vec<_> = (0..k)
         .map(|i| rand_param(&mut store, &format!("sth{i}"), c_in, c_out, 131 + i as u64))
         .collect();
-    let basis: Rc<dyn gcwc_graph::PolyBasis> =
-        Rc::new(ChebyshevBasis::from_adjacency(&path_adjacency(n), k));
+    let basis: Arc<dyn gcwc_graph::PolyBasis> =
+        Arc::new(ChebyshevBasis::from_adjacency(&path_adjacency(n), k));
 
     let mut tape = Tape::new();
     let xn = tape.param(&store, x);
     let th: Vec<_> = thetas.iter().map(|&t| tape.param(&store, t)).collect();
-    let grouped = tape.poly_conv_grouped(xn, &th, Rc::clone(&basis), groups);
+    let grouped = tape.poly_conv_grouped(xn, &th, Arc::clone(&basis), groups);
 
     for g in 0..groups {
         let block_in = tape.select_cols(xn, g * c_in, c_in);
-        let single = tape.poly_conv(block_in, &th, Rc::clone(&basis));
+        let single = tape.poly_conv(block_in, &th, Arc::clone(&basis));
         let block_out = tape.select_cols(grouped, g * c_out, c_out);
         let sv = tape.value(single).clone();
         assert!(tape.value(block_out).approx_eq(&sv, 1e-10), "group {g} mismatch");
@@ -547,4 +547,130 @@ fn grad_tile_cols() {
         },
         TOL,
     );
+}
+
+#[test]
+fn grad_scale() {
+    let mut store = ParamStore::new();
+    let x = rand_param(&mut store, "x", 3, 4, 150);
+    assert_gradients(
+        &mut store,
+        |tape, store| {
+            let xn = tape.param(store, x);
+            let scaled = tape.scale(xn, -1.7);
+            weighted_sum(tape, scaled)
+        },
+        TOL,
+    );
+}
+
+/// Every op class touched by the gradient-buffer refactor — `Param`
+/// accumulation, the `Arc`-held graph ops (`PolyConv`, grouped
+/// variant, `GraphMaxPool`), dense conv/pool and both losses — also
+/// passes gradcheck when the backward pass routes through a
+/// `GradBuffer` merged into the store.
+#[test]
+fn buffered_gradcheck_covers_refactored_ops() {
+    // Graph stack: poly_conv + graph_max_pool + KL loss, with a
+    // parameter read twice so the buffer accumulates in place.
+    let n = 6;
+    let k = 3;
+    let mut store = ParamStore::new();
+    let x = rand_param(&mut store, "x", n, 2, 160);
+    let thetas: Vec<_> =
+        (0..k).map(|i| rand_param(&mut store, &format!("th{i}"), 2, 2, 161 + i as u64)).collect();
+    let basis: Arc<dyn gcwc_graph::PolyBasis> =
+        Arc::new(ChebyshevBasis::from_adjacency(&path_adjacency(n), k));
+    let map = Arc::new(PoolingMap::new(vec![vec![0, 1], vec![2, 3], vec![4, 5]], n));
+    assert_gradients_buffered(
+        &mut store,
+        |tape, store| {
+            let xn = tape.param(store, x);
+            let th: Vec<_> = thetas.iter().map(|&t| tape.param(store, t)).collect();
+            let conv = tape.poly_conv(xn, &th, Arc::clone(&basis));
+            let act = tape.tanh(conv);
+            let pooled = tape.graph_max_pool(act, Arc::clone(&map));
+            let twice = tape.add(pooled, pooled); // double read → in-place accumulate
+            weighted_sum(tape, twice)
+        },
+        1e-4,
+    );
+
+    // Dense stack: conv2d + max_pool2d + MSE-style loss.
+    let spec = ConvSpec { batch: 2, in_ch: 1, out_ch: 2, h: 4, w: 3, kh: 2, kw: 2 };
+    let mut store = ParamStore::new();
+    let xs = rand_param(&mut store, "x", 2, 12, 170);
+    let kern = rand_param(&mut store, "k", 2, 4, 171);
+    let bias = rand_param(&mut store, "b", 1, 2, 172);
+    assert_gradients_buffered(
+        &mut store,
+        |tape, store| {
+            let xn = tape.param(store, xs);
+            let kn = tape.param(store, kern);
+            let bn = tape.param(store, bias);
+            let y = tape.conv2d(xn, kn, bn, spec);
+            let act = tape.sigmoid(y);
+            let pooled =
+                tape.max_pool2d(act, PoolSpec { batch: 2, ch: 2, h: 4, w: 3, ph: 2, pw: 1 });
+            weighted_sum(tape, pooled)
+        },
+        1e-4,
+    );
+}
+
+/// The merge path itself: `backward` into a `GradBuffer` followed by
+/// `merge_into` must produce gradients bit-identical to `backward`
+/// straight into the `ParamStore`, including multi-sample sequential
+/// accumulation in sample order.
+#[test]
+fn backward_via_buffer_merge_is_bitwise_identical() {
+    let n = 6;
+    let k = 3;
+    let mut store = ParamStore::new();
+    let x = rand_param(&mut store, "x", n, 2, 180);
+    let thetas: Vec<_> =
+        (0..k).map(|i| rand_param(&mut store, &format!("th{i}"), 2, 2, 181 + i as u64)).collect();
+    let basis: Arc<dyn gcwc_graph::PolyBasis> =
+        Arc::new(ChebyshevBasis::from_adjacency(&path_adjacency(n), k));
+
+    let build = |store: &ParamStore, shift: f64| {
+        let mut tape = Tape::new();
+        let xn = tape.param(store, x);
+        let th: Vec<_> = thetas.iter().map(|&t| tape.param(store, t)).collect();
+        let conv = tape.poly_conv(xn, &th, Arc::clone(&basis));
+        let act = tape.tanh(conv);
+        let shifted = tape.scale(act, 1.0 + shift);
+        let loss = weighted_sum(&mut tape, shifted);
+        (tape, loss)
+    };
+
+    // Two "samples" (shifted losses), accumulated in order: direct path.
+    let mut direct = store.clone();
+    direct.zero_grads();
+    for shift in [0.0, 0.25] {
+        let (mut tape, loss) = build(&direct, shift);
+        tape.backward(loss, &mut direct);
+    }
+
+    // Buffered path: one private buffer per sample, merged in order.
+    let mut merged = store.clone();
+    merged.zero_grads();
+    let buffers: Vec<GradBuffer> = [0.0, 0.25]
+        .iter()
+        .map(|&shift| {
+            let (mut tape, loss) = build(&merged, shift);
+            let mut buffer = GradBuffer::new();
+            tape.backward(loss, &mut buffer);
+            buffer
+        })
+        .collect();
+    for buffer in &buffers {
+        buffer.merge_into(&mut merged);
+    }
+
+    for ((id, pd), (_, pm)) in direct.iter().zip(merged.iter()) {
+        for (a, b) in pd.grad.as_slice().iter().zip(pm.grad.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "gradient of {id:?} diverged");
+        }
+    }
 }

@@ -143,7 +143,7 @@ pub fn simulate(instance: &NetworkInstance, spec: HistogramSpec, cfg: &SimConfig
         for e in 0..n {
             if rng.random::<f64>() < cfg.incident_rate {
                 let start = rng.random_range(0..cfg.intervals_per_day);
-                let len = rng.random_range(4..=12);
+                let len = rng.random_range(4usize..=12);
                 for t in start..(start + len).min(cfg.intervals_per_day) {
                     incident_factor[t][e] = incident_factor[t][e].min(0.35);
                     for &nb in instance.graph.neighbors(e) {

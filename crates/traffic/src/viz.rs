@@ -13,10 +13,7 @@ pub fn histogram_bars(hist: &[f64], spec: &HistogramSpec, width: usize) -> Strin
         let lo = spec.min_speed + b as f64 * spec.bucket_width();
         let hi = lo + spec.bucket_width();
         let bar_len = ((p / max) * width as f64).round() as usize;
-        out.push_str(&format!(
-            "[{lo:>4.0}-{hi:<4.0} m/s] {p:>5.2} {}\n",
-            "#".repeat(bar_len)
-        ));
+        out.push_str(&format!("[{lo:>4.0}-{hi:<4.0} m/s] {p:>5.2} {}\n", "#".repeat(bar_len)));
     }
     out
 }

@@ -1,0 +1,227 @@
+//! Serial/parallel equivalence suite.
+//!
+//! The parallel kernels in `gcwc-linalg` promise *bit-identical* output
+//! for every thread count: each output row is computed by the exact
+//! serial per-row loop, only the rows are partitioned across workers.
+//! These properties pin that contract down for random shapes and thread
+//! counts, comparing `f64::to_bits` — not an epsilon.
+
+use gcwc_graph::{ChebyshevBasis, PolyBasis};
+use gcwc_linalg::parallel::with_threads;
+use gcwc_linalg::{CsrMatrix, Matrix};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Asserts bitwise equality of two matrices.
+fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.shape(), b.shape(), "{} shape", what);
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "{} diverged: {} vs {}", what, x, y);
+    }
+    Ok(())
+}
+
+/// Strategy: a random dense matrix with the given shape.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f64..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Strategy: a random (dense, sparse-pattern) pair sharing one shape —
+/// roughly half of the sparse entries are zeroed.
+fn matrix_pair(
+    dims: (usize, usize, usize),
+) -> impl Strategy<Value = (Matrix, Matrix, usize, usize, usize)> {
+    let (rows, k, cols) = dims;
+    (matrix(rows, k), matrix(k, cols)).prop_map(move |(a, b)| (a, b, rows, k, cols))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dense matmul is bit-identical for every thread count, both via
+    /// the explicit `matmul_with` and via the ambient override.
+    #[test]
+    fn matmul_matches_serial(
+        pair in (1usize..40, 1usize..40, 1usize..40).prop_flat_map(matrix_pair),
+    ) {
+        let (a, b, ..) = pair;
+        let serial = a.matmul_with(&b, 1);
+        for t in THREAD_COUNTS {
+            assert_bits_eq(&a.matmul_with(&b, t), &serial, "matmul_with")?;
+            let ambient = with_threads(t, || a.matmul(&b));
+            assert_bits_eq(&ambient, &serial, "matmul ambient")?;
+        }
+    }
+
+    /// CSR × dense is bit-identical for every thread count, including
+    /// rows that are entirely zero (empty CSR rows).
+    #[test]
+    fn matmul_dense_matches_serial(
+        pair in (1usize..40, 1usize..40, 1usize..40).prop_flat_map(matrix_pair),
+        keep in 0.0f64..1.0,
+    ) {
+        let (a, b, rows, k, _) = pair;
+        // Sparsify deterministically from the dense sample.
+        let mut sparse = a.clone();
+        for i in 0..rows {
+            for j in 0..k {
+                if ((i * 31 + j * 17) % 97) as f64 / 97.0 > keep {
+                    sparse[(i, j)] = 0.0;
+                }
+            }
+        }
+        let csr = CsrMatrix::from_dense(&sparse);
+        let serial = csr.matmul_dense_with(&b, 1);
+        for t in THREAD_COUNTS {
+            assert_bits_eq(&csr.matmul_dense_with(&b, t), &serial, "matmul_dense_with")?;
+            let ambient = with_threads(t, || csr.matmul_dense(&b));
+            assert_bits_eq(&ambient, &serial, "matmul_dense ambient")?;
+        }
+    }
+
+    /// The Chebyshev expansion — a chain of sparse products — is
+    /// bit-identical for every thread count.
+    #[test]
+    fn chebyshev_forward_matches_serial(
+        n in 2usize..24,
+        c in 1usize..6,
+        k in 1usize..6,
+        scale in 0.1f64..2.0,
+    ) {
+        let adj = CsrMatrix::from_triplets(
+            n,
+            n,
+            (0..n - 1).flat_map(|i| [(i, i + 1, scale), (i + 1, i, scale)]),
+        );
+        let basis = ChebyshevBasis::from_adjacency(&adj, k);
+        let x = Matrix::from_fn(n, c, |i, j| ((i * 13 + j * 7) % 11) as f64 * 0.2 - 1.0);
+        let serial = with_threads(1, || basis.forward(&x));
+        for t in THREAD_COUNTS {
+            let parallel = with_threads(t, || basis.forward(&x));
+            prop_assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_bits_eq(p, s, "chebyshev term")?;
+            }
+        }
+    }
+
+    /// Elementwise map/zip and the fixed-block reductions are invariant
+    /// under the ambient thread count.
+    #[test]
+    fn map_zip_sum_match_serial(
+        pair in (1usize..30, 1usize..30, 1usize..30).prop_flat_map(matrix_pair),
+    ) {
+        let (a, _, rows, k, _) = pair;
+        let b = Matrix::from_fn(rows, k, |i, j| (i as f64 - j as f64) * 0.25);
+        let serial_map = with_threads(1, || a.map(|v| v * 1.5 - 0.25));
+        let serial_zip = with_threads(1, || a.zip_with(&b, |x, y| x * y + 0.5));
+        let serial_sum = with_threads(1, || a.sum());
+        let serial_norm = with_threads(1, || a.frobenius_norm());
+        for t in THREAD_COUNTS {
+            assert_bits_eq(&with_threads(t, || a.map(|v| v * 1.5 - 0.25)), &serial_map, "map")?;
+            assert_bits_eq(
+                &with_threads(t, || a.zip_with(&b, |x, y| x * y + 0.5)),
+                &serial_zip,
+                "zip_with",
+            )?;
+            prop_assert_eq!(with_threads(t, || a.sum()).to_bits(), serial_sum.to_bits());
+            prop_assert_eq!(
+                with_threads(t, || a.frobenius_norm()).to_bits(),
+                serial_norm.to_bits()
+            );
+        }
+    }
+}
+
+/// The proptest shapes above mostly sit below the kernels' minimum-work
+/// threshold; this fixed large case is guaranteed to cross it, so the
+/// scoped-thread row-partitioned path really runs.
+#[test]
+fn large_matmul_exercises_parallel_path_bitwise() {
+    let a = Matrix::from_fn(96, 96, |i, j| ((i * 7 + j * 3) % 13) as f64 * 0.17 - 0.5);
+    let b = Matrix::from_fn(96, 96, |i, j| ((i + 11 * j) % 17) as f64 * 0.09 - 0.3);
+    let work = a.rows() * a.cols() * b.cols();
+    assert!(work >= gcwc_linalg::parallel::MIN_PARALLEL_WORK, "case must cross the work threshold");
+    let serial = a.matmul_with(&b, 1);
+    for t in [2, 4, 8] {
+        let par = a.matmul_with(&b, t);
+        for (x, y) in par.as_slice().iter().zip(serial.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+/// End-to-end training determinism: the same seed must produce
+/// bit-identical epoch losses and a byte-identical final `ParamStore`
+/// checkpoint for every thread count — whether the count comes from
+/// `ModelConfig::with_threads` or from the ambient `GCWC_THREADS` /
+/// global resolution chain.
+#[test]
+fn training_is_thread_count_invariant_end_to_end() {
+    use gcwc::{build_samples, CompletionModel, GcwcModel, ModelConfig, TaskKind};
+    use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+
+    let hw = generators::highway_tollgate(1);
+    let sim = SimConfig {
+        days: 1,
+        intervals_per_day: 12,
+        records_per_interval: 10.0,
+        ..Default::default()
+    };
+    let data = simulate(&hw, HistogramSpec::hist8(), &sim);
+    let ds = data.to_dataset(0.5, 5, 3);
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let samples = build_samples(&ds, &idx, TaskKind::Estimation, 0);
+
+    let run = |threads: usize, tag: &str| -> (Vec<u64>, Vec<u8>) {
+        let cfg = ModelConfig::hw_hist().with_epochs(3).with_threads(threads);
+        let mut model = GcwcModel::new(&hw.graph, 8, cfg, 7);
+        model.fit(&samples);
+        let losses: Vec<u64> =
+            model.last_report().epoch_losses.iter().map(|l| l.to_bits()).collect();
+        let path = std::path::Path::new("target").join(format!("det-ckpt-{tag}.bin"));
+        model.save(&path).expect("checkpoint write");
+        let bytes = std::fs::read(&path).expect("checkpoint read");
+        let _ = std::fs::remove_file(&path);
+        (losses, bytes)
+    };
+
+    let (serial_losses, serial_store) = run(1, "serial");
+    assert_eq!(serial_losses.len(), 3);
+    for t in [2, 4, 8] {
+        let (losses, store) = run(t, &format!("t{t}"));
+        assert_eq!(losses, serial_losses, "epoch losses diverged at {t} threads");
+        assert_eq!(store, serial_store, "final ParamStore diverged at {t} threads");
+    }
+
+    // threads = 0 defers to the ambient chain (GCWC_THREADS env var /
+    // set_global_threads / available parallelism); pin the global so
+    // the test is reproducible, then restore lazy resolution.
+    gcwc_linalg::parallel::set_global_threads(3);
+    let (losses, store) = run(0, "ambient");
+    gcwc_linalg::parallel::set_global_threads(0);
+    assert_eq!(losses, serial_losses, "epoch losses diverged under ambient threads");
+    assert_eq!(store, serial_store, "final ParamStore diverged under ambient threads");
+}
+
+/// Same guarantee for the sparse kernel at a size that engages workers.
+#[test]
+fn large_chebyshev_exercises_parallel_path_bitwise() {
+    let n = 400;
+    let adj =
+        CsrMatrix::from_triplets(n, n, (0..n - 1).flat_map(|i| [(i, i + 1, 1.0), (i + 1, i, 1.0)]));
+    let basis = ChebyshevBasis::from_adjacency(&adj, 4);
+    let x = Matrix::from_fn(n, 48, |i, j| ((i * 5 + j) % 23) as f64 * 0.04 - 0.4);
+    let serial = with_threads(1, || basis.forward(&x));
+    for t in [2, 4, 8] {
+        let parallel = with_threads(t, || basis.forward(&x));
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            for (x_s, x_p) in s.as_slice().iter().zip(p.as_slice()) {
+                assert_eq!(x_s.to_bits(), x_p.to_bits());
+            }
+        }
+    }
+}
