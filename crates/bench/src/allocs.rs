@@ -1,0 +1,77 @@
+//! Heap-allocation accounting for the zero-allocation hot-path checks.
+//!
+//! [`CountingAlloc`] wraps the system allocator and counts every
+//! allocation (`alloc`, `alloc_zeroed`, `realloc`) and deallocation.
+//! The module is always compiled; the allocator only becomes active in
+//! a binary that installs it:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: gcwc_bench::allocs::CountingAlloc = gcwc_bench::allocs::CountingAlloc;
+//! ```
+//!
+//! The `alloc_regression` integration test installs it unconditionally
+//! to pin the steady-state training step at zero allocations; the
+//! `exp_runner` binary installs it behind the `count-allocs` feature so
+//! `bench --json` can report allocs/iter without taxing normal runs.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A system allocator that counts every heap operation.
+pub struct CountingAlloc;
+
+// SAFETY: defers every operation to `System`, which upholds the
+// `GlobalAlloc` contract; the counters are only bookkeeping.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Total allocations performed so far (0 when [`CountingAlloc`] is not
+/// the process's global allocator).
+pub fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Total deallocations performed so far.
+pub fn dealloc_count() -> u64 {
+    DEALLOCS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested so far.
+pub fn allocated_bytes() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}
+
+/// Runs `f` and returns its result together with the number of heap
+/// allocations it performed.
+pub fn count_allocs<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = alloc_count();
+    let out = f();
+    (out, alloc_count() - before)
+}

@@ -12,6 +12,9 @@
 //!   threads            serial-vs-parallel training throughput sweep
 //!   ablations          design-choice ablations (Chebyshev order, pooling,
 //!                      context subsets, HIST-4/8, LSM missing handling)
+//!   bench              kernel + training-step micro-benchmarks
+//!                      (legacy vs fused in-place pairs); with `--json`,
+//!                      also writes `BENCH_bench.json`
 //!   all                everything above
 //! ```
 //!
@@ -22,18 +25,26 @@
 //! time changes). Run with `cargo run --release -p gcwc-bench --bin
 //! exp_runner -- <command>`.
 
-use gcwc_bench::{ablations, params_table, run_table, scalability, Profile, ScalModel};
+use gcwc_bench::{ablations, jsonbench, params_table, run_table, scalability, Profile, ScalModel};
+
+/// Counts every heap allocation so `bench` can report allocs/iter.
+/// Build with `--features count-allocs` to activate.
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: gcwc_bench::allocs::CountingAlloc = gcwc_bench::allocs::CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut profile = Profile::fast();
     let mut commands: Vec<String> = Vec::new();
     let mut threads = 0usize;
+    let mut json = false;
     for a in &args {
         match a.as_str() {
             "--fast" => profile = Profile::fast(),
             "--full" => profile = Profile::full(),
             "--smoke" => profile = Profile::smoke(),
+            "--json" => json = true,
             flag if flag.starts_with("--threads=") => {
                 threads = match flag["--threads=".len()..].parse() {
                     Ok(n) => n,
@@ -51,7 +62,7 @@ fn main() {
     // follow the process-wide kernel default.
     gcwc_linalg::parallel::set_global_threads(threads);
     if commands.is_empty() {
-        eprintln!("usage: exp_runner [--fast|--full|--smoke] [--threads=N] <table3|table4..table13|tables|fig6a|fig6b|threads|ablations|all>");
+        eprintln!("usage: exp_runner [--fast|--full|--smoke] [--threads=N] [--json] <table3|table4..table13|tables|fig6a|fig6b|threads|ablations|bench|all>");
         std::process::exit(2);
     }
 
@@ -72,6 +83,18 @@ fn main() {
             "threads" => run_thread_sweep(&profile),
             "ablations" => {
                 println!("{}", ablations::render(&ablations::run_all(&profile)));
+            }
+            "bench" => {
+                let records = jsonbench::run_all();
+                print!("{}", jsonbench::render(&records));
+                if json {
+                    let path = "BENCH_bench.json";
+                    if let Err(e) = std::fs::write(path, jsonbench::to_json(&records)) {
+                        eprintln!("failed to write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("wrote {path}");
+                }
             }
             "all" => {
                 println!("{}", params_table::render(&params_table::table3(&profile)));

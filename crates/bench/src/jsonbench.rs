@@ -1,0 +1,307 @@
+//! Micro-benchmarks with machine-readable output
+//! (`exp_runner bench [--json]`).
+//!
+//! Each record times one kernel (or one end-to-end training step) with
+//! a plain `Instant` loop and reports the **minimum** nanoseconds per
+//! iteration over several repetitions — the most noise-robust statistic
+//! on a shared machine. Legacy/fused kernel pairs run back to back so
+//! the speedup of the in-place path can be read straight off the table.
+//!
+//! `allocs_per_iter` is live only when the binary installs
+//! [`crate::allocs::CountingAlloc`] as its global allocator (the
+//! `count-allocs` feature of `exp_runner`); otherwise it reads 0.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use gcwc::model::Encoder;
+use gcwc::task::corrupt_input_pooled;
+use gcwc::{build_samples, ModelConfig, TaskKind, TrainSample};
+use gcwc_graph::{ChebyshevBasis, PolyBasis};
+use gcwc_linalg::rng::seeded;
+use gcwc_linalg::{BufferPool, CsrMatrix, Matrix};
+use gcwc_nn::{Adam, GradBuffer, ParamStore, Tape};
+use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+use rand::Rng;
+
+use crate::allocs;
+
+/// One timed operation.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Operation name (`matmul`, `matmul_into`, `train_step_pooled`, …).
+    pub op: String,
+    /// Problem rows `n`.
+    pub n: usize,
+    /// Problem cols `m` (0 when not applicable).
+    pub m: usize,
+    /// Chebyshev order `K` (0 when not applicable).
+    pub k: usize,
+    /// Minimum nanoseconds per iteration.
+    pub ns_per_iter: u64,
+    /// Heap allocations per iteration (0 unless the counting allocator
+    /// is installed).
+    pub allocs_per_iter: u64,
+    /// Kernel thread count the measurement ran with.
+    pub threads: usize,
+}
+
+/// Times `f` for `iters` iterations, `reps` times; returns the minimum
+/// ns/iter and the minimum allocations/iter.
+fn measure(iters: u64, reps: usize, mut f: impl FnMut()) -> (u64, u64) {
+    let mut best_ns = u64::MAX;
+    let mut best_allocs = u64::MAX;
+    for _ in 0..reps {
+        let a0 = allocs::alloc_count();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = (t0.elapsed().as_nanos() as u64) / iters;
+        let da = (allocs::alloc_count() - a0) / iters;
+        best_ns = best_ns.min(ns);
+        best_allocs = best_allocs.min(da);
+    }
+    (best_ns, best_allocs)
+}
+
+fn record(op: &str, n: usize, m: usize, k: usize, iters: u64, f: impl FnMut()) -> BenchRecord {
+    let threads = gcwc_linalg::parallel::current_threads();
+    let (ns_per_iter, allocs_per_iter) = measure(iters, 5, f);
+    BenchRecord { op: op.to_owned(), n, m, k, ns_per_iter, allocs_per_iter, threads }
+}
+
+/// Ring-graph adjacency: a sparse matrix with the connectivity shape of
+/// a road network.
+fn ring_adjacency(n: usize) -> CsrMatrix {
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        a[(i, (i + 1) % n)] = 1.0;
+        a[((i + 1) % n, i)] = 1.0;
+        a[(i, (i + 3) % n)] = 0.5;
+        a[((i + 3) % n, i)] = 0.5;
+    }
+    CsrMatrix::from_dense(&a)
+}
+
+/// Runs the kernel micro-benchmarks plus the end-to-end training-step
+/// pair.
+pub fn run_all() -> Vec<BenchRecord> {
+    let mut rng = seeded(42);
+    let n = 96;
+    let m = 8;
+    let k = 4;
+    let a = Matrix::from_fn(n, n, |_, _| rng.random::<f64>() - 0.5);
+    let b = Matrix::from_fn(n, n, |_, _| rng.random::<f64>() - 0.5);
+    let x = Matrix::from_fn(n, m, |_, _| rng.random::<f64>() - 0.5);
+    let lap = ring_adjacency(n);
+    let basis = ChebyshevBasis::from_adjacency(&ring_adjacency(n), k);
+    let mut out = vec![
+        {
+            let mut sink = Matrix::zeros(n, n);
+            let r = record("matmul", n, n, 0, 50, || sink = black_box(&a).matmul(black_box(&b)));
+            black_box(&sink);
+            r
+        },
+        {
+            let mut sink = Matrix::zeros(n, n);
+            let r = record("matmul_into", n, n, 0, 50, || {
+                black_box(&a).matmul_into(black_box(&b), &mut sink)
+            });
+            black_box(&sink);
+            r
+        },
+        {
+            let mut sink = Matrix::zeros(n, m);
+            let r = record("csr_matmul_dense", n, m, 0, 200, || {
+                sink = black_box(&lap).matmul_dense(black_box(&x))
+            });
+            black_box(&sink);
+            r
+        },
+        {
+            let mut sink = Matrix::zeros(n, m);
+            let r = record("csr_matmul_dense_into", n, m, 0, 200, || {
+                black_box(&lap).matmul_dense_into(black_box(&x), &mut sink)
+            });
+            black_box(&sink);
+            r
+        },
+        {
+            let prev = Matrix::from_fn(n, m, |_, _| 0.25);
+            let mut sink = Matrix::zeros(n, m);
+            let r = record("cheb_step_legacy", n, m, 0, 200, || {
+                sink = &black_box(&lap).matmul_dense(black_box(&x)).scale(2.0) - black_box(&prev)
+            });
+            black_box(&sink);
+            r
+        },
+        {
+            let prev = Matrix::from_fn(n, m, |_, _| 0.25);
+            let mut sink = Matrix::zeros(n, m);
+            let r = record("cheb_step_into", n, m, 0, 200, || {
+                black_box(&lap).cheb_step_into(black_box(&x), black_box(&prev), &mut sink)
+            });
+            black_box(&sink);
+            r
+        },
+        record("cheb_forward", n, m, k, 100, || {
+            black_box(basis.forward(black_box(&x)));
+        }),
+        {
+            let mut pool = BufferPool::new();
+            let mut taps: Vec<Matrix> = Vec::new();
+            let r = record("cheb_forward_pooled", n, m, k, 100, || {
+                basis.forward_pooled(black_box(&x), &mut pool, &mut taps);
+                for t in taps.drain(..) {
+                    pool.give(t);
+                }
+            });
+            r
+        },
+    ];
+    out.extend(train_step_pair());
+    out
+}
+
+/// One GCWC training step at CI scale (172 edges, the paper's city
+/// network), timed fresh-workspaces vs pooled.
+fn train_step_pair() -> Vec<BenchRecord> {
+    let hw = generators::city_network(1);
+    let sim = SimConfig {
+        days: 2,
+        intervals_per_day: 16,
+        records_per_interval: 10.0,
+        ..Default::default()
+    };
+    let data = simulate(&hw, HistogramSpec::hist8(), &sim);
+    let ds = data.to_dataset(0.5, 5, 11);
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let samples = build_samples(&ds, &idx, TaskKind::Estimation, 0);
+    let cfg = ModelConfig::ci_hist();
+    let mut store = ParamStore::new();
+    let mut init_rng = seeded(3);
+    let enc = Encoder::new(&hw.graph, 8, &cfg, &mut store, &mut init_rng);
+    let mut adam = Adam::new(&store, cfg.optim);
+    let n = hw.graph.num_nodes();
+    let m = 8;
+    let k = cfg.conv_layers.first().map_or(0, |l| l.cheb_order);
+
+    let step = |tape: &mut Tape,
+                buffer: &mut GradBuffer,
+                store: &mut ParamStore,
+                adam: &mut Adam,
+                sample: &TrainSample,
+                seed: u64| {
+        store.zero_grads();
+        tape.reset();
+        buffer.reset();
+        let mut rng = seeded(seed);
+        let (input, flags) = corrupt_input_pooled(
+            &sample.input,
+            &sample.context.row_flags,
+            cfg.row_dropout,
+            &mut rng,
+            tape.pool_mut(),
+        );
+        let pred = enc.output(tape, store, &input, true, &mut rng);
+        tape.pool_mut().give(input);
+        tape.pool_mut().give_vec(flags);
+        let loss = tape.kl_loss_masked_ref(pred, &sample.label, &sample.label_mask, 1e-6);
+        tape.backward(loss, buffer);
+        buffer.merge_into(store);
+        store.scale_grads(1.0);
+        adam.step(store);
+    };
+
+    let mut master = seeded(7);
+    let fresh = {
+        let mut i = 0usize;
+        record("train_step_fresh", n, m, k, 20, || {
+            let mut tape = Tape::new();
+            let mut buffer = GradBuffer::new();
+            let seed: u64 = master.random();
+            step(&mut tape, &mut buffer, &mut store, &mut adam, &samples[i % samples.len()], seed);
+            i += 1;
+        })
+    };
+    let pooled = {
+        let mut tape = Tape::new();
+        let mut buffer = GradBuffer::new();
+        let mut i = 0usize;
+        record("train_step_pooled", n, m, k, 20, || {
+            let seed: u64 = master.random();
+            step(&mut tape, &mut buffer, &mut store, &mut adam, &samples[i % samples.len()], seed);
+            i += 1;
+        })
+    };
+    vec![fresh, pooled]
+}
+
+/// Plain-text table of the records.
+pub fn render(records: &[BenchRecord]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<24}{:>6}{:>6}{:>4}{:>14}{:>12}{:>9}",
+        "op", "n", "m", "K", "ns/iter", "allocs/iter", "threads"
+    );
+    for r in records {
+        let _ = writeln!(
+            s,
+            "{:<24}{:>6}{:>6}{:>4}{:>14}{:>12}{:>9}",
+            r.op, r.n, r.m, r.k, r.ns_per_iter, r.allocs_per_iter, r.threads
+        );
+    }
+    s
+}
+
+/// Serialises the records as a JSON array (hand-rolled — every field is
+/// a number or a plain identifier string, so no escaping is needed).
+pub fn to_json(records: &[BenchRecord]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            s,
+            "  {{\"op\": \"{}\", \"n\": {}, \"m\": {}, \"K\": {}, \"ns_per_iter\": {}, \
+             \"allocs_per_iter\": {}, \"threads\": {}}}",
+            r.op, r.n, r.m, r.k, r.ns_per_iter, r.allocs_per_iter, r.threads
+        );
+        s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("]\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_valid() {
+        let recs = vec![BenchRecord {
+            op: "matmul".into(),
+            n: 8,
+            m: 8,
+            k: 0,
+            ns_per_iter: 1234,
+            allocs_per_iter: 1,
+            threads: 1,
+        }];
+        let j = to_json(&recs);
+        assert!(j.starts_with("[\n") && j.ends_with("]\n"));
+        assert!(j.contains("\"op\": \"matmul\""));
+        assert!(j.contains("\"ns_per_iter\": 1234"));
+        assert!(!j.contains(",\n]"), "no trailing comma");
+    }
+
+    #[test]
+    fn measure_reports_minimum() {
+        let (ns, allocs) = measure(10, 3, || {
+            black_box(1 + 1);
+        });
+        assert!(ns < 1_000_000);
+        assert_eq!(allocs, 0, "no counting allocator installed in unit tests");
+    }
+}

@@ -9,7 +9,9 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod allocs;
 pub mod harness;
+pub mod jsonbench;
 pub mod methods;
 pub mod params_table;
 pub mod profile;

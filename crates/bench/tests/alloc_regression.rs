@@ -1,0 +1,187 @@
+//! Pins the zero-allocation steady state of the training hot path.
+//!
+//! Installs the counting global allocator and drives the exact
+//! per-sample training step of `run_training` (tape reset → corrupted
+//! input → encoder forward → KL loss → backward → merge → Adam) with
+//! reused workspaces. The first two steps warm the buffer pool (the
+//! cold step fills it; the first reset parks what the cold step grew);
+//! every later step must perform **zero** heap allocations.
+
+use gcwc::model::Encoder;
+use gcwc::task::corrupt_input_pooled;
+use gcwc::train::run_training;
+use gcwc::{build_samples, ModelConfig, TaskKind, TrainSample};
+use gcwc_bench::allocs::{count_allocs, CountingAlloc};
+use gcwc_linalg::rng::seeded;
+use gcwc_linalg::Threads;
+use gcwc_nn::{Adam, GradBuffer, ParamStore, Tape};
+use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+use rand::Rng;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn tiny_samples() -> (gcwc_traffic::NetworkInstance, Vec<TrainSample>) {
+    let hw = generators::highway_tollgate(1);
+    let sim = SimConfig {
+        days: 2,
+        intervals_per_day: 16,
+        records_per_interval: 10.0,
+        ..Default::default()
+    };
+    let data = simulate(&hw, HistogramSpec::hist8(), &sim);
+    let ds = data.to_dataset(0.5, 5, 11);
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let samples = build_samples(&ds, &idx, TaskKind::Estimation, 0);
+    (hw, samples)
+}
+
+/// One full GCWC training step into reused workspaces — the exact body
+/// `run_training` executes per sample in its steady state.
+#[allow(clippy::too_many_arguments)]
+fn training_step(
+    enc: &Encoder,
+    store: &mut ParamStore,
+    adam: &mut Adam,
+    tape: &mut Tape,
+    buffer: &mut GradBuffer,
+    sample: &TrainSample,
+    row_dropout: f64,
+    seed: u64,
+) {
+    store.zero_grads();
+    tape.reset();
+    buffer.reset();
+    let mut rng = seeded(seed);
+    let (input, flags) = corrupt_input_pooled(
+        &sample.input,
+        &sample.context.row_flags,
+        row_dropout,
+        &mut rng,
+        tape.pool_mut(),
+    );
+    let pred = enc.output(tape, store, &input, true, &mut rng);
+    tape.pool_mut().give(input);
+    tape.pool_mut().give_vec(flags);
+    let loss = tape.kl_loss_masked_ref(pred, &sample.label, &sample.label_mask, 1e-6);
+    tape.backward(loss, buffer);
+    buffer.merge_into(store);
+    store.scale_grads(1.0);
+    adam.step(store);
+}
+
+#[test]
+fn steady_state_training_step_performs_zero_allocations() {
+    gcwc_linalg::parallel::set_global_threads(1);
+    let (hw, samples) = tiny_samples();
+    let cfg = ModelConfig::hw_hist();
+    let mut store = ParamStore::new();
+    let mut init_rng = seeded(3);
+    let enc = Encoder::new(&hw.graph, 8, &cfg, &mut store, &mut init_rng);
+    let mut adam = Adam::new(&store, cfg.optim);
+    let mut tape = Tape::new();
+    let mut buffer = GradBuffer::new();
+    let mut master = seeded(7);
+
+    let mut cold = 0u64;
+    for step in 0..8usize {
+        let sample = &samples[step % samples.len()];
+        let seed: u64 = master.random();
+        let (_, allocs) = count_allocs(|| {
+            training_step(
+                &enc,
+                &mut store,
+                &mut adam,
+                &mut tape,
+                &mut buffer,
+                sample,
+                cfg.row_dropout,
+                seed,
+            );
+        });
+        if step < 2 {
+            cold += allocs;
+        } else {
+            assert_eq!(
+                allocs, 0,
+                "steady-state training step {step} performed {allocs} heap allocations"
+            );
+        }
+    }
+    // The cold step pays for the whole pool; reusing it must save at
+    // least 5× per step (trivially true once the steady state is zero,
+    // but the cold count documents what reuse actually avoids).
+    assert!(cold >= 5, "cold step allocated only {cold} times — counter not active?");
+
+    // A step through *fresh* workspaces re-pays the pool warm-up: this
+    // is what every step cost before buffers were reused.
+    let sample = &samples[0];
+    let seed: u64 = master.random();
+    let (_, fresh) = count_allocs(|| {
+        let mut tape = Tape::new();
+        let mut buffer = GradBuffer::new();
+        training_step(
+            &enc,
+            &mut store,
+            &mut adam,
+            &mut tape,
+            &mut buffer,
+            sample,
+            cfg.row_dropout,
+            seed,
+        );
+    });
+    assert!(fresh >= 5, "fresh-workspace step allocated {fresh} times; expected ≥ 5× steady (0)");
+}
+
+#[test]
+fn longer_trainings_do_not_allocate_more_per_epoch() {
+    // End-to-end pin through `run_training` itself: once the first
+    // epochs have warmed every workspace, additional epochs must add
+    // nothing but the per-epoch loss bookkeeping (a few `Vec` growth
+    // reallocations at most).
+    gcwc_linalg::parallel::set_global_threads(1);
+    let (hw, samples) = tiny_samples();
+    let samples = &samples[..6.min(samples.len())];
+    let cfg = ModelConfig::hw_hist();
+
+    let run = |epochs: usize| -> u64 {
+        let mut store = ParamStore::new();
+        let mut init_rng = seeded(3);
+        let enc = Encoder::new(&hw.graph, 8, &cfg, &mut store, &mut init_rng);
+        let mut rng = seeded(9);
+        let (_, allocs) = count_allocs(|| {
+            run_training(
+                &mut store,
+                cfg.optim,
+                epochs,
+                cfg.batch_size,
+                Threads::fixed(1),
+                samples,
+                &mut rng,
+                |tape, store, sample, rng| {
+                    let (input, flags) = corrupt_input_pooled(
+                        &sample.input,
+                        &sample.context.row_flags,
+                        cfg.row_dropout,
+                        rng,
+                        tape.pool_mut(),
+                    );
+                    let pred = enc.output(tape, store, &input, true, rng);
+                    tape.pool_mut().give(input);
+                    tape.pool_mut().give_vec(flags);
+                    tape.kl_loss_masked_ref(pred, &sample.label, &sample.label_mask, 1e-6)
+                },
+            );
+        });
+        allocs
+    };
+
+    let short = run(2);
+    let long = run(20);
+    let extra = long.saturating_sub(short);
+    assert!(
+        extra <= 12,
+        "18 extra epochs performed {extra} heap allocations (short={short}, long={long})"
+    );
+}

@@ -221,43 +221,55 @@ impl AGcwcModel {
         rng: &mut StdRng,
     ) -> NodeId {
         let row_dropout = if train { self.cfg.row_dropout } else { 0.0 };
-        let (input, row_flags) =
-            crate::task::corrupt_input(&sample.input, &sample.context.row_flags, row_dropout, rng);
+        let (input, row_flags) = crate::task::corrupt_input_pooled(
+            &sample.input,
+            &sample.context.row_flags,
+            row_dropout,
+            rng,
+            tape.pool_mut(),
+        );
         // Basic GCWC output P(Z).
         let pz = self.encoder.output(tape, store, &input, train, rng);
+        tape.pool_mut().give(input);
 
         // Context distributions.
         let t_raw = self.time_emb.lookup(tape, store, sample.context.time_of_day);
         let p_t = self.context_distribution(tape, t_raw);
         let d_raw = self.day_emb.lookup(tape, store, sample.context.day_of_week);
         let p_d = self.context_distribution(tape, d_raw);
-        let flags = tape.constant(Matrix::row_vector(&row_flags));
+        let flags = tape.constant_row(&row_flags);
+        tape.pool_mut().give_vec(row_flags);
         let r_raw = self.row_fc.apply(tape, store, flags);
         let p_r = self.context_distribution(tape, r_raw);
 
         // Per-context conditionals P(Z|X_i), restricted to the enabled
         // contexts (the paper enables all three; ablations use subsets).
+        // Fixed-capacity storage: at most three contexts, no heap use.
         let mask = self.cfg.context_mask;
-        let mut conditionals = Vec::new();
+        let mut conditionals = [None; 3];
+        let mut n_ctx = 0usize;
         if mask[0] {
-            conditionals.push(self.cp_time.apply(tape, store, p_t, pz));
+            conditionals[n_ctx] = Some(self.cp_time.apply(tape, store, p_t, pz));
+            n_ctx += 1;
         }
         if mask[1] {
-            conditionals.push(self.cp_day.apply(tape, store, p_d, pz));
+            conditionals[n_ctx] = Some(self.cp_day.apply(tape, store, p_d, pz));
+            n_ctx += 1;
         }
         if mask[2] {
-            conditionals.push(self.cp_row.apply(tape, store, p_r, pz));
+            conditionals[n_ctx] = Some(self.cp_row.apply(tape, store, p_r, pz));
+            n_ctx += 1;
         }
-        if conditionals.is_empty() {
+        if n_ctx == 0 {
             return pz; // no contexts: A-GCWC degenerates to GCWC
         }
-        let n_ctx = conditionals.len();
+        let conditionals = conditionals.iter().flatten().copied();
 
         match self.cfg.output {
             OutputKind::Histogram => {
                 // Eq. 9: ∏ P(Z|X_i) / P(Z)^(N−1), then row normalisation.
                 let mut num: Option<NodeId> = None;
-                for &z in &conditionals {
+                for z in conditionals {
                     let c = tape.softmax_rows(z);
                     num = Some(match num {
                         None => c,
@@ -277,7 +289,7 @@ impl AGcwcModel {
                 // sigmoid (the paper replaces the Eq. 10 normalisation by
                 // a sigmoid for the AVG functionality, §VI-A.3).
                 let mut sum: Option<NodeId> = None;
-                for &z in &conditionals {
+                for z in conditionals {
                     let sgm = tape.sigmoid(z);
                     let lg = tape.log_eps(sgm, LOSS_EPS);
                     sum = Some(match sum {
@@ -304,12 +316,9 @@ impl AGcwcModel {
         let pred = self.forward(tape, store, sample, true, rng);
         match self.cfg.output {
             OutputKind::Histogram => {
-                tape.kl_loss_masked(pred, sample.label.clone(), sample.label_mask.clone(), LOSS_EPS)
+                tape.kl_loss_masked_ref(pred, &sample.label, &sample.label_mask, LOSS_EPS)
             }
-            OutputKind::Average => {
-                let mask = Matrix::from_vec(sample.label_mask.len(), 1, sample.label_mask.clone());
-                tape.mse_masked(pred, sample.label.clone(), mask)
-            }
+            OutputKind::Average => tape.mse_masked_rows(pred, &sample.label, &sample.label_mask),
         }
     }
 }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use gcwc_graph::{ChebyshevBasis, EdgeGraph, GraphHierarchy, PolyBasis, PoolingMap};
 use gcwc_linalg::Matrix;
-use gcwc_nn::{dropout_mask, Dense, NodeId, ParamId, ParamStore, Tape};
+use gcwc_nn::{Dense, NodeId, ParamId, ParamStore, Tape};
 use rand::rngs::StdRng;
 
 use crate::config::{log2_exact, ModelConfig, OutputKind};
@@ -122,10 +122,12 @@ impl Encoder {
     ) -> NodeId {
         assert_eq!(input.shape(), (self.n, self.m), "input shape mismatch");
         // Group-major layout: group g (bucket g) holds c channels.
-        let mut x = tape.constant(input.clone());
+        let mut x = tape.constant_copied(input);
         for layer in &self.layers {
-            let thetas: Vec<NodeId> = layer.thetas.iter().map(|&t| tape.param(store, t)).collect();
+            let mut thetas = tape.take_id_buf();
+            thetas.extend(layer.thetas.iter().map(|&t| tape.param(store, t)));
             x = tape.poly_conv_grouped(x, &thetas, Arc::clone(&layer.basis), self.m);
+            tape.give_id_buf(thetas);
             let bias = tape.param(store, layer.bias);
             let tiled = tape.tile_cols(bias, self.m);
             x = tape.add_row_broadcast(x, tiled);
@@ -134,21 +136,20 @@ impl Encoder {
                 x = tape.graph_max_pool(x, Arc::clone(pool));
             }
         }
-        let last = self.layers.last().expect("non-empty");
-        let (nodes, f) = (last.out_nodes, last.out_filters);
-        let cols: Vec<NodeId> = (0..self.m)
-            .map(|g| {
-                let block = tape.select_cols(x, g * f, f); // nodes × f
-                let mut flat = tape.reshape(block, 1, nodes * f);
-                if train && self.dropout > 0.0 {
-                    let mask = dropout_mask(rng, 1, nodes * f, self.dropout);
-                    flat = tape.dropout(flat, mask);
-                }
-                let row = self.fc.apply(tape, store, flat); // 1 × n
-                tape.transpose(row) // n × 1
-            })
-            .collect();
-        tape.hstack(&cols) // n × m
+        // All m bucket groups share the decoder weight, so batch them
+        // as rows of one matmul: the weight matrix is streamed once per
+        // pass instead of once per bucket (it is far larger than the
+        // activations, so this is the memory-bandwidth win). Row `g` of
+        // the batched product equals the per-bucket FC exactly (matmul
+        // computes each output row independently), and the row-major
+        // dropout draws consume the RNG in the same order the
+        // bucket-by-bucket loop did.
+        let mut rows = tape.group_rows(x, self.m); // m × (nodes·f)
+        if train && self.dropout > 0.0 {
+            rows = tape.dropout_rng(rows, rng, self.dropout);
+        }
+        let dec = self.fc.apply(tape, store, rows); // m × n
+        tape.transpose(dec) // n × m
     }
 
     /// The model head: row-softmax histograms (`n × m`) for HIST, or a
@@ -167,7 +168,7 @@ impl Encoder {
             OutputKind::Histogram => tape.softmax_rows(z),
             OutputKind::Average => {
                 // Mean over buckets -> n × 1 -> sigmoid.
-                let ones = tape.constant(Matrix::filled(self.m, 1, 1.0 / self.m as f64));
+                let ones = tape.constant_filled(self.m, 1, 1.0 / self.m as f64);
                 let mean = tape.matmul(z, ones);
                 tape.sigmoid(mean)
             }

@@ -68,17 +68,21 @@ impl GcwcModel {
         sample: &TrainSample,
         rng: &mut StdRng,
     ) -> gcwc_nn::NodeId {
-        let (input, _) =
-            crate::task::corrupt_input(&sample.input, &sample.context.row_flags, row_dropout, rng);
+        let (input, flags) = crate::task::corrupt_input_pooled(
+            &sample.input,
+            &sample.context.row_flags,
+            row_dropout,
+            rng,
+            tape.pool_mut(),
+        );
         let pred = encoder.output(tape, store, &input, true, rng);
+        tape.pool_mut().give(input);
+        tape.pool_mut().give_vec(flags);
         match encoder.output_kind() {
             OutputKind::Histogram => {
-                tape.kl_loss_masked(pred, sample.label.clone(), sample.label_mask.clone(), LOSS_EPS)
+                tape.kl_loss_masked_ref(pred, &sample.label, &sample.label_mask, LOSS_EPS)
             }
-            OutputKind::Average => {
-                let mask = Matrix::from_vec(sample.label_mask.len(), 1, sample.label_mask.clone());
-                tape.mse_masked(pred, sample.label.clone(), mask)
-            }
+            OutputKind::Average => tape.mse_masked_rows(pred, &sample.label, &sample.label_mask),
         }
     }
 }

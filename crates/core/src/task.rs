@@ -67,6 +67,34 @@ pub fn corrupt_input(
     (out, flags)
 }
 
+/// [`corrupt_input`] staged in pooled buffers: the corrupted matrix and
+/// flag vector come from `pool` (return them with `give`/`give_vec`
+/// when done). Consumes the RNG stream identically and produces
+/// bit-identical contents.
+pub fn corrupt_input_pooled(
+    input: &Matrix,
+    row_flags: &[f64],
+    p: f64,
+    rng: &mut rand::rngs::StdRng,
+    pool: &mut gcwc_linalg::BufferPool,
+) -> (Matrix, Vec<f64>) {
+    use rand::Rng;
+    let mut out = pool.take_raw(input.rows(), input.cols());
+    out.copy_from(input);
+    let mut flags = pool.take_vec(row_flags.len());
+    flags.copy_from_slice(row_flags);
+    if p <= 0.0 {
+        return (out, flags);
+    }
+    for e in 0..out.rows() {
+        if flags[e] > 0.0 && rng.random::<f64>() < p {
+            out.row_mut(e).fill(0.0);
+            flags[e] = 0.0;
+        }
+    }
+    (out, flags)
+}
+
 /// The uniform interface every completion method implements.
 pub trait CompletionModel {
     /// Display name (table column header).

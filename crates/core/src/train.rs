@@ -24,6 +24,18 @@ use rand::Rng;
 
 use crate::task::TrainSample;
 
+/// Reusable per-sample workspace: the tape that holds one sample's
+/// graph and the private gradient buffer its backward pass fills.
+///
+/// Slots persist across batches and epochs so the steady-state training
+/// step reuses the tape's pooled matrices and the buffer's gradient
+/// storage instead of reallocating them per sample.
+#[derive(Default)]
+struct SampleSlot {
+    tape: Tape,
+    buffer: GradBuffer,
+}
+
 /// Per-epoch mean losses recorded during training.
 #[derive(Clone, Debug, Default)]
 pub struct TrainReport {
@@ -65,6 +77,13 @@ pub fn run_training(
     }
     let mut adam = Adam::new(store, optim);
     let mut order: Vec<usize> = (0..samples.len()).collect();
+    // Workspaces reused across batches and epochs: tapes, gradient
+    // buffers, seed and loss scratch. After the first few batches the
+    // loop body reaches a steady state that performs no heap
+    // allocation.
+    let mut slots: Vec<SampleSlot> = Vec::new();
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut losses: Vec<f64> = Vec::new();
     for _epoch in 0..epochs {
         shuffle(rng, &mut order);
         let mut epoch_loss = 0.0;
@@ -73,12 +92,27 @@ pub fn run_training(
             // One seed per sample, drawn in batch order *before* any
             // worker runs: the master stream's consumption is the same
             // for every thread count.
-            let seeds: Vec<u64> = batch.iter().map(|_| rng.random()).collect();
-            let results = run_batch(store, batch, &seeds, samples, threads, &forward_loss);
+            seeds.clear();
+            seeds.extend(batch.iter().map(|_| rng.random::<u64>()));
+            while slots.len() < batch.len() {
+                slots.push(SampleSlot::default());
+            }
+            losses.clear();
+            losses.resize(batch.len(), 0.0);
+            run_batch(
+                store,
+                batch,
+                &seeds,
+                samples,
+                threads,
+                &mut slots[..batch.len()],
+                &mut losses,
+                &forward_loss,
+            );
             // Fixed merge order — batch position, never worker id.
-            for (loss, buffer) in &results {
+            for (loss, slot) in losses.iter().zip(&slots) {
                 epoch_loss += *loss;
-                buffer.merge_into(store);
+                slot.buffer.merge_into(store);
             }
             store.scale_grads(1.0 / batch.len() as f64);
             adam.step(store);
@@ -96,75 +130,81 @@ fn eval_sample<F>(
     store: &ParamStore,
     sample: &TrainSample,
     seed: u64,
+    slot: &mut SampleSlot,
     forward_loss: &F,
-) -> (f64, GradBuffer)
+) -> f64
 where
     F: Fn(&mut Tape, &ParamStore, &TrainSample, &mut StdRng) -> NodeId + Sync,
 {
+    slot.tape.reset();
+    slot.buffer.reset();
     let mut rng = seeded(seed);
-    let mut tape = Tape::new();
-    let mut buffer = GradBuffer::new();
-    let loss = forward_loss(&mut tape, store, sample, &mut rng);
-    let value = tape.value(loss)[(0, 0)];
-    tape.backward(loss, &mut buffer);
-    (value, buffer)
+    let loss = forward_loss(&mut slot.tape, store, sample, &mut rng);
+    let value = slot.tape.value(loss)[(0, 0)];
+    slot.tape.backward(loss, &mut slot.buffer);
+    value
 }
 
-/// Evaluates every sample of `batch`, returning `(loss, gradients)` in
-/// batch order. With more than one thread, the batch is split into
-/// contiguous chunks, one per scoped worker; workers run their kernels
+/// Evaluates every sample of `batch`, writing each loss into `losses`
+/// and each gradient into the matching slot's buffer, in batch order.
+/// With more than one thread, the batch is split into contiguous
+/// chunks, one per scoped worker; workers run their kernels
 /// single-threaded (the thread budget is already spent on samples).
+#[allow(clippy::too_many_arguments)] // internal helper mirroring run_training's flat signature
 fn run_batch<F>(
     store: &ParamStore,
     batch: &[usize],
     seeds: &[u64],
     samples: &[TrainSample],
     threads: Threads,
+    slots: &mut [SampleSlot],
+    losses: &mut [f64],
     forward_loss: &F,
-) -> Vec<(f64, GradBuffer)>
-where
+) where
     F: Fn(&mut Tape, &ParamStore, &TrainSample, &mut StdRng) -> NodeId + Sync,
 {
+    debug_assert_eq!(slots.len(), batch.len());
+    debug_assert_eq!(losses.len(), batch.len());
     let workers = threads.get().min(batch.len());
     if workers <= 1 {
-        return batch
-            .iter()
-            .zip(seeds)
-            .map(|(&si, &seed)| eval_sample(store, &samples[si], seed, forward_loss))
-            .collect();
+        for (k, (slot, loss)) in slots.iter_mut().zip(losses.iter_mut()).enumerate() {
+            *loss = eval_sample(store, &samples[batch[k]], seeds[k], slot, forward_loss);
+        }
+        return;
     }
-    let mut results: Vec<Option<(f64, GradBuffer)>> = (0..batch.len()).map(|_| None).collect();
-    let run_chunk = |start: usize, chunk: &mut [Option<(f64, GradBuffer)>]| {
+    let run_chunk = |start: usize, slots: &mut [SampleSlot], losses: &mut [f64]| {
         // Kernels run single-threaded inside workers: the thread budget
         // is already spent at the sample level.
         parallel::with_threads(1, || {
-            for (k, slot) in chunk.iter_mut().enumerate() {
+            for (k, (slot, loss)) in slots.iter_mut().zip(losses.iter_mut()).enumerate() {
                 let si = batch[start + k];
-                *slot = Some(eval_sample(store, &samples[si], seeds[start + k], forward_loss));
+                *loss = eval_sample(store, &samples[si], seeds[start + k], slot, forward_loss);
             }
         });
     };
     std::thread::scope(|scope| {
-        let mut rest = results.as_mut_slice();
+        let mut rest_slots = slots;
+        let mut rest_losses = losses;
         let mut offset = 0usize;
-        let mut own: Option<(usize, &mut [Option<(f64, GradBuffer)>])> = None;
+        let mut own: Option<(usize, &mut [SampleSlot], &mut [f64])> = None;
         for w in 0..workers {
             let count = batch.len() / workers + usize::from(w < batch.len() % workers);
-            let (chunk, tail) = rest.split_at_mut(count);
-            rest = tail;
+            let (chunk_slots, tail_slots) = rest_slots.split_at_mut(count);
+            rest_slots = tail_slots;
+            let (chunk_losses, tail_losses) = rest_losses.split_at_mut(count);
+            rest_losses = tail_losses;
             let start = offset;
             offset += count;
             if w == 0 {
-                own = Some((start, chunk));
+                own = Some((start, chunk_slots, chunk_losses));
             } else {
                 let run_chunk = &run_chunk;
-                scope.spawn(move || run_chunk(start, chunk));
+                scope.spawn(move || run_chunk(start, chunk_slots, chunk_losses));
             }
         }
-        let (start, chunk) = own.expect("workers >= 2 implies a first chunk");
-        run_chunk(start, chunk);
+        let (start, chunk_slots, chunk_losses) = own.expect("workers >= 2 implies a first chunk");
+        run_chunk(start, chunk_slots, chunk_losses);
     });
-    results.into_iter().map(|r| r.expect("every batch slot is filled")).collect()
 }
 
 #[cfg(test)]

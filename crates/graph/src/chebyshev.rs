@@ -11,7 +11,7 @@
 //! back-propagation (`Σ_k B_kᵀ`-weighted recombination).
 
 use crate::laplacian;
-use gcwc_linalg::{CsrMatrix, Matrix};
+use gcwc_linalg::{BufferPool, CsrMatrix, Matrix};
 
 /// A family `{M_0, …, M_{K−1}}` of fixed graph operators applied to node
 /// signals, with an efficient adjoint.
@@ -28,6 +28,22 @@ pub trait PolyBasis: Send + Sync {
     /// Computes `Σ_k M_kᵀ b_k` for dense `b_k ∈ R^{n×c}` (the adjoint of
     /// [`PolyBasis::forward`] contracted with cotangents `b_k`).
     fn adjoint_combine(&self, b: &[Matrix]) -> Matrix;
+
+    /// Pool-backed [`PolyBasis::forward`]: appends the `K` taps to `out`
+    /// using buffers drawn from `pool` (bit-identical results). The
+    /// default falls back to the allocating path.
+    fn forward_pooled(&self, x: &Matrix, pool: &mut BufferPool, out: &mut Vec<Matrix>) {
+        let _ = pool;
+        out.extend(self.forward(x));
+    }
+
+    /// Pool-backed [`PolyBasis::adjoint_combine`]: the returned matrix is
+    /// drawn from `pool` (bit-identical results). The default falls back
+    /// to the allocating path.
+    fn adjoint_combine_pooled(&self, b: &[Matrix], pool: &mut BufferPool) -> Matrix {
+        let _ = pool;
+        self.adjoint_combine(b)
+    }
 }
 
 /// Chebyshev polynomials of the scaled Laplacian `L̃ = 2L/λmax − I`.
@@ -70,36 +86,59 @@ impl PolyBasis for ChebyshevBasis {
     }
 
     fn forward(&self, x: &Matrix) -> Vec<Matrix> {
-        assert_eq!(x.rows(), self.lt.rows(), "signal row count mismatch");
+        let mut pool = BufferPool::new();
         let mut out = Vec::with_capacity(self.k);
-        out.push(x.clone()); // T_0 x = x
-        if self.k >= 2 {
-            out.push(self.lt.matmul_dense(x)); // T_1 x = L̃x
-        }
-        for k in 2..self.k {
-            let next = &self.lt.matmul_dense(&out[k - 1]).scale(2.0) - &out[k - 2];
-            out.push(next);
-        }
+        self.forward_pooled(x, &mut pool, &mut out);
         out
     }
 
     fn adjoint_combine(&self, b: &[Matrix]) -> Matrix {
+        let mut pool = BufferPool::new();
+        self.adjoint_combine_pooled(b, &mut pool)
+    }
+
+    fn forward_pooled(&self, x: &Matrix, pool: &mut BufferPool, out: &mut Vec<Matrix>) {
+        assert_eq!(x.rows(), self.lt.rows(), "signal row count mismatch");
+        let (n, c) = x.shape();
+        let base = out.len();
+        let mut t0 = pool.take_raw(n, c);
+        t0.copy_from(x); // T_0 x = x
+        out.push(t0);
+        if self.k >= 2 {
+            let mut t1 = pool.take_raw(n, c);
+            self.lt.matmul_dense_into(x, &mut t1); // T_1 x = L̃x
+            out.push(t1);
+        }
+        for k in 2..self.k {
+            // T_k x = 2·L̃·T_{k−1}x − T_{k−2}x, fused in one pass.
+            let mut next = pool.take_raw(n, c);
+            self.lt.cheb_step_into(&out[base + k - 1], &out[base + k - 2], &mut next);
+            out.push(next);
+        }
+    }
+
+    fn adjoint_combine_pooled(&self, b: &[Matrix], pool: &mut BufferPool) -> Matrix {
         assert_eq!(b.len(), self.k, "cotangent count mismatch");
         // L̃ is symmetric, so T_k(L̃)ᵀ = T_k(L̃); evaluate Σ_k T_k(L̃) b_k
         // with Clenshaw's recurrence: c_k = b_k + 2L̃c_{k+1} − c_{k+2},
-        // result = b_0 + L̃c_1 − c_2.
+        // result = b_0 + L̃c_1 − c_2. Each step writes into the retiring
+        // c_{k+2} buffer, so only two matrices live at any time.
         let kk = self.k;
+        let (n, c) = b[0].shape();
         if kk == 1 {
-            return b[0].clone();
+            let mut out = pool.take_raw(n, c);
+            out.copy_from(&b[0]);
+            return out;
         }
-        let zero = Matrix::zeros(b[0].rows(), b[0].cols());
-        let mut c_next = zero.clone(); // c_{k+1}
-        let mut c_next2 = zero; // c_{k+2}
+        let mut c_next = pool.take(n, c); // c_{k+1}
+        let mut c_next2 = pool.take(n, c); // c_{k+2}
         for k in (1..kk).rev() {
-            let c_k = &(&b[k] + &self.lt.matmul_dense(&c_next).scale(2.0)) - &c_next2;
-            c_next2 = std::mem::replace(&mut c_next, c_k);
+            self.lt.clenshaw_step(&b[k], &c_next, 2.0, &mut c_next2);
+            std::mem::swap(&mut c_next, &mut c_next2);
         }
-        &(&b[0] + &self.lt.matmul_dense(&c_next)) - &c_next2
+        self.lt.clenshaw_step(&b[0], &c_next, 1.0, &mut c_next2);
+        pool.give(c_next);
+        c_next2
     }
 }
 
@@ -144,24 +183,48 @@ impl PolyBasis for RandomWalkBasis {
     }
 
     fn forward(&self, x: &Matrix) -> Vec<Matrix> {
-        assert_eq!(x.rows(), self.p.rows(), "signal row count mismatch");
+        let mut pool = BufferPool::new();
         let mut out = Vec::with_capacity(self.k);
-        out.push(x.clone());
-        for k in 1..self.k {
-            let next = self.p.matmul_dense(&out[k - 1]);
-            out.push(next);
-        }
+        self.forward_pooled(x, &mut pool, &mut out);
         out
     }
 
     fn adjoint_combine(&self, b: &[Matrix]) -> Matrix {
+        let mut pool = BufferPool::new();
+        self.adjoint_combine_pooled(b, &mut pool)
+    }
+
+    fn forward_pooled(&self, x: &Matrix, pool: &mut BufferPool, out: &mut Vec<Matrix>) {
+        assert_eq!(x.rows(), self.p.rows(), "signal row count mismatch");
+        let (n, c) = x.shape();
+        let base = out.len();
+        let mut p0 = pool.take_raw(n, c);
+        p0.copy_from(x);
+        out.push(p0);
+        for k in 1..self.k {
+            let mut next = pool.take_raw(n, c);
+            self.p.matmul_dense_into(&out[base + k - 1], &mut next);
+            out.push(next);
+        }
+    }
+
+    fn adjoint_combine_pooled(&self, b: &[Matrix], pool: &mut BufferPool) -> Matrix {
         assert_eq!(b.len(), self.k, "cotangent count mismatch");
         // Σ_k (P^k)ᵀ b_k = Σ_k (Pᵀ)^k b_k via Horner: s = b_{K−1};
-        // s = Pᵀ s + b_k for k = K−2 … 0.
-        let mut s = b[self.k - 1].clone();
-        for k in (0..self.k - 1).rev() {
-            s = &self.pt.matmul_dense(&s) + &b[k];
+        // s = Pᵀ s + b_k for k = K−2 … 0. Ping-pong two pooled buffers.
+        let (n, c) = b[0].shape();
+        let mut s = pool.take_raw(n, c);
+        s.copy_from(&b[self.k - 1]);
+        if self.k == 1 {
+            return s;
         }
+        let mut tmp = pool.take_raw(n, c);
+        for k in (0..self.k - 1).rev() {
+            self.pt.matmul_dense_into(&s, &mut tmp);
+            tmp.add_assign(&b[k]);
+            std::mem::swap(&mut s, &mut tmp);
+        }
+        pool.give(tmp);
         s
     }
 }
@@ -276,6 +339,90 @@ mod tests {
             want = &want + &m.transpose().matmul(bi);
         }
         assert!(got.approx_eq(&want, 1e-10));
+    }
+
+    fn bits(m: &Matrix) -> Vec<u64> {
+        m.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn fused_forward_bit_matches_legacy_composition() {
+        let k = 5;
+        let basis = ChebyshevBasis::from_adjacency(&path3(), k);
+        let lt = basis.scaled_laplacian();
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[0.5, -1.0], &[3.0, 0.0]]);
+        // Pre-fusion three-pass composition.
+        let mut legacy = vec![x.clone(), lt.matmul_dense(&x)];
+        for i in 2..k {
+            legacy.push(&lt.matmul_dense(&legacy[i - 1]).scale(2.0) - &legacy[i - 2]);
+        }
+        for (f, l) in basis.forward(&x).iter().zip(&legacy) {
+            assert_eq!(bits(f), bits(l));
+        }
+        // Pooled path with stale reused buffers gives the same bits.
+        let mut pool = BufferPool::new();
+        let mut taps = Vec::new();
+        basis.forward_pooled(&x, &mut pool, &mut taps);
+        for m in taps.drain(..) {
+            pool.give(m);
+        }
+        basis.forward_pooled(&x, &mut pool, &mut taps);
+        assert!(pool.hits() > 0, "second pass must reuse pooled storage");
+        for (f, l) in taps.iter().zip(&legacy) {
+            assert_eq!(bits(f), bits(l));
+        }
+    }
+
+    #[test]
+    fn fused_adjoint_bit_matches_legacy_composition() {
+        let k = 6;
+        let basis = ChebyshevBasis::from_adjacency(&path3(), k);
+        let lt = basis.scaled_laplacian();
+        let b: Vec<Matrix> = (0..k)
+            .map(|i| Matrix::from_fn(3, 2, |r, c| (i + r * 2 + c) as f64 * 0.3 - 1.0))
+            .collect();
+        // Pre-fusion Clenshaw composition.
+        let zero = Matrix::zeros(3, 2);
+        let mut c_next = zero.clone();
+        let mut c_next2 = zero;
+        for i in (1..k).rev() {
+            let c_k = &(&b[i] + &lt.matmul_dense(&c_next).scale(2.0)) - &c_next2;
+            c_next2 = std::mem::replace(&mut c_next, c_k);
+        }
+        let legacy = &(&b[0] + &lt.matmul_dense(&c_next)) - &c_next2;
+        assert_eq!(bits(&basis.adjoint_combine(&b)), bits(&legacy));
+        let mut pool = BufferPool::new();
+        let first = basis.adjoint_combine_pooled(&b, &mut pool);
+        assert_eq!(bits(&first), bits(&legacy));
+        pool.give(first);
+        let again = basis.adjoint_combine_pooled(&b, &mut pool);
+        assert_eq!(bits(&again), bits(&legacy));
+    }
+
+    #[test]
+    fn random_walk_fused_bit_matches_legacy_composition() {
+        let k = 4;
+        let basis = RandomWalkBasis::from_adjacency(&path3(), k);
+        let p = basis.walk_matrix();
+        let pt = p.transpose();
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, -1.0]]);
+        let mut legacy = vec![x.clone()];
+        for i in 1..k {
+            legacy.push(p.matmul_dense(&legacy[i - 1]));
+        }
+        for (f, l) in basis.forward(&x).iter().zip(&legacy) {
+            assert_eq!(bits(f), bits(l));
+        }
+        let b: Vec<Matrix> = (0..k)
+            .map(|i| Matrix::from_fn(3, 2, |r, c| (i * 6 + r * 2 + c) as f64 * 0.1))
+            .collect();
+        let mut s = b[k - 1].clone();
+        for i in (0..k - 1).rev() {
+            s = &pt.matmul_dense(&s) + &b[i];
+        }
+        assert_eq!(bits(&basis.adjoint_combine(&b)), bits(&s));
+        let mut pool = BufferPool::new();
+        assert_eq!(bits(&basis.adjoint_combine_pooled(&b, &mut pool)), bits(&s));
     }
 
     #[test]

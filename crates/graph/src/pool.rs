@@ -54,10 +54,20 @@ impl PoolingMap {
     /// matrix (`num_outputs × c`) and for every output entry the winning
     /// input row (row-major over the output shape).
     pub fn max_forward(&self, x: &Matrix) -> (Matrix, Vec<usize>) {
+        let mut out = Matrix::zeros(self.clusters.len(), x.cols());
+        let mut argmax = vec![0usize; self.clusters.len() * x.cols()];
+        self.max_forward_into(x, &mut out, &mut argmax);
+        (out, argmax)
+    }
+
+    /// [`PoolingMap::max_forward`] into existing buffers (every element of
+    /// both is overwritten; stale pooled buffers are fine). `argmax` must
+    /// already have length `num_outputs · c`.
+    pub fn max_forward_into(&self, x: &Matrix, out: &mut Matrix, argmax: &mut [usize]) {
         assert_eq!(x.rows(), self.num_inputs, "pooling input row mismatch");
         let c = x.cols();
-        let mut out = Matrix::zeros(self.clusters.len(), c);
-        let mut argmax = vec![0usize; self.clusters.len() * c];
+        assert_eq!(out.shape(), (self.clusters.len(), c), "pooling output shape mismatch");
+        assert_eq!(argmax.len(), self.clusters.len() * c, "argmax length mismatch");
         for (ci, members) in self.clusters.iter().enumerate() {
             for j in 0..c {
                 let mut best_row = members[0];
@@ -72,22 +82,28 @@ impl PoolingMap {
                 argmax[ci * c + j] = best_row;
             }
         }
-        (out, argmax)
     }
 
     /// Routes output gradients back to the argmax input rows.
     pub fn max_backward(&self, grad_out: &Matrix, argmax: &[usize]) -> Matrix {
+        let mut grad_in = Matrix::zeros(self.num_inputs, grad_out.cols());
+        self.max_backward_into(grad_out, argmax, &mut grad_in);
+        grad_in
+    }
+
+    /// [`PoolingMap::max_backward`] accumulating into a caller-provided
+    /// **zeroed** `num_inputs × c` buffer.
+    pub fn max_backward_into(&self, grad_out: &Matrix, argmax: &[usize], grad_in: &mut Matrix) {
         assert_eq!(grad_out.rows(), self.clusters.len(), "grad row mismatch");
         let c = grad_out.cols();
         assert_eq!(argmax.len(), grad_out.rows() * c, "argmax length mismatch");
-        let mut grad_in = Matrix::zeros(self.num_inputs, c);
+        assert_eq!(grad_in.shape(), (self.num_inputs, c), "grad input shape mismatch");
         for ci in 0..grad_out.rows() {
             for j in 0..c {
                 let src = argmax[ci * c + j];
                 grad_in[(src, j)] += grad_out[(ci, j)];
             }
         }
-        grad_in
     }
 
     /// Mean-pools the rows of `x` (used by ablations).

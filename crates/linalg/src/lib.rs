@@ -14,10 +14,12 @@ pub mod decomp;
 pub mod eigen;
 pub mod matrix;
 pub mod parallel;
+pub mod pool;
 pub mod rng;
 pub mod sparse;
 
 pub use decomp::{Cholesky, DecompError};
 pub use matrix::Matrix;
 pub use parallel::Threads;
+pub use pool::{BufferPool, PoolGuard};
 pub use sparse::CsrMatrix;

@@ -225,6 +225,46 @@ impl Matrix {
         out
     }
 
+    /// Matrix product computed into an existing `rows × rhs.cols`
+    /// buffer (contents are fully overwritten, so a stale pooled buffer
+    /// is fine).
+    ///
+    /// Bit-identical to [`Matrix::matmul`]: every output row is first
+    /// zeroed, then accumulated by the exact same serial per-row loop,
+    /// with the same work threshold and row partitioning.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            rhs.rows,
+            "matmul shape mismatch: {:?} * {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul_into output shape mismatch");
+        let cols = rhs.cols;
+        let work = self.rows * self.cols * cols;
+        let threads = if work < crate::parallel::MIN_PARALLEL_WORK {
+            1
+        } else {
+            crate::parallel::current_threads()
+        };
+        crate::parallel::par_rows(&mut out.data, cols, threads, |start, chunk| {
+            for (r, o_row) in chunk.chunks_mut(cols.max(1)).enumerate() {
+                o_row.fill(0.0);
+                let a_row = self.row(start + r);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = rhs.row(k);
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        });
+    }
+
     /// Matrix-vector product `self * v`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec shape mismatch");
@@ -253,6 +293,154 @@ impl Matrix {
     pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
         for x in &mut self.data {
             *x = f(*x);
+        }
+    }
+
+    /// Applies `f` entrywise into an existing same-shape buffer
+    /// (fully overwritten). Bit-identical to [`Matrix::map`].
+    pub fn map_into(&self, out: &mut Matrix, f: impl Fn(f64) -> f64 + Sync) {
+        assert_eq!(self.shape(), out.shape(), "map_into shape mismatch");
+        crate::parallel::par_map(&self.data, &mut out.data, crate::parallel::current_threads(), f);
+    }
+
+    /// Combines `self` and `rhs` entrywise into an existing buffer
+    /// (fully overwritten). Bit-identical to [`Matrix::zip_with`].
+    pub fn zip_into(&self, rhs: &Matrix, out: &mut Matrix, f: impl Fn(f64, f64) -> f64 + Sync) {
+        assert_eq!(self.shape(), rhs.shape(), "zip_into shape mismatch");
+        assert_eq!(self.shape(), out.shape(), "zip_into output shape mismatch");
+        crate::parallel::par_zip(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            crate::parallel::current_threads(),
+            f,
+        );
+    }
+
+    /// Combines each entry with the matching entry of `rhs` in place:
+    /// `self[i] = f(self[i], rhs[i])`. Each element is computed by the
+    /// same expression as [`Matrix::zip_with`], so the result is
+    /// bit-identical to the out-of-place version.
+    pub fn zip_assign(&mut self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64) {
+        assert_eq!(self.shape(), rhs.shape(), "zip_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a = f(*a, b);
+        }
+    }
+
+    /// Adds `rhs` elementwise in place (`self += rhs`); bit-identical
+    /// to `&self + &rhs`.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        self.zip_assign(rhs, |a, b| a + b);
+    }
+
+    /// Scales every entry in place (`self *= s`); bit-identical to
+    /// [`Matrix::scale`].
+    pub fn scale_assign(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Overwrites `self` with the contents of a same-shape `src`.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(self.shape(), src.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Fused `self · rhsᵀ` into an existing buffer (fully overwritten;
+    /// a stale pooled buffer is fine), without materialising `rhsᵀ`.
+    ///
+    /// Bit-identical to `self.matmul_into(&rhs.transpose(), out)`: for
+    /// each output element the products `self[i,k] · rhs[j,k]` are
+    /// accumulated from `0.0` in ascending-`k` order, skipping the same
+    /// `self[i,k] == 0` terms the plain kernel skips, with the same
+    /// work threshold and output-row partitioning. Both operands are
+    /// read row-major, so this is also faster than transpose-then-
+    /// multiply.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            rhs.cols,
+            "matmul_nt shape mismatch: {:?} * {:?}ᵀ",
+            self.shape(),
+            rhs.shape()
+        );
+        assert_eq!(out.shape(), (self.rows, rhs.rows), "matmul_nt_into output shape mismatch");
+        let cols = rhs.rows;
+        let work = self.rows * self.cols * cols;
+        let threads = if work < crate::parallel::MIN_PARALLEL_WORK {
+            1
+        } else {
+            crate::parallel::current_threads()
+        };
+        crate::parallel::par_rows(&mut out.data, cols, threads, |start, chunk| {
+            for (r, o_row) in chunk.chunks_mut(cols.max(1)).enumerate() {
+                let a_row = self.row(start + r);
+                for (j, o) in o_row.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for (&a, &b) in a_row.iter().zip(rhs.row(j)) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            }
+        });
+    }
+
+    /// Fused `selfᵀ · rhs` into an existing buffer (fully overwritten;
+    /// a stale pooled buffer is fine), without materialising `selfᵀ`.
+    ///
+    /// Bit-identical to `self.transpose().matmul_into(&rhs, out)`: each
+    /// output row `i` is zeroed, then accumulated with
+    /// `out[i,·] += self[k,i] · rhs[k,·]` in ascending-`k` order,
+    /// skipping the same `self[k,i] == 0` terms, with the same work
+    /// threshold and output-row partitioning.
+    pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows,
+            rhs.rows,
+            "matmul_tn shape mismatch: {:?}ᵀ * {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        assert_eq!(out.shape(), (self.cols, rhs.cols), "matmul_tn_into output shape mismatch");
+        let cols = rhs.cols;
+        let work = self.rows * self.cols * cols;
+        let threads = if work < crate::parallel::MIN_PARALLEL_WORK {
+            1
+        } else {
+            crate::parallel::current_threads()
+        };
+        crate::parallel::par_rows(&mut out.data, cols, threads, |start, chunk| {
+            chunk.fill(0.0);
+            for k in 0..self.rows {
+                let a_row = self.row(k);
+                let b_row = rhs.row(k);
+                for (i, o_row) in chunk.chunks_mut(cols.max(1)).enumerate() {
+                    let a = a_row[start + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Transposes `self` into an existing `cols × rows` buffer (fully
+    /// overwritten). Bit-identical to [`Matrix::transpose`].
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(out.shape(), (self.cols, self.rows), "transpose_into shape mismatch");
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
         }
     }
 
@@ -546,5 +734,52 @@ mod tests {
         b[(0, 0)] = 1.0 + 1e-9;
         assert!(a.approx_eq(&b, 1e-8));
         assert!(!a.approx_eq(&b, 1e-10));
+    }
+
+    fn bits(m: &Matrix) -> Vec<u64> {
+        m.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn matmul_into_matches_out_of_place() {
+        let a = Matrix::from_rows(&[&[1.5, -2.0, 0.3], &[0.0, 4.25, -1.0]]);
+        let b = Matrix::from_rows(&[&[0.7, 2.0], &[-3.0, 0.125], &[9.0, -0.4]]);
+        let mut out = Matrix::filled(2, 2, f64::NAN); // stale buffer
+        a.matmul_into(&b, &mut out);
+        assert_eq!(bits(&out), bits(&a.matmul(&b)));
+    }
+
+    #[test]
+    fn in_place_family_matches_out_of_place() {
+        let a = Matrix::from_rows(&[&[1.5, -2.0], &[0.3, 4.25]]);
+        let b = Matrix::from_rows(&[&[0.7, 2.0], &[-3.0, 0.125]]);
+
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(bits(&c), bits(&(&a + &b)));
+
+        let mut c = a.clone();
+        c.scale_assign(-1.5);
+        assert_eq!(bits(&c), bits(&a.scale(-1.5)));
+
+        let mut c = a.clone();
+        c.zip_assign(&b, |x, y| x * y);
+        assert_eq!(bits(&c), bits(&a.zip_with(&b, |x, y| x * y)));
+
+        let mut out = Matrix::filled(2, 2, f64::NAN);
+        a.map_into(&mut out, |x| x.tanh());
+        assert_eq!(bits(&out), bits(&a.map(|x| x.tanh())));
+
+        let mut out = Matrix::filled(2, 2, f64::NAN);
+        a.zip_into(&b, &mut out, |x, y| x - y);
+        assert_eq!(bits(&out), bits(&a.zip_with(&b, |x, y| x - y)));
+
+        let mut out = Matrix::filled(2, 2, f64::NAN);
+        a.transpose_into(&mut out);
+        assert_eq!(bits(&out), bits(&a.transpose()));
+
+        let mut out = Matrix::filled(2, 2, f64::NAN);
+        out.copy_from(&a);
+        assert_eq!(bits(&out), bits(&a));
     }
 }

@@ -1,0 +1,195 @@
+//! Reusable buffer pooling for allocation-free steady-state compute.
+//!
+//! The training hot loop builds and tears down thousands of small-to-
+//! medium matrices per step. A [`BufferPool`] keeps the backing
+//! `Vec<f64>` storage on a length-keyed free list so a steady-state
+//! step performs no heap allocation at all: buffers are taken from the
+//! pool, filled by an `_into` kernel, and eventually given back.
+//!
+//! Pooling is keyed by *length*, not shape — a `2 × 6` buffer can be
+//! reborn as `3 × 4` — because the dense kernels only ever care about
+//! the contiguous row-major storage.
+//!
+//! # Bit-identity
+//!
+//! Pooled buffers never change numeric results: [`BufferPool::take`]
+//! returns a zero-filled matrix exactly like `Matrix::zeros`, and
+//! [`BufferPool::take_raw`] (stale contents) is only sound for kernels
+//! that define every output element before reading it — each `_into`
+//! kernel documents which contract it needs.
+
+use std::collections::HashMap;
+
+use crate::matrix::Matrix;
+
+/// A length-keyed free list of matrix storage buffers.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: HashMap<usize, Vec<Vec<f64>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a raw `len`-element vector. Contents are unspecified
+    /// (stale values from a previous user); length is exactly `len`.
+    pub fn take_vec(&mut self, len: usize) -> Vec<f64> {
+        if let Some(v) = self.free.get_mut(&len).and_then(Vec::pop) {
+            self.hits += 1;
+            debug_assert_eq!(v.len(), len);
+            v
+        } else {
+            self.misses += 1;
+            vec![0.0; len]
+        }
+    }
+
+    /// Returns a vector's storage to the pool.
+    pub fn give_vec(&mut self, v: Vec<f64>) {
+        if !v.is_empty() {
+            self.free.entry(v.len()).or_default().push(v);
+        }
+    }
+
+    /// Takes a `rows × cols` matrix with **unspecified contents**.
+    ///
+    /// Only pass the result to kernels that write every element before
+    /// reading it (`matmul_into`, `map_into`, `copy_from`, …).
+    pub fn take_raw(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.take_vec(rows * cols))
+    }
+
+    /// Takes a zero-filled `rows × cols` matrix, bit-identical to
+    /// `Matrix::zeros(rows, cols)`.
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let mut m = self.take_raw(rows, cols);
+        m.as_mut_slice().fill(0.0);
+        m
+    }
+
+    /// Returns a matrix's storage to the pool.
+    pub fn give(&mut self, m: Matrix) {
+        self.give_vec(m.into_vec());
+    }
+
+    /// Takes a zeroed matrix wrapped in an RAII guard that returns the
+    /// storage to this pool when dropped.
+    pub fn guard(&mut self, rows: usize, cols: usize) -> PoolGuard<'_> {
+        let buf = self.take(rows, cols);
+        PoolGuard { pool: self, buf: Some(buf) }
+    }
+
+    /// Number of `take*` calls served from the free list.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of `take*` calls that had to allocate.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total buffers currently parked on the free list.
+    pub fn parked(&self) -> usize {
+        self.free.values().map(Vec::len).sum()
+    }
+}
+
+/// An RAII handle to a pooled matrix: derefs to [`Matrix`] and returns
+/// the storage to its [`BufferPool`] on drop. Use
+/// [`PoolGuard::detach`] to keep the matrix instead.
+#[derive(Debug)]
+pub struct PoolGuard<'p> {
+    pool: &'p mut BufferPool,
+    buf: Option<Matrix>,
+}
+
+impl PoolGuard<'_> {
+    /// Consumes the guard, keeping the matrix (it will not be returned
+    /// to the pool automatically).
+    pub fn detach(mut self) -> Matrix {
+        self.buf.take().expect("guard buffer present until drop")
+    }
+}
+
+impl std::ops::Deref for PoolGuard<'_> {
+    type Target = Matrix;
+    fn deref(&self) -> &Matrix {
+        self.buf.as_ref().expect("guard buffer present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PoolGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Matrix {
+        self.buf.as_mut().expect("guard buffer present until drop")
+    }
+}
+
+impl Drop for PoolGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(m) = self.buf.take() {
+            self.pool.give(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_roundtrip_reuses_storage() {
+        let mut pool = BufferPool::new();
+        let a = pool.take(2, 3);
+        assert_eq!(a, Matrix::zeros(2, 3));
+        assert_eq!(pool.misses(), 1);
+        pool.give(a);
+        assert_eq!(pool.parked(), 1);
+        // Same length, different shape: storage is reused.
+        let b = pool.take_raw(3, 2);
+        assert_eq!(b.shape(), (3, 2));
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn take_is_zeroed_even_after_reuse() {
+        let mut pool = BufferPool::new();
+        let mut a = pool.take(2, 2);
+        a.as_mut_slice().fill(7.5);
+        pool.give(a);
+        let b = pool.take(2, 2);
+        assert_eq!(b, Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn guard_returns_storage_on_drop() {
+        let mut pool = BufferPool::new();
+        {
+            let mut g = pool.guard(4, 1);
+            g[(0, 0)] = 1.0;
+            assert_eq!(g.shape(), (4, 1));
+        }
+        assert_eq!(pool.parked(), 1);
+    }
+
+    #[test]
+    fn guard_detach_keeps_matrix() {
+        let mut pool = BufferPool::new();
+        let m = pool.guard(1, 3).detach();
+        assert_eq!(m.shape(), (1, 3));
+        assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn empty_vectors_are_not_pooled() {
+        let mut pool = BufferPool::new();
+        pool.give(Matrix::zeros(0, 5));
+        assert_eq!(pool.parked(), 0);
+    }
+}

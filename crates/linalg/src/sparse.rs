@@ -19,6 +19,13 @@ pub struct CsrMatrix {
     values: Vec<f64>,
 }
 
+/// Row-product accumulators up to this width (2 KiB) live on the stack
+/// inside the fused kernels (`axpby`, `clenshaw_step`); wider rows fall
+/// back to a heap buffer. Feature widths in this codebase are bounded
+/// by `groups × channels` (≤ 128 for HIST-8 with 8 groups), so the hot
+/// path never allocates.
+const ACC_STACK_COLS: usize = 256;
+
 impl CsrMatrix {
     /// Builds a CSR matrix from `(row, col, value)` triplets.
     ///
@@ -158,6 +165,156 @@ impl CsrMatrix {
         out
     }
 
+    /// Sparse × dense product into an existing `rows × rhs.cols`
+    /// buffer (fully overwritten; a stale pooled buffer is fine).
+    ///
+    /// Bit-identical to [`CsrMatrix::matmul_dense`]: each output row is
+    /// zeroed, then accumulated in CSR entry order by the exact serial
+    /// loop, with the same work threshold and row partitioning.
+    pub fn matmul_dense_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows(), "matmul shape mismatch");
+        assert_eq!(out.shape(), (self.rows, rhs.cols()), "matmul_dense_into shape mismatch");
+        let cols = rhs.cols();
+        let threads = if self.nnz() * cols.max(1) < crate::parallel::MIN_PARALLEL_WORK {
+            1
+        } else {
+            crate::parallel::current_threads()
+        };
+        crate::parallel::par_rows(out.as_mut_slice(), cols, threads, |start, chunk| {
+            for (r, dst) in chunk.chunks_mut(cols.max(1)).enumerate() {
+                dst.fill(0.0);
+                for (c, v) in self.row_entries(start + r) {
+                    let src = rhs.row(c);
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d += v * s;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Fused sparse product-and-update `y ← α·(A·x) + β·y` in one pass.
+    ///
+    /// Bit-identical to the composition
+    /// `&A.matmul_dense(&x).scale(α) + &y.scale(β)`: the row product is
+    /// accumulated from `0.0` in CSR entry order exactly like
+    /// [`CsrMatrix::matmul_dense`], then each element performs the same
+    /// two roundings (`α·acc`, `+ β·y`) the composition performs.
+    pub fn axpby(&self, alpha: f64, x: &Matrix, beta: f64, y: &mut Matrix) {
+        assert_eq!(self.cols, x.rows(), "axpby shape mismatch");
+        assert_eq!(y.shape(), (self.rows, x.cols()), "axpby output shape mismatch");
+        let cols = x.cols();
+        let threads = if self.nnz() * cols.max(1) < crate::parallel::MIN_PARALLEL_WORK {
+            1
+        } else {
+            crate::parallel::current_threads()
+        };
+        crate::parallel::par_rows(y.as_mut_slice(), cols, threads, |start, chunk| {
+            // Stack accumulator for the common narrow case keeps the
+            // steady-state training step heap-allocation-free.
+            let mut stack = [0.0f64; ACC_STACK_COLS];
+            let mut heap = Vec::new();
+            let acc: &mut [f64] = if cols <= ACC_STACK_COLS {
+                &mut stack[..cols]
+            } else {
+                heap.resize(cols, 0.0);
+                &mut heap
+            };
+            for (r, dst) in chunk.chunks_mut(cols.max(1)).enumerate() {
+                acc.fill(0.0);
+                for (c, v) in self.row_entries(start + r) {
+                    let src = x.row(c);
+                    for (d, &s) in acc.iter_mut().zip(src) {
+                        *d += v * s;
+                    }
+                }
+                for (d, &a) in dst.iter_mut().zip(acc.iter()) {
+                    *d = alpha * a + beta * *d;
+                }
+            }
+        });
+    }
+
+    /// Fused Chebyshev recurrence step `out ← 2·(A·x) − prev` in one
+    /// pass (`A` is the scaled Laplacian `L̃` in the ChebNet use).
+    ///
+    /// Bit-identical to `&A.matmul_dense(&x).scale(2.0) - &prev`: the
+    /// row product accumulates from `0.0` in CSR entry order, then each
+    /// element computes `acc·2.0 − prev` — the exact roundings of the
+    /// three-pass composition, in one pass with zero temporaries.
+    pub fn cheb_step_into(&self, x: &Matrix, prev: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, x.rows(), "cheb_step shape mismatch");
+        assert_eq!(prev.shape(), (self.rows, x.cols()), "cheb_step prev shape mismatch");
+        assert_eq!(out.shape(), (self.rows, x.cols()), "cheb_step output shape mismatch");
+        let cols = x.cols();
+        let threads = if self.nnz() * cols.max(1) < crate::parallel::MIN_PARALLEL_WORK {
+            1
+        } else {
+            crate::parallel::current_threads()
+        };
+        crate::parallel::par_rows(out.as_mut_slice(), cols, threads, |start, chunk| {
+            for (r, dst) in chunk.chunks_mut(cols.max(1)).enumerate() {
+                dst.fill(0.0);
+                for (c, v) in self.row_entries(start + r) {
+                    let src = x.row(c);
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d += v * s;
+                    }
+                }
+                let p_row = prev.row(start + r);
+                for (d, &p) in dst.iter_mut().zip(p_row) {
+                    *d = *d * 2.0 - p;
+                }
+            }
+        });
+    }
+
+    /// Fused Clenshaw adjoint step `c2 ← (b + s·(A·x)) − c2` in place.
+    ///
+    /// One pass of the Clenshaw recurrence used by the Chebyshev
+    /// adjoint: with `s = 2.0` this is `c_k = b_k + 2L̃c_{k+1} − c_{k+2}`
+    /// updating the `c_{k+2}` buffer in place (the caller then swaps
+    /// buffers); `s = 1.0` gives the final combine. Bit-identical to
+    /// `&(&b + &A.matmul_dense(&x).scale(s)) - &c2` — multiplying by
+    /// `1.0` is exact in IEEE 754, so the `s = 1.0` case also matches
+    /// the unscaled composition.
+    pub fn clenshaw_step(&self, b: &Matrix, x: &Matrix, s: f64, c2: &mut Matrix) {
+        assert_eq!(self.cols, x.rows(), "clenshaw shape mismatch");
+        assert_eq!(b.shape(), (self.rows, x.cols()), "clenshaw b shape mismatch");
+        assert_eq!(c2.shape(), b.shape(), "clenshaw c2 shape mismatch");
+        let cols = x.cols();
+        let threads = if self.nnz() * cols.max(1) < crate::parallel::MIN_PARALLEL_WORK {
+            1
+        } else {
+            crate::parallel::current_threads()
+        };
+        crate::parallel::par_rows(c2.as_mut_slice(), cols, threads, |start, chunk| {
+            // Stack accumulator for the common narrow case keeps the
+            // steady-state training step heap-allocation-free.
+            let mut stack = [0.0f64; ACC_STACK_COLS];
+            let mut heap = Vec::new();
+            let acc: &mut [f64] = if cols <= ACC_STACK_COLS {
+                &mut stack[..cols]
+            } else {
+                heap.resize(cols, 0.0);
+                &mut heap
+            };
+            for (r, dst) in chunk.chunks_mut(cols.max(1)).enumerate() {
+                acc.fill(0.0);
+                for (c, v) in self.row_entries(start + r) {
+                    let src = x.row(c);
+                    for (d, &sv) in acc.iter_mut().zip(src) {
+                        *d += v * sv;
+                    }
+                }
+                let b_row = b.row(start + r);
+                for ((d, &a), &bv) in dst.iter_mut().zip(acc.iter()).zip(b_row) {
+                    *d = (bv + s * a) - *d;
+                }
+            }
+        });
+    }
+
     /// Transpose (CSR → CSR of the transposed matrix).
     pub fn transpose(&self) -> CsrMatrix {
         CsrMatrix::from_triplets(self.cols, self.rows, self.iter().map(|(r, c, v)| (c, r, v)))
@@ -272,5 +429,55 @@ mod tests {
     fn row_sums_degree() {
         let m = sample();
         assert_eq!(m.row_sums(), vec![3.0, 3.0]);
+    }
+
+    fn bits(m: &Matrix) -> Vec<u64> {
+        m.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn matmul_dense_into_matches_out_of_place() {
+        let m = sample();
+        let rhs = Matrix::from_rows(&[&[1.5, -2.0], &[0.25, 4.0], &[-5.0, 0.1]]);
+        let mut out = Matrix::filled(2, 2, f64::NAN); // stale buffer
+        m.matmul_dense_into(&rhs, &mut out);
+        assert_eq!(bits(&out), bits(&m.matmul_dense(&rhs)));
+    }
+
+    #[test]
+    fn axpby_matches_composition() {
+        let m = sample();
+        let x = Matrix::from_rows(&[&[0.3, 1.0], &[-0.7, 2.0], &[1.1, -3.0]]);
+        let y0 = Matrix::from_rows(&[&[5.0, -1.0], &[2.5, 0.5]]);
+        let (alpha, beta) = (0.75, -1.25);
+        let expect = &m.matmul_dense(&x).scale(alpha) + &y0.scale(beta);
+        let mut y = y0.clone();
+        m.axpby(alpha, &x, beta, &mut y);
+        assert_eq!(bits(&y), bits(&expect));
+    }
+
+    #[test]
+    fn cheb_step_into_matches_composition() {
+        let m = sample();
+        let x = Matrix::from_rows(&[&[0.3, 1.0], &[-0.7, 2.0], &[1.1, -3.0]]);
+        let prev = Matrix::from_rows(&[&[0.9, -0.2], &[0.0, 7.0]]);
+        let expect = &m.matmul_dense(&x).scale(2.0) - &prev;
+        let mut out = Matrix::filled(2, 2, f64::NAN);
+        m.cheb_step_into(&x, &prev, &mut out);
+        assert_eq!(bits(&out), bits(&expect));
+    }
+
+    #[test]
+    fn clenshaw_step_matches_composition() {
+        let m = sample();
+        let x = Matrix::from_rows(&[&[0.3, 1.0], &[-0.7, 2.0], &[1.1, -3.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let c2_0 = Matrix::from_rows(&[&[0.5, -0.5], &[0.125, 9.0]]);
+        for s in [2.0, 1.0] {
+            let expect = &(&b + &m.matmul_dense(&x).scale(s)) - &c2_0;
+            let mut c2 = c2_0.clone();
+            m.clenshaw_step(&b, &x, s, &mut c2);
+            assert_eq!(bits(&c2), bits(&expect));
+        }
     }
 }

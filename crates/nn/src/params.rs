@@ -153,12 +153,25 @@ impl GradSink for ParamStore {
 pub struct GradBuffer {
     /// Indexed by `ParamId`; `None` means no gradient touched that slot.
     slots: Vec<Option<Matrix>>,
+    /// Matrices recycled by [`GradBuffer::reset`], reused by shape on
+    /// the next accumulation so steady-state batches do not allocate.
+    spare: Vec<Matrix>,
 }
 
 impl GradBuffer {
     /// Creates an empty buffer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empties every slot, keeping the matrices for reuse by the next
+    /// mini-batch.
+    pub fn reset(&mut self) {
+        for slot in &mut self.slots {
+            if let Some(m) = slot.take() {
+                self.spare.push(m);
+            }
+        }
     }
 
     /// True when no gradient has been accumulated.
@@ -193,7 +206,24 @@ impl GradSink for GradBuffer {
                     *dst += src;
                 }
             }
-            slot @ None => *slot = Some(delta.clone()),
+            slot @ None => {
+                // Reuse a retired matrix of the same shape when one is
+                // available. The contents are *copied over* rather than
+                // zeroed-and-added: `0.0 + (−0.0)` is `+0.0`, so an add
+                // from zero would not be bit-identical to a fresh clone.
+                let recycled = self
+                    .spare
+                    .iter()
+                    .position(|m| m.shape() == delta.shape())
+                    .map(|i| self.spare.swap_remove(i));
+                *slot = Some(match recycled {
+                    Some(mut m) => {
+                        m.copy_from(delta);
+                        m
+                    }
+                    None => delta.clone(),
+                });
+            }
         }
     }
 }

@@ -10,7 +10,9 @@
 use std::sync::Arc;
 
 use gcwc_graph::{PolyBasis, PoolingMap};
-use gcwc_linalg::Matrix;
+use gcwc_linalg::{BufferPool, Matrix};
+use rand::rngs::StdRng;
+use rand::Rng;
 
 use crate::params::{ParamId, ParamStore};
 
@@ -108,6 +110,10 @@ pub(crate) enum Op {
         x: NodeId,
     },
     HstackList(Vec<NodeId>),
+    GroupRows {
+        x: NodeId,
+        groups: usize,
+    },
     SelectRow {
         x: NodeId,
         row: usize,
@@ -170,15 +176,93 @@ struct Node {
 }
 
 /// A define-by-run reverse-mode autodiff tape.
+///
+/// All node values and backward cotangents are drawn from an internal
+/// [`BufferPool`]; after [`Tape::reset`] a rebuilt graph of the same
+/// shape performs no heap allocation.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    pool: BufferPool,
+    /// Backward scratch, kept across calls so the slot vector is not
+    /// reallocated per sample.
+    grads: Vec<Option<Matrix>>,
+    /// Recycled `Vec<NodeId>` containers (hstack parts, poly-conv thetas).
+    spare_ids: Vec<Vec<NodeId>>,
+    /// Recycled argmax containers.
+    spare_usize: Vec<Vec<usize>>,
+    /// Recycled `Vec<Matrix>` containers (emptied; the matrices
+    /// themselves live in the pool).
+    spare_mats: Vec<Vec<Matrix>>,
 }
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Clears the graph, parking every node value and op-owned buffer in
+    /// the internal pool so the next sample's graph reuses the storage.
+    pub fn reset(&mut self) {
+        let Tape { nodes, pool, spare_ids, spare_usize, spare_mats, .. } = self;
+        for node in nodes.drain(..) {
+            pool.give(node.value);
+            match node.op {
+                Op::Dropout { mask, .. } => pool.give(mask),
+                Op::PolyConv { mut thetas, mut saved, .. } => {
+                    for m in saved.drain(..) {
+                        pool.give(m);
+                    }
+                    spare_mats.push(saved);
+                    thetas.clear();
+                    spare_ids.push(thetas);
+                }
+                Op::GraphMaxPool { argmax, .. } | Op::MaxPool2d { argmax, .. } => {
+                    spare_usize.push(argmax);
+                }
+                Op::HstackList(mut parts) => {
+                    parts.clear();
+                    spare_ids.push(parts);
+                }
+                Op::KlLossMasked { label, row_mask, .. } => {
+                    pool.give(label);
+                    pool.give_vec(row_mask);
+                }
+                Op::MseMasked { label, mask, .. } => {
+                    pool.give(label);
+                    pool.give(mask);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The internal buffer pool (hit/miss counters for diagnostics).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Mutable access to the buffer pool, for callers that stage their
+    /// own scratch matrices (e.g. input corruption) before recording
+    /// constants.
+    pub fn pool_mut(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
+    /// Borrows a recycled (empty) `NodeId` scratch vector; return it
+    /// with [`Tape::give_id_buf`] so steady-state forward passes that
+    /// collect node ids (filter lists, hstack columns) do not allocate.
+    pub fn take_id_buf(&mut self) -> Vec<NodeId> {
+        self.spare_ids.pop().unwrap_or_default()
+    }
+
+    /// Returns a scratch vector borrowed with [`Tape::take_id_buf`].
+    pub fn give_id_buf(&mut self, mut v: Vec<NodeId>) {
+        // Every vector parked in `spare_ids` is empty — the op builders
+        // that pop one extend it without clearing first.
+        v.clear();
+        self.spare_ids.push(v);
     }
 
     /// Number of recorded nodes.
@@ -209,56 +293,103 @@ impl Tape {
         self.push(value, Op::Const)
     }
 
+    /// Records a constant by copying into a pooled buffer (the
+    /// allocation-free sibling of [`Tape::constant`]).
+    pub fn constant_copied(&mut self, value: &Matrix) -> NodeId {
+        let mut v = self.pool.take_raw(value.rows(), value.cols());
+        v.copy_from(value);
+        self.push(v, Op::Const)
+    }
+
+    /// Records a constant filled with `v`, bit-identical to
+    /// `constant(Matrix::filled(rows, cols, v))` without the allocation.
+    pub fn constant_filled(&mut self, rows: usize, cols: usize, v: f64) -> NodeId {
+        let mut m = self.pool.take_raw(rows, cols);
+        m.as_mut_slice().fill(v);
+        self.push(m, Op::Const)
+    }
+
+    /// Records a `1 × len` constant row copied from a slice,
+    /// bit-identical to `constant(Matrix::row_vector(row))`.
+    pub fn constant_row(&mut self, row: &[f64]) -> NodeId {
+        let mut m = self.pool.take_raw(1, row.len());
+        m.as_mut_slice().copy_from_slice(row);
+        self.push(m, Op::Const)
+    }
+
     /// Records a parameter leaf, copying its current value in.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
-        self.push(store.value(id).clone(), Op::Param(id))
+        let src = store.value(id);
+        let mut v = self.pool.take_raw(src.rows(), src.cols());
+        v.copy_from(src);
+        self.push(v, Op::Param(id))
     }
 
     // ----- arithmetic -----------------------------------------------------
 
     /// Elementwise sum.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a) + self.value(b);
+        let Tape { nodes, pool, .. } = self;
+        let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+        let mut v = pool.take_raw(av.rows(), av.cols());
+        av.zip_into(bv, &mut v, |x, y| x + y);
         self.push(v, Op::Add(a, b))
     }
 
     /// Elementwise difference `a − b`.
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a) - self.value(b);
+        let Tape { nodes, pool, .. } = self;
+        let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+        let mut v = pool.take_raw(av.rows(), av.cols());
+        av.zip_into(bv, &mut v, |x, y| x - y);
         self.push(v, Op::Sub(a, b))
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).hadamard(self.value(b));
+        let Tape { nodes, pool, .. } = self;
+        let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+        let mut v = pool.take_raw(av.rows(), av.cols());
+        av.zip_into(bv, &mut v, |x, y| x * y);
         self.push(v, Op::Mul(a, b))
     }
 
     /// Elementwise quotient `a / (b + eps)`.
     pub fn div_eps(&mut self, a: NodeId, b: NodeId, eps: f64) -> NodeId {
-        let v = self.value(a).zip_with(self.value(b), |x, y| x / (y + eps));
+        let Tape { nodes, pool, .. } = self;
+        let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+        let mut v = pool.take_raw(av.rows(), av.cols());
+        av.zip_into(bv, &mut v, |x, y| x / (y + eps));
         self.push(v, Op::DivEps { a, b, eps })
     }
 
     /// Scalar multiple.
     pub fn scale(&mut self, a: NodeId, s: f64) -> NodeId {
-        let v = self.value(a).scale(s);
+        let Tape { nodes, pool, .. } = self;
+        let av = &nodes[a.0].value;
+        let mut v = pool.take_raw(av.rows(), av.cols());
+        av.map_into(&mut v, |x| x * s);
         self.push(v, Op::Scale(a, s))
     }
 
     /// Matrix product.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).matmul(self.value(b));
+        let Tape { nodes, pool, .. } = self;
+        let (av, bv) = (&nodes[a.0].value, &nodes[b.0].value);
+        let mut v = pool.take_raw(av.rows(), bv.cols());
+        av.matmul_into(bv, &mut v);
         self.push(v, Op::MatMul(a, b))
     }
 
     /// Adds a `1 × c` bias row to every row of an `r × c` matrix.
     pub fn add_row_broadcast(&mut self, x: NodeId, bias: NodeId) -> NodeId {
-        let xv = self.value(x);
-        let bv = self.value(bias);
+        let Tape { nodes, pool, .. } = self;
+        let xv = &nodes[x.0].value;
+        let bv = &nodes[bias.0].value;
         assert_eq!(bv.rows(), 1, "bias must be a row vector");
         assert_eq!(bv.cols(), xv.cols(), "bias width mismatch");
-        let mut v = xv.clone();
+        let mut v = pool.take_raw(xv.rows(), xv.cols());
+        v.copy_from(xv);
         for i in 0..v.rows() {
             for (dst, src) in v.row_mut(i).iter_mut().zip(bv.row(0)) {
                 *dst += src;
@@ -269,40 +400,50 @@ impl Tape {
 
     // ----- activations ----------------------------------------------------
 
+    fn map_pooled(&mut self, x: NodeId, f: impl Fn(f64) -> f64 + Sync) -> Matrix {
+        let Tape { nodes, pool, .. } = self;
+        let xv = &nodes[x.0].value;
+        let mut v = pool.take_raw(xv.rows(), xv.cols());
+        xv.map_into(&mut v, f);
+        v
+    }
+
     /// Elementwise `tanh`.
     pub fn tanh(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x).map(f64::tanh);
+        let v = self.map_pooled(x, f64::tanh);
         self.push(v, Op::Tanh(x))
     }
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x).map(|t| 1.0 / (1.0 + (-t).exp()));
+        let v = self.map_pooled(x, |t| 1.0 / (1.0 + (-t).exp()));
         self.push(v, Op::Sigmoid(x))
     }
 
     /// Elementwise rectifier.
     pub fn relu(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x).map(|t| t.max(0.0));
+        let v = self.map_pooled(x, |t| t.max(0.0));
         self.push(v, Op::Relu(x))
     }
 
     /// Elementwise `ln(x + eps)`.
     pub fn log_eps(&mut self, x: NodeId, eps: f64) -> NodeId {
-        let v = self.value(x).map(|t| (t + eps).ln());
+        let v = self.map_pooled(x, |t| (t + eps).ln());
         self.push(v, Op::LogEps { x, eps })
     }
 
     /// Elementwise power `x^p` (requires `x > 0` when `p` is fractional).
     pub fn pow_scalar(&mut self, x: NodeId, p: f64) -> NodeId {
-        let v = self.value(x).map(|t| t.powf(p));
+        let v = self.map_pooled(x, |t| t.powf(p));
         self.push(v, Op::PowScalar { x, p })
     }
 
     /// Row-wise softmax (numerically stabilised).
     pub fn softmax_rows(&mut self, x: NodeId) -> NodeId {
-        let xv = self.value(x);
-        let mut v = xv.clone();
+        let Tape { nodes, pool, .. } = self;
+        let xv = &nodes[x.0].value;
+        let mut v = pool.take_raw(xv.rows(), xv.cols());
+        v.copy_from(xv);
         for i in 0..v.rows() {
             let row = v.row_mut(i);
             let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -323,8 +464,10 @@ impl Tape {
     /// Used for the Bayesian-inference combination (Eq. 10): inputs are
     /// positive, so the result is a valid distribution per row.
     pub fn normalize_rows(&mut self, x: NodeId, eps: f64) -> NodeId {
-        let xv = self.value(x);
-        let mut v = xv.clone();
+        let Tape { nodes, pool, .. } = self;
+        let xv = &nodes[x.0].value;
+        let mut v = pool.take_raw(xv.rows(), xv.cols());
+        v.copy_from(xv);
         for i in 0..v.rows() {
             let s: f64 = v.row(i).iter().sum::<f64>() + eps;
             for t in v.row_mut(i) {
@@ -338,37 +481,82 @@ impl Tape {
 
     /// Sums all entries into a `1 × 1` node.
     pub fn sum_all(&mut self, x: NodeId) -> NodeId {
-        let v = Matrix::from_vec(1, 1, vec![self.value(x).sum()]);
+        let s = self.value(x).sum();
+        let mut v = self.pool.take_raw(1, 1);
+        v[(0, 0)] = s;
         self.push(v, Op::SumAll(x))
     }
 
     /// Matrix transpose.
     pub fn transpose(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x).transpose();
+        let Tape { nodes, pool, .. } = self;
+        let xv = &nodes[x.0].value;
+        let mut v = pool.take_raw(xv.cols(), xv.rows());
+        xv.transpose_into(&mut v);
         self.push(v, Op::Transpose(x))
     }
 
     /// Reinterprets the row-major data with a new shape.
     pub fn reshape(&mut self, x: NodeId, rows: usize, cols: usize) -> NodeId {
-        let xv = self.value(x);
+        let Tape { nodes, pool, .. } = self;
+        let xv = &nodes[x.0].value;
         assert_eq!(xv.len(), rows * cols, "reshape size mismatch");
-        let v = Matrix::from_vec(rows, cols, xv.as_slice().to_vec());
+        let mut v = pool.take_raw(rows, cols);
+        v.as_mut_slice().copy_from_slice(xv.as_slice());
         self.push(v, Op::Reshape { x })
+    }
+
+    /// Gathers a group-major `n × (groups·c)` matrix into `groups` rows
+    /// of length `n·c`: row `g` is the row-major flattening of the
+    /// `n × c` block of group `g`.
+    ///
+    /// This is a pure permutation — element for element it equals
+    /// `reshape(select_cols(x, g·c, c), 1, n·c)` stacked over `g` — and
+    /// lets all groups share one batched matmul against a decoder
+    /// weight instead of streaming it once per group.
+    pub fn group_rows(&mut self, x: NodeId, groups: usize) -> NodeId {
+        let Tape { nodes, pool, .. } = self;
+        let xv = &nodes[x.0].value;
+        let (n, total) = xv.shape();
+        assert_eq!(total % groups, 0, "columns not divisible by groups");
+        let c = total / groups;
+        let mut v = pool.take_raw(groups, n * c);
+        for g in 0..groups {
+            let dst = v.row_mut(g);
+            for i in 0..n {
+                dst[i * c..(i + 1) * c].copy_from_slice(&xv.row(i)[g * c..(g + 1) * c]);
+            }
+        }
+        self.push(v, Op::GroupRows { x, groups })
     }
 
     /// Concatenates nodes side by side (equal row counts).
     pub fn hstack(&mut self, parts: &[NodeId]) -> NodeId {
         assert!(!parts.is_empty(), "hstack of nothing");
-        let mut v = self.value(parts[0]).clone();
-        for &p in &parts[1..] {
-            v = v.hstack(self.value(p));
+        let Tape { nodes, pool, spare_ids, .. } = self;
+        let rows = nodes[parts[0].0].value.rows();
+        let total: usize = parts.iter().map(|p| nodes[p.0].value.cols()).sum();
+        let mut v = pool.take_raw(rows, total);
+        let mut offset = 0;
+        for &p in parts {
+            let pv = &nodes[p.0].value;
+            assert_eq!(pv.rows(), rows, "hstack row mismatch");
+            for r in 0..rows {
+                v.row_mut(r)[offset..offset + pv.cols()].copy_from_slice(pv.row(r));
+            }
+            offset += pv.cols();
         }
-        self.push(v, Op::HstackList(parts.to_vec()))
+        let mut ids = spare_ids.pop().unwrap_or_default();
+        ids.extend_from_slice(parts);
+        self.push(v, Op::HstackList(ids))
     }
 
     /// Extracts row `row` as a `1 × c` node.
     pub fn select_row(&mut self, x: NodeId, row: usize) -> NodeId {
-        let v = Matrix::row_vector(self.value(x).row(row));
+        let Tape { nodes, pool, .. } = self;
+        let xv = &nodes[x.0].value;
+        let mut v = pool.take_raw(1, xv.cols());
+        v.row_mut(0).copy_from_slice(xv.row(row));
         self.push(v, Op::SelectRow { x, row })
     }
 
@@ -377,9 +565,10 @@ impl Tape {
     /// Used to broadcast a shared per-filter bias across bucket groups.
     pub fn tile_cols(&mut self, x: NodeId, times: usize) -> NodeId {
         assert!(times >= 1, "tile count must be positive");
-        let xv = self.value(x);
+        let Tape { nodes, pool, .. } = self;
+        let xv = &nodes[x.0].value;
         let (r, c) = xv.shape();
-        let mut v = Matrix::zeros(r, c * times);
+        let mut v = pool.take_raw(r, c * times);
         for i in 0..r {
             for t in 0..times {
                 v.row_mut(i)[t * c..(t + 1) * c].copy_from_slice(xv.row(i));
@@ -390,9 +579,10 @@ impl Tape {
 
     /// Extracts the column block `start..start+len` as an `r × len` node.
     pub fn select_cols(&mut self, x: NodeId, start: usize, len: usize) -> NodeId {
-        let xv = self.value(x);
+        let Tape { nodes, pool, .. } = self;
+        let xv = &nodes[x.0].value;
         assert!(start + len <= xv.cols(), "column block out of range");
-        let mut v = Matrix::zeros(xv.rows(), len);
+        let mut v = pool.take_raw(xv.rows(), len);
         for r in 0..xv.rows() {
             v.row_mut(r).copy_from_slice(&xv.row(r)[start..start + len]);
         }
@@ -401,9 +591,34 @@ impl Tape {
 
     /// Inverted dropout with the given keep-mask (entries 0 or
     /// `1/(1−p)`); build the mask with
-    /// [`crate::layers::dropout_mask`].
+    /// [`crate::layers::dropout_mask`], or use [`Tape::dropout_rng`] to
+    /// draw it into a pooled buffer.
     pub fn dropout(&mut self, x: NodeId, mask: Matrix) -> NodeId {
-        let v = self.value(x).hadamard(&mask);
+        let Tape { nodes, pool, .. } = self;
+        let xv = &nodes[x.0].value;
+        let mut v = pool.take_raw(xv.rows(), xv.cols());
+        xv.zip_into(&mask, &mut v, |a, b| a * b);
+        self.push(v, Op::Dropout { x, mask })
+    }
+
+    /// Inverted dropout drawing the keep-mask from `rng` into a pooled
+    /// buffer. Draw order and values are identical to
+    /// [`crate::layers::dropout_mask`] followed by [`Tape::dropout`].
+    pub fn dropout_rng(&mut self, x: NodeId, rng: &mut StdRng, p: f64) -> NodeId {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        let Tape { nodes, pool, .. } = self;
+        let xv = &nodes[x.0].value;
+        let mut mask = pool.take_raw(xv.rows(), xv.cols());
+        if p == 0.0 {
+            mask.as_mut_slice().fill(1.0);
+        } else {
+            let keep = 1.0 / (1.0 - p);
+            for m in mask.as_mut_slice() {
+                *m = if rng.random::<f64>() < p { 0.0 } else { keep };
+            }
+        }
+        let mut v = pool.take_raw(xv.rows(), xv.cols());
+        xv.zip_into(&mask, &mut v, |a, b| a * b);
         self.push(v, Op::Dropout { x, mask })
     }
 
@@ -435,15 +650,17 @@ impl Tape {
     ) -> NodeId {
         assert_eq!(thetas.len(), basis.order(), "theta count must equal basis order");
         assert!(groups >= 1, "need at least one group");
-        let xv = self.value(x);
+        let Tape { nodes, pool, spare_ids, spare_mats, .. } = self;
+        let xv = &nodes[x.0].value;
         assert_eq!(xv.cols() % groups, 0, "columns not divisible by groups");
         let c_in = xv.cols() / groups;
-        let c_out = self.value(thetas[0]).cols();
+        let c_out = nodes[thetas[0].0].value.cols();
         let n = xv.rows();
-        let saved = basis.forward(xv);
-        let mut out = Matrix::zeros(n, groups * c_out);
+        let mut saved = spare_mats.pop().unwrap_or_default();
+        basis.forward_pooled(xv, pool, &mut saved);
+        let mut out = pool.take(n, groups * c_out);
         for (tx, &th) in saved.iter().zip(thetas) {
-            let thv = &self.nodes[th.0].value;
+            let thv = &nodes[th.0].value;
             assert_eq!(thv.rows(), c_in, "theta input-channel mismatch");
             for g in 0..groups {
                 // out[:, g·c_out ..] += tx[:, g·c_in ..] · θ_k
@@ -461,12 +678,21 @@ impl Tape {
                 }
             }
         }
-        self.push(out, Op::PolyConv { x, thetas: thetas.to_vec(), basis, saved, groups })
+        let mut ids = spare_ids.pop().unwrap_or_default();
+        ids.extend_from_slice(thetas);
+        self.push(out, Op::PolyConv { x, thetas: ids, basis, saved, groups })
     }
 
     /// Graph max pooling over precomputed clusters.
     pub fn graph_max_pool(&mut self, x: NodeId, map: Arc<PoolingMap>) -> NodeId {
-        let (v, argmax) = map.max_forward(self.value(x));
+        let Tape { nodes, pool, spare_usize, .. } = self;
+        let xv = &nodes[x.0].value;
+        let c = xv.cols();
+        let mut v = pool.take_raw(map.num_outputs(), c);
+        let mut argmax = spare_usize.pop().unwrap_or_default();
+        argmax.clear();
+        argmax.resize(map.num_outputs() * c, 0);
+        map.max_forward_into(xv, &mut v, &mut argmax);
         self.push(v, Op::GraphMaxPool { x, map, argmax })
     }
 
@@ -478,13 +704,28 @@ impl Tape {
     /// `out_ch × (in_ch·kh·kw)`; `bias` is `1 × out_ch`. Output is
     /// `(batch·out_ch) × (h·w)`.
     pub fn conv2d(&mut self, x: NodeId, kernel: NodeId, bias: NodeId, spec: ConvSpec) -> NodeId {
-        let v = conv2d_forward(self.value(x), self.value(kernel), self.value(bias), &spec);
+        let Tape { nodes, pool, .. } = self;
+        let mut v = pool.take_raw(spec.batch * spec.out_ch, spec.h * spec.w);
+        conv2d_forward_into(
+            &nodes[x.0].value,
+            &nodes[kernel.0].value,
+            &nodes[bias.0].value,
+            &spec,
+            &mut v,
+        );
         self.push(v, Op::Conv2d { x, kernel, bias, spec })
     }
 
     /// Batched 2-D max pooling with stride = window (floor semantics).
     pub fn max_pool2d(&mut self, x: NodeId, spec: PoolSpec) -> NodeId {
-        let (v, argmax) = maxpool2d_forward(self.value(x), &spec);
+        let Tape { nodes, pool, spare_usize, .. } = self;
+        let (ho, wo) = (spec.out_h(), spec.out_w());
+        assert!(ho > 0 && wo > 0, "pool window larger than input");
+        let mut v = pool.take_raw(spec.batch * spec.ch, ho * wo);
+        let mut argmax = spare_usize.pop().unwrap_or_default();
+        argmax.clear();
+        argmax.resize(spec.batch * spec.ch * ho * wo, 0);
+        maxpool2d_forward_into(&nodes[x.0].value, &spec, &mut v, &mut argmax);
         self.push(v, Op::MaxPool2d { x, spec, argmax })
     }
 
@@ -493,11 +734,12 @@ impl Tape {
     /// row-major flattening of `p · Z[b,·]` (the CP-CNN input maps,
     /// paper §V-B3).
     pub fn batch_outer(&mut self, col: NodeId, rows: NodeId) -> NodeId {
-        let p = self.value(col);
-        let z = self.value(rows);
+        let Tape { nodes, pool, .. } = self;
+        let p = &nodes[col.0].value;
+        let z = &nodes[rows.0].value;
         assert_eq!(p.cols(), 1, "first operand must be a column vector");
         let (beta, n, m) = (p.rows(), z.rows(), z.cols());
-        let mut v = Matrix::zeros(n, beta * m);
+        let mut v = pool.take_raw(n, beta * m);
         for b in 0..n {
             for k in 0..beta {
                 for j in 0..m {
@@ -527,7 +769,8 @@ impl Tape {
         row_mask: Vec<f64>,
         eps: f64,
     ) -> NodeId {
-        let p = self.value(pred);
+        let Tape { nodes, pool, .. } = self;
+        let p = &nodes[pred.0].value;
         assert_eq!(p.shape(), label.shape(), "label shape mismatch");
         assert_eq!(row_mask.len(), p.rows(), "mask length mismatch");
         let mut loss = 0.0;
@@ -539,14 +782,33 @@ impl Tape {
                 loss += row_mask[i] * w * ((w + eps) / (w_hat + eps)).ln();
             }
         }
-        let v = Matrix::from_vec(1, 1, vec![loss]);
+        let mut v = pool.take_raw(1, 1);
+        v[(0, 0)] = loss;
         self.push(v, Op::KlLossMasked { pred, label, row_mask, eps })
+    }
+
+    /// [`Tape::kl_loss_masked`] copying the label and mask into pooled
+    /// buffers instead of taking ownership (allocation-free in steady
+    /// state).
+    pub fn kl_loss_masked_ref(
+        &mut self,
+        pred: NodeId,
+        label: &Matrix,
+        row_mask: &[f64],
+        eps: f64,
+    ) -> NodeId {
+        let mut l = self.pool.take_raw(label.rows(), label.cols());
+        l.copy_from(label);
+        let mut rm = self.pool.take_vec(row_mask.len());
+        rm.copy_from_slice(row_mask);
+        self.kl_loss_masked(pred, l, rm, eps)
     }
 
     /// Masked mean squared error:
     /// `L = Σ_ij mask_ij (pred_ij − label_ij)² / max(1, Σ mask)`.
     pub fn mse_masked(&mut self, pred: NodeId, label: Matrix, mask: Matrix) -> NodeId {
-        let p = self.value(pred);
+        let Tape { nodes, pool, .. } = self;
+        let p = &nodes[pred.0].value;
         assert_eq!(p.shape(), label.shape(), "label shape mismatch");
         assert_eq!(p.shape(), mask.shape(), "mask shape mismatch");
         let count: f64 = mask.sum().max(1.0);
@@ -554,8 +816,30 @@ impl Tape {
         for ((&pv, &lv), &mv) in p.as_slice().iter().zip(label.as_slice()).zip(mask.as_slice()) {
             loss += mv * (pv - lv) * (pv - lv);
         }
-        let v = Matrix::from_vec(1, 1, vec![loss / count]);
+        let mut v = pool.take_raw(1, 1);
+        v[(0, 0)] = loss / count;
         self.push(v, Op::MseMasked { pred, label, mask })
+    }
+
+    /// [`Tape::mse_masked`] for a column prediction masked per row:
+    /// the mask slice becomes the `len × 1` mask matrix, bit-identical
+    /// to `mse_masked(pred, label, Matrix::from_vec(len, 1, row_mask))`.
+    pub fn mse_masked_rows(&mut self, pred: NodeId, label: &Matrix, row_mask: &[f64]) -> NodeId {
+        let mut l = self.pool.take_raw(label.rows(), label.cols());
+        l.copy_from(label);
+        let mut m = self.pool.take_raw(row_mask.len(), 1);
+        m.as_mut_slice().copy_from_slice(row_mask);
+        self.mse_masked(pred, l, m)
+    }
+
+    /// [`Tape::mse_masked`] copying the label and mask into pooled
+    /// buffers instead of taking ownership.
+    pub fn mse_masked_ref(&mut self, pred: NodeId, label: &Matrix, mask: &Matrix) -> NodeId {
+        let mut l = self.pool.take_raw(label.rows(), label.cols());
+        l.copy_from(label);
+        let mut m = self.pool.take_raw(mask.rows(), mask.cols());
+        m.copy_from(mask);
+        self.mse_masked(pred, l, m)
     }
 
     // ----- backward ---------------------------------------------------------
@@ -570,186 +854,238 @@ impl Tape {
     pub fn backward(&mut self, loss: NodeId, sink: &mut impl crate::params::GradSink) {
         assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
         let n = self.nodes.len();
-        let mut grads: Vec<Option<Matrix>> = (0..n).map(|_| None).collect();
-        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        let mut grads = std::mem::take(&mut self.grads);
+        grads.clear();
+        grads.resize_with(n, || None);
+        let mut seed = self.pool.take_raw(1, 1);
+        seed[(0, 0)] = 1.0;
+        grads[loss.0] = Some(seed);
 
         for i in (0..n).rev() {
-            let Some(g) = grads[i].take() else { continue };
-            // Split borrows: the node being differentiated vs the grads
-            // vec we accumulate into.
-            let node = &self.nodes[i];
+            let Some(mut g) = grads[i].take() else { continue };
+            // Split borrows: the nodes being read vs the pool and spare
+            // containers being mutated.
+            let Tape { nodes, pool, spare_mats, .. } = self;
+            let node = &nodes[i];
             match &node.op {
-                Op::Const => {}
-                Op::Param(pid) => sink.accumulate_grad(*pid, &g),
+                Op::Const => pool.give(g),
+                Op::Param(pid) => {
+                    sink.accumulate_grad(*pid, &g);
+                    pool.give(g);
+                }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *b, g);
+                    accumulate_ref(pool, &mut grads, *a, &g);
+                    accumulate_owned(pool, &mut grads, *b, g);
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *b, g.scale(-1.0));
+                    accumulate_ref(pool, &mut grads, *a, &g);
+                    g.scale_assign(-1.0);
+                    accumulate_owned(pool, &mut grads, *b, g);
                 }
                 Op::Mul(a, b) => {
-                    let ga = g.hadamard(&self.nodes[b.0].value);
-                    let gb = g.hadamard(&self.nodes[a.0].value);
-                    accumulate(&mut grads, *a, ga);
-                    accumulate(&mut grads, *b, gb);
+                    let av = &nodes[a.0].value;
+                    let bv = &nodes[b.0].value;
+                    let mut ga = pool.take_raw(g.rows(), g.cols());
+                    g.zip_into(bv, &mut ga, |x, y| x * y);
+                    g.zip_assign(av, |x, y| x * y);
+                    accumulate_owned(pool, &mut grads, *a, ga);
+                    accumulate_owned(pool, &mut grads, *b, g);
                 }
                 Op::DivEps { a, b, eps } => {
-                    let av = &self.nodes[a.0].value;
-                    let bv = &self.nodes[b.0].value;
-                    let ga = g.zip_with(bv, |gv, y| gv / (y + eps));
-                    let gb = Matrix::from_fn(g.rows(), g.cols(), |r, c| {
-                        let d = bv[(r, c)] + eps;
-                        -g[(r, c)] * av[(r, c)] / (d * d)
-                    });
-                    accumulate(&mut grads, *a, ga);
-                    accumulate(&mut grads, *b, gb);
+                    let eps = *eps;
+                    let av = &nodes[a.0].value;
+                    let bv = &nodes[b.0].value;
+                    let mut ga = pool.take_raw(g.rows(), g.cols());
+                    g.zip_into(bv, &mut ga, |gv, y| gv / (y + eps));
+                    let mut gb = pool.take_raw(g.rows(), g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            let d = bv[(r, c)] + eps;
+                            gb[(r, c)] = -g[(r, c)] * av[(r, c)] / (d * d);
+                        }
+                    }
+                    accumulate_owned(pool, &mut grads, *a, ga);
+                    accumulate_owned(pool, &mut grads, *b, gb);
+                    pool.give(g);
                 }
-                Op::Scale(a, s) => accumulate(&mut grads, *a, g.scale(*s)),
+                Op::Scale(a, s) => {
+                    g.scale_assign(*s);
+                    accumulate_owned(pool, &mut grads, *a, g);
+                }
                 Op::MatMul(a, b) => {
-                    let av = &self.nodes[a.0].value;
-                    let bv = &self.nodes[b.0].value;
-                    let ga = g.matmul(&bv.transpose());
-                    let gb = av.transpose().matmul(&g);
-                    accumulate(&mut grads, *a, ga);
-                    accumulate(&mut grads, *b, gb);
+                    // dA = G·Bᵀ, dB = Aᵀ·G, via the fused transposed
+                    // kernels — no transpose temporaries.
+                    let av = &nodes[a.0].value;
+                    let bv = &nodes[b.0].value;
+                    let mut ga = pool.take_raw(av.rows(), av.cols());
+                    g.matmul_nt_into(bv, &mut ga);
+                    let mut gb = pool.take_raw(bv.rows(), bv.cols());
+                    av.matmul_tn_into(&g, &mut gb);
+                    accumulate_owned(pool, &mut grads, *a, ga);
+                    accumulate_owned(pool, &mut grads, *b, gb);
+                    pool.give(g);
                 }
                 Op::AddRowBroadcast { x, bias } => {
-                    let mut gb = Matrix::zeros(1, g.cols());
+                    let mut gb = pool.take(1, g.cols());
                     for r in 0..g.rows() {
                         for (dst, src) in gb.row_mut(0).iter_mut().zip(g.row(r)) {
                             *dst += src;
                         }
                     }
-                    accumulate(&mut grads, *x, g);
-                    accumulate(&mut grads, *bias, gb);
+                    accumulate_owned(pool, &mut grads, *x, g);
+                    accumulate_owned(pool, &mut grads, *bias, gb);
                 }
                 Op::Tanh(x) => {
-                    let gx = g.zip_with(&node.value, |gv, y| gv * (1.0 - y * y));
-                    accumulate(&mut grads, *x, gx);
+                    g.zip_assign(&node.value, |gv, y| gv * (1.0 - y * y));
+                    accumulate_owned(pool, &mut grads, *x, g);
                 }
                 Op::Sigmoid(x) => {
-                    let gx = g.zip_with(&node.value, |gv, y| gv * y * (1.0 - y));
-                    accumulate(&mut grads, *x, gx);
+                    g.zip_assign(&node.value, |gv, y| gv * y * (1.0 - y));
+                    accumulate_owned(pool, &mut grads, *x, g);
                 }
                 Op::Relu(x) => {
-                    let gx = g.zip_with(&node.value, |gv, y| if y > 0.0 { gv } else { 0.0 });
-                    accumulate(&mut grads, *x, gx);
+                    g.zip_assign(&node.value, |gv, y| if y > 0.0 { gv } else { 0.0 });
+                    accumulate_owned(pool, &mut grads, *x, g);
                 }
                 Op::LogEps { x, eps } => {
-                    let xv = &self.nodes[x.0].value;
-                    let gx = g.zip_with(xv, |gv, t| gv / (t + eps));
-                    accumulate(&mut grads, *x, gx);
+                    let eps = *eps;
+                    g.zip_assign(&nodes[x.0].value, |gv, t| gv / (t + eps));
+                    accumulate_owned(pool, &mut grads, *x, g);
                 }
                 Op::PowScalar { x, p } => {
-                    let xv = &self.nodes[x.0].value;
-                    let gx = g.zip_with(xv, |gv, t| gv * p * t.powf(p - 1.0));
-                    accumulate(&mut grads, *x, gx);
+                    let p = *p;
+                    g.zip_assign(&nodes[x.0].value, |gv, t| gv * p * t.powf(p - 1.0));
+                    accumulate_owned(pool, &mut grads, *x, g);
                 }
                 Op::SoftmaxRows(x) => {
+                    // In place on `g`: the row dot is read out before any
+                    // element of the row is overwritten.
                     let y = &node.value;
-                    let mut gx = Matrix::zeros(g.rows(), g.cols());
                     for r in 0..g.rows() {
                         let dot: f64 = g.row(r).iter().zip(y.row(r)).map(|(a, b)| a * b).sum();
                         for c in 0..g.cols() {
-                            gx[(r, c)] = y[(r, c)] * (g[(r, c)] - dot);
+                            g[(r, c)] = y[(r, c)] * (g[(r, c)] - dot);
                         }
                     }
-                    accumulate(&mut grads, *x, gx);
+                    accumulate_owned(pool, &mut grads, *x, g);
                 }
                 Op::NormalizeRows { x, eps } => {
-                    let xv = &self.nodes[x.0].value;
+                    let xv = &nodes[x.0].value;
                     let y = &node.value;
-                    let mut gx = Matrix::zeros(g.rows(), g.cols());
                     for r in 0..g.rows() {
                         let s: f64 = xv.row(r).iter().sum::<f64>() + eps;
                         let dot: f64 = g.row(r).iter().zip(y.row(r)).map(|(a, b)| a * b).sum();
                         for c in 0..g.cols() {
-                            gx[(r, c)] = (g[(r, c)] - dot) / s;
+                            g[(r, c)] = (g[(r, c)] - dot) / s;
                         }
                     }
-                    accumulate(&mut grads, *x, gx);
+                    accumulate_owned(pool, &mut grads, *x, g);
                 }
                 Op::SumAll(x) => {
                     let s = g[(0, 0)];
-                    let xv = &self.nodes[x.0].value;
-                    accumulate(&mut grads, *x, Matrix::filled(xv.rows(), xv.cols(), s));
+                    let xv = &nodes[x.0].value;
+                    let mut gx = pool.take_raw(xv.rows(), xv.cols());
+                    gx.as_mut_slice().fill(s);
+                    accumulate_owned(pool, &mut grads, *x, gx);
+                    pool.give(g);
                 }
                 Op::Transpose(x) => {
-                    accumulate(&mut grads, *x, g.transpose());
+                    let mut gx = pool.take_raw(g.cols(), g.rows());
+                    g.transpose_into(&mut gx);
+                    accumulate_owned(pool, &mut grads, *x, gx);
+                    pool.give(g);
                 }
                 Op::Reshape { x } => {
-                    let xv = &self.nodes[x.0].value;
-                    let gx = Matrix::from_vec(xv.rows(), xv.cols(), g.as_slice().to_vec());
-                    accumulate(&mut grads, *x, gx);
+                    let xv = &nodes[x.0].value;
+                    let mut gx = pool.take_raw(xv.rows(), xv.cols());
+                    gx.as_mut_slice().copy_from_slice(g.as_slice());
+                    accumulate_owned(pool, &mut grads, *x, gx);
+                    pool.give(g);
+                }
+                Op::GroupRows { x, groups } => {
+                    // Inverse permutation: scatter row `g` back into the
+                    // `n × c` column block of group `g`.
+                    let xv = &nodes[x.0].value;
+                    let (n, total) = xv.shape();
+                    let c = total / groups;
+                    let mut gx = pool.take_raw(n, total);
+                    for gi in 0..*groups {
+                        let src = g.row(gi);
+                        for i in 0..n {
+                            gx.row_mut(i)[gi * c..(gi + 1) * c]
+                                .copy_from_slice(&src[i * c..(i + 1) * c]);
+                        }
+                    }
+                    accumulate_owned(pool, &mut grads, *x, gx);
+                    pool.give(g);
                 }
                 Op::HstackList(parts) => {
                     let mut offset = 0;
-                    let part_shapes: Vec<(usize, usize)> =
-                        parts.iter().map(|p| self.nodes[p.0].value.shape()).collect();
-                    let parts = parts.clone();
-                    for (&p, (rows, cols)) in parts.iter().zip(part_shapes) {
-                        let mut gp = Matrix::zeros(rows, cols);
+                    for &p in parts {
+                        let (rows, cols) = nodes[p.0].value.shape();
+                        let mut gp = pool.take_raw(rows, cols);
                         for r in 0..rows {
                             gp.row_mut(r).copy_from_slice(&g.row(r)[offset..offset + cols]);
                         }
                         offset += cols;
-                        accumulate(&mut grads, p, gp);
+                        accumulate_owned(pool, &mut grads, p, gp);
                     }
+                    pool.give(g);
                 }
                 Op::TileCols { x, times } => {
-                    let xv = &self.nodes[x.0].value;
-                    let (r, c) = xv.shape();
-                    let mut gx = Matrix::zeros(r, c);
-                    for i in 0..r {
+                    let xv = &nodes[x.0].value;
+                    let (r2, c) = xv.shape();
+                    let mut gx = pool.take(r2, c);
+                    for i2 in 0..r2 {
                         for t in 0..*times {
                             for (dst, &src) in
-                                gx.row_mut(i).iter_mut().zip(&g.row(i)[t * c..(t + 1) * c])
+                                gx.row_mut(i2).iter_mut().zip(&g.row(i2)[t * c..(t + 1) * c])
                             {
                                 *dst += src;
                             }
                         }
                     }
-                    accumulate(&mut grads, *x, gx);
+                    accumulate_owned(pool, &mut grads, *x, gx);
+                    pool.give(g);
                 }
                 Op::SelectCols { x, start } => {
-                    let xv = &self.nodes[x.0].value;
-                    let mut gx = Matrix::zeros(xv.rows(), xv.cols());
+                    let xv = &nodes[x.0].value;
+                    let mut gx = pool.take(xv.rows(), xv.cols());
                     for r in 0..g.rows() {
                         gx.row_mut(r)[*start..*start + g.cols()].copy_from_slice(g.row(r));
                     }
-                    accumulate(&mut grads, *x, gx);
+                    accumulate_owned(pool, &mut grads, *x, gx);
+                    pool.give(g);
                 }
                 Op::SelectRow { x, row } => {
-                    let xv = &self.nodes[x.0].value;
-                    let mut gx = Matrix::zeros(xv.rows(), xv.cols());
+                    let xv = &nodes[x.0].value;
+                    let mut gx = pool.take(xv.rows(), xv.cols());
                     gx.row_mut(*row).copy_from_slice(g.row(0));
-                    accumulate(&mut grads, *x, gx);
+                    accumulate_owned(pool, &mut grads, *x, gx);
+                    pool.give(g);
                 }
                 Op::Dropout { x, mask } => {
-                    let gx = g.hadamard(mask);
-                    accumulate(&mut grads, *x, gx);
+                    g.zip_assign(mask, |gv, m| gv * m);
+                    accumulate_owned(pool, &mut grads, *x, g);
                 }
                 Op::PolyConv { x, thetas, basis, saved, groups } => {
                     // Per tap k (summing over groups g):
                     //   dθ_k = Σ_g (M_k x)_gᵀ G_g
                     //   B_k|_g = G_g θ_kᵀ,  dx = Σ_k M_kᵀ B_k.
                     let groups = *groups;
-                    let thetas = thetas.clone();
                     let n = g.rows();
                     let c_out = g.cols() / groups;
-                    let xv_cols = self.nodes[x.0].value.cols();
+                    let xv_cols = nodes[x.0].value.cols();
                     let c_in = xv_cols / groups;
-                    let mut cotangents = Vec::with_capacity(thetas.len());
-                    for (tx, &th) in saved.iter().zip(&thetas) {
-                        let thv = &self.nodes[th.0].value;
-                        let mut gth = Matrix::zeros(c_in, c_out);
-                        let mut b_k = Matrix::zeros(n, xv_cols);
+                    let mut cotangents = spare_mats.pop().unwrap_or_default();
+                    for (tx, &th) in saved.iter().zip(thetas) {
+                        let thv = &nodes[th.0].value;
+                        let mut gth = pool.take(c_in, c_out);
+                        let mut b_k = pool.take(n, xv_cols);
                         for gi in 0..groups {
-                            for i in 0..n {
-                                let g_row = &g.row(i)[gi * c_out..(gi + 1) * c_out];
-                                let tx_row = &tx.row(i)[gi * c_in..(gi + 1) * c_in];
+                            for i2 in 0..n {
+                                let g_row = &g.row(i2)[gi * c_out..(gi + 1) * c_out];
+                                let tx_row = &tx.row(i2)[gi * c_in..(gi + 1) * c_in];
                                 for (ci, &a) in tx_row.iter().enumerate() {
                                     if a != 0.0 {
                                         for (dst, &gv) in gth.row_mut(ci).iter_mut().zip(g_row) {
@@ -757,7 +1093,7 @@ impl Tape {
                                         }
                                     }
                                 }
-                                let b_row = &mut b_k.row_mut(i)[gi * c_in..(gi + 1) * c_in];
+                                let b_row = &mut b_k.row_mut(i2)[gi * c_in..(gi + 1) * c_in];
                                 for (ci, dst) in b_row.iter_mut().enumerate() {
                                     *dst += g_row
                                         .iter()
@@ -768,34 +1104,47 @@ impl Tape {
                             }
                         }
                         cotangents.push(b_k);
-                        accumulate(&mut grads, th, gth);
+                        accumulate_owned(pool, &mut grads, th, gth);
                     }
-                    let gx = basis.adjoint_combine(&cotangents);
-                    accumulate(&mut grads, *x, gx);
+                    let gx = basis.adjoint_combine_pooled(&cotangents, pool);
+                    accumulate_owned(pool, &mut grads, *x, gx);
+                    for m in cotangents.drain(..) {
+                        pool.give(m);
+                    }
+                    spare_mats.push(cotangents);
+                    pool.give(g);
                 }
                 Op::GraphMaxPool { x, map, argmax } => {
-                    let gx = map.max_backward(&g, argmax);
-                    accumulate(&mut grads, *x, gx);
+                    let mut gx = pool.take(map.num_inputs(), g.cols());
+                    map.max_backward_into(&g, argmax, &mut gx);
+                    accumulate_owned(pool, &mut grads, *x, gx);
+                    pool.give(g);
                 }
                 Op::Conv2d { x, kernel, bias, spec } => {
-                    let xv = &self.nodes[x.0].value;
-                    let kv = &self.nodes[kernel.0].value;
-                    let (gx, gk, gb) = conv2d_backward(xv, kv, &g, spec);
-                    accumulate(&mut grads, *x, gx);
-                    accumulate(&mut grads, *kernel, gk);
-                    accumulate(&mut grads, *bias, gb);
+                    let xv = &nodes[x.0].value;
+                    let kv = &nodes[kernel.0].value;
+                    let mut gx = pool.take(spec.batch * spec.in_ch, spec.h * spec.w);
+                    let mut gk = pool.take(spec.out_ch, spec.in_ch * spec.kh * spec.kw);
+                    let mut gb = pool.take(1, spec.out_ch);
+                    conv2d_backward_into(xv, kv, &g, spec, &mut gx, &mut gk, &mut gb);
+                    accumulate_owned(pool, &mut grads, *x, gx);
+                    accumulate_owned(pool, &mut grads, *kernel, gk);
+                    accumulate_owned(pool, &mut grads, *bias, gb);
+                    pool.give(g);
                 }
                 Op::MaxPool2d { x, spec, argmax } => {
-                    let gx = maxpool2d_backward(&g, spec, argmax);
-                    accumulate(&mut grads, *x, gx);
+                    let mut gx = pool.take(spec.batch * spec.ch, spec.h * spec.w);
+                    maxpool2d_backward_into(&g, spec, argmax, &mut gx);
+                    accumulate_owned(pool, &mut grads, *x, gx);
+                    pool.give(g);
                 }
                 Op::BatchOuter { col, rows } => {
-                    let p = &self.nodes[col.0].value;
-                    let z = &self.nodes[rows.0].value;
-                    let (beta, n, m) = (p.rows(), z.rows(), z.cols());
-                    let mut gp = Matrix::zeros(beta, 1);
-                    let mut gz = Matrix::zeros(n, m);
-                    for b in 0..n {
+                    let p = &nodes[col.0].value;
+                    let z = &nodes[rows.0].value;
+                    let (beta, n2, m) = (p.rows(), z.rows(), z.cols());
+                    let mut gp = pool.take(beta, 1);
+                    let mut gz = pool.take(n2, m);
+                    for b in 0..n2 {
                         for k in 0..beta {
                             for j in 0..m {
                                 let gv = g[(b, k * m + j)];
@@ -804,14 +1153,16 @@ impl Tape {
                             }
                         }
                     }
-                    accumulate(&mut grads, *col, gp);
-                    accumulate(&mut grads, *rows, gz);
+                    accumulate_owned(pool, &mut grads, *col, gp);
+                    accumulate_owned(pool, &mut grads, *rows, gz);
+                    pool.give(g);
                 }
                 Op::KlLossMasked { pred, label, row_mask, eps } => {
                     // d/dŵ [w · ln((w+ε)/(ŵ+ε))] = −w/(ŵ+ε).
-                    let pv = &self.nodes[pred.0].value;
+                    let eps = *eps;
+                    let pv = &nodes[pred.0].value;
                     let go = g[(0, 0)];
-                    let mut gp = Matrix::zeros(pv.rows(), pv.cols());
+                    let mut gp = pool.take(pv.rows(), pv.cols());
                     for r in 0..pv.rows() {
                         if row_mask[r] == 0.0 {
                             continue;
@@ -822,44 +1173,84 @@ impl Tape {
                             gp[(r, c)] = -go * row_mask[r] * w / (w_hat + eps);
                         }
                     }
-                    accumulate(&mut grads, *pred, gp);
+                    accumulate_owned(pool, &mut grads, *pred, gp);
+                    pool.give(g);
                 }
                 Op::MseMasked { pred, label, mask } => {
-                    let pv = &self.nodes[pred.0].value;
+                    let pv = &nodes[pred.0].value;
                     let go = g[(0, 0)];
                     let count: f64 = mask.sum().max(1.0);
-                    let gp = Matrix::from_fn(pv.rows(), pv.cols(), |r, c| {
-                        go * 2.0 * mask[(r, c)] * (pv[(r, c)] - label[(r, c)]) / count
-                    });
-                    accumulate(&mut grads, *pred, gp);
+                    let mut gp = pool.take_raw(pv.rows(), pv.cols());
+                    for r in 0..pv.rows() {
+                        for c in 0..pv.cols() {
+                            gp[(r, c)] =
+                                go * 2.0 * mask[(r, c)] * (pv[(r, c)] - label[(r, c)]) / count;
+                        }
+                    }
+                    accumulate_owned(pool, &mut grads, *pred, gp);
+                    pool.give(g);
                 }
             }
         }
+        // All slots were drained above; keep the (now empty) vector so the
+        // next backward pass does not reallocate it.
+        self.grads = grads;
     }
 }
 
-fn accumulate(grads: &mut [Option<Matrix>], id: NodeId, delta: Matrix) {
+/// Folds an owned cotangent into the gradient slot for `id`, parking the
+/// delta's storage in the pool when the slot already exists.
+fn accumulate_owned(
+    pool: &mut BufferPool,
+    grads: &mut [Option<Matrix>],
+    id: NodeId,
+    delta: Matrix,
+) {
     match &mut grads[id.0] {
         Some(existing) => {
             assert_eq!(existing.shape(), delta.shape(), "gradient shape mismatch");
-            for (dst, src) in existing.as_mut_slice().iter_mut().zip(delta.as_slice()) {
-                *dst += src;
-            }
+            existing.add_assign(&delta);
+            pool.give(delta);
         }
         slot @ None => *slot = Some(delta),
     }
 }
 
+/// Folds a borrowed cotangent into the gradient slot for `id` without
+/// cloning: existing slots take an in-place add, empty slots receive a
+/// pooled copy.
+fn accumulate_ref(pool: &mut BufferPool, grads: &mut [Option<Matrix>], id: NodeId, delta: &Matrix) {
+    match &mut grads[id.0] {
+        Some(existing) => {
+            assert_eq!(existing.shape(), delta.shape(), "gradient shape mismatch");
+            existing.add_assign(delta);
+        }
+        slot @ None => {
+            let mut m = pool.take_raw(delta.rows(), delta.cols());
+            m.copy_from(delta);
+            *slot = Some(m);
+        }
+    }
+}
+
 // ----- dense conv kernels ----------------------------------------------------
 
-fn conv2d_forward(x: &Matrix, kernel: &Matrix, bias: &Matrix, spec: &ConvSpec) -> Matrix {
+/// Writes the convolution into `out` (`(batch·out_ch) × (h·w)`, fully
+/// overwritten).
+fn conv2d_forward_into(
+    x: &Matrix,
+    kernel: &Matrix,
+    bias: &Matrix,
+    spec: &ConvSpec,
+    out: &mut Matrix,
+) {
     let ConvSpec { batch, in_ch, out_ch, h, w, kh, kw } = *spec;
     assert_eq!(x.rows(), batch * in_ch, "conv input row mismatch");
     assert_eq!(x.cols(), h * w, "conv input col mismatch");
     assert_eq!(kernel.shape(), (out_ch, in_ch * kh * kw), "kernel shape mismatch");
     assert_eq!(bias.shape(), (1, out_ch), "bias shape mismatch");
+    assert_eq!(out.shape(), (batch * out_ch, h * w), "conv output shape mismatch");
     let (ph0, pw0) = ((kh - 1) / 2, (kw - 1) / 2);
-    let mut out = Matrix::zeros(batch * out_ch, h * w);
     for b in 0..batch {
         for oc in 0..out_ch {
             let orow = b * out_ch + oc;
@@ -889,20 +1280,23 @@ fn conv2d_forward(x: &Matrix, kernel: &Matrix, bias: &Matrix, spec: &ConvSpec) -
             }
         }
     }
-    out
 }
 
-fn conv2d_backward(
+/// Accumulates conv gradients into caller-provided **zeroed** buffers.
+fn conv2d_backward_into(
     x: &Matrix,
     kernel: &Matrix,
     g: &Matrix,
     spec: &ConvSpec,
-) -> (Matrix, Matrix, Matrix) {
+    gx: &mut Matrix,
+    gk: &mut Matrix,
+    gb: &mut Matrix,
+) {
     let ConvSpec { batch, in_ch, out_ch, h, w, kh, kw } = *spec;
     let (ph0, pw0) = ((kh - 1) / 2, (kw - 1) / 2);
-    let mut gx = Matrix::zeros(batch * in_ch, h * w);
-    let mut gk = Matrix::zeros(out_ch, in_ch * kh * kw);
-    let mut gb = Matrix::zeros(1, out_ch);
+    assert_eq!(gx.shape(), (batch * in_ch, h * w), "gx shape mismatch");
+    assert_eq!(gk.shape(), (out_ch, in_ch * kh * kw), "gk shape mismatch");
+    assert_eq!(gb.shape(), (1, out_ch), "gb shape mismatch");
     for b in 0..batch {
         for oc in 0..out_ch {
             let orow = b * out_ch + oc;
@@ -936,17 +1330,17 @@ fn conv2d_backward(
             }
         }
     }
-    (gx, gk, gb)
 }
 
-fn maxpool2d_forward(x: &Matrix, spec: &PoolSpec) -> (Matrix, Vec<usize>) {
+/// Writes the pooled maxima and argmax indices into caller-provided
+/// buffers (every element of both is overwritten).
+fn maxpool2d_forward_into(x: &Matrix, spec: &PoolSpec, out: &mut Matrix, argmax: &mut [usize]) {
     let PoolSpec { batch, ch, h, w, ph, pw } = *spec;
     assert_eq!(x.rows(), batch * ch, "pool input row mismatch");
     assert_eq!(x.cols(), h * w, "pool input col mismatch");
     let (ho, wo) = (spec.out_h(), spec.out_w());
-    assert!(ho > 0 && wo > 0, "pool window larger than input");
-    let mut out = Matrix::zeros(batch * ch, ho * wo);
-    let mut argmax = vec![0usize; batch * ch * ho * wo];
+    assert_eq!(out.shape(), (batch * ch, ho * wo), "pool output shape mismatch");
+    assert_eq!(argmax.len(), batch * ch * ho * wo, "argmax length mismatch");
     for r in 0..batch * ch {
         for oi in 0..ho {
             for oj in 0..wo {
@@ -966,19 +1360,18 @@ fn maxpool2d_forward(x: &Matrix, spec: &PoolSpec) -> (Matrix, Vec<usize>) {
             }
         }
     }
-    (out, argmax)
 }
 
-fn maxpool2d_backward(g: &Matrix, spec: &PoolSpec, argmax: &[usize]) -> Matrix {
+/// Routes pooled gradients into a caller-provided **zeroed** buffer.
+fn maxpool2d_backward_into(g: &Matrix, spec: &PoolSpec, argmax: &[usize], gx: &mut Matrix) {
     let PoolSpec { batch, ch, h, w, .. } = *spec;
     let (ho, wo) = (spec.out_h(), spec.out_w());
-    let mut gx = Matrix::zeros(batch * ch, h * w);
+    assert_eq!(gx.shape(), (batch * ch, h * w), "pool grad shape mismatch");
     for r in 0..batch * ch {
         for o in 0..ho * wo {
             gx[(r, argmax[r * ho * wo + o])] += g[(r, o)];
         }
     }
-    gx
 }
 
 #[cfg(test)]

@@ -454,6 +454,44 @@ fn grad_composite_gcwc_like_stack() {
 }
 
 #[test]
+fn grad_group_rows() {
+    let mut store = ParamStore::new();
+    let a = rand_param(&mut store, "a", 5, 6, 41);
+    assert_gradients_buffered(
+        &mut store,
+        |tape, store| {
+            let an = tape.param(store, a);
+            let rows = tape.group_rows(an, 3); // 3 x 10
+            weighted_sum(tape, rows)
+        },
+        TOL,
+    );
+}
+
+/// `group_rows` is element-for-element the stacked
+/// `reshape(select_cols(x, g*c, c))` rows.
+#[test]
+fn group_rows_matches_select_reshape() {
+    let mut store = ParamStore::new();
+    let a = rand_param(&mut store, "a", 5, 6, 42);
+    let mut tape = Tape::new();
+    let an = tape.param(&store, a);
+    let grouped = tape.group_rows(an, 3);
+    let mut rows = Vec::new();
+    for g in 0..3 {
+        let block = tape.select_cols(an, g * 2, 2);
+        rows.push(tape.reshape(block, 1, 10));
+    }
+    let gv = tape.value(grouped).clone();
+    for (g, &r) in rows.iter().enumerate() {
+        let rv = tape.value(r);
+        for (x, y) in gv.row(g).iter().zip(rv.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "group {g} diverged");
+        }
+    }
+}
+
+#[test]
 fn grad_transpose() {
     let mut store = ParamStore::new();
     let x = rand_param(&mut store, "x", 3, 5, 100);

@@ -1,0 +1,359 @@
+//! Fused/in-place vs. out-of-place equivalence suite.
+//!
+//! Every fused or `_into` kernel added for the zero-allocation hot path
+//! promises *bit-identical* output to the out-of-place composition it
+//! replaces — same per-element expression, same rounding order, same
+//! thread partitioning. These properties pin that contract down for
+//! random shapes, comparing `f64::to_bits` — not an epsilon — and they
+//! write every `_into` destination through a stale NaN-filled buffer
+//! first, so a kernel that merely *accumulates* instead of overwriting
+//! fails loudly.
+//!
+//! Each property also runs under `GCWC_THREADS ∈ {1, 4}` (via
+//! `with_threads`), extending the serial/parallel contract of
+//! `parallel_equivalence.rs` to the fused paths.
+
+use gcwc_graph::{ChebyshevBasis, PolyBasis, RandomWalkBasis};
+use gcwc_linalg::parallel::with_threads;
+use gcwc_linalg::{BufferPool, CsrMatrix, Matrix};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// Asserts bitwise equality of two matrices.
+fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.shape(), b.shape(), "{} shape", what);
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "{} diverged: {} vs {}", what, x, y);
+    }
+    Ok(())
+}
+
+/// A stale destination buffer: NaN everywhere, so any element the
+/// kernel fails to overwrite poisons the comparison.
+fn stale(rows: usize, cols: usize) -> Matrix {
+    Matrix::filled(rows, cols, f64::NAN)
+}
+
+/// Strategy: a random dense matrix with the given shape.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f64..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Deterministically zeroes ~half the entries and converts to CSR, so
+/// empty rows and short rows both occur.
+fn sparsify(m: &Matrix, keep: f64) -> CsrMatrix {
+    let mut s = m.clone();
+    for i in 0..s.rows() {
+        for j in 0..s.cols() {
+            if ((i * 31 + j * 17) % 97) as f64 / 97.0 > keep {
+                s[(i, j)] = 0.0;
+            }
+        }
+    }
+    CsrMatrix::from_dense(&s)
+}
+
+/// Strategy: square sparse matrix + conforming dense operands
+/// `(A : n×n, x : n×c, y : n×c)`.
+fn sparse_triple() -> impl Strategy<Value = (CsrMatrix, Matrix, Matrix)> {
+    (1usize..24, 1usize..40, 0.2f64..0.9).prop_flat_map(|(n, c, keep)| {
+        (matrix(n, n), matrix(n, c), matrix(n, c))
+            .prop_map(move |(a, x, y)| (sparsify(&a, keep), x, y))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `matmul_into` through a stale buffer matches `matmul`.
+    #[test]
+    fn matmul_into_matches_out_of_place(
+        (a, b) in (1usize..24, 1usize..24, 1usize..24)
+            .prop_flat_map(|(r, k, c)| (matrix(r, k), matrix(k, c))),
+    ) {
+        for t in THREAD_COUNTS {
+            with_threads(t, || {
+                let legacy = a.matmul(&b);
+                let mut out = stale(a.rows(), b.cols());
+                a.matmul_into(&b, &mut out);
+                assert_bits_eq(&out, &legacy, "matmul_into")
+            })?;
+        }
+    }
+
+    /// Fused transposed products `A·Bᵀ` and `Aᵀ·B` through stale
+    /// buffers match transpose-then-multiply, including exact-zero
+    /// entries (both kernels skip the same terms the plain kernel
+    /// skips).
+    #[test]
+    fn matmul_nt_tn_match_transpose_composition(
+        (a, b, d) in (1usize..24, 1usize..24, 1usize..24)
+            .prop_flat_map(|(r, k, c)| (matrix(r, k), matrix(c, k), matrix(r, c))),
+        zero_every in 2usize..7,
+    ) {
+        // Plant exact zeros so the skip paths are exercised.
+        let a = Matrix::from_fn(a.rows(), a.cols(), |i, j| {
+            if (i + j) % zero_every == 0 { 0.0 } else { a[(i, j)] }
+        });
+        for t in THREAD_COUNTS {
+            with_threads(t, || {
+                let legacy = a.matmul(&b.transpose());
+                let mut out = stale(a.rows(), b.rows());
+                a.matmul_nt_into(&b, &mut out);
+                assert_bits_eq(&out, &legacy, "matmul_nt_into")?;
+
+                let legacy = a.transpose().matmul(&d);
+                let mut out = stale(a.cols(), d.cols());
+                a.matmul_tn_into(&d, &mut out);
+                assert_bits_eq(&out, &legacy, "matmul_tn_into")
+            })?;
+        }
+    }
+
+    /// `map_into` and `zip_into` through stale buffers match `map` and
+    /// the element-wise composition.
+    #[test]
+    fn map_and_zip_into_match_out_of_place(
+        (a, b) in (1usize..24, 1usize..24).prop_flat_map(|(r, c)| (matrix(r, c), matrix(r, c))),
+    ) {
+        for t in THREAD_COUNTS {
+            with_threads(t, || {
+                let legacy = a.map(|v| v.tanh());
+                let mut out = stale(a.rows(), a.cols());
+                a.map_into(&mut out, |v| v.tanh());
+                assert_bits_eq(&out, &legacy, "map_into")?;
+
+                let legacy = Matrix::from_fn(a.rows(), a.cols(), |i, j| {
+                    a[(i, j)] * b[(i, j)] + a[(i, j)]
+                });
+                let mut out = stale(a.rows(), a.cols());
+                a.zip_into(&b, &mut out, |x, y| x * y + x);
+                assert_bits_eq(&out, &legacy, "zip_into")
+            })?;
+        }
+    }
+
+    /// `transpose_into`, `copy_from`, `add_assign`, and `scale_assign`
+    /// match their out-of-place counterparts.
+    #[test]
+    fn elementwise_into_match_out_of_place(
+        (a, b) in (1usize..24, 1usize..24).prop_flat_map(|(r, c)| (matrix(r, c), matrix(r, c))),
+        s in -2.0f64..2.0,
+    ) {
+        let legacy = a.transpose();
+        let mut out = stale(a.cols(), a.rows());
+        a.transpose_into(&mut out);
+        assert_bits_eq(&out, &legacy, "transpose_into")?;
+
+        let mut out = stale(a.rows(), a.cols());
+        out.copy_from(&a);
+        assert_bits_eq(&out, &a, "copy_from")?;
+
+        let legacy = &a + &b;
+        let mut out = a.clone();
+        out.add_assign(&b);
+        assert_bits_eq(&out, &legacy, "add_assign")?;
+
+        let legacy = a.scale(s);
+        let mut out = a.clone();
+        out.scale_assign(s);
+        assert_bits_eq(&out, &legacy, "scale_assign")?;
+    }
+
+    /// `matmul_dense_into` through a stale buffer matches
+    /// `matmul_dense`, including empty CSR rows.
+    #[test]
+    fn csr_matmul_dense_into_matches_out_of_place((a, x, _) in sparse_triple()) {
+        for t in THREAD_COUNTS {
+            with_threads(t, || {
+                let legacy = a.matmul_dense(&x);
+                let mut out = stale(a.rows(), x.cols());
+                a.matmul_dense_into(&x, &mut out);
+                assert_bits_eq(&out, &legacy, "matmul_dense_into")
+            })?;
+        }
+    }
+
+    /// Fused `axpby` matches the three-pass composition
+    /// `α·(A·x) + β·y`.
+    #[test]
+    fn axpby_matches_composition(
+        (a, x, y) in sparse_triple(),
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+    ) {
+        for t in THREAD_COUNTS {
+            with_threads(t, || {
+                let legacy = &a.matmul_dense(&x).scale(alpha) + &y.scale(beta);
+                let mut out = y.clone();
+                a.axpby(alpha, &x, beta, &mut out);
+                assert_bits_eq(&out, &legacy, "axpby")
+            })?;
+        }
+    }
+
+    /// Fused `cheb_step_into` through a stale buffer matches the
+    /// three-pass composition `2·(A·x) − prev`.
+    #[test]
+    fn cheb_step_into_matches_composition((a, x, prev) in sparse_triple()) {
+        for t in THREAD_COUNTS {
+            with_threads(t, || {
+                let legacy = &a.matmul_dense(&x).scale(2.0) - &prev;
+                let mut out = stale(a.rows(), x.cols());
+                a.cheb_step_into(&x, &prev, &mut out);
+                assert_bits_eq(&out, &legacy, "cheb_step_into")
+            })?;
+        }
+    }
+
+    /// Fused `clenshaw_step` matches the composition
+    /// `(b + s·(A·x)) − c2` for both scales the adjoint uses.
+    #[test]
+    fn clenshaw_step_matches_composition(
+        (a, x, b) in sparse_triple(),
+        c2 in (1usize..24, 1usize..40).prop_flat_map(|(r, c)| matrix(r, c)),
+    ) {
+        // Reshape c2 to match (proptest draws it independently).
+        let c2 = Matrix::from_fn(a.rows(), x.cols(), |i, j| {
+            c2[(i % c2.rows(), j % c2.cols())]
+        });
+        for s in [1.0, 2.0] {
+            for t in THREAD_COUNTS {
+                with_threads(t, || {
+                    let legacy = &(&b + &a.matmul_dense(&x).scale(s)) - &c2;
+                    let mut out = c2.clone();
+                    a.clenshaw_step(&b, &x, s, &mut out);
+                    assert_bits_eq(&out, &legacy, "clenshaw_step")
+                })?;
+            }
+        }
+    }
+
+    /// Pooled Chebyshev forward (fused recurrence into pooled stale
+    /// buffers) matches the tap-by-tap out-of-place recurrence.
+    #[test]
+    fn cheb_forward_pooled_matches_composition(
+        (a, x, _) in sparse_triple(),
+        k in 1usize..6,
+    ) {
+        let basis = ChebyshevBasis::from_adjacency(&a, k);
+        let lt = basis.scaled_laplacian().clone();
+        for t in THREAD_COUNTS {
+            with_threads(t, || {
+                // Out-of-place recurrence: T₀x = x, T₁x = L̃x,
+                // T_k x = 2·L̃·T_{k−1}x − T_{k−2}x.
+                let mut legacy: Vec<Matrix> = vec![x.clone()];
+                if k >= 2 {
+                    legacy.push(lt.matmul_dense(&x));
+                }
+                for i in 2..k {
+                    let next = &lt.matmul_dense(&legacy[i - 1]).scale(2.0) - &legacy[i - 2];
+                    legacy.push(next);
+                }
+
+                // Pooled path twice through the same pool, so the second
+                // round reuses stale parked buffers.
+                let mut pool = BufferPool::new();
+                for round in 0..2 {
+                    let mut taps = Vec::new();
+                    basis.forward_pooled(&x, &mut pool, &mut taps);
+                    prop_assert_eq!(taps.len(), k, "tap count");
+                    for (i, (tap, want)) in taps.iter().zip(&legacy).enumerate() {
+                        assert_bits_eq(tap, want, &format!("cheb tap {i} round {round}"))?;
+                    }
+                    for m in taps {
+                        pool.give(m);
+                    }
+                }
+                Ok(())
+            })?;
+        }
+    }
+
+    /// Pooled Chebyshev adjoint (fused Clenshaw) matches the
+    /// out-of-place Clenshaw composition.
+    #[test]
+    fn cheb_adjoint_pooled_matches_composition(
+        (a, x, _) in sparse_triple(),
+        k in 1usize..6,
+    ) {
+        let basis = ChebyshevBasis::from_adjacency(&a, k);
+        let lt = basis.scaled_laplacian().clone();
+        // Cotangents: reuse x reshaped per tap with distinct values.
+        let b: Vec<Matrix> = (0..k)
+            .map(|i| x.map(|v| v + i as f64 * 0.125))
+            .collect();
+        for t in THREAD_COUNTS {
+            with_threads(t, || {
+                // Out-of-place Clenshaw mirror of adjoint_combine_pooled:
+                // c_k = b_k + 2·L̃·c_{k+1} − c_{k+2}; result with s = 1.
+                let legacy = if k == 1 {
+                    b[0].clone()
+                } else {
+                    let (n, c) = b[0].shape();
+                    let mut c_next = Matrix::zeros(n, c);
+                    let mut c_next2 = Matrix::zeros(n, c);
+                    for i in (1..k).rev() {
+                        let new = &(&b[i] + &lt.matmul_dense(&c_next).scale(2.0)) - &c_next2;
+                        c_next2 = std::mem::replace(&mut c_next, new);
+                    }
+                    &(&b[0] + &lt.matmul_dense(&c_next).scale(1.0)) - &c_next2
+                };
+
+                let mut pool = BufferPool::new();
+                for round in 0..2 {
+                    let out = basis.adjoint_combine_pooled(&b, &mut pool);
+                    assert_bits_eq(&out, &legacy, &format!("cheb adjoint round {round}"))?;
+                    assert_bits_eq(&basis.adjoint_combine(&b), &legacy, "cheb adjoint legacy")?;
+                    pool.give(out);
+                }
+                Ok(())
+            })?;
+        }
+    }
+
+    /// Pooled random-walk forward/adjoint match the power-by-power
+    /// out-of-place composition.
+    #[test]
+    fn random_walk_pooled_matches_composition(
+        (a, x, _) in sparse_triple(),
+        k in 1usize..6,
+    ) {
+        let basis = RandomWalkBasis::from_adjacency(&a, k);
+        let p = basis.walk_matrix().clone();
+        let pt = p.transpose();
+        let b: Vec<Matrix> = (0..k)
+            .map(|i| x.map(|v| v - i as f64 * 0.25))
+            .collect();
+        for t in THREAD_COUNTS {
+            with_threads(t, || {
+                // Forward: P⁰x … P^{K−1}x.
+                let mut legacy: Vec<Matrix> = vec![x.clone()];
+                for i in 1..k {
+                    legacy.push(p.matmul_dense(&legacy[i - 1]));
+                }
+                let mut pool = BufferPool::new();
+                let mut taps = Vec::new();
+                basis.forward_pooled(&x, &mut pool, &mut taps);
+                prop_assert_eq!(taps.len(), k, "tap count");
+                for (i, (tap, want)) in taps.iter().zip(&legacy).enumerate() {
+                    assert_bits_eq(tap, want, &format!("walk tap {i}"))?;
+                }
+                for m in taps {
+                    pool.give(m);
+                }
+
+                // Adjoint Horner: s = b_{K−1}; s = Pᵀs + b_k.
+                let mut want = b[k - 1].clone();
+                for i in (0..k - 1).rev() {
+                    want = &pt.matmul_dense(&want) + &b[i];
+                }
+                let out = basis.adjoint_combine_pooled(&b, &mut pool);
+                assert_bits_eq(&out, &want, "walk adjoint")?;
+                Ok(())
+            })?;
+        }
+    }
+}
