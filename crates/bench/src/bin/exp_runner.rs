@@ -15,6 +15,9 @@
 //!   bench              kernel + training-step micro-benchmarks
 //!                      (legacy vs fused in-place pairs); with `--json`,
 //!                      also writes `BENCH_bench.json`
+//!   serve-bench        end-to-end serving load test (in-process +
+//!                      TCP phases, cache stats, p50/p99); with
+//!                      `--json`, also writes `BENCH_serve.json`
 //!   all                everything above
 //! ```
 //!
@@ -25,7 +28,9 @@
 //! time changes). Run with `cargo run --release -p gcwc-bench --bin
 //! exp_runner -- <command>`.
 
-use gcwc_bench::{ablations, jsonbench, params_table, run_table, scalability, Profile, ScalModel};
+use gcwc_bench::{
+    ablations, jsonbench, params_table, run_table, scalability, servebench, Profile, ScalModel,
+};
 
 /// Counts every heap allocation so `bench` can report allocs/iter.
 /// Build with `--features count-allocs` to activate.
@@ -62,7 +67,7 @@ fn main() {
     // follow the process-wide kernel default.
     gcwc_linalg::parallel::set_global_threads(threads);
     if commands.is_empty() {
-        eprintln!("usage: exp_runner [--fast|--full|--smoke] [--threads=N] [--json] <table3|table4..table13|tables|fig6a|fig6b|threads|ablations|bench|all>");
+        eprintln!("usage: exp_runner [--fast|--full|--smoke] [--threads=N] [--json] <table3|table4..table13|tables|fig6a|fig6b|threads|ablations|bench|serve-bench|all>");
         std::process::exit(2);
     }
 
@@ -90,6 +95,18 @@ fn main() {
                 if json {
                     let path = "BENCH_bench.json";
                     if let Err(e) = std::fs::write(path, jsonbench::to_json(&records)) {
+                        eprintln!("failed to write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("wrote {path}");
+                }
+            }
+            "serve-bench" => {
+                let report = servebench::run();
+                print!("{}", servebench::render(&report));
+                if json {
+                    let path = "BENCH_serve.json";
+                    if let Err(e) = std::fs::write(path, servebench::to_json(&report)) {
                         eprintln!("failed to write {path}: {e}");
                         std::process::exit(1);
                     }

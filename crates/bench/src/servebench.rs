@@ -1,0 +1,284 @@
+//! Serving load generator (`exp_runner serve-bench`).
+//!
+//! Trains a tiny A-GCWC, saves it through the versioned checkpoint
+//! format, loads it into a `gcwc-serve` engine, and drives the full
+//! serving stack twice: in-process (the zero-allocation path) and over
+//! TCP (the text protocol). Reports requests/s and p50/p99 latency per
+//! phase plus cache statistics and allocations/request, and asserts
+//! the invariants the CI step depends on: non-zero cache hits,
+//! bit-identical responses, and a (generous) p99 latency bound.
+//!
+//! `allocs_per_request` is live only when the binary installs
+//! [`crate::allocs::CountingAlloc`] (the `count-allocs` feature);
+//! otherwise it reads 0.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gcwc::{build_samples, AGcwcModel, CompletionModel, ModelConfig, TaskKind, TrainSample};
+use gcwc_serve::{AnyModel, Engine, EngineConfig, Server, TcpClient};
+use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+
+use crate::allocs;
+
+/// Latency summary of one load phase.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseStats {
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests per second (wall clock).
+    pub requests_per_sec: f64,
+    /// Median latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Heap allocations per request (0 unless the counting allocator
+    /// is installed).
+    pub allocs_per_request: u64,
+}
+
+/// Full serve-bench result.
+#[derive(Clone, Debug)]
+pub struct ServeBenchReport {
+    /// In-process client phase (steady state, cache disabled by
+    /// distinct inputs).
+    pub in_process: PhaseStats,
+    /// Repeat-context phase (every request a cache hit).
+    pub cached: PhaseStats,
+    /// TCP phase (text protocol over loopback).
+    pub tcp: PhaseStats,
+    /// Engine cache hits observed.
+    pub cache_hits: u64,
+    /// Engine cache misses observed.
+    pub cache_misses: u64,
+    /// Forward passes executed.
+    pub batches: u64,
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)]
+}
+
+fn phase_from(ns: &mut [u64], total_ns: u64, allocs_per_request: u64) -> PhaseStats {
+    let requests = ns.len() as u64;
+    ns.sort_unstable();
+    PhaseStats {
+        requests,
+        requests_per_sec: if total_ns == 0 {
+            0.0
+        } else {
+            requests as f64 * 1.0e9 / total_ns as f64
+        },
+        p50_ns: percentile(ns, 0.50),
+        p99_ns: percentile(ns, 0.99),
+        allocs_per_request,
+    }
+}
+
+fn tiny_trained_model() -> (gcwc_traffic::NetworkInstance, Vec<TrainSample>, AGcwcModel) {
+    let hw = generators::highway_tollgate(1);
+    let sim = SimConfig {
+        days: 2,
+        intervals_per_day: 16,
+        records_per_interval: 10.0,
+        ..Default::default()
+    };
+    let data = simulate(&hw, HistogramSpec::hist8(), &sim);
+    let ds = data.to_dataset(0.5, 5, 11);
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let samples = build_samples(&ds, &idx, TaskKind::Estimation, 0);
+    let mut model = AGcwcModel::new(&hw.graph, 8, 16, ModelConfig::hw_hist().with_epochs(2), 42);
+    model.fit(&samples[..8]);
+    (hw, samples, model)
+}
+
+/// Runs the serving benchmark end to end. Panics when a serving
+/// invariant is violated (the CI step relies on this).
+pub fn run() -> ServeBenchReport {
+    // Train, checkpoint (v1 header), and load into a warm registry.
+    let (hw, samples, model) = tiny_trained_model();
+    let dir = std::env::temp_dir().join("gcwc_serve_bench");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let ckpt = dir.join("agcwc.ckpt");
+    model.save(&ckpt).expect("save checkpoint");
+
+    let hw = Arc::new(hw);
+    let factory_hw = Arc::clone(&hw);
+    let registry = Arc::new(gcwc_serve::ModelRegistry::new(Box::new(move || {
+        AnyModel::AGcwc(AGcwcModel::new(
+            &factory_hw.graph,
+            8,
+            16,
+            ModelConfig::hw_hist().with_epochs(2),
+            0,
+        ))
+    })));
+    registry.load(&ckpt).expect("load checkpoint");
+
+    let engine = Arc::new(Engine::new(registry, EngineConfig::default()));
+    let mut client = engine.client();
+    let pool = &samples[..8.min(samples.len())];
+
+    // Warm-up: fill the worker pool and the client's spare buffers.
+    for (k, s) in pool.iter().cycle().take(32).enumerate() {
+        let mut input = client.input_buffer();
+        input.copy_from(&s.input);
+        let completion = client
+            .complete(input, s.context.time_of_day, (s.context.day_of_week + k) % 7)
+            .expect("warm-up request");
+        client.recycle(completion);
+    }
+
+    // Phase 1: in-process steady state over distinct contexts (mostly
+    // cache misses — each (input, time, day) combination repeats only
+    // after the warm-up already inserted it, so expired entries rotate).
+    let iters = 200usize;
+    let mut ns = Vec::with_capacity(iters);
+    let a0 = allocs::alloc_count();
+    let t0 = Instant::now();
+    for k in 0..iters {
+        let s = &pool[k % pool.len()];
+        let mut input = client.input_buffer();
+        input.copy_from(&s.input);
+        let t = Instant::now();
+        let completion = client
+            .complete(input, s.context.time_of_day, s.context.day_of_week)
+            .expect("bench request");
+        ns.push(t.elapsed().as_nanos() as u64);
+        client.recycle(completion);
+    }
+    let total = t0.elapsed().as_nanos() as u64;
+    let allocs_per_request = (allocs::alloc_count() - a0) / iters as u64;
+    let in_process = phase_from(&mut ns, total, allocs_per_request);
+
+    // Phase 2: repeat one request — every response must be a cache hit
+    // with identical bits.
+    let s = &pool[0];
+    let mut reference: Option<Vec<u64>> = None;
+    let mut ns = Vec::with_capacity(64);
+    let a0 = allocs::alloc_count();
+    let t0 = Instant::now();
+    for _ in 0..64 {
+        let mut input = client.input_buffer();
+        input.copy_from(&s.input);
+        let t = Instant::now();
+        let completion = client
+            .complete(input, s.context.time_of_day, s.context.day_of_week)
+            .expect("cached request");
+        ns.push(t.elapsed().as_nanos() as u64);
+        match &reference {
+            None => {
+                reference =
+                    Some(completion.output.as_slice().iter().map(|v| v.to_bits()).collect());
+            }
+            Some(r) => {
+                let same = completion
+                    .output
+                    .as_slice()
+                    .iter()
+                    .zip(r.iter())
+                    .all(|(v, &b)| v.to_bits() == b);
+                assert!(same, "cached response must be bit-identical");
+            }
+        }
+        client.recycle(completion);
+    }
+    let total = t0.elapsed().as_nanos() as u64;
+    let cached_allocs = (allocs::alloc_count() - a0) / 64;
+    let cached = phase_from(&mut ns, total, cached_allocs);
+
+    let stats = engine.stats();
+    assert!(stats.cache_hits > 0, "serving must produce cache hits: {stats:?}");
+
+    // Phase 3: the TCP front end over loopback.
+    let mut server = Server::start(Arc::clone(&engine), "127.0.0.1:0").expect("bind server");
+    let mut tcp = TcpClient::connect(server.addr()).expect("connect");
+    assert!(tcp.ping().expect("ping"), "server must answer ping");
+    let mut ns = Vec::with_capacity(100);
+    let t0 = Instant::now();
+    for k in 0..100usize {
+        let s = &pool[k % pool.len()];
+        let t = Instant::now();
+        let resp = tcp
+            .complete(&s.input, s.context.time_of_day, s.context.day_of_week)
+            .expect("tcp request");
+        ns.push(t.elapsed().as_nanos() as u64);
+        assert_eq!(resp.output.rows(), s.input.rows());
+    }
+    let total = t0.elapsed().as_nanos() as u64;
+    let tcp_stats = phase_from(&mut ns, total, 0);
+    tcp.quit().expect("quit");
+    server.stop();
+    engine.shutdown();
+
+    // Generous latency bound: the tiny model completes in well under a
+    // millisecond per request on any machine; 500 ms catches only a
+    // serving-stack pathology (deadlock, missed wake-up, busy loop).
+    const P99_BOUND_NS: u64 = 500_000_000;
+    assert!(in_process.p99_ns < P99_BOUND_NS, "in-process p99 too high: {in_process:?}");
+    assert!(tcp_stats.p99_ns < P99_BOUND_NS, "tcp p99 too high: {tcp_stats:?}");
+
+    let final_stats = engine.stats();
+    ServeBenchReport {
+        in_process,
+        cached,
+        tcp: tcp_stats,
+        cache_hits: final_stats.cache_hits,
+        cache_misses: final_stats.cache_misses,
+        batches: final_stats.batches,
+    }
+}
+
+/// Renders the report as an aligned text table.
+pub fn render(r: &ServeBenchReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<14}{:>10}{:>14}{:>14}{:>14}{:>16}",
+        "phase", "requests", "req/s", "p50 ns", "p99 ns", "allocs/request"
+    );
+    for (name, p) in [("in_process", &r.in_process), ("cached", &r.cached), ("tcp", &r.tcp)] {
+        let _ = writeln!(
+            s,
+            "{:<14}{:>10}{:>14.0}{:>14}{:>14}{:>16}",
+            name, p.requests, p.requests_per_sec, p.p50_ns, p.p99_ns, p.allocs_per_request
+        );
+    }
+    let _ = writeln!(
+        s,
+        "cache: {} hits, {} misses, {} batches",
+        r.cache_hits, r.cache_misses, r.batches
+    );
+    s
+}
+
+/// Serialises the report as JSON (hand-rolled; all fields numeric).
+pub fn to_json(r: &ServeBenchReport) -> String {
+    fn phase(s: &mut String, name: &str, p: &PhaseStats) {
+        let _ = write!(
+            s,
+            "  \"{}\": {{\"requests\": {}, \"requests_per_sec\": {:.1}, \"p50_ns\": {}, \
+             \"p99_ns\": {}, \"allocs_per_request\": {}}}",
+            name, p.requests, p.requests_per_sec, p.p50_ns, p.p99_ns, p.allocs_per_request
+        );
+    }
+    let mut s = String::from("{\n");
+    phase(&mut s, "in_process", &r.in_process);
+    s.push_str(",\n");
+    phase(&mut s, "cached", &r.cached);
+    s.push_str(",\n");
+    phase(&mut s, "tcp", &r.tcp);
+    s.push_str(",\n");
+    let _ = writeln!(
+        s,
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"batches\": {}}}",
+        r.cache_hits, r.cache_misses, r.batches
+    );
+    s.push_str("}\n");
+    s
+}

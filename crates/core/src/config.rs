@@ -156,6 +156,24 @@ impl ModelConfig {
         self
     }
 
+    /// Table III-style architecture signature of the conv stack + head,
+    /// e.g. `C8x1_16-P4-C8x1_16-P2-hist`. Whitespace-free, so it can be
+    /// embedded in a checkpoint header's architecture token.
+    pub fn arch_signature(&self) -> String {
+        let mut s = String::new();
+        for l in &self.conv_layers {
+            s.push_str(&format!("C{}x1_{}-", l.cheb_order, l.filters));
+            if l.pool > 1 {
+                s.push_str(&format!("P{}-", l.pool));
+            }
+        }
+        s.push_str(match self.output {
+            OutputKind::Histogram => "hist",
+            OutputKind::Average => "avg",
+        });
+        s
+    }
+
     /// Total pooling factor of the conv stack.
     pub fn total_pool(&self) -> usize {
         self.conv_layers.iter().map(|l| l.pool).product()

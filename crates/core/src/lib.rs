@@ -27,11 +27,13 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod infer;
 pub mod model;
 pub mod task;
 pub mod train;
 
 pub use config::{ConvLayer, CpCnnConfig, ModelConfig, OutputKind};
+pub use infer::{InferRequest, InferWorkspace};
 pub use model::{AGcwcModel, GcwcModel};
 pub use task::{build_samples, CompletionModel, TaskKind, TrainSample, MAX_SPEED};
 pub use train::TrainReport;

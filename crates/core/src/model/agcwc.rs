@@ -4,11 +4,12 @@
 use gcwc_graph::EdgeGraph;
 use gcwc_linalg::rng::seeded;
 use gcwc_linalg::Matrix;
-use gcwc_nn::{ConvSpec, Dense, Embedding, NodeId, ParamStore, PoolSpec, Tape};
+use gcwc_nn::{ops, ConvSpec, Dense, Embedding, NodeId, ParamStore, PoolSpec, Tape};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::config::{CpCnnConfig, ModelConfig, OutputKind};
+use crate::infer::{InferRequest, InferWorkspace};
 use crate::model::encoder::Encoder;
 use crate::model::gcwc::LOSS_EPS;
 use crate::task::{CompletionModel, TrainSample};
@@ -127,6 +128,94 @@ impl CpCnn {
         let flat = tape.reshape(p2, n, self.f2 * d.h3 * d.w3);
         self.fc.apply(tape, store, flat) // (n, m) logits
     }
+
+    /// Tape-free equivalent of [`CpCnn::apply`]: writes the `n × m`
+    /// conditional logits into `out` (fully overwritten), drawing every
+    /// intermediate from the workspace pool. Bit-identical to the tape
+    /// path — both call the shared kernels in [`gcwc_nn::ops`].
+    fn infer_into(
+        &self,
+        store: &ParamStore,
+        ws: &mut InferWorkspace,
+        px: &Matrix,
+        pz: &Matrix,
+        out: &mut Matrix,
+    ) {
+        let n = pz.rows();
+        let d = cp_dims(self.beta, self.m);
+        let InferWorkspace { pool, argmax, .. } = ws;
+
+        let mut x = pool.take_raw(n, self.beta * self.m);
+        ops::batch_outer_into(px, pz, &mut x);
+
+        let spec1 = ConvSpec {
+            batch: n,
+            in_ch: 1,
+            out_ch: self.f1,
+            h: self.beta,
+            w: self.m,
+            kh: d.kh1,
+            kw: d.kw1,
+        };
+        let mut c1 = pool.take_raw(n * self.f1, self.beta * self.m);
+        ops::conv2d_forward_into(
+            &x,
+            store.value(self.kernel1),
+            store.value(self.bias1),
+            &spec1,
+            &mut c1,
+        );
+        pool.give(x);
+        c1.map_inplace(|t| t.max(0.0));
+
+        let pspec1 = PoolSpec {
+            batch: n,
+            ch: self.f1,
+            h: self.beta,
+            w: self.m,
+            ph: 2.min(self.beta),
+            pw: 2.min(self.m),
+        };
+        let mut p1 = pool.take_raw(n * self.f1, pspec1.out_h() * pspec1.out_w());
+        argmax.clear();
+        argmax.resize(n * self.f1 * pspec1.out_h() * pspec1.out_w(), 0);
+        ops::maxpool2d_forward_into(&c1, &pspec1, &mut p1, argmax);
+        pool.give(c1);
+
+        let spec2 = ConvSpec {
+            batch: n,
+            in_ch: self.f1,
+            out_ch: self.f2,
+            h: d.h2,
+            w: d.w2,
+            kh: d.kh2,
+            kw: d.kw2,
+        };
+        let mut c2 = pool.take_raw(n * self.f2, d.h2 * d.w2);
+        ops::conv2d_forward_into(
+            &p1,
+            store.value(self.kernel2),
+            store.value(self.bias2),
+            &spec2,
+            &mut c2,
+        );
+        pool.give(p1);
+        c2.map_inplace(|t| t.max(0.0));
+
+        let pspec2 =
+            PoolSpec { batch: n, ch: self.f2, h: d.h2, w: d.w2, ph: 2.min(d.h2), pw: 2.min(d.w2) };
+        let mut p2 = pool.take_raw(n * self.f2, d.h3 * d.w3);
+        argmax.clear();
+        argmax.resize(n * self.f2 * d.h3 * d.w3, 0);
+        ops::maxpool2d_forward_into(&c2, &pspec2, &mut p2, argmax);
+        pool.give(c2);
+
+        // Reshape is a free reinterpretation of the row-major buffer.
+        let flat = Matrix::from_vec(n, self.f2 * d.h3 * d.w3, p2.into_vec());
+        flat.matmul_into(store.value(self.fc.w), out);
+        ops::add_row_broadcast_assign(out, store.value(self.fc.b));
+        pool.give(flat);
+    }
 }
 
 /// Context-Aware Graph Convolutional Weight Completion.
@@ -191,15 +280,61 @@ impl AGcwcModel {
         &self.last_report
     }
 
-    /// Saves the trained parameters to a checkpoint file.
+    /// Number of edges `n` in the served graph.
+    pub fn num_edges(&self) -> usize {
+        self.encoder.num_edges()
+    }
+
+    /// Number of histogram buckets `m`.
+    pub fn num_buckets(&self) -> usize {
+        self.encoder.num_buckets()
+    }
+
+    /// Output head kind.
+    pub fn output_kind(&self) -> OutputKind {
+        self.encoder.output_kind()
+    }
+
+    /// Output columns (`m` for HIST, 1 for AVG).
+    pub fn output_cols(&self) -> usize {
+        self.encoder.output_cols()
+    }
+
+    /// Time-of-day vocabulary α of the context embedding.
+    pub fn intervals_per_day(&self) -> usize {
+        self.store.value(self.time_emb.table).rows()
+    }
+
+    /// Whitespace-free architecture token, written into checkpoint
+    /// headers and validated on load. Includes the context vocabulary
+    /// (α, β) and the context mask, since they change the served
+    /// function even when the parameter shapes agree.
+    pub fn arch_string(&self) -> String {
+        let mask = self.cfg.context_mask;
+        format!(
+            "agcwc:n{}:m{}:a{}:b{}:mask{}{}{}:{}",
+            self.encoder.num_edges(),
+            self.encoder.num_buckets(),
+            self.intervals_per_day(),
+            self.cfg.context_dim,
+            u8::from(mask[0]),
+            u8::from(mask[1]),
+            u8::from(mask[2]),
+            self.cfg.arch_signature()
+        )
+    }
+
+    /// Saves the trained parameters to a checkpoint file (with the
+    /// architecture token in the header).
     pub fn save(&self, path: &std::path::Path) -> Result<(), gcwc_nn::PersistError> {
-        gcwc_nn::persist::save(&self.store, path)
+        gcwc_nn::persist::save_with_arch(&self.store, path, &self.arch_string())
     }
 
     /// Restores parameters from a checkpoint produced by a model with
-    /// the identical architecture.
+    /// the identical architecture (header validated when present).
     pub fn load(&mut self, path: &std::path::Path) -> Result<(), gcwc_nn::PersistError> {
-        gcwc_nn::persist::load(&mut self.store, path)
+        let arch = self.arch_string();
+        gcwc_nn::persist::load_expecting(&mut self.store, path, Some(&arch))
     }
 
     /// `P(X_i)`: softmax over the embedded context, as a `β × 1` column.
@@ -304,6 +439,205 @@ impl AGcwcModel {
                 tape.sigmoid(logit)
             }
         }
+    }
+
+    /// `P(X_i)` for an embedded context, tape-free: softmax of the
+    /// embedding-table row as a pooled `β × 1` column.
+    fn infer_embedding_col(&self, ws: &mut InferWorkspace, emb: &Embedding, idx: usize) -> Matrix {
+        let table = self.store.value(emb.table);
+        let beta = table.cols();
+        let mut raw = ws.pool.take_raw(1, beta);
+        raw.row_mut(0).copy_from_slice(table.row(idx));
+        ops::softmax_rows_in_place(&mut raw);
+        let mut col = ws.pool.take_raw(beta, 1);
+        raw.transpose_into(&mut col);
+        ws.pool.give(raw);
+        col
+    }
+
+    /// `P(X_R)` from the per-edge coverage flags, tape-free.
+    fn infer_row_col(&self, ws: &mut InferWorkspace, flags: &[f64]) -> Matrix {
+        let w = self.store.value(self.row_fc.w);
+        let b = self.store.value(self.row_fc.b);
+        assert_eq!(flags.len(), w.rows(), "row-flag length mismatch");
+        let mut fl = ws.pool.take_raw(1, flags.len());
+        fl.row_mut(0).copy_from_slice(flags);
+        let mut raw = ws.pool.take_raw(1, w.cols());
+        fl.matmul_into(w, &mut raw);
+        ops::add_row_broadcast_assign(&mut raw, b);
+        ws.pool.give(fl);
+        ops::softmax_rows_in_place(&mut raw);
+        let mut col = ws.pool.take_raw(w.cols(), 1);
+        raw.transpose_into(&mut col);
+        ws.pool.give(raw);
+        col
+    }
+
+    /// Tape-free batched inference: runs `count` requests (provided by
+    /// `req`, indexed `0..count`) through one coalesced base-GCWC pass,
+    /// then applies each request's context module and Bayesian
+    /// combination (Eq. 9/10), writing request `r`'s completed matrix
+    /// into `outs[r]` (pre-shaped `n × output_cols`). Bit-identical per
+    /// request to [`CompletionModel::predict`]; allocation-free once
+    /// `ws` is warm.
+    pub fn infer_into<'r, F>(
+        &self,
+        ws: &mut InferWorkspace,
+        count: usize,
+        req: F,
+        outs: &mut [Matrix],
+    ) where
+        F: Fn(usize) -> InferRequest<'r>,
+    {
+        let (n, m) = (self.encoder.num_edges(), self.encoder.num_buckets());
+        let out_cols = self.encoder.output_cols();
+        assert!(outs.len() >= count, "missing output buffers");
+
+        // Batched base pass: P(Z) for every request in one forward.
+        let mut wide = ws.pool.take_raw(n, count * m);
+        for r in 0..count {
+            let rq = req(r);
+            assert_eq!(rq.input.shape(), (n, m), "request input shape mismatch");
+            assert_eq!(rq.row_flags.len(), n, "row-flag length mismatch");
+            for i in 0..n {
+                wide.row_mut(i)[r * m..(r + 1) * m].copy_from_slice(rq.input.row(i));
+            }
+        }
+        // The per-request P(Z) buffers live in the workspace between
+        // calls; move them out so the workspace can be re-borrowed.
+        let mut pzs = std::mem::take(&mut ws.scratch);
+        for slot in pzs.iter_mut() {
+            if slot.shape() != (n, out_cols) {
+                let stale = std::mem::replace(slot, ws.pool.take_raw(n, out_cols));
+                ws.pool.give(stale);
+            }
+        }
+        while pzs.len() < count {
+            let fresh = ws.pool.take_raw(n, out_cols);
+            pzs.push(fresh);
+        }
+        self.encoder.infer_outputs(&self.store, ws, &wide, count, &mut pzs[..count]);
+        ws.pool.give(wide);
+
+        let mask = self.cfg.context_mask;
+        let n_ctx = mask.iter().filter(|&&b| b).count();
+        for r in 0..count {
+            let rq = req(r);
+            let pz = &pzs[r];
+            let out = &mut outs[r];
+            assert_eq!(out.shape(), (n, out_cols), "output buffer shape mismatch");
+            if n_ctx == 0 {
+                out.copy_from(pz); // no contexts: degenerates to GCWC
+                continue;
+            }
+
+            // Conditionals P(Z|X_i) for the enabled contexts, in the
+            // same order as the tape forward: time, day, row.
+            let mut conds: [Option<Matrix>; 3] = [None, None, None];
+            let mut k = 0usize;
+            if mask[0] {
+                let px = self.infer_embedding_col(ws, &self.time_emb, rq.time_of_day);
+                let mut c = ws.pool.take_raw(n, out_cols);
+                self.cp_time.infer_into(&self.store, ws, &px, pz, &mut c);
+                ws.pool.give(px);
+                conds[k] = Some(c);
+                k += 1;
+            }
+            if mask[1] {
+                let px = self.infer_embedding_col(ws, &self.day_emb, rq.day_of_week);
+                let mut c = ws.pool.take_raw(n, out_cols);
+                self.cp_day.infer_into(&self.store, ws, &px, pz, &mut c);
+                ws.pool.give(px);
+                conds[k] = Some(c);
+                k += 1;
+            }
+            if mask[2] {
+                let px = self.infer_row_col(ws, rq.row_flags);
+                let mut c = ws.pool.take_raw(n, out_cols);
+                self.cp_row.infer_into(&self.store, ws, &px, pz, &mut c);
+                ws.pool.give(px);
+                conds[k] = Some(c);
+            }
+
+            match self.cfg.output {
+                OutputKind::Histogram => {
+                    // Eq. 9: ∏ P(Z|X_i) / P(Z)^(N−1), then normalise.
+                    let mut num: Option<Matrix> = None;
+                    for slot in conds.iter_mut() {
+                        let Some(mut c) = slot.take() else { continue };
+                        ops::softmax_rows_in_place(&mut c);
+                        num = Some(match num {
+                            None => c,
+                            Some(mut acc) => {
+                                acc.zip_assign(&c, |x, y| x * y);
+                                ws.pool.give(c);
+                                acc
+                            }
+                        });
+                    }
+                    let mut num = num.expect("non-empty");
+                    if n_ctx >= 2 {
+                        let mut den = ws.pool.take_raw(n, out_cols);
+                        den.copy_from(pz);
+                        for _ in 2..n_ctx {
+                            den.zip_assign(pz, |x, y| x * y);
+                        }
+                        num.zip_assign(&den, |x, y| x / (y + BAYES_EPS));
+                        ws.pool.give(den);
+                    }
+                    ops::normalize_rows_in_place(&mut num, 1e-12);
+                    out.copy_from(&num);
+                    ws.pool.give(num);
+                }
+                OutputKind::Average => {
+                    // Log-space combination squashed by a sigmoid, as in
+                    // the tape forward.
+                    let mut sum: Option<Matrix> = None;
+                    for slot in conds.iter_mut() {
+                        let Some(mut c) = slot.take() else { continue };
+                        c.map_inplace(|t| 1.0 / (1.0 + (-t).exp()));
+                        c.map_inplace(|t| (t + LOSS_EPS).ln());
+                        sum = Some(match sum {
+                            None => c,
+                            Some(mut acc) => {
+                                acc.zip_assign(&c, |x, y| x + y);
+                                ws.pool.give(c);
+                                acc
+                            }
+                        });
+                    }
+                    let mut sum = sum.expect("non-empty");
+                    let mut lz = ws.pool.take_raw(n, out_cols);
+                    lz.copy_from(pz);
+                    lz.map_inplace(|t| (t + LOSS_EPS).ln());
+                    let s = (n_ctx as f64) - 1.0;
+                    lz.map_inplace(|t| t * s);
+                    sum.zip_assign(&lz, |x, y| x - y);
+                    ws.pool.give(lz);
+                    sum.map_inplace(|t| 1.0 / (1.0 + (-t).exp()));
+                    out.copy_from(&sum);
+                    ws.pool.give(sum);
+                }
+            }
+        }
+        ws.scratch = pzs;
+    }
+
+    /// Single-request convenience wrapper over [`AGcwcModel::infer_into`];
+    /// the returned matrix comes from the workspace pool (return it with
+    /// [`InferWorkspace::give`] for reuse).
+    pub fn infer(
+        &self,
+        ws: &mut InferWorkspace,
+        input: &Matrix,
+        time_of_day: usize,
+        day_of_week: usize,
+        row_flags: &[f64],
+    ) -> Matrix {
+        let mut out = ws.take(self.num_edges(), self.output_cols());
+        let rq = InferRequest { input, time_of_day, day_of_week, row_flags };
+        self.infer_into(ws, 1, |_| rq, std::slice::from_mut(&mut out));
+        out
     }
 
     fn sample_loss(

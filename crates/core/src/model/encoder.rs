@@ -16,6 +16,7 @@ use gcwc_nn::{Dense, NodeId, ParamId, ParamStore, Tape};
 use rand::rngs::StdRng;
 
 use crate::config::{log2_exact, ModelConfig, OutputKind};
+use crate::infer::InferWorkspace;
 
 /// One graph-convolution stage with its basis, filters and pooling map.
 struct EncoderLayer {
@@ -173,6 +174,108 @@ impl Encoder {
                 tape.sigmoid(mean)
             }
         }
+    }
+
+    /// Output columns of the head (`m` for HIST, 1 for AVG).
+    pub fn output_cols(&self) -> usize {
+        match self.output {
+            OutputKind::Histogram => self.m,
+            OutputKind::Average => 1,
+        }
+    }
+
+    /// Tape-free batched forward: `reqs` inputs hstacked into an
+    /// `n × (reqs·m)` matrix run through the conv stack as `reqs·m`
+    /// groups, then the head is applied per request into `outs`.
+    ///
+    /// Every kernel in the stack computes each group's column block
+    /// independently with the same accumulation order as the
+    /// single-request tape pass, so block `r` of the batch is
+    /// bit-identical to running request `r` alone through
+    /// [`Encoder::output`] in eval mode.
+    pub(crate) fn infer_outputs(
+        &self,
+        store: &ParamStore,
+        ws: &mut InferWorkspace,
+        wide_input: &Matrix,
+        reqs: usize,
+        outs: &mut [Matrix],
+    ) {
+        use gcwc_nn::ops;
+        assert_eq!(wide_input.shape(), (self.n, self.m * reqs), "batched input shape mismatch");
+        assert!(outs.len() >= reqs, "missing output buffers");
+        let groups = reqs * self.m;
+        let InferWorkspace { pool, saved, argmax, .. } = ws;
+        let mut x = pool.take_raw(self.n, groups);
+        x.copy_from(wide_input);
+        for layer in &self.layers {
+            // Grouped polynomial convolution (shared filters).
+            layer.basis.forward_pooled(&x, pool, saved);
+            let mut conv = pool.take(x.rows(), groups * layer.out_filters);
+            for (tx, &th) in saved.iter().zip(&layer.thetas) {
+                ops::poly_conv_accumulate(tx, store.value(th), &mut conv, groups);
+            }
+            for tap in saved.drain(..) {
+                pool.give(tap);
+            }
+            pool.give(x);
+            x = conv;
+            // Bias broadcast (tiled across bucket groups) + tanh.
+            let bias = store.value(layer.bias);
+            let mut tiled = pool.take_raw(1, layer.out_filters * groups);
+            ops::tile_cols_into(bias, groups, &mut tiled);
+            ops::add_row_broadcast_assign(&mut x, &tiled);
+            pool.give(tiled);
+            x.map_inplace(f64::tanh);
+            if let Some(map) = &layer.pool {
+                let c = x.cols();
+                let mut pooled = pool.take_raw(map.num_outputs(), c);
+                argmax.clear();
+                argmax.resize(map.num_outputs() * c, 0);
+                map.max_forward_into(&x, &mut pooled, argmax);
+                pool.give(x);
+                x = pooled;
+            }
+        }
+        // Batched FC decoder over all groups (no dropout at eval).
+        let (nodes, total) = x.shape();
+        let c = total / groups;
+        let mut rows = pool.take_raw(groups, nodes * c);
+        ops::group_rows_into(&x, groups, &mut rows);
+        pool.give(x);
+        let w = store.value(self.fc.w);
+        let b = store.value(self.fc.b);
+        let mut dec = pool.take_raw(groups, w.cols()); // (reqs·m) × n
+        rows.matmul_into(w, &mut dec);
+        ops::add_row_broadcast_assign(&mut dec, b);
+        pool.give(rows);
+        // Per-request head on the request's m-row block of `dec`.
+        let mut block = pool.take_raw(self.m, self.n);
+        for (r, out) in outs.iter_mut().enumerate().take(reqs) {
+            for i in 0..self.m {
+                block.row_mut(i).copy_from_slice(dec.row(r * self.m + i));
+            }
+            match self.output {
+                OutputKind::Histogram => {
+                    assert_eq!(out.shape(), (self.n, self.m), "output buffer shape mismatch");
+                    block.transpose_into(out);
+                    ops::softmax_rows_in_place(out);
+                }
+                OutputKind::Average => {
+                    assert_eq!(out.shape(), (self.n, 1), "output buffer shape mismatch");
+                    let mut z = pool.take_raw(self.n, self.m);
+                    block.transpose_into(&mut z);
+                    let mut ones = pool.take_raw(self.m, 1);
+                    ones.as_mut_slice().fill(1.0 / self.m as f64);
+                    z.matmul_into(&ones, out);
+                    out.map_inplace(|t| 1.0 / (1.0 + (-t).exp()));
+                    pool.give(ones);
+                    pool.give(z);
+                }
+            }
+        }
+        pool.give(block);
+        pool.give(dec);
     }
 }
 

@@ -8,6 +8,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::config::{ModelConfig, OutputKind};
+use crate::infer::{InferRequest, InferWorkspace};
 use crate::model::encoder::Encoder;
 use crate::task::{CompletionModel, TrainSample};
 use crate::train::{run_training, TrainReport};
@@ -43,15 +44,85 @@ impl GcwcModel {
         &self.last_report
     }
 
-    /// Saves the trained parameters to a checkpoint file.
+    /// Number of edges `n` in the served graph.
+    pub fn num_edges(&self) -> usize {
+        self.encoder.num_edges()
+    }
+
+    /// Number of histogram buckets `m`.
+    pub fn num_buckets(&self) -> usize {
+        self.encoder.num_buckets()
+    }
+
+    /// Output head kind.
+    pub fn output_kind(&self) -> OutputKind {
+        self.encoder.output_kind()
+    }
+
+    /// Output columns (`m` for HIST, 1 for AVG).
+    pub fn output_cols(&self) -> usize {
+        self.encoder.output_cols()
+    }
+
+    /// Whitespace-free architecture token, written into checkpoint
+    /// headers and validated on load.
+    pub fn arch_string(&self) -> String {
+        format!(
+            "gcwc:n{}:m{}:{}",
+            self.encoder.num_edges(),
+            self.encoder.num_buckets(),
+            self.cfg.arch_signature()
+        )
+    }
+
+    /// Saves the trained parameters to a checkpoint file (with the
+    /// architecture token in the header).
     pub fn save(&self, path: &std::path::Path) -> Result<(), gcwc_nn::PersistError> {
-        gcwc_nn::persist::save(&self.store, path)
+        gcwc_nn::persist::save_with_arch(&self.store, path, &self.arch_string())
     }
 
     /// Restores parameters from a checkpoint produced by a model with
-    /// the identical architecture.
+    /// the identical architecture (header validated when present).
     pub fn load(&mut self, path: &std::path::Path) -> Result<(), gcwc_nn::PersistError> {
-        gcwc_nn::persist::load(&mut self.store, path)
+        let arch = self.arch_string();
+        gcwc_nn::persist::load_expecting(&mut self.store, path, Some(&arch))
+    }
+
+    /// Tape-free batched inference: runs `count` requests (provided by
+    /// `req`, indexed `0..count`) as one coalesced forward pass, writing
+    /// request `r`'s completed matrix into `outs[r]` (pre-shaped
+    /// `n × output_cols`). Bit-identical per request to
+    /// [`CompletionModel::predict`]; allocation-free once `ws` is warm.
+    pub fn infer_into<'r, F>(
+        &self,
+        ws: &mut InferWorkspace,
+        count: usize,
+        req: F,
+        outs: &mut [Matrix],
+    ) where
+        F: Fn(usize) -> InferRequest<'r>,
+    {
+        let (n, m) = (self.encoder.num_edges(), self.encoder.num_buckets());
+        let mut wide = ws.pool.take_raw(n, count * m);
+        for r in 0..count {
+            let rq = req(r);
+            assert_eq!(rq.input.shape(), (n, m), "request input shape mismatch");
+            for i in 0..n {
+                wide.row_mut(i)[r * m..(r + 1) * m].copy_from_slice(rq.input.row(i));
+            }
+        }
+        self.encoder.infer_outputs(&self.store, ws, &wide, count, outs);
+        ws.pool.give(wide);
+    }
+
+    /// Single-request convenience wrapper over [`GcwcModel::infer_into`];
+    /// the returned matrix comes from the workspace pool (return it with
+    /// [`InferWorkspace::give`] for reuse).
+    pub fn infer(&self, ws: &mut InferWorkspace, input: &Matrix) -> Matrix {
+        let mut out = ws.take(self.num_edges(), self.output_cols());
+        let rq = InferRequest { input, time_of_day: 0, day_of_week: 0, row_flags: &[] };
+        self.infer_into(ws, 1, |_| rq, std::slice::from_mut(&mut out));
+        out
     }
 
     /// Builds the per-sample loss node (KL for HIST, masked MSE for AVG).

@@ -1,0 +1,192 @@
+//! The tape-free inference path must be **bit-identical** to the tape
+//! forward used by `predict` — the serving layer depends on this to
+//! return cached / batched completions indistinguishable from direct
+//! single-request evaluation.
+
+use gcwc::{
+    build_samples, AGcwcModel, CompletionModel, GcwcModel, InferRequest, InferWorkspace,
+    ModelConfig, TaskKind, TrainSample,
+};
+use gcwc_linalg::Matrix;
+use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+
+fn tiny_samples(task: TaskKind) -> (gcwc_traffic::NetworkInstance, Vec<TrainSample>) {
+    let hw = generators::highway_tollgate(1);
+    let cfg = SimConfig {
+        days: 2,
+        intervals_per_day: 16,
+        records_per_interval: 10.0,
+        ..Default::default()
+    };
+    let data = simulate(&hw, HistogramSpec::hist8(), &cfg);
+    let ds = data.to_dataset(0.5, 5, 11);
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let samples = build_samples(&ds, &idx, task, 0);
+    (hw, samples)
+}
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn gcwc_hist_infer_matches_predict_bitwise() {
+    let (hw, samples) = tiny_samples(TaskKind::Estimation);
+    let cfg = ModelConfig::hw_hist().with_epochs(2);
+    let mut model = GcwcModel::new(&hw.graph, 8, cfg, 42);
+    model.fit(&samples[..8]);
+    let mut ws = InferWorkspace::new();
+    for s in &samples[..6] {
+        let expected = model.predict(s);
+        let got = model.infer(&mut ws, &s.input);
+        assert_eq!(bits(&expected), bits(&got));
+        ws.give(got);
+    }
+}
+
+#[test]
+fn gcwc_avg_infer_matches_predict_bitwise() {
+    let (hw, samples) = tiny_samples(TaskKind::Average);
+    let cfg = ModelConfig::hw_avg().with_epochs(2);
+    let mut model = GcwcModel::new(&hw.graph, 8, cfg, 7);
+    model.fit(&samples[..8]);
+    let mut ws = InferWorkspace::new();
+    for s in &samples[..4] {
+        let expected = model.predict(s);
+        let got = model.infer(&mut ws, &s.input);
+        assert_eq!(bits(&expected), bits(&got));
+        ws.give(got);
+    }
+}
+
+#[test]
+fn gcwc_batched_infer_matches_single_requests_bitwise() {
+    let (hw, samples) = tiny_samples(TaskKind::Estimation);
+    let cfg = ModelConfig::hw_hist().with_epochs(2);
+    let mut model = GcwcModel::new(&hw.graph, 8, cfg, 3);
+    model.fit(&samples[..8]);
+    let mut ws = InferWorkspace::new();
+    let batch = &samples[..5];
+    let mut outs: Vec<Matrix> =
+        (0..batch.len()).map(|_| ws.take(model.num_edges(), model.output_cols())).collect();
+    model.infer_into(
+        &mut ws,
+        batch.len(),
+        |r| InferRequest {
+            input: &batch[r].input,
+            time_of_day: batch[r].context.time_of_day,
+            day_of_week: batch[r].context.day_of_week,
+            row_flags: &batch[r].context.row_flags,
+        },
+        &mut outs,
+    );
+    for (s, out) in batch.iter().zip(&outs) {
+        let single = model.infer(&mut ws, &s.input);
+        assert_eq!(bits(&single), bits(out), "batched != single");
+        assert_eq!(bits(&model.predict(s)), bits(out), "batched != tape");
+        ws.give(single);
+    }
+    for out in outs {
+        ws.give(out);
+    }
+}
+
+#[test]
+fn agcwc_hist_infer_matches_predict_bitwise() {
+    let (hw, samples) = tiny_samples(TaskKind::Estimation);
+    let cfg = ModelConfig::hw_hist().with_epochs(2);
+    let mut model = AGcwcModel::new(&hw.graph, 8, 16, cfg, 42);
+    model.fit(&samples[..8]);
+    let mut ws = InferWorkspace::new();
+    for s in &samples[..6] {
+        let expected = model.predict(s);
+        let got = model.infer(
+            &mut ws,
+            &s.input,
+            s.context.time_of_day,
+            s.context.day_of_week,
+            &s.context.row_flags,
+        );
+        assert_eq!(bits(&expected), bits(&got));
+        ws.give(got);
+    }
+}
+
+#[test]
+fn agcwc_avg_infer_matches_predict_bitwise() {
+    let (hw, samples) = tiny_samples(TaskKind::Average);
+    let cfg = ModelConfig::hw_avg().with_epochs(2);
+    let mut model = AGcwcModel::new(&hw.graph, 8, 16, cfg, 9);
+    model.fit(&samples[..8]);
+    let mut ws = InferWorkspace::new();
+    for s in &samples[..4] {
+        let expected = model.predict(s);
+        let got = model.infer(
+            &mut ws,
+            &s.input,
+            s.context.time_of_day,
+            s.context.day_of_week,
+            &s.context.row_flags,
+        );
+        assert_eq!(bits(&expected), bits(&got));
+        ws.give(got);
+    }
+}
+
+#[test]
+fn agcwc_context_mask_subsets_match_bitwise() {
+    let (hw, samples) = tiny_samples(TaskKind::Estimation);
+    for mask in [
+        [false, false, false],
+        [true, false, false],
+        [false, true, false],
+        [false, false, true],
+        [true, true, false],
+    ] {
+        let mut cfg = ModelConfig::hw_hist().with_epochs(1);
+        cfg.context_mask = mask;
+        let mut model = AGcwcModel::new(&hw.graph, 8, 16, cfg, 4);
+        model.fit(&samples[..6]);
+        let mut ws = InferWorkspace::new();
+        let s = &samples[1];
+        let expected = model.predict(s);
+        let got = model.infer(
+            &mut ws,
+            &s.input,
+            s.context.time_of_day,
+            s.context.day_of_week,
+            &s.context.row_flags,
+        );
+        assert_eq!(bits(&expected), bits(&got), "mask {mask:?}");
+        ws.give(got);
+    }
+}
+
+#[test]
+fn agcwc_batched_infer_matches_single_requests_bitwise() {
+    let (hw, samples) = tiny_samples(TaskKind::Estimation);
+    let cfg = ModelConfig::hw_hist().with_epochs(2);
+    let mut model = AGcwcModel::new(&hw.graph, 8, 16, cfg, 5);
+    model.fit(&samples[..8]);
+    let mut ws = InferWorkspace::new();
+    let batch = &samples[..5];
+    let mut outs: Vec<Matrix> =
+        (0..batch.len()).map(|_| ws.take(model.num_edges(), model.output_cols())).collect();
+    model.infer_into(
+        &mut ws,
+        batch.len(),
+        |r| InferRequest {
+            input: &batch[r].input,
+            time_of_day: batch[r].context.time_of_day,
+            day_of_week: batch[r].context.day_of_week,
+            row_flags: &batch[r].context.row_flags,
+        },
+        &mut outs,
+    );
+    for (s, out) in batch.iter().zip(&outs) {
+        assert_eq!(bits(&model.predict(s)), bits(out), "batched != tape");
+    }
+    for out in outs {
+        ws.give(out);
+    }
+}

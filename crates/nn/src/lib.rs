@@ -12,6 +12,7 @@
 pub mod gradcheck;
 pub mod init;
 pub mod layers;
+pub mod ops;
 pub mod optim;
 pub mod params;
 pub mod persist;

@@ -1,11 +1,15 @@
 //! Parameter persistence.
 //!
 //! Trained models can be saved to and restored from a simple,
-//! dependency-free text format: one `param <name> <rows> <cols>` header
-//! per tensor followed by its row-major values in hexadecimal IEEE-754
-//! (lossless round trip). Loading validates names and shapes against
-//! the target store, so a checkpoint can only be restored into a model
-//! with the identical architecture.
+//! dependency-free text format: an optional
+//! `gcwc-checkpoint v<N> <arch>` header line, then one
+//! `param <name> <rows> <cols>` header per tensor followed by its
+//! row-major values in hexadecimal IEEE-754 (lossless round trip).
+//! Loading validates names and shapes against the target store — and,
+//! when the caller supplies an expected architecture string, the header
+//! too — so a checkpoint can only be restored into a model with the
+//! identical architecture. Headerless v0 files (written before the
+//! header existed) still load; they simply skip the architecture check.
 
 use std::path::Path;
 
@@ -42,10 +46,23 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
+/// Current checkpoint format version, written in the header line.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Leading keyword of the (v1+) checkpoint header line.
+const HEADER_KEYWORD: &str = "gcwc-checkpoint";
+
+/// Architecture token written when the caller does not supply one.
+pub const ARCH_UNSPECIFIED: &str = "unspecified";
+
 /// Serialises all parameter values (not gradients) to the checkpoint
-/// format.
-pub fn to_checkpoint(store: &ParamStore) -> String {
-    let mut out = String::from("# gcwc-checkpoint v1\n");
+/// format with an architecture token in the header line.
+///
+/// `arch` must be a single whitespace-free token (it shares one line
+/// with the format version); whitespace is replaced by `_`.
+pub fn to_checkpoint_with_arch(store: &ParamStore, arch: &str) -> String {
+    let arch: String = arch.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect();
+    let mut out = format!("{HEADER_KEYWORD} v{FORMAT_VERSION} {arch}\n");
     for (_, p) in store.iter() {
         out.push_str(&format!("param {} {} {}\n", p.name, p.value.rows(), p.value.cols()));
         for (i, v) in p.value.as_slice().iter().enumerate() {
@@ -59,19 +76,86 @@ pub fn to_checkpoint(store: &ParamStore) -> String {
     out
 }
 
-/// Saves a parameter store to a file.
-pub fn save(store: &ParamStore, path: &Path) -> Result<(), PersistError> {
-    std::fs::write(path, to_checkpoint(store))?;
+/// Serialises all parameter values (not gradients) to the checkpoint
+/// format (architecture recorded as [`ARCH_UNSPECIFIED`]).
+pub fn to_checkpoint(store: &ParamStore) -> String {
+    to_checkpoint_with_arch(store, ARCH_UNSPECIFIED)
+}
+
+/// Saves a parameter store to a file with an architecture token.
+pub fn save_with_arch(store: &ParamStore, path: &Path, arch: &str) -> Result<(), PersistError> {
+    std::fs::write(path, to_checkpoint_with_arch(store, arch))?;
     Ok(())
 }
 
-/// Restores parameter values from checkpoint text into `store`.
-///
-/// Every parameter in the store must appear in the checkpoint with the
-/// same name, order and shape.
-pub fn from_checkpoint(store: &mut ParamStore, content: &str) -> Result<(), PersistError> {
+/// Saves a parameter store to a file.
+pub fn save(store: &ParamStore, path: &Path) -> Result<(), PersistError> {
+    save_with_arch(store, path, ARCH_UNSPECIFIED)
+}
+
+/// Reads the architecture token from checkpoint text, if a (v1+)
+/// header line is present. Headerless v0 files yield `Ok(None)`.
+pub fn read_arch(content: &str) -> Result<Option<String>, PersistError> {
     let mut tokens =
         content.lines().filter(|l| !l.starts_with('#')).flat_map(|l| l.split_whitespace());
+    match tokens.next() {
+        Some(HEADER_KEYWORD) => parse_header_rest(&mut tokens).map(Some),
+        _ => Ok(None),
+    }
+}
+
+/// Parses the version and architecture tokens after [`HEADER_KEYWORD`]
+/// and returns the architecture; errors on unsupported versions.
+fn parse_header_rest<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+) -> Result<String, PersistError> {
+    let version = tokens
+        .next()
+        .ok_or_else(|| PersistError::Format("header missing format version".into()))?;
+    let number: u32 = version
+        .strip_prefix('v')
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| PersistError::Format(format!("bad format version '{version}'")))?;
+    if number == 0 || number > FORMAT_VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported checkpoint format version {number} (max supported {FORMAT_VERSION})"
+        )));
+    }
+    let arch = tokens
+        .next()
+        .ok_or_else(|| PersistError::Format("header missing architecture token".into()))?;
+    Ok(arch.to_owned())
+}
+
+/// Restores parameter values from checkpoint text into `store`,
+/// optionally validating the header's architecture token.
+///
+/// Every parameter in the store must appear in the checkpoint with the
+/// same name, order and shape. When `expected_arch` is `Some` and the
+/// checkpoint has a header, the architecture tokens must match
+/// ([`PersistError::Mismatch`] otherwise); headerless v0 checkpoints
+/// skip the check.
+pub fn from_checkpoint_expecting(
+    store: &mut ParamStore,
+    content: &str,
+    expected_arch: Option<&str>,
+) -> Result<(), PersistError> {
+    let mut tokens = content
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .flat_map(|l| l.split_whitespace())
+        .peekable();
+    if tokens.peek() == Some(&HEADER_KEYWORD) {
+        tokens.next();
+        let arch = parse_header_rest(&mut tokens)?;
+        if let Some(expected) = expected_arch {
+            if arch != expected && arch != ARCH_UNSPECIFIED {
+                return Err(PersistError::Mismatch(format!(
+                    "architecture '{arch}' in checkpoint, model expects '{expected}'"
+                )));
+            }
+        }
+    }
 
     let ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
     for id in ids {
@@ -128,9 +212,25 @@ pub fn from_checkpoint(store: &mut ParamStore, content: &str) -> Result<(), Pers
     Ok(())
 }
 
+/// Restores parameter values from checkpoint text into `store` without
+/// architecture validation.
+pub fn from_checkpoint(store: &mut ParamStore, content: &str) -> Result<(), PersistError> {
+    from_checkpoint_expecting(store, content, None)
+}
+
+/// Loads a checkpoint file into `store`, optionally validating the
+/// header's architecture token (see [`from_checkpoint_expecting`]).
+pub fn load_expecting(
+    store: &mut ParamStore,
+    path: &Path,
+    expected_arch: Option<&str>,
+) -> Result<(), PersistError> {
+    from_checkpoint_expecting(store, &std::fs::read_to_string(path)?, expected_arch)
+}
+
 /// Loads a checkpoint file into `store`.
 pub fn load(store: &mut ParamStore, path: &Path) -> Result<(), PersistError> {
-    from_checkpoint(store, &std::fs::read_to_string(path)?)
+    load_expecting(store, path, None)
 }
 
 #[cfg(test)]
@@ -204,6 +304,57 @@ mod tests {
         let cut = &text[..text.len() / 2];
         let mut other = sample_store();
         let err = from_checkpoint(&mut other, cut).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn arch_header_roundtrips() {
+        let store = sample_store();
+        let text = to_checkpoint_with_arch(&store, "gcwc:n3:m4");
+        assert!(text.starts_with("gcwc-checkpoint v1 gcwc:n3:m4\n"));
+        assert_eq!(read_arch(&text).unwrap().as_deref(), Some("gcwc:n3:m4"));
+        let mut restored = sample_store();
+        from_checkpoint_expecting(&mut restored, &text, Some("gcwc:n3:m4")).unwrap();
+        for ((_, a), (_, b)) in store.iter().zip(restored.iter()) {
+            assert_eq!(a.value, b.value);
+        }
+    }
+
+    #[test]
+    fn arch_whitespace_is_sanitised() {
+        let store = sample_store();
+        let text = to_checkpoint_with_arch(&store, "two words");
+        assert_eq!(read_arch(&text).unwrap().as_deref(), Some("two_words"));
+    }
+
+    #[test]
+    fn arch_mismatch_is_rejected() {
+        let store = sample_store();
+        let text = to_checkpoint_with_arch(&store, "gcwc:n3:m4");
+        let mut restored = sample_store();
+        let err = from_checkpoint_expecting(&mut restored, &text, Some("gcwc:n9:m9")).unwrap_err();
+        assert!(matches!(err, PersistError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn headerless_v0_still_loads() {
+        let store = sample_store();
+        // Strip the header line to emulate a pre-header checkpoint.
+        let text = to_checkpoint(&store);
+        let v0: String = text.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        assert_eq!(read_arch(&v0).unwrap(), None);
+        let mut restored = sample_store();
+        from_checkpoint_expecting(&mut restored, &v0, Some("anything")).unwrap();
+        for ((_, a), (_, b)) in store.iter().zip(restored.iter()) {
+            assert_eq!(a.value, b.value);
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let text = "gcwc-checkpoint v99 arch\n";
+        let mut store = sample_store();
+        let err = from_checkpoint(&mut store, text).unwrap_err();
         assert!(matches!(err, PersistError::Format(_)), "{err}");
     }
 

@@ -14,6 +14,7 @@ use gcwc_linalg::{BufferPool, Matrix};
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::ops;
 use crate::params::{ParamId, ParamStore};
 
 /// Identifies a node within a [`Tape`].
@@ -386,15 +387,9 @@ impl Tape {
         let Tape { nodes, pool, .. } = self;
         let xv = &nodes[x.0].value;
         let bv = &nodes[bias.0].value;
-        assert_eq!(bv.rows(), 1, "bias must be a row vector");
-        assert_eq!(bv.cols(), xv.cols(), "bias width mismatch");
         let mut v = pool.take_raw(xv.rows(), xv.cols());
         v.copy_from(xv);
-        for i in 0..v.rows() {
-            for (dst, src) in v.row_mut(i).iter_mut().zip(bv.row(0)) {
-                *dst += src;
-            }
-        }
+        ops::add_row_broadcast_assign(&mut v, bv);
         self.push(v, Op::AddRowBroadcast { x, bias })
     }
 
@@ -444,18 +439,7 @@ impl Tape {
         let xv = &nodes[x.0].value;
         let mut v = pool.take_raw(xv.rows(), xv.cols());
         v.copy_from(xv);
-        for i in 0..v.rows() {
-            let row = v.row_mut(i);
-            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            let mut sum = 0.0;
-            for t in row.iter_mut() {
-                *t = (*t - max).exp();
-                sum += *t;
-            }
-            for t in row.iter_mut() {
-                *t /= sum;
-            }
-        }
+        ops::softmax_rows_in_place(&mut v);
         self.push(v, Op::SoftmaxRows(x))
     }
 
@@ -468,12 +452,7 @@ impl Tape {
         let xv = &nodes[x.0].value;
         let mut v = pool.take_raw(xv.rows(), xv.cols());
         v.copy_from(xv);
-        for i in 0..v.rows() {
-            let s: f64 = v.row(i).iter().sum::<f64>() + eps;
-            for t in v.row_mut(i) {
-                *t /= s;
-            }
-        }
+        ops::normalize_rows_in_place(&mut v, eps);
         self.push(v, Op::NormalizeRows { x, eps })
     }
 
@@ -521,12 +500,7 @@ impl Tape {
         assert_eq!(total % groups, 0, "columns not divisible by groups");
         let c = total / groups;
         let mut v = pool.take_raw(groups, n * c);
-        for g in 0..groups {
-            let dst = v.row_mut(g);
-            for i in 0..n {
-                dst[i * c..(i + 1) * c].copy_from_slice(&xv.row(i)[g * c..(g + 1) * c]);
-            }
-        }
+        ops::group_rows_into(xv, groups, &mut v);
         self.push(v, Op::GroupRows { x, groups })
     }
 
@@ -569,11 +543,7 @@ impl Tape {
         let xv = &nodes[x.0].value;
         let (r, c) = xv.shape();
         let mut v = pool.take_raw(r, c * times);
-        for i in 0..r {
-            for t in 0..times {
-                v.row_mut(i)[t * c..(t + 1) * c].copy_from_slice(xv.row(i));
-            }
-        }
+        ops::tile_cols_into(xv, times, &mut v);
         self.push(v, Op::TileCols { x, times })
     }
 
@@ -662,21 +632,7 @@ impl Tape {
         for (tx, &th) in saved.iter().zip(thetas) {
             let thv = &nodes[th.0].value;
             assert_eq!(thv.rows(), c_in, "theta input-channel mismatch");
-            for g in 0..groups {
-                // out[:, g·c_out ..] += tx[:, g·c_in ..] · θ_k
-                for i in 0..n {
-                    let tx_row = &tx.row(i)[g * c_in..(g + 1) * c_in];
-                    let out_row = &mut out.row_mut(i)[g * c_out..(g + 1) * c_out];
-                    for (ci, &a) in tx_row.iter().enumerate() {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        for (o, &b) in out_row.iter_mut().zip(thv.row(ci)) {
-                            *o += a * b;
-                        }
-                    }
-                }
-            }
+            ops::poly_conv_accumulate(tx, thv, &mut out, groups);
         }
         let mut ids = spare_ids.pop().unwrap_or_default();
         ids.extend_from_slice(thetas);
@@ -706,7 +662,7 @@ impl Tape {
     pub fn conv2d(&mut self, x: NodeId, kernel: NodeId, bias: NodeId, spec: ConvSpec) -> NodeId {
         let Tape { nodes, pool, .. } = self;
         let mut v = pool.take_raw(spec.batch * spec.out_ch, spec.h * spec.w);
-        conv2d_forward_into(
+        ops::conv2d_forward_into(
             &nodes[x.0].value,
             &nodes[kernel.0].value,
             &nodes[bias.0].value,
@@ -725,7 +681,7 @@ impl Tape {
         let mut argmax = spare_usize.pop().unwrap_or_default();
         argmax.clear();
         argmax.resize(spec.batch * spec.ch * ho * wo, 0);
-        maxpool2d_forward_into(&nodes[x.0].value, &spec, &mut v, &mut argmax);
+        ops::maxpool2d_forward_into(&nodes[x.0].value, &spec, &mut v, &mut argmax);
         self.push(v, Op::MaxPool2d { x, spec, argmax })
     }
 
@@ -1234,53 +1190,8 @@ fn accumulate_ref(pool: &mut BufferPool, grads: &mut [Option<Matrix>], id: NodeI
 }
 
 // ----- dense conv kernels ----------------------------------------------------
-
-/// Writes the convolution into `out` (`(batch·out_ch) × (h·w)`, fully
-/// overwritten).
-fn conv2d_forward_into(
-    x: &Matrix,
-    kernel: &Matrix,
-    bias: &Matrix,
-    spec: &ConvSpec,
-    out: &mut Matrix,
-) {
-    let ConvSpec { batch, in_ch, out_ch, h, w, kh, kw } = *spec;
-    assert_eq!(x.rows(), batch * in_ch, "conv input row mismatch");
-    assert_eq!(x.cols(), h * w, "conv input col mismatch");
-    assert_eq!(kernel.shape(), (out_ch, in_ch * kh * kw), "kernel shape mismatch");
-    assert_eq!(bias.shape(), (1, out_ch), "bias shape mismatch");
-    assert_eq!(out.shape(), (batch * out_ch, h * w), "conv output shape mismatch");
-    let (ph0, pw0) = ((kh - 1) / 2, (kw - 1) / 2);
-    for b in 0..batch {
-        for oc in 0..out_ch {
-            let orow = b * out_ch + oc;
-            for i in 0..h {
-                for j in 0..w {
-                    let mut acc = bias[(0, oc)];
-                    for ic in 0..in_ch {
-                        let xrow = b * in_ch + ic;
-                        for di in 0..kh {
-                            let si = i as isize + di as isize - ph0 as isize;
-                            if si < 0 || si >= h as isize {
-                                continue;
-                            }
-                            for dj in 0..kw {
-                                let sj = j as isize + dj as isize - pw0 as isize;
-                                if sj < 0 || sj >= w as isize {
-                                    continue;
-                                }
-                                let kcol = ic * kh * kw + di * kw + dj;
-                                acc +=
-                                    kernel[(oc, kcol)] * x[(xrow, si as usize * w + sj as usize)];
-                            }
-                        }
-                    }
-                    out[(orow, i * w + j)] = acc;
-                }
-            }
-        }
-    }
-}
+// (Forward kernels live in `crate::ops`, shared with tape-free
+// inference; only the backward passes are tape-specific.)
 
 /// Accumulates conv gradients into caller-provided **zeroed** buffers.
 fn conv2d_backward_into(
@@ -1327,36 +1238,6 @@ fn conv2d_backward_into(
                         }
                     }
                 }
-            }
-        }
-    }
-}
-
-/// Writes the pooled maxima and argmax indices into caller-provided
-/// buffers (every element of both is overwritten).
-fn maxpool2d_forward_into(x: &Matrix, spec: &PoolSpec, out: &mut Matrix, argmax: &mut [usize]) {
-    let PoolSpec { batch, ch, h, w, ph, pw } = *spec;
-    assert_eq!(x.rows(), batch * ch, "pool input row mismatch");
-    assert_eq!(x.cols(), h * w, "pool input col mismatch");
-    let (ho, wo) = (spec.out_h(), spec.out_w());
-    assert_eq!(out.shape(), (batch * ch, ho * wo), "pool output shape mismatch");
-    assert_eq!(argmax.len(), batch * ch * ho * wo, "argmax length mismatch");
-    for r in 0..batch * ch {
-        for oi in 0..ho {
-            for oj in 0..wo {
-                let mut best = f64::NEG_INFINITY;
-                let mut best_idx = 0usize;
-                for di in 0..ph {
-                    for dj in 0..pw {
-                        let idx = (oi * ph + di) * w + (oj * pw + dj);
-                        if x[(r, idx)] > best {
-                            best = x[(r, idx)];
-                            best_idx = idx;
-                        }
-                    }
-                }
-                out[(r, oi * wo + oj)] = best;
-                argmax[r * ho * wo + oi * wo + oj] = best_idx;
             }
         }
     }

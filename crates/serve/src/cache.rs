@@ -1,0 +1,254 @@
+//! Completion cache keyed by `(time slot, day of week, coverage
+//! signature)` with LRU eviction.
+//!
+//! Two requests with the same context and the **same observed input**
+//! (compared bit-for-bit via an FNV-1a hash over the `f64` bit
+//! patterns) produce the same completion, so the second can be served
+//! straight from the cache. Entries live in a preallocated slab linked
+//! into an intrusive LRU list; eviction reuses the victim's matrix
+//! buffer, so a warm cache performs no allocation on insert.
+
+use gcwc_linalg::Matrix;
+use std::collections::HashMap;
+
+/// Identity of a cacheable completion request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Time-of-day interval index.
+    pub time_of_day: usize,
+    /// Day-of-week index.
+    pub day_of_week: usize,
+    /// FNV-1a hash over the input matrix's shape and `f64` bits.
+    pub signature: u64,
+}
+
+impl CacheKey {
+    /// Builds the key for a request: context indices plus the exact
+    /// bit-level signature of the observed input matrix.
+    pub fn for_input(time_of_day: usize, day_of_week: usize, input: &Matrix) -> Self {
+        Self { time_of_day, day_of_week, signature: input_signature(input) }
+    }
+}
+
+/// FNV-1a over the matrix shape and the bit patterns of its entries.
+pub fn input_signature(input: &Matrix) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(input.rows() as u64);
+    mix(input.cols() as u64);
+    for &v in input.as_slice() {
+        mix(v.to_bits());
+    }
+    h
+}
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: CacheKey,
+    value: Matrix,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity LRU cache of completed weight matrices.
+pub struct CompletionCache {
+    map: HashMap<CacheKey, usize>,
+    entries: Vec<Entry>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl CompletionCache {
+    /// Creates a cache holding at most `capacity` completions
+    /// (`capacity == 0` disables caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity.saturating_mul(2)),
+            entries: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a completion, bumping the entry to most-recently-used.
+    /// Updates the hit/miss counters.
+    pub fn get(&mut self, key: &CacheKey) -> Option<&Matrix> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.unlink(idx);
+                self.push_front(idx);
+                Some(&self.entries[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a completion, evicting the
+    /// least-recently-used entry when full. The evicted entry's matrix
+    /// buffer is reused, so warm inserts do not allocate.
+    pub fn insert(&mut self, key: CacheKey, value: &Matrix) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            copy_into(&mut self.entries[idx].value, value);
+            self.unlink(idx);
+            self.push_front(idx);
+            return;
+        }
+        let idx = if self.entries.len() < self.capacity {
+            self.entries.push(Entry { key, value: value.clone(), prev: NIL, next: NIL });
+            self.entries.len() - 1
+        } else {
+            // Evict the LRU tail, reusing its slot and matrix buffer.
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "non-empty cache must have a tail");
+            self.unlink(victim);
+            let old_key = self.entries[victim].key;
+            self.map.remove(&old_key);
+            self.evictions += 1;
+            copy_into(&mut self.entries[victim].value, value);
+            self.entries[victim].key = key;
+            victim
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+    }
+
+    /// `(hits, misses, evictions)` since construction.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Number of cached completions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of completions held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.entries[idx].prev, self.entries[idx].next);
+        if prev != NIL {
+            self.entries[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entries[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+/// Shape-aware copy: reuses the destination buffer when shapes agree.
+fn copy_into(dst: &mut Matrix, src: &Matrix) {
+    if dst.shape() == src.shape() {
+        dst.copy_from(src);
+    } else {
+        *dst = src.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(seed: f64) -> Matrix {
+        Matrix::from_vec(2, 2, vec![seed, seed + 1.0, seed + 2.0, seed + 3.0])
+    }
+
+    fn key(t: usize) -> CacheKey {
+        CacheKey { time_of_day: t, day_of_week: 0, signature: t as u64 }
+    }
+
+    #[test]
+    fn hit_returns_inserted_value() {
+        let mut c = CompletionCache::new(4);
+        c.insert(key(1), &mat(1.0));
+        assert_eq!(c.get(&key(1)), Some(&mat(1.0)));
+        assert_eq!(c.stats(), (1, 0, 0));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = CompletionCache::new(2);
+        c.insert(key(1), &mat(1.0));
+        c.insert(key(2), &mat(2.0));
+        assert!(c.get(&key(1)).is_some()); // 1 becomes MRU
+        c.insert(key(3), &mat(3.0)); // evicts 2
+        assert!(c.get(&key(2)).is_none());
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.stats().2, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = CompletionCache::new(0);
+        c.insert(key(1), &mat(1.0));
+        assert!(c.get(&key(1)).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn signature_is_bit_sensitive() {
+        let a = mat(1.0);
+        let mut b = mat(1.0);
+        assert_eq!(input_signature(&a), input_signature(&b));
+        b.as_mut_slice()[3] += 1e-12;
+        assert_ne!(input_signature(&a), input_signature(&b));
+    }
+
+    #[test]
+    fn refresh_existing_key_updates_value() {
+        let mut c = CompletionCache::new(2);
+        c.insert(key(1), &mat(1.0));
+        c.insert(key(1), &mat(9.0));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&key(1)), Some(&mat(9.0)));
+    }
+}

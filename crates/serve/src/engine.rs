@@ -1,0 +1,575 @@
+//! The batched inference engine: a bounded queue feeding worker
+//! threads that coalesce requests into pooled forward passes, with a
+//! shared completion cache in front.
+//!
+//! Buffer discipline: a [`Client`] owns its input/output matrices and
+//! round-trips them through the [`Job`] → [`Completion`] cycle, the
+//! worker owns an [`InferWorkspace`] plus persistent batch scratch,
+//! and the cache reuses evicted buffers — so the in-process request
+//! path performs **zero heap allocations** once warm (asserted by
+//! `gcwc-bench`'s `serve_alloc` test under `count-allocs`).
+
+use crate::cache::{CacheKey, CompletionCache};
+use crate::queue::{BoundedQueue, PushError};
+use crate::registry::ModelRegistry;
+use crate::{derive_row_flags, ServeError};
+use gcwc::{InferRequest, InferWorkspace};
+use gcwc_linalg::Matrix;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Maximum requests coalesced into one forward pass.
+    pub max_batch: usize,
+    /// Bounded request-queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Worker threads. `0` runs no threads: callers drain the queue
+    /// with [`Engine::process_queued`], which makes batching
+    /// deterministic (used by the property tests).
+    pub workers: usize,
+    /// Completion-cache capacity (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            queue_capacity: 64,
+            workers: 1,
+            cache_capacity: 256,
+            default_deadline: None,
+        }
+    }
+}
+
+/// A completed request: the result plus the caller's buffers, handed
+/// back for reuse.
+pub struct Completion {
+    /// The completed `n × output_cols` weight matrix.
+    pub output: Matrix,
+    /// The caller's input buffer, returned for the next request.
+    pub input: Matrix,
+    /// True when served from the completion cache.
+    pub cache_hit: bool,
+    /// Generation of the model snapshot that produced the result.
+    pub generation: u64,
+}
+
+/// One-shot rendezvous a worker fulfils and a client waits on.
+struct ResponseSlot {
+    value: Mutex<Option<Result<Completion, ServeError>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        Self { value: Mutex::new(None), ready: Condvar::new() }
+    }
+
+    fn fulfill(&self, result: Result<Completion, ServeError>) {
+        let mut g = self.value.lock().unwrap();
+        debug_assert!(g.is_none(), "slot fulfilled twice");
+        *g = Some(result);
+        drop(g);
+        self.ready.notify_one();
+    }
+
+    fn wait(&self) -> Result<Completion, ServeError> {
+        let mut g = self.value.lock().unwrap();
+        loop {
+            if let Some(result) = g.take() {
+                return result;
+            }
+            g = self.ready.wait(g).unwrap();
+        }
+    }
+}
+
+/// A queued request with its owner's buffers and response slot.
+struct Job {
+    input: Matrix,
+    out_buf: Matrix,
+    time_of_day: usize,
+    day_of_week: usize,
+    deadline: Option<Instant>,
+    slot: Arc<ResponseSlot>,
+}
+
+impl Job {
+    fn respond(self, result: Result<Completion, ServeError>) {
+        self.slot.fulfill(result);
+    }
+}
+
+/// Monotonic request counters.
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+}
+
+/// Point-in-time view of the engine counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StatsSnapshot {
+    /// Requests accepted into the queue.
+    pub requests: u64,
+    /// Requests answered (ok or error).
+    pub completed: u64,
+    /// Forward passes executed (each serving ≥1 cache-missing request).
+    pub batches: u64,
+    /// Requests refused with `Overloaded`.
+    pub rejected: u64,
+    /// Requests expired before service.
+    pub expired: u64,
+    /// Completion-cache hits.
+    pub cache_hits: u64,
+    /// Completion-cache misses.
+    pub cache_misses: u64,
+    /// Completion-cache evictions.
+    pub cache_evictions: u64,
+    /// Current model generation.
+    pub generation: u64,
+}
+
+/// Per-worker (or inline-drain) scratch, reused across batches.
+struct WorkerState {
+    ws: InferWorkspace,
+    batch: Vec<Option<Job>>,
+    miss_idx: Vec<usize>,
+    keys: Vec<CacheKey>,
+    flags: Vec<Vec<f64>>,
+    outs: Vec<Matrix>,
+}
+
+impl WorkerState {
+    fn new(max_batch: usize) -> Self {
+        Self {
+            ws: InferWorkspace::new(),
+            batch: Vec::with_capacity(max_batch),
+            miss_idx: Vec::with_capacity(max_batch),
+            keys: Vec::with_capacity(max_batch),
+            flags: std::iter::repeat_with(Vec::new).take(max_batch).collect(),
+            outs: Vec::new(),
+        }
+    }
+}
+
+struct EngineInner {
+    queue: BoundedQueue<Job>,
+    cache: Mutex<CompletionCache>,
+    registry: Arc<ModelRegistry>,
+    counters: Counters,
+    cfg: EngineConfig,
+    inline_state: Mutex<WorkerState>,
+}
+
+impl EngineInner {
+    /// Serves one batch: cache lookups first, then a single coalesced
+    /// forward pass for the misses, then cache fills + responses.
+    fn serve_batch(&self, state: &mut WorkerState) {
+        let snapshot = self.registry.snapshot();
+        let model = &snapshot.model;
+        let (n, m) = (model.num_edges(), model.num_buckets());
+        let out_cols = model.output_cols();
+        let WorkerState { ws, batch, miss_idx, keys, flags, outs } = state;
+        miss_idx.clear();
+        keys.clear();
+
+        // Phase 1: validation, deadlines, cache lookups.
+        let now = Instant::now();
+        {
+            let mut cache = self.cache.lock().unwrap();
+            for i in 0..batch.len() {
+                let job = batch[i].as_ref().expect("fresh batch slot");
+                if job.input.shape() != (n, m) {
+                    let got = job.input.shape();
+                    let job = batch[i].take().expect("slot checked above");
+                    self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    job.respond(Err(ServeError::BadRequest(format!(
+                        "input shape {got:?}, model expects ({n}, {m})"
+                    ))));
+                    continue;
+                }
+                if job.deadline.is_some_and(|d| d < now) {
+                    let job = batch[i].take().expect("slot checked above");
+                    self.counters.expired.fetch_add(1, Ordering::Relaxed);
+                    self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    job.respond(Err(ServeError::DeadlineExceeded));
+                    continue;
+                }
+                let key = CacheKey::for_input(job.time_of_day, job.day_of_week, &job.input);
+                if let Some(cached) = cache.get(&key) {
+                    let mut job = batch[i].take().expect("slot checked above");
+                    job.out_buf.copy_from(cached);
+                    let completion = Completion {
+                        output: std::mem::replace(&mut job.out_buf, Matrix::zeros(0, 0)),
+                        input: std::mem::replace(&mut job.input, Matrix::zeros(0, 0)),
+                        cache_hit: true,
+                        generation: snapshot.generation,
+                    };
+                    self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    job.respond(Ok(completion));
+                } else {
+                    keys.push(key);
+                    miss_idx.push(i);
+                }
+            }
+        }
+
+        if miss_idx.is_empty() {
+            batch.clear();
+            return;
+        }
+
+        // Phase 2: one coalesced forward pass over the misses.
+        let count = miss_idx.len();
+        for (r, &i) in miss_idx.iter().enumerate() {
+            let job = batch[i].as_ref().expect("miss slots are untaken");
+            derive_row_flags(&job.input, &mut flags[r]);
+        }
+        for slot in outs.iter_mut() {
+            if slot.shape() != (n, out_cols) {
+                let stale = std::mem::replace(slot, ws.take(n, out_cols));
+                ws.give(stale);
+            }
+        }
+        while outs.len() < count {
+            let fresh = ws.take(n, out_cols);
+            outs.push(fresh);
+        }
+        {
+            let batch_ref: &Vec<Option<Job>> = batch;
+            let miss_ref: &Vec<usize> = miss_idx;
+            let flags_ref: &Vec<Vec<f64>> = flags;
+            model.infer_into(
+                ws,
+                count,
+                |r| {
+                    let job = batch_ref[miss_ref[r]].as_ref().expect("miss slots are untaken");
+                    InferRequest {
+                        input: &job.input,
+                        time_of_day: job.time_of_day,
+                        day_of_week: job.day_of_week,
+                        row_flags: &flags_ref[r],
+                    }
+                },
+                &mut outs[..count],
+            );
+        }
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+
+        // Phase 3: cache fills + responses.
+        {
+            let mut cache = self.cache.lock().unwrap();
+            for (r, &i) in miss_idx.iter().enumerate() {
+                let mut job = batch[i].take().expect("miss slots are untaken");
+                cache.insert(keys[r], &outs[r]);
+                job.out_buf.copy_from(&outs[r]);
+                let completion = Completion {
+                    output: std::mem::replace(&mut job.out_buf, Matrix::zeros(0, 0)),
+                    input: std::mem::replace(&mut job.input, Matrix::zeros(0, 0)),
+                    cache_hit: false,
+                    generation: snapshot.generation,
+                };
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                job.respond(Ok(completion));
+            }
+        }
+        batch.clear();
+    }
+
+    /// Worker loop: blocking pop for the first job, opportunistic pops
+    /// up to `max_batch`, then serve. Exits once the queue is closed
+    /// and drained.
+    fn run_worker(&self, state: &mut WorkerState) {
+        while let Some(job) = self.queue.pop() {
+            state.batch.clear();
+            state.batch.push(Some(job));
+            while state.batch.len() < self.cfg.max_batch {
+                match self.queue.try_pop() {
+                    Some(j) => state.batch.push(Some(j)),
+                    None => break,
+                }
+            }
+            self.serve_batch(state);
+        }
+    }
+}
+
+/// The batched, cached inference engine. Create with [`Engine::new`],
+/// obtain per-caller [`Client`]s, and stop with [`Engine::shutdown`]
+/// (which drains all in-flight requests before returning).
+pub struct Engine {
+    inner: Arc<EngineInner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Starts an engine serving `registry` with `cfg.workers` threads.
+    pub fn new(registry: Arc<ModelRegistry>, cfg: EngineConfig) -> Self {
+        let max_batch = cfg.max_batch.max(1);
+        let inner = Arc::new(EngineInner {
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            cache: Mutex::new(CompletionCache::new(cfg.cache_capacity)),
+            registry,
+            counters: Counters::default(),
+            cfg: EngineConfig { max_batch, ..cfg },
+            inline_state: Mutex::new(WorkerState::new(max_batch)),
+        });
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for w in 0..cfg.workers {
+            let inner = Arc::clone(&inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("gcwc-serve-{w}"))
+                .spawn(move || {
+                    let mut state = WorkerState::new(inner.cfg.max_batch);
+                    inner.run_worker(&mut state);
+                })
+                .expect("spawn worker");
+            workers.push(handle);
+        }
+        Self { inner, workers: Mutex::new(workers) }
+    }
+
+    /// Creates an in-process client (one outstanding request at a
+    /// time; use several clients for concurrency).
+    pub fn client(&self) -> Client {
+        let snapshot = self.inner.registry.snapshot();
+        Client {
+            inner: Arc::clone(&self.inner),
+            slot: Arc::new(ResponseSlot::new()),
+            spare_inputs: Vec::new(),
+            spare_outputs: Vec::new(),
+            pending: false,
+            in_shape: (snapshot.model.num_edges(), snapshot.model.num_buckets()),
+            out_shape: (snapshot.model.num_edges(), snapshot.model.output_cols()),
+        }
+    }
+
+    /// The registry behind this engine.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.inner.registry
+    }
+
+    /// Drains every currently queued request inline on the calling
+    /// thread, batching up to `max_batch` per forward pass. This is
+    /// the serving path when `workers == 0` (deterministic batching);
+    /// with worker threads running it is unnecessary but harmless.
+    pub fn process_queued(&self) {
+        let mut state = self.inner.inline_state.lock().unwrap();
+        while let Some(job) = self.inner.queue.try_pop() {
+            state.batch.clear();
+            state.batch.push(Some(job));
+            while state.batch.len() < self.inner.cfg.max_batch {
+                match self.inner.queue.try_pop() {
+                    Some(j) => state.batch.push(Some(j)),
+                    None => break,
+                }
+            }
+            self.inner.serve_batch(&mut state);
+        }
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let c = &self.inner.counters;
+        let (cache_hits, cache_misses, cache_evictions) = self.inner.cache.lock().unwrap().stats();
+        StatsSnapshot {
+            requests: c.requests.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            expired: c.expired.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            generation: self.inner.registry.generation(),
+        }
+    }
+
+    /// Graceful shutdown: closes the queue (new sends fail with
+    /// `ShuttingDown`), lets the workers drain every queued request,
+    /// and joins them. Queued requests are *served*, not dropped.
+    pub fn shutdown(&self) {
+        self.inner.queue.close();
+        if self.inner.cfg.workers == 0 {
+            self.process_queued();
+        }
+        let mut workers = self.workers.lock().unwrap();
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// In-process handle for submitting completion requests.
+///
+/// A client owns its matrix buffers: [`Client::input_buffer`] hands
+/// out a zeroed input, [`Client::send`] moves it (plus a pooled output
+/// buffer) into the queue, and the returned [`Completion`] carries
+/// both back — recycle it with [`Client::recycle`] and the next
+/// request allocates nothing.
+pub struct Client {
+    inner: Arc<EngineInner>,
+    slot: Arc<ResponseSlot>,
+    spare_inputs: Vec<Matrix>,
+    spare_outputs: Vec<Matrix>,
+    pending: bool,
+    in_shape: (usize, usize),
+    out_shape: (usize, usize),
+}
+
+impl Client {
+    /// A zeroed `n × m` input buffer (recycled when available).
+    pub fn input_buffer(&mut self) -> Matrix {
+        match self.spare_inputs.pop() {
+            Some(mut m) if m.shape() == self.in_shape => {
+                m.as_mut_slice().fill(0.0);
+                m
+            }
+            _ => Matrix::zeros(self.in_shape.0, self.in_shape.1),
+        }
+    }
+
+    fn out_buffer(&mut self) -> Matrix {
+        match self.spare_outputs.pop() {
+            Some(m) if m.shape() == self.out_shape => m,
+            _ => Matrix::zeros(self.out_shape.0, self.out_shape.1),
+        }
+    }
+
+    fn make_job(
+        &mut self,
+        input: Matrix,
+        time_of_day: usize,
+        day_of_week: usize,
+        deadline: Option<Instant>,
+    ) -> Job {
+        let deadline =
+            deadline.or_else(|| self.inner.cfg.default_deadline.map(|d| Instant::now() + d));
+        Job {
+            input,
+            out_buf: self.out_buffer(),
+            time_of_day,
+            day_of_week,
+            deadline,
+            slot: Arc::clone(&self.slot),
+        }
+    }
+
+    fn reclaim(&mut self, job: Job) {
+        self.spare_inputs.push(job.input);
+        self.spare_outputs.push(job.out_buf);
+    }
+
+    /// Enqueues a request without blocking; `Overloaded` on a full
+    /// queue (the input buffer is retained for the retry).
+    pub fn send(
+        &mut self,
+        input: Matrix,
+        time_of_day: usize,
+        day_of_week: usize,
+    ) -> Result<(), ServeError> {
+        self.send_with_deadline(input, time_of_day, day_of_week, None)
+    }
+
+    /// Like [`Client::send`] but with an explicit per-request deadline:
+    /// if a worker only reaches the request after `deadline`, it
+    /// answers `DeadlineExceeded` instead of computing the completion.
+    pub fn send_with_deadline(
+        &mut self,
+        input: Matrix,
+        time_of_day: usize,
+        day_of_week: usize,
+        deadline: Option<Instant>,
+    ) -> Result<(), ServeError> {
+        assert!(!self.pending, "one outstanding request per client");
+        let job = self.make_job(input, time_of_day, day_of_week, deadline);
+        match self.inner.queue.try_push(job) {
+            Ok(()) => {
+                self.inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+                self.pending = true;
+                Ok(())
+            }
+            Err(PushError::Full(job)) => {
+                self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                self.reclaim(job);
+                Err(ServeError::Overloaded)
+            }
+            Err(PushError::Closed(job)) => {
+                self.reclaim(job);
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Enqueues a request, waiting for queue space if necessary.
+    pub fn send_blocking(
+        &mut self,
+        input: Matrix,
+        time_of_day: usize,
+        day_of_week: usize,
+    ) -> Result<(), ServeError> {
+        assert!(!self.pending, "one outstanding request per client");
+        let job = self.make_job(input, time_of_day, day_of_week, None);
+        match self.inner.queue.push(job) {
+            Ok(()) => {
+                self.inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+                self.pending = true;
+                Ok(())
+            }
+            Err(PushError::Full(job)) | Err(PushError::Closed(job)) => {
+                self.reclaim(job);
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Blocks until the outstanding request is answered.
+    ///
+    /// # Panics
+    /// Panics when no request is outstanding.
+    pub fn recv(&mut self) -> Result<Completion, ServeError> {
+        assert!(self.pending, "no outstanding request");
+        let result = self.slot.wait();
+        self.pending = false;
+        result
+    }
+
+    /// Convenience: blocking send + receive.
+    pub fn complete(
+        &mut self,
+        input: Matrix,
+        time_of_day: usize,
+        day_of_week: usize,
+    ) -> Result<Completion, ServeError> {
+        self.send_blocking(input, time_of_day, day_of_week)?;
+        self.recv()
+    }
+
+    /// Returns a completion's buffers to this client for reuse.
+    pub fn recycle(&mut self, completion: Completion) {
+        self.spare_inputs.push(completion.input);
+        self.spare_outputs.push(completion.output);
+    }
+
+    /// True while a request is in flight.
+    pub fn is_pending(&self) -> bool {
+        self.pending
+    }
+}

@@ -1,0 +1,117 @@
+//! # gcwc-serve
+//!
+//! Batched, cached inference server for stochastic weight completion.
+//!
+//! A trained GCWC / A-GCWC checkpoint is loaded into a warm
+//! [`ModelRegistry`] (atomically hot-swappable), and completion
+//! requests flow through a bounded queue into worker threads that
+//! coalesce up to `max_batch` requests into **one** pooled, tape-free
+//! forward pass. Because every batched kernel computes each request's
+//! column block independently (see `gcwc::infer`), the responses are
+//! bit-identical to running each request alone. A keyed LRU
+//! [`CompletionCache`] short-circuits repeated `(time, day, coverage)`
+//! requests entirely.
+//!
+//! The crate is dependency-free (std only): the TCP front end speaks a
+//! newline-delimited text protocol over [`std::net::TcpListener`], and
+//! in-process callers use [`Client`] directly — the latter path
+//! performs zero heap allocations per request once warm.
+//!
+//! ```text
+//! checkpoint ─▶ ModelRegistry ─▶ snapshot
+//!                                   │
+//! Client ─▶ BoundedQueue ─▶ worker ─┼▶ CompletionCache ──▶ response
+//!   ▲                               └▶ batched infer ─┘
+//!   └────────── TCP front end (newline-delimited text)
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod protocol;
+pub mod queue;
+pub mod registry;
+pub mod server;
+
+pub use cache::{CacheKey, CompletionCache};
+pub use engine::{Client, Completion, Engine, EngineConfig, StatsSnapshot};
+pub use queue::BoundedQueue;
+pub use registry::{AnyModel, ModelRegistry, ModelSnapshot};
+pub use server::{Server, TcpClient};
+
+use gcwc_linalg::Matrix;
+
+/// Everything that can go wrong while serving a completion request.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request queue is full (backpressure) — retry later.
+    Overloaded,
+    /// The request's deadline passed before a worker served it.
+    DeadlineExceeded,
+    /// The engine is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The request is malformed (wrong shape, out-of-range context…).
+    BadRequest(String),
+    /// Loading or validating a checkpoint failed.
+    Checkpoint(gcwc_nn::PersistError),
+    /// Socket-level failure on the TCP front end.
+    Io(std::io::Error),
+    /// The peer sent a line the wire protocol cannot parse.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "request queue full"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<gcwc_nn::PersistError> for ServeError {
+    fn from(e: gcwc_nn::PersistError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// The wire error code of a [`ServeError`] (stable tokens for the text
+/// protocol's `err <code> <message>` responses).
+impl ServeError {
+    /// Short machine-readable code used on the wire.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded => "overloaded",
+            ServeError::DeadlineExceeded => "deadline",
+            ServeError::ShuttingDown => "shutdown",
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Checkpoint(_) => "checkpoint",
+            ServeError::Io(_) => "io",
+            ServeError::Protocol(_) => "protocol",
+        }
+    }
+}
+
+/// Derives the per-edge coverage flags A-GCWC's row context expects
+/// from an observed weight matrix: `1.0` for rows with any observed
+/// mass, `0.0` for all-zero (missing) rows. Reuses `flags`' capacity.
+pub fn derive_row_flags(input: &Matrix, flags: &mut Vec<f64>) {
+    flags.clear();
+    for i in 0..input.rows() {
+        flags.push(if input.row_is_zero(i) { 0.0 } else { 1.0 });
+    }
+}

@@ -1,0 +1,234 @@
+//! Newline-delimited text wire protocol.
+//!
+//! Requests (one per line):
+//!
+//! ```text
+//! complete <time> <day> <rows> <cols> <hex…>   completion request
+//! stats                                        engine counters
+//! ping                                         liveness probe
+//! quit                                         close the connection
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! ok <rows> <cols> <hit 0|1> <generation> <hex…>
+//! stats <requests> <completed> <batches> <hits> <misses> <evictions> <generation>
+//! pong
+//! bye
+//! err <code> <message…>
+//! ```
+//!
+//! Matrix entries travel as the `{:016x}` hexadecimal bit patterns of
+//! their `f64` values (the same encoding the checkpoint format uses),
+//! so a served completion is **bit-exact** across the wire.
+
+use crate::engine::StatsSnapshot;
+use crate::ServeError;
+use gcwc_linalg::Matrix;
+
+/// A parsed client request.
+pub enum Request {
+    /// Complete the given observed weight matrix under a context.
+    Complete {
+        /// Time-of-day interval index.
+        time_of_day: usize,
+        /// Day-of-week index.
+        day_of_week: usize,
+        /// Observed `rows × cols` weight matrix.
+        input: Matrix,
+    },
+    /// Report engine counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Close the connection.
+    Quit,
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, ServeError> {
+    let mut tokens = line.split_whitespace();
+    match tokens.next() {
+        Some("complete") => {
+            let time_of_day = parse_usize(tokens.next(), "time")?;
+            let day_of_week = parse_usize(tokens.next(), "day")?;
+            let rows = parse_usize(tokens.next(), "rows")?;
+            let cols = parse_usize(tokens.next(), "cols")?;
+            let mut data = Vec::with_capacity(rows * cols);
+            for _ in 0..rows * cols {
+                let tok = tokens
+                    .next()
+                    .ok_or_else(|| ServeError::Protocol("truncated matrix data".into()))?;
+                data.push(parse_f64_hex(tok)?);
+            }
+            if tokens.next().is_some() {
+                return Err(ServeError::Protocol("trailing tokens after matrix".into()));
+            }
+            Ok(Request::Complete {
+                time_of_day,
+                day_of_week,
+                input: Matrix::from_vec(rows, cols, data),
+            })
+        }
+        Some("stats") => Ok(Request::Stats),
+        Some("ping") => Ok(Request::Ping),
+        Some("quit") => Ok(Request::Quit),
+        Some(other) => Err(ServeError::Protocol(format!("unknown command {other:?}"))),
+        None => Err(ServeError::Protocol("empty request".into())),
+    }
+}
+
+fn parse_usize(tok: Option<&str>, what: &str) -> Result<usize, ServeError> {
+    tok.ok_or_else(|| ServeError::Protocol(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| ServeError::Protocol(format!("bad {what}")))
+}
+
+/// Parses one `{:016x}` f64 bit pattern.
+pub fn parse_f64_hex(tok: &str) -> Result<f64, ServeError> {
+    u64::from_str_radix(tok, 16)
+        .map(f64::from_bits)
+        .map_err(|_| ServeError::Protocol(format!("bad hex value {tok:?}")))
+}
+
+/// Appends a matrix as space-separated `{:016x}` bit patterns.
+pub fn write_matrix_hex(buf: &mut String, m: &Matrix) {
+    use std::fmt::Write;
+    for &v in m.as_slice() {
+        let _ = write!(buf, " {:016x}", v.to_bits());
+    }
+}
+
+/// Renders the `ok` response line (no trailing newline).
+pub fn write_ok(buf: &mut String, output: &Matrix, cache_hit: bool, generation: u64) {
+    use std::fmt::Write;
+    let _ = write!(
+        buf,
+        "ok {} {} {} {}",
+        output.rows(),
+        output.cols(),
+        u8::from(cache_hit),
+        generation
+    );
+    write_matrix_hex(buf, output);
+}
+
+/// Renders the `err` response line (no trailing newline).
+pub fn write_err(buf: &mut String, err: &ServeError) {
+    use std::fmt::Write;
+    let _ = write!(buf, "err {} {}", err.code(), err);
+}
+
+/// Renders the `stats` response line (no trailing newline).
+pub fn write_stats(buf: &mut String, s: &StatsSnapshot) {
+    use std::fmt::Write;
+    let _ = write!(
+        buf,
+        "stats {} {} {} {} {} {} {}",
+        s.requests,
+        s.completed,
+        s.batches,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_evictions,
+        s.generation
+    );
+}
+
+/// A parsed `ok` response.
+pub struct OkResponse {
+    /// The completed matrix.
+    pub output: Matrix,
+    /// Whether the completion came from the cache.
+    pub cache_hit: bool,
+    /// Model generation that produced it.
+    pub generation: u64,
+}
+
+/// Parses a server response to a `complete` request.
+pub fn parse_complete_response(line: &str) -> Result<OkResponse, ServeError> {
+    let mut tokens = line.split_whitespace();
+    match tokens.next() {
+        Some("ok") => {
+            let rows = parse_usize(tokens.next(), "rows")?;
+            let cols = parse_usize(tokens.next(), "cols")?;
+            let hit = parse_usize(tokens.next(), "hit")?;
+            let generation = parse_usize(tokens.next(), "generation")? as u64;
+            let mut data = Vec::with_capacity(rows * cols);
+            for _ in 0..rows * cols {
+                let tok = tokens
+                    .next()
+                    .ok_or_else(|| ServeError::Protocol("truncated response".into()))?;
+                data.push(parse_f64_hex(tok)?);
+            }
+            Ok(OkResponse {
+                output: Matrix::from_vec(rows, cols, data),
+                cache_hit: hit != 0,
+                generation,
+            })
+        }
+        Some("err") => {
+            let code = tokens.next().unwrap_or("unknown");
+            let rest: Vec<&str> = tokens.collect();
+            Err(remote_error(code, &rest.join(" ")))
+        }
+        other => Err(ServeError::Protocol(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// Maps a wire error code back onto a [`ServeError`].
+fn remote_error(code: &str, message: &str) -> ServeError {
+    match code {
+        "overloaded" => ServeError::Overloaded,
+        "deadline" => ServeError::DeadlineExceeded,
+        "shutdown" => ServeError::ShuttingDown,
+        "bad_request" => ServeError::BadRequest(message.to_owned()),
+        _ => ServeError::Protocol(format!("{code}: {message}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_roundtrip_is_bit_exact() {
+        let m = Matrix::from_vec(2, 2, vec![0.1, -2.5, f64::MIN_POSITIVE, 3.0e300]);
+        let mut line = String::from("complete 3 5 2 2");
+        write_matrix_hex(&mut line, &m);
+        match parse_request(&line).unwrap() {
+            Request::Complete { time_of_day, day_of_week, input } => {
+                assert_eq!((time_of_day, day_of_week), (3, 5));
+                assert_eq!(input, m);
+            }
+            _ => panic!("expected Complete"),
+        }
+    }
+
+    #[test]
+    fn ok_response_roundtrip() {
+        let m = Matrix::from_vec(1, 3, vec![0.25, 0.5, 0.25]);
+        let mut line = String::new();
+        write_ok(&mut line, &m, true, 7);
+        let r = parse_complete_response(&line).unwrap();
+        assert_eq!(r.output, m);
+        assert!(r.cache_hit);
+        assert_eq!(r.generation, 7);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("nonsense 1 2").is_err());
+        assert!(parse_request("complete 1 2 2 2 aa").is_err()); // truncated
+        assert!(parse_request("complete 1 2 1 1 zz").is_err()); // bad hex
+    }
+
+    #[test]
+    fn err_response_maps_back() {
+        let mut line = String::new();
+        write_err(&mut line, &ServeError::Overloaded);
+        assert!(matches!(parse_complete_response(&line), Err(ServeError::Overloaded)));
+    }
+}

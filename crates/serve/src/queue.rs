@@ -1,0 +1,185 @@
+//! A bounded MPSC/MPMC queue built on [`std::sync::Mutex`] +
+//! [`std::sync::Condvar`].
+//!
+//! The backing [`VecDeque`] is allocated once at construction, so
+//! steady-state push/pop performs no heap allocation. Closing the
+//! queue wakes every waiter: producers fail fast, consumers drain the
+//! remaining items and then observe `None` — which is what gives the
+//! engine its graceful-shutdown semantics.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused, carrying the item back to the caller so its
+/// buffers are not lost.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// The queue was closed; no further items are accepted.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded blocking queue; see the module docs.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(Inner { items: VecDeque::with_capacity(capacity), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Non-blocking push; fails with the item when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        if g.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push: waits while the queue is full; fails with the
+    /// item once the queue is closed.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = self.inner.lock().unwrap();
+        while g.items.len() >= self.capacity && !g.closed {
+            g = self.not_full.wait(g).unwrap();
+        }
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop: waits for an item; returns `None` only once the
+    /// queue is closed **and** fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                drop(g);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).unwrap();
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().unwrap();
+        let item = g.items.pop_front();
+        drop(g);
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Closes the queue: producers fail fast, consumers drain then stop.
+    pub fn close(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.closed = true;
+        drop(g);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// True once [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.close();
+        match q.try_push("b") {
+            Err(PushError::Closed("b")) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.push(7).unwrap();
+        assert_eq!(h.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn blocking_push_wakes_on_pop() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.push(2));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(q.pop(), Some(1));
+        assert!(h.join().unwrap().is_ok());
+        assert_eq!(q.pop(), Some(2));
+    }
+}

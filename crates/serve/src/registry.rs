@@ -1,0 +1,162 @@
+//! Model registry: loads and validates checkpoints into warm models
+//! and atomically hot-swaps the served snapshot.
+//!
+//! A `factory` closure builds an untrained model of the target
+//! architecture (it captures the road-network graph and config);
+//! [`ModelRegistry::load`] runs the factory, restores the checkpoint —
+//! the versioned header is validated against the model's architecture
+//! token, so a wrong-architecture or corrupt file is rejected *before*
+//! it is exposed — and then swaps the new [`ModelSnapshot`] in behind
+//! an [`RwLock`]. In-flight batches keep serving the old snapshot via
+//! their [`Arc`] until they finish.
+
+use crate::ServeError;
+use gcwc::{AGcwcModel, GcwcModel, InferRequest, InferWorkspace, OutputKind};
+use gcwc_linalg::Matrix;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Either completion model behind one dispatching surface.
+// One instance lives behind each Arc<ModelSnapshot>; the variant size
+// gap never multiplies, so boxing would only add a pointer chase.
+#[allow(clippy::large_enum_variant)]
+pub enum AnyModel {
+    /// Basic GCWC (context-free).
+    Gcwc(GcwcModel),
+    /// Context-aware A-GCWC.
+    AGcwc(AGcwcModel),
+}
+
+impl AnyModel {
+    /// Number of edges `n` in the served graph.
+    pub fn num_edges(&self) -> usize {
+        match self {
+            AnyModel::Gcwc(m) => m.num_edges(),
+            AnyModel::AGcwc(m) => m.num_edges(),
+        }
+    }
+
+    /// Number of histogram buckets `m`.
+    pub fn num_buckets(&self) -> usize {
+        match self {
+            AnyModel::Gcwc(m) => m.num_buckets(),
+            AnyModel::AGcwc(m) => m.num_buckets(),
+        }
+    }
+
+    /// Output head kind.
+    pub fn output_kind(&self) -> OutputKind {
+        match self {
+            AnyModel::Gcwc(m) => m.output_kind(),
+            AnyModel::AGcwc(m) => m.output_kind(),
+        }
+    }
+
+    /// Output columns (`m` for HIST, 1 for AVG).
+    pub fn output_cols(&self) -> usize {
+        match self {
+            AnyModel::Gcwc(m) => m.output_cols(),
+            AnyModel::AGcwc(m) => m.output_cols(),
+        }
+    }
+
+    /// Architecture token written into / validated against checkpoints.
+    pub fn arch_string(&self) -> String {
+        match self {
+            AnyModel::Gcwc(m) => m.arch_string(),
+            AnyModel::AGcwc(m) => m.arch_string(),
+        }
+    }
+
+    /// Restores parameters from a checkpoint (header validated).
+    pub fn load(&mut self, path: &Path) -> Result<(), gcwc_nn::PersistError> {
+        match self {
+            AnyModel::Gcwc(m) => m.load(path),
+            AnyModel::AGcwc(m) => m.load(path),
+        }
+    }
+
+    /// Tape-free batched inference (see `gcwc::infer`): `count`
+    /// requests as one coalesced forward pass, bit-identical per
+    /// request to single-request evaluation.
+    pub fn infer_into<'r, F>(
+        &self,
+        ws: &mut InferWorkspace,
+        count: usize,
+        req: F,
+        outs: &mut [Matrix],
+    ) where
+        F: Fn(usize) -> InferRequest<'r>,
+    {
+        match self {
+            AnyModel::Gcwc(m) => m.infer_into(ws, count, req, outs),
+            AnyModel::AGcwc(m) => m.infer_into(ws, count, req, outs),
+        }
+    }
+}
+
+/// One immutable generation of the served model.
+pub struct ModelSnapshot {
+    /// The warm model (parameters loaded, ready to infer).
+    pub model: AnyModel,
+    /// Monotonic generation counter (0 = factory-fresh, untrained).
+    pub generation: u64,
+    /// The checkpoint this generation was loaded from, if any.
+    pub source: Option<PathBuf>,
+}
+
+/// Factory closure producing an untrained model of the served
+/// architecture.
+pub type ModelFactory = Box<dyn Fn() -> AnyModel + Send + Sync>;
+
+/// Registry holding the current [`ModelSnapshot`] behind an [`RwLock`]
+/// for lock-cheap reads and atomic hot swaps.
+pub struct ModelRegistry {
+    factory: ModelFactory,
+    current: RwLock<Arc<ModelSnapshot>>,
+    generation: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Creates a registry serving a factory-fresh (untrained) model as
+    /// generation 0.
+    pub fn new(factory: ModelFactory) -> Self {
+        let model = factory();
+        let snapshot = Arc::new(ModelSnapshot { model, generation: 0, source: None });
+        Self { factory, current: RwLock::new(snapshot), generation: AtomicU64::new(0) }
+    }
+
+    /// The currently served snapshot. Cheap; callers hold the `Arc`
+    /// for the duration of a batch so hot swaps never disrupt them.
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        Arc::clone(&self.current.read().unwrap())
+    }
+
+    /// Current generation number.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Loads `path` into a fresh model and atomically swaps it in.
+    /// On any error the previous snapshot keeps serving. Returns the
+    /// new generation number.
+    pub fn load(&self, path: &Path) -> Result<u64, ServeError> {
+        let mut model = (self.factory)();
+        model.load(path)?;
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let snapshot =
+            Arc::new(ModelSnapshot { model, generation, source: Some(path.to_path_buf()) });
+        *self.current.write().unwrap() = snapshot;
+        Ok(generation)
+    }
+
+    /// Swaps in an already-built model (e.g. trained in-process).
+    /// Returns the new generation number.
+    pub fn install(&self, model: AnyModel) -> u64 {
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let snapshot = Arc::new(ModelSnapshot { model, generation, source: None });
+        *self.current.write().unwrap() = snapshot;
+        generation
+    }
+}

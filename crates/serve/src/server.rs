@@ -1,0 +1,233 @@
+//! std-only TCP front end: a non-blocking accept loop handing each
+//! connection to a thread that owns its own in-process [`Client`].
+//!
+//! [`Server::stop`] flips the shared running flag; the accept loop and
+//! every connection handler poll it (50 ms read timeout) and exit, and
+//! the engine's own [`crate::Engine::shutdown`] then drains whatever
+//! is still queued.
+
+use crate::engine::Engine;
+use crate::protocol::{self, Request};
+use crate::ServeError;
+use gcwc_linalg::Matrix;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+const READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// A running TCP front end over an [`Engine`].
+pub struct Server {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections against `engine`.
+    pub fn start<A: ToSocketAddrs>(engine: Arc<Engine>, addr: A) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_running = Arc::clone(&running);
+        let accept_conns = Arc::clone(&conn_threads);
+        let accept_thread = std::thread::Builder::new()
+            .name("gcwc-serve-accept".into())
+            .spawn(move || {
+                while accept_running.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let engine = Arc::clone(&engine);
+                            let running = Arc::clone(&accept_running);
+                            let handle = std::thread::Builder::new()
+                                .name("gcwc-serve-conn".into())
+                                .spawn(move || handle_connection(engine, stream, running))
+                                .expect("spawn connection handler");
+                            accept_conns.lock().unwrap().push(handle);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn accept loop");
+
+        Ok(Self { addr, running, accept_thread: Some(accept_thread), conn_threads })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, winds down connection handlers, and joins all
+    /// server threads. Does **not** shut the engine down — call
+    /// [`crate::Engine::shutdown`] after this for a full drain.
+    pub fn stop(&mut self) {
+        self.running.store(false, Ordering::Release);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = self.conn_threads.lock().unwrap().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_connection(engine: Arc<Engine>, stream: TcpStream, running: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut client = engine.client();
+    let mut line = String::new();
+    let mut response = String::new();
+
+    while running.load(Ordering::Acquire) {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // peer closed
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue;
+            }
+            Err(_) => break,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        response.clear();
+        let quit = match protocol::parse_request(&line) {
+            Ok(Request::Complete { time_of_day, day_of_week, input }) => {
+                match client.complete(input, time_of_day, day_of_week) {
+                    Ok(completion) => {
+                        protocol::write_ok(
+                            &mut response,
+                            &completion.output,
+                            completion.cache_hit,
+                            completion.generation,
+                        );
+                        client.recycle(completion);
+                    }
+                    Err(e) => protocol::write_err(&mut response, &e),
+                }
+                false
+            }
+            Ok(Request::Stats) => {
+                protocol::write_stats(&mut response, &engine.stats());
+                false
+            }
+            Ok(Request::Ping) => {
+                response.push_str("pong");
+                false
+            }
+            Ok(Request::Quit) => {
+                response.push_str("bye");
+                true
+            }
+            Err(e) => {
+                protocol::write_err(&mut response, &e);
+                false
+            }
+        };
+        response.push('\n');
+        if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if quit {
+            break;
+        }
+    }
+}
+
+/// Blocking TCP client speaking the text protocol.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    line: String,
+}
+
+impl TcpClient {
+    /// Connects to a running [`Server`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self { reader: BufReader::new(stream), writer, line: String::new() })
+    }
+
+    fn roundtrip(&mut self, request: &str) -> Result<&str, ServeError> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.line.clear();
+        let n = self.reader.read_line(&mut self.line)?;
+        if n == 0 {
+            return Err(ServeError::Io(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed connection",
+            )));
+        }
+        Ok(self.line.trim_end())
+    }
+
+    /// Sends a completion request and parses the bit-exact response.
+    pub fn complete(
+        &mut self,
+        input: &Matrix,
+        time_of_day: usize,
+        day_of_week: usize,
+    ) -> Result<protocol::OkResponse, ServeError> {
+        let mut request =
+            format!("complete {} {} {} {}", time_of_day, day_of_week, input.rows(), input.cols());
+        protocol::write_matrix_hex(&mut request, input);
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.line.clear();
+        let n = self.reader.read_line(&mut self.line)?;
+        if n == 0 {
+            return Err(ServeError::Io(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed connection",
+            )));
+        }
+        protocol::parse_complete_response(self.line.trim_end())
+    }
+
+    /// Fetches the raw `stats` response line.
+    pub fn stats(&mut self) -> Result<String, ServeError> {
+        Ok(self.roundtrip("stats")?.to_owned())
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<bool, ServeError> {
+        Ok(self.roundtrip("ping")? == "pong")
+    }
+
+    /// Asks the server to close this connection.
+    pub fn quit(&mut self) -> Result<(), ServeError> {
+        let _ = self.roundtrip("quit")?;
+        Ok(())
+    }
+}
