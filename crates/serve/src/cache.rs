@@ -1,10 +1,13 @@
-//! Completion cache keyed by `(time slot, day of week, coverage
-//! signature)` with LRU eviction.
+//! Completion cache keyed by `(model generation, time slot, day of
+//! week, coverage signature)` with LRU eviction.
 //!
-//! Two requests with the same context and the **same observed input**
-//! (compared bit-for-bit via an FNV-1a hash over the `f64` bit
-//! patterns) produce the same completion, so the second can be served
-//! straight from the cache. Entries live in a preallocated slab linked
+//! Two requests against the same model generation with the same
+//! context and the **same observed input** (compared bit-for-bit via
+//! an FNV-1a hash over the `f64` bit patterns) produce the same
+//! completion, so the second can be served straight from the cache.
+//! The generation component makes every entry computed by a previous
+//! model unreachable after a hot-swap — stale completions age out of
+//! the LRU instead of being served as hits. Entries live in a preallocated slab linked
 //! into an intrusive LRU list; eviction reuses the victim's matrix
 //! buffer, so a warm cache performs no allocation on insert.
 
@@ -14,6 +17,8 @@ use std::collections::HashMap;
 /// Identity of a cacheable completion request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey {
+    /// Generation of the model snapshot the completion is valid for.
+    pub generation: u64,
     /// Time-of-day interval index.
     pub time_of_day: usize,
     /// Day-of-week index.
@@ -23,10 +28,16 @@ pub struct CacheKey {
 }
 
 impl CacheKey {
-    /// Builds the key for a request: context indices plus the exact
-    /// bit-level signature of the observed input matrix.
-    pub fn for_input(time_of_day: usize, day_of_week: usize, input: &Matrix) -> Self {
-        Self { time_of_day, day_of_week, signature: input_signature(input) }
+    /// Builds the key for a request: the serving model generation,
+    /// context indices, and the exact bit-level signature of the
+    /// observed input matrix.
+    pub fn for_input(
+        generation: u64,
+        time_of_day: usize,
+        day_of_week: usize,
+        input: &Matrix,
+    ) -> Self {
+        Self { generation, time_of_day, day_of_week, signature: input_signature(input) }
     }
 }
 
@@ -202,7 +213,7 @@ mod tests {
     }
 
     fn key(t: usize) -> CacheKey {
-        CacheKey { time_of_day: t, day_of_week: 0, signature: t as u64 }
+        CacheKey { generation: 0, time_of_day: t, day_of_week: 0, signature: t as u64 }
     }
 
     #[test]
@@ -241,6 +252,17 @@ mod tests {
         assert_eq!(input_signature(&a), input_signature(&b));
         b.as_mut_slice()[3] += 1e-12;
         assert_ne!(input_signature(&a), input_signature(&b));
+    }
+
+    #[test]
+    fn generations_do_not_collide() {
+        let mut c = CompletionCache::new(4);
+        let old = CacheKey { generation: 1, ..key(1) };
+        let new = CacheKey { generation: 2, ..key(1) };
+        c.insert(old, &mat(1.0));
+        assert!(c.get(&new).is_none(), "old-generation entry must not hit");
+        c.insert(new, &mat(9.0));
+        assert_eq!(c.get(&new), Some(&mat(9.0)));
     }
 
     #[test]

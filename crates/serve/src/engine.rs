@@ -206,7 +206,12 @@ impl EngineInner {
                     job.respond(Err(ServeError::DeadlineExceeded));
                     continue;
                 }
-                let key = CacheKey::for_input(job.time_of_day, job.day_of_week, &job.input);
+                let key = CacheKey::for_input(
+                    snapshot.generation,
+                    job.time_of_day,
+                    job.day_of_week,
+                    &job.input,
+                );
                 if let Some(cached) = cache.get(&key) {
                     let mut job = batch[i].take().expect("slot checked above");
                     job.out_buf.copy_from(cached);

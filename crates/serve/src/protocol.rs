@@ -27,6 +27,23 @@ use crate::engine::StatsSnapshot;
 use crate::ServeError;
 use gcwc_linalg::Matrix;
 
+/// Upper bound on matrix entries accepted from the wire. Shapes are
+/// validated (overflow-checked) against this *before* any allocation,
+/// so a malicious `rows`/`cols` pair cannot force a huge reservation.
+pub const MAX_WIRE_ELEMS: usize = 1 << 22;
+
+/// Bytes each wire matrix entry occupies: a space plus 16 hex digits.
+pub const WIRE_ELEM_BYTES: usize = 17;
+
+/// Validates a wire matrix shape and returns the element count.
+fn checked_elems(rows: usize, cols: usize) -> Result<usize, ServeError> {
+    rows.checked_mul(cols).filter(|&t| t <= MAX_WIRE_ELEMS).ok_or_else(|| {
+        ServeError::Protocol(format!(
+            "matrix shape {rows}x{cols} exceeds the wire limit of {MAX_WIRE_ELEMS} entries"
+        ))
+    })
+}
+
 /// A parsed client request.
 pub enum Request {
     /// Complete the given observed weight matrix under a context.
@@ -55,8 +72,11 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
             let day_of_week = parse_usize(tokens.next(), "day")?;
             let rows = parse_usize(tokens.next(), "rows")?;
             let cols = parse_usize(tokens.next(), "cols")?;
-            let mut data = Vec::with_capacity(rows * cols);
-            for _ in 0..rows * cols {
+            let total = checked_elems(rows, cols)?;
+            // Reserve no more than the line itself could carry, so a
+            // short line claiming a big shape cannot reserve much.
+            let mut data = Vec::with_capacity(total.min(line.len() / WIRE_ELEM_BYTES + 1));
+            for _ in 0..total {
                 let tok = tokens
                     .next()
                     .ok_or_else(|| ServeError::Protocol("truncated matrix data".into()))?;
@@ -155,8 +175,9 @@ pub fn parse_complete_response(line: &str) -> Result<OkResponse, ServeError> {
             let cols = parse_usize(tokens.next(), "cols")?;
             let hit = parse_usize(tokens.next(), "hit")?;
             let generation = parse_usize(tokens.next(), "generation")? as u64;
-            let mut data = Vec::with_capacity(rows * cols);
-            for _ in 0..rows * cols {
+            let total = checked_elems(rows, cols)?;
+            let mut data = Vec::with_capacity(total.min(line.len() / WIRE_ELEM_BYTES + 1));
+            for _ in 0..total {
                 let tok = tokens
                     .next()
                     .ok_or_else(|| ServeError::Protocol("truncated response".into()))?;
@@ -223,6 +244,23 @@ mod tests {
         assert!(parse_request("nonsense 1 2").is_err());
         assert!(parse_request("complete 1 2 2 2 aa").is_err()); // truncated
         assert!(parse_request("complete 1 2 1 1 zz").is_err()); // bad hex
+    }
+
+    #[test]
+    fn oversized_and_overflowing_shapes_are_rejected_before_allocation() {
+        // Claimed size beyond the wire limit: rejected without data.
+        let huge = format!("complete 0 0 {} 1", MAX_WIRE_ELEMS + 1);
+        assert!(parse_request(&huge).is_err());
+        // rows * cols overflows usize: must error, not wrap or panic.
+        let overflow = format!("complete 0 0 {} {}", usize::MAX, 2usize);
+        assert!(parse_request(&overflow).is_err());
+        // Same guards on the response parser.
+        let huge_resp = format!("ok {} 1 0 1", MAX_WIRE_ELEMS + 1);
+        assert!(parse_complete_response(&huge_resp).is_err());
+        // Largest admissible shape with a short line: parser errors on
+        // the missing data instead of reserving MAX_WIRE_ELEMS slots.
+        let claimed = format!("complete 0 0 {} 1 aa", MAX_WIRE_ELEMS);
+        assert!(parse_request(&claimed).is_err());
     }
 
     #[test]

@@ -19,6 +19,12 @@ use std::time::Duration;
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
 const READ_TIMEOUT: Duration = Duration::from_millis(50);
 
+/// Largest request line accepted: the biggest admissible wire matrix
+/// plus generous room for the command head. Connections exceeding it
+/// are answered with an error and closed.
+const MAX_LINE_BYTES: usize =
+    protocol::MAX_WIRE_ELEMS * protocol::WIRE_ELEM_BYTES + 128;
+
 /// A running TCP front end over an [`Engine`].
 pub struct Server {
     addr: SocketAddr,
@@ -51,9 +57,12 @@ impl Server {
                                 .name("gcwc-serve-conn".into())
                                 .spawn(move || handle_connection(engine, stream, running))
                                 .expect("spawn connection handler");
-                            accept_conns.lock().unwrap().push(handle);
+                            let mut conns = accept_conns.lock().unwrap();
+                            reap_finished(&mut conns);
+                            conns.push(handle);
                         }
                         Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            reap_finished(&mut accept_conns.lock().unwrap());
                             std::thread::sleep(POLL_INTERVAL);
                         }
                         Err(_) => break,
@@ -91,6 +100,19 @@ impl Drop for Server {
     }
 }
 
+/// Joins and drops every finished connection handler so the handle
+/// list stays bounded under connection churn.
+fn reap_finished(conns: &mut Vec<std::thread::JoinHandle<()>>) {
+    let mut i = 0;
+    while i < conns.len() {
+        if conns[i].is_finished() {
+            let _ = conns.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
 fn handle_connection(engine: Arc<Engine>, stream: TcpStream, running: Arc<AtomicBool>) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
@@ -104,9 +126,17 @@ fn handle_connection(engine: Arc<Engine>, stream: TcpStream, running: Arc<Atomic
     let mut response = String::new();
 
     while running.load(Ordering::Acquire) {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // peer closed
+        // `read_line` may time out with partial bytes already appended
+        // to `line` (a request fragmented across a >READ_TIMEOUT gap);
+        // the buffer is only cleared after a complete line is handled,
+        // so those bytes survive the retry instead of being dropped.
+        let status = reader.read_line(&mut line);
+        if line.len() > MAX_LINE_BYTES {
+            let _ = writer.write_all(b"err bad_request request line exceeds size limit\n");
+            break;
+        }
+        match status {
+            Ok(0) => break, // peer closed; an unterminated fragment cannot complete
             Ok(_) => {}
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 continue;
@@ -114,6 +144,7 @@ fn handle_connection(engine: Arc<Engine>, stream: TcpStream, running: Arc<Atomic
             Err(_) => break,
         }
         if line.trim().is_empty() {
+            line.clear();
             continue;
         }
         response.clear();
@@ -150,6 +181,7 @@ fn handle_connection(engine: Arc<Engine>, stream: TcpStream, running: Arc<Atomic
                 false
             }
         };
+        line.clear();
         response.push('\n');
         if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
             break;

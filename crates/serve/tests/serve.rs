@@ -303,3 +303,95 @@ fn tcp_end_to_end_matches_direct_inference() {
     server.stop();
     engine.shutdown();
 }
+
+#[test]
+fn hot_swap_invalidates_cached_completions() {
+    let f = fixture();
+    let registry = make_registry();
+    let engine =
+        Engine::new(Arc::clone(&registry), EngineConfig { workers: 0, ..Default::default() });
+    let mut client = engine.client();
+    let s = &f.samples[3];
+
+    let mut input = client.input_buffer();
+    input.copy_from(&s.input);
+    client.send(input, s.context.time_of_day, s.context.day_of_week).unwrap();
+    engine.process_queued();
+    let first = client.recv().unwrap();
+    assert!(!first.cache_hit);
+    let old_generation = first.generation;
+    client.recycle(first);
+
+    // Swap in a differently-trained model; the repeat request must be
+    // recomputed by it, not served from the old model's cache entry.
+    let mut swapped = AGcwcModel::new(&f.hw.graph, 8, 16, model_config(), 7);
+    swapped.fit(&f.samples[..4]);
+    let mut flags = Vec::new();
+    derive_row_flags(&s.input, &mut flags);
+    let mut ws = InferWorkspace::new();
+    let expected =
+        swapped.infer(&mut ws, &s.input, s.context.time_of_day, s.context.day_of_week, &flags);
+    let new_generation = registry.install(AnyModel::AGcwc(swapped));
+    assert!(new_generation > old_generation);
+
+    let mut input = client.input_buffer();
+    input.copy_from(&s.input);
+    client.send(input, s.context.time_of_day, s.context.day_of_week).unwrap();
+    engine.process_queued();
+    let after = client.recv().unwrap();
+    assert!(!after.cache_hit, "hot-swap must invalidate cached completions");
+    assert_eq!(after.generation, new_generation);
+    assert_eq!(
+        bits(&expected),
+        bits(&after.output),
+        "post-swap completion must come from the new model"
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn fragmented_tcp_request_survives_read_timeouts() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let f = fixture();
+    let engine = Arc::new(Engine::new(make_registry(), EngineConfig::default()));
+    let mut server = Server::start(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+
+    let s = &f.samples[0];
+    let expected = direct_completion(&s.input, s.context.time_of_day, s.context.day_of_week);
+    let mut request = format!(
+        "complete {} {} {} {}",
+        s.context.time_of_day,
+        s.context.day_of_week,
+        s.input.rows(),
+        s.input.cols()
+    );
+    gcwc_serve::protocol::write_matrix_hex(&mut request, &s.input);
+    request.push('\n');
+
+    // Deliver the line in two chunks separated by well over the
+    // server's 50 ms read timeout: the partial bytes must survive the
+    // timeout iterations instead of being discarded.
+    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let bytes = request.as_bytes();
+    let split = bytes.len() / 2;
+    writer.write_all(&bytes[..split]).unwrap();
+    writer.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    writer.write_all(&bytes[split..]).unwrap();
+    writer.flush().unwrap();
+
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).unwrap();
+    let response = gcwc_serve::protocol::parse_complete_response(line.trim_end()).unwrap();
+    assert_eq!(
+        bits(&expected),
+        bits(&response.output),
+        "fragmented request must parse and answer exactly"
+    );
+
+    server.stop();
+    engine.shutdown();
+}
