@@ -18,6 +18,11 @@
 //!   serve-bench        end-to-end serving load test (in-process +
 //!                      TCP phases, cache stats, p50/p99); with
 //!                      `--json`, also writes `BENCH_serve.json`
+//!   shard-sweep        partitioned completion over the synthetic city,
+//!                      K ∈ {1,2,4} (or just `--shards=K`): training
+//!                      throughput + accuracy delta vs the unsharded
+//!                      model, K=1 asserted bit-identical; with
+//!                      `--json`, also writes `BENCH_partition.json`
 //!   all                everything above
 //! ```
 //!
@@ -29,7 +34,8 @@
 //! exp_runner -- <command>`.
 
 use gcwc_bench::{
-    ablations, jsonbench, params_table, run_table, scalability, servebench, Profile, ScalModel,
+    ablations, jsonbench, params_table, run_table, scalability, servebench, shardsweep, Profile,
+    ScalModel,
 };
 
 /// Counts every heap allocation so `bench` can report allocs/iter.
@@ -44,6 +50,7 @@ fn main() {
     let mut commands: Vec<String> = Vec::new();
     let mut threads = 0usize;
     let mut json = false;
+    let mut shards: Option<usize> = None;
     for a in &args {
         match a.as_str() {
             "--fast" => profile = Profile::fast(),
@@ -59,6 +66,15 @@ fn main() {
                     }
                 };
             }
+            flag if flag.starts_with("--shards=") => {
+                shards = match flag["--shards=".len()..].parse() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("--shards=K takes a positive integer, got {flag:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             cmd => commands.push(cmd.to_owned()),
         }
     }
@@ -67,7 +83,7 @@ fn main() {
     // follow the process-wide kernel default.
     gcwc_linalg::parallel::set_global_threads(threads);
     if commands.is_empty() {
-        eprintln!("usage: exp_runner [--fast|--full|--smoke] [--threads=N] [--json] <table3|table4..table13|tables|fig6a|fig6b|threads|ablations|bench|serve-bench|all>");
+        eprintln!("usage: exp_runner [--fast|--full|--smoke] [--threads=N] [--shards=K] [--json] <table3|table4..table13|tables|fig6a|fig6b|threads|ablations|bench|serve-bench|shard-sweep|all>");
         std::process::exit(2);
     }
 
@@ -107,6 +123,22 @@ fn main() {
                 if json {
                     let path = "BENCH_serve.json";
                     if let Err(e) = std::fs::write(path, servebench::to_json(&report)) {
+                        eprintln!("failed to write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("wrote {path}");
+                }
+            }
+            "shard-sweep" => {
+                let counts: Vec<usize> = match shards {
+                    Some(k) => vec![k],
+                    None => vec![1, 2, 4],
+                };
+                let report = shardsweep::run(&counts);
+                print!("{}", shardsweep::render(&report));
+                if json {
+                    let path = "BENCH_partition.json";
+                    if let Err(e) = std::fs::write(path, shardsweep::to_json(&report)) {
                         eprintln!("failed to write {path}: {e}");
                         std::process::exit(1);
                     }

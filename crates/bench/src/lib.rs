@@ -17,6 +17,7 @@ pub mod params_table;
 pub mod profile;
 pub mod scalability;
 pub mod servebench;
+pub mod shardsweep;
 pub mod tables;
 
 pub use harness::{evaluate_average, evaluate_hist, make_bundle, Bundle, HistScores};

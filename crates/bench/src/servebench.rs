@@ -54,6 +54,8 @@ pub struct ServeBenchReport {
     pub cache_misses: u64,
     /// Forward passes executed.
     pub batches: u64,
+    /// Number of shards K in the served shard set.
+    pub shards: u64,
 }
 
 fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
@@ -231,6 +233,7 @@ pub fn run() -> ServeBenchReport {
         cache_hits: final_stats.cache_hits,
         cache_misses: final_stats.cache_misses,
         batches: final_stats.batches,
+        shards: final_stats.shards,
     }
 }
 
@@ -251,8 +254,12 @@ pub fn render(r: &ServeBenchReport) -> String {
     }
     let _ = writeln!(
         s,
-        "cache: {} hits, {} misses, {} batches",
-        r.cache_hits, r.cache_misses, r.batches
+        "cache: {} hits, {} misses, {} batches ({} shard{})",
+        r.cache_hits,
+        r.cache_misses,
+        r.batches,
+        r.shards,
+        if r.shards == 1 { "" } else { "s" }
     );
     s
 }
@@ -276,9 +283,10 @@ pub fn to_json(r: &ServeBenchReport) -> String {
     s.push_str(",\n");
     let _ = writeln!(
         s,
-        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"batches\": {}}}",
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"batches\": {}}},",
         r.cache_hits, r.cache_misses, r.batches
     );
+    let _ = writeln!(s, "  \"shards\": {}", r.shards);
     s.push_str("}\n");
     s
 }

@@ -1,0 +1,185 @@
+//! Partitioned-completion sweep (`exp_runner shard-sweep`).
+//!
+//! Trains the same GCWC configuration unsharded and as a
+//! `ShardedModel` over K ∈ {1, 2, 4} edge partitions of the synthetic
+//! city, then reports per-K training throughput and the
+//! accuracy delta against the unsharded reference — overall and
+//! restricted to boundary edges (rows whose 1-hop neighbourhood
+//! crosses a partition cut). The K = 1 row doubles as a regression
+//! gate: its predictions must be **bit-identical** to the unsharded
+//! model (the load-bearing sharding invariant), which `run` asserts.
+//! With `--json`, `exp_runner` writes the sweep to
+//! `BENCH_partition.json` for the CI bench job.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gcwc::{build_samples, CompletionModel, GcwcModel, ModelConfig, ShardedModel, TaskKind};
+use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+
+/// One K of the sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// Number of partitions.
+    pub k: usize,
+    /// Edges whose 1-hop neighbourhood crosses a cut (0 when K = 1).
+    pub boundary_edges: usize,
+    /// Wall-clock seconds to train all shards.
+    pub train_secs: f64,
+    /// Wall-clock seconds per global completion (averaged).
+    pub predict_secs: f64,
+    /// Mean total-variation distance to the unsharded completion over
+    /// all rows (exactly 0 for K = 1).
+    pub mean_tv_all: f64,
+    /// Mean total-variation distance over boundary rows only.
+    pub mean_tv_boundary: f64,
+    /// True when every prediction matched the unsharded model bit for
+    /// bit (required for K = 1).
+    pub bit_identical: bool,
+}
+
+/// Full shard-sweep result.
+#[derive(Clone, Debug)]
+pub struct ShardSweepReport {
+    /// Global number of edges in the synthetic city.
+    pub edges: usize,
+    /// Unsharded reference training time in seconds.
+    pub baseline_train_secs: f64,
+    /// One point per K.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Runs the sweep over the given shard counts (deduplicated,
+/// ascending). Panics when the K = 1 bit-identity invariant is
+/// violated (the CI step relies on this).
+pub fn run(shard_counts: &[usize]) -> ShardSweepReport {
+    let city = generators::city_network_sized(3, 96);
+    let sim = SimConfig {
+        days: 2,
+        intervals_per_day: 8,
+        records_per_interval: 10.0,
+        ..Default::default()
+    };
+    let data = simulate(&city, HistogramSpec::hist8(), &sim);
+    let ds = data.to_dataset(0.5, 5, 11);
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let samples = build_samples(&ds, &idx, TaskKind::Estimation, 0);
+    let train = &samples[..8.min(samples.len())];
+    let eval = &samples[..4.min(samples.len())];
+    let cfg = ModelConfig::ci_hist().with_epochs(3);
+
+    // Unsharded reference: same config, same seed.
+    let mut flat = GcwcModel::new(&city.graph, 8, cfg.clone(), 42);
+    let t0 = Instant::now();
+    flat.fit(train);
+    let baseline_train_secs = t0.elapsed().as_secs_f64();
+    let references: Vec<_> = eval.iter().map(|s| flat.predict(s)).collect();
+
+    let mut ks: Vec<usize> = shard_counts.to_vec();
+    ks.sort_unstable();
+    ks.dedup();
+    let mut points = Vec::with_capacity(ks.len());
+    for &k in &ks {
+        let mut sharded = ShardedModel::gcwc(&city.graph, 8, cfg.clone(), 42, k);
+        let boundary = sharded.partition_set().boundary_nodes();
+        let t0 = Instant::now();
+        sharded.fit_shards(train);
+        let train_secs = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let outputs: Vec<_> = eval.iter().map(|s| sharded.predict_global(s)).collect();
+        let predict_secs = t0.elapsed().as_secs_f64() / eval.len() as f64;
+
+        let mut bit_identical = true;
+        let mut tv_all = (0.0f64, 0usize);
+        let mut tv_boundary = (0.0f64, 0usize);
+        for (got, want) in outputs.iter().zip(&references) {
+            bit_identical &=
+                got.as_slice().iter().zip(want.as_slice()).all(|(a, b)| a.to_bits() == b.to_bits());
+            for i in 0..got.rows() {
+                let tv = 0.5
+                    * got.row(i).iter().zip(want.row(i)).map(|(a, b)| (a - b).abs()).sum::<f64>();
+                tv_all.0 += tv;
+                tv_all.1 += 1;
+                if boundary.binary_search(&i).is_ok() {
+                    tv_boundary.0 += tv;
+                    tv_boundary.1 += 1;
+                }
+            }
+        }
+        let point = SweepPoint {
+            k,
+            boundary_edges: boundary.len(),
+            train_secs,
+            predict_secs,
+            mean_tv_all: tv_all.0 / tv_all.1.max(1) as f64,
+            mean_tv_boundary: tv_boundary.0 / tv_boundary.1.max(1) as f64,
+            bit_identical,
+        };
+        if k == 1 {
+            assert!(
+                point.bit_identical,
+                "K=1 sharded predictions must be bit-identical to unsharded"
+            );
+            assert_eq!(point.mean_tv_all, 0.0, "K=1 accuracy delta must be exactly zero");
+        }
+        points.push(point);
+    }
+    // The edge graph's nodes are the road segments being completed.
+    ShardSweepReport { edges: city.graph.num_nodes(), baseline_train_secs, points }
+}
+
+/// Renders the report as an aligned text table.
+pub fn render(r: &ShardSweepReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Partitioned completion sweep ({} edges, unsharded train {:.3}s)",
+        r.edges, r.baseline_train_secs
+    );
+    let _ = writeln!(
+        s,
+        "{:>4}{:>10}{:>12}{:>14}{:>12}{:>14}{:>8}",
+        "K", "boundary", "train s", "predict s", "tv(all)", "tv(boundary)", "bits"
+    );
+    for p in &r.points {
+        let _ = writeln!(
+            s,
+            "{:>4}{:>10}{:>12.3}{:>14.6}{:>12.2e}{:>14.2e}{:>8}",
+            p.k,
+            p.boundary_edges,
+            p.train_secs,
+            p.predict_secs,
+            p.mean_tv_all,
+            p.mean_tv_boundary,
+            if p.bit_identical { "exact" } else { "-" }
+        );
+    }
+    s
+}
+
+/// Serialises the report as JSON (hand-rolled; numeric + bool fields).
+pub fn to_json(r: &ShardSweepReport) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"edges\": {},", r.edges);
+    let _ = writeln!(s, "  \"baseline_train_secs\": {:.6},", r.baseline_train_secs);
+    s.push_str("  \"points\": [\n");
+    for (i, p) in r.points.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"shards\": {}, \"boundary_edges\": {}, \"train_secs\": {:.6}, \
+             \"predict_secs\": {:.6}, \"mean_tv_all\": {:.6e}, \"mean_tv_boundary\": {:.6e}, \
+             \"bit_identical\": {}}}",
+            p.k,
+            p.boundary_edges,
+            p.train_secs,
+            p.predict_secs,
+            p.mean_tv_all,
+            p.mean_tv_boundary,
+            p.bit_identical
+        );
+        s.push_str(if i + 1 < r.points.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -185,14 +185,9 @@ impl ModelConfig {
     }
 }
 
-/// `log2` for exact powers of two.
-///
-/// # Panics
-/// Panics when `p` is not a power of two.
-pub fn log2_exact(p: usize) -> usize {
-    assert!(p.is_power_of_two(), "pool size {p} is not a power of two");
-    p.trailing_zeros() as usize
-}
+/// `log2` for exact powers of two (re-exported from `gcwc-graph`, the
+/// single definition shared with [`gcwc_graph::ConvPlan`]).
+pub use gcwc_graph::log2_exact;
 
 #[cfg(test)]
 mod tests {

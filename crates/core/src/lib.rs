@@ -34,6 +34,6 @@ pub mod train;
 
 pub use config::{ConvLayer, CpCnnConfig, ModelConfig, OutputKind};
 pub use infer::{InferRequest, InferWorkspace};
-pub use model::{AGcwcModel, GcwcModel};
+pub use model::{shard_seed, AGcwcModel, GcwcModel, ShardModel, ShardedModel};
 pub use task::{build_samples, CompletionModel, TaskKind, TrainSample, MAX_SPEED};
 pub use train::TrainReport;

@@ -10,12 +10,12 @@
 
 use std::sync::Arc;
 
-use gcwc_graph::{ChebyshevBasis, EdgeGraph, GraphHierarchy, PolyBasis, PoolingMap};
+use gcwc_graph::{ConvPlan, EdgeGraph, PolyBasis, PoolingMap, StageSpec};
 use gcwc_linalg::Matrix;
 use gcwc_nn::{Dense, NodeId, ParamId, ParamStore, Tape};
 use rand::rngs::StdRng;
 
-use crate::config::{log2_exact, ModelConfig, OutputKind};
+use crate::config::{ModelConfig, OutputKind};
 use crate::infer::InferWorkspace;
 
 /// One graph-convolution stage with its basis, filters and pooling map.
@@ -49,13 +49,19 @@ impl Encoder {
         rng: &mut StdRng,
     ) -> Self {
         let n = graph.num_nodes();
-        let hierarchy = GraphHierarchy::build(graph.adjacency(), cfg.coarsen_levels());
-        let mut level = 0usize;
+        // The (basis, pooling) ladder is built by the shared ConvPlan
+        // constructor; only the parameters are created here, in the
+        // same order as before, so the RNG stream and checkpoint
+        // layout are unchanged.
+        let specs: Vec<StageSpec> = cfg
+            .conv_layers
+            .iter()
+            .map(|lc| StageSpec { cheb_order: lc.cheb_order, pool: lc.pool })
+            .collect();
+        let plan = ConvPlan::build(graph.adjacency(), &specs);
         let mut c_in = 1usize;
         let mut layers = Vec::with_capacity(cfg.conv_layers.len());
-        for (li, lc) in cfg.conv_layers.iter().enumerate() {
-            let basis: Arc<dyn PolyBasis> =
-                Arc::new(ChebyshevBasis::from_adjacency(hierarchy.graph(level), lc.cheb_order));
+        for ((li, lc), stage) in cfg.conv_layers.iter().enumerate().zip(plan.into_stages()) {
             let thetas = (0..lc.cheb_order)
                 .map(|k| {
                     store.add(
@@ -65,21 +71,13 @@ impl Encoder {
                 })
                 .collect();
             let bias = store.add(format!("conv{li}.bias"), Matrix::zeros(1, lc.filters));
-            let (pool, out_nodes) = if lc.pool > 1 {
-                let to = level + log2_exact(lc.pool);
-                let map = Arc::new(PoolingMap::from_hierarchy(&hierarchy, level, to));
-                let out = map.num_outputs();
-                level = to;
-                (Some(map), out)
-            } else {
-                (None, hierarchy.num_nodes(level))
-            };
+            let basis: Arc<dyn PolyBasis> = stage.basis;
             layers.push(EncoderLayer {
                 basis,
                 thetas,
                 bias,
-                pool,
-                out_nodes,
+                pool: stage.pool,
+                out_nodes: stage.out_nodes,
                 out_filters: lc.filters,
             });
             c_in = lc.filters;

@@ -3,7 +3,9 @@
 pub mod agcwc;
 pub mod encoder;
 pub mod gcwc;
+pub mod sharded;
 
 pub use agcwc::AGcwcModel;
 pub use encoder::Encoder;
 pub use gcwc::GcwcModel;
+pub use sharded::{shard_seed, ShardModel, ShardedModel};

@@ -1,0 +1,359 @@
+//! Sharded completion: one GCWC/A-GCWC model per edge partition,
+//! trained data-parallel and scatter-gathered into a global
+//! completion.
+//!
+//! A [`ShardedModel`] wraps a [`PartitionSet`] (edge-owned partitions
+//! with 1-hop halo rows) and one per-partition model sharing a single
+//! [`ModelConfig`]. Each shard sees its owned + halo rows of every
+//! sample; the loss mask is zeroed on halo rows so only owned rows are
+//! scored, and predictions scatter each shard's owned rows back into
+//! the global matrix.
+//!
+//! **K = 1 is bit-identical to the unsharded pipeline**: the single
+//! partition's local graph is a clone of the global graph, the shard
+//! seed at index 0 is the base seed, and identity views copy rows
+//! verbatim — so initialisation, the training RNG stream, checkpoints,
+//! and predictions all reproduce the unsharded model exactly
+//! (`to_bits`-level). For K > 1, rows interior to a partition see
+//! their full 1-hop neighbourhood and boundary rows see a truncated
+//! 2-hop receptive field, so completions on boundary edges carry a
+//! small, bounded approximation error.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use gcwc_graph::{EdgeGraph, PartitionSet};
+use gcwc_linalg::Matrix;
+use gcwc_nn::PersistError;
+use gcwc_traffic::view_context;
+
+use crate::config::ModelConfig;
+use crate::model::{AGcwcModel, GcwcModel};
+use crate::task::{CompletionModel, TrainSample};
+
+/// A completion model that can serve as one shard: fit/predict plus
+/// shape introspection and checkpoint persistence.
+pub trait ShardModel: CompletionModel + Send {
+    /// Number of (local) edges the shard models.
+    fn num_edges(&self) -> usize;
+    /// Output columns of the head (`m` for HIST, 1 for AVG).
+    fn output_cols(&self) -> usize;
+    /// Saves the shard's parameters.
+    fn save(&self, path: &Path) -> Result<(), PersistError>;
+    /// Loads the shard's parameters.
+    fn load(&mut self, path: &Path) -> Result<(), PersistError>;
+}
+
+impl ShardModel for GcwcModel {
+    fn num_edges(&self) -> usize {
+        GcwcModel::num_edges(self)
+    }
+    fn output_cols(&self) -> usize {
+        GcwcModel::output_cols(self)
+    }
+    fn save(&self, path: &Path) -> Result<(), PersistError> {
+        GcwcModel::save(self, path)
+    }
+    fn load(&mut self, path: &Path) -> Result<(), PersistError> {
+        GcwcModel::load(self, path)
+    }
+}
+
+impl ShardModel for AGcwcModel {
+    fn num_edges(&self) -> usize {
+        AGcwcModel::num_edges(self)
+    }
+    fn output_cols(&self) -> usize {
+        AGcwcModel::output_cols(self)
+    }
+    fn save(&self, path: &Path) -> Result<(), PersistError> {
+        AGcwcModel::save(self, path)
+    }
+    fn load(&mut self, path: &Path) -> Result<(), PersistError> {
+        AGcwcModel::load(self, path)
+    }
+}
+
+/// Derives shard `k`'s RNG seed from the base seed.
+///
+/// Shard 0 gets the base seed unchanged — this is what makes K = 1
+/// initialisation bit-identical to the unsharded model.
+pub fn shard_seed(seed: u64, shard: usize) -> u64 {
+    seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// K per-partition completion models over one [`PartitionSet`].
+pub struct ShardedModel<M> {
+    partition: Arc<PartitionSet>,
+    shards: Vec<M>,
+    n: usize,
+    out_cols: usize,
+}
+
+impl ShardedModel<GcwcModel> {
+    /// Builds K GCWC shards by partitioning `graph`.
+    pub fn gcwc(graph: &EdgeGraph, m: usize, cfg: ModelConfig, seed: u64, k: usize) -> Self {
+        Self::gcwc_on(Arc::new(PartitionSet::build(graph, k)), m, cfg, seed)
+    }
+
+    /// Builds GCWC shards over an existing partition set.
+    pub fn gcwc_on(partition: Arc<PartitionSet>, m: usize, cfg: ModelConfig, seed: u64) -> Self {
+        let shards = partition
+            .partitions()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                assert!(p.num_owned() > 0, "partition {i} owns no edges; reduce K");
+                GcwcModel::new(p.graph(), m, cfg.clone(), shard_seed(seed, i))
+            })
+            .collect();
+        Self::from_shards(partition, shards)
+    }
+}
+
+impl ShardedModel<AGcwcModel> {
+    /// Builds K A-GCWC shards by partitioning `graph`.
+    pub fn agcwc(
+        graph: &EdgeGraph,
+        m: usize,
+        intervals_per_day: usize,
+        cfg: ModelConfig,
+        seed: u64,
+        k: usize,
+    ) -> Self {
+        Self::agcwc_on(Arc::new(PartitionSet::build(graph, k)), m, intervals_per_day, cfg, seed)
+    }
+
+    /// Builds A-GCWC shards over an existing partition set.
+    pub fn agcwc_on(
+        partition: Arc<PartitionSet>,
+        m: usize,
+        intervals_per_day: usize,
+        cfg: ModelConfig,
+        seed: u64,
+    ) -> Self {
+        let shards = partition
+            .partitions()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                assert!(p.num_owned() > 0, "partition {i} owns no edges; reduce K");
+                AGcwcModel::new(p.graph(), m, intervals_per_day, cfg.clone(), shard_seed(seed, i))
+            })
+            .collect();
+        Self::from_shards(partition, shards)
+    }
+}
+
+impl<M: ShardModel> ShardedModel<M> {
+    fn from_shards(partition: Arc<PartitionSet>, shards: Vec<M>) -> Self {
+        let n = partition.num_nodes();
+        let out_cols = shards.first().expect("at least one shard").output_cols();
+        Self { partition, shards, n, out_cols }
+    }
+
+    /// The partition set the shards were built over.
+    pub fn partition_set(&self) -> &Arc<PartitionSet> {
+        &self.partition
+    }
+
+    /// Number of shards K.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Global number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.n
+    }
+
+    /// Output columns of the head.
+    pub fn output_cols(&self) -> usize {
+        self.out_cols
+    }
+
+    /// The per-partition shard models.
+    pub fn shards(&self) -> &[M] {
+        &self.shards
+    }
+
+    /// One shard model.
+    pub fn shard(&self, k: usize) -> &M {
+        &self.shards[k]
+    }
+
+    /// Decomposes into the partition set and the shard models — the
+    /// hand-off point to a serving registry, which takes ownership of
+    /// each trained shard.
+    pub fn into_shards(self) -> (Arc<PartitionSet>, Vec<M>) {
+        (self.partition, self.shards)
+    }
+
+    /// Restricts a global sample to shard `k`'s owned + halo rows.
+    ///
+    /// Input, label, history, and row flags are gathered in local row
+    /// order; the label mask is additionally zeroed on halo rows so
+    /// the shard's loss scores only the rows it owns.
+    pub fn localize(&self, shard: usize, sample: &TrainSample) -> TrainSample {
+        let view = self.partition.partition(shard).view();
+        TrainSample {
+            snapshot_index: sample.snapshot_index,
+            input: view.select(&sample.input),
+            label: view.select(&sample.label),
+            label_mask: view.owned_mask(&sample.label_mask),
+            context: view_context(view, &sample.context),
+            history: sample.history.iter().map(|h| view.select(h)).collect(),
+        }
+    }
+
+    /// Trains every shard on its local restriction of `samples`.
+    ///
+    /// K = 1 runs the single shard's fit directly on the calling
+    /// thread — the exact unsharded code path. K > 1 trains shards
+    /// data-parallel (one thread per shard, kernel parallelism pinned
+    /// to one thread inside each); every shard's training is
+    /// internally deterministic regardless of thread count, so the
+    /// result is reproducible at any K.
+    pub fn fit_shards(&mut self, samples: &[TrainSample]) {
+        if self.shards.len() == 1 {
+            let local: Vec<TrainSample> = samples.iter().map(|s| self.localize(0, s)).collect();
+            self.shards[0].fit(&local);
+            return;
+        }
+        let partition = &self.partition;
+        let locals: Vec<Vec<TrainSample>> = (0..self.shards.len())
+            .map(|k| {
+                let view = partition.partition(k).view();
+                samples
+                    .iter()
+                    .map(|s| TrainSample {
+                        snapshot_index: s.snapshot_index,
+                        input: view.select(&s.input),
+                        label: view.select(&s.label),
+                        label_mask: view.owned_mask(&s.label_mask),
+                        context: view_context(view, &s.context),
+                        history: s.history.iter().map(|h| view.select(h)).collect(),
+                    })
+                    .collect()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for (shard, local) in self.shards.iter_mut().zip(&locals) {
+                scope.spawn(move || {
+                    gcwc_linalg::parallel::with_threads(1, || shard.fit(local));
+                });
+            }
+        });
+    }
+
+    /// Predicts the global completion: each shard predicts on its
+    /// local view and its owned rows are scattered into an
+    /// `n × out_cols` matrix.
+    pub fn predict_global(&self, sample: &TrainSample) -> Matrix {
+        let mut out = Matrix::zeros(self.n, self.out_cols);
+        for (k, shard) in self.shards.iter().enumerate() {
+            let local = self.localize(k, sample);
+            let pred = shard.predict(&local);
+            self.partition.partition(k).view().scatter_owned(&pred, &mut out);
+        }
+        out
+    }
+
+    /// Saves every shard as `{stem}.shard{k}.ckpt` under `dir`.
+    pub fn save_shards(
+        &self,
+        dir: &Path,
+        stem: &str,
+    ) -> Result<Vec<std::path::PathBuf>, PersistError> {
+        let mut paths = Vec::with_capacity(self.shards.len());
+        for (k, shard) in self.shards.iter().enumerate() {
+            let path = dir.join(format!("{stem}.shard{k}.ckpt"));
+            shard.save(&path)?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+
+    /// Loads every shard from `{stem}.shard{k}.ckpt` under `dir`.
+    pub fn load_shards(&mut self, dir: &Path, stem: &str) -> Result<(), PersistError> {
+        for (k, shard) in self.shards.iter_mut().enumerate() {
+            shard.load(&dir.join(format!("{stem}.shard{k}.ckpt")))?;
+        }
+        Ok(())
+    }
+}
+
+impl<M: ShardModel> CompletionModel for ShardedModel<M> {
+    fn name(&self) -> String {
+        format!("{}(K={})", self.shards[0].name(), self.shards.len())
+    }
+
+    fn fit(&mut self, samples: &[TrainSample]) {
+        self.fit_shards(samples);
+    }
+
+    fn predict(&self, sample: &TrainSample) -> Matrix {
+        self.predict_global(sample)
+    }
+
+    fn num_params(&self) -> usize {
+        self.shards.iter().map(|s| s.num_params()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{build_samples, TaskKind};
+    use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+
+    fn tiny_samples() -> (gcwc_traffic::NetworkInstance, Vec<TrainSample>) {
+        let hw = generators::highway_tollgate(1);
+        let sim = SimConfig {
+            days: 2,
+            intervals_per_day: 8,
+            records_per_interval: 8.0,
+            ..Default::default()
+        };
+        let data = simulate(&hw, HistogramSpec::hist4(), &sim);
+        let ds = data.to_dataset(0.5, 3, 5);
+        let idx: Vec<usize> = (0..ds.snapshots.len()).collect();
+        let samples = build_samples(&ds, &idx, TaskKind::Estimation, 0);
+        (hw, samples)
+    }
+
+    #[test]
+    fn shard_seed_is_base_seed_at_shard_zero() {
+        assert_eq!(shard_seed(42, 0), 42);
+        assert_ne!(shard_seed(42, 1), 42);
+    }
+
+    #[test]
+    fn k2_predictions_cover_every_row_exactly_once() {
+        let (hw, samples) = tiny_samples();
+        let mut model =
+            ShardedModel::gcwc(&hw.graph, 4, ModelConfig::hw_hist().with_epochs(1), 9, 2);
+        model.fit_shards(&samples[..4]);
+        let out = model.predict_global(&samples[0]);
+        assert_eq!(out.shape(), (hw.graph.num_nodes(), 4));
+        // HIST head: every global row must be a scattered softmax row.
+        for i in 0..out.rows() {
+            let s: f64 = out.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn localize_masks_halo_rows() {
+        let (hw, samples) = tiny_samples();
+        let model = ShardedModel::gcwc(&hw.graph, 4, ModelConfig::hw_hist().with_epochs(1), 9, 2);
+        for k in 0..2 {
+            let view = model.partition_set().partition(k).view();
+            let local = model.localize(k, &samples[0]);
+            assert_eq!(local.input.rows(), view.num_local());
+            for h in view.num_owned()..view.num_local() {
+                assert_eq!(local.label_mask[h], 0.0, "halo row {h} must be unmasked");
+            }
+        }
+    }
+}

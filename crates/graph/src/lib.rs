@@ -3,7 +3,10 @@
 //! Graph machinery for the GCWC reproduction: directed road networks,
 //! the paper's edge-graph construction (§III-A), combinatorial and
 //! scaled Laplacians, Chebyshev / random-walk polynomial filter bases,
-//! Graclus-style multilevel coarsening, and graph max-pooling maps.
+//! Graclus-style multilevel coarsening, graph max-pooling maps, shared
+//! convolution-ladder construction ([`ConvPlan`]), and edge-owned
+//! partitioning with 1-hop halos for sharded completion
+//! ([`PartitionSet`]).
 
 #![warn(missing_docs)]
 
@@ -11,11 +14,15 @@ pub mod chebyshev;
 pub mod coarsen;
 pub mod edge_graph;
 pub mod laplacian;
+pub mod partition;
+pub mod plan;
 pub mod pool;
 pub mod road;
 
 pub use chebyshev::{ChebyshevBasis, PolyBasis, RandomWalkBasis};
 pub use coarsen::{coarsen_once, CoarsenLevel, GraphHierarchy};
 pub use edge_graph::EdgeGraph;
+pub use partition::{Partition, PartitionSet, RowView};
+pub use plan::{log2_exact, ConvPlan, ConvStage, StageSpec};
 pub use pool::PoolingMap;
 pub use road::{RoadClass, RoadEdge, RoadNetwork, Vertex};

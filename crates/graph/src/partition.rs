@@ -1,0 +1,440 @@
+//! Edge-graph partitioning for sharded completion.
+//!
+//! [`PartitionSet::build`] cuts the edge graph into `K` partitions
+//! that each *own* a disjoint set of edges (edge-graph nodes) and
+//! carry the 1-hop neighbourhood of their owned set as read-only
+//! *halo* rows, so a `K`-tap graph convolution over a partition's
+//! local subgraph sees the same immediate neighbourhood a global
+//! convolution would. Ownership comes from the same Graclus-style
+//! heavy-edge coarsening the pooling hierarchy uses: the graph is
+//! coarsened until a few clusters per partition remain, the coarse
+//! clusters are walked in BFS order (so bins are contiguous regions,
+//! not striped samples), and packed greedily into `K` balanced bins.
+//!
+//! Locally, every partition orders its **owned rows first** (both
+//! groups sorted by global index), so "the owned block" is always the
+//! prefix `0..num_owned` — scatter-gather and loss masking never need
+//! an indirection per row. The construction is deterministic, and for
+//! `K = 1` the single partition's local graph is a verbatim clone of
+//! the global graph: the downstream pipeline (Laplacian scaling,
+//! Chebyshev recurrences, coarsening, training) is bit-identical to
+//! the unsharded path.
+
+use std::collections::VecDeque;
+
+use gcwc_linalg::Matrix;
+
+use crate::coarsen::coarsen_once;
+use crate::edge_graph::EdgeGraph;
+use crate::plan::{ConvPlan, StageSpec};
+
+/// A row-selection view mapping a partition's local rows back to
+/// global rows: owned rows first, halo rows after.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowView {
+    local_to_global: Vec<usize>,
+    num_owned: usize,
+    identity: bool,
+}
+
+impl RowView {
+    /// Builds a view from the local→global map; the first `num_owned`
+    /// entries are the owned rows.
+    ///
+    /// # Panics
+    /// Panics when `num_owned` exceeds the map length.
+    pub fn new(local_to_global: Vec<usize>, num_owned: usize) -> Self {
+        assert!(num_owned <= local_to_global.len(), "owned rows exceed the view");
+        let identity = num_owned == local_to_global.len()
+            && local_to_global.iter().enumerate().all(|(l, &g)| l == g);
+        Self { local_to_global, num_owned, identity }
+    }
+
+    /// The identity view over `n` rows (all owned, no halo).
+    pub fn identity(n: usize) -> Self {
+        Self { local_to_global: (0..n).collect(), num_owned: n, identity: true }
+    }
+
+    /// True when the view is the identity map (every global row owned,
+    /// in order) — the `K = 1` fast path.
+    pub fn is_identity(&self) -> bool {
+        self.identity
+    }
+
+    /// Total local rows (owned + halo).
+    pub fn num_local(&self) -> usize {
+        self.local_to_global.len()
+    }
+
+    /// Owned local rows (always the prefix `0..num_owned`).
+    pub fn num_owned(&self) -> usize {
+        self.num_owned
+    }
+
+    /// Halo rows (the suffix).
+    pub fn num_halo(&self) -> usize {
+        self.local_to_global.len() - self.num_owned
+    }
+
+    /// The full local→global row map.
+    pub fn local_to_global(&self) -> &[usize] {
+        &self.local_to_global
+    }
+
+    /// Global indices of the owned rows (sorted ascending).
+    pub fn owned(&self) -> &[usize] {
+        &self.local_to_global[..self.num_owned]
+    }
+
+    /// Global indices of the halo rows (sorted ascending).
+    pub fn halo(&self) -> &[usize] {
+        &self.local_to_global[self.num_owned..]
+    }
+
+    /// Copies the viewed rows of `global` into `local`
+    /// (`num_local × cols`, fully overwritten).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn select_into(&self, global: &Matrix, local: &mut Matrix) {
+        assert_eq!(local.rows(), self.num_local(), "local row count mismatch");
+        assert_eq!(local.cols(), global.cols(), "column count mismatch");
+        for (l, &g) in self.local_to_global.iter().enumerate() {
+            local.row_mut(l).copy_from_slice(global.row(g));
+        }
+    }
+
+    /// The viewed rows of `global` as a fresh `num_local × cols` matrix.
+    pub fn select(&self, global: &Matrix) -> Matrix {
+        let mut local = Matrix::zeros(self.num_local(), global.cols());
+        self.select_into(global, &mut local);
+        local
+    }
+
+    /// The viewed entries of a per-row slice (flags, masks, …).
+    pub fn select_slice(&self, global: &[f64]) -> Vec<f64> {
+        self.local_to_global.iter().map(|&g| global[g]).collect()
+    }
+
+    /// A local loss mask: the viewed entries of `global_mask` with
+    /// every halo row forced to `0.0`, so halo duplication never
+    /// double-counts in a per-shard loss.
+    pub fn owned_mask(&self, global_mask: &[f64]) -> Vec<f64> {
+        let mut mask = self.select_slice(global_mask);
+        for v in &mut mask[self.num_owned..] {
+            *v = 0.0;
+        }
+        mask
+    }
+
+    /// Scatters the owned prefix of `local` into the owned global rows
+    /// of `global` (halo rows are not written — their owners write
+    /// them).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn scatter_owned(&self, local: &Matrix, global: &mut Matrix) {
+        assert!(local.rows() >= self.num_owned, "local matrix misses owned rows");
+        assert_eq!(local.cols(), global.cols(), "column count mismatch");
+        for (l, &g) in self.owned().iter().enumerate() {
+            global.row_mut(g).copy_from_slice(local.row(l));
+        }
+    }
+}
+
+/// One partition: its row view plus the induced local subgraph over
+/// owned + halo rows.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    view: RowView,
+    graph: EdgeGraph,
+}
+
+impl Partition {
+    /// The owned/halo row view.
+    pub fn view(&self) -> &RowView {
+        &self.view
+    }
+
+    /// The local subgraph (owned + halo rows, owned first).
+    pub fn graph(&self) -> &EdgeGraph {
+        &self.graph
+    }
+
+    /// Global indices of the owned rows.
+    pub fn owned(&self) -> &[usize] {
+        self.view.owned()
+    }
+
+    /// Global indices of the halo rows.
+    pub fn halo(&self) -> &[usize] {
+        self.view.halo()
+    }
+
+    /// Owned row count.
+    pub fn num_owned(&self) -> usize {
+        self.view.num_owned()
+    }
+
+    /// Local row count (owned + halo).
+    pub fn num_local(&self) -> usize {
+        self.view.num_local()
+    }
+
+    /// This partition's own convolution ladder — scaled Laplacian,
+    /// Chebyshev basis, and pooling hierarchy over the *local*
+    /// subgraph.
+    pub fn conv_plan(&self, specs: &[StageSpec]) -> ConvPlan {
+        ConvPlan::build(self.graph.adjacency(), specs)
+    }
+}
+
+/// A complete edge-owned partitioning of an edge graph.
+#[derive(Clone, Debug)]
+pub struct PartitionSet {
+    partitions: Vec<Partition>,
+    owner_of: Vec<usize>,
+    boundary: Vec<bool>,
+}
+
+impl PartitionSet {
+    /// Partitions `graph` into `k` edge-owned pieces with 1-hop halos.
+    ///
+    /// Deterministic; every node is owned by exactly one partition,
+    /// and when `graph` has at least `k` nodes every partition owns at
+    /// least one. `k = 1` yields the identity partition whose local
+    /// graph is a clone of `graph`.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`.
+    pub fn build(graph: &EdgeGraph, k: usize) -> Self {
+        assert!(k >= 1, "need at least one partition");
+        let n = graph.num_nodes();
+        let bins = if k == 1 { vec![(0..n).collect()] } else { pack_bins(graph, k) };
+
+        let mut owner_of = vec![usize::MAX; n];
+        for (b, bin) in bins.iter().enumerate() {
+            for &u in bin {
+                owner_of[u] = b;
+            }
+        }
+        debug_assert!(owner_of.iter().all(|&o| o != usize::MAX));
+
+        let partitions = bins
+            .into_iter()
+            .enumerate()
+            .map(|(b, mut owned)| {
+                owned.sort_unstable();
+                let mut halo: Vec<usize> = owned
+                    .iter()
+                    .flat_map(|&u| graph.neighbors(u).iter().copied())
+                    .filter(|&v| owner_of[v] != b)
+                    .collect();
+                halo.sort_unstable();
+                halo.dedup();
+                let num_owned = owned.len();
+                let mut local_to_global = owned;
+                local_to_global.extend_from_slice(&halo);
+                let view = RowView::new(local_to_global, num_owned);
+                // The identity view clones the graph verbatim (same CSR
+                // layout), which is what makes K = 1 bit-identical to
+                // the unsharded pipeline end to end.
+                let local = if view.num_local() == n && view.is_identity() {
+                    graph.clone()
+                } else {
+                    graph.induced_subgraph(view.local_to_global())
+                };
+                Partition { view, graph: local }
+            })
+            .collect();
+
+        let boundary = (0..n)
+            .map(|u| graph.neighbors(u).iter().any(|&v| owner_of[v] != owner_of[u]))
+            .collect();
+        Self { partitions, owner_of, boundary }
+    }
+
+    /// Number of global nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.owner_of.len()
+    }
+
+    /// Number of partitions `K`.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// All partitions, in index order.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Partition `p`.
+    pub fn partition(&self, p: usize) -> &Partition {
+        &self.partitions[p]
+    }
+
+    /// The partition owning global node `u`.
+    pub fn owner_of(&self, u: usize) -> usize {
+        self.owner_of[u]
+    }
+
+    /// True when node `u` has a neighbour owned by another partition.
+    pub fn is_boundary(&self, u: usize) -> bool {
+        self.boundary[u]
+    }
+
+    /// Global nodes adjacent to a differently-owned node (ascending).
+    pub fn boundary_nodes(&self) -> Vec<usize> {
+        (0..self.num_nodes()).filter(|&u| self.boundary[u]).collect()
+    }
+
+    /// Clones of the per-partition row views, in partition order.
+    pub fn views(&self) -> Vec<RowView> {
+        self.partitions.iter().map(|p| p.view().clone()).collect()
+    }
+}
+
+/// Groups nodes into `k` bins: Graclus coarsening down to a handful of
+/// clusters per bin, BFS over the coarse graph for contiguity, then
+/// greedy sequential packing against the balanced target size.
+fn pack_bins(graph: &EdgeGraph, k: usize) -> Vec<Vec<usize>> {
+    let n = graph.num_nodes();
+    // Coarsen while > 4k clusters remain, composing memberships.
+    let mut membership: Vec<Vec<usize>> = (0..n).map(|u| vec![u]).collect();
+    let mut adj = graph.adjacency().clone();
+    while adj.rows() > 4 * k {
+        let lvl = coarsen_once(&adj);
+        if lvl.clusters.len() == adj.rows() {
+            break; // no shrink possible (e.g. fully disconnected)
+        }
+        membership = lvl
+            .clusters
+            .iter()
+            .map(|c| c.iter().flat_map(|&m| membership[m].iter().copied()).collect())
+            .collect();
+        adj = lvl.graph;
+    }
+
+    // BFS order over the coarse graph keeps bins regionally contiguous.
+    let nc = adj.rows();
+    let mut order = Vec::with_capacity(nc);
+    let mut seen = vec![false; nc];
+    for start in 0..nc {
+        if seen[start] {
+            continue;
+        }
+        seen[start] = true;
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for (v, _) in adj.row_entries(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+
+    // Greedy packing: advance to the next bin once the target is met,
+    // or when exactly enough clusters remain to fill the later bins —
+    // so every bin is non-empty whenever clusters ≥ k.
+    let target = n.div_ceil(k);
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut b = 0usize;
+    let mut bin_size = 0usize;
+    for (idx, &c) in order.iter().enumerate() {
+        let members = &membership[c];
+        let remaining = order.len() - idx;
+        let bins_after = k - 1 - b;
+        if b + 1 < k
+            && bin_size > 0
+            && (remaining <= bins_after || bin_size + members.len() > target)
+        {
+            b += 1;
+            bin_size = 0;
+        }
+        bins[b].extend(members.iter().copied());
+        bin_size += members.len();
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcwc_linalg::CsrMatrix;
+
+    fn path_graph(n: usize) -> EdgeGraph {
+        EdgeGraph::from_adjacency(CsrMatrix::from_triplets(
+            n,
+            n,
+            (0..n - 1).flat_map(|i| [(i, i + 1, 1.0), (i + 1, i, 1.0)]),
+        ))
+    }
+
+    #[test]
+    fn k1_is_identity_with_cloned_graph() {
+        let g = path_graph(10);
+        let ps = PartitionSet::build(&g, 1);
+        assert_eq!(ps.num_partitions(), 1);
+        let p = ps.partition(0);
+        assert!(p.view().is_identity());
+        assert_eq!(p.num_owned(), 10);
+        assert_eq!(p.halo(), &[] as &[usize]);
+        // CSR layout must match the global graph exactly.
+        let (a, b) = (p.graph().adjacency(), g.adjacency());
+        assert_eq!(a.to_dense(), b.to_dense());
+        assert!(ps.boundary_nodes().is_empty());
+    }
+
+    #[test]
+    fn path_split_has_expected_halos() {
+        let g = path_graph(8);
+        let ps = PartitionSet::build(&g, 2);
+        assert_eq!(ps.num_partitions(), 2);
+        let mut owned_total = 0;
+        for p in ps.partitions() {
+            owned_total += p.num_owned();
+            // Halo is exactly the out-of-partition neighbourhood.
+            for &h in p.halo() {
+                assert!(p.owned().iter().any(|&u| g.neighbors(u).contains(&h)));
+            }
+        }
+        assert_eq!(owned_total, 8);
+        // A path cut in two has exactly one boundary edge -> two
+        // boundary nodes.
+        assert_eq!(ps.boundary_nodes().len(), 2);
+    }
+
+    #[test]
+    fn more_partitions_than_nodes_leaves_empties() {
+        let g = path_graph(3);
+        let ps = PartitionSet::build(&g, 7);
+        let owned: usize = ps.partitions().iter().map(|p| p.num_owned()).sum();
+        assert_eq!(owned, 3);
+        assert_eq!(ps.num_partitions(), 7);
+    }
+
+    #[test]
+    fn owned_mask_zeroes_halo() {
+        let view = RowView::new(vec![2, 5, 0, 7], 2);
+        let mask = view.owned_mask(&[1.0; 8]);
+        assert_eq!(mask, vec![1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn select_scatter_roundtrip() {
+        let view = RowView::new(vec![1, 3, 0], 2);
+        let global = Matrix::from_fn(4, 2, |i, j| (i * 10 + j) as f64);
+        let local = view.select(&global);
+        assert_eq!(local.row(0), global.row(1));
+        assert_eq!(local.row(2), global.row(0));
+        let mut out = Matrix::zeros(4, 2);
+        view.scatter_owned(&local, &mut out);
+        assert_eq!(out.row(1), global.row(1));
+        assert_eq!(out.row(3), global.row(3));
+        assert_eq!(out.row(0), &[0.0, 0.0]); // halo row not written
+    }
+}

@@ -1,6 +1,8 @@
 //! Property-based tests for graph machinery on random graphs.
 
-use gcwc_graph::{laplacian, ChebyshevBasis, EdgeGraph, GraphHierarchy, PolyBasis, PoolingMap};
+use gcwc_graph::{
+    laplacian, ConvPlan, EdgeGraph, GraphHierarchy, PolyBasis, PoolingMap, StageSpec,
+};
 use gcwc_linalg::{eigen, CsrMatrix, Matrix};
 use proptest::prelude::*;
 
@@ -40,11 +42,16 @@ proptest! {
         }
     }
 
-    /// The scaled Laplacian's spectrum stays within [−1, 1 + ε].
+    /// The scaled Laplacian's spectrum stays within [−1, 1 + ε]. The
+    /// basis comes from the shared [`ConvPlan`] constructor — the same
+    /// construction the model encoder uses — and must match a direct
+    /// scaling bit for bit.
     #[test]
     fn scaled_laplacian_spectral_bound(a in random_adjacency(10)) {
-        let lt = laplacian::scaled_laplacian(&a);
-        let lmax = eigen::largest_eigenvalue(&lt, 2000, 1e-10);
+        let plan = ConvPlan::build(&a, &[StageSpec { cheb_order: 2, pool: 1 }]);
+        let lt = plan.stages()[0].basis.scaled_laplacian();
+        prop_assert_eq!(lt.to_dense(), laplacian::scaled_laplacian(&a).to_dense());
+        let lmax = eigen::largest_eigenvalue(lt, 2000, 1e-10);
         prop_assert!(lmax <= 1.0 + 1e-5, "λmax(L̃) = {lmax}");
     }
 
@@ -78,7 +85,8 @@ proptest! {
     #[test]
     fn chebyshev_adjoint_identity(a in random_adjacency(8), k in 2usize..5) {
         let n = a.rows();
-        let basis = ChebyshevBasis::from_adjacency(&a, k);
+        let plan = ConvPlan::build(&a, &[StageSpec { cheb_order: k, pool: 1 }]);
+        let basis = &plan.stages()[0].basis;
         let x = Matrix::from_fn(n, 2, |i, j| (i as f64 - j as f64) * 0.3);
         let b: Vec<Matrix> =
             (0..k).map(|t| Matrix::from_fn(n, 2, |i, j| ((t + i + j) % 5) as f64 * 0.2)).collect();

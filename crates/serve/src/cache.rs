@@ -118,17 +118,27 @@ impl CompletionCache {
     /// least-recently-used entry when full. The evicted entry's matrix
     /// buffer is reused, so warm inserts do not allocate.
     pub fn insert(&mut self, key: CacheKey, value: &Matrix) {
+        self.insert_rows(key, value, value.rows());
+    }
+
+    /// Like [`CompletionCache::insert`] but caches only the first
+    /// `rows` rows of `value` — the sharded engine stores each shard's
+    /// *owned* row block (the local prefix) without materialising a
+    /// separate matrix.
+    pub fn insert_rows(&mut self, key: CacheKey, value: &Matrix, rows: usize) {
         if self.capacity == 0 {
             return;
         }
+        debug_assert!(rows <= value.rows(), "row prefix exceeds the value");
         if let Some(&idx) = self.map.get(&key) {
-            copy_into(&mut self.entries[idx].value, value);
+            copy_rows_into(&mut self.entries[idx].value, value, rows);
             self.unlink(idx);
             self.push_front(idx);
             return;
         }
         let idx = if self.entries.len() < self.capacity {
-            self.entries.push(Entry { key, value: value.clone(), prev: NIL, next: NIL });
+            let stored = prefix_rows(value, rows);
+            self.entries.push(Entry { key, value: stored, prev: NIL, next: NIL });
             self.entries.len() - 1
         } else {
             // Evict the LRU tail, reusing its slot and matrix buffer.
@@ -138,7 +148,7 @@ impl CompletionCache {
             let old_key = self.entries[victim].key;
             self.map.remove(&old_key);
             self.evictions += 1;
-            copy_into(&mut self.entries[victim].value, value);
+            copy_rows_into(&mut self.entries[victim].value, value, rows);
             self.entries[victim].key = key;
             victim
         };
@@ -195,12 +205,23 @@ impl CompletionCache {
     }
 }
 
-/// Shape-aware copy: reuses the destination buffer when shapes agree.
-fn copy_into(dst: &mut Matrix, src: &Matrix) {
-    if dst.shape() == src.shape() {
-        dst.copy_from(src);
+/// A matrix holding the first `rows` rows of `src` (row-major, so the
+/// prefix rows are a prefix slice).
+fn prefix_rows(src: &Matrix, rows: usize) -> Matrix {
+    if rows == src.rows() {
+        src.clone()
     } else {
-        *dst = src.clone();
+        Matrix::from_vec(rows, src.cols(), src.as_slice()[..rows * src.cols()].to_vec())
+    }
+}
+
+/// Shape-aware prefix copy: reuses the destination buffer when shapes
+/// agree.
+fn copy_rows_into(dst: &mut Matrix, src: &Matrix, rows: usize) {
+    if dst.shape() == (rows, src.cols()) {
+        dst.as_mut_slice().copy_from_slice(&src.as_slice()[..rows * src.cols()]);
+    } else {
+        *dst = prefix_rows(src, rows);
     }
 }
 
@@ -263,6 +284,20 @@ mod tests {
         assert!(c.get(&new).is_none(), "old-generation entry must not hit");
         c.insert(new, &mat(9.0));
         assert_eq!(c.get(&new), Some(&mat(9.0)));
+    }
+
+    #[test]
+    fn insert_rows_stores_owned_prefix() {
+        let mut c = CompletionCache::new(2);
+        let m = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        c.insert_rows(key(1), &m, 2);
+        let got = c.get(&key(1)).unwrap();
+        assert_eq!(got.shape(), (2, 2));
+        assert_eq!(got.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        // Refresh through the warm (buffer-reusing) path.
+        let m2 = Matrix::from_vec(3, 2, vec![9.0, 8.0, 7.0, 6.0, 5.0, 4.0]);
+        c.insert_rows(key(1), &m2, 2);
+        assert_eq!(c.get(&key(1)).unwrap().as_slice(), &[9.0, 8.0, 7.0, 6.0]);
     }
 
     #[test]

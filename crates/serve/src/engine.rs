@@ -1,15 +1,25 @@
 //! The batched inference engine: a bounded queue feeding worker
 //! threads that coalesce requests into pooled forward passes, with a
-//! shared completion cache in front.
+//! completion cache per shard in front.
+//!
+//! Requests carry the **global** weight matrix; the engine routes each
+//! one through every shard of the served shard set — cache lookup per
+//! shard (keys embed the shard's own generation, so hot-swapping one
+//! shard invalidates exactly its entries), one coalesced forward pass
+//! per shard over the misses, then each shard's owned rows are
+//! scattered back into the caller's global output buffer. With a
+//! single shard (K = 1) the view is the identity and the path reduces
+//! to the pre-sharding pipeline bit for bit.
 //!
 //! Buffer discipline: a [`Client`] owns its input/output matrices and
 //! round-trips them through the [`Job`] → [`Completion`] cycle, the
-//! worker owns an [`InferWorkspace`] plus persistent batch scratch,
-//! and the cache reuses evicted buffers — so the in-process request
-//! path performs **zero heap allocations** once warm (asserted by
-//! `gcwc-bench`'s `serve_alloc` test under `count-allocs`).
+//! worker owns an [`InferWorkspace`] plus persistent batch scratch
+//! (including per-shard localisation buffers), and the caches reuse
+//! evicted buffers — so the K = 1 in-process request path performs
+//! **zero heap allocations** once warm (asserted by `gcwc-bench`'s
+//! `serve_alloc` test under `count-allocs`).
 
-use crate::cache::{CacheKey, CompletionCache};
+use crate::cache::{input_signature, CacheKey, CompletionCache};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::ModelRegistry;
 use crate::{derive_row_flags, ServeError};
@@ -55,10 +65,14 @@ pub struct Completion {
     pub output: Matrix,
     /// The caller's input buffer, returned for the next request.
     pub input: Matrix,
-    /// True when served from the completion cache.
+    /// True when every shard served its rows from the completion
+    /// cache (no forward pass ran for this request).
     pub cache_hit: bool,
-    /// Generation of the model snapshot that produced the result.
+    /// Global generation of the shard-set snapshot that produced the
+    /// result.
     pub generation: u64,
+    /// Number of shards K the completion was gathered from.
+    pub shards: usize,
 }
 
 /// One-shot rendezvous a worker fulfils and a client waits on.
@@ -130,23 +144,33 @@ pub struct StatsSnapshot {
     pub rejected: u64,
     /// Requests expired before service.
     pub expired: u64,
-    /// Completion-cache hits.
+    /// Completion-cache hits (summed over per-shard caches).
     pub cache_hits: u64,
-    /// Completion-cache misses.
+    /// Completion-cache misses (summed over per-shard caches).
     pub cache_misses: u64,
-    /// Completion-cache evictions.
+    /// Completion-cache evictions (summed over per-shard caches).
     pub cache_evictions: u64,
-    /// Current model generation.
+    /// Current global model generation.
     pub generation: u64,
+    /// Number of shards K in the served shard set.
+    pub shards: u64,
 }
 
 /// Per-worker (or inline-drain) scratch, reused across batches.
 struct WorkerState {
     ws: InferWorkspace,
     batch: Vec<Option<Job>>,
+    /// Global input signature per live batch slot.
+    sigs: Vec<u64>,
+    /// Per batch slot: true until some shard misses the cache.
+    all_hit: Vec<bool>,
+    /// Per-shard scratch: batch indices of the current shard's misses.
     miss_idx: Vec<usize>,
+    /// Per-shard scratch: cache keys of the current shard's misses.
     keys: Vec<CacheKey>,
     flags: Vec<Vec<f64>>,
+    /// Localised (owned + halo rows) inputs for non-identity shards.
+    local_ins: Vec<Matrix>,
     outs: Vec<Matrix>,
 }
 
@@ -155,9 +179,12 @@ impl WorkerState {
         Self {
             ws: InferWorkspace::new(),
             batch: Vec::with_capacity(max_batch),
+            sigs: Vec::with_capacity(max_batch),
+            all_hit: Vec::with_capacity(max_batch),
             miss_idx: Vec::with_capacity(max_batch),
             keys: Vec::with_capacity(max_batch),
             flags: std::iter::repeat_with(Vec::new).take(max_batch).collect(),
+            local_ins: Vec::new(),
             outs: Vec::new(),
         }
     }
@@ -165,7 +192,7 @@ impl WorkerState {
 
 struct EngineInner {
     queue: BoundedQueue<Job>,
-    cache: Mutex<CompletionCache>,
+    caches: Vec<Mutex<CompletionCache>>,
     registry: Arc<ModelRegistry>,
     counters: Counters,
     cfg: EngineConfig,
@@ -173,121 +200,157 @@ struct EngineInner {
 }
 
 impl EngineInner {
-    /// Serves one batch: cache lookups first, then a single coalesced
-    /// forward pass for the misses, then cache fills + responses.
+    /// Serves one batch: per-request validation, then per shard —
+    /// cache lookups, one coalesced forward pass over that shard's
+    /// misses, cache fills, owned-row scatter — and finally one
+    /// response per request once every shard has contributed its rows.
     fn serve_batch(&self, state: &mut WorkerState) {
         let snapshot = self.registry.snapshot();
-        let model = &snapshot.model;
-        let (n, m) = (model.num_edges(), model.num_buckets());
-        let out_cols = model.output_cols();
-        let WorkerState { ws, batch, miss_idx, keys, flags, outs } = state;
-        miss_idx.clear();
-        keys.clear();
+        let num_shards = snapshot.num_shards();
+        let (n, m) = (snapshot.num_edges(), snapshot.num_buckets());
+        let out_cols = snapshot.output_cols();
+        let WorkerState { ws, batch, sigs, all_hit, miss_idx, keys, flags, local_ins, outs } =
+            state;
+        sigs.clear();
+        all_hit.clear();
 
-        // Phase 1: validation, deadlines, cache lookups.
+        // Phase 1: validation, deadlines, global input signatures.
         let now = Instant::now();
-        {
-            let mut cache = self.cache.lock().unwrap();
-            for i in 0..batch.len() {
-                let job = batch[i].as_ref().expect("fresh batch slot");
-                if job.input.shape() != (n, m) {
-                    let got = job.input.shape();
-                    let job = batch[i].take().expect("slot checked above");
-                    self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                    job.respond(Err(ServeError::BadRequest(format!(
-                        "input shape {got:?}, model expects ({n}, {m})"
-                    ))));
-                    continue;
-                }
-                if job.deadline.is_some_and(|d| d < now) {
-                    let job = batch[i].take().expect("slot checked above");
-                    self.counters.expired.fetch_add(1, Ordering::Relaxed);
-                    self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                    job.respond(Err(ServeError::DeadlineExceeded));
-                    continue;
-                }
-                let key = CacheKey::for_input(
-                    snapshot.generation,
-                    job.time_of_day,
-                    job.day_of_week,
-                    &job.input,
-                );
-                if let Some(cached) = cache.get(&key) {
-                    let mut job = batch[i].take().expect("slot checked above");
-                    job.out_buf.copy_from(cached);
-                    let completion = Completion {
-                        output: std::mem::replace(&mut job.out_buf, Matrix::zeros(0, 0)),
-                        input: std::mem::replace(&mut job.input, Matrix::zeros(0, 0)),
-                        cache_hit: true,
-                        generation: snapshot.generation,
-                    };
-                    self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                    job.respond(Ok(completion));
-                } else {
-                    keys.push(key);
-                    miss_idx.push(i);
-                }
+        for i in 0..batch.len() {
+            let job = batch[i].as_ref().expect("fresh batch slot");
+            if job.input.shape() != (n, m) {
+                let got = job.input.shape();
+                let job = batch[i].take().expect("slot checked above");
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                job.respond(Err(ServeError::BadRequest(format!(
+                    "input shape {got:?}, model expects ({n}, {m})"
+                ))));
+                sigs.push(0);
+                all_hit.push(false);
+                continue;
             }
+            if job.deadline.is_some_and(|d| d < now) {
+                let job = batch[i].take().expect("slot checked above");
+                self.counters.expired.fetch_add(1, Ordering::Relaxed);
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                job.respond(Err(ServeError::DeadlineExceeded));
+                sigs.push(0);
+                all_hit.push(false);
+                continue;
+            }
+            sigs.push(input_signature(&job.input));
+            all_hit.push(true);
         }
 
-        if miss_idx.is_empty() {
-            batch.clear();
-            return;
-        }
-
-        // Phase 2: one coalesced forward pass over the misses.
-        let count = miss_idx.len();
-        for (r, &i) in miss_idx.iter().enumerate() {
-            let job = batch[i].as_ref().expect("miss slots are untaken");
-            derive_row_flags(&job.input, &mut flags[r]);
-        }
-        for slot in outs.iter_mut() {
-            if slot.shape() != (n, out_cols) {
-                let stale = std::mem::replace(slot, ws.take(n, out_cols));
-                ws.give(stale);
-            }
-        }
-        while outs.len() < count {
-            let fresh = ws.take(n, out_cols);
-            outs.push(fresh);
-        }
-        {
-            let batch_ref: &Vec<Option<Job>> = batch;
-            let miss_ref: &Vec<usize> = miss_idx;
-            let flags_ref: &Vec<Vec<f64>> = flags;
-            model.infer_into(
-                ws,
-                count,
-                |r| {
-                    let job = batch_ref[miss_ref[r]].as_ref().expect("miss slots are untaken");
-                    InferRequest {
-                        input: &job.input,
+        // Phase 2: route through every shard — lookups, one forward
+        // pass per shard with misses, cache fills, owned-row scatter.
+        for s in 0..num_shards {
+            let shard = snapshot.shard(s);
+            let view = snapshot.view(s);
+            miss_idx.clear();
+            keys.clear();
+            {
+                let mut cache = self.caches[s].lock().unwrap();
+                for i in 0..batch.len() {
+                    let Some(job) = batch[i].as_mut() else { continue };
+                    let key = CacheKey {
+                        generation: shard.generation,
                         time_of_day: job.time_of_day,
                         day_of_week: job.day_of_week,
-                        row_flags: &flags_ref[r],
+                        signature: sigs[i],
+                    };
+                    if let Some(cached) = cache.get(&key) {
+                        // Cached value is the shard's owned row block.
+                        view.scatter_owned(cached, &mut job.out_buf);
+                    } else {
+                        keys.push(key);
+                        miss_idx.push(i);
+                        all_hit[i] = false;
                     }
-                },
-                &mut outs[..count],
-            );
-        }
-        self.counters.batches.fetch_add(1, Ordering::Relaxed);
-
-        // Phase 3: cache fills + responses.
-        {
-            let mut cache = self.cache.lock().unwrap();
-            for (r, &i) in miss_idx.iter().enumerate() {
-                let mut job = batch[i].take().expect("miss slots are untaken");
-                cache.insert(keys[r], &outs[r]);
-                job.out_buf.copy_from(&outs[r]);
-                let completion = Completion {
-                    output: std::mem::replace(&mut job.out_buf, Matrix::zeros(0, 0)),
-                    input: std::mem::replace(&mut job.input, Matrix::zeros(0, 0)),
-                    cache_hit: false,
-                    generation: snapshot.generation,
-                };
-                self.counters.completed.fetch_add(1, Ordering::Relaxed);
-                job.respond(Ok(completion));
+                }
             }
+            if miss_idx.is_empty() {
+                continue;
+            }
+
+            let count = miss_idx.len();
+            let local_n = view.num_local();
+            let identity = view.is_identity();
+            if !identity {
+                for slot in local_ins.iter_mut() {
+                    if slot.shape() != (local_n, m) {
+                        let stale = std::mem::replace(slot, ws.take(local_n, m));
+                        ws.give(stale);
+                    }
+                }
+                while local_ins.len() < count {
+                    let fresh = ws.take(local_n, m);
+                    local_ins.push(fresh);
+                }
+            }
+            for (r, &i) in miss_idx.iter().enumerate() {
+                let job = batch[i].as_ref().expect("miss slots are live");
+                if identity {
+                    derive_row_flags(&job.input, &mut flags[r]);
+                } else {
+                    view.select_into(&job.input, &mut local_ins[r]);
+                    derive_row_flags(&local_ins[r], &mut flags[r]);
+                }
+            }
+            for slot in outs.iter_mut() {
+                if slot.shape() != (local_n, out_cols) {
+                    let stale = std::mem::replace(slot, ws.take(local_n, out_cols));
+                    ws.give(stale);
+                }
+            }
+            while outs.len() < count {
+                let fresh = ws.take(local_n, out_cols);
+                outs.push(fresh);
+            }
+            {
+                let batch_ref: &Vec<Option<Job>> = batch;
+                let miss_ref: &Vec<usize> = miss_idx;
+                let flags_ref: &Vec<Vec<f64>> = flags;
+                let local_ref: &Vec<Matrix> = local_ins;
+                shard.model.infer_into(
+                    ws,
+                    count,
+                    |r| {
+                        let job = batch_ref[miss_ref[r]].as_ref().expect("miss slots are live");
+                        InferRequest {
+                            input: if identity { &job.input } else { &local_ref[r] },
+                            time_of_day: job.time_of_day,
+                            day_of_week: job.day_of_week,
+                            row_flags: &flags_ref[r],
+                        }
+                    },
+                    &mut outs[..count],
+                );
+            }
+            self.counters.batches.fetch_add(1, Ordering::Relaxed);
+
+            {
+                let mut cache = self.caches[s].lock().unwrap();
+                for (r, &i) in miss_idx.iter().enumerate() {
+                    let job = batch[i].as_mut().expect("miss slots are live");
+                    cache.insert_rows(keys[r], &outs[r], view.num_owned());
+                    view.scatter_owned(&outs[r], &mut job.out_buf);
+                }
+            }
+        }
+
+        // Phase 3: one response per surviving request.
+        for i in 0..batch.len() {
+            let Some(mut job) = batch[i].take() else { continue };
+            let completion = Completion {
+                output: std::mem::replace(&mut job.out_buf, Matrix::zeros(0, 0)),
+                input: std::mem::replace(&mut job.input, Matrix::zeros(0, 0)),
+                cache_hit: all_hit[i],
+                generation: snapshot.generation,
+                shards: num_shards,
+            };
+            self.counters.completed.fetch_add(1, Ordering::Relaxed);
+            job.respond(Ok(completion));
         }
         batch.clear();
     }
@@ -322,9 +385,12 @@ impl Engine {
     /// Starts an engine serving `registry` with `cfg.workers` threads.
     pub fn new(registry: Arc<ModelRegistry>, cfg: EngineConfig) -> Self {
         let max_batch = cfg.max_batch.max(1);
+        let num_shards = registry.num_shards();
+        let caches =
+            (0..num_shards).map(|_| Mutex::new(CompletionCache::new(cfg.cache_capacity))).collect();
         let inner = Arc::new(EngineInner {
             queue: BoundedQueue::new(cfg.queue_capacity),
-            cache: Mutex::new(CompletionCache::new(cfg.cache_capacity)),
+            caches,
             registry,
             counters: Counters::default(),
             cfg: EngineConfig { max_batch, ..cfg },
@@ -355,8 +421,8 @@ impl Engine {
             spare_inputs: Vec::new(),
             spare_outputs: Vec::new(),
             pending: false,
-            in_shape: (snapshot.model.num_edges(), snapshot.model.num_buckets()),
-            out_shape: (snapshot.model.num_edges(), snapshot.model.output_cols()),
+            in_shape: (snapshot.num_edges(), snapshot.num_buckets()),
+            out_shape: (snapshot.num_edges(), snapshot.output_cols()),
         }
     }
 
@@ -387,7 +453,13 @@ impl Engine {
     /// Point-in-time counters.
     pub fn stats(&self) -> StatsSnapshot {
         let c = &self.inner.counters;
-        let (cache_hits, cache_misses, cache_evictions) = self.inner.cache.lock().unwrap().stats();
+        let (mut cache_hits, mut cache_misses, mut cache_evictions) = (0u64, 0u64, 0u64);
+        for cache in &self.inner.caches {
+            let (h, m, e) = cache.lock().unwrap().stats();
+            cache_hits += h;
+            cache_misses += m;
+            cache_evictions += e;
+        }
         StatsSnapshot {
             requests: c.requests.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
@@ -398,6 +470,7 @@ impl Engine {
             cache_misses,
             cache_evictions,
             generation: self.inner.registry.generation(),
+            shards: self.inner.caches.len() as u64,
         }
     }
 

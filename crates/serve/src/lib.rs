@@ -2,15 +2,21 @@
 //!
 //! Batched, cached inference server for stochastic weight completion.
 //!
-//! A trained GCWC / A-GCWC checkpoint is loaded into a warm
-//! [`ModelRegistry`] (atomically hot-swappable), and completion
-//! requests flow through a bounded queue into worker threads that
-//! coalesce up to `max_batch` requests into **one** pooled, tape-free
-//! forward pass. Because every batched kernel computes each request's
-//! column block independently (see `gcwc::infer`), the responses are
-//! bit-identical to running each request alone. A keyed LRU
-//! [`CompletionCache`] short-circuits repeated `(time, day, coverage)`
-//! requests entirely.
+//! The served unit is a **shard set** — one trained GCWC / A-GCWC
+//! checkpoint per edge partition (K = 1, the common case, is a single
+//! model over the whole graph) — loaded into a warm [`ModelRegistry`]
+//! with per-shard atomic hot swaps. Completion requests carry the
+//! global weight matrix and flow through a bounded queue into worker
+//! threads that coalesce up to `max_batch` requests into **one**
+//! pooled, tape-free forward pass per shard, scattering each shard's
+//! owned rows back into the global response. Because every batched
+//! kernel computes each request's column block independently (see
+//! `gcwc::infer`), the responses are bit-identical to running each
+//! request alone — and K = 1 serving is bit-identical to the
+//! pre-sharding pipeline. A keyed LRU [`CompletionCache`] per shard
+//! short-circuits repeated `(time, day, coverage)` requests entirely;
+//! keys embed the shard's own generation, so hot-swapping one shard
+//! invalidates exactly that shard's entries.
 //!
 //! The crate is dependency-free (std only): the TCP front end speaks a
 //! newline-delimited text protocol over [`std::net::TcpListener`], and
@@ -37,7 +43,7 @@ pub mod server;
 pub use cache::{CacheKey, CompletionCache};
 pub use engine::{Client, Completion, Engine, EngineConfig, StatsSnapshot};
 pub use queue::BoundedQueue;
-pub use registry::{AnyModel, ModelRegistry, ModelSnapshot};
+pub use registry::{AnyModel, ModelRegistry, ModelShard, ModelSnapshot};
 pub use server::{Server, TcpClient};
 
 use gcwc_linalg::Matrix;

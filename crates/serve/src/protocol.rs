@@ -12,8 +12,8 @@
 //! Responses:
 //!
 //! ```text
-//! ok <rows> <cols> <hit 0|1> <generation> <hex…>
-//! stats <requests> <completed> <batches> <hits> <misses> <evictions> <generation>
+//! ok <rows> <cols> <hit 0|1> <generation> <shards> <hex…>
+//! stats <requests> <completed> <batches> <hits> <misses> <evictions> <generation> <shards>
 //! pong
 //! bye
 //! err <code> <message…>
@@ -121,15 +121,22 @@ pub fn write_matrix_hex(buf: &mut String, m: &Matrix) {
 }
 
 /// Renders the `ok` response line (no trailing newline).
-pub fn write_ok(buf: &mut String, output: &Matrix, cache_hit: bool, generation: u64) {
+pub fn write_ok(
+    buf: &mut String,
+    output: &Matrix,
+    cache_hit: bool,
+    generation: u64,
+    shards: usize,
+) {
     use std::fmt::Write;
     let _ = write!(
         buf,
-        "ok {} {} {} {}",
+        "ok {} {} {} {} {}",
         output.rows(),
         output.cols(),
         u8::from(cache_hit),
-        generation
+        generation,
+        shards
     );
     write_matrix_hex(buf, output);
 }
@@ -145,14 +152,15 @@ pub fn write_stats(buf: &mut String, s: &StatsSnapshot) {
     use std::fmt::Write;
     let _ = write!(
         buf,
-        "stats {} {} {} {} {} {} {}",
+        "stats {} {} {} {} {} {} {} {}",
         s.requests,
         s.completed,
         s.batches,
         s.cache_hits,
         s.cache_misses,
         s.cache_evictions,
-        s.generation
+        s.generation,
+        s.shards
     );
 }
 
@@ -164,6 +172,8 @@ pub struct OkResponse {
     pub cache_hit: bool,
     /// Model generation that produced it.
     pub generation: u64,
+    /// Number of shards K the completion was gathered from.
+    pub shards: usize,
 }
 
 /// Parses a server response to a `complete` request.
@@ -175,6 +185,7 @@ pub fn parse_complete_response(line: &str) -> Result<OkResponse, ServeError> {
             let cols = parse_usize(tokens.next(), "cols")?;
             let hit = parse_usize(tokens.next(), "hit")?;
             let generation = parse_usize(tokens.next(), "generation")? as u64;
+            let shards = parse_usize(tokens.next(), "shards")?;
             let total = checked_elems(rows, cols)?;
             let mut data = Vec::with_capacity(total.min(line.len() / WIRE_ELEM_BYTES + 1));
             for _ in 0..total {
@@ -187,6 +198,7 @@ pub fn parse_complete_response(line: &str) -> Result<OkResponse, ServeError> {
                 output: Matrix::from_vec(rows, cols, data),
                 cache_hit: hit != 0,
                 generation,
+                shards,
             })
         }
         Some("err") => {
@@ -231,11 +243,12 @@ mod tests {
     fn ok_response_roundtrip() {
         let m = Matrix::from_vec(1, 3, vec![0.25, 0.5, 0.25]);
         let mut line = String::new();
-        write_ok(&mut line, &m, true, 7);
+        write_ok(&mut line, &m, true, 7, 2);
         let r = parse_complete_response(&line).unwrap();
         assert_eq!(r.output, m);
         assert!(r.cache_hit);
         assert_eq!(r.generation, 7);
+        assert_eq!(r.shards, 2);
     }
 
     #[test]
@@ -255,7 +268,7 @@ mod tests {
         let overflow = format!("complete 0 0 {} {}", usize::MAX, 2usize);
         assert!(parse_request(&overflow).is_err());
         // Same guards on the response parser.
-        let huge_resp = format!("ok {} 1 0 1", MAX_WIRE_ELEMS + 1);
+        let huge_resp = format!("ok {} 1 0 1 1", MAX_WIRE_ELEMS + 1);
         assert!(parse_complete_response(&huge_resp).is_err());
         // Largest admissible shape with a short line: parser errors on
         // the missing data instead of reserving MAX_WIRE_ELEMS slots.

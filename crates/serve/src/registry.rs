@@ -1,24 +1,35 @@
 //! Model registry: loads and validates checkpoints into warm models
 //! and atomically hot-swaps the served snapshot.
 //!
-//! A `factory` closure builds an untrained model of the target
-//! architecture (it captures the road-network graph and config);
-//! [`ModelRegistry::load`] runs the factory, restores the checkpoint —
-//! the versioned header is validated against the model's architecture
-//! token, so a wrong-architecture or corrupt file is rejected *before*
-//! it is exposed — and then swaps the new [`ModelSnapshot`] in behind
-//! an [`RwLock`]. In-flight batches keep serving the old snapshot via
-//! their [`Arc`] until they finish.
+//! The served unit is a **shard set**: one model per edge partition
+//! (see `gcwc_graph::PartitionSet`), each with the [`RowView`] mapping
+//! its local rows back to the global graph. A single-shard registry
+//! (the common K = 1 case, built by [`ModelRegistry::new`]) carries
+//! one model under an identity view and behaves exactly like the
+//! pre-sharding registry.
+//!
+//! A `factory` closure per shard builds an untrained model of that
+//! shard's architecture (it captures the local graph and config);
+//! [`ModelRegistry::load_shard`] runs the factory, restores the
+//! checkpoint — the versioned header is validated against the model's
+//! architecture token, so a wrong-architecture or corrupt file is
+//! rejected *before* it is exposed — and then swaps a new
+//! [`ModelSnapshot`] in behind an [`RwLock`]. Unchanged shards are
+//! shared by `Arc` between generations, so swapping shard `k` leaves
+//! every other shard's identity (and its cache entries, which are
+//! keyed by per-shard generation) intact. In-flight batches keep
+//! serving the old snapshot via their [`Arc`] until they finish.
 
 use crate::ServeError;
 use gcwc::{AGcwcModel, GcwcModel, InferRequest, InferWorkspace, OutputKind};
+use gcwc_graph::{PartitionSet, RowView};
 use gcwc_linalg::Matrix;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Either completion model behind one dispatching surface.
-// One instance lives behind each Arc<ModelSnapshot>; the variant size
+// One instance lives behind each Arc<ModelShard>; the variant size
 // gap never multiplies, so boxing would only add a pointer chase.
 #[allow(clippy::large_enum_variant)]
 pub enum AnyModel {
@@ -29,7 +40,7 @@ pub enum AnyModel {
 }
 
 impl AnyModel {
-    /// Number of edges `n` in the served graph.
+    /// Number of edges `n` the model covers (local `n` for a shard).
     pub fn num_edges(&self) -> usize {
         match self {
             AnyModel::Gcwc(m) => m.num_edges(),
@@ -96,35 +107,142 @@ impl AnyModel {
     }
 }
 
-/// One immutable generation of the served model.
-pub struct ModelSnapshot {
+/// One shard of the served shard set: a warm model plus the generation
+/// at which it was last swapped in.
+pub struct ModelShard {
     /// The warm model (parameters loaded, ready to infer).
     pub model: AnyModel,
-    /// Monotonic generation counter (0 = factory-fresh, untrained).
+    /// The global generation counter's value when this shard was
+    /// (re)installed. Cache keys embed it, so hot-swapping one shard
+    /// invalidates exactly that shard's cached completions.
     pub generation: u64,
-    /// The checkpoint this generation was loaded from, if any.
+    /// The checkpoint this shard was loaded from, if any.
     pub source: Option<PathBuf>,
 }
 
-/// Factory closure producing an untrained model of the served
+/// One immutable generation of the served shard set.
+pub struct ModelSnapshot {
+    shards: Vec<Arc<ModelShard>>,
+    views: Arc<Vec<RowView>>,
+    /// Global monotonic generation (0 = factory-fresh, untrained).
+    /// Bumped on every shard swap.
+    pub generation: u64,
+    n: usize,
+    m: usize,
+    out_cols: usize,
+}
+
+impl ModelSnapshot {
+    /// Number of shards K.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard of the set.
+    pub fn shard(&self, k: usize) -> &ModelShard {
+        &self.shards[k]
+    }
+
+    /// Shard `k`'s local→global row view.
+    pub fn view(&self, k: usize) -> &RowView {
+        &self.views[k]
+    }
+
+    /// Global number of edges `n` (sum of owned rows across shards).
+    pub fn num_edges(&self) -> usize {
+        self.n
+    }
+
+    /// Number of histogram buckets `m`.
+    pub fn num_buckets(&self) -> usize {
+        self.m
+    }
+
+    /// Output columns of the head.
+    pub fn output_cols(&self) -> usize {
+        self.out_cols
+    }
+
+    /// The single model of a single-shard snapshot (the K = 1 serving
+    /// path, where the shard's rows are the global rows).
+    ///
+    /// # Panics
+    /// Panics on a multi-shard snapshot.
+    pub fn model(&self) -> &AnyModel {
+        assert_eq!(self.shards.len(), 1, "model() is single-shard only; use shard(k)");
+        &self.shards[0].model
+    }
+}
+
+/// Factory closure producing an untrained model of one shard's
 /// architecture.
 pub type ModelFactory = Box<dyn Fn() -> AnyModel + Send + Sync>;
 
 /// Registry holding the current [`ModelSnapshot`] behind an [`RwLock`]
 /// for lock-cheap reads and atomic hot swaps.
 pub struct ModelRegistry {
-    factory: ModelFactory,
+    factories: Vec<ModelFactory>,
+    views: Arc<Vec<RowView>>,
     current: RwLock<Arc<ModelSnapshot>>,
     generation: AtomicU64,
 }
 
 impl ModelRegistry {
-    /// Creates a registry serving a factory-fresh (untrained) model as
-    /// generation 0.
+    /// Creates a single-shard registry (K = 1) serving a factory-fresh
+    /// (untrained) model as generation 0 under an identity view.
     pub fn new(factory: ModelFactory) -> Self {
         let model = factory();
-        let snapshot = Arc::new(ModelSnapshot { model, generation: 0, source: None });
-        Self { factory, current: RwLock::new(snapshot), generation: AtomicU64::new(0) }
+        let views = vec![RowView::identity(model.num_edges())];
+        Self::from_parts(vec![factory], views, vec![model])
+    }
+
+    /// Creates a sharded registry: `factories[k]` builds shard `k`'s
+    /// untrained model over `partition.partition(k)`'s local graph.
+    pub fn sharded(factories: Vec<ModelFactory>, partition: &PartitionSet) -> Self {
+        assert_eq!(
+            factories.len(),
+            partition.num_partitions(),
+            "one factory per partition required"
+        );
+        let views: Vec<RowView> = partition.partitions().iter().map(|p| p.view().clone()).collect();
+        let models: Vec<AnyModel> = factories.iter().map(|f| f()).collect();
+        Self::from_parts(factories, views, models)
+    }
+
+    fn from_parts(
+        factories: Vec<ModelFactory>,
+        views: Vec<RowView>,
+        models: Vec<AnyModel>,
+    ) -> Self {
+        assert!(!models.is_empty(), "a registry needs at least one shard");
+        let n: usize = views.iter().map(RowView::num_owned).sum();
+        let m = models[0].num_buckets();
+        let out_cols = models[0].output_cols();
+        for (k, (model, view)) in models.iter().zip(&views).enumerate() {
+            assert_eq!(
+                model.num_edges(),
+                view.num_local(),
+                "shard {k} model covers {} edges but its view has {} local rows",
+                model.num_edges(),
+                view.num_local()
+            );
+            assert_eq!(model.num_buckets(), m, "shard {k} bucket count differs");
+            assert_eq!(model.output_cols(), out_cols, "shard {k} head differs");
+        }
+        let views = Arc::new(views);
+        let shards = models
+            .into_iter()
+            .map(|model| Arc::new(ModelShard { model, generation: 0, source: None }))
+            .collect();
+        let snapshot = Arc::new(ModelSnapshot {
+            shards,
+            views: Arc::clone(&views),
+            generation: 0,
+            n,
+            m,
+            out_cols,
+        });
+        Self { factories, views, current: RwLock::new(snapshot), generation: AtomicU64::new(0) }
     }
 
     /// The currently served snapshot. Cheap; callers hold the `Arc`
@@ -133,30 +251,73 @@ impl ModelRegistry {
         Arc::clone(&self.current.read().unwrap())
     }
 
-    /// Current generation number.
+    /// Number of shards K.
+    pub fn num_shards(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// Current global generation number.
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::Acquire)
     }
 
-    /// Loads `path` into a fresh model and atomically swaps it in.
-    /// On any error the previous snapshot keeps serving. Returns the
-    /// new generation number.
-    pub fn load(&self, path: &Path) -> Result<u64, ServeError> {
-        let mut model = (self.factory)();
+    /// Loads `path` into shard `k` and atomically swaps a new snapshot
+    /// in; every other shard is shared unchanged. On any error the
+    /// previous snapshot keeps serving. Returns the new generation.
+    pub fn load_shard(&self, k: usize, path: &Path) -> Result<u64, ServeError> {
+        assert!(k < self.factories.len(), "shard {k} out of range");
+        let mut model = (self.factories[k])();
         model.load(path)?;
-        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
-        let snapshot =
-            Arc::new(ModelSnapshot { model, generation, source: Some(path.to_path_buf()) });
-        *self.current.write().unwrap() = snapshot;
-        Ok(generation)
+        Ok(self.swap_shard(k, model, Some(path.to_path_buf())))
     }
 
-    /// Swaps in an already-built model (e.g. trained in-process).
-    /// Returns the new generation number.
+    /// Swaps an already-built model (e.g. trained in-process) into
+    /// shard `k`. Returns the new generation number.
+    pub fn install_shard(&self, k: usize, model: AnyModel) -> u64 {
+        assert!(k < self.factories.len(), "shard {k} out of range");
+        assert_eq!(
+            model.num_edges(),
+            self.views[k].num_local(),
+            "installed model does not match shard {k}'s view"
+        );
+        self.swap_shard(k, model, None)
+    }
+
+    /// Loads `path` into the single shard of a K = 1 registry.
+    ///
+    /// # Panics
+    /// Panics on a sharded registry — load each shard with
+    /// [`ModelRegistry::load_shard`].
+    pub fn load(&self, path: &Path) -> Result<u64, ServeError> {
+        assert_eq!(self.factories.len(), 1, "load() is single-shard only; use load_shard");
+        self.load_shard(0, path)
+    }
+
+    /// Swaps an already-built model into the single shard of a K = 1
+    /// registry. Returns the new generation number.
+    ///
+    /// # Panics
+    /// Panics on a sharded registry — use
+    /// [`ModelRegistry::install_shard`].
     pub fn install(&self, model: AnyModel) -> u64 {
+        assert_eq!(self.factories.len(), 1, "install() is single-shard only; use install_shard");
+        self.install_shard(0, model)
+    }
+
+    fn swap_shard(&self, k: usize, model: AnyModel, source: Option<PathBuf>) -> u64 {
         let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
-        let snapshot = Arc::new(ModelSnapshot { model, generation, source: None });
-        *self.current.write().unwrap() = snapshot;
+        let shard = Arc::new(ModelShard { model, generation, source });
+        let mut current = self.current.write().unwrap();
+        let mut shards = current.shards.clone();
+        shards[k] = shard;
+        *current = Arc::new(ModelSnapshot {
+            shards,
+            views: Arc::clone(&self.views),
+            generation,
+            n: current.n,
+            m: current.m,
+            out_cols: current.out_cols,
+        });
         generation
     }
 }

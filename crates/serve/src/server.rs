@@ -22,8 +22,7 @@ const READ_TIMEOUT: Duration = Duration::from_millis(50);
 /// Largest request line accepted: the biggest admissible wire matrix
 /// plus generous room for the command head. Connections exceeding it
 /// are answered with an error and closed.
-const MAX_LINE_BYTES: usize =
-    protocol::MAX_WIRE_ELEMS * protocol::WIRE_ELEM_BYTES + 128;
+const MAX_LINE_BYTES: usize = protocol::MAX_WIRE_ELEMS * protocol::WIRE_ELEM_BYTES + 128;
 
 /// A running TCP front end over an [`Engine`].
 pub struct Server {
@@ -157,6 +156,7 @@ fn handle_connection(engine: Arc<Engine>, stream: TcpStream, running: Arc<Atomic
                             &completion.output,
                             completion.cache_hit,
                             completion.generation,
+                            completion.shards,
                         );
                         client.recycle(completion);
                     }

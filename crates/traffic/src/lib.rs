@@ -17,6 +17,7 @@ pub mod gmm;
 pub mod histogram;
 pub mod io;
 pub mod sim;
+pub mod view;
 pub mod viz;
 pub mod weights;
 
@@ -27,4 +28,5 @@ pub use generators::NetworkInstance;
 pub use gmm::GaussianMixture;
 pub use histogram::HistogramSpec;
 pub use sim::{simulate, SimConfig, TrafficData};
+pub use view::{view_context, view_dataset, view_snapshot, view_weights};
 pub use weights::WeightMatrix;

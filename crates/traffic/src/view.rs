@@ -1,0 +1,120 @@
+//! Per-partition dataset views: restrict weight matrices, contexts,
+//! snapshots, and whole datasets to one partition's owned + halo rows
+//! via a [`RowView`] from `gcwc-graph`.
+//!
+//! Views re-index rows only — histogram buckets, time context, and
+//! fold structure are untouched — so a sharded model sees exactly the
+//! same data the unsharded model sees on those rows. Identity views
+//! (K = 1) produce clones bit-identical to the originals.
+
+use gcwc_graph::RowView;
+
+use crate::context::Context;
+use crate::dataset::{Dataset, Snapshot};
+use crate::weights::WeightMatrix;
+
+/// Restricts a context to the view's local rows (`X_R` row flags are
+/// gathered; time/day context is global and passes through).
+pub fn view_context(view: &RowView, ctx: &Context) -> Context {
+    Context {
+        time_of_day: ctx.time_of_day,
+        day_of_week: ctx.day_of_week,
+        intervals_per_day: ctx.intervals_per_day,
+        row_flags: view.select_slice(&ctx.row_flags),
+    }
+}
+
+/// Restricts a weight matrix to the view's local rows, carrying the
+/// per-row coverage flags along.
+pub fn view_weights(view: &RowView, w: &WeightMatrix) -> WeightMatrix {
+    let covered = view.local_to_global().iter().map(|&g| w.is_covered(g)).collect();
+    WeightMatrix::new(view.select(w.matrix()), covered)
+}
+
+/// Restricts one snapshot to the view's local rows.
+pub fn view_snapshot(view: &RowView, snap: &Snapshot) -> Snapshot {
+    Snapshot {
+        index: snap.index,
+        context: view_context(view, &snap.context),
+        input: view_weights(view, &snap.input),
+        truth: view_weights(view, &snap.truth),
+        avg_truth: view.local_to_global().iter().map(|&g| snap.avg_truth[g]).collect(),
+    }
+}
+
+/// Restricts a whole dataset to the view's local rows. Snapshot order,
+/// histogram spec, interval structure, and removal ratio are preserved,
+/// so fold indices computed on the global dataset remain valid.
+pub fn view_dataset(view: &RowView, ds: &Dataset) -> Dataset {
+    Dataset {
+        snapshots: ds.snapshots.iter().map(|s| view_snapshot(view, s)).collect(),
+        spec: ds.spec,
+        num_edges: view.num_local(),
+        intervals_per_day: ds.intervals_per_day,
+        removal_ratio: ds.removal_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcwc_linalg::Matrix;
+
+    fn snapshot(n: usize, m: usize) -> Snapshot {
+        let hist = Matrix::from_fn(n, m, |i, j| (i * m + j) as f64);
+        let covered: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
+        Snapshot {
+            index: 7,
+            context: Context {
+                time_of_day: 3,
+                day_of_week: 2,
+                intervals_per_day: 96,
+                row_flags: covered.iter().map(|&c| if c { 1.0 } else { 0.0 }).collect(),
+            },
+            input: WeightMatrix::new(hist.clone(), covered.clone()),
+            truth: WeightMatrix::new(hist, covered),
+            avg_truth: (0..n).map(|i| if i % 2 == 0 { Some(i as f64) } else { None }).collect(),
+        }
+    }
+
+    #[test]
+    fn identity_view_is_verbatim() {
+        let snap = snapshot(6, 4);
+        let view = RowView::identity(6);
+        let local = view_snapshot(&view, &snap);
+        assert_eq!(local.input.matrix(), snap.input.matrix());
+        assert_eq!(local.context.row_flags, snap.context.row_flags);
+        assert_eq!(local.avg_truth, snap.avg_truth);
+    }
+
+    #[test]
+    fn view_gathers_rows_in_local_order() {
+        let snap = snapshot(6, 4);
+        // Owned rows {4, 1}, halo row {5}: local order is owned-sorted
+        // then halo-sorted, i.e. [1, 4, 5].
+        let view = RowView::new(vec![1, 4, 5], 2);
+        let local = view_snapshot(&view, &snap);
+        assert_eq!(local.input.matrix().row(0), snap.input.matrix().row(1));
+        assert_eq!(local.input.matrix().row(2), snap.input.matrix().row(5));
+        assert_eq!(local.input.is_covered(0), snap.input.is_covered(1));
+        assert_eq!(local.avg_truth, vec![None, Some(4.0), None]);
+        assert_eq!(local.context.time_of_day, snap.context.time_of_day);
+    }
+
+    #[test]
+    fn view_dataset_keeps_structure() {
+        let ds = Dataset {
+            snapshots: vec![snapshot(6, 4), snapshot(6, 4)],
+            spec: crate::histogram::HistogramSpec::hist4(),
+            num_edges: 6,
+            intervals_per_day: 96,
+            removal_ratio: 0.4,
+        };
+        let view = RowView::new(vec![0, 2, 3], 2);
+        let local = view_dataset(&view, &ds);
+        assert_eq!(local.snapshots.len(), 2);
+        assert_eq!(local.num_edges, 3);
+        assert_eq!(local.intervals_per_day, 96);
+        assert_eq!(local.removal_ratio, 0.4);
+    }
+}
