@@ -187,7 +187,7 @@ impl CompletionModel for CnnModel {
             |tape, store, sample, rng| this.sample_loss(tape, store, sample, rng),
         );
         self.store = store;
-        self.last_report = report;
+        self.last_report = report.unwrap_or_else(|e| panic!("CNN training failed: {e}"));
     }
 
     fn predict(&self, sample: &TrainSample) -> Matrix {

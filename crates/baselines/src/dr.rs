@@ -213,7 +213,7 @@ impl CompletionModel for DrModel {
             |tape, store, sample, _| this.sample_loss(tape, store, sample),
         );
         self.store = store;
-        self.last_report = report;
+        self.last_report = report.unwrap_or_else(|e| panic!("DR training failed: {e}"));
     }
 
     fn predict(&self, sample: &TrainSample) -> Matrix {

@@ -23,6 +23,11 @@
 //!                      throughput + accuracy delta vs the unsharded
 //!                      model, K=1 asserted bit-identical; with
 //!                      `--json`, also writes `BENCH_partition.json`
+//!   train              resumable sharded training: checkpoints the
+//!                      per-shard training state under `--state=DIR`
+//!                      every few epochs; re-running with `--resume`
+//!                      continues a killed run bit-identically
+//!                      (`--shards=K` and `--epochs=N` set the scale)
 //!   all                everything above
 //! ```
 //!
@@ -34,8 +39,8 @@
 //! exp_runner -- <command>`.
 
 use gcwc_bench::{
-    ablations, jsonbench, params_table, run_table, scalability, servebench, shardsweep, Profile,
-    ScalModel,
+    ablations, jsonbench, params_table, resumable, run_table, scalability, servebench, shardsweep,
+    Profile, ScalModel,
 };
 
 /// Counts every heap allocation so `bench` can report allocs/iter.
@@ -51,12 +56,28 @@ fn main() {
     let mut threads = 0usize;
     let mut json = false;
     let mut shards: Option<usize> = None;
+    let mut state_dir: Option<std::path::PathBuf> = None;
+    let mut resume = false;
+    let mut epochs: Option<usize> = None;
     for a in &args {
         match a.as_str() {
             "--fast" => profile = Profile::fast(),
             "--full" => profile = Profile::full(),
             "--smoke" => profile = Profile::smoke(),
             "--json" => json = true,
+            "--resume" => resume = true,
+            flag if flag.starts_with("--state=") => {
+                state_dir = Some(std::path::PathBuf::from(&flag["--state=".len()..]));
+            }
+            flag if flag.starts_with("--epochs=") => {
+                epochs = match flag["--epochs=".len()..].parse() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("--epochs=N takes a positive integer, got {flag:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             flag if flag.starts_with("--threads=") => {
                 threads = match flag["--threads=".len()..].parse() {
                     Ok(n) => n,
@@ -83,7 +104,7 @@ fn main() {
     // follow the process-wide kernel default.
     gcwc_linalg::parallel::set_global_threads(threads);
     if commands.is_empty() {
-        eprintln!("usage: exp_runner [--fast|--full|--smoke] [--threads=N] [--shards=K] [--json] <table3|table4..table13|tables|fig6a|fig6b|threads|ablations|bench|serve-bench|shard-sweep|all>");
+        eprintln!("usage: exp_runner [--fast|--full|--smoke] [--threads=N] [--shards=K] [--epochs=N] [--state=DIR] [--resume] [--json] <table3|table4..table13|tables|fig6a|fig6b|threads|ablations|bench|serve-bench|shard-sweep|train|all>");
         std::process::exit(2);
     }
 
@@ -143,6 +164,22 @@ fn main() {
                         std::process::exit(1);
                     }
                     println!("wrote {path}");
+                }
+            }
+            "train" => {
+                let dir = state_dir.clone().unwrap_or_else(|| "gcwc-train-state".into());
+                let k = shards.unwrap_or(2);
+                let e = epochs.unwrap_or(6);
+                match resumable::run(k, e, &dir, resume) {
+                    Ok(report) => print!("{}", resumable::render(&report)),
+                    Err(err) => {
+                        eprintln!("training failed: {err}");
+                        eprintln!(
+                            "state under {} is intact; re-run with --resume to continue",
+                            dir.display()
+                        );
+                        std::process::exit(1);
+                    }
                 }
             }
             "all" => {

@@ -15,6 +15,7 @@ pub mod jsonbench;
 pub mod methods;
 pub mod params_table;
 pub mod profile;
+pub mod resumable;
 pub mod scalability;
 pub mod servebench;
 pub mod shardsweep;

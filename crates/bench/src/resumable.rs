@@ -1,0 +1,85 @@
+//! Resumable sharded training (`exp_runner train`).
+//!
+//! Trains a sharded GCWC over the synthetic city with periodic
+//! training-state checkpoints under `--state=DIR`. A killed run —
+//! Ctrl-C, OOM, or an armed `train.checkpoint.save` failpoint — leaves
+//! the per-shard `.trainstate` files of the last completed boundary on
+//! disk; re-running with `--resume` continues each shard from its file
+//! and lands on the **bit-identical** final model the uninterrupted run
+//! would have produced (`crates/core/tests/train_resume.rs` pins this).
+
+use std::path::Path;
+use std::time::Instant;
+
+use gcwc::{build_samples, ModelConfig, ShardedModel, TaskKind, TrainError};
+use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+
+/// How often (in epochs) the training state is persisted.
+pub const CHECKPOINT_EVERY_EPOCHS: usize = 2;
+
+/// Result of a resumable training run.
+#[derive(Clone, Debug)]
+pub struct ResumableReport {
+    /// Number of shards trained.
+    pub shards: usize,
+    /// Epochs each shard ran for (the configured total, including any
+    /// epochs replayed from a resumed state).
+    pub epochs: usize,
+    /// Wall-clock seconds for this invocation (a resumed run only pays
+    /// for the epochs that were still missing).
+    pub train_secs: f64,
+    /// Final per-shard epoch-mean losses.
+    pub final_losses: Vec<f64>,
+    /// Paths of the saved shard model checkpoints.
+    pub model_paths: Vec<std::path::PathBuf>,
+}
+
+/// Trains (or resumes) the sharded model, checkpointing into `dir`.
+pub fn run(
+    shards: usize,
+    epochs: usize,
+    dir: &Path,
+    resume: bool,
+) -> Result<ResumableReport, TrainError> {
+    std::fs::create_dir_all(dir).map_err(gcwc_nn::PersistError::File)?;
+    let city = generators::city_network_sized(3, 96);
+    let sim = SimConfig {
+        days: 2,
+        intervals_per_day: 8,
+        records_per_interval: 10.0,
+        ..Default::default()
+    };
+    let data = simulate(&city, HistogramSpec::hist8(), &sim);
+    let ds = data.to_dataset(0.5, 5, 11);
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let samples = build_samples(&ds, &idx, TaskKind::Estimation, 0);
+    let train = &samples[..8.min(samples.len())];
+    let cfg = ModelConfig::ci_hist().with_epochs(epochs);
+
+    let mut model = ShardedModel::gcwc(&city.graph, 8, cfg, 42, shards);
+    let t0 = Instant::now();
+    model.fit_shards_resumable(train, dir, "train", CHECKPOINT_EVERY_EPOCHS, resume)?;
+    let train_secs = t0.elapsed().as_secs_f64();
+    let final_losses = model
+        .shard_reports()
+        .iter()
+        .map(|r| r.epoch_losses.last().copied().unwrap_or(f64::NAN))
+        .collect();
+    let model_paths = model.save_shards(dir, "model")?;
+    Ok(ResumableReport { shards, epochs, train_secs, final_losses, model_paths })
+}
+
+/// Renders the report for the terminal.
+pub fn render(report: &ResumableReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Resumable sharded training: K={} epochs={} ({:.2}s this invocation)",
+        report.shards, report.epochs, report.train_secs
+    );
+    for (k, (loss, path)) in report.final_losses.iter().zip(&report.model_paths).enumerate() {
+        let _ = writeln!(out, "  shard {k}: final loss {loss:.6} -> {}", path.display());
+    }
+    out
+}

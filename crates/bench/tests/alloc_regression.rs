@@ -172,7 +172,8 @@ fn longer_trainings_do_not_allocate_more_per_epoch() {
                     tape.pool_mut().give_vec(flags);
                     tape.kl_loss_masked_ref(pred, &sample.label, &sample.label_mask, 1e-6)
                 },
-            );
+            )
+            .unwrap();
         });
         allocs
     };

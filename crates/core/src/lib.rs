@@ -31,9 +31,11 @@ pub mod infer;
 pub mod model;
 pub mod task;
 pub mod train;
+pub mod trainstate;
 
 pub use config::{ConvLayer, CpCnnConfig, ModelConfig, OutputKind};
 pub use infer::{InferRequest, InferWorkspace};
 pub use model::{shard_seed, AGcwcModel, GcwcModel, ShardModel, ShardedModel};
 pub use task::{build_samples, CompletionModel, TaskKind, TrainSample, MAX_SPEED};
-pub use train::TrainReport;
+pub use train::{CheckpointPlan, TrainControl, TrainError, TrainReport};
+pub use trainstate::TrainState;

@@ -13,7 +13,7 @@ use crate::infer::{InferRequest, InferWorkspace};
 use crate::model::encoder::Encoder;
 use crate::model::gcwc::LOSS_EPS;
 use crate::task::{CompletionModel, TrainSample};
-use crate::train::{run_training, TrainReport};
+use crate::train::{run_training_guarded, TrainControl, TrainError, TrainReport};
 
 /// ε guarding the Bayesian division (Eq. 10).
 const BAYES_EPS: f64 = 1e-4;
@@ -657,18 +657,22 @@ impl AGcwcModel {
     }
 }
 
-impl CompletionModel for AGcwcModel {
-    fn name(&self) -> String {
-        "A-GCWC".to_owned()
-    }
-
-    fn fit(&mut self, samples: &[TrainSample]) {
+impl AGcwcModel {
+    /// Fallible training with explicit robustness controls (divergence
+    /// guard + optional checkpoint-and-resume); see
+    /// [`GcwcModel::try_fit`](crate::GcwcModel::try_fit).
+    pub fn try_fit(
+        &mut self,
+        samples: &[TrainSample],
+        control: &TrainControl,
+    ) -> Result<(), TrainError> {
         let mut rng = seeded(self.rng.random());
-        // `run_training` needs `&mut self.store` while the closure reads
-        // the rest of `self`; move the store out for the duration.
+        // `run_training_guarded` needs `&mut self.store` while the
+        // closure reads the rest of `self`; move the store out for the
+        // duration.
         let mut store = std::mem::take(&mut self.store);
         let this: &Self = self;
-        let report = run_training(
+        let report = run_training_guarded(
             &mut store,
             this.cfg.optim,
             this.cfg.epochs,
@@ -676,10 +680,23 @@ impl CompletionModel for AGcwcModel {
             gcwc_linalg::Threads::fixed(this.cfg.threads),
             samples,
             &mut rng,
+            control,
             |tape, store, sample, rng| this.sample_loss(tape, store, sample, rng),
         );
         self.store = store;
-        self.last_report = report;
+        self.last_report = report?;
+        Ok(())
+    }
+}
+
+impl CompletionModel for AGcwcModel {
+    fn name(&self) -> String {
+        "A-GCWC".to_owned()
+    }
+
+    fn fit(&mut self, samples: &[TrainSample]) {
+        self.try_fit(samples, &TrainControl::default())
+            .unwrap_or_else(|e| panic!("A-GCWC training failed: {e}"));
     }
 
     fn predict(&self, sample: &TrainSample) -> Matrix {

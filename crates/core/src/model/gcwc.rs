@@ -11,7 +11,7 @@ use crate::config::{ModelConfig, OutputKind};
 use crate::infer::{InferRequest, InferWorkspace};
 use crate::model::encoder::Encoder;
 use crate::task::{CompletionModel, TrainSample};
-use crate::train::{run_training, TrainReport};
+use crate::train::{run_training_guarded, TrainControl, TrainError, TrainReport};
 
 /// ε of the KL loss (Eq. 3).
 pub const LOSS_EPS: f64 = 1e-6;
@@ -158,16 +158,22 @@ impl GcwcModel {
     }
 }
 
-impl CompletionModel for GcwcModel {
-    fn name(&self) -> String {
-        "GCWC".to_owned()
-    }
-
-    fn fit(&mut self, samples: &[TrainSample]) {
+impl GcwcModel {
+    /// Fallible training with explicit robustness controls: the
+    /// divergence guard aborts with [`TrainError::Diverged`] instead of
+    /// training through non-finite batches, and a
+    /// [`crate::train::CheckpointPlan`] persists/resumes the run at
+    /// epoch boundaries. [`CompletionModel::fit`] is this with default
+    /// controls (panicking on the error path).
+    pub fn try_fit(
+        &mut self,
+        samples: &[TrainSample],
+        control: &TrainControl,
+    ) -> Result<(), TrainError> {
         let encoder = &self.encoder;
         let row_dropout = self.cfg.row_dropout;
         let mut rng = seeded(self.rng.random());
-        self.last_report = run_training(
+        self.last_report = run_training_guarded(
             &mut self.store,
             self.cfg.optim,
             self.cfg.epochs,
@@ -175,10 +181,23 @@ impl CompletionModel for GcwcModel {
             gcwc_linalg::Threads::fixed(self.cfg.threads),
             samples,
             &mut rng,
+            control,
             |tape, store, sample, rng| {
                 Self::sample_loss(encoder, row_dropout, tape, store, sample, rng)
             },
-        );
+        )?;
+        Ok(())
+    }
+}
+
+impl CompletionModel for GcwcModel {
+    fn name(&self) -> String {
+        "GCWC".to_owned()
+    }
+
+    fn fit(&mut self, samples: &[TrainSample]) {
+        self.try_fit(samples, &TrainControl::default())
+            .unwrap_or_else(|e| panic!("GCWC training failed: {e}"));
     }
 
     fn predict(&self, sample: &TrainSample) -> Matrix {

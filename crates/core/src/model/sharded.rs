@@ -30,6 +30,7 @@ use gcwc_traffic::view_context;
 use crate::config::ModelConfig;
 use crate::model::{AGcwcModel, GcwcModel};
 use crate::task::{CompletionModel, TrainSample};
+use crate::train::{CheckpointPlan, TrainControl, TrainError, TrainReport};
 
 /// A completion model that can serve as one shard: fit/predict plus
 /// shape introspection and checkpoint persistence.
@@ -42,6 +43,15 @@ pub trait ShardModel: CompletionModel + Send {
     fn save(&self, path: &Path) -> Result<(), PersistError>;
     /// Loads the shard's parameters.
     fn load(&mut self, path: &Path) -> Result<(), PersistError>;
+    /// Fallible training with a divergence guard and optional
+    /// checkpoint-and-resume (see `crate::train::run_training_guarded`).
+    fn try_fit(
+        &mut self,
+        samples: &[TrainSample],
+        control: &TrainControl,
+    ) -> Result<(), TrainError>;
+    /// Training report of the shard's last fit.
+    fn last_report(&self) -> &TrainReport;
 }
 
 impl ShardModel for GcwcModel {
@@ -57,6 +67,16 @@ impl ShardModel for GcwcModel {
     fn load(&mut self, path: &Path) -> Result<(), PersistError> {
         GcwcModel::load(self, path)
     }
+    fn try_fit(
+        &mut self,
+        samples: &[TrainSample],
+        control: &TrainControl,
+    ) -> Result<(), TrainError> {
+        GcwcModel::try_fit(self, samples, control)
+    }
+    fn last_report(&self) -> &TrainReport {
+        GcwcModel::last_report(self)
+    }
 }
 
 impl ShardModel for AGcwcModel {
@@ -71,6 +91,16 @@ impl ShardModel for AGcwcModel {
     }
     fn load(&mut self, path: &Path) -> Result<(), PersistError> {
         AGcwcModel::load(self, path)
+    }
+    fn try_fit(
+        &mut self,
+        samples: &[TrainSample],
+        control: &TrainControl,
+    ) -> Result<(), TrainError> {
+        AGcwcModel::try_fit(self, samples, control)
+    }
+    fn last_report(&self) -> &TrainReport {
+        AGcwcModel::last_report(self)
     }
 }
 
@@ -215,10 +245,23 @@ impl<M: ShardModel> ShardedModel<M> {
     /// internally deterministic regardless of thread count, so the
     /// result is reproducible at any K.
     pub fn fit_shards(&mut self, samples: &[TrainSample]) {
+        self.try_fit_shards(samples, |_| TrainControl::default())
+            .unwrap_or_else(|e| panic!("sharded training failed: {e}"));
+    }
+
+    /// Fallible [`ShardedModel::fit_shards`]: every shard trains under
+    /// the divergence guard, and `control_for(k)` supplies shard `k`'s
+    /// [`TrainControl`] (e.g. a per-shard [`CheckpointPlan`]). The
+    /// first shard error (by shard index) is returned; shards that
+    /// already finished keep their trained parameters.
+    pub fn try_fit_shards(
+        &mut self,
+        samples: &[TrainSample],
+        control_for: impl Fn(usize) -> TrainControl + Sync,
+    ) -> Result<(), TrainError> {
         if self.shards.len() == 1 {
             let local: Vec<TrainSample> = samples.iter().map(|s| self.localize(0, s)).collect();
-            self.shards[0].fit(&local);
-            return;
+            return self.shards[0].try_fit(&local, &control_for(0));
         }
         let partition = &self.partition;
         let locals: Vec<Vec<TrainSample>> = (0..self.shards.len())
@@ -237,13 +280,47 @@ impl<M: ShardModel> ShardedModel<M> {
                     .collect()
             })
             .collect();
+        let control_for = &control_for;
+        let mut results: Vec<Result<(), TrainError>> = Vec::new();
         std::thread::scope(|scope| {
-            for (shard, local) in self.shards.iter_mut().zip(&locals) {
-                scope.spawn(move || {
-                    gcwc_linalg::parallel::with_threads(1, || shard.fit(local));
-                });
-            }
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(&locals)
+                .enumerate()
+                .map(|(k, (shard, local))| {
+                    scope.spawn(move || {
+                        gcwc_linalg::parallel::with_threads(1, || {
+                            shard.try_fit(local, &control_for(k))
+                        })
+                    })
+                })
+                .collect();
+            results.extend(handles.into_iter().map(|h| h.join().expect("shard trainer panicked")));
         });
+        results.into_iter().collect()
+    }
+
+    /// Trains every shard with periodic training-state checkpoints
+    /// under `dir` (`{stem}.shard{k}.trainstate`); when `resume` is set
+    /// and state files exist, each shard continues its killed run
+    /// bit-identically instead of starting over.
+    pub fn fit_shards_resumable(
+        &mut self,
+        samples: &[TrainSample],
+        dir: &Path,
+        stem: &str,
+        every_epochs: usize,
+        resume: bool,
+    ) -> Result<(), TrainError> {
+        self.try_fit_shards(samples, |k| TrainControl {
+            checkpoint: Some(CheckpointPlan {
+                path: dir.join(format!("{stem}.shard{k}.trainstate")),
+                every_epochs,
+                resume,
+            }),
+            ..TrainControl::default()
+        })
     }
 
     /// Predicts the global completion: each shard predicts on its
@@ -257,6 +334,11 @@ impl<M: ShardModel> ShardedModel<M> {
             self.partition.partition(k).view().scatter_owned(&pred, &mut out);
         }
         out
+    }
+
+    /// Training reports of every shard's last fit, in shard order.
+    pub fn shard_reports(&self) -> Vec<&TrainReport> {
+        self.shards.iter().map(|s| s.last_report()).collect()
     }
 
     /// Saves every shard as `{stem}.shard{k}.ckpt` under `dir`.

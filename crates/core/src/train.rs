@@ -15,14 +15,55 @@
 //! 3. buffers are merged into the [`ParamStore`] in sample-index order
 //!    after the batch completes, reproducing the serial accumulation
 //!    order exactly.
+//!
+//! # Divergence guard
+//!
+//! Debug builds assert non-finite tape values at the op that produces
+//! them; release builds — where real training runs — instead get a
+//! per-batch guard: a batch whose loss, merged gradient, or post-step
+//! parameters are non-finite is **rolled back** (the optimizer step is
+//! undone from a snapshot taken just before it), the batch is retried
+//! with freshly drawn per-sample seeds, and after
+//! [`TrainControl::max_bad_batches`] consecutive failures the run
+//! aborts with [`TrainError::Diverged`] instead of silently training a
+//! poisoned model. Clean batches take the exact same numeric path as
+//! before the guard existed — the checks are pure reads and consume no
+//! randomness — so guarded training is bit-identical to unguarded
+//! training whenever nothing diverges.
+//!
+//! # Checkpoint and resume
+//!
+//! With a [`CheckpointPlan`], the loop atomically persists a
+//! [`TrainState`] (parameters, Adam moments, master RNG state, shuffle
+//! order, epoch losses) every `every_epochs` epoch boundaries; a killed
+//! run restarted with `resume` reloads that state and continues the
+//! exact RNG stream and shuffle order, making the resumed run
+//! bit-identical to an uninterrupted one.
+
+use std::path::PathBuf;
 
 use gcwc_linalg::parallel::{self, Threads};
 use gcwc_linalg::rng::{seeded, shuffle};
-use gcwc_nn::{Adam, GradBuffer, NodeId, ParamStore, Tape};
+use gcwc_linalg::Matrix;
+use gcwc_nn::{Adam, AdamState, GradBuffer, NodeId, ParamStore, PersistError, Tape};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::task::TrainSample;
+use crate::trainstate::TrainState;
+
+/// Failpoint site names evaluated by the training loop (see
+/// `gcwc_failpoint`; inert unless the `failpoints` feature is enabled
+/// *and* the site is armed).
+pub mod failsite {
+    /// Evaluated after each applied optimizer step: a triggered site
+    /// marks the update as diverged (as a non-finite step would),
+    /// exercising the rollback-and-retry path deterministically.
+    pub const TRAIN_STEP: &str = "train.step";
+    /// Training-state checkpoint write: a triggered site fails the
+    /// write with an injected I/O error.
+    pub const CHECKPOINT_SAVE: &str = "train.checkpoint.save";
+}
 
 /// Reusable per-sample workspace: the tape that holds one sample's
 /// graph and the private gradient buffer its backward pass fills.
@@ -50,6 +91,85 @@ impl TrainReport {
     }
 }
 
+/// Why a training run aborted.
+#[derive(Debug)]
+pub enum TrainError {
+    /// One mini-batch produced a non-finite loss, gradient, or
+    /// parameter on [`TrainControl::max_bad_batches`] consecutive
+    /// attempts; the store holds the last good (rolled-back) state.
+    Diverged {
+        /// Epoch in which the batch diverged.
+        epoch: usize,
+        /// Index of the diverging batch within the epoch.
+        batch: usize,
+        /// Consecutive failed attempts at that batch.
+        bad_batches: u32,
+    },
+    /// Reading or writing the training-state checkpoint failed.
+    Checkpoint(PersistError),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Diverged { epoch, batch, bad_batches } => write!(
+                f,
+                "training diverged: batch {batch} of epoch {epoch} produced non-finite \
+                 values on {bad_batches} consecutive attempts"
+            ),
+            TrainError::Checkpoint(e) => write!(f, "training checkpoint error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<PersistError> for TrainError {
+    fn from(e: PersistError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+/// Consecutive bad attempts at one batch before training aborts.
+pub const DEFAULT_MAX_BAD_BATCHES: u32 = 3;
+
+/// Periodic training-state persistence for checkpoint-and-resume.
+#[derive(Clone, Debug)]
+pub struct CheckpointPlan {
+    /// Training-state file (atomically replaced at each write).
+    pub path: PathBuf,
+    /// Write the state every this many completed epochs (the final
+    /// epoch is always written). Values below 1 behave as 1.
+    pub every_epochs: usize,
+    /// When the state file exists, restore it and continue the run
+    /// from the recorded epoch instead of starting over.
+    pub resume: bool,
+}
+
+impl CheckpointPlan {
+    /// Checkpoints to `path` every `every_epochs` epochs, resuming from
+    /// an existing state file.
+    pub fn resuming(path: impl Into<PathBuf>, every_epochs: usize) -> Self {
+        Self { path: path.into(), every_epochs, resume: true }
+    }
+}
+
+/// Robustness knobs of [`run_training_guarded`].
+#[derive(Clone, Debug)]
+pub struct TrainControl {
+    /// Consecutive bad attempts at one batch before
+    /// [`TrainError::Diverged`] aborts the run.
+    pub max_bad_batches: u32,
+    /// Optional periodic training-state persistence.
+    pub checkpoint: Option<CheckpointPlan>,
+}
+
+impl Default for TrainControl {
+    fn default() -> Self {
+        Self { max_bad_batches: DEFAULT_MAX_BAD_BATCHES, checkpoint: None }
+    }
+}
+
 /// Runs mini-batch training: for every sample `forward_loss` builds the
 /// tape and returns the scalar loss node; gradients are averaged over
 /// the batch and applied with Adam.
@@ -69,14 +189,59 @@ pub fn run_training(
     samples: &[TrainSample],
     rng: &mut StdRng,
     forward_loss: impl Fn(&mut Tape, &ParamStore, &TrainSample, &mut StdRng) -> NodeId + Sync,
-) -> TrainReport {
+) -> Result<TrainReport, TrainError> {
+    run_training_guarded(
+        store,
+        optim,
+        epochs,
+        batch_size,
+        threads,
+        samples,
+        rng,
+        &TrainControl::default(),
+        forward_loss,
+    )
+}
+
+/// [`run_training`] with explicit robustness controls: the divergence
+/// guard threshold and an optional checkpoint-and-resume plan (see the
+/// module docs). With `TrainControl::default()` this is exactly
+/// [`run_training`].
+#[allow(clippy::too_many_arguments)] // deliberate flat signature, matching run_training
+pub fn run_training_guarded(
+    store: &mut ParamStore,
+    optim: gcwc_nn::OptimConfig,
+    epochs: usize,
+    batch_size: usize,
+    threads: Threads,
+    samples: &[TrainSample],
+    rng: &mut StdRng,
+    control: &TrainControl,
+    forward_loss: impl Fn(&mut Tape, &ParamStore, &TrainSample, &mut StdRng) -> NodeId + Sync,
+) -> Result<TrainReport, TrainError> {
     assert!(batch_size >= 1, "batch size must be positive");
+    assert!(control.max_bad_batches >= 1, "max_bad_batches must be positive");
     let mut report = TrainReport::default();
     if samples.is_empty() {
-        return report;
+        return Ok(report);
     }
     let mut adam = Adam::new(store, optim);
     let mut order: Vec<usize> = (0..samples.len()).collect();
+    let mut start_epoch = 0usize;
+    if let Some(plan) = &control.checkpoint {
+        if plan.resume && plan.path.exists() {
+            let state = TrainState::load(&plan.path)?;
+            state.validate(store, samples.len(), epochs)?;
+            for ((_, p), (_, value)) in store.iter_mut().zip(&state.params) {
+                p.value.copy_from(value);
+            }
+            adam.restore_state(&state.adam);
+            *rng = StdRng::from_state(state.rng_state);
+            order.copy_from_slice(&state.order);
+            report.epoch_losses.clone_from(&state.epoch_losses);
+            start_epoch = state.epochs_done;
+        }
+    }
     // Workspaces reused across batches and epochs: tapes, gradient
     // buffers, seed and loss scratch. After the first few batches the
     // loop body reaches a steady state that performs no heap
@@ -84,43 +249,139 @@ pub fn run_training(
     let mut slots: Vec<SampleSlot> = Vec::new();
     let mut seeds: Vec<u64> = Vec::new();
     let mut losses: Vec<f64> = Vec::new();
-    for _epoch in 0..epochs {
+    // Rollback snapshot: parameter values and optimizer state captured
+    // immediately before each optimizer step, into buffers that persist
+    // across batches (the steady-state copy allocates nothing).
+    let mut snap_params: Vec<Matrix> = Vec::new();
+    let mut snap_adam = AdamState::default();
+    for epoch in start_epoch..epochs {
         shuffle(rng, &mut order);
         let mut epoch_loss = 0.0;
-        for batch in order.chunks(batch_size) {
-            store.zero_grads();
-            // One seed per sample, drawn in batch order *before* any
-            // worker runs: the master stream's consumption is the same
-            // for every thread count.
-            seeds.clear();
-            seeds.extend(batch.iter().map(|_| rng.random::<u64>()));
-            while slots.len() < batch.len() {
-                slots.push(SampleSlot::default());
+        for (batch_index, batch) in order.chunks(batch_size).enumerate() {
+            let mut bad_batches = 0u32;
+            loop {
+                store.zero_grads();
+                // One seed per sample, drawn in batch order *before* any
+                // worker runs: the master stream's consumption is the same
+                // for every thread count. A retried batch draws fresh
+                // seeds, so transient bad draws are not replayed.
+                seeds.clear();
+                seeds.extend(batch.iter().map(|_| rng.random::<u64>()));
+                while slots.len() < batch.len() {
+                    slots.push(SampleSlot::default());
+                }
+                losses.clear();
+                losses.resize(batch.len(), 0.0);
+                run_batch(
+                    store,
+                    batch,
+                    &seeds,
+                    samples,
+                    threads,
+                    &mut slots[..batch.len()],
+                    &mut losses,
+                    &forward_loss,
+                );
+                // Fixed merge order — batch position, never worker id.
+                let mut batch_loss = 0.0;
+                for (loss, slot) in losses.iter().zip(&slots) {
+                    batch_loss += *loss;
+                    slot.buffer.merge_into(store);
+                }
+                store.scale_grads(1.0 / batch.len() as f64);
+                // Pre-step guard: a non-finite loss or gradient means
+                // the update must not be applied at all. Nothing has
+                // mutated parameters yet, so no rollback is needed —
+                // the next attempt re-zeroes the gradients.
+                if losses.iter().all(|l| l.is_finite()) && grads_finite(store) {
+                    snapshot_params(store, &mut snap_params);
+                    adam.save_state(&mut snap_adam);
+                    adam.step(store);
+                    // Post-step guard: even finite gradients can push a
+                    // parameter over the edge; the TRAIN_STEP failpoint
+                    // poisons an otherwise-healthy step the same way.
+                    if params_finite(store) && !gcwc_failpoint::triggered(failsite::TRAIN_STEP) {
+                        epoch_loss += batch_loss;
+                        break;
+                    }
+                    restore_params(store, &snap_params);
+                    adam.restore_state(&snap_adam);
+                }
+                bad_batches += 1;
+                if bad_batches >= control.max_bad_batches {
+                    return Err(TrainError::Diverged { epoch, batch: batch_index, bad_batches });
+                }
             }
-            losses.clear();
-            losses.resize(batch.len(), 0.0);
-            run_batch(
-                store,
-                batch,
-                &seeds,
-                samples,
-                threads,
-                &mut slots[..batch.len()],
-                &mut losses,
-                &forward_loss,
-            );
-            // Fixed merge order — batch position, never worker id.
-            for (loss, slot) in losses.iter().zip(&slots) {
-                epoch_loss += *loss;
-                slot.buffer.merge_into(store);
-            }
-            store.scale_grads(1.0 / batch.len() as f64);
-            adam.step(store);
         }
         adam.end_epoch();
         report.epoch_losses.push(epoch_loss / samples.len() as f64);
+        if let Some(plan) = &control.checkpoint {
+            let done = epoch + 1;
+            if done % plan.every_epochs.max(1) == 0 || done == epochs {
+                save_checkpoint(plan, store, &adam, rng, &order, &report, done)?;
+            }
+        }
     }
-    report
+    Ok(report)
+}
+
+/// Persists the training state at an epoch boundary (atomic write).
+fn save_checkpoint(
+    plan: &CheckpointPlan,
+    store: &ParamStore,
+    adam: &Adam,
+    rng: &StdRng,
+    order: &[usize],
+    report: &TrainReport,
+    epochs_done: usize,
+) -> Result<(), TrainError> {
+    if gcwc_failpoint::triggered(failsite::CHECKPOINT_SAVE) {
+        return Err(TrainError::Checkpoint(PersistError::File(std::io::Error::other(format!(
+            "failpoint {}: injected checkpoint write failure",
+            failsite::CHECKPOINT_SAVE
+        )))));
+    }
+    let mut adam_state = AdamState::default();
+    adam.save_state(&mut adam_state);
+    let state = TrainState {
+        epochs_done,
+        rng_state: rng.state(),
+        order: order.to_vec(),
+        epoch_losses: report.epoch_losses.clone(),
+        adam: adam_state,
+        params: store.iter().map(|(_, p)| (p.name.clone(), p.value.clone())).collect(),
+    };
+    state.save_atomic(&plan.path)?;
+    Ok(())
+}
+
+/// True when every accumulated gradient entry is finite.
+fn grads_finite(store: &ParamStore) -> bool {
+    store.iter().all(|(_, p)| p.grad.as_slice().iter().all(|v| v.is_finite()))
+}
+
+/// True when every parameter value is finite.
+fn params_finite(store: &ParamStore) -> bool {
+    store.iter().all(|(_, p)| p.value.as_slice().iter().all(|v| v.is_finite()))
+}
+
+/// Copies parameter values into `dst`, reusing its buffers after the
+/// first batch (shapes never change within a run).
+fn snapshot_params(store: &ParamStore, dst: &mut Vec<Matrix>) {
+    if dst.is_empty() {
+        dst.extend(store.iter().map(|(_, p)| p.value.clone()));
+    } else {
+        for (m, (_, p)) in dst.iter_mut().zip(store.iter()) {
+            m.copy_from(&p.value);
+        }
+    }
+}
+
+/// Restores parameter values captured by [`snapshot_params`].
+fn restore_params(store: &mut ParamStore, src: &[Matrix]) {
+    for ((_, p), m) in store.iter_mut().zip(src) {
+        p.value.copy_from(m);
+    }
 }
 
 /// Builds the tape for one sample and runs its backward pass into a
@@ -250,7 +511,8 @@ mod tests {
                 let wn = tape.param(store, w);
                 tape.mse_masked(wn, sample.label.clone(), Matrix::filled(1, 1, 1.0))
             },
-        );
+        )
+        .unwrap();
         assert_eq!(report.epoch_losses.len(), 150);
         let first = report.epoch_losses[0];
         let last = report.final_loss().unwrap();
@@ -273,7 +535,8 @@ mod tests {
             &[],
             &mut rng,
             |tape, _, _, _| tape.constant(Matrix::zeros(1, 1)),
-        );
+        )
+        .unwrap();
         assert!(report.epoch_losses.is_empty());
     }
 
@@ -301,7 +564,8 @@ mod tests {
                 let target = Matrix::filled(2, 3, sample.label[(0, 0)]);
                 tape.mse_masked(scaled, target, Matrix::filled(2, 3, 1.0))
             },
-        );
+        )
+        .unwrap();
         (report.epoch_losses, store.value(w).as_slice().to_vec())
     }
 
@@ -320,6 +584,91 @@ mod tests {
                 serial_w.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
                 "final weights diverged at {threads} threads"
             );
+        }
+    }
+
+    /// Divergence-guard tests inject bad optimizer steps through the
+    /// `train.step` failpoint (non-finite values cannot flow through
+    /// the tape in debug builds — its ops assert finiteness — which is
+    /// exactly why the release-mode guard exists). The failpoint
+    /// registry is process-global, so these tests serialise on a mutex
+    /// and always disarm their sites before releasing it.
+    #[cfg(feature = "failpoints")]
+    mod guard {
+        use super::*;
+        use std::sync::Mutex;
+
+        static FAILPOINT_LOCK: Mutex<()> = Mutex::new(());
+
+        fn toy_run(control: &TrainControl) -> Result<(TrainReport, f64), TrainError> {
+            let mut store = ParamStore::new();
+            let w = store.add("w", Matrix::zeros(1, 1));
+            let samples: Vec<TrainSample> = vec![dummy_sample(2.0), dummy_sample(4.0)];
+            let mut rng = seeded(1);
+            let report = run_training_guarded(
+                &mut store,
+                OptimConfig { learning_rate: 0.1, ..Default::default() },
+                60,
+                2,
+                Threads::fixed(1),
+                &samples,
+                &mut rng,
+                control,
+                |tape, store, sample, _| {
+                    let wn = tape.param(store, w);
+                    tape.mse_masked(wn, sample.label.clone(), Matrix::filled(1, 1, 1.0))
+                },
+            )?;
+            Ok((report, store.value(w)[(0, 0)]))
+        }
+
+        #[test]
+        fn bad_steps_roll_back_and_training_recovers() {
+            let _guard = FAILPOINT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            gcwc_failpoint::configure(failsite::TRAIN_STEP, "2*err->off").unwrap();
+            let result = toy_run(&TrainControl::default());
+            gcwc_failpoint::remove(failsite::TRAIN_STEP);
+            let (report, w) = result.expect("two bad attempts are under the threshold");
+            assert_eq!(report.epoch_losses.len(), 60);
+            assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+            assert!(w.is_finite());
+            // The guard retried its way past the injected failures and
+            // still learned the toy regression target.
+            assert!((w - 3.0).abs() < 0.5, "w = {w}");
+        }
+
+        #[test]
+        fn persistent_divergence_aborts_with_typed_error() {
+            let _guard = FAILPOINT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            gcwc_failpoint::configure(failsite::TRAIN_STEP, "err").unwrap();
+            let result = toy_run(&TrainControl::default());
+            gcwc_failpoint::remove(failsite::TRAIN_STEP);
+            match result {
+                Err(TrainError::Diverged { epoch, batch, bad_batches }) => {
+                    assert_eq!((epoch, batch), (0, 0));
+                    assert_eq!(bad_batches, DEFAULT_MAX_BAD_BATCHES);
+                }
+                other => panic!("expected Diverged, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn checkpoint_write_failure_is_a_typed_error() {
+            let _guard = FAILPOINT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            gcwc_failpoint::configure(failsite::CHECKPOINT_SAVE, "err").unwrap();
+            let dir = std::env::temp_dir().join("gcwc_train_guard_test");
+            std::fs::create_dir_all(&dir).unwrap();
+            let control = TrainControl {
+                checkpoint: Some(CheckpointPlan {
+                    path: dir.join("guard.trainstate"),
+                    every_epochs: 1,
+                    resume: false,
+                }),
+                ..TrainControl::default()
+            };
+            let result = toy_run(&control);
+            gcwc_failpoint::remove(failsite::CHECKPOINT_SAVE);
+            assert!(matches!(result, Err(TrainError::Checkpoint(_))), "{result:?}");
         }
     }
 }

@@ -1,0 +1,446 @@
+//! # gcwc-failpoint
+//!
+//! Named, deterministic fault-injection points (std-only).
+//!
+//! A *failpoint* is a named site in production code that can be armed
+//! with a **schedule** describing when and how it should misbehave.
+//! Schedules are deterministic: counted terms advance in evaluation
+//! order, and probabilistic terms draw from a per-site PRNG seeded
+//! from a global seed and the site name, so a run is reproducible
+//! from `(configuration, seed)` alone.
+//!
+//! ## Schedule DSL
+//!
+//! ```text
+//! spec    := term ("->" term)*
+//! term    := [COUNT "*"] [PROB "%"] action
+//! action  := "off" | "err" | "panic" | "delay(" MILLIS ")"
+//! ```
+//!
+//! * `off` — never triggers (the default for unconfigured sites).
+//! * `err` — the site should fail with its typed error.
+//! * `panic` — the evaluation panics (callers contain it with
+//!   `catch_unwind` or a supervisor).
+//! * `delay(ms)` — the evaluation sleeps for `ms` milliseconds, then
+//!   reports "not triggered" (latency injection).
+//! * `COUNT *` — the term fires `COUNT` times, then the schedule
+//!   advances to the next term (or `off` after the last one).
+//! * `PROB %` — each evaluation fires with probability `PROB/100`,
+//!   drawn from the site's seeded PRNG.
+//!
+//! Examples: `1*panic`, `3*err->off`, `delay(10)`, `25%err`,
+//! `2*50%delay(5)->1*panic->off`.
+//!
+//! ## Configuration
+//!
+//! Programmatic: [`configure`] / [`remove`] / [`clear`]. Environment:
+//! `GCWC_FAILPOINTS="site=spec;site2=spec"` is read once on first
+//! evaluation (or via [`init_from_env`]); `GCWC_FAILPOINT_SEED=<u64>`
+//! seeds the probabilistic terms.
+//!
+//! ## Cost
+//!
+//! Without the `failpoints` cargo feature the whole crate compiles to
+//! constants — [`ENABLED`] is `false`, [`triggered`] is a `const
+//! false` with no statics, counters, or locks behind it. With the
+//! feature on but no site configured, an evaluation is one relaxed
+//! atomic load. Armed or not, evaluation never allocates, which keeps
+//! the zero-allocation serving and training hot paths intact.
+
+#![warn(missing_docs)]
+
+/// Whether the failpoint machinery is compiled in.
+pub const ENABLED: bool = cfg!(feature = "failpoints");
+
+/// What an armed failpoint did (or asks the caller to do).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// The site should fail with its typed error.
+    Err,
+}
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use super::Action;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex, Once, OnceLock};
+    use std::time::Duration;
+
+    /// Number of currently armed sites; the evaluation fast path.
+    static ARMED: AtomicUsize = AtomicUsize::new(0);
+    static ENV_INIT: Once = Once::new();
+    static REGISTRY: OnceLock<Mutex<HashMap<String, SiteState>>> = OnceLock::new();
+
+    fn registry() -> &'static Mutex<HashMap<String, SiteState>> {
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum Kind {
+        Off,
+        Err,
+        Panic,
+        Delay(u64),
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    struct Term {
+        /// Remaining triggers before advancing (`None` = unlimited).
+        remaining: Option<u64>,
+        /// Per-evaluation trigger probability in [0, 1] (`None` = 1).
+        prob: Option<f64>,
+        kind: Kind,
+    }
+
+    struct SiteState {
+        terms: Vec<Term>,
+        cur: usize,
+        /// SplitMix64 state for probabilistic terms.
+        rng: u64,
+    }
+
+    /// SplitMix64 step (same generator the vendored `rand` seeds with).
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// FNV-1a over the site name, mixed with the global seed, so each
+    /// site gets an independent deterministic stream.
+    fn site_seed(site: &str, global: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in site.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^ global
+    }
+
+    fn global_seed() -> u64 {
+        std::env::var("GCWC_FAILPOINT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+    }
+
+    fn parse_term(term: &str) -> Result<Term, String> {
+        let mut rest = term.trim();
+        let mut remaining = None;
+        let mut prob = None;
+        if let Some((count, tail)) = rest.split_once('*') {
+            let n: u64 = count.trim().parse().map_err(|_| format!("bad count in term {term:?}"))?;
+            remaining = Some(n);
+            rest = tail.trim();
+        }
+        if let Some((pct, tail)) = rest.split_once('%') {
+            let p: f64 =
+                pct.trim().parse().map_err(|_| format!("bad probability in term {term:?}"))?;
+            if !(0.0..=100.0).contains(&p) {
+                return Err(format!("probability outside 0..=100 in term {term:?}"));
+            }
+            prob = Some(p / 100.0);
+            rest = tail.trim();
+        }
+        let kind = match rest {
+            "off" => Kind::Off,
+            "err" => Kind::Err,
+            "panic" => Kind::Panic,
+            _ => {
+                let ms = rest
+                    .strip_prefix("delay(")
+                    .and_then(|r| r.strip_suffix(')'))
+                    .and_then(|ms| ms.trim().parse().ok())
+                    .ok_or_else(|| format!("unknown action in term {term:?}"))?;
+                Kind::Delay(ms)
+            }
+        };
+        Ok(Term { remaining, prob, kind })
+    }
+
+    fn parse_spec(spec: &str) -> Result<Vec<Term>, String> {
+        spec.split("->").map(parse_term).collect()
+    }
+
+    pub fn configure(site: &str, spec: &str) -> Result<(), String> {
+        let terms = parse_spec(spec)?;
+        let mut reg = registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // A spec that can never trigger is equivalent to removal.
+        if terms.iter().all(|t| t.kind == Kind::Off) {
+            if reg.remove(site).is_some() {
+                ARMED.fetch_sub(1, Ordering::Release);
+            }
+            return Ok(());
+        }
+        let state = SiteState { terms, cur: 0, rng: site_seed(site, global_seed()) };
+        if reg.insert(site.to_owned(), state).is_none() {
+            ARMED.fetch_add(1, Ordering::Release);
+        }
+        Ok(())
+    }
+
+    pub fn remove(site: &str) {
+        let mut reg = registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if reg.remove(site).is_some() {
+            ARMED.fetch_sub(1, Ordering::Release);
+        }
+    }
+
+    pub fn clear() {
+        let mut reg = registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        ARMED.fetch_sub(reg.len(), Ordering::Release);
+        reg.clear();
+    }
+
+    pub fn init_from_env() {
+        ENV_INIT.call_once(|| {
+            let Ok(cfg) = std::env::var("GCWC_FAILPOINTS") else { return };
+            for pair in cfg.split(';').map(str::trim).filter(|p| !p.is_empty() && *p != "off") {
+                match pair.split_once('=') {
+                    Some((site, spec)) => {
+                        if let Err(e) = configure(site.trim(), spec.trim()) {
+                            eprintln!("GCWC_FAILPOINTS: ignoring {pair:?}: {e}");
+                        }
+                    }
+                    None => eprintln!("GCWC_FAILPOINTS: ignoring {pair:?}: missing '='"),
+                }
+            }
+        });
+    }
+
+    pub fn eval(site: &str) -> Option<Action> {
+        init_from_env();
+        if ARMED.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let kind = {
+            let mut reg = registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let state = reg.get_mut(site)?;
+            let term = loop {
+                let term = state.terms.get_mut(state.cur)?;
+                if term.remaining == Some(0) {
+                    state.cur += 1;
+                    continue;
+                }
+                break term;
+            };
+            if let Some(p) = term.prob {
+                let u = (splitmix(&mut state.rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                if u >= p {
+                    return None;
+                }
+            }
+            if let Some(n) = term.remaining.as_mut() {
+                *n -= 1;
+            }
+            term.kind
+        };
+        match kind {
+            Kind::Off => None,
+            Kind::Err => Some(Action::Err),
+            Kind::Panic => panic!("failpoint {site:?}: injected panic"),
+            Kind::Delay(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                None
+            }
+        }
+    }
+}
+
+/// Evaluates the failpoint `site` and returns `true` when the site
+/// should fail with its typed error.
+///
+/// `panic` schedules panic *inside* this call (contain with
+/// `catch_unwind` or a supervisor); `delay(ms)` schedules sleep here
+/// and return `false`. Unconfigured sites cost one atomic load; with
+/// the `failpoints` feature off this is a `const false`.
+#[inline]
+pub fn triggered(site: &str) -> bool {
+    #[cfg(feature = "failpoints")]
+    {
+        imp::eval(site).is_some()
+    }
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = site;
+        false
+    }
+}
+
+/// Evaluates `site` and returns the triggered [`Action`], if any.
+/// Identical to [`triggered`] but keeps the action for callers that
+/// distinguish several failure modes.
+#[inline]
+pub fn eval(site: &str) -> Option<Action> {
+    #[cfg(feature = "failpoints")]
+    {
+        imp::eval(site)
+    }
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = site;
+        None
+    }
+}
+
+/// Arms `site` with `spec` (see the module docs for the DSL).
+///
+/// With the `failpoints` feature off this is a no-op returning
+/// `Err("failpoints feature disabled")`, so accidentally shipping a
+/// configuration cannot change behavior.
+pub fn configure(site: &str, spec: &str) -> Result<(), String> {
+    #[cfg(feature = "failpoints")]
+    {
+        imp::configure(site, spec)
+    }
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = (site, spec);
+        Err("failpoints feature disabled".into())
+    }
+}
+
+/// Disarms `site`.
+pub fn remove(site: &str) {
+    #[cfg(feature = "failpoints")]
+    imp::remove(site);
+    #[cfg(not(feature = "failpoints"))]
+    let _ = site;
+}
+
+/// Disarms every site.
+pub fn clear() {
+    #[cfg(feature = "failpoints")]
+    imp::clear();
+}
+
+/// Reads `GCWC_FAILPOINTS` once and arms the sites it names. Called
+/// lazily by the first evaluation; call it eagerly to surface parse
+/// errors at startup.
+pub fn init_from_env() {
+    #[cfg(feature = "failpoints")]
+    imp::init_from_env();
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod enabled_tests {
+    use super::*;
+    use std::sync::{Mutex, OnceLock};
+
+    /// Serialises tests that mutate the global registry.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn unconfigured_site_never_triggers() {
+        let _g = guard();
+        clear();
+        assert!(!triggered("nope"));
+    }
+
+    #[test]
+    fn counted_err_advances_to_off() {
+        let _g = guard();
+        clear();
+        configure("site.counted", "3*err->off").unwrap();
+        let fires: Vec<bool> = (0..5).map(|_| triggered("site.counted")).collect();
+        assert_eq!(fires, [true, true, true, false, false]);
+        clear();
+    }
+
+    #[test]
+    fn chained_terms_fire_in_order() {
+        let _g = guard();
+        clear();
+        configure("site.chain", "1*err->2*err->off").unwrap();
+        let fires: Vec<bool> = (0..4).map(|_| triggered("site.chain")).collect();
+        assert_eq!(fires, [true, true, true, false]);
+        clear();
+    }
+
+    #[test]
+    fn panic_action_panics_inside_eval() {
+        let _g = guard();
+        clear();
+        configure("site.boom", "1*panic->off").unwrap();
+        let r = std::panic::catch_unwind(|| triggered("site.boom"));
+        assert!(r.is_err(), "first evaluation must panic");
+        assert!(!triggered("site.boom"), "schedule advanced past the panic");
+        clear();
+    }
+
+    #[test]
+    fn delay_sleeps_then_reports_untriggered() {
+        let _g = guard();
+        clear();
+        configure("site.slow", "1*delay(20)->off").unwrap();
+        let t0 = std::time::Instant::now();
+        assert!(!triggered("site.slow"));
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(15));
+        clear();
+    }
+
+    #[test]
+    fn probability_is_deterministic_for_a_seed() {
+        let _g = guard();
+        clear();
+        configure("site.prob", "50%err").unwrap();
+        let a: Vec<bool> = (0..64).map(|_| triggered("site.prob")).collect();
+        // Re-arm: same site name + same global seed => same stream.
+        configure("site.prob", "50%err").unwrap();
+        let b: Vec<bool> = (0..64).map(|_| triggered("site.prob")).collect();
+        assert_eq!(a, b);
+        let hits = a.iter().filter(|&&x| x).count();
+        assert!((10..55).contains(&hits), "50% schedule fired {hits}/64 times");
+        clear();
+    }
+
+    #[test]
+    fn off_spec_disarms() {
+        let _g = guard();
+        clear();
+        configure("site.toggle", "err").unwrap();
+        assert!(triggered("site.toggle"));
+        configure("site.toggle", "off").unwrap();
+        assert!(!triggered("site.toggle"));
+        clear();
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let _g = guard();
+        for bad in ["nonsense", "x*err", "150%err", "delay(abc)", "delay(5"] {
+            assert!(configure("site.bad", bad).is_err(), "{bad:?} must not parse");
+        }
+        clear();
+    }
+}
+
+#[cfg(all(test, not(feature = "failpoints")))]
+mod disabled_tests {
+    use super::*;
+
+    /// The contract the serving/training hot paths rely on: with the
+    /// feature off there is no registry, no counters, no locks — a
+    /// site evaluation is a constant `false` and configuration is
+    /// refused, so no code path can diverge from the un-instrumented
+    /// build.
+    #[test]
+    fn disabled_crate_is_a_no_op() {
+        #[allow(clippy::assertions_on_constants)]
+        {
+            assert!(!ENABLED);
+        }
+        assert!(configure("any.site", "1*panic").is_err());
+        assert!(!triggered("any.site"));
+        assert!(eval("any.site").is_none());
+        remove("any.site");
+        clear();
+        init_from_env();
+        assert!(!triggered("any.site"));
+    }
+}

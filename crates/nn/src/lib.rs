@@ -19,7 +19,7 @@ pub mod persist;
 pub mod tape;
 
 pub use layers::{dropout_mask, Dense, Embedding};
-pub use optim::{Adam, OptimConfig, Sgd};
+pub use optim::{Adam, AdamState, OptimConfig, Sgd};
 pub use params::{GradBuffer, GradSink, Param, ParamId, ParamStore};
 pub use persist::PersistError;
 pub use tape::{ConvSpec, NodeId, PoolSpec, Tape};

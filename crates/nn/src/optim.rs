@@ -38,6 +38,22 @@ pub struct Adam {
     v: Vec<Matrix>,
 }
 
+/// A deep copy of an [`Adam`] optimizer's mutable state: the step and
+/// epoch counters plus both moment estimates. Used to snapshot the
+/// optimizer before an update so a diverging step can be rolled back,
+/// and to persist training state for bit-identical resume.
+#[derive(Clone, Debug, Default)]
+pub struct AdamState {
+    /// Update step counter (bias-correction exponent).
+    pub t: u64,
+    /// Completed epochs (learning-rate decay exponent).
+    pub epoch: u32,
+    /// First-moment estimates, one per parameter.
+    pub m: Vec<Matrix>,
+    /// Second-moment estimates, one per parameter.
+    pub v: Vec<Matrix>,
+}
+
 impl Adam {
     /// Creates an Adam optimizer for the parameters currently in `store`.
     pub fn new(store: &ParamStore, cfg: OptimConfig) -> Self {
@@ -54,6 +70,29 @@ impl Adam {
     /// Signals the end of an epoch (applies learning-rate decay).
     pub fn end_epoch(&mut self) {
         self.epoch += 1;
+    }
+
+    /// Copies the optimizer's mutable state into `dst`, reusing its
+    /// buffers when the shapes already match (no allocation once warm).
+    pub fn save_state(&self, dst: &mut AdamState) {
+        dst.t = self.t;
+        dst.epoch = self.epoch;
+        copy_matrices(&self.m, &mut dst.m);
+        copy_matrices(&self.v, &mut dst.v);
+    }
+
+    /// Restores state captured by [`Adam::save_state`].
+    ///
+    /// # Panics
+    /// Panics if `src` has a different number of moment matrices than
+    /// this optimizer (state from a different parameter set).
+    pub fn restore_state(&mut self, src: &AdamState) {
+        assert_eq!(src.m.len(), self.m.len(), "Adam state is for a different parameter set");
+        assert_eq!(src.v.len(), self.v.len(), "Adam state is for a different parameter set");
+        self.t = src.t;
+        self.epoch = src.epoch;
+        copy_matrices(&src.m, &mut self.m);
+        copy_matrices(&src.v, &mut self.v);
     }
 
     /// Applies one update from the accumulated gradients, then leaves the
@@ -90,6 +129,21 @@ impl Adam {
                 *val -= lr * m_hat / (v_hat.sqrt() + self.eps);
             }
         }
+    }
+}
+
+/// Deep-copies `src` into `dst`, reusing `dst`'s buffers when every
+/// shape matches (steady-state snapshots allocate nothing).
+fn copy_matrices(src: &[Matrix], dst: &mut Vec<Matrix>) {
+    let reusable =
+        dst.len() == src.len() && src.iter().zip(dst.iter()).all(|(a, b)| a.shape() == b.shape());
+    if reusable {
+        for (a, b) in src.iter().zip(dst.iter_mut()) {
+            b.copy_from(a);
+        }
+    } else {
+        dst.clear();
+        dst.extend(src.iter().cloned());
     }
 }
 
@@ -177,6 +231,38 @@ mod tests {
         }
         let x = store.value(id)[(0, 0)];
         assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_state_roundtrip_restores_the_trajectory() {
+        let mut store = ParamStore::new();
+        let id = store.add("x", Matrix::zeros(1, 1));
+        let cfg = OptimConfig { learning_rate: 0.1, ..Default::default() };
+        let mut adam = Adam::new(&store, cfg);
+        let step = |adam: &mut Adam, store: &mut ParamStore| {
+            store.zero_grads();
+            let (mut tape, loss) = quadratic_loss(store, id);
+            tape.backward(loss, store);
+            adam.step(store);
+        };
+        for _ in 0..5 {
+            step(&mut adam, &mut store);
+        }
+        // Snapshot mid-run, continue, then roll back and replay: the
+        // replayed trajectory must be bit-identical.
+        let mut state = AdamState::default();
+        adam.save_state(&mut state);
+        let params_at_snap = store.value(id)[(0, 0)];
+        for _ in 0..3 {
+            step(&mut adam, &mut store);
+        }
+        let after = store.value(id)[(0, 0)];
+        adam.restore_state(&state);
+        *store.value_mut(id) = Matrix::filled(1, 1, params_at_snap);
+        for _ in 0..3 {
+            step(&mut adam, &mut store);
+        }
+        assert_eq!(store.value(id)[(0, 0)].to_bits(), after.to_bits());
     }
 
     #[test]

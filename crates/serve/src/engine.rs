@@ -20,13 +20,15 @@
 //! `serve_alloc` test under `count-allocs`).
 
 use crate::cache::{input_signature, CacheKey, CompletionCache};
+use crate::health::{Admission, BreakerConfig, ShardHealth};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::ModelRegistry;
-use crate::{derive_row_flags, ServeError};
-use gcwc::{InferRequest, InferWorkspace};
+use crate::{derive_row_flags, failsite, ServeError};
+use gcwc::{InferRequest, InferWorkspace, OutputKind};
 use gcwc_linalg::Matrix;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Engine tuning knobs.
@@ -44,6 +46,8 @@ pub struct EngineConfig {
     pub cache_capacity: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
+    /// Per-shard circuit-breaker tuning (threshold + cooldown).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +58,7 @@ impl Default for EngineConfig {
             workers: 1,
             cache_capacity: 256,
             default_deadline: None,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -68,11 +73,71 @@ pub struct Completion {
     /// True when every shard served its rows from the completion
     /// cache (no forward pass ran for this request).
     pub cache_hit: bool,
+    /// True when at least one shard could not compute its rows (open
+    /// breaker or failed forward) and they were filled with the
+    /// row-prior `P(Z)` instead. Healthy shards' rows are exact.
+    pub degraded: bool,
     /// Global generation of the shard-set snapshot that produced the
     /// result.
     pub generation: u64,
     /// Number of shards K the completion was gathered from.
     pub shards: usize,
+}
+
+/// Bounded client-side retry: exponential backoff with deterministic
+/// jitter, applied by [`Client::complete`] to *retryable* failures
+/// only — a full queue ([`ServeError::Overloaded`]) or a restarting
+/// worker ([`ServeError::ShardRestarting`]). A missed deadline is
+/// never retried: the caller's time budget is already spent.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` disables retry).
+    pub max_attempts: u32,
+    /// Backoff before retry `a` is `base_backoff * 2^(a-1)` plus
+    /// jitter, capped at `max_backoff`.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff sleep (pre-jitter).
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream (same seed + same
+    /// attempt number → same jitter, so retry timing is replayable).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry attempt `attempt` (1-based): capped
+    /// exponential backoff plus a deterministic jitter in
+    /// `[0, backoff/2]` drawn from `jitter_seed` and `attempt`.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.base_backoff.saturating_mul(1u32 << (attempt - 1).min(16));
+        let base = exp.min(self.max_backoff);
+        let half = base.as_nanos().min(u128::from(u64::MAX)) as u64 / 2;
+        if half == 0 {
+            return base;
+        }
+        // SplitMix64 over (seed, attempt): deterministic, but decorrelated
+        // across attempts and across clients with different seeds.
+        let mut z =
+            self.jitter_seed.wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        base + Duration::from_nanos(z % (half + 1))
+    }
+
+    fn retryable(e: &ServeError) -> bool {
+        matches!(e, ServeError::Overloaded | ServeError::ShardRestarting)
+    }
 }
 
 /// One-shot rendezvous a worker fulfils and a client waits on.
@@ -87,7 +152,7 @@ impl ResponseSlot {
     }
 
     fn fulfill(&self, result: Result<Completion, ServeError>) {
-        let mut g = self.value.lock().unwrap();
+        let mut g = self.value.lock().unwrap_or_else(PoisonError::into_inner);
         debug_assert!(g.is_none(), "slot fulfilled twice");
         *g = Some(result);
         drop(g);
@@ -95,29 +160,45 @@ impl ResponseSlot {
     }
 
     fn wait(&self) -> Result<Completion, ServeError> {
-        let mut g = self.value.lock().unwrap();
+        let mut g = self.value.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(result) = g.take() {
                 return result;
             }
-            g = self.ready.wait(g).unwrap();
+            g = self.ready.wait(g).unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
 
 /// A queued request with its owner's buffers and response slot.
+///
+/// Drop is the containment safety-net: a job torn down *unanswered*
+/// (its worker died mid-batch) fulfils its slot with
+/// [`ServeError::ShardRestarting`], so a waiting client can never
+/// hang on a killed worker.
 struct Job {
     input: Matrix,
     out_buf: Matrix,
     time_of_day: usize,
     day_of_week: usize,
     deadline: Option<Instant>,
+    degraded: bool,
     slot: Arc<ResponseSlot>,
+    answered: bool,
 }
 
 impl Job {
-    fn respond(self, result: Result<Completion, ServeError>) {
+    fn respond(mut self, result: Result<Completion, ServeError>) {
+        self.answered = true;
         self.slot.fulfill(result);
+    }
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        if !self.answered {
+            self.slot.fulfill(Err(ServeError::ShardRestarting));
+        }
     }
 }
 
@@ -129,6 +210,10 @@ struct Counters {
     batches: AtomicU64,
     rejected: AtomicU64,
     expired: AtomicU64,
+    worker_restarts: AtomicU64,
+    breaker_open: AtomicU64,
+    degraded_responses: AtomicU64,
+    retries: AtomicU64,
 }
 
 /// Point-in-time view of the engine counters.
@@ -154,6 +239,16 @@ pub struct StatsSnapshot {
     pub generation: u64,
     /// Number of shards K in the served shard set.
     pub shards: u64,
+    /// Times a worker died (panic) and was restarted by its
+    /// supervisor loop.
+    pub worker_restarts: u64,
+    /// Times a shard's circuit breaker tripped open (threshold
+    /// reached or half-open probe failed).
+    pub breaker_open: u64,
+    /// Responses answered with at least one prior-filled shard.
+    pub degraded_responses: u64,
+    /// Client-side retry attempts (bounded-retry policy).
+    pub retries: u64,
 }
 
 /// Per-worker (or inline-drain) scratch, reused across batches.
@@ -197,6 +292,11 @@ struct EngineInner {
     counters: Counters,
     cfg: EngineConfig,
     inline_state: Mutex<WorkerState>,
+    /// Per-shard circuit breaker.
+    health: Vec<ShardHealth>,
+    /// Per-shard failpoint site names, precomputed so the hot path
+    /// never formats (allocation-free evaluation).
+    forward_sites: Vec<String>,
 }
 
 impl EngineInner {
@@ -242,15 +342,21 @@ impl EngineInner {
             all_hit.push(true);
         }
 
-        // Phase 2: route through every shard — lookups, one forward
-        // pass per shard with misses, cache fills, owned-row scatter.
+        // Phase 2: route through every shard — lookups, one coalesced
+        // forward pass per shard with misses (gated by the shard's
+        // circuit breaker and contained by `catch_unwind`), cache
+        // fills, owned-row scatter. A shard that cannot compute —
+        // open breaker, injected error, or panic — is *degraded*
+        // instead of fatal: its misses' owned rows are filled with
+        // the row-prior P(Z) and the response is flagged, while every
+        // other shard's rows stay bit-identical.
         for s in 0..num_shards {
             let shard = snapshot.shard(s);
             let view = snapshot.view(s);
             miss_idx.clear();
             keys.clear();
             {
-                let mut cache = self.caches[s].lock().unwrap();
+                let mut cache = self.caches[s].lock().unwrap_or_else(PoisonError::into_inner);
                 for i in 0..batch.len() {
                     let Some(job) = batch[i].as_mut() else { continue };
                     let key = CacheKey {
@@ -270,6 +376,15 @@ impl EngineInner {
                 }
             }
             if miss_idx.is_empty() {
+                continue;
+            }
+
+            // Breaker gate: while shard `s` cools down after repeated
+            // failures its misses are degraded without attempting the
+            // forward pass. Cached rows above were still served
+            // exactly — only uncomputable rows carry the prior.
+            if self.health[s].admit(Instant::now()) == Admission::Deny {
+                degrade_misses(batch, miss_idx, view, shard);
                 continue;
             }
 
@@ -307,30 +422,52 @@ impl EngineInner {
                 let fresh = ws.take(local_n, out_cols);
                 outs.push(fresh);
             }
-            {
+            // The forward pass runs contained: a panic inside it (a
+            // poisoned kernel, an armed `panic` failpoint) or an
+            // injected `err` marks this shard's attempt failed instead
+            // of unwinding the worker. The workspace only holds pooled
+            // scratch, so abandoning it mid-pass is safe (worst case a
+            // few pooled buffers leak back to the allocator).
+            let forward_ok = {
                 let batch_ref: &Vec<Option<Job>> = batch;
                 let miss_ref: &Vec<usize> = miss_idx;
                 let flags_ref: &Vec<Vec<f64>> = flags;
                 let local_ref: &Vec<Matrix> = local_ins;
-                shard.model.infer_into(
-                    ws,
-                    count,
-                    |r| {
-                        let job = batch_ref[miss_ref[r]].as_ref().expect("miss slots are live");
-                        InferRequest {
-                            input: if identity { &job.input } else { &local_ref[r] },
-                            time_of_day: job.time_of_day,
-                            day_of_week: job.day_of_week,
-                            row_flags: &flags_ref[r],
-                        }
-                    },
-                    &mut outs[..count],
-                );
+                let outs_ref: &mut [Matrix] = &mut outs[..count];
+                catch_unwind(AssertUnwindSafe(|| {
+                    if gcwc_failpoint::triggered(&self.forward_sites[s]) {
+                        return false; // injected forward failure
+                    }
+                    shard.model.infer_into(
+                        ws,
+                        count,
+                        |r| {
+                            let job = batch_ref[miss_ref[r]].as_ref().expect("miss slots are live");
+                            InferRequest {
+                                input: if identity { &job.input } else { &local_ref[r] },
+                                time_of_day: job.time_of_day,
+                                day_of_week: job.day_of_week,
+                                row_flags: &flags_ref[r],
+                            }
+                        },
+                        outs_ref,
+                    );
+                    true
+                }))
+                .unwrap_or(false)
+            };
+            if !forward_ok {
+                if self.health[s].record_failure(Instant::now()) {
+                    self.counters.breaker_open.fetch_add(1, Ordering::Relaxed);
+                }
+                degrade_misses(batch, miss_idx, view, shard);
+                continue;
             }
+            self.health[s].record_success();
             self.counters.batches.fetch_add(1, Ordering::Relaxed);
 
             {
-                let mut cache = self.caches[s].lock().unwrap();
+                let mut cache = self.caches[s].lock().unwrap_or_else(PoisonError::into_inner);
                 for (r, &i) in miss_idx.iter().enumerate() {
                     let job = batch[i].as_mut().expect("miss slots are live");
                     cache.insert_rows(keys[r], &outs[r], view.num_owned());
@@ -342,10 +479,14 @@ impl EngineInner {
         // Phase 3: one response per surviving request.
         for i in 0..batch.len() {
             let Some(mut job) = batch[i].take() else { continue };
+            if job.degraded {
+                self.counters.degraded_responses.fetch_add(1, Ordering::Relaxed);
+            }
             let completion = Completion {
                 output: std::mem::replace(&mut job.out_buf, Matrix::zeros(0, 0)),
                 input: std::mem::replace(&mut job.input, Matrix::zeros(0, 0)),
                 cache_hit: all_hit[i],
+                degraded: job.degraded,
                 generation: snapshot.generation,
                 shards: num_shards,
             };
@@ -355,21 +496,65 @@ impl EngineInner {
         batch.clear();
     }
 
+    /// Coalesces `first` with up to `max_batch - 1` opportunistically
+    /// popped jobs and serves the batch.
+    fn batch_and_serve(&self, first: Job, state: &mut WorkerState) {
+        state.batch.clear();
+        state.batch.push(Some(first));
+        // Failpoint: a trigger here simulates a worker dying between
+        // dequeue and service — the in-flight job answers
+        // `ShardRestarting` via its Drop guard and the supervisor
+        // restarts the loop.
+        if gcwc_failpoint::triggered(failsite::WORKER_LOOP) {
+            panic!("failpoint {}: injected worker death", failsite::WORKER_LOOP);
+        }
+        while state.batch.len() < self.cfg.max_batch {
+            match self.queue.try_pop() {
+                Some(j) => state.batch.push(Some(j)),
+                None => break,
+            }
+        }
+        self.serve_batch(state);
+    }
+
     /// Worker loop: blocking pop for the first job, opportunistic pops
     /// up to `max_batch`, then serve. Exits once the queue is closed
     /// and drained.
     fn run_worker(&self, state: &mut WorkerState) {
         while let Some(job) = self.queue.pop() {
-            state.batch.clear();
-            state.batch.push(Some(job));
-            while state.batch.len() < self.cfg.max_batch {
-                match self.queue.try_pop() {
-                    Some(j) => state.batch.push(Some(j)),
-                    None => break,
-                }
-            }
-            self.serve_batch(state);
+            self.batch_and_serve(job, state);
         }
+    }
+
+    /// Non-blocking drain used by the inline (`workers == 0`) path.
+    fn drain_queued(&self, state: &mut WorkerState) {
+        while let Some(job) = self.queue.try_pop() {
+            self.batch_and_serve(job, state);
+        }
+    }
+}
+
+/// Fills the owned rows of every cache-missing request of a shard
+/// with the row-prior `P(Z)` — uniform over the histogram buckets for
+/// the HIST head, `0.0` (no observed mass) for the AVG head — and
+/// flags the jobs degraded. Degraded rows are never cached, so the
+/// shard's next healthy pass replaces them with exact values.
+fn degrade_misses(
+    batch: &mut [Option<Job>],
+    miss_idx: &[usize],
+    view: &gcwc_graph::RowView,
+    shard: &crate::registry::ModelShard,
+) {
+    let prior = match shard.model.output_kind() {
+        OutputKind::Histogram => 1.0 / shard.model.output_cols() as f64,
+        OutputKind::Average => 0.0,
+    };
+    for &i in miss_idx {
+        let job = batch[i].as_mut().expect("miss slots are live");
+        for &g in view.owned() {
+            job.out_buf.row_mut(g).fill(prior);
+        }
+        job.degraded = true;
     }
 }
 
@@ -388,6 +573,8 @@ impl Engine {
         let num_shards = registry.num_shards();
         let caches =
             (0..num_shards).map(|_| Mutex::new(CompletionCache::new(cfg.cache_capacity))).collect();
+        let health = (0..num_shards).map(|_| ShardHealth::new(cfg.breaker)).collect();
+        let forward_sites = (0..num_shards).map(failsite::shard_forward).collect();
         let inner = Arc::new(EngineInner {
             queue: BoundedQueue::new(cfg.queue_capacity),
             caches,
@@ -395,6 +582,8 @@ impl Engine {
             counters: Counters::default(),
             cfg: EngineConfig { max_batch, ..cfg },
             inline_state: Mutex::new(WorkerState::new(max_batch)),
+            health,
+            forward_sites,
         });
         let mut workers = Vec::with_capacity(cfg.workers);
         for w in 0..cfg.workers {
@@ -402,8 +591,25 @@ impl Engine {
             let handle = std::thread::Builder::new()
                 .name(format!("gcwc-serve-{w}"))
                 .spawn(move || {
-                    let mut state = WorkerState::new(inner.cfg.max_batch);
-                    inner.run_worker(&mut state);
+                    // Supervisor: a panic that escapes a batch (the
+                    // per-shard forwards are already contained, so in
+                    // practice a worker-loop failpoint or a bug in the
+                    // dispatch plumbing) kills only this iteration.
+                    // Jobs held by the dying state answer
+                    // `ShardRestarting` through their Drop guard and
+                    // the loop restarts with fresh scratch.
+                    loop {
+                        let mut state = WorkerState::new(inner.cfg.max_batch);
+                        let exit = catch_unwind(AssertUnwindSafe(|| {
+                            inner.run_worker(&mut state);
+                        }));
+                        match exit {
+                            Ok(()) => break, // queue closed and drained
+                            Err(_) => {
+                                inner.counters.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
                 })
                 .expect("spawn worker");
             workers.push(handle);
@@ -423,6 +629,8 @@ impl Engine {
             pending: false,
             in_shape: (snapshot.num_edges(), snapshot.num_buckets()),
             out_shape: (snapshot.num_edges(), snapshot.output_cols()),
+            retry: None,
+            retry_stash: None,
         }
     }
 
@@ -435,18 +643,22 @@ impl Engine {
     /// thread, batching up to `max_batch` per forward pass. This is
     /// the serving path when `workers == 0` (deterministic batching);
     /// with worker threads running it is unnecessary but harmless.
+    ///
+    /// Runs under the same supervision as a worker thread: a panic
+    /// that escapes a batch answers the in-flight jobs with
+    /// `ShardRestarting` and the drain resumes, so the caller never
+    /// unwinds and later requests are still served.
     pub fn process_queued(&self) {
-        let mut state = self.inner.inline_state.lock().unwrap();
-        while let Some(job) = self.inner.queue.try_pop() {
-            state.batch.clear();
-            state.batch.push(Some(job));
-            while state.batch.len() < self.inner.cfg.max_batch {
-                match self.inner.queue.try_pop() {
-                    Some(j) => state.batch.push(Some(j)),
-                    None => break,
+        let mut state = self.inner.inline_state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            let exit = catch_unwind(AssertUnwindSafe(|| self.inner.drain_queued(&mut state)));
+            match exit {
+                Ok(()) => break, // queue empty
+                Err(_) => {
+                    state.batch.clear(); // Drop guards answer the jobs
+                    self.inner.counters.worker_restarts.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            self.inner.serve_batch(&mut state);
         }
     }
 
@@ -455,7 +667,7 @@ impl Engine {
         let c = &self.inner.counters;
         let (mut cache_hits, mut cache_misses, mut cache_evictions) = (0u64, 0u64, 0u64);
         for cache in &self.inner.caches {
-            let (h, m, e) = cache.lock().unwrap().stats();
+            let (h, m, e) = cache.lock().unwrap_or_else(PoisonError::into_inner).stats();
             cache_hits += h;
             cache_misses += m;
             cache_evictions += e;
@@ -471,7 +683,17 @@ impl Engine {
             cache_evictions,
             generation: self.inner.registry.generation(),
             shards: self.inner.caches.len() as u64,
+            worker_restarts: c.worker_restarts.load(Ordering::Relaxed),
+            breaker_open: c.breaker_open.load(Ordering::Relaxed),
+            degraded_responses: c.degraded_responses.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
         }
+    }
+
+    /// True while shard `k`'s circuit breaker denies regular traffic
+    /// (open or half-open with a probe in flight).
+    pub fn shard_breaker_open(&self, k: usize) -> bool {
+        self.inner.health[k].is_open()
     }
 
     /// Graceful shutdown: closes the queue (new sends fail with
@@ -510,6 +732,11 @@ pub struct Client {
     pending: bool,
     in_shape: (usize, usize),
     out_shape: (usize, usize),
+    retry: Option<RetryPolicy>,
+    /// Copy of the in-flight input while a retry policy is active:
+    /// error responses do not carry the request buffers back, so
+    /// re-sends rebuild the input from this stash.
+    retry_stash: Option<Matrix>,
 }
 
 impl Client {
@@ -546,13 +773,18 @@ impl Client {
             time_of_day,
             day_of_week,
             deadline,
+            degraded: false,
             slot: Arc::clone(&self.slot),
+            answered: false,
         }
     }
 
-    fn reclaim(&mut self, job: Job) {
-        self.spare_inputs.push(job.input);
-        self.spare_outputs.push(job.out_buf);
+    fn reclaim(&mut self, mut job: Job) {
+        // The job never reached the queue: suppress the Drop guard
+        // (there is nothing to answer) and keep the buffers.
+        job.answered = true;
+        self.spare_inputs.push(std::mem::replace(&mut job.input, Matrix::zeros(0, 0)));
+        self.spare_outputs.push(std::mem::replace(&mut job.out_buf, Matrix::zeros(0, 0)));
     }
 
     /// Enqueues a request without blocking; `Overloaded` on a full
@@ -629,15 +861,51 @@ impl Client {
         result
     }
 
-    /// Convenience: blocking send + receive.
+    /// Installs (or clears) the bounded-retry policy honoured by
+    /// [`Client::complete`].
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+    }
+
+    /// Convenience: send + receive. With a [`RetryPolicy`] installed
+    /// (see [`Client::set_retry_policy`]), retryable failures — queue
+    /// full, worker restarting — are retried up to `max_attempts`
+    /// times with exponential backoff and deterministic jitter;
+    /// `DeadlineExceeded` and every other error return immediately.
     pub fn complete(
         &mut self,
         input: Matrix,
         time_of_day: usize,
         day_of_week: usize,
     ) -> Result<Completion, ServeError> {
-        self.send_blocking(input, time_of_day, day_of_week)?;
-        self.recv()
+        let Some(policy) = self.retry else {
+            self.send_blocking(input, time_of_day, day_of_week)?;
+            return self.recv();
+        };
+        // Stash the input first: an error response loses the request
+        // buffers, so each re-send rebuilds the input from the stash.
+        match &mut self.retry_stash {
+            Some(stash) if stash.shape() == input.shape() => stash.copy_from(&input),
+            stash => *stash = Some(input.clone()),
+        }
+        let mut input = input;
+        let mut attempt = 1u32;
+        loop {
+            let result = match self.send(input, time_of_day, day_of_week) {
+                Ok(()) => self.recv(),
+                Err(e) => Err(e),
+            };
+            match result {
+                Err(e) if RetryPolicy::retryable(&e) && attempt < policy.max_attempts => {
+                    self.inner.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                    input = self.input_buffer();
+                    input.copy_from(self.retry_stash.as_ref().expect("stashed above"));
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Returns a completion's buffers to this client for reuse.

@@ -35,18 +35,49 @@
 
 pub mod cache;
 pub mod engine;
+pub mod health;
 pub mod protocol;
 pub mod queue;
 pub mod registry;
 pub mod server;
 
 pub use cache::{CacheKey, CompletionCache};
-pub use engine::{Client, Completion, Engine, EngineConfig, StatsSnapshot};
+pub use engine::{Client, Completion, Engine, EngineConfig, RetryPolicy, StatsSnapshot};
+pub use health::{Admission, BreakerConfig, ShardHealth};
 pub use queue::BoundedQueue;
 pub use registry::{AnyModel, ModelRegistry, ModelShard, ModelSnapshot};
 pub use server::{Server, TcpClient};
 
 use gcwc_linalg::Matrix;
+
+/// Failpoint site names this crate evaluates (see `gcwc_failpoint`;
+/// sites are inert unless the `failpoints` feature is enabled *and*
+/// the site is armed).
+pub mod failsite {
+    /// Worker dequeue loop. `err`/`panic` kill the worker between
+    /// dequeue and service (the supervisor restarts it and in-flight
+    /// jobs answer `ShardRestarting`); `delay(ms)` stalls it.
+    pub const WORKER_LOOP: &str = "serve.worker.loop";
+    /// Accept loop: a triggered site drops the fresh connection.
+    pub const ACCEPT: &str = "serve.server.accept";
+    /// Connection read path: a triggered site closes the connection.
+    pub const READ: &str = "serve.server.read";
+    /// Connection write path: a triggered site closes the connection.
+    pub const WRITE: &str = "serve.server.write";
+    /// Checkpoint load into a shard: `err` fails the load (the old
+    /// snapshot keeps serving).
+    pub const REGISTRY_LOAD: &str = "serve.registry.load";
+    /// In-process model install into a shard (panic/delay site).
+    pub const REGISTRY_INSTALL: &str = "serve.registry.install";
+
+    /// Per-shard batched forward: `err` fails the attempt, `panic`
+    /// unwinds into the containment `catch_unwind` — either way the
+    /// shard's circuit breaker records a failure and the batch
+    /// degrades that shard's rows.
+    pub fn shard_forward(k: usize) -> String {
+        format!("serve.shard{k}.forward")
+    }
+}
 
 /// Everything that can go wrong while serving a completion request.
 #[derive(Debug)]
@@ -57,6 +88,10 @@ pub enum ServeError {
     DeadlineExceeded,
     /// The engine is shutting down and no longer accepts requests.
     ShuttingDown,
+    /// The worker serving this request died and was restarted; the
+    /// request was not served. Safe to retry (the forward pass never
+    /// produced a response).
+    ShardRestarting,
     /// The request is malformed (wrong shape, out-of-range context…).
     BadRequest(String),
     /// Loading or validating a checkpoint failed.
@@ -73,6 +108,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Overloaded => write!(f, "request queue full"),
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::ShardRestarting => write!(f, "worker restarting; retry"),
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServeError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
@@ -104,6 +140,7 @@ impl ServeError {
             ServeError::Overloaded => "overloaded",
             ServeError::DeadlineExceeded => "deadline",
             ServeError::ShuttingDown => "shutdown",
+            ServeError::ShardRestarting => "restarting",
             ServeError::BadRequest(_) => "bad_request",
             ServeError::Checkpoint(_) => "checkpoint",
             ServeError::Io(_) => "io",

@@ -13,11 +13,19 @@
 //!
 //! ```text
 //! ok <rows> <cols> <hit 0|1> <generation> <shards> <hex…>
+//! degraded <rows> <cols> <hit 0|1> <generation> <shards> <hex…>
 //! stats <requests> <completed> <batches> <hits> <misses> <evictions> <generation> <shards>
+//!       <worker_restarts> <breaker_open> <degraded_responses> <retries>
 //! pong
 //! bye
 //! err <code> <message…>
 //! ```
+//!
+//! `degraded` has the exact layout of `ok` but signals a *partial*
+//! completion: at least one shard could not compute and its owned
+//! rows carry the row-prior `P(Z)` instead (healthy shards' rows are
+//! exact). A fully healthy response is always the `ok` keyword, so
+//! healthy traffic is byte-identical to pre-degradation builds.
 //!
 //! Matrix entries travel as the `{:016x}` hexadecimal bit patterns of
 //! their `f64` values (the same encoding the checkpoint format uses),
@@ -45,6 +53,7 @@ fn checked_elems(rows: usize, cols: usize) -> Result<usize, ServeError> {
 }
 
 /// A parsed client request.
+#[derive(Debug)]
 pub enum Request {
     /// Complete the given observed weight matrix under a context.
     Complete {
@@ -80,10 +89,30 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
                 let tok = tokens
                     .next()
                     .ok_or_else(|| ServeError::Protocol("truncated matrix data".into()))?;
-                data.push(parse_f64_hex(tok)?);
+                let v = parse_f64_hex(tok)?;
+                // The hex encoding can smuggle any bit pattern; a NaN
+                // or ±Inf here would flow straight into inference and
+                // poison every row it convolves with.
+                if !v.is_finite() {
+                    return Err(ServeError::Protocol(format!("non-finite matrix entry {tok}")));
+                }
+                data.push(v);
             }
             if tokens.next().is_some() {
                 return Err(ServeError::Protocol("trailing tokens after matrix".into()));
+            }
+            // Observed rows are (unnormalised) histogram mass. A row
+            // whose entries cancel to exactly zero mass while carrying
+            // negative entries is indistinguishable from a missing row
+            // by total mass but not all-missing — normalisation would
+            // divide by zero downstream. Reject it as malformed.
+            for r in 0..rows {
+                let row = &data[r * cols..(r + 1) * cols];
+                if row.iter().sum::<f64>() == 0.0 && row.iter().any(|&v| v < 0.0) {
+                    return Err(ServeError::Protocol(format!(
+                        "row {r} has zero total mass but negative entries"
+                    )));
+                }
             }
             Ok(Request::Complete {
                 time_of_day,
@@ -120,18 +149,23 @@ pub fn write_matrix_hex(buf: &mut String, m: &Matrix) {
     }
 }
 
-/// Renders the `ok` response line (no trailing newline).
+/// Renders the `ok` (or, for partial completions, `degraded`)
+/// response line (no trailing newline). The two keywords share one
+/// layout; `ok` is emitted exactly as before degradation existed, so
+/// healthy responses stay byte-identical.
 pub fn write_ok(
     buf: &mut String,
     output: &Matrix,
     cache_hit: bool,
     generation: u64,
     shards: usize,
+    degraded: bool,
 ) {
     use std::fmt::Write;
     let _ = write!(
         buf,
-        "ok {} {} {} {} {}",
+        "{} {} {} {} {} {}",
+        if degraded { "degraded" } else { "ok" },
         output.rows(),
         output.cols(),
         u8::from(cache_hit),
@@ -152,7 +186,7 @@ pub fn write_stats(buf: &mut String, s: &StatsSnapshot) {
     use std::fmt::Write;
     let _ = write!(
         buf,
-        "stats {} {} {} {} {} {} {} {}",
+        "stats {} {} {} {} {} {} {} {} {} {} {} {}",
         s.requests,
         s.completed,
         s.batches,
@@ -160,16 +194,23 @@ pub fn write_stats(buf: &mut String, s: &StatsSnapshot) {
         s.cache_misses,
         s.cache_evictions,
         s.generation,
-        s.shards
+        s.shards,
+        s.worker_restarts,
+        s.breaker_open,
+        s.degraded_responses,
+        s.retries
     );
 }
 
-/// A parsed `ok` response.
+/// A parsed `ok` or `degraded` response.
 pub struct OkResponse {
     /// The completed matrix.
     pub output: Matrix,
     /// Whether the completion came from the cache.
     pub cache_hit: bool,
+    /// True for a `degraded` response: at least one shard's owned
+    /// rows are the row-prior `P(Z)` rather than computed values.
+    pub degraded: bool,
     /// Model generation that produced it.
     pub generation: u64,
     /// Number of shards K the completion was gathered from.
@@ -180,7 +221,7 @@ pub struct OkResponse {
 pub fn parse_complete_response(line: &str) -> Result<OkResponse, ServeError> {
     let mut tokens = line.split_whitespace();
     match tokens.next() {
-        Some("ok") => {
+        head @ (Some("ok") | Some("degraded")) => {
             let rows = parse_usize(tokens.next(), "rows")?;
             let cols = parse_usize(tokens.next(), "cols")?;
             let hit = parse_usize(tokens.next(), "hit")?;
@@ -197,6 +238,7 @@ pub fn parse_complete_response(line: &str) -> Result<OkResponse, ServeError> {
             Ok(OkResponse {
                 output: Matrix::from_vec(rows, cols, data),
                 cache_hit: hit != 0,
+                degraded: head == Some("degraded"),
                 generation,
                 shards,
             })
@@ -216,6 +258,7 @@ fn remote_error(code: &str, message: &str) -> ServeError {
         "overloaded" => ServeError::Overloaded,
         "deadline" => ServeError::DeadlineExceeded,
         "shutdown" => ServeError::ShuttingDown,
+        "restarting" => ServeError::ShardRestarting,
         "bad_request" => ServeError::BadRequest(message.to_owned()),
         _ => ServeError::Protocol(format!("{code}: {message}")),
     }
@@ -243,12 +286,72 @@ mod tests {
     fn ok_response_roundtrip() {
         let m = Matrix::from_vec(1, 3, vec![0.25, 0.5, 0.25]);
         let mut line = String::new();
-        write_ok(&mut line, &m, true, 7, 2);
+        write_ok(&mut line, &m, true, 7, 2, false);
+        assert!(line.starts_with("ok "), "healthy responses keep the ok keyword: {line:?}");
         let r = parse_complete_response(&line).unwrap();
         assert_eq!(r.output, m);
         assert!(r.cache_hit);
+        assert!(!r.degraded);
         assert_eq!(r.generation, 7);
         assert_eq!(r.shards, 2);
+    }
+
+    #[test]
+    fn degraded_response_roundtrip() {
+        let m = Matrix::from_vec(1, 3, vec![0.25, 0.5, 0.25]);
+        let mut line = String::new();
+        write_ok(&mut line, &m, false, 7, 2, true);
+        assert!(line.starts_with("degraded "), "got {line:?}");
+        let r = parse_complete_response(&line).unwrap();
+        assert_eq!(r.output, m);
+        assert!(r.degraded);
+        // Same layout as ok apart from the keyword.
+        let mut ok_line = String::new();
+        write_ok(&mut ok_line, &m, false, 7, 2, false);
+        assert_eq!(line.strip_prefix("degraded"), ok_line.strip_prefix("ok"));
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let m = Matrix::from_vec(1, 2, vec![0.5, bad]);
+            let mut line = String::from("complete 0 0 1 2");
+            write_matrix_hex(&mut line, &m);
+            let err = parse_request(&line).unwrap_err();
+            assert!(
+                err.to_string().contains("non-finite"),
+                "value {bad} must be rejected, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_mass_rows_with_negative_entries_are_rejected() {
+        // Row sums to exactly zero while carrying negative mass.
+        let m = Matrix::from_vec(2, 2, vec![0.5, 0.5, -1.0, 1.0]);
+        let mut line = String::from("complete 0 0 2 2");
+        write_matrix_hex(&mut line, &m);
+        let err = parse_request(&line).unwrap_err();
+        assert!(err.to_string().contains("row 1"), "got {err}");
+        // Negative entries with non-zero mass still parse (the wire
+        // carries raw observations; see complete_roundtrip test).
+        let ok = Matrix::from_vec(1, 2, vec![-1.0, 1.5]);
+        let mut line = String::from("complete 0 0 1 2");
+        write_matrix_hex(&mut line, &ok);
+        assert!(parse_request(&line).is_ok());
+        // All-zero (missing) rows stay valid — completing them is the
+        // entire point of the service.
+        let missing = Matrix::zeros(1, 2);
+        let mut line = String::from("complete 0 0 1 2");
+        write_matrix_hex(&mut line, &missing);
+        assert!(parse_request(&line).is_ok());
+    }
+
+    #[test]
+    fn restarting_error_maps_back() {
+        let mut line = String::new();
+        write_err(&mut line, &ServeError::ShardRestarting);
+        assert!(matches!(parse_complete_response(&line), Err(ServeError::ShardRestarting)));
     }
 
     #[test]

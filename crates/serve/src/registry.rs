@@ -266,6 +266,14 @@ impl ModelRegistry {
     /// previous snapshot keeps serving. Returns the new generation.
     pub fn load_shard(&self, k: usize, path: &Path) -> Result<u64, ServeError> {
         assert!(k < self.factories.len(), "shard {k} out of range");
+        // Failpoint: an injected load failure (disk error, torn
+        // checkpoint) must leave the previous snapshot serving.
+        if gcwc_failpoint::triggered(crate::failsite::REGISTRY_LOAD) {
+            return Err(ServeError::Io(std::io::Error::other(format!(
+                "failpoint {}: injected checkpoint load failure",
+                crate::failsite::REGISTRY_LOAD
+            ))));
+        }
         let mut model = (self.factories[k])();
         model.load(path)?;
         Ok(self.swap_shard(k, model, Some(path.to_path_buf())))
@@ -305,6 +313,12 @@ impl ModelRegistry {
     }
 
     fn swap_shard(&self, k: usize, model: AnyModel, source: Option<PathBuf>) -> u64 {
+        // Failpoint: `panic` here simulates dying mid-install,
+        // `delay(ms)` a slow swap racing in-flight batches (which keep
+        // serving their snapshot `Arc` either way).
+        if gcwc_failpoint::triggered(crate::failsite::REGISTRY_INSTALL) {
+            panic!("failpoint {}: injected install failure", crate::failsite::REGISTRY_INSTALL);
+        }
         let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
         let shard = Arc::new(ModelShard { model, generation, source });
         let mut current = self.current.write().unwrap();

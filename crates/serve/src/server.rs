@@ -8,7 +8,7 @@
 
 use crate::engine::Engine;
 use crate::protocol::{self, Request};
-use crate::ServeError;
+use crate::{failsite, ServeError};
 use gcwc_linalg::Matrix;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -50,6 +50,14 @@ impl Server {
                 while accept_running.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            // Failpoint: a triggered accept drops the
+                            // fresh connection (the peer sees EOF and
+                            // may reconnect), as an overloaded or
+                            // fd-starved accept loop would.
+                            if gcwc_failpoint::triggered(failsite::ACCEPT) {
+                                drop(stream);
+                                continue;
+                            }
                             let engine = Arc::clone(&engine);
                             let running = Arc::clone(&accept_running);
                             let handle = std::thread::Builder::new()
@@ -129,6 +137,11 @@ fn handle_connection(engine: Arc<Engine>, stream: TcpStream, running: Arc<Atomic
         // to `line` (a request fragmented across a >READ_TIMEOUT gap);
         // the buffer is only cleared after a complete line is handled,
         // so those bytes survive the retry instead of being dropped.
+        // Failpoint: a triggered read tears the connection down
+        // mid-session, as a peer reset or fd exhaustion would.
+        if gcwc_failpoint::triggered(failsite::READ) {
+            break;
+        }
         let status = reader.read_line(&mut line);
         if line.len() > MAX_LINE_BYTES {
             let _ = writer.write_all(b"err bad_request request line exceeds size limit\n");
@@ -138,6 +151,16 @@ fn handle_connection(engine: Arc<Engine>, stream: TcpStream, running: Arc<Atomic
             Ok(0) => break, // peer closed; an unterminated fragment cannot complete
             Ok(_) => {}
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                // Bytes that are not UTF-8 cannot be a protocol line.
+                // Tell the peer why instead of silently dropping the
+                // connection; the malformed bytes were consumed, so
+                // the session can continue with the next line.
+                let _ = writer.write_all(b"err protocol request is not valid utf-8\n");
+                let _ = writer.flush();
+                line.clear();
                 continue;
             }
             Err(_) => break,
@@ -157,6 +180,7 @@ fn handle_connection(engine: Arc<Engine>, stream: TcpStream, running: Arc<Atomic
                             completion.cache_hit,
                             completion.generation,
                             completion.shards,
+                            completion.degraded,
                         );
                         client.recycle(completion);
                     }
@@ -183,6 +207,11 @@ fn handle_connection(engine: Arc<Engine>, stream: TcpStream, running: Arc<Atomic
         };
         line.clear();
         response.push('\n');
+        // Failpoint: a triggered write drops the connection with the
+        // response unsent (the client observes EOF, not a reply).
+        if gcwc_failpoint::triggered(failsite::WRITE) {
+            break;
+        }
         if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
             break;
         }

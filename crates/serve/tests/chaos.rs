@@ -1,0 +1,403 @@
+//! Chaos tests: fault injection through `gcwc-failpoint` against the
+//! serving stack. Only compiled with `--features failpoints`.
+//!
+//! Covered here: a worker killed mid-dispatch answers its in-flight
+//! request `ShardRestarting`, is restarted by its supervisor, and the
+//! client's bounded retry succeeds; a shard whose forward pass keeps
+//! failing trips its circuit breaker and is served degraded (prior
+//! rows, healthy shards bit-identical) until a half-open probe closes
+//! the breaker again; and a property test drives randomized failpoint
+//! schedules through the engine asserting every request terminates
+//! with a completion (exact or degraded) or a typed error — never a
+//! hang, never corrupt healthy rows.
+//!
+//! The failpoint registry is process-global, so every test serialises
+//! on [`chaos_lock`] and disarms its sites before releasing it.
+
+#![cfg(feature = "failpoints")]
+
+use gcwc::{build_samples, GcwcModel, ModelConfig, ShardedModel, TaskKind, TrainSample};
+use gcwc_graph::PartitionSet;
+use gcwc_linalg::Matrix;
+use gcwc_serve::{
+    failsite, AnyModel, BreakerConfig, Engine, EngineConfig, ModelRegistry, RetryPolicy, ServeError,
+};
+use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn model_config() -> ModelConfig {
+    ModelConfig::hw_hist().with_epochs(2)
+}
+
+struct Fixture {
+    samples: Vec<TrainSample>,
+    partition: Arc<PartitionSet>,
+    ckpts: Vec<std::path::PathBuf>,
+    /// `predict_global` of the trained sharded model on `samples[..4]`.
+    reference: Vec<Matrix>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let hw = generators::highway_tollgate(1);
+        let sim = SimConfig {
+            days: 2,
+            intervals_per_day: 16,
+            records_per_interval: 10.0,
+            ..Default::default()
+        };
+        let data = simulate(&hw, HistogramSpec::hist8(), &sim);
+        let ds = data.to_dataset(0.5, 5, 11);
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let samples = build_samples(&ds, &idx, TaskKind::Estimation, 0);
+        let partition = Arc::new(PartitionSet::build(&hw.graph, 2));
+        let mut sharded = ShardedModel::gcwc_on(Arc::clone(&partition), 8, model_config(), 42);
+        sharded.fit_shards(&samples[..8]);
+        let reference = samples[..4].iter().map(|s| sharded.predict_global(s)).collect();
+        let dir = std::env::temp_dir().join("gcwc_serve_chaos");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (_, shards) = sharded.into_shards();
+        let ckpts: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(k, shard)| {
+                let path = dir.join(format!("chaos.shard{k}.ckpt"));
+                shard.save(&path).unwrap();
+                path
+            })
+            .collect();
+        Fixture { samples, partition, ckpts, reference }
+    })
+}
+
+/// A fresh K=2 registry loaded with the fixture's trained shards.
+fn make_registry() -> Arc<ModelRegistry> {
+    let f = fixture();
+    let factories = (0..f.partition.num_partitions())
+        .map(|k| {
+            let graph = f.partition.partition(k).graph().clone();
+            let fac: Box<dyn Fn() -> AnyModel + Send + Sync> =
+                Box::new(move || AnyModel::Gcwc(GcwcModel::new(&graph, 8, model_config(), 0)));
+            fac
+        })
+        .collect();
+    let registry = Arc::new(ModelRegistry::sharded(factories, &f.partition));
+    for (k, ckpt) in f.ckpts.iter().enumerate() {
+        registry.load_shard(k, ckpt).unwrap();
+    }
+    registry
+}
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn disarm_all() {
+    gcwc_failpoint::remove(failsite::WORKER_LOOP);
+    for k in 0..2 {
+        gcwc_failpoint::remove(&failsite::shard_forward(k));
+    }
+}
+
+/// Disarms every chaos site when dropped, so an assertion failure (an
+/// early return out of a test body) can never leak an armed site into
+/// the next test.
+struct DisarmOnDrop;
+
+impl Drop for DisarmOnDrop {
+    fn drop(&mut self) {
+        disarm_all();
+    }
+}
+
+#[test]
+fn worker_death_answers_in_flight_and_bounded_retry_succeeds() {
+    let _guard = chaos_lock();
+    let _disarm = DisarmOnDrop;
+    disarm_all();
+    let f = fixture();
+    let engine = Engine::new(make_registry(), EngineConfig { workers: 1, ..Default::default() });
+    let mut client = engine.client();
+    client.set_retry_policy(Some(RetryPolicy::default()));
+
+    // The worker panics between dequeue and service exactly once: the
+    // in-flight job answers `ShardRestarting` through its Drop guard,
+    // the supervisor restarts the loop, and the client's retry lands
+    // on the recovered worker.
+    gcwc_failpoint::configure(failsite::WORKER_LOOP, "1*panic->off").unwrap();
+    let s = &f.samples[0];
+    let mut input = client.input_buffer();
+    input.copy_from(&s.input);
+    let result = client.complete(input, s.context.time_of_day, s.context.day_of_week);
+    disarm_all();
+
+    let completion = result.expect("retry must succeed after the worker restart");
+    assert!(!completion.degraded);
+    assert_eq!(bits(&f.reference[0]), bits(&completion.output));
+    client.recycle(completion);
+
+    let stats = engine.stats();
+    assert!(stats.worker_restarts >= 1, "stats: {stats:?}");
+    assert!(stats.retries >= 1, "stats: {stats:?}");
+    engine.shutdown();
+}
+
+#[test]
+fn failing_shard_degrades_trips_breaker_and_recovers_via_probe() {
+    let _guard = chaos_lock();
+    let _disarm = DisarmOnDrop;
+    disarm_all();
+    let f = fixture();
+    let engine = Engine::new(
+        make_registry(),
+        EngineConfig {
+            workers: 0,
+            cache_capacity: 0,
+            breaker: BreakerConfig { failure_threshold: 2, cooldown: Duration::from_millis(50) },
+            ..Default::default()
+        },
+    );
+    let mut client = engine.client();
+    let s = &f.samples[1];
+    let want = &f.reference[1];
+    let ask = |client: &mut gcwc_serve::Client| {
+        let mut input = client.input_buffer();
+        input.copy_from(&s.input);
+        client.send(input, s.context.time_of_day, s.context.day_of_week).unwrap();
+        engine.process_queued();
+        client.recv().unwrap()
+    };
+
+    // Shard 1's forward pass fails persistently.
+    let site1 = failsite::shard_forward(1);
+    gcwc_failpoint::configure(&site1, "err").unwrap();
+
+    // Two failures reach the threshold; each response is degraded but
+    // shard 0's owned rows stay bit-identical and shard 1's owned rows
+    // carry the uniform histogram prior.
+    let prior = 1.0 / 8.0;
+    for round in 0..2 {
+        let completion = ask(&mut client);
+        assert!(completion.degraded, "round {round} must be degraded");
+        for &g in f.partition.partition(0).view().owned() {
+            assert_eq!(
+                bits(&Matrix::from_fn(1, 8, |_, c| want[(g, c)])),
+                bits(&Matrix::from_fn(1, 8, |_, c| completion.output[(g, c)])),
+                "healthy shard row {g} must be exact in round {round}"
+            );
+        }
+        for &g in f.partition.partition(1).view().owned() {
+            for c in 0..8 {
+                assert_eq!(completion.output[(g, c)], prior, "row {g} col {c}");
+            }
+        }
+        client.recycle(completion);
+    }
+    assert!(engine.shard_breaker_open(1), "threshold reached → breaker open");
+    assert!(engine.stats().breaker_open >= 1);
+
+    // While open, requests degrade without attempting the forward.
+    let batches_before = engine.stats().batches;
+    let completion = ask(&mut client);
+    assert!(completion.degraded);
+    client.recycle(completion);
+    // Only shard 0's forward ran for that request.
+    assert_eq!(engine.stats().batches, batches_before + 1);
+
+    // Heal the shard and wait out the cooldown: the next request is
+    // admitted as the half-open probe, succeeds, and closes the
+    // breaker — the response is exact again.
+    disarm_all();
+    std::thread::sleep(Duration::from_millis(60));
+    let healed = ask(&mut client);
+    assert!(!healed.degraded, "post-probe response must be exact");
+    assert_eq!(bits(want), bits(&healed.output));
+    assert!(!engine.shard_breaker_open(1));
+    client.recycle(healed);
+
+    assert_eq!(engine.stats().degraded_responses, 3);
+    engine.shutdown();
+}
+
+#[test]
+fn open_breaker_never_caches_prior_rows() {
+    let _guard = chaos_lock();
+    let _disarm = DisarmOnDrop;
+    disarm_all();
+    let f = fixture();
+    let engine = Engine::new(
+        make_registry(),
+        EngineConfig {
+            workers: 0,
+            cache_capacity: 64,
+            breaker: BreakerConfig { failure_threshold: 1, cooldown: Duration::from_millis(20) },
+            ..Default::default()
+        },
+    );
+    let mut client = engine.client();
+    let s = &f.samples[2];
+    let ask = |client: &mut gcwc_serve::Client| {
+        let mut input = client.input_buffer();
+        input.copy_from(&s.input);
+        client.send(input, s.context.time_of_day, s.context.day_of_week).unwrap();
+        engine.process_queued();
+        client.recv().unwrap()
+    };
+
+    let site1 = failsite::shard_forward(1);
+    gcwc_failpoint::configure(&site1, "err").unwrap();
+    let degraded = ask(&mut client);
+    assert!(degraded.degraded);
+    client.recycle(degraded);
+    disarm_all();
+    std::thread::sleep(Duration::from_millis(30));
+
+    // The degraded rows were never cached: after the probe heals the
+    // shard, the same request recomputes shard 1 and returns the exact
+    // completion (shard 0's rows may come from its cache — they were
+    // computed exactly and are bit-identical either way).
+    let healed = ask(&mut client);
+    assert!(!healed.degraded);
+    assert_eq!(bits(&f.reference[2]), bits(&healed.output));
+    client.recycle(healed);
+    engine.shutdown();
+}
+
+/// One randomized chaos schedule: which site, which spec, how many
+/// requests to push through it.
+#[derive(Clone, Debug)]
+struct Schedule {
+    site: usize,
+    spec: &'static str,
+    requests: usize,
+}
+
+const SPECS: [&str; 4] = ["1*panic->off", "2*err->off", "1*delay(5)->off", "50%err"];
+
+fn schedules() -> impl Strategy<Value = Schedule> {
+    (0usize..3, 0usize..SPECS.len(), 1usize..5).prop_map(|(site, spec, requests)| Schedule {
+        site,
+        spec: SPECS[spec],
+        requests,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Under any armed schedule every request terminates promptly with
+    /// a completion (exact or degraded) or a typed retryable error —
+    /// and exact completions are bit-identical to the reference.
+    #[test]
+    fn chaos_schedules_never_hang_or_corrupt(schedule in schedules()) {
+        let _guard = chaos_lock();
+        let _disarm = DisarmOnDrop;
+        disarm_all();
+        let f = fixture();
+        let engine = Engine::new(
+            make_registry(),
+            EngineConfig {
+                workers: 1,
+                cache_capacity: 0,
+                breaker: BreakerConfig {
+                    failure_threshold: 2,
+                    cooldown: Duration::from_millis(10),
+                },
+                ..Default::default()
+            },
+        );
+        let mut client = engine.client();
+        client.set_retry_policy(Some(RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+            jitter_seed: 7,
+        }));
+
+        let site = match schedule.site {
+            0 => failsite::WORKER_LOOP.to_owned(),
+            k => failsite::shard_forward(k - 1),
+        };
+        gcwc_failpoint::configure(&site, schedule.spec).unwrap();
+        for r in 0..schedule.requests {
+            let s = &f.samples[r % 4];
+            let mut input = client.input_buffer();
+            input.copy_from(&s.input);
+            match client.complete(input, s.context.time_of_day, s.context.day_of_week) {
+                Ok(completion) => {
+                    if !completion.degraded {
+                        prop_assert_eq!(
+                            bits(&f.reference[r % 4]),
+                            bits(&completion.output),
+                            "exact completion diverged under {:?}", schedule
+                        );
+                    }
+                    client.recycle(completion);
+                }
+                // Exhausted retries against a dying worker: typed, not
+                // a hang, and the next request may still succeed.
+                Err(ServeError::ShardRestarting | ServeError::Overloaded) => {}
+                Err(e) => return Err(TestCaseError::fail(format!(
+                    "unexpected error under {schedule:?}: {e}"
+                ))),
+            }
+        }
+        disarm_all();
+
+        // After disarming, the engine always serves exactly again
+        // (cooldowns are far shorter than the retry budget).
+        std::thread::sleep(Duration::from_millis(15));
+        let s = &f.samples[0];
+        let mut input = client.input_buffer();
+        input.copy_from(&s.input);
+        let healed = client
+            .complete(input, s.context.time_of_day, s.context.day_of_week)
+            .expect("healed engine must serve");
+        if !healed.degraded {
+            prop_assert_eq!(bits(&f.reference[0]), bits(&healed.output));
+        }
+        client.recycle(healed);
+        engine.shutdown();
+    }
+}
+
+#[test]
+fn unarmed_sites_serve_bit_identically_with_zero_fault_counters() {
+    // Satellite of the no-op guarantee: with the feature *compiled in*
+    // but no site armed, serving is bit-identical to the reference and
+    // none of the containment machinery fires.
+    let _guard = chaos_lock();
+    let _disarm = DisarmOnDrop;
+    disarm_all();
+    let f = fixture();
+    let engine = Engine::new(
+        make_registry(),
+        EngineConfig { workers: 1, cache_capacity: 0, ..Default::default() },
+    );
+    let mut client = engine.client();
+    client.set_retry_policy(Some(RetryPolicy::default()));
+    for (i, want) in f.reference.iter().enumerate() {
+        let s = &f.samples[i];
+        let mut input = client.input_buffer();
+        input.copy_from(&s.input);
+        let completion =
+            client.complete(input, s.context.time_of_day, s.context.day_of_week).unwrap();
+        assert!(!completion.degraded);
+        assert_eq!(bits(want), bits(&completion.output), "request {i}");
+        client.recycle(completion);
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.worker_restarts, 0, "stats: {stats:?}");
+    assert_eq!(stats.breaker_open, 0, "stats: {stats:?}");
+    assert_eq!(stats.degraded_responses, 0, "stats: {stats:?}");
+    assert_eq!(stats.retries, 0, "stats: {stats:?}");
+    engine.shutdown();
+}

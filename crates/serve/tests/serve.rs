@@ -395,3 +395,34 @@ fn fragmented_tcp_request_survives_read_timeouts() {
     server.stop();
     engine.shutdown();
 }
+
+#[test]
+fn malformed_bytes_get_an_err_reply_and_the_session_survives() {
+    use std::io::{BufRead, BufReader, Write};
+    let engine = Arc::new(Engine::new(make_registry(), EngineConfig::default()));
+    let mut server = Server::start(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+
+    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+
+    // A line of invalid UTF-8 cannot be a protocol request: the server
+    // must say why instead of silently dropping the connection.
+    writer.write_all(&[0xff, 0xfe, 0x80, 0x41, b'\n']).unwrap();
+    writer.flush().unwrap();
+    reader.read_line(&mut reply).unwrap();
+    assert_eq!(reply.trim_end(), "err protocol request is not valid utf-8");
+
+    // The malformed bytes were consumed, so the same session still
+    // serves well-formed requests afterwards.
+    writer.write_all(b"ping\n").unwrap();
+    writer.flush().unwrap();
+    reply.clear();
+    reader.read_line(&mut reply).unwrap();
+    assert_eq!(reply.trim_end(), "pong");
+
+    server.stop();
+    engine.shutdown();
+}
