@@ -23,6 +23,13 @@
 //!                      throughput + accuracy delta vs the unsharded
 //!                      model, K=1 asserted bit-identical; with
 //!                      `--json`, also writes `BENCH_partition.json`
+//!   scale-sweep        the paper's scalability protocol at ×10/×25/×50
+//!                      (up to 8 600 edges): steady-state training-step
+//!                      time, serving p50/p99, peak RSS and allocs/step
+//!                      for GCWC and the two-shard GCWC-M2, plus the
+//!                      naive-vs-tiled kernel pair at n=860; `--smoke`
+//!                      downsamples to the ×10 point; with `--json`,
+//!                      also writes `BENCH_scale.json`
 //!   train              resumable sharded training: checkpoints the
 //!                      per-shard training state under `--state=DIR`
 //!                      every few epochs; re-running with `--resume`
@@ -39,8 +46,8 @@
 //! exp_runner -- <command>`.
 
 use gcwc_bench::{
-    ablations, jsonbench, params_table, resumable, run_table, scalability, servebench, shardsweep,
-    Profile, ScalModel,
+    ablations, jsonbench, params_table, resumable, run_table, scalability, scalesweep, servebench,
+    shardsweep, Profile, ScalModel,
 };
 
 /// Counts every heap allocation so `bench` can report allocs/iter.
@@ -59,11 +66,15 @@ fn main() {
     let mut state_dir: Option<std::path::PathBuf> = None;
     let mut resume = false;
     let mut epochs: Option<usize> = None;
+    let mut smoke = false;
     for a in &args {
         match a.as_str() {
             "--fast" => profile = Profile::fast(),
             "--full" => profile = Profile::full(),
-            "--smoke" => profile = Profile::smoke(),
+            "--smoke" => {
+                profile = Profile::smoke();
+                smoke = true;
+            }
             "--json" => json = true,
             "--resume" => resume = true,
             flag if flag.starts_with("--state=") => {
@@ -104,7 +115,7 @@ fn main() {
     // follow the process-wide kernel default.
     gcwc_linalg::parallel::set_global_threads(threads);
     if commands.is_empty() {
-        eprintln!("usage: exp_runner [--fast|--full|--smoke] [--threads=N] [--shards=K] [--epochs=N] [--state=DIR] [--resume] [--json] <table3|table4..table13|tables|fig6a|fig6b|threads|ablations|bench|serve-bench|shard-sweep|train|all>");
+        eprintln!("usage: exp_runner [--fast|--full|--smoke] [--threads=N] [--shards=K] [--epochs=N] [--state=DIR] [--resume] [--json] <table3|table4..table13|tables|fig6a|fig6b|threads|ablations|bench|serve-bench|shard-sweep|scale-sweep|train|all>");
         std::process::exit(2);
     }
 
@@ -160,6 +171,23 @@ fn main() {
                 if json {
                     let path = "BENCH_partition.json";
                     if let Err(e) = std::fs::write(path, shardsweep::to_json(&report)) {
+                        eprintln!("failed to write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("wrote {path}");
+                }
+            }
+            "scale-sweep" => {
+                let cfg = if smoke {
+                    scalesweep::ScaleSweepConfig::smoke()
+                } else {
+                    scalesweep::ScaleSweepConfig::full()
+                };
+                let report = scalesweep::run(&cfg);
+                print!("{}", scalesweep::render(&report));
+                if json {
+                    let path = "BENCH_scale.json";
+                    if let Err(e) = std::fs::write(path, scalesweep::to_json(&report)) {
                         eprintln!("failed to write {path}: {e}");
                         std::process::exit(1);
                     }

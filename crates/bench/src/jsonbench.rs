@@ -114,25 +114,8 @@ pub fn run_all() -> Vec<BenchRecord> {
         },
         {
             let mut sink = Matrix::zeros(n, m);
-            let r = record("csr_matmul_dense", n, m, 0, 200, || {
-                sink = black_box(&lap).matmul_dense(black_box(&x))
-            });
-            black_box(&sink);
-            r
-        },
-        {
-            let mut sink = Matrix::zeros(n, m);
             let r = record("csr_matmul_dense_into", n, m, 0, 200, || {
                 black_box(&lap).matmul_dense_into(black_box(&x), &mut sink)
-            });
-            black_box(&sink);
-            r
-        },
-        {
-            let prev = Matrix::from_fn(n, m, |_, _| 0.25);
-            let mut sink = Matrix::zeros(n, m);
-            let r = record("cheb_step_legacy", n, m, 0, 200, || {
-                sink = &black_box(&lap).matmul_dense(black_box(&x)).scale(2.0) - black_box(&prev)
             });
             black_box(&sink);
             r
@@ -161,8 +144,31 @@ pub fn run_all() -> Vec<BenchRecord> {
             r
         },
     ];
+    out.extend(kernel_tier_pair());
     out.extend(train_step_pair());
     out
+}
+
+/// The naive/tiled dense-matmul pair at the scale sweep's base size
+/// (n = 860, one thread). Both tiers write the same bits; the tiled
+/// row must be the faster one.
+fn kernel_tier_pair() -> Vec<BenchRecord> {
+    use gcwc_linalg::tile::{with_tier, KernelTier};
+    let n = 860;
+    let mut rng = seeded(11);
+    let a = Matrix::from_fn(n, n, |_, _| rng.random::<f64>() - 0.5);
+    let b = Matrix::from_fn(n, n, |_, _| rng.random::<f64>() - 0.5);
+    let mut sink = Matrix::zeros(n, n);
+    gcwc_linalg::parallel::with_threads(1, || {
+        let mut tiered = |op: &str, tier: KernelTier| {
+            let r = with_tier(tier, || {
+                record(op, n, n, 0, 1, || black_box(&a).matmul_into(black_box(&b), &mut sink))
+            });
+            black_box(&sink);
+            r
+        };
+        vec![tiered("matmul_naive", KernelTier::Naive), tiered("matmul_tiled", KernelTier::Tiled)]
+    })
 }
 
 /// One GCWC training step at CI scale (172 edges, the paper's city

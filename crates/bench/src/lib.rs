@@ -17,6 +17,7 @@ pub mod params_table;
 pub mod profile;
 pub mod resumable;
 pub mod scalability;
+pub mod scalesweep;
 pub mod servebench;
 pub mod shardsweep;
 pub mod tables;

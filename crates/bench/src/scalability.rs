@@ -71,7 +71,13 @@ pub fn split_in_two(graph: &EdgeGraph) -> (EdgeGraph, EdgeGraph) {
     (graph.induced_subgraph(&first), graph.induced_subgraph(&second))
 }
 
-fn synthetic_samples(n: usize, m: usize, count: usize, ipd: usize, seed: u64) -> Vec<TrainSample> {
+pub(crate) fn synthetic_samples(
+    n: usize,
+    m: usize,
+    count: usize,
+    ipd: usize,
+    seed: u64,
+) -> Vec<TrainSample> {
     let mut rng = seeded(seed);
     (0..count)
         .map(|i| {

@@ -104,13 +104,9 @@ impl ShardModel for AGcwcModel {
     }
 }
 
-/// Derives shard `k`'s RNG seed from the base seed.
-///
-/// Shard 0 gets the base seed unchanged — this is what makes K = 1
-/// initialisation bit-identical to the unsharded model.
-pub fn shard_seed(seed: u64, shard: usize) -> u64 {
-    seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-}
+// Shard seed derivation lives with the partitioning logic; re-exported
+// here so existing `gcwc_core::shard_seed` callers keep working.
+pub use gcwc_graph::shard_seed;
 
 /// K per-partition completion models over one [`PartitionSet`].
 pub struct ShardedModel<M> {

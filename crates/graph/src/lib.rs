@@ -22,7 +22,7 @@ pub mod road;
 pub use chebyshev::{ChebyshevBasis, PolyBasis, RandomWalkBasis};
 pub use coarsen::{coarsen_once, CoarsenLevel, GraphHierarchy};
 pub use edge_graph::EdgeGraph;
-pub use partition::{Partition, PartitionSet, RowView};
+pub use partition::{shard_seed, Partition, PartitionSet, RowView};
 pub use plan::{log2_exact, ConvPlan, ConvStage, StageSpec};
 pub use pool::PoolingMap;
 pub use road::{RoadClass, RoadEdge, RoadNetwork, Vertex};

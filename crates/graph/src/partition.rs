@@ -361,6 +361,16 @@ fn pack_bins(graph: &EdgeGraph, k: usize) -> Vec<Vec<usize>> {
     bins
 }
 
+/// Derives shard `k`'s RNG seed from the base seed.
+///
+/// Shard 0 gets the base seed unchanged — this is what makes K = 1
+/// initialisation bit-identical to the unsharded model. Later shards
+/// mix the index with the golden-ratio constant so per-shard streams
+/// are decorrelated but fully determined by `(seed, shard)`.
+pub fn shard_seed(seed: u64, shard: usize) -> u64 {
+    seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,7 +4,7 @@
 //! local subgraphs restrict the global adjacency — over random graphs
 //! and K ∈ {1, 2, 4, 7}.
 
-use gcwc_graph::{EdgeGraph, PartitionSet, RowView};
+use gcwc_graph::{shard_seed, EdgeGraph, PartitionSet, RowView};
 use gcwc_linalg::{CsrMatrix, Matrix};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -146,6 +146,93 @@ proptest! {
                 g.neighbors(u).iter().any(|&v| p1.owner_of(v) != p1.owner_of(u));
             prop_assert_eq!(p1.is_boundary(u), expected, "node {}", u);
         }
+    }
+}
+
+/// A 20×43 4-connected grid — 860 nodes, the same node count the
+/// scale-sweep's ×5 city reaches. Large enough that the coarsening
+/// inside `pack_bins` runs several levels, unlike the small random
+/// graphs above.
+fn grid_860() -> EdgeGraph {
+    const ROWS: usize = 20;
+    const COLS: usize = 43;
+    let n = ROWS * COLS;
+    let mut triplets = Vec::new();
+    for r in 0..ROWS {
+        for c in 0..COLS {
+            let u = r * COLS + c;
+            if c + 1 < COLS {
+                triplets.push((u, u + 1, 1.0));
+                triplets.push((u + 1, u, 1.0));
+            }
+            if r + 1 < ROWS {
+                triplets.push((u, u + COLS, 1.0));
+                triplets.push((u + COLS, u, 1.0));
+            }
+        }
+    }
+    EdgeGraph::from_adjacency(CsrMatrix::from_triplets(n, n, triplets))
+}
+
+/// At the scale-sweep's n = 860, every node is owned exactly once and
+/// halos are exactly the 1-hop out-of-partition neighbourhood, for
+/// both a small and a non-power-of-two shard count.
+#[test]
+fn enlarged_grid_ownership_and_halos_are_exact() {
+    let g = grid_860();
+    let n = g.num_nodes();
+    assert_eq!(n, 860);
+    for k in [2usize, 7] {
+        let ps = PartitionSet::build(&g, k);
+        assert_eq!(ps.num_partitions(), k);
+        assert_eq!(ps.num_nodes(), n);
+        let mut owners = vec![0usize; n];
+        for (b, p) in ps.partitions().iter().enumerate() {
+            assert!(!p.owned().is_empty(), "empty partition {b} at k={k}");
+            for &u in p.owned() {
+                owners[u] += 1;
+                assert_eq!(ps.owner_of(u), b);
+            }
+            let owned: BTreeSet<usize> = p.owned().iter().copied().collect();
+            let expected: BTreeSet<usize> = p
+                .owned()
+                .iter()
+                .flat_map(|&u| g.neighbors(u).iter().copied())
+                .filter(|v| !owned.contains(v))
+                .collect();
+            let halo: BTreeSet<usize> = p.halo().iter().copied().collect();
+            assert_eq!(halo, expected, "halo mismatch in partition {b} at k={k}");
+        }
+        assert!(owners.iter().all(|&c| c == 1), "k={k}: every node owned exactly once");
+    }
+}
+
+/// Partitioning the 860-node grid is deterministic across rebuilds.
+#[test]
+fn enlarged_grid_partitioning_is_deterministic() {
+    let g = grid_860();
+    for k in [2usize, 7] {
+        let p1 = PartitionSet::build(&g, k);
+        let p2 = PartitionSet::build(&g, k);
+        for (x, y) in p1.partitions().iter().zip(p2.partitions()) {
+            assert_eq!(x.view(), y.view());
+        }
+    }
+}
+
+/// Shard seeds are pure in `(seed, shard)`, keep shard 0 on the base
+/// seed (the K = 1 bit-identity hook), and never collide across the
+/// shard counts the sweep uses.
+#[test]
+fn shard_seed_is_deterministic_and_distinct() {
+    assert_eq!(shard_seed(42, 0), 42);
+    assert_eq!(shard_seed(0xDEAD_BEEF, 0), 0xDEAD_BEEF);
+    for seed in [0u64, 42, u64::MAX] {
+        let seeds: Vec<u64> = (0..8).map(|s| shard_seed(seed, s)).collect();
+        let again: Vec<u64> = (0..8).map(|s| shard_seed(seed, s)).collect();
+        assert_eq!(seeds, again, "shard_seed must be pure");
+        let distinct: BTreeSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(distinct.len(), seeds.len(), "seed collision for base {seed}");
     }
 }
 

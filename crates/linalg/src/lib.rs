@@ -17,9 +17,11 @@ pub mod parallel;
 pub mod pool;
 pub mod rng;
 pub mod sparse;
+pub mod tile;
 
 pub use decomp::{Cholesky, DecompError};
 pub use matrix::Matrix;
 pub use parallel::Threads;
 pub use pool::{BufferPool, PoolGuard};
 pub use sparse::CsrMatrix;
+pub use tile::KernelTier;

@@ -208,7 +208,14 @@ impl Matrix {
         let cols = rhs.cols;
         let work = self.rows * self.cols * cols;
         let threads = if work < crate::parallel::MIN_PARALLEL_WORK { 1 } else { threads };
+        // Resolved once on the calling thread — spawned chunk threads
+        // don't see its thread-local tier overrides.
+        let tier = crate::tile::resolve(work);
         crate::parallel::par_rows(&mut out.data, cols, threads, |start, chunk| {
+            if tier == crate::tile::KernelTier::Tiled {
+                crate::tile::matmul_nn_chunk(self, rhs, start, chunk);
+                return;
+            }
             for (r, o_row) in chunk.chunks_mut(cols.max(1)).enumerate() {
                 let a_row = self.row(start + r);
                 for (k, &a) in a_row.iter().enumerate() {
@@ -248,7 +255,12 @@ impl Matrix {
         } else {
             crate::parallel::current_threads()
         };
+        let tier = crate::tile::resolve(work);
         crate::parallel::par_rows(&mut out.data, cols, threads, |start, chunk| {
+            if tier == crate::tile::KernelTier::Tiled {
+                crate::tile::matmul_nn_chunk(self, rhs, start, chunk);
+                return;
+            }
             for (r, o_row) in chunk.chunks_mut(cols.max(1)).enumerate() {
                 o_row.fill(0.0);
                 let a_row = self.row(start + r);
@@ -374,7 +386,12 @@ impl Matrix {
         } else {
             crate::parallel::current_threads()
         };
+        let tier = crate::tile::resolve(work);
         crate::parallel::par_rows(&mut out.data, cols, threads, |start, chunk| {
+            if tier == crate::tile::KernelTier::Tiled {
+                crate::tile::matmul_nt_chunk(self, rhs, start, chunk);
+                return;
+            }
             for (r, o_row) in chunk.chunks_mut(cols.max(1)).enumerate() {
                 let a_row = self.row(start + r);
                 for (j, o) in o_row.iter_mut().enumerate() {
@@ -415,7 +432,12 @@ impl Matrix {
         } else {
             crate::parallel::current_threads()
         };
+        let tier = crate::tile::resolve(work);
         crate::parallel::par_rows(&mut out.data, cols, threads, |start, chunk| {
+            if tier == crate::tile::KernelTier::Tiled {
+                crate::tile::matmul_tn_chunk(self, rhs, start, chunk);
+                return;
+            }
             chunk.fill(0.0);
             for k in 0..self.rows {
                 let a_row = self.row(k);

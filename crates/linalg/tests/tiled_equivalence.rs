@@ -1,0 +1,235 @@
+//! Property-test net for the kernel-tier contract: the tiled kernels
+//! must be `to_bits`-identical to the naive kernels for every input,
+//! every thread count, and every tier-forcing mechanism.
+//!
+//! Each case compares three computations per kernel:
+//! 1. the kernel with the tier forced to naive (`with_tier`),
+//! 2. the kernel with the tier forced to tiled (`with_tier`),
+//! 3. a hand-written reference loop in this file with the naive
+//!    kernel's exact accumulation order (ascending `k` from `0.0`,
+//!    skipping `a == 0.0` terms).
+//!
+//! CI additionally runs this suite under both `GCWC_KERNEL_TIER`
+//! values; the environment outranks `with_tier`, so under forcing the
+//! first two computations collapse to one tier — the reference loop
+//! (3) keeps the comparison meaningful either way.
+//!
+//! Sizes deliberately straddle the 4×8 tile (n ∈ {1, 7, 96, 171, 301},
+//! none a multiple of the tile width) and run at 1 and 4 threads.
+
+use gcwc_linalg::parallel::with_threads;
+use gcwc_linalg::tile::{with_tier, KernelTier};
+use gcwc_linalg::{CsrMatrix, Matrix};
+use proptest::prelude::*;
+
+const SIZES: [usize; 5] = [1, 7, 96, 171, 301];
+const THREADS: [usize; 2] = [1, 4];
+/// Inner dimension for the dense cases; not a multiple of 4 or 8.
+const KDIM: usize = 9;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic matrix with sign changes and ~1/7 exact zeros so the
+/// kernels' zero-skip path is exercised.
+fn gen(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed;
+    Matrix::from_fn(rows, cols, |_, _| {
+        let h = splitmix(&mut state);
+        if h.is_multiple_of(7) {
+            0.0
+        } else {
+            ((h >> 11) as f64 / (1u64 << 53) as f64 - 0.0005) * 3.7
+        }
+    })
+}
+
+/// Banded sparse n×n matrix with irregular per-row nnz (0–3 entries).
+fn gen_csr(n: usize, seed: u64) -> CsrMatrix {
+    let mut state = seed;
+    let mut triplets = Vec::new();
+    for i in 0..n {
+        for d in 0..(i % 4) {
+            let col = (i + d * 5) % n;
+            let h = splitmix(&mut state);
+            let v = ((h >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 2.1;
+            if v != 0.0 {
+                triplets.push((i, col, v));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(n, n, triplets)
+}
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Reference `a · b` with the naive kernel's accumulation order.
+fn ref_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let av = a[(i, k)];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                out[(i, j)] += av * b[(k, j)];
+            }
+        }
+    }
+    out
+}
+
+/// Reference `a · bᵀ` with the naive kernel's accumulation order.
+fn ref_matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        for j in 0..b.rows() {
+            let mut acc = 0.0;
+            for k in 0..a.cols() {
+                let av = a[(i, k)];
+                if av == 0.0 {
+                    continue;
+                }
+                acc += av * b[(j, k)];
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
+/// Reference `aᵀ · b` with the naive kernel's accumulation order.
+fn ref_matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    for k in 0..a.rows() {
+        for i in 0..a.cols() {
+            let av = a[(k, i)];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                out[(i, j)] += av * b[(k, j)];
+            }
+        }
+    }
+    out
+}
+
+/// Reference sparse × dense in CSR entry order.
+fn ref_csr_matmul(m: &CsrMatrix, rhs: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), rhs.cols());
+    for i in 0..m.rows() {
+        for (c, v) in m.row_entries(i) {
+            for j in 0..rhs.cols() {
+                out[(i, j)] += v * rhs[(c, j)];
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn matmul_tiers_bit_identical(
+        n_idx in 0usize..SIZES.len(),
+        t_idx in 0usize..THREADS.len(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let n = SIZES[n_idx];
+        let a = gen(n, KDIM, seed);
+        let b = gen(KDIM, n, seed ^ 1);
+        let reference = ref_matmul(&a, &b);
+        with_threads(THREADS[t_idx], || {
+            let naive = with_tier(KernelTier::Naive, || a.matmul(&b));
+            let tiled = with_tier(KernelTier::Tiled, || a.matmul(&b));
+            prop_assert_eq!(bits(&naive), bits(&reference), "naive vs reference, n={}", n);
+            prop_assert_eq!(bits(&tiled), bits(&reference), "tiled vs reference, n={}", n);
+
+            let mut out = Matrix::filled(n, n, f64::NAN); // stale buffer
+            with_tier(KernelTier::Tiled, || a.matmul_into(&b, &mut out));
+            prop_assert_eq!(bits(&out), bits(&reference), "tiled matmul_into, n={}", n);
+            Ok(())
+        })?;
+    }
+
+    #[test]
+    fn matmul_nt_into_tiers_bit_identical(
+        n_idx in 0usize..SIZES.len(),
+        t_idx in 0usize..THREADS.len(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let n = SIZES[n_idx];
+        let a = gen(n, KDIM, seed);
+        let c = gen(n, KDIM, seed ^ 2);
+        let reference = ref_matmul_nt(&a, &c);
+        with_threads(THREADS[t_idx], || {
+            let mut naive = Matrix::filled(n, n, f64::NAN);
+            let mut tiled = Matrix::filled(n, n, f64::NAN);
+            with_tier(KernelTier::Naive, || a.matmul_nt_into(&c, &mut naive));
+            with_tier(KernelTier::Tiled, || a.matmul_nt_into(&c, &mut tiled));
+            prop_assert_eq!(bits(&naive), bits(&reference), "naive vs reference, n={}", n);
+            prop_assert_eq!(bits(&tiled), bits(&reference), "tiled vs reference, n={}", n);
+            Ok(())
+        })?;
+    }
+
+    #[test]
+    fn matmul_tn_into_tiers_bit_identical(
+        n_idx in 0usize..SIZES.len(),
+        t_idx in 0usize..THREADS.len(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let n = SIZES[n_idx];
+        let a = gen(KDIM, n, seed ^ 3);
+        let b = gen(KDIM, n, seed ^ 4);
+        let reference = ref_matmul_tn(&a, &b);
+        with_threads(THREADS[t_idx], || {
+            let mut naive = Matrix::filled(n, n, f64::NAN);
+            let mut tiled = Matrix::filled(n, n, f64::NAN);
+            with_tier(KernelTier::Naive, || a.matmul_tn_into(&b, &mut naive));
+            with_tier(KernelTier::Tiled, || a.matmul_tn_into(&b, &mut tiled));
+            prop_assert_eq!(bits(&naive), bits(&reference), "naive vs reference, n={}", n);
+            prop_assert_eq!(bits(&tiled), bits(&reference), "tiled vs reference, n={}", n);
+            Ok(())
+        })?;
+    }
+
+    #[test]
+    fn csr_matmul_dense_into_tiers_bit_identical(
+        n_idx in 0usize..SIZES.len(),
+        t_idx in 0usize..THREADS.len(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let n = SIZES[n_idx];
+        let m = gen_csr(n, seed ^ 5);
+        let rhs = gen(n, 8, seed ^ 6);
+        let reference = ref_csr_matmul(&m, &rhs);
+        with_threads(THREADS[t_idx], || {
+            let mut naive = Matrix::filled(n, 8, f64::NAN);
+            let mut tiled = Matrix::filled(n, 8, f64::NAN);
+            with_tier(KernelTier::Naive, || m.matmul_dense_into(&rhs, &mut naive));
+            with_tier(KernelTier::Tiled, || m.matmul_dense_into(&rhs, &mut tiled));
+            prop_assert_eq!(bits(&naive), bits(&reference), "naive vs reference, n={}", n);
+            prop_assert_eq!(bits(&tiled), bits(&reference), "tiled vs reference, n={}", n);
+
+            // The fused Chebyshev step must reorder rows identically.
+            let prev = gen(n, 8, seed ^ 7);
+            let mut step_n = Matrix::filled(n, 8, f64::NAN);
+            let mut step_t = Matrix::filled(n, 8, f64::NAN);
+            with_tier(KernelTier::Naive, || m.cheb_step_into(&rhs, &prev, &mut step_n));
+            with_tier(KernelTier::Tiled, || m.cheb_step_into(&rhs, &prev, &mut step_t));
+            prop_assert_eq!(bits(&step_n), bits(&step_t), "cheb_step_into tiers, n={}", n);
+            Ok(())
+        })?;
+    }
+}
