@@ -2,11 +2,15 @@
 //!
 //! Trains a tiny A-GCWC, saves it through the versioned checkpoint
 //! format, loads it into a `gcwc-serve` engine, and drives the full
-//! serving stack twice: in-process (the zero-allocation path) and over
-//! TCP (the text protocol). Reports requests/s and p50/p99 latency per
+//! serving stack: in-process (the zero-allocation path), over TCP with
+//! the text debug protocol, over TCP with the length-prefixed binary
+//! protocol (sequential and pipelined), and a connection-scaling sweep
+//! that measures throughput while thousands of idle connections are
+//! parked on the reactor. Reports requests/s and p50/p99 latency per
 //! phase plus cache statistics and allocations/request, and asserts
 //! the invariants the CI step depends on: non-zero cache hits,
-//! bit-identical responses, and a (generous) p99 latency bound.
+//! bit-identical responses, a (generous) p99 latency bound, and
+//! pipelined binary throughput at least 2x the text protocol.
 //!
 //! `allocs_per_request` is live only when the binary installs
 //! [`crate::allocs::CountingAlloc`] (the `count-allocs` feature);
@@ -17,7 +21,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gcwc::{build_samples, AGcwcModel, CompletionModel, ModelConfig, TaskKind, TrainSample};
-use gcwc_serve::{AnyModel, Engine, EngineConfig, Server, TcpClient};
+use gcwc_serve::{AnyModel, BinClient, Engine, EngineConfig, Server, ServerConfig, TcpClient};
 use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
 
 use crate::allocs;
@@ -38,6 +42,27 @@ pub struct PhaseStats {
     pub allocs_per_request: u64,
 }
 
+/// One point of the connection-scaling sweep: throughput on a single
+/// active connection while `idle_conns` others sit parked on the
+/// reactor.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnScalePoint {
+    /// Idle connections held open during the measurement.
+    pub idle_conns: usize,
+    /// In-flight requests kept pipelined on the active connection.
+    pub pipeline_depth: usize,
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests per second (wall clock).
+    pub requests_per_sec: f64,
+    /// 99th-percentile per-response latency in nanoseconds (batch
+    /// completion time for pipelined depths).
+    pub p99_ns: u64,
+    /// OS threads in the process during the measurement — the point
+    /// of the sweep: it must not grow with connections.
+    pub threads: u64,
+}
+
 /// Full serve-bench result.
 #[derive(Clone, Debug)]
 pub struct ServeBenchReport {
@@ -46,8 +71,16 @@ pub struct ServeBenchReport {
     pub in_process: PhaseStats,
     /// Repeat-context phase (every request a cache hit).
     pub cached: PhaseStats,
-    /// TCP phase (text protocol over loopback).
+    /// TCP phase, text debug protocol over loopback.
     pub tcp: PhaseStats,
+    /// TCP phase, binary protocol, one request in flight.
+    pub tcp_binary: PhaseStats,
+    /// TCP phase, binary protocol, 16 requests pipelined.
+    pub tcp_pipelined: PhaseStats,
+    /// Pipelined binary throughput over text throughput.
+    pub binary_speedup_vs_text: f64,
+    /// Throughput vs. parked idle connections.
+    pub conn_scaling: Vec<ConnScalePoint>,
     /// Engine cache hits observed.
     pub cache_hits: u64,
     /// Engine cache misses observed.
@@ -82,6 +115,30 @@ fn phase_from(ns: &mut [u64], total_ns: u64, allocs_per_request: u64) -> PhaseSt
     }
 }
 
+/// Like [`phase_from`] for pipelined phases, where `ns` holds one
+/// per-request sample per *window* but throughput must count every
+/// request moved — not every window.
+fn pipelined_phase(ns: &mut [u64], total_ns: u64, requests: u64) -> PhaseStats {
+    let mut p = phase_from(ns, total_ns, 0);
+    p.requests = requests;
+    p.requests_per_sec =
+        if total_ns == 0 { 0.0 } else { requests as f64 * 1.0e9 / total_ns as f64 };
+    p
+}
+
+/// OS threads in this process (`/proc/self/status`), 0 off-Linux.
+fn os_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
 fn tiny_trained_model() -> (gcwc_traffic::NetworkInstance, Vec<TrainSample>, AGcwcModel) {
     let hw = generators::highway_tollgate(1);
     let sim = SimConfig {
@@ -97,6 +154,38 @@ fn tiny_trained_model() -> (gcwc_traffic::NetworkInstance, Vec<TrainSample>, AGc
     let mut model = AGcwcModel::new(&hw.graph, 8, 16, ModelConfig::hw_hist().with_epochs(2), 42);
     model.fit(&samples[..8]);
     (hw, samples, model)
+}
+
+/// Drives `reqs` pipelined completions at the given depth over one
+/// binary connection; returns per-window latencies and total time.
+fn pipelined_run(
+    client: &mut BinClient,
+    pool: &[TrainSample],
+    depth: usize,
+    reqs: usize,
+) -> (Vec<u64>, u64) {
+    let mut ns = Vec::with_capacity(reqs / depth + 1);
+    let t0 = Instant::now();
+    let mut issued = 0usize;
+    while issued < reqs {
+        let window = depth.min(reqs - issued);
+        let t = Instant::now();
+        for k in 0..window {
+            let s = &pool[(issued + k) % pool.len()];
+            client
+                .send_complete(&s.input, s.context.time_of_day, s.context.day_of_week)
+                .expect("pipelined send");
+        }
+        for _ in 0..window {
+            let (_, result) = client.recv_response().expect("pipelined recv");
+            result.expect("pipelined completion");
+        }
+        // One latency sample per window keeps p99 comparable across
+        // depths (it is the time to move `window` responses).
+        ns.push(t.elapsed().as_nanos() as u64 / window as u64);
+        issued += window;
+    }
+    (ns, t0.elapsed().as_nanos() as u64)
 }
 
 /// Runs the serving benchmark end to end. Panics when a serving
@@ -197,9 +286,18 @@ pub fn run() -> ServeBenchReport {
     let stats = engine.stats();
     assert!(stats.cache_hits > 0, "serving must produce cache hits: {stats:?}");
 
-    // Phase 3: the TCP front end over loopback.
-    let mut server = Server::start(Arc::clone(&engine), "127.0.0.1:0").expect("bind server");
-    let mut tcp = TcpClient::connect(server.addr()).expect("connect");
+    // One server carries every TCP phase: binary on `addr()`, the
+    // text debug protocol on `text_addr()`.
+    let mut server = Server::start_with(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerConfig { text_port: Some(0), ..Default::default() },
+    )
+    .expect("bind server");
+    let text_addr = server.text_addr().expect("text port");
+
+    // Phase 3: the text debug protocol over loopback.
+    let mut tcp = TcpClient::connect(text_addr).expect("connect");
     assert!(tcp.ping().expect("ping"), "server must answer ping");
     let mut ns = Vec::with_capacity(100);
     let t0 = Instant::now();
@@ -215,6 +313,77 @@ pub fn run() -> ServeBenchReport {
     let total = t0.elapsed().as_nanos() as u64;
     let tcp_stats = phase_from(&mut ns, total, 0);
     tcp.quit().expect("quit");
+
+    // Phase 4: the binary protocol, one request in flight — and the
+    // responses must carry the exact bits the in-process path served.
+    let mut bin = BinClient::connect(server.addr()).expect("connect binary");
+    assert!(bin.ping().expect("ping"), "server must answer binary ping");
+    let mut ns = Vec::with_capacity(100);
+    let t0 = Instant::now();
+    for k in 0..100usize {
+        let s = &pool[k % pool.len()];
+        let t = Instant::now();
+        let resp = bin
+            .complete(&s.input, s.context.time_of_day, s.context.day_of_week)
+            .expect("binary request");
+        ns.push(t.elapsed().as_nanos() as u64);
+        if k % pool.len() == 0 {
+            let same = resp
+                .output
+                .as_slice()
+                .iter()
+                .zip(reference.as_ref().expect("phase 2 set it").iter())
+                .all(|(v, &b)| v.to_bits() == b);
+            assert!(same, "binary response must be bit-identical to in-process");
+        }
+    }
+    let total = t0.elapsed().as_nanos() as u64;
+    let tcp_binary = phase_from(&mut ns, total, 0);
+
+    // Phase 5: the binary protocol with 16 requests pipelined on one
+    // connection.
+    let (mut ns, total) = pipelined_run(&mut bin, pool, 16, 512);
+    let tcp_pipelined = pipelined_phase(&mut ns, total, 512);
+    let binary_speedup_vs_text = tcp_pipelined.requests_per_sec / tcp_stats.requests_per_sec;
+
+    // Phase 6: connection scaling — park idle binary connections on
+    // the reactor, then measure one active connection at pipeline
+    // depths 1 and 16. Throughput must not collapse and the process
+    // thread count must not grow with connections.
+    let fd_budget = gcwc_serve::sys::raise_nofile(25_000);
+    let mut conn_scaling = Vec::new();
+    let mut idle: Vec<BinClient> = Vec::new();
+    for &target in &[1usize, 64, 1_000, 10_000] {
+        // Leave headroom for the server side of each idle socket plus
+        // the active client and incidental fds.
+        let reachable = target.min((fd_budget.saturating_sub(200) / 2) as usize);
+        while idle.len() < reachable {
+            idle.push(BinClient::connect(server.addr()).expect("idle connect"));
+        }
+        // One ping round-trip proves the newest connection is
+        // registered before measuring.
+        if let Some(last) = idle.last_mut() {
+            assert!(last.ping().expect("idle ping"));
+        }
+        for depth in [1usize, 16] {
+            let reqs = if depth == 1 { 100 } else { 320 };
+            let (mut ns, total) = pipelined_run(&mut bin, pool, depth, reqs);
+            let p = pipelined_phase(&mut ns, total, reqs as u64);
+            conn_scaling.push(ConnScalePoint {
+                idle_conns: idle.len(),
+                pipeline_depth: depth,
+                requests: reqs as u64,
+                requests_per_sec: p.requests_per_sec,
+                p99_ns: p.p99_ns,
+                threads: os_threads(),
+            });
+        }
+        if reachable < target {
+            break; // fd budget exhausted; larger points unreachable
+        }
+    }
+    drop(idle);
+    bin.quit().expect("quit binary");
     server.stop();
     engine.shutdown();
 
@@ -224,12 +393,24 @@ pub fn run() -> ServeBenchReport {
     const P99_BOUND_NS: u64 = 500_000_000;
     assert!(in_process.p99_ns < P99_BOUND_NS, "in-process p99 too high: {in_process:?}");
     assert!(tcp_stats.p99_ns < P99_BOUND_NS, "tcp p99 too high: {tcp_stats:?}");
+    assert!(tcp_binary.p99_ns < P99_BOUND_NS, "binary p99 too high: {tcp_binary:?}");
+    assert!(
+        binary_speedup_vs_text >= 2.0,
+        "pipelined binary must be at least 2x the text protocol: {binary_speedup_vs_text:.2}x \
+         (text {:.0} req/s, pipelined {:.0} req/s)",
+        tcp_stats.requests_per_sec,
+        tcp_pipelined.requests_per_sec
+    );
 
     let final_stats = engine.stats();
     ServeBenchReport {
         in_process,
         cached,
         tcp: tcp_stats,
+        tcp_binary,
+        tcp_pipelined,
+        binary_speedup_vs_text,
+        conn_scaling,
         cache_hits: final_stats.cache_hits,
         cache_misses: final_stats.cache_misses,
         batches: final_stats.batches,
@@ -245,11 +426,30 @@ pub fn render(r: &ServeBenchReport) -> String {
         "{:<14}{:>10}{:>14}{:>14}{:>14}{:>16}",
         "phase", "requests", "req/s", "p50 ns", "p99 ns", "allocs/request"
     );
-    for (name, p) in [("in_process", &r.in_process), ("cached", &r.cached), ("tcp", &r.tcp)] {
+    for (name, p) in [
+        ("in_process", &r.in_process),
+        ("cached", &r.cached),
+        ("tcp_text", &r.tcp),
+        ("tcp_binary", &r.tcp_binary),
+        ("tcp_pipe16", &r.tcp_pipelined),
+    ] {
         let _ = writeln!(
             s,
             "{:<14}{:>10}{:>14.0}{:>14}{:>14}{:>16}",
             name, p.requests, p.requests_per_sec, p.p50_ns, p.p99_ns, p.allocs_per_request
+        );
+    }
+    let _ = writeln!(s, "binary pipelined vs text: {:.1}x", r.binary_speedup_vs_text);
+    let _ = writeln!(
+        s,
+        "{:<14}{:>8}{:>10}{:>14}{:>14}{:>10}",
+        "conn scaling", "idle", "depth", "req/s", "p99 ns", "threads"
+    );
+    for p in &r.conn_scaling {
+        let _ = writeln!(
+            s,
+            "{:<14}{:>8}{:>10}{:>14.0}{:>14}{:>10}",
+            "", p.idle_conns, p.pipeline_depth, p.requests_per_sec, p.p99_ns, p.threads
         );
     }
     let _ = writeln!(
@@ -281,6 +481,22 @@ pub fn to_json(r: &ServeBenchReport) -> String {
     s.push_str(",\n");
     phase(&mut s, "tcp", &r.tcp);
     s.push_str(",\n");
+    phase(&mut s, "tcp_binary", &r.tcp_binary);
+    s.push_str(",\n");
+    phase(&mut s, "tcp_pipelined", &r.tcp_pipelined);
+    s.push_str(",\n");
+    let _ = writeln!(s, "  \"binary_speedup_vs_text\": {:.2},", r.binary_speedup_vs_text);
+    s.push_str("  \"connection_scaling\": [\n");
+    for (i, p) in r.conn_scaling.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"idle_conns\": {}, \"pipeline_depth\": {}, \"requests\": {}, \
+             \"requests_per_sec\": {:.1}, \"p99_ns\": {}, \"threads\": {}}}",
+            p.idle_conns, p.pipeline_depth, p.requests, p.requests_per_sec, p.p99_ns, p.threads
+        );
+        s.push_str(if i + 1 < r.conn_scaling.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
     let _ = writeln!(
         s,
         "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"batches\": {}}},",

@@ -170,12 +170,38 @@ impl ResponseSlot {
     }
 }
 
-/// A queued request with its owner's buffers and response slot.
+/// Callback invoked with a request's result. Used by the TCP reactor:
+/// the hook enqueues the finished completion and wakes the event loop
+/// (an `eventfd`), instead of a client thread blocking on a slot.
+pub type CompletionHook = Box<dyn FnOnce(Result<Completion, ServeError>) + Send + 'static>;
+
+/// Where a finished job delivers its result: a rendezvous slot a
+/// caller thread waits on (the in-process [`Client`] path, allocation
+/// free) or a one-shot hook (the reactor path).
+enum Responder {
+    Slot(Arc<ResponseSlot>),
+    Hook(Option<CompletionHook>),
+}
+
+impl Responder {
+    fn deliver(&mut self, result: Result<Completion, ServeError>) {
+        match self {
+            Responder::Slot(slot) => slot.fulfill(result),
+            Responder::Hook(hook) => {
+                if let Some(hook) = hook.take() {
+                    hook(result);
+                }
+            }
+        }
+    }
+}
+
+/// A queued request with its owner's buffers and response target.
 ///
 /// Drop is the containment safety-net: a job torn down *unanswered*
-/// (its worker died mid-batch) fulfils its slot with
-/// [`ServeError::ShardRestarting`], so a waiting client can never
-/// hang on a killed worker.
+/// (its worker died mid-batch) delivers
+/// [`ServeError::ShardRestarting`], so a waiting client (or reactor
+/// connection) can never hang on a killed worker.
 struct Job {
     input: Matrix,
     out_buf: Matrix,
@@ -183,23 +209,34 @@ struct Job {
     day_of_week: usize,
     deadline: Option<Instant>,
     degraded: bool,
-    slot: Arc<ResponseSlot>,
+    responder: Responder,
     answered: bool,
 }
 
 impl Job {
     fn respond(mut self, result: Result<Completion, ServeError>) {
         self.answered = true;
-        self.slot.fulfill(result);
+        self.responder.deliver(result);
     }
 }
 
 impl Drop for Job {
     fn drop(&mut self) {
         if !self.answered {
-            self.slot.fulfill(Err(ServeError::ShardRestarting));
+            self.responder.deliver(Err(ServeError::ShardRestarting));
         }
     }
+}
+
+/// A refused [`Engine::submit`]: the typed error plus the request's
+/// buffers, handed back so the reactor can reuse them.
+pub struct SubmitError {
+    /// Why the submission was refused.
+    pub error: ServeError,
+    /// The caller's input buffer, returned for reuse.
+    pub input: Matrix,
+    /// The caller's output buffer, returned for reuse.
+    pub out_buf: Matrix,
 }
 
 /// Monotonic request counters.
@@ -639,6 +676,77 @@ impl Engine {
         &self.inner.registry
     }
 
+    /// Worker threads serving the queue. The TCP reactor requires at
+    /// least one: it never drains the queue inline.
+    pub fn worker_count(&self) -> usize {
+        self.workers.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// The `(rows, cols)` every request input must have.
+    pub fn input_shape(&self) -> (usize, usize) {
+        let s = self.inner.registry.snapshot();
+        (s.num_edges(), s.num_buckets())
+    }
+
+    /// The `(rows, cols)` of a completed response.
+    pub fn output_shape(&self) -> (usize, usize) {
+        let s = self.inner.registry.snapshot();
+        (s.num_edges(), s.output_cols())
+    }
+
+    /// Enqueues a request whose result is delivered through `hook`
+    /// instead of a blocking receive — the submission path of the TCP
+    /// reactor, which must never park a thread per request. The hook
+    /// runs on the worker thread that finishes the job (or, for a
+    /// killed worker, inside the Drop guard), so it should only hand
+    /// the result off — the reactor's hook pushes onto a completion
+    /// queue and wakes its `eventfd`.
+    ///
+    /// Backpressure is synchronous: a full queue returns the buffers
+    /// inside [`SubmitError`] *without* invoking the hook, so the
+    /// caller can answer `Overloaded` inline and reuse the matrices.
+    pub fn submit(
+        &self,
+        input: Matrix,
+        out_buf: Matrix,
+        time_of_day: usize,
+        day_of_week: usize,
+        deadline: Option<Instant>,
+        hook: CompletionHook,
+    ) -> Result<(), SubmitError> {
+        let deadline =
+            deadline.or_else(|| self.inner.cfg.default_deadline.map(|d| Instant::now() + d));
+        let job = Job {
+            input,
+            out_buf,
+            time_of_day,
+            day_of_week,
+            deadline,
+            degraded: false,
+            responder: Responder::Hook(Some(hook)),
+            answered: false,
+        };
+        let reclaim = |mut job: Job, error: ServeError| {
+            job.answered = true; // caller reports the error itself
+            SubmitError {
+                error,
+                input: std::mem::replace(&mut job.input, Matrix::zeros(0, 0)),
+                out_buf: std::mem::replace(&mut job.out_buf, Matrix::zeros(0, 0)),
+            }
+        };
+        match self.inner.queue.try_push(job) {
+            Ok(()) => {
+                self.inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(PushError::Full(job)) => {
+                self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(reclaim(job, ServeError::Overloaded))
+            }
+            Err(PushError::Closed(job)) => Err(reclaim(job, ServeError::ShuttingDown)),
+        }
+    }
+
     /// Drains every currently queued request inline on the calling
     /// thread, batching up to `max_batch` per forward pass. This is
     /// the serving path when `workers == 0` (deterministic batching);
@@ -774,7 +882,7 @@ impl Client {
             day_of_week,
             deadline,
             degraded: false,
-            slot: Arc::clone(&self.slot),
+            responder: Responder::Slot(Arc::clone(&self.slot)),
             answered: false,
         }
     }

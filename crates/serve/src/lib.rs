@@ -18,17 +18,21 @@
 //! keys embed the shard's own generation, so hot-swapping one shard
 //! invalidates exactly that shard's entries.
 //!
-//! The crate is dependency-free (std only): the TCP front end speaks a
-//! newline-delimited text protocol over [`std::net::TcpListener`], and
-//! in-process callers use [`Client`] directly — the latter path
-//! performs zero heap allocations per request once warm.
+//! The crate is dependency-free (std plus a thin epoll shim declared
+//! straight against the C library — see [`sys`]): the TCP front end is
+//! a single reactor thread multiplexing every connection, speaking a
+//! length-prefixed binary protocol ([`wire`]) with request pipelining,
+//! plus an optional newline-delimited text debug port ([`protocol`]).
+//! In-process callers use [`Client`] directly — that path performs
+//! zero heap allocations per request once warm.
 //!
 //! ```text
 //! checkpoint ─▶ ModelRegistry ─▶ snapshot
 //!                                   │
 //! Client ─▶ BoundedQueue ─▶ worker ─┼▶ CompletionCache ──▶ response
 //!   ▲                               └▶ batched infer ─┘
-//!   └────────── TCP front end (newline-delimited text)
+//!   ├───── epoll reactor ── binary frames (pipelined, bit-exact)
+//!   └───── epoll reactor ── text debug port (newline-delimited)
 //! ```
 
 #![warn(missing_docs)]
@@ -40,13 +44,18 @@ pub mod protocol;
 pub mod queue;
 pub mod registry;
 pub mod server;
+pub mod sys;
+pub mod wire;
 
 pub use cache::{CacheKey, CompletionCache};
-pub use engine::{Client, Completion, Engine, EngineConfig, RetryPolicy, StatsSnapshot};
+pub use engine::{
+    Client, Completion, CompletionHook, Engine, EngineConfig, RetryPolicy, StatsSnapshot,
+    SubmitError,
+};
 pub use health::{Admission, BreakerConfig, ShardHealth};
 pub use queue::BoundedQueue;
 pub use registry::{AnyModel, ModelRegistry, ModelShard, ModelSnapshot};
-pub use server::{Server, TcpClient};
+pub use server::{BinClient, Server, ServerConfig, TcpClient};
 
 use gcwc_linalg::Matrix;
 
@@ -60,10 +69,19 @@ pub mod failsite {
     pub const WORKER_LOOP: &str = "serve.worker.loop";
     /// Accept loop: a triggered site drops the fresh connection.
     pub const ACCEPT: &str = "serve.server.accept";
-    /// Connection read path: a triggered site closes the connection.
+    /// Text-connection read path: a triggered site closes the
+    /// connection.
     pub const READ: &str = "serve.server.read";
     /// Connection write path: a triggered site closes the connection.
     pub const WRITE: &str = "serve.server.write";
+    /// Reactor event-loop tick: a triggered (or panicking) site skips
+    /// one batch of readiness events. Level-triggered epoll
+    /// re-delivers them, so a skipped tick delays work but never
+    /// loses it.
+    pub const REACTOR_TICK: &str = "serve.reactor.tick";
+    /// Binary-connection read path: a triggered site tears the
+    /// connection down mid-session (peer-reset injection).
+    pub const CONN_READ: &str = "serve.conn.read";
     /// Checkpoint load into a shard: `err` fails the load (the old
     /// snapshot keeps serving).
     pub const REGISTRY_LOAD: &str = "serve.registry.load";

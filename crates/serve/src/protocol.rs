@@ -252,8 +252,9 @@ pub fn parse_complete_response(line: &str) -> Result<OkResponse, ServeError> {
     }
 }
 
-/// Maps a wire error code back onto a [`ServeError`].
-fn remote_error(code: &str, message: &str) -> ServeError {
+/// Maps a wire error code back onto a [`ServeError`] (shared by the
+/// text response parser and the binary codec in [`crate::wire`]).
+pub(crate) fn remote_error(code: &str, message: &str) -> ServeError {
     match code {
         "overloaded" => ServeError::Overloaded,
         "deadline" => ServeError::DeadlineExceeded,

@@ -1,101 +1,210 @@
-//! std-only TCP front end: a non-blocking accept loop handing each
-//! connection to a thread that owns its own in-process [`Client`].
+//! Readiness-driven TCP front end: one reactor thread multiplexes
+//! every connection over epoll (see [`crate::sys`]), so a box holds
+//! tens of thousands of idle connections with **zero** threads parked
+//! per connection — the only threads are the reactor and the engine's
+//! own workers.
 //!
-//! [`Server::stop`] flips the shared running flag; the accept loop and
-//! every connection handler poll it (50 ms read timeout) and exit, and
-//! the engine's own [`crate::Engine::shutdown`] then drains whatever
-//! is still queued.
+//! Two listeners share the reactor and the engine:
+//!
+//! * the **binary** port (always on) speaks the length-prefixed frame
+//!   protocol of [`crate::wire`] with request pipelining — many
+//!   in-flight request ids per connection, responses completing out
+//!   of order as the batched engine finishes them;
+//! * an optional **text** port ([`ServerConfig::text_port`]) keeps the
+//!   newline-delimited debug protocol of [`crate::protocol`] alive,
+//!   one request at a time per connection.
+//!
+//! Requests are submitted through [`crate::Engine::submit`]: the
+//! completion hook pushes the finished result onto a queue and wakes
+//! the reactor's `eventfd`, so no thread ever blocks on a response.
+//! Connection state machines buffer partial frames across reads
+//! (frames may arrive one byte at a time) and partial responses
+//! across writes; per-connection buffers are hard-capped and in-flight
+//! requests per connection are bounded — beyond the bound the reactor
+//! simply stops reading that socket, pushing backpressure into TCP.
 
-use crate::engine::Engine;
+use crate::engine::{Completion, CompletionHook, Engine};
 use crate::protocol::{self, Request};
+use crate::sys::{Poller, Waker};
+use crate::wire::{self, Opcode};
 use crate::{failsite, ServeError};
 use gcwc_linalg::Matrix;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{ErrorKind, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::os::fd::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
-const POLL_INTERVAL: Duration = Duration::from_millis(10);
-const READ_TIMEOUT: Duration = Duration::from_millis(50);
-
-/// Largest request line accepted: the biggest admissible wire matrix
-/// plus generous room for the command head. Connections exceeding it
-/// are answered with an error and closed.
+/// Largest request line accepted on the text port (the biggest
+/// admissible wire matrix plus room for the command head).
 const MAX_LINE_BYTES: usize = protocol::MAX_WIRE_ELEMS * protocol::WIRE_ELEM_BYTES + 128;
+
+/// Receive-buffer hard cap per binary connection: one maximal frame
+/// plus a read burst. A peer that pushes more unparseable bytes than
+/// this (slowloris-style) is disconnected with a typed error.
+const BIN_RBUF_CAP: usize = wire::HEADER_LEN + wire::MAX_FRAME_PAYLOAD + (1 << 20);
+
+/// Receive-buffer hard cap per text connection.
+const TEXT_RBUF_CAP: usize = MAX_LINE_BYTES + (1 << 16);
+
+/// Send-buffer hard cap: a peer that stops reading while responses
+/// accumulate past this is disconnected (slow-reader protection).
+const WBUF_CAP: usize = 64 << 20;
+
+/// Reads drained per readiness event before yielding to other
+/// connections; leftovers are re-delivered (level-triggered).
+const MAX_READS_PER_EVENT: usize = 16;
+
+/// Spare matrices kept for reuse across requests.
+const POOL_CAP: usize = 64;
+
+const TOKEN_WAKER: u64 = u64::MAX;
+const TOKEN_BIN_LISTENER: u64 = u64::MAX - 1;
+const TOKEN_TEXT_LISTENER: u64 = u64::MAX - 2;
+
+/// Front-end tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// When set, also serve the newline-delimited text protocol on
+    /// this port (on the same IP as the binary listener; `0` picks an
+    /// ephemeral port — see [`Server::text_addr`]). `None` (the
+    /// default) serves the binary protocol only.
+    pub text_port: Option<u16>,
+    /// Maximum concurrent connections; beyond it fresh accepts are
+    /// dropped (the peer sees EOF and may retry).
+    pub max_conns: usize,
+    /// Maximum pipelined in-flight requests per connection; beyond it
+    /// the reactor stops reading that socket until responses drain.
+    pub max_inflight_per_conn: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { text_port: None, max_conns: 16_384, max_inflight_per_conn: 1_024 }
+    }
+}
+
+/// A finished request travelling from an engine worker back to the
+/// reactor.
+struct Done {
+    token: usize,
+    gen: u64,
+    request_id: u64,
+    result: Result<Completion, ServeError>,
+}
+
+/// State shared between the reactor thread, engine workers (through
+/// completion hooks), and the [`Server`] handle.
+struct Shared {
+    running: AtomicBool,
+    done: Mutex<Vec<Done>>,
+    waker: Waker,
+    open_conns: AtomicUsize,
+}
 
 /// A running TCP front end over an [`Engine`].
 pub struct Server {
     addr: SocketAddr,
-    running: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    text_addr: Option<SocketAddr>,
+    shared: Arc<Shared>,
+    reactor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts accepting connections against `engine`.
+    /// starts the binary front end against `engine` with the default
+    /// [`ServerConfig`].
     pub fn start<A: ToSocketAddrs>(engine: Arc<Engine>, addr: A) -> std::io::Result<Self> {
+        Self::start_with(engine, addr, ServerConfig::default())
+    }
+
+    /// Like [`Server::start`], with explicit tuning — notably
+    /// [`ServerConfig::text_port`] for the debug text protocol.
+    pub fn start_with<A: ToSocketAddrs>(
+        engine: Arc<Engine>,
+        addr: A,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Self> {
+        assert!(
+            engine.worker_count() > 0,
+            "the reactor front end needs engine workers to serve completions"
+        );
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let running = Arc::new(AtomicBool::new(true));
-        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let text_listener = match cfg.text_port {
+            Some(port) => {
+                let l = TcpListener::bind((addr.ip(), port))?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let text_addr = text_listener.as_ref().map(|l| l.local_addr()).transpose()?;
 
-        let accept_running = Arc::clone(&running);
-        let accept_conns = Arc::clone(&conn_threads);
-        let accept_thread = std::thread::Builder::new()
-            .name("gcwc-serve-accept".into())
-            .spawn(move || {
-                while accept_running.load(Ordering::Acquire) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            // Failpoint: a triggered accept drops the
-                            // fresh connection (the peer sees EOF and
-                            // may reconnect), as an overloaded or
-                            // fd-starved accept loop would.
-                            if gcwc_failpoint::triggered(failsite::ACCEPT) {
-                                drop(stream);
-                                continue;
-                            }
-                            let engine = Arc::clone(&engine);
-                            let running = Arc::clone(&accept_running);
-                            let handle = std::thread::Builder::new()
-                                .name("gcwc-serve-conn".into())
-                                .spawn(move || handle_connection(engine, stream, running))
-                                .expect("spawn connection handler");
-                            let mut conns = accept_conns.lock().unwrap();
-                            reap_finished(&mut conns);
-                            conns.push(handle);
-                        }
-                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                            reap_finished(&mut accept_conns.lock().unwrap());
-                            std::thread::sleep(POLL_INTERVAL);
-                        }
-                        Err(_) => break,
-                    }
-                }
-            })
-            .expect("spawn accept loop");
+        let poller = Poller::new()?;
+        let waker = Waker::new()?;
+        poller.add(waker.fd(), TOKEN_WAKER, true, false)?;
+        poller.add(listener.as_raw_fd(), TOKEN_BIN_LISTENER, true, false)?;
+        if let Some(l) = &text_listener {
+            poller.add(l.as_raw_fd(), TOKEN_TEXT_LISTENER, true, false)?;
+        }
 
-        Ok(Self { addr, running, accept_thread: Some(accept_thread), conn_threads })
+        let shared = Arc::new(Shared {
+            running: AtomicBool::new(true),
+            done: Mutex::new(Vec::new()),
+            waker,
+            open_conns: AtomicUsize::new(0),
+        });
+        let (in_shape, out_shape) = (engine.input_shape(), engine.output_shape());
+        let mut reactor = Reactor {
+            engine,
+            shared: Arc::clone(&shared),
+            poller,
+            listener,
+            text_listener,
+            cfg,
+            slots: Vec::new(),
+            free: Vec::new(),
+            in_shape,
+            out_shape,
+            spare_inputs: Vec::new(),
+            spare_outputs: Vec::new(),
+            scratch: vec![0u8; 64 << 10],
+            text_buf: String::new(),
+        };
+        let handle = std::thread::Builder::new()
+            .name("gcwc-serve-reactor".into())
+            .spawn(move || reactor.run())
+            .expect("spawn reactor");
+
+        Ok(Self { addr, text_addr, shared, reactor: Some(handle) })
     }
 
-    /// The bound address (useful with ephemeral ports).
+    /// The bound binary-protocol address (useful with ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// Stops accepting, winds down connection handlers, and joins all
-    /// server threads. Does **not** shut the engine down — call
+    /// The bound text-protocol address, when
+    /// [`ServerConfig::text_port`] was set.
+    pub fn text_addr(&self) -> Option<SocketAddr> {
+        self.text_addr
+    }
+
+    /// Connections currently held by the reactor (both protocols).
+    pub fn open_connections(&self) -> usize {
+        self.shared.open_conns.load(Ordering::Acquire)
+    }
+
+    /// Stops the reactor, closing every connection, and joins it.
+    /// Does **not** shut the engine down — call
     /// [`crate::Engine::shutdown`] after this for a full drain.
     pub fn stop(&mut self) {
-        self.running.store(false, Ordering::Release);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
-        let handles: Vec<_> = self.conn_threads.lock().unwrap().drain(..).collect();
-        for handle in handles {
+        self.shared.running.store(false, Ordering::Release);
+        self.shared.waker.wake();
+        if let Some(handle) = self.reactor.take() {
             let _ = handle.join();
         }
     }
@@ -107,137 +216,676 @@ impl Drop for Server {
     }
 }
 
-/// Joins and drops every finished connection handler so the handle
-/// list stays bounded under connection churn.
-fn reap_finished(conns: &mut Vec<std::thread::JoinHandle<()>>) {
-    let mut i = 0;
-    while i < conns.len() {
-        if conns[i].is_finished() {
-            let _ = conns.swap_remove(i).join();
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    /// True for connections accepted on the text listener.
+    text: bool,
+    rbuf: Vec<u8>,
+    /// Consumed prefix of `rbuf` (compacted after each process pass).
+    rstart: usize,
+    wbuf: Vec<u8>,
+    /// Written prefix of `wbuf`.
+    wstart: usize,
+    /// Requests submitted to the engine and not yet answered.
+    in_flight: usize,
+    /// Read interest withdrawn (in-flight cap reached).
+    gated: bool,
+    /// Write interest registered (partial response pending).
+    want_write: bool,
+    /// No further requests are parsed (peer EOF or `quit`); close
+    /// once in-flight responses are delivered and flushed.
+    draining: bool,
+    /// Framing is broken; close as soon as `wbuf` flushes, without
+    /// waiting for in-flight responses.
+    fatal: bool,
+    /// Tear down now (I/O error, failpoint, slow reader).
+    dead: bool,
+    /// Text connections serve strictly in order: a submitted
+    /// `complete` blocks parsing of further lines until answered.
+    text_waiting: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, text: bool) -> Self {
+        Self {
+            stream,
+            text,
+            rbuf: Vec::new(),
+            rstart: 0,
+            wbuf: Vec::new(),
+            wstart: 0,
+            in_flight: 0,
+            gated: false,
+            want_write: false,
+            draining: false,
+            fatal: false,
+            dead: false,
+            text_waiting: false,
+        }
+    }
+
+    fn flushed(&self) -> bool {
+        self.wstart >= self.wbuf.len()
+    }
+
+    fn rbuf_cap(&self) -> usize {
+        if self.text {
+            TEXT_RBUF_CAP
         } else {
-            i += 1;
+            BIN_RBUF_CAP
         }
     }
 }
 
-fn handle_connection(engine: Arc<Engine>, stream: TcpStream, running: Arc<AtomicBool>) {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut client = engine.client();
-    let mut line = String::new();
-    let mut response = String::new();
+/// Slab entry: the generation guards completions against fd/token
+/// reuse — a response for a closed connection whose slot was handed
+/// to a newcomer must be dropped, not delivered.
+struct Slot {
+    gen: u64,
+    conn: Option<Conn>,
+}
 
-    while running.load(Ordering::Acquire) {
-        // `read_line` may time out with partial bytes already appended
-        // to `line` (a request fragmented across a >READ_TIMEOUT gap);
-        // the buffer is only cleared after a complete line is handled,
-        // so those bytes survive the retry instead of being dropped.
+struct Reactor {
+    engine: Arc<Engine>,
+    shared: Arc<Shared>,
+    poller: Poller,
+    listener: TcpListener,
+    text_listener: Option<TcpListener>,
+    cfg: ServerConfig,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    in_shape: (usize, usize),
+    out_shape: (usize, usize),
+    spare_inputs: Vec<Matrix>,
+    spare_outputs: Vec<Matrix>,
+    scratch: Vec<u8>,
+    text_buf: String,
+}
+
+/// Builds the hook an engine worker runs when a reactor-submitted
+/// request finishes: enqueue the result, wake the event loop.
+fn completion_hook(
+    shared: &Arc<Shared>,
+    token: usize,
+    gen: u64,
+    request_id: u64,
+) -> CompletionHook {
+    let shared = Arc::clone(shared);
+    Box::new(move |result| {
+        let mut done = shared.done.lock().unwrap_or_else(PoisonError::into_inner);
+        done.push(Done { token, gen, request_id, result });
+        drop(done);
+        shared.waker.wake();
+    })
+}
+
+impl Reactor {
+    fn run(&mut self) {
+        let mut events = Vec::new();
+        while self.shared.running.load(Ordering::Acquire) {
+            if self.poller.wait(&mut events, -1).is_err() {
+                break;
+            }
+            // Failpoint: a triggered (or panicking) tick drops this
+            // batch of events. Registration is level-triggered, so
+            // every skipped readiness — including the waker, which
+            // stays readable until drained — is re-delivered by the
+            // next wait: a lost tick delays work, never loses it.
+            let tick = catch_unwind(AssertUnwindSafe(|| {
+                gcwc_failpoint::triggered(failsite::REACTOR_TICK)
+            }));
+            if !matches!(tick, Ok(false)) {
+                continue;
+            }
+            for i in 0..events.len() {
+                let ev = events[i];
+                match ev.token {
+                    TOKEN_WAKER => {
+                        self.shared.waker.drain();
+                        self.drain_done();
+                    }
+                    TOKEN_BIN_LISTENER => self.accept(false),
+                    TOKEN_TEXT_LISTENER => self.accept(true),
+                    token => self.conn_event(token as usize, ev.readable, ev.writable, ev.hangup),
+                }
+            }
+        }
+        // Teardown: close every connection (peers see EOF). In-flight
+        // completions still fire their hooks; `drain_done` never runs
+        // again, but the results are only dropped, never leaked.
+        for idx in 0..self.slots.len() {
+            if self.slots[idx].conn.is_some() {
+                self.close_conn(idx);
+            }
+        }
+    }
+
+    fn accept(&mut self, text: bool) {
+        loop {
+            let listener = if text {
+                self.text_listener.as_ref().expect("text event without text listener")
+            } else {
+                &self.listener
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Failpoint: a triggered accept drops the fresh
+                    // connection (the peer sees EOF and may
+                    // reconnect), as an fd-starved accept would.
+                    if gcwc_failpoint::triggered(failsite::ACCEPT) {
+                        continue;
+                    }
+                    if self.free.is_empty() && self.slots.len() >= self.cfg.max_conns {
+                        continue; // at capacity: drop (peer sees EOF)
+                    }
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let idx = self.free.pop().unwrap_or_else(|| {
+                        self.slots.push(Slot { gen: 0, conn: None });
+                        self.slots.len() - 1
+                    });
+                    if self.poller.add(stream.as_raw_fd(), idx as u64, true, false).is_err() {
+                        self.free.push(idx);
+                        continue;
+                    }
+                    self.slots[idx].conn = Some(Conn::new(stream, text));
+                    self.shared.open_conns.fetch_add(1, Ordering::AcqRel);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn conn_event(&mut self, idx: usize, readable: bool, writable: bool, hangup: bool) {
+        if self.slots.get(idx).is_none_or(|s| s.conn.is_none()) {
+            return; // stale event for a just-closed connection
+        }
+        if writable {
+            self.flush(idx);
+        }
+        if readable || hangup {
+            self.read_conn(idx);
+            self.process(idx);
+            self.flush(idx);
+        }
+        if hangup {
+            if let Some(conn) = self.slots[idx].conn.as_mut() {
+                // Error/hangup: any final bytes were drained above;
+                // nothing more will arrive or be deliverable.
+                if conn.in_flight == 0 || conn.flushed() {
+                    conn.dead = true;
+                }
+            }
+        }
+        self.maybe_close(idx);
+    }
+
+    /// Drains the socket into the connection's receive buffer
+    /// (bounded per event for fairness; the cap disconnects peers
+    /// that buffer unparseable bytes without limit).
+    fn read_conn(&mut self, idx: usize) {
+        let Some(conn) = self.slots[idx].conn.as_mut() else { return };
+        if conn.dead || conn.gated || conn.draining {
+            return;
+        }
         // Failpoint: a triggered read tears the connection down
         // mid-session, as a peer reset or fd exhaustion would.
-        if gcwc_failpoint::triggered(failsite::READ) {
-            break;
+        let site = if conn.text { failsite::READ } else { failsite::CONN_READ };
+        if gcwc_failpoint::triggered(site) {
+            conn.dead = true;
+            return;
         }
-        let status = reader.read_line(&mut line);
-        if line.len() > MAX_LINE_BYTES {
-            let _ = writer.write_all(b"err bad_request request line exceeds size limit\n");
-            break;
-        }
-        match status {
-            Ok(0) => break, // peer closed; an unterminated fragment cannot complete
-            Ok(_) => {}
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                continue;
-            }
-            Err(e) if e.kind() == ErrorKind::InvalidData => {
-                // Bytes that are not UTF-8 cannot be a protocol line.
-                // Tell the peer why instead of silently dropping the
-                // connection; the malformed bytes were consumed, so
-                // the session can continue with the next line.
-                let _ = writer.write_all(b"err protocol request is not valid utf-8\n");
-                let _ = writer.flush();
-                line.clear();
-                continue;
-            }
-            Err(_) => break,
-        }
-        if line.trim().is_empty() {
-            line.clear();
-            continue;
-        }
-        response.clear();
-        let quit = match protocol::parse_request(&line) {
-            Ok(Request::Complete { time_of_day, day_of_week, input }) => {
-                match client.complete(input, time_of_day, day_of_week) {
-                    Ok(completion) => {
-                        protocol::write_ok(
-                            &mut response,
-                            &completion.output,
-                            completion.cache_hit,
-                            completion.generation,
-                            completion.shards,
-                            completion.degraded,
-                        );
-                        client.recycle(completion);
-                    }
-                    Err(e) => protocol::write_err(&mut response, &e),
+        let cap = conn.rbuf_cap();
+        for _ in 0..MAX_READS_PER_EVENT {
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    conn.draining = true; // peer EOF: serve what's in flight, then close
+                    break;
                 }
-                false
+                Ok(n) => {
+                    if conn.rbuf.len() - conn.rstart + n > cap {
+                        conn.fatal = true;
+                        if conn.text {
+                            conn.wbuf
+                                .extend_from_slice(b"err bad_request request exceeds size limit\n");
+                        } else {
+                            wire::encode_err(
+                                &mut conn.wbuf,
+                                0,
+                                &ServeError::Protocol("receive buffer limit exceeded".into()),
+                            );
+                        }
+                        break;
+                    }
+                    conn.rbuf.extend_from_slice(&self.scratch[..n]);
+                    if n < self.scratch.len() {
+                        break; // socket drained
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
             }
-            Ok(Request::Stats) => {
-                protocol::write_stats(&mut response, &engine.stats());
-                false
+        }
+    }
+
+    fn process(&mut self, idx: usize) {
+        let is_text = match self.slots[idx].conn.as_ref() {
+            Some(conn) => conn.text,
+            None => return,
+        };
+        if is_text {
+            self.process_text(idx);
+        } else {
+            self.process_binary(idx);
+        }
+        // Compact the consumed prefix so the buffer never grows past
+        // its cap from already-handled bytes.
+        if let Some(conn) = self.slots[idx].conn.as_mut() {
+            if conn.rstart > 0 {
+                conn.rbuf.drain(..conn.rstart);
+                conn.rstart = 0;
             }
-            Ok(Request::Ping) => {
-                response.push_str("pong");
-                false
+        }
+    }
+
+    /// Parses and dispatches complete binary frames from the receive
+    /// buffer. Torn frames (even one byte at a time) simply wait for
+    /// more bytes; payload-level errors answer the offending request
+    /// id and continue; header-level errors poison the stream and
+    /// close the connection after a best-effort error frame.
+    fn process_binary(&mut self, idx: usize) {
+        let Reactor {
+            slots,
+            free: _,
+            poller,
+            engine,
+            shared,
+            cfg,
+            in_shape,
+            out_shape,
+            spare_inputs,
+            spare_outputs,
+            ..
+        } = self;
+        let gen = slots[idx].gen;
+        let Some(conn) = slots[idx].conn.as_mut() else { return };
+        loop {
+            if conn.dead || conn.fatal || conn.draining {
+                break;
             }
-            Ok(Request::Quit) => {
-                response.push_str("bye");
+            if conn.in_flight >= cfg.max_inflight_per_conn {
+                // Pipelining bound reached: stop reading (and parsing)
+                // until responses drain — backpressure flows into TCP.
+                if !conn.gated {
+                    conn.gated = true;
+                    let _ =
+                        poller.modify(conn.stream.as_raw_fd(), idx as u64, false, conn.want_write);
+                }
+                break;
+            }
+            let avail = &conn.rbuf[conn.rstart..];
+            let header = match wire::decode_header(avail) {
+                Ok(None) => break, // partial header: wait for bytes
+                Ok(Some(h)) => h,
+                Err(e) => {
+                    // Framing can no longer be trusted: answer id 0
+                    // and close once the error frame flushes.
+                    wire::encode_err(&mut conn.wbuf, 0, &e.into());
+                    conn.fatal = true;
+                    break;
+                }
+            };
+            let total = wire::HEADER_LEN + header.payload_len;
+            if avail.len() < total {
+                break; // torn frame: wait for the rest
+            }
+            let payload = &conn.rbuf[conn.rstart + wire::HEADER_LEN..conn.rstart + total];
+            match header.opcode {
+                Opcode::Complete => match wire::decode_complete_request(payload) {
+                    Ok(req) => {
+                        let mut input = if (req.rows, req.cols) == *in_shape {
+                            spare_inputs.pop().unwrap_or_else(|| Matrix::zeros(req.rows, req.cols))
+                        } else {
+                            // Wrong shape for the served model: let the
+                            // engine answer the typed BadRequest.
+                            Matrix::zeros(req.rows, req.cols)
+                        };
+                        match wire::fill_matrix(&req, &mut input) {
+                            Ok(()) => {
+                                let out_buf = spare_outputs
+                                    .pop()
+                                    .unwrap_or_else(|| Matrix::zeros(out_shape.0, out_shape.1));
+                                let hook = completion_hook(shared, idx, gen, header.request_id);
+                                match engine.submit(
+                                    input,
+                                    out_buf,
+                                    req.time_of_day,
+                                    req.day_of_week,
+                                    None,
+                                    hook,
+                                ) {
+                                    Ok(()) => conn.in_flight += 1,
+                                    Err(refused) => {
+                                        // Backpressure (or shutdown):
+                                        // answer inline, reuse buffers.
+                                        recycle(spare_inputs, refused.input, *in_shape);
+                                        recycle(spare_outputs, refused.out_buf, *out_shape);
+                                        wire::encode_err(
+                                            &mut conn.wbuf,
+                                            header.request_id,
+                                            &refused.error,
+                                        );
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                recycle(spare_inputs, input, *in_shape);
+                                wire::encode_err(&mut conn.wbuf, header.request_id, &e.into());
+                            }
+                        }
+                    }
+                    Err(e) => wire::encode_err(&mut conn.wbuf, header.request_id, &e.into()),
+                },
+                Opcode::Stats => {
+                    wire::encode_stats(&mut conn.wbuf, header.request_id, &engine.stats());
+                }
+                Opcode::Ping => wire::encode_empty(&mut conn.wbuf, Opcode::Pong, header.request_id),
+                Opcode::Quit => {
+                    wire::encode_empty(&mut conn.wbuf, Opcode::Bye, header.request_id);
+                    conn.draining = true;
+                }
+                _ => {
+                    // A response opcode is not a request.
+                    wire::encode_err(
+                        &mut conn.wbuf,
+                        header.request_id,
+                        &ServeError::Protocol(format!(
+                            "unexpected response opcode {:#04x} in a request",
+                            header.opcode as u8
+                        )),
+                    );
+                }
+            }
+            conn.rstart += total;
+        }
+    }
+
+    /// Parses newline-delimited text requests. `complete` is served
+    /// strictly in order: the connection parses no further lines
+    /// while one is in flight (the text protocol carries no request
+    /// ids, so responses must match request order).
+    fn process_text(&mut self, idx: usize) {
+        let Reactor {
+            slots,
+            engine,
+            shared,
+            in_shape,
+            out_shape,
+            spare_outputs,
+            spare_inputs: _,
+            text_buf,
+            ..
+        } = self;
+        let gen = slots[idx].gen;
+        let Some(conn) = slots[idx].conn.as_mut() else { return };
+        loop {
+            if conn.dead || conn.fatal || conn.draining || conn.text_waiting {
+                break;
+            }
+            let avail = &conn.rbuf[conn.rstart..];
+            let Some(nl) = avail.iter().position(|&b| b == b'\n') else {
+                if avail.len() > MAX_LINE_BYTES {
+                    conn.wbuf
+                        .extend_from_slice(b"err bad_request request line exceeds size limit\n");
+                    conn.fatal = true;
+                }
+                break;
+            };
+            let line = &avail[..nl];
+            let consumed = nl + 1;
+            let Ok(line) = std::str::from_utf8(line) else {
+                // Bytes that are not UTF-8 cannot be a protocol line.
+                // Tell the peer why; the malformed bytes are consumed,
+                // so the session continues with the next line.
+                conn.wbuf.extend_from_slice(b"err protocol request is not valid utf-8\n");
+                conn.rstart += consumed;
+                continue;
+            };
+            if line.trim().is_empty() {
+                conn.rstart += consumed;
+                continue;
+            }
+            text_buf.clear();
+            match protocol::parse_request(line) {
+                Ok(Request::Complete { time_of_day, day_of_week, input }) => {
+                    let _ = in_shape; // validated by the engine
+                    let out_buf = spare_outputs
+                        .pop()
+                        .unwrap_or_else(|| Matrix::zeros(out_shape.0, out_shape.1));
+                    let hook = completion_hook(shared, idx, gen, 0);
+                    match engine.submit(input, out_buf, time_of_day, day_of_week, None, hook) {
+                        Ok(()) => {
+                            conn.in_flight += 1;
+                            conn.text_waiting = true;
+                        }
+                        Err(refused) => {
+                            recycle(spare_outputs, refused.out_buf, *out_shape);
+                            protocol::write_err(text_buf, &refused.error);
+                        }
+                    }
+                }
+                Ok(Request::Stats) => protocol::write_stats(text_buf, &engine.stats()),
+                Ok(Request::Ping) => text_buf.push_str("pong"),
+                Ok(Request::Quit) => {
+                    text_buf.push_str("bye");
+                    conn.draining = true;
+                }
+                Err(e) => protocol::write_err(text_buf, &e),
+            }
+            if !text_buf.is_empty() {
+                text_buf.push('\n');
+                conn.wbuf.extend_from_slice(text_buf.as_bytes());
+            }
+            conn.rstart += consumed;
+        }
+    }
+
+    /// Delivers finished engine requests back onto their connections.
+    fn drain_done(&mut self) {
+        let done = {
+            let mut g = self.shared.done.lock().unwrap_or_else(PoisonError::into_inner);
+            std::mem::take(&mut *g)
+        };
+        for d in done {
+            self.finish(d);
+        }
+    }
+
+    fn finish(&mut self, d: Done) {
+        let alive = self.slots.get(d.token).is_some_and(|s| s.gen == d.gen && s.conn.is_some());
+        if !alive {
+            // The connection closed while the request was in flight:
+            // keep the buffers, drop the result.
+            if let Ok(c) = d.result {
+                recycle(&mut self.spare_inputs, c.input, self.in_shape);
+                recycle(&mut self.spare_outputs, c.output, self.out_shape);
+            }
+            return;
+        }
+        let idx = d.token;
+        {
+            let conn = self.slots[idx].conn.as_mut().expect("checked alive");
+            conn.in_flight -= 1;
+            if conn.text {
+                conn.text_waiting = false;
+                self.text_buf.clear();
+                match d.result {
+                    Ok(c) => {
+                        protocol::write_ok(
+                            &mut self.text_buf,
+                            &c.output,
+                            c.cache_hit,
+                            c.generation,
+                            c.shards,
+                            c.degraded,
+                        );
+                        recycle(&mut self.spare_inputs, c.input, self.in_shape);
+                        recycle(&mut self.spare_outputs, c.output, self.out_shape);
+                    }
+                    Err(e) => protocol::write_err(&mut self.text_buf, &e),
+                }
+                self.text_buf.push('\n');
+                conn.wbuf.extend_from_slice(self.text_buf.as_bytes());
+            } else {
+                match d.result {
+                    Ok(c) => {
+                        wire::encode_complete_ok(
+                            &mut conn.wbuf,
+                            d.request_id,
+                            &c.output,
+                            c.cache_hit,
+                            c.degraded,
+                            c.generation,
+                            c.shards,
+                        );
+                        recycle(&mut self.spare_inputs, c.input, self.in_shape);
+                        recycle(&mut self.spare_outputs, c.output, self.out_shape);
+                    }
+                    Err(e) => wire::encode_err(&mut conn.wbuf, d.request_id, &e),
+                }
+            }
+        }
+        // A response freed pipeline room: resume reading if gated,
+        // and parse any requests already buffered while waiting.
+        let ungated = {
+            let conn = self.slots[idx].conn.as_mut().expect("checked alive");
+            if conn.gated && conn.in_flight < self.cfg.max_inflight_per_conn {
+                conn.gated = false;
+                let _ =
+                    self.poller.modify(conn.stream.as_raw_fd(), idx as u64, true, conn.want_write);
                 true
-            }
-            Err(e) => {
-                protocol::write_err(&mut response, &e);
-                false
+            } else {
+                conn.text
             }
         };
-        line.clear();
-        response.push('\n');
+        if ungated {
+            self.process(idx);
+        }
+        self.flush(idx);
+        self.maybe_close(idx);
+    }
+
+    /// Writes as much of the send buffer as the socket accepts,
+    /// keeping the remainder and registering write interest for it.
+    fn flush(&mut self, idx: usize) {
+        let Some(conn) = self.slots[idx].conn.as_mut() else { return };
+        if conn.dead {
+            return;
+        }
         // Failpoint: a triggered write drops the connection with the
         // response unsent (the client observes EOF, not a reply).
-        if gcwc_failpoint::triggered(failsite::WRITE) {
-            break;
+        if !conn.flushed() && gcwc_failpoint::triggered(failsite::WRITE) {
+            conn.dead = true;
+            return;
         }
-        if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
-            break;
+        while conn.wstart < conn.wbuf.len() {
+            match conn.stream.write(&conn.wbuf[conn.wstart..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return;
+                }
+                Ok(n) => conn.wstart += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
         }
-        if quit {
-            break;
+        if conn.flushed() {
+            conn.wbuf.clear();
+            conn.wstart = 0;
+            if conn.want_write {
+                conn.want_write = false;
+                let _ = self.poller.modify(conn.stream.as_raw_fd(), idx as u64, !conn.gated, false);
+            }
+        } else {
+            if conn.wstart > (64 << 10) {
+                conn.wbuf.drain(..conn.wstart);
+                conn.wstart = 0;
+            }
+            if conn.wbuf.len() - conn.wstart > WBUF_CAP {
+                conn.dead = true; // slow reader: unbounded backlog
+                return;
+            }
+            if !conn.want_write {
+                conn.want_write = true;
+                let _ = self.poller.modify(conn.stream.as_raw_fd(), idx as u64, !conn.gated, true);
+            }
         }
+    }
+
+    fn maybe_close(&mut self, idx: usize) {
+        let close = match self.slots.get(idx).and_then(|s| s.conn.as_ref()) {
+            Some(conn) => {
+                conn.dead
+                    || (conn.fatal && conn.flushed())
+                    || (conn.draining && conn.in_flight == 0 && conn.flushed())
+            }
+            None => false,
+        };
+        if close {
+            self.close_conn(idx);
+        }
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        let Some(conn) = self.slots[idx].conn.take() else { return };
+        let _ = self.poller.delete(conn.stream.as_raw_fd());
+        self.slots[idx].gen += 1;
+        self.free.push(idx);
+        self.shared.open_conns.fetch_sub(1, Ordering::AcqRel);
+        // Dropping `conn` closes the socket.
     }
 }
 
-/// Blocking TCP client speaking the text protocol.
+/// Returns a matrix to a bounded spare pool when its shape still
+/// matches the served model (wrong-shape request buffers are simply
+/// dropped).
+fn recycle(pool: &mut Vec<Matrix>, m: Matrix, shape: (usize, usize)) {
+    if pool.len() < POOL_CAP && m.shape() == shape {
+        pool.push(m);
+    }
+}
+
+/// Blocking TCP client speaking the newline-delimited text protocol
+/// (the debug port; see [`ServerConfig::text_port`]).
 pub struct TcpClient {
-    reader: BufReader<TcpStream>,
+    reader: std::io::BufReader<TcpStream>,
     writer: TcpStream,
     line: String,
 }
 
 impl TcpClient {
-    /// Connects to a running [`Server`].
+    /// Connects to a running [`Server`]'s text port.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
-        Ok(Self { reader: BufReader::new(stream), writer, line: String::new() })
+        Ok(Self { reader: std::io::BufReader::new(stream), writer, line: String::new() })
     }
 
     fn roundtrip(&mut self, request: &str) -> Result<&str, ServeError> {
+        use std::io::BufRead as _;
         self.writer.write_all(request.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
@@ -262,18 +910,8 @@ impl TcpClient {
         let mut request =
             format!("complete {} {} {} {}", time_of_day, day_of_week, input.rows(), input.cols());
         protocol::write_matrix_hex(&mut request, input);
-        self.writer.write_all(request.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        self.line.clear();
-        let n = self.reader.read_line(&mut self.line)?;
-        if n == 0 {
-            return Err(ServeError::Io(std::io::Error::new(
-                ErrorKind::UnexpectedEof,
-                "server closed connection",
-            )));
-        }
-        protocol::parse_complete_response(self.line.trim_end())
+        let line = self.roundtrip(&request)?;
+        protocol::parse_complete_response(line)
     }
 
     /// Fetches the raw `stats` response line.
@@ -290,5 +928,132 @@ impl TcpClient {
     pub fn quit(&mut self) -> Result<(), ServeError> {
         let _ = self.roundtrip("quit")?;
         Ok(())
+    }
+}
+
+/// Blocking TCP client speaking the length-prefixed binary protocol,
+/// with optional pipelining: [`BinClient::send_complete`] queues many
+/// requests on one connection, [`BinClient::recv_response`] returns
+/// responses as the server finishes them (any order, matched by id).
+pub struct BinClient {
+    stream: TcpStream,
+    sbuf: Vec<u8>,
+    payload: Vec<u8>,
+    next_id: u64,
+}
+
+impl BinClient {
+    /// Connects to a running [`Server`]'s binary port.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, sbuf: Vec::new(), payload: Vec::new(), next_id: 1 })
+    }
+
+    /// Sends a completion request without waiting; returns the frame's
+    /// request id for matching the pipelined response.
+    pub fn send_complete(
+        &mut self,
+        input: &Matrix,
+        time_of_day: usize,
+        day_of_week: usize,
+    ) -> Result<u64, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sbuf.clear();
+        wire::encode_complete_request(&mut self.sbuf, id, time_of_day, day_of_week, input);
+        self.stream.write_all(&self.sbuf)?;
+        Ok(id)
+    }
+
+    fn read_frame(&mut self) -> Result<wire::FrameHeader, ServeError> {
+        let mut head = [0u8; wire::HEADER_LEN];
+        self.stream.read_exact(&mut head)?;
+        let header = wire::decode_header(&head)?.expect("full header read");
+        self.payload.resize(header.payload_len, 0);
+        self.stream.read_exact(&mut self.payload)?;
+        Ok(header)
+    }
+
+    /// Receives the next response frame: `(request id, result)`.
+    /// Responses to pipelined requests may arrive in any order.
+    pub fn recv_response(
+        &mut self,
+    ) -> Result<(u64, Result<protocol::OkResponse, ServeError>), ServeError> {
+        let header = self.read_frame()?;
+        match header.opcode {
+            Opcode::RespComplete => {
+                Ok((header.request_id, Ok(wire::decode_complete_ok(&self.payload)?)))
+            }
+            Opcode::RespErr => Ok((header.request_id, Err(wire::decode_err(&self.payload)?))),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected response opcode {:#04x}",
+                other as u8
+            ))),
+        }
+    }
+
+    /// Sends a completion request and waits for its response.
+    pub fn complete(
+        &mut self,
+        input: &Matrix,
+        time_of_day: usize,
+        day_of_week: usize,
+    ) -> Result<protocol::OkResponse, ServeError> {
+        let id = self.send_complete(input, time_of_day, day_of_week)?;
+        let (rid, result) = self.recv_response()?;
+        if rid != id {
+            return Err(ServeError::Protocol(format!(
+                "response id {rid} does not match request id {id} (pipelined sends must use \
+                 recv_response)"
+            )));
+        }
+        result
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<bool, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sbuf.clear();
+        wire::encode_empty(&mut self.sbuf, Opcode::Ping, id);
+        self.stream.write_all(&self.sbuf)?;
+        let header = self.read_frame()?;
+        Ok(header.opcode == Opcode::Pong && header.request_id == id)
+    }
+
+    /// Fetches the engine counters.
+    pub fn stats(&mut self) -> Result<crate::StatsSnapshot, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sbuf.clear();
+        wire::encode_empty(&mut self.sbuf, Opcode::Stats, id);
+        self.stream.write_all(&self.sbuf)?;
+        let header = self.read_frame()?;
+        match header.opcode {
+            Opcode::RespStats => Ok(wire::decode_stats(&self.payload)?),
+            Opcode::RespErr => Err(wire::decode_err(&self.payload)?),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected response opcode {:#04x}",
+                other as u8
+            ))),
+        }
+    }
+
+    /// Asks the server to close this connection (after pipelined
+    /// responses drain).
+    pub fn quit(&mut self) -> Result<(), ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sbuf.clear();
+        wire::encode_empty(&mut self.sbuf, Opcode::Quit, id);
+        self.stream.write_all(&self.sbuf)?;
+        loop {
+            // Pipelined responses may still be queued ahead of bye.
+            let header = self.read_frame()?;
+            if header.opcode == Opcode::Bye {
+                return Ok(());
+            }
+        }
     }
 }

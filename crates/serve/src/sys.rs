@@ -1,0 +1,271 @@
+//! Thin epoll shim: the handful of Linux syscalls the reactor needs,
+//! declared directly against the C library (std already links it), so
+//! the crate stays dependency-free in the workspace's vendored-deps
+//! spirit — no `libc` or `mio` crate, just the raw ABI.
+//!
+//! Everything here is **level-triggered**: a readiness the reactor
+//! skips (a failpoint-dropped tick, a partial drain) is re-delivered
+//! by the next `epoll_wait`, which is what makes skipping safe.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_uint, c_void};
+
+// Linux x86_64/aarch64 ABI constants (uapi/linux/eventpoll.h,
+// asm-generic/fcntl.h, asm-generic/resource.h).
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+pub(crate) const EPOLLIN: u32 = 0x001;
+pub(crate) const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+const RLIMIT_NOFILE: c_int = 7;
+
+/// `struct epoll_event` — packed on x86_64 (the kernel ABI), which is
+/// also correct (if over-aligned-down) on aarch64.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[repr(C)]
+struct RLimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+}
+
+/// One decoded readiness event.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable (or peer half-closed — reads will observe EOF).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error/hangup condition; the connection should be torn down
+    /// after any final read drains.
+    pub hangup: bool,
+}
+
+/// A level-triggered epoll instance.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Creates the epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Self> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events: interest | EPOLLRDHUP, data: token };
+        let event = if op == EPOLL_CTL_DEL { std::ptr::null_mut() } else { &mut ev };
+        if unsafe { epoll_ctl(self.epfd, op, fd, event) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` with the given interest (`readable`/`writable`).
+    pub fn add(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest(readable, writable), token)
+    }
+
+    /// Changes the interest set of an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest(readable, writable), token)
+    }
+
+    /// Deregisters `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks until readiness (or `timeout_ms >= 0` elapses) and fills
+    /// `events`. Interrupted waits return an empty set.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        events.clear();
+        const CAP: usize = 1024;
+        let mut raw = [EpollEvent { events: 0, data: 0 }; CAP];
+        let n = unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), CAP as c_int, timeout_ms) };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(e);
+        }
+        for ev in raw.iter().take(n as usize) {
+            let bits = ev.events;
+            events.push(Event {
+                token: ev.data,
+                readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                writable: bits & EPOLLOUT != 0,
+                hangup: bits & (EPOLLERR | EPOLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { close(self.epfd) };
+    }
+}
+
+fn interest(readable: bool, writable: bool) -> u32 {
+    (if readable { EPOLLIN } else { 0 }) | (if writable { EPOLLOUT } else { 0 })
+}
+
+/// An `eventfd`-based wakeup: any thread calls [`Waker::wake`], the
+/// reactor sees the fd readable and [`Waker::drain`]s it.
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Creates the eventfd (`EFD_CLOEXEC | EFD_NONBLOCK`).
+    pub fn new() -> io::Result<Self> {
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { fd })
+    }
+
+    /// The fd to register with a [`Poller`].
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Makes the eventfd readable. A full counter (`EAGAIN`) already
+    /// guarantees a pending wakeup, so errors are ignored.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Consumes pending wakeups so the fd goes quiet until the next
+    /// [`Waker::wake`].
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        unsafe { read(self.fd, (&mut buf as *mut u64).cast(), 8) };
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// Raises `RLIMIT_NOFILE` to at least `want` file descriptors (root
+/// may raise the hard limit too) and returns the resulting soft
+/// limit. Used by the connection-scaling bench and the 10k-connection
+/// test; failure is not fatal — callers scale to what they got.
+pub fn raise_nofile(want: u64) -> u64 {
+    let mut lim = RLimit { rlim_cur: 0, rlim_max: 0 };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 0;
+    }
+    if lim.rlim_cur >= want {
+        return lim.rlim_cur;
+    }
+    let hard = lim.rlim_max.max(want);
+    let attempt = RLimit { rlim_cur: want.min(hard), rlim_max: hard };
+    if unsafe { setrlimit(RLIMIT_NOFILE, &attempt) } == 0 {
+        return attempt.rlim_cur;
+    }
+    // Could not raise the hard limit (not root): settle for the soft
+    // limit capped at the existing hard limit.
+    let attempt = RLimit { rlim_cur: want.min(lim.rlim_max), rlim_max: lim.rlim_max };
+    if unsafe { setrlimit(RLIMIT_NOFILE, &attempt) } == 0 {
+        return attempt.rlim_cur;
+    }
+    lim.rlim_cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn waker_wakes_poller() {
+        let poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.add(waker.fd(), 42, true, false).unwrap();
+        let mut events = Vec::new();
+        // Nothing pending: a zero-timeout wait returns empty.
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty());
+        waker.wake();
+        poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].readable);
+        // Drained, the fd goes quiet again (level-triggered).
+        waker.drain();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn socket_readiness_and_interest_changes() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut peer = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (sock, _) = listener.accept().unwrap();
+        sock.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(sock.as_raw_fd(), 7, true, false).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "no data yet");
+        peer.write_all(b"x").unwrap();
+        poller.wait(&mut events, 1000).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        // Adding write interest reports writable immediately (the
+        // send buffer is empty).
+        poller.modify(sock.as_raw_fd(), 7, true, true).unwrap();
+        poller.wait(&mut events, 1000).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.writable));
+        poller.delete(sock.as_raw_fd()).unwrap();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "deregistered fd reports nothing");
+    }
+
+    #[test]
+    fn raise_nofile_reports_a_usable_limit() {
+        let got = raise_nofile(1024);
+        assert!(got >= 256, "even unprivileged limits exceed this: {got}");
+    }
+}

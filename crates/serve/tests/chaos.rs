@@ -11,6 +11,13 @@
 //! with a completion (exact or degraded) or a typed error — never a
 //! hang, never corrupt healthy rows.
 //!
+//! The binary front end is covered too: reactor-tick faults (dropped
+//! event batches, injected stalls) must delay but never hang or
+//! corrupt pipelined binary requests, a connection-read fault must
+//! surface as a typed I/O error with a clean reconnect, and with
+//! every front-end site unarmed the binary protocol must serve
+//! bit-identically to the reference.
+//!
 //! The failpoint registry is process-global, so every test serialises
 //! on [`chaos_lock`] and disarms its sites before releasing it.
 
@@ -20,7 +27,8 @@ use gcwc::{build_samples, GcwcModel, ModelConfig, ShardedModel, TaskKind, TrainS
 use gcwc_graph::PartitionSet;
 use gcwc_linalg::Matrix;
 use gcwc_serve::{
-    failsite, AnyModel, BreakerConfig, Engine, EngineConfig, ModelRegistry, RetryPolicy, ServeError,
+    failsite, AnyModel, BinClient, BreakerConfig, Engine, EngineConfig, ModelRegistry, RetryPolicy,
+    ServeError, Server, ServerConfig,
 };
 use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
 use proptest::prelude::*;
@@ -102,6 +110,10 @@ fn bits(m: &Matrix) -> Vec<u64> {
 
 fn disarm_all() {
     gcwc_failpoint::remove(failsite::WORKER_LOOP);
+    gcwc_failpoint::remove(failsite::REACTOR_TICK);
+    gcwc_failpoint::remove(failsite::CONN_READ);
+    gcwc_failpoint::remove(failsite::ACCEPT);
+    gcwc_failpoint::remove(failsite::WRITE);
     for k in 0..2 {
         gcwc_failpoint::remove(&failsite::shard_forward(k));
     }
@@ -367,6 +379,110 @@ proptest! {
         client.recycle(healed);
         engine.shutdown();
     }
+}
+
+/// Reactor-tick faults (skipped event batches, injected delays) slow
+/// the binary front end down but never hang it or corrupt a response:
+/// level-triggered epoll re-delivers everything a skipped tick
+/// dropped.
+#[test]
+fn reactor_tick_faults_never_hang_or_corrupt_the_binary_front_end() {
+    let _guard = chaos_lock();
+    let _disarm = DisarmOnDrop;
+    disarm_all();
+    let f = fixture();
+    let engine = Arc::new(Engine::new(
+        make_registry(),
+        EngineConfig { workers: 1, cache_capacity: 0, ..Default::default() },
+    ));
+    let mut server =
+        Server::start_with(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = BinClient::connect(server.addr()).unwrap();
+
+    // A mix of dropped ticks and injected stalls, bounded so the
+    // reactor always recovers (an always-on err would spin, which is
+    // exactly why ambient chaos arms this site probabilistically).
+    gcwc_failpoint::configure(failsite::REACTOR_TICK, "4*err->2*delay(5)->off").unwrap();
+    for (i, want) in f.reference.iter().enumerate() {
+        let s = &f.samples[i];
+        let resp = client
+            .complete(&s.input, s.context.time_of_day, s.context.day_of_week)
+            .expect("tick faults must delay, not fail, requests");
+        assert!(!resp.degraded);
+        assert_eq!(bits(want), bits(&resp.output), "request {i} under tick chaos");
+    }
+    disarm_all();
+    server.stop();
+    engine.shutdown();
+}
+
+/// A read fault tears the binary connection down mid-session: the
+/// client observes a typed I/O error (EOF), never a hang — and a
+/// reconnect serves bit-identically.
+#[test]
+fn conn_read_fault_closes_typed_and_reconnect_serves_exactly() {
+    let _guard = chaos_lock();
+    let _disarm = DisarmOnDrop;
+    disarm_all();
+    let f = fixture();
+    let engine = Arc::new(Engine::new(
+        make_registry(),
+        EngineConfig { workers: 1, cache_capacity: 0, ..Default::default() },
+    ));
+    let mut server =
+        Server::start_with(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default()).unwrap();
+
+    // Connect while the site is quiet, then arm it: the very next
+    // readable event on this connection kills it.
+    let mut doomed = BinClient::connect(server.addr()).unwrap();
+    assert!(doomed.ping().unwrap());
+    gcwc_failpoint::configure(failsite::CONN_READ, "1*err->off").unwrap();
+    let s = &f.samples[0];
+    let torn = doomed.complete(&s.input, s.context.time_of_day, s.context.day_of_week);
+    match torn {
+        Err(ServeError::Io(_)) => {} // typed: the peer sees EOF/reset
+        Err(other) => panic!("expected a typed I/O error from the torn connection, got {other}"),
+        Ok(_) => panic!("expected a typed I/O error from the torn connection, got a response"),
+    }
+    disarm_all();
+
+    let mut fresh = BinClient::connect(server.addr()).unwrap();
+    let resp = fresh
+        .complete(&s.input, s.context.time_of_day, s.context.day_of_week)
+        .expect("reconnect must serve");
+    assert!(!resp.degraded);
+    assert_eq!(bits(&f.reference[0]), bits(&resp.output), "post-reconnect response");
+    server.stop();
+    engine.shutdown();
+}
+
+/// With failpoints compiled in but every front-end site unarmed, the
+/// binary protocol serves bit-identically to the reference — the
+/// chaos instrumentation itself is a no-op.
+#[test]
+fn unarmed_binary_front_end_serves_bit_identically() {
+    let _guard = chaos_lock();
+    let _disarm = DisarmOnDrop;
+    disarm_all();
+    let f = fixture();
+    let engine = Arc::new(Engine::new(
+        make_registry(),
+        EngineConfig { workers: 1, cache_capacity: 0, ..Default::default() },
+    ));
+    let mut server =
+        Server::start_with(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = BinClient::connect(server.addr()).unwrap();
+    for (i, want) in f.reference.iter().enumerate() {
+        let s = &f.samples[i];
+        let resp = client.complete(&s.input, s.context.time_of_day, s.context.day_of_week).unwrap();
+        assert!(!resp.degraded);
+        assert_eq!(bits(want), bits(&resp.output), "request {i}");
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.worker_restarts, 0, "stats: {stats:?}");
+    assert_eq!(stats.degraded_responses, 0, "stats: {stats:?}");
+    server.stop();
+    engine.shutdown();
 }
 
 #[test]

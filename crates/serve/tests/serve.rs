@@ -7,7 +7,8 @@ use gcwc::CompletionModel;
 use gcwc::{build_samples, AGcwcModel, InferWorkspace, ModelConfig, TaskKind, TrainSample};
 use gcwc_linalg::Matrix;
 use gcwc_serve::{
-    derive_row_flags, AnyModel, Engine, EngineConfig, ModelRegistry, ServeError, Server, TcpClient,
+    derive_row_flags, AnyModel, Engine, EngineConfig, ModelRegistry, ServeError, Server,
+    ServerConfig, TcpClient,
 };
 use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
 use proptest::prelude::*;
@@ -69,6 +70,19 @@ fn direct_completion(input: &Matrix, time_of_day: usize, day_of_week: usize) -> 
 
 fn bits(m: &Matrix) -> Vec<u64> {
     m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Starts a server with the text debug port enabled (on an ephemeral
+/// port) and returns it with the text address.
+fn start_with_text(engine: &Arc<Engine>) -> (Server, std::net::SocketAddr) {
+    let server = Server::start_with(
+        Arc::clone(engine),
+        "127.0.0.1:0",
+        ServerConfig { text_port: Some(0), ..Default::default() },
+    )
+    .unwrap();
+    let text = server.text_addr().expect("text port requested");
+    (server, text)
 }
 
 proptest! {
@@ -284,8 +298,8 @@ fn malformed_requests_get_bad_request() {
 fn tcp_end_to_end_matches_direct_inference() {
     let f = fixture();
     let engine = Arc::new(Engine::new(make_registry(), EngineConfig::default()));
-    let mut server = Server::start(Arc::clone(&engine), "127.0.0.1:0").unwrap();
-    let mut tcp = TcpClient::connect(server.addr()).unwrap();
+    let (mut server, text_addr) = start_with_text(&engine);
+    let mut tcp = TcpClient::connect(text_addr).unwrap();
     assert!(tcp.ping().unwrap());
 
     let s = &f.samples[1];
@@ -355,7 +369,7 @@ fn fragmented_tcp_request_survives_read_timeouts() {
 
     let f = fixture();
     let engine = Arc::new(Engine::new(make_registry(), EngineConfig::default()));
-    let mut server = Server::start(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+    let (mut server, text_addr) = start_with_text(&engine);
 
     let s = &f.samples[0];
     let expected = direct_completion(&s.input, s.context.time_of_day, s.context.day_of_week);
@@ -369,10 +383,10 @@ fn fragmented_tcp_request_survives_read_timeouts() {
     gcwc_serve::protocol::write_matrix_hex(&mut request, &s.input);
     request.push('\n');
 
-    // Deliver the line in two chunks separated by well over the
-    // server's 50 ms read timeout: the partial bytes must survive the
-    // timeout iterations instead of being discarded.
-    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    // Deliver the line in two chunks separated by a long pause: the
+    // reactor must buffer the partial line across readiness events
+    // instead of discarding it.
+    let stream = std::net::TcpStream::connect(text_addr).unwrap();
     stream.set_nodelay(true).unwrap();
     let mut writer = stream.try_clone().unwrap();
     let bytes = request.as_bytes();
@@ -400,9 +414,9 @@ fn fragmented_tcp_request_survives_read_timeouts() {
 fn malformed_bytes_get_an_err_reply_and_the_session_survives() {
     use std::io::{BufRead, BufReader, Write};
     let engine = Arc::new(Engine::new(make_registry(), EngineConfig::default()));
-    let mut server = Server::start(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+    let (mut server, text_addr) = start_with_text(&engine);
 
-    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let stream = std::net::TcpStream::connect(text_addr).unwrap();
     stream.set_nodelay(true).unwrap();
     let mut writer = stream.try_clone().unwrap();
     let mut reader = BufReader::new(stream);

@@ -7,7 +7,9 @@
 //! ```
 
 use gcwc::{build_samples, AGcwcModel, CompletionModel, ModelConfig, TaskKind};
-use gcwc_serve::{AnyModel, Engine, EngineConfig, ModelRegistry, Server, TcpClient};
+use gcwc_serve::{
+    AnyModel, BinClient, Engine, EngineConfig, ModelRegistry, Server, ServerConfig, TcpClient,
+};
 use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
 use std::sync::Arc;
 
@@ -53,13 +55,19 @@ fn main() {
     println!("registry loaded generation {generation}");
 
     let engine = Arc::new(Engine::new(registry, EngineConfig::default()));
-    let mut server = Server::start(Arc::clone(&engine), "127.0.0.1:0").expect("bind server");
-    println!("serving on {}", server.addr());
+    let mut server = Server::start_with(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerConfig { text_port: Some(0), ..Default::default() },
+    )
+    .expect("bind server");
+    println!("serving binary on {}", server.addr());
+    println!("serving text debug on {}", server.text_addr().expect("text port"));
 
     // 4. Query over TCP: ask for the completed weight matrix of a
     //    held-out evening-peak snapshot (17:30 on day 0). The observed
-    //    matrix travels as f64 bit patterns, so the response is
-    //    bit-identical to an in-process forward pass.
+    //    matrix travels as raw f64 bit patterns on the binary port, so
+    //    the response is bit-identical to an in-process forward pass.
     let test_idx = vec![(0..dataset.len())
         .rev()
         .find(|&i| dataset.snapshots[i].context.time_of_day == 70)
@@ -67,7 +75,7 @@ fn main() {
     let test = build_samples(&dataset, &test_idx, TaskKind::Estimation, 0);
     let sample = &test[0];
 
-    let mut client = TcpClient::connect(server.addr()).expect("connect");
+    let mut client = BinClient::connect(server.addr()).expect("connect");
     let response = client
         .complete(&sample.input, sample.context.time_of_day, sample.context.day_of_week)
         .expect("complete");
@@ -101,8 +109,15 @@ fn main() {
         )
     );
 
-    println!("\nserver stats: {}", client.stats().expect("stats"));
+    println!("\nserver stats: {:?}", client.stats().expect("stats"));
     client.quit().expect("quit");
+
+    // 6. The text debug port serves the same engine with the
+    //    newline-delimited protocol — handy with netcat.
+    let mut debug = TcpClient::connect(server.text_addr().expect("text port")).expect("connect");
+    println!("text debug ping: {}", debug.ping().expect("ping"));
+    debug.quit().expect("quit");
+
     server.stop();
     engine.shutdown();
 }
