@@ -1,7 +1,8 @@
 //! Experiment runner: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! exp_runner [--fast|--full|--smoke] <command>
+//! exp_runner [--fast|--full|--smoke] [--threads=N] [--shards=K]
+//!            [--epochs=N] [--state=DIR] [--resume] [--json] <command>
 //!
 //! Commands:
 //!   table3             Table III  (model constructions, #Para)
@@ -33,6 +34,13 @@
 //!                      naive-vs-tiled kernel pair at n=860; `--smoke`
 //!                      downsamples to the ×10 point; with `--json`,
 //!                      also writes `BENCH_scale.json`
+//!   ingest-bench       streaming-ingestion benchmark: intake
+//!                      throughput (durable log + window fold),
+//!                      slot-seal latency, warm-start refresh wall
+//!                      time, and allocs/record on the steady-state
+//!                      intake path (0 mid-slot; live under
+//!                      `--features count-allocs`); with `--json`,
+//!                      also writes `BENCH_ingest.json`
 //!   train              resumable sharded training: checkpoints the
 //!                      per-shard training state under `--state=DIR`
 //!                      every few epochs; re-running with `--resume`
@@ -49,8 +57,8 @@
 //! exp_runner -- <command>`.
 
 use gcwc_bench::{
-    ablations, jsonbench, params_table, resumable, run_table, scalability, scalesweep, servebench,
-    shardsweep, Profile, ScalModel,
+    ablations, ingestbench, jsonbench, params_table, resumable, run_table, scalability, scalesweep,
+    servebench, shardsweep, Profile, ScalModel,
 };
 
 /// Counts every heap allocation so `bench` can report allocs/iter.
@@ -118,7 +126,7 @@ fn main() {
     // follow the process-wide kernel default.
     gcwc_linalg::parallel::set_global_threads(threads);
     if commands.is_empty() {
-        eprintln!("usage: exp_runner [--fast|--full|--smoke] [--threads=N] [--shards=K] [--epochs=N] [--state=DIR] [--resume] [--json] <table3|table4..table13|tables|fig6a|fig6b|threads|ablations|bench|serve-bench|shard-sweep|scale-sweep|train|all>");
+        eprintln!("usage: exp_runner [--fast|--full|--smoke] [--threads=N] [--shards=K] [--epochs=N] [--state=DIR] [--resume] [--json] <table3|table4..table13|tables|fig6a|fig6b|threads|ablations|bench|serve-bench|shard-sweep|scale-sweep|ingest-bench|train|all>");
         std::process::exit(2);
     }
 
@@ -191,6 +199,18 @@ fn main() {
                 if json {
                     let path = "BENCH_scale.json";
                     if let Err(e) = std::fs::write(path, scalesweep::to_json(&report)) {
+                        eprintln!("failed to write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("wrote {path}");
+                }
+            }
+            "ingest-bench" => {
+                let report = ingestbench::run();
+                print!("{}", ingestbench::render(&report));
+                if json {
+                    let path = "BENCH_ingest.json";
+                    if let Err(e) = std::fs::write(path, ingestbench::to_json(&report)) {
                         eprintln!("failed to write {path}: {e}");
                         std::process::exit(1);
                     }

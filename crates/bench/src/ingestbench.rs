@@ -1,0 +1,192 @@
+//! Streaming-ingestion benchmark (`exp_runner ingest-bench`).
+//!
+//! Measures the live-loop hot paths end to end: record intake
+//! throughput (durable log append + window fold), slot-seal latency,
+//! one warm-start incremental refresh (fine-tune → validate → swap)
+//! against a real registry, and the heap allocations per record on
+//! the steady-state intake path (0 when mid-slot — the CI alloc gate
+//! pins this). With `--json`, `exp_runner` writes the report to
+//! `BENCH_ingest.json` for the CI ingest job.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gcwc::{GcwcModel, ModelConfig, ShardedModel};
+use gcwc_ingest::{
+    Aggregator, Pipeline, RecordLog, RefreshConfig, RefreshDriver, RefreshOutcome, SpeedRecord,
+    WindowConfig,
+};
+use gcwc_serve::{AnyModel, ModelRegistry};
+use gcwc_traffic::{generators, HistogramSpec};
+use rand::{Rng, SeedableRng};
+
+use crate::allocs::count_allocs;
+
+const SLOT_SECS: u64 = 100;
+const PER_EDGE: usize = 24;
+
+/// Ingest benchmark result.
+#[derive(Clone, Debug)]
+pub struct IngestBenchReport {
+    /// Edges in the streamed graph.
+    pub edges: usize,
+    /// Records streamed through log + window.
+    pub records: usize,
+    /// Sustained intake throughput (records/second).
+    pub records_per_sec: f64,
+    /// Slots sealed during the run.
+    pub slots_sealed: usize,
+    /// Mean wall-clock seconds to seal one slot (histogram builds).
+    pub seal_latency_secs: f64,
+    /// Wall-clock seconds of one warm-start incremental refresh
+    /// (fine-tune + holdout validation + checkpoint + hot-swap).
+    pub refresh_secs: f64,
+    /// True when the measured refresh validated and swapped.
+    pub refresh_applied: bool,
+    /// Heap allocations per record on the mid-slot steady-state path
+    /// (meaningful only under the counting allocator; 0 otherwise).
+    pub allocs_per_record: f64,
+}
+
+fn stream(seed: u64, num_edges: usize, slots: std::ops::Range<u64>) -> Vec<SpeedRecord> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for slot in slots {
+        for edge in 0..num_edges as u32 {
+            for _ in 0..PER_EDGE {
+                out.push(SpeedRecord {
+                    edge,
+                    timestamp: slot * SLOT_SECS + rng.random_range(0u64..SLOT_SECS),
+                    speed: rng.random_range(0.5f64..30.0),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn window_cfg(num_edges: usize) -> WindowConfig {
+    WindowConfig {
+        num_edges,
+        spec: HistogramSpec::hist4(),
+        slot_secs: SLOT_SECS,
+        slots_per_day: 8,
+        grace_secs: SLOT_SECS,
+        min_records: 2,
+        retain_slots: 128,
+    }
+}
+
+/// Runs the full ingest benchmark. Panics if the refresh fails — CI
+/// treats a non-applying benchmark refresh as a regression.
+pub fn run() -> IngestBenchReport {
+    let city = generators::city_network_sized(3, 96);
+    let n = city.graph.num_nodes();
+
+    // ---- Intake throughput: durable append + window fold. ----
+    let dir = std::env::temp_dir().join(format!("gcwc-ingest-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let records = stream(7, n, 0..16);
+    let mut pipe = Pipeline::new(
+        RecordLog::open(&dir.join("log"), 4096).unwrap(),
+        Aggregator::new(window_cfg(n)),
+    );
+    let t0 = Instant::now();
+    for &r in &records {
+        pipe.ingest(r).unwrap();
+    }
+    let ingest_secs = t0.elapsed().as_secs_f64();
+
+    // ---- Slot-seal latency. ----
+    let t0 = Instant::now();
+    pipe.seal_all().unwrap();
+    let seal_secs = t0.elapsed().as_secs_f64();
+    let sealed = pipe.take_sealed();
+    let slots_sealed = sealed.len();
+
+    // ---- Steady-state allocations per record (mid-slot). ----
+    // The window's accumulators and the log's active buffer are warm
+    // from the run above; a fresh mid-slot batch re-uses them. The
+    // first record opens the slot (one `BTreeMap` node), so it stays
+    // outside the measured window.
+    let probe = stream(8, n, 100..101);
+    pipe.ingest(probe[0]).unwrap();
+    let (_, allocs) = count_allocs(|| {
+        for &r in &probe[1..] {
+            pipe.ingest(r).unwrap();
+        }
+    });
+    let allocs_per_record = allocs as f64 / (probe.len() - 1) as f64;
+
+    // ---- Warm-start refresh wall time. ----
+    let cfg = ModelConfig::ci_hist().with_epochs(1);
+    let graph = city.graph.clone();
+    let mk = {
+        let (graph, cfg) = (graph.clone(), cfg.clone());
+        move || ShardedModel::gcwc(&graph, 4, cfg.clone(), 42, 1)
+    };
+    let registry = Arc::new(ModelRegistry::new(Box::new({
+        let (graph, cfg) = (graph.clone(), cfg.clone());
+        move || AnyModel::Gcwc(GcwcModel::new(&graph, 4, cfg.clone(), 42))
+    })));
+    let mut rcfg = RefreshConfig::new(dir.join("ckpt"));
+    rcfg.holdout = 2;
+    rcfg.min_fresh_slots = 4;
+    rcfg.max_regression = 100.0; // measuring wall time, not validation
+    let mut driver = RefreshDriver::new(rcfg, Box::new(mk), registry).unwrap();
+    // Bootstrap on the first half so the measured refresh warm-starts.
+    let half = slots_sealed / 2;
+    match driver.refresh(&sealed[..half]).unwrap() {
+        RefreshOutcome::Applied { .. } => {}
+        other => panic!("bootstrap refresh not applied: {other:?}"),
+    }
+    let t0 = Instant::now();
+    let outcome = driver.refresh(&sealed).unwrap();
+    let refresh_secs = t0.elapsed().as_secs_f64();
+    let refresh_applied = matches!(outcome, RefreshOutcome::Applied { .. });
+    assert!(refresh_applied, "warm-start refresh must apply: {outcome:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    IngestBenchReport {
+        edges: n,
+        records: records.len(),
+        records_per_sec: records.len() as f64 / ingest_secs.max(1e-9),
+        slots_sealed,
+        seal_latency_secs: seal_secs / slots_sealed.max(1) as f64,
+        refresh_secs,
+        refresh_applied,
+        allocs_per_record,
+    }
+}
+
+/// Human-readable report.
+pub fn render(r: &IngestBenchReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Streaming ingestion benchmark ({} edges)", r.edges);
+    let _ = writeln!(s, "{:>24}{:>16}", "metric", "value");
+    let _ = writeln!(s, "{:>24}{:>16}", "records", r.records);
+    let _ = writeln!(s, "{:>24}{:>16.0}", "records/s", r.records_per_sec);
+    let _ = writeln!(s, "{:>24}{:>16}", "slots sealed", r.slots_sealed);
+    let _ = writeln!(s, "{:>24}{:>16.6}", "seal latency (s)", r.seal_latency_secs);
+    let _ = writeln!(s, "{:>24}{:>16.4}", "refresh wall (s)", r.refresh_secs);
+    let _ = writeln!(s, "{:>24}{:>16}", "refresh applied", r.refresh_applied);
+    let _ = writeln!(s, "{:>24}{:>16.3}", "allocs/record", r.allocs_per_record);
+    s
+}
+
+/// JSON for `BENCH_ingest.json` (same hand-rolled style as the other
+/// bench artifacts — the workspace has no serde).
+pub fn to_json(r: &IngestBenchReport) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"edges\": {},", r.edges);
+    let _ = writeln!(s, "  \"records\": {},", r.records);
+    let _ = writeln!(s, "  \"records_per_sec\": {:.3},", r.records_per_sec);
+    let _ = writeln!(s, "  \"slots_sealed\": {},", r.slots_sealed);
+    let _ = writeln!(s, "  \"seal_latency_secs\": {:.9},", r.seal_latency_secs);
+    let _ = writeln!(s, "  \"refresh_secs\": {:.6},", r.refresh_secs);
+    let _ = writeln!(s, "  \"refresh_applied\": {},", r.refresh_applied);
+    let _ = writeln!(s, "  \"allocs_per_record\": {:.6}", r.allocs_per_record);
+    s.push_str("}\n");
+    s
+}

@@ -11,6 +11,7 @@
 pub mod ablations;
 pub mod allocs;
 pub mod harness;
+pub mod ingestbench;
 pub mod jsonbench;
 pub mod methods;
 pub mod params_table;

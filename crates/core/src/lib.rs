@@ -37,5 +37,5 @@ pub use config::{ConvLayer, CpCnnConfig, ModelConfig, OutputKind};
 pub use infer::{InferRequest, InferWorkspace};
 pub use model::{shard_seed, AGcwcModel, GcwcModel, ShardModel, ShardedModel};
 pub use task::{build_samples, CompletionModel, TaskKind, TrainSample, MAX_SPEED};
-pub use train::{CheckpointPlan, TrainControl, TrainError, TrainReport};
+pub use train::{CheckpointPlan, FineTunePlan, TrainControl, TrainError, TrainReport};
 pub use trainstate::TrainState;

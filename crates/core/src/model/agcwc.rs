@@ -687,6 +687,24 @@ impl AGcwcModel {
         self.last_report = report?;
         Ok(())
     }
+
+    /// Warm-start fine-tuning under `plan`'s epoch count and scaled
+    /// learning rate; see [`GcwcModel::fine_tune`](crate::GcwcModel::fine_tune).
+    pub fn fine_tune(
+        &mut self,
+        samples: &[TrainSample],
+        plan: &crate::train::FineTunePlan,
+        control: &TrainControl,
+    ) -> Result<(), TrainError> {
+        let saved_epochs = self.cfg.epochs;
+        let saved_lr = self.cfg.optim.learning_rate;
+        self.cfg.epochs = plan.epochs.max(1);
+        self.cfg.optim.learning_rate = saved_lr * plan.lr_scale;
+        let result = self.try_fit(samples, control);
+        self.cfg.epochs = saved_epochs;
+        self.cfg.optim.learning_rate = saved_lr;
+        result
+    }
 }
 
 impl CompletionModel for AGcwcModel {

@@ -188,6 +188,28 @@ impl GcwcModel {
         )?;
         Ok(())
     }
+
+    /// Warm-start fine-tuning: a short guarded training pass that
+    /// continues from the current parameters (typically restored from
+    /// a checkpoint) under `plan`'s epoch count and scaled learning
+    /// rate. Consumes the model RNG exactly like one [`GcwcModel::try_fit`]
+    /// call, so a fine-tune is bit-identical to an offline `try_fit`
+    /// on the same samples from the same model state.
+    pub fn fine_tune(
+        &mut self,
+        samples: &[TrainSample],
+        plan: &crate::train::FineTunePlan,
+        control: &TrainControl,
+    ) -> Result<(), TrainError> {
+        let saved_epochs = self.cfg.epochs;
+        let saved_lr = self.cfg.optim.learning_rate;
+        self.cfg.epochs = plan.epochs.max(1);
+        self.cfg.optim.learning_rate = saved_lr * plan.lr_scale;
+        let result = self.try_fit(samples, control);
+        self.cfg.epochs = saved_epochs;
+        self.cfg.optim.learning_rate = saved_lr;
+        result
+    }
 }
 
 impl CompletionModel for GcwcModel {

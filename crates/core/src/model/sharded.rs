@@ -30,7 +30,7 @@ use gcwc_traffic::view_context;
 use crate::config::ModelConfig;
 use crate::model::{AGcwcModel, GcwcModel};
 use crate::task::{CompletionModel, TrainSample};
-use crate::train::{CheckpointPlan, TrainControl, TrainError, TrainReport};
+use crate::train::{CheckpointPlan, FineTunePlan, TrainControl, TrainError, TrainReport};
 
 /// A completion model that can serve as one shard: fit/predict plus
 /// shape introspection and checkpoint persistence.
@@ -48,6 +48,15 @@ pub trait ShardModel: CompletionModel + Send {
     fn try_fit(
         &mut self,
         samples: &[TrainSample],
+        control: &TrainControl,
+    ) -> Result<(), TrainError>;
+    /// Warm-start fine-tuning: a short guarded pass continuing from
+    /// the current parameters under `plan` (see
+    /// [`crate::GcwcModel::fine_tune`]).
+    fn fine_tune(
+        &mut self,
+        samples: &[TrainSample],
+        plan: &FineTunePlan,
         control: &TrainControl,
     ) -> Result<(), TrainError>;
     /// Training report of the shard's last fit.
@@ -74,6 +83,14 @@ impl ShardModel for GcwcModel {
     ) -> Result<(), TrainError> {
         GcwcModel::try_fit(self, samples, control)
     }
+    fn fine_tune(
+        &mut self,
+        samples: &[TrainSample],
+        plan: &FineTunePlan,
+        control: &TrainControl,
+    ) -> Result<(), TrainError> {
+        GcwcModel::fine_tune(self, samples, plan, control)
+    }
     fn last_report(&self) -> &TrainReport {
         GcwcModel::last_report(self)
     }
@@ -98,6 +115,14 @@ impl ShardModel for AGcwcModel {
         control: &TrainControl,
     ) -> Result<(), TrainError> {
         AGcwcModel::try_fit(self, samples, control)
+    }
+    fn fine_tune(
+        &mut self,
+        samples: &[TrainSample],
+        plan: &FineTunePlan,
+        control: &TrainControl,
+    ) -> Result<(), TrainError> {
+        AGcwcModel::fine_tune(self, samples, plan, control)
     }
     fn last_report(&self) -> &TrainReport {
         AGcwcModel::last_report(self)
@@ -255,9 +280,22 @@ impl<M: ShardModel> ShardedModel<M> {
         samples: &[TrainSample],
         control_for: impl Fn(usize) -> TrainControl + Sync,
     ) -> Result<(), TrainError> {
+        self.run_shards(samples, control_for, |shard, local, control| shard.try_fit(local, control))
+    }
+
+    /// Shard fan-out shared by full fits and fine-tune passes: K = 1
+    /// runs on the calling thread (the exact unsharded path), K > 1
+    /// trains shards data-parallel with kernel parallelism pinned to
+    /// one thread inside each.
+    fn run_shards(
+        &mut self,
+        samples: &[TrainSample],
+        control_for: impl Fn(usize) -> TrainControl + Sync,
+        fit: impl Fn(&mut M, &[TrainSample], &TrainControl) -> Result<(), TrainError> + Sync,
+    ) -> Result<(), TrainError> {
         if self.shards.len() == 1 {
             let local: Vec<TrainSample> = samples.iter().map(|s| self.localize(0, s)).collect();
-            return self.shards[0].try_fit(&local, &control_for(0));
+            return fit(&mut self.shards[0], &local, &control_for(0));
         }
         let partition = &self.partition;
         let locals: Vec<Vec<TrainSample>> = (0..self.shards.len())
@@ -277,6 +315,7 @@ impl<M: ShardModel> ShardedModel<M> {
             })
             .collect();
         let control_for = &control_for;
+        let fit = &fit;
         let mut results: Vec<Result<(), TrainError>> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
@@ -287,7 +326,7 @@ impl<M: ShardModel> ShardedModel<M> {
                 .map(|(k, (shard, local))| {
                     scope.spawn(move || {
                         gcwc_linalg::parallel::with_threads(1, || {
-                            shard.try_fit(local, &control_for(k))
+                            fit(shard, local, &control_for(k))
                         })
                     })
                 })
@@ -317,6 +356,35 @@ impl<M: ShardModel> ShardedModel<M> {
             }),
             ..TrainControl::default()
         })
+    }
+
+    /// Warm-start fine-tuning of every shard on its local restriction
+    /// of `samples` under `plan`, with the same periodic training-state
+    /// checkpoints (and divergence guard) as
+    /// [`ShardedModel::fit_shards_resumable`]. The incremental-refresh
+    /// path: load the current checkpoint set, fine-tune on fresh slots
+    /// only, and hand the shards to the serving registry.
+    pub fn fine_tune_shards_resumable(
+        &mut self,
+        samples: &[TrainSample],
+        dir: &Path,
+        stem: &str,
+        every_epochs: usize,
+        resume: bool,
+        plan: &FineTunePlan,
+    ) -> Result<(), TrainError> {
+        self.run_shards(
+            samples,
+            |k| TrainControl {
+                checkpoint: Some(CheckpointPlan {
+                    path: dir.join(format!("{stem}.shard{k}.trainstate")),
+                    every_epochs,
+                    resume,
+                }),
+                ..TrainControl::default()
+            },
+            |shard, local, control| shard.fine_tune(local, plan, control),
+        )
     }
 
     /// Predicts the global completion: each shard predicts on its

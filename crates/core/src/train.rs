@@ -170,6 +170,27 @@ impl Default for TrainControl {
     }
 }
 
+/// Schedule of a warm-start fine-tune pass: a short run that continues
+/// from already-trained parameters on fresh data, rather than a full
+/// from-scratch fit. `epochs` and `lr_scale` override the model's
+/// configured epoch count and scale its learning rate for the duration
+/// of the pass only — the model's own config is untouched afterwards,
+/// so a later full `fit` behaves exactly as before.
+#[derive(Clone, Copy, Debug)]
+pub struct FineTunePlan {
+    /// Epochs of the fine-tune pass (overrides `ModelConfig::epochs`).
+    pub epochs: usize,
+    /// Multiplier on the configured learning rate (incremental
+    /// refreshes typically run cooler than the base fit, e.g. `0.5`).
+    pub lr_scale: f64,
+}
+
+impl Default for FineTunePlan {
+    fn default() -> Self {
+        Self { epochs: 2, lr_scale: 0.5 }
+    }
+}
+
 /// Runs mini-batch training: for every sample `forward_loss` builds the
 /// tape and returns the scalar loss node; gradients are averaged over
 /// the batch and applied with Adam.

@@ -1,0 +1,160 @@
+//! Bounded record intake: the MPSC seam between producers and the
+//! pipeline.
+//!
+//! Producers (simulated probes, a wire front end, a replay tool) hold
+//! cheap cloneable [`IntakeHandle`]s and push [`SpeedRecord`]s into a
+//! [`BoundedQueue`]; the single pipeline owner drains them in batches.
+//! The queue is allocated once at capacity, so steady-state submission
+//! is allocation-free, and a full queue exerts backpressure: blocking
+//! sends park the producer, non-blocking sends hand the record back.
+
+use std::sync::Arc;
+
+use gcwc_serve::queue::{BoundedQueue, PushError};
+
+use crate::record::SpeedRecord;
+
+/// The consumer side of the intake queue. Owned by whoever drives the
+/// [`crate::Pipeline`]; hand out producers via [`Intake::handle`].
+pub struct Intake {
+    queue: Arc<BoundedQueue<SpeedRecord>>,
+}
+
+/// A producer handle onto the intake queue. `Clone` + `Send`: one per
+/// producer thread.
+#[derive(Clone)]
+pub struct IntakeHandle {
+    queue: Arc<BoundedQueue<SpeedRecord>>,
+}
+
+impl Intake {
+    /// An intake queue holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self { queue: Arc::new(BoundedQueue::new(capacity)) }
+    }
+
+    /// A new producer handle.
+    pub fn handle(&self) -> IntakeHandle {
+        IntakeHandle { queue: Arc::clone(&self.queue) }
+    }
+
+    /// Pops one record without blocking.
+    pub fn try_recv(&self) -> Option<SpeedRecord> {
+        self.queue.try_pop()
+    }
+
+    /// Pops one record, blocking until one arrives; `None` once the
+    /// queue is closed and drained.
+    pub fn recv(&self) -> Option<SpeedRecord> {
+        self.queue.pop()
+    }
+
+    /// Drains everything currently queued through `f`; returns how
+    /// many records were handed over. Does not block.
+    pub fn drain(&self, mut f: impl FnMut(SpeedRecord)) -> usize {
+        let mut n = 0;
+        while let Some(rec) = self.queue.try_pop() {
+            f(rec);
+            n += 1;
+        }
+        n
+    }
+
+    /// Closes the queue: producers fail fast, the consumer drains what
+    /// remains and then sees `None`.
+    pub fn close(&self) {
+        self.queue.close();
+    }
+
+    /// Records currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no records are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl IntakeHandle {
+    /// Blocking send with backpressure: parks while the queue is full;
+    /// returns the record back once the intake is closed.
+    pub fn send(&self, rec: SpeedRecord) -> Result<(), SpeedRecord> {
+        self.queue.push(rec).map_err(unwrap_push)
+    }
+
+    /// Non-blocking send; hands the record back when the queue is full
+    /// or closed.
+    pub fn try_send(&self, rec: SpeedRecord) -> Result<(), SpeedRecord> {
+        self.queue.try_push(rec).map_err(unwrap_push)
+    }
+
+    /// True once the intake has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.queue.is_closed()
+    }
+}
+
+fn unwrap_push(e: PushError<SpeedRecord>) -> SpeedRecord {
+    match e {
+        PushError::Full(r) | PushError::Closed(r) => r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(edge: u32) -> SpeedRecord {
+        SpeedRecord { edge, timestamp: edge as u64, speed: 5.0 }
+    }
+
+    #[test]
+    fn drain_preserves_fifo_order() {
+        let intake = Intake::new(8);
+        let h = intake.handle();
+        for i in 0..5 {
+            h.try_send(rec(i)).unwrap();
+        }
+        let mut seen = Vec::new();
+        assert_eq!(intake.drain(|r| seen.push(r.edge)), 5);
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert!(intake.is_empty());
+    }
+
+    #[test]
+    fn full_queue_pushes_back_on_try_send() {
+        let intake = Intake::new(2);
+        let h = intake.handle();
+        h.try_send(rec(0)).unwrap();
+        h.try_send(rec(1)).unwrap();
+        assert_eq!(h.try_send(rec(2)).unwrap_err().edge, 2);
+        intake.try_recv().unwrap();
+        h.try_send(rec(2)).unwrap();
+    }
+
+    #[test]
+    fn close_rejects_producers_but_drains_consumer() {
+        let intake = Intake::new(4);
+        let h = intake.handle();
+        h.send(rec(0)).unwrap();
+        intake.close();
+        assert!(h.is_closed());
+        assert!(h.send(rec(1)).is_err());
+        assert_eq!(intake.recv().map(|r| r.edge), Some(0));
+        assert_eq!(intake.recv(), None);
+    }
+
+    #[test]
+    fn blocking_send_exerts_backpressure() {
+        let intake = Intake::new(1);
+        let h = intake.handle();
+        h.send(rec(0)).unwrap();
+        let t = std::thread::spawn(move || h.send(rec(1)));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(intake.recv().map(|r| r.edge), Some(0));
+        t.join().unwrap().unwrap();
+        assert_eq!(intake.recv().map(|r| r.edge), Some(1));
+    }
+}

@@ -1,0 +1,37 @@
+//! The unit of the stream: one observed traversal speed on one edge.
+
+/// One speed observation from the field: a vehicle traversed `edge` at
+/// `timestamp` (seconds since the stream epoch) with average `speed`
+/// (m/s). 24 bytes, `Copy` — the intake queue and log buffers move
+/// records without touching the heap.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpeedRecord {
+    /// Global edge index in the served graph.
+    pub edge: u32,
+    /// Event time in seconds since the stream epoch (not arrival
+    /// time — the window aggregator orders by event time only).
+    pub timestamp: u64,
+    /// Observed speed in m/s.
+    pub speed: f64,
+}
+
+impl SpeedRecord {
+    /// The time slot this record's event time falls into.
+    pub fn slot(&self, slot_secs: u64) -> u64 {
+        self.timestamp / slot_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_is_floor_division() {
+        let r = |t| SpeedRecord { edge: 0, timestamp: t, speed: 10.0 };
+        assert_eq!(r(0).slot(900), 0);
+        assert_eq!(r(899).slot(900), 0);
+        assert_eq!(r(900).slot(900), 1);
+        assert_eq!(r(1800).slot(900), 2);
+    }
+}

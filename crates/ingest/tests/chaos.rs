@@ -1,0 +1,238 @@
+//! Chaos tests: fault injection through `gcwc-failpoint` against the
+//! ingestion pipeline. Only compiled with `--features failpoints`.
+//!
+//! Covered invariants: an injected append failure refuses the record
+//! without touching buffered or published state (retry succeeds, no
+//! torn segment); an injected seal failure leaves the slot open and a
+//! retry seals it bit-identically; and a crash injected mid-refresh —
+//! after the candidate checkpoints, before the manifest commit —
+//! leaves the manifest on the previous generation, the registry
+//! serving the previous snapshot bit-identically, and a post-restart
+//! driver able to recover and re-apply.
+//!
+//! The failpoint registry is process-global, so every test serialises
+//! on [`chaos_lock`] and disarms its sites before releasing it.
+
+#![cfg(feature = "failpoints")]
+
+use gcwc::{GcwcModel, ModelConfig, ShardedModel};
+use gcwc_ingest::{
+    failsite, Aggregator, IngestError, RecordLog, RefreshConfig, RefreshDriver, RefreshOutcome,
+    SpeedRecord, WindowConfig,
+};
+use gcwc_serve::{AnyModel, Engine, EngineConfig, ModelRegistry};
+use gcwc_traffic::{generators, HistogramSpec};
+use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn disarm() {
+    gcwc_failpoint::remove(failsite::LOG_APPEND);
+    gcwc_failpoint::remove(failsite::SLOT_SEAL);
+    gcwc_failpoint::remove(failsite::REFRESH_SWAP);
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gcwc-ingest-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn rec(edge: u32, t: u64, v: f64) -> SpeedRecord {
+    SpeedRecord { edge, timestamp: t, speed: v }
+}
+
+fn window_cfg(num_edges: usize) -> WindowConfig {
+    WindowConfig {
+        num_edges,
+        spec: HistogramSpec::hist4(),
+        slot_secs: 100,
+        slots_per_day: 8,
+        grace_secs: 100,
+        min_records: 2,
+        retain_slots: 64,
+    }
+}
+
+#[test]
+fn log_append_fault_refuses_record_and_retry_succeeds() {
+    let _guard = chaos_lock();
+    let dir = tmpdir("append-err");
+    let mut log = RecordLog::open(&dir, 2).unwrap();
+    log.append(rec(0, 1, 5.0)).unwrap();
+
+    gcwc_failpoint::configure(failsite::LOG_APPEND, "1*err->off").unwrap();
+    assert!(matches!(log.append(rec(1, 2, 6.0)), Err(IngestError::Io(_))));
+    // Nothing changed: the refused record can be retried verbatim and
+    // the segment publishes exactly as if the fault never happened.
+    assert_eq!(log.pending(), 1);
+    assert!(log.append(rec(1, 2, 6.0)).unwrap());
+    assert_eq!(log.persisted(), 2);
+    assert_eq!(log.replay().unwrap().len(), 2);
+
+    disarm();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn log_append_panic_never_tears_a_segment() {
+    let _guard = chaos_lock();
+    let dir = tmpdir("append-panic");
+    let mut log = RecordLog::open(&dir, 2).unwrap();
+    log.append(rec(0, 1, 5.0)).unwrap();
+
+    gcwc_failpoint::configure(failsite::LOG_APPEND, "1*panic->off").unwrap();
+    let panicked = catch_unwind(AssertUnwindSafe(|| log.append(rec(1, 2, 6.0)))).is_err();
+    assert!(panicked, "panic schedule must fire");
+    drop(log);
+
+    // "Restart": reopen validates every published segment — the crash
+    // mid-append left no torn file (the in-memory buffer is lost, as
+    // documented: durability unit is the segment).
+    let log = RecordLog::open(&dir, 2).unwrap();
+    assert_eq!(log.persisted(), 0);
+    disarm();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slot_seal_fault_leaves_slot_open_and_retry_seals_identically() {
+    let _guard = chaos_lock();
+    let feed = |agg: &mut Aggregator| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for slot in 0..3u64 {
+            for edge in 0..4u32 {
+                for _ in 0..3 {
+                    agg.offer(rec(edge, slot * 100 + rng.random_range(0u64..100), 12.0));
+                }
+            }
+        }
+    };
+    let mut control = Aggregator::new(window_cfg(4));
+    feed(&mut control);
+    let mut reference = Vec::new();
+    control.seal_all(&mut reference).unwrap();
+
+    let mut agg = Aggregator::new(window_cfg(4));
+    feed(&mut agg);
+    gcwc_failpoint::configure(failsite::SLOT_SEAL, "1*err->off").unwrap();
+    let mut out = Vec::new();
+    assert!(matches!(agg.seal_all(&mut out), Err(IngestError::Injected(_))));
+    assert!(out.is_empty(), "failed seal must not emit a slot");
+    assert_eq!(agg.open_slots(), 3, "failed seal must leave every slot open");
+
+    // Retry seals bit-identically to the undisturbed control run.
+    agg.seal_all(&mut out).unwrap();
+    assert_eq!(out.len(), reference.len());
+    for (a, b) in out.iter().zip(&reference) {
+        assert_eq!(a.slot, b.slot);
+        for (x, y) in a.weights.matrix().as_slice().iter().zip(b.weights.matrix().as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+    disarm();
+}
+
+#[test]
+fn mid_refresh_crash_leaves_server_on_previous_generation() {
+    let _guard = chaos_lock();
+    let hw = generators::highway_tollgate(3);
+    let graph = hw.graph.clone();
+    let n = graph.num_nodes();
+    let cfg = ModelConfig::hw_hist().with_epochs(1);
+    let mk = {
+        let (graph, cfg) = (graph.clone(), cfg.clone());
+        move || ShardedModel::gcwc(&graph, 4, cfg.clone(), 17, 1)
+    };
+    let registry = Arc::new(ModelRegistry::new(Box::new({
+        let (graph, cfg) = (graph.clone(), cfg.clone());
+        move || AnyModel::Gcwc(GcwcModel::new(&graph, 4, cfg.clone(), 17))
+    })));
+    let engine = Engine::new(
+        Arc::clone(&registry),
+        EngineConfig { workers: 0, cache_capacity: 0, ..Default::default() },
+    );
+
+    // Seal two batches of slots.
+    let mut agg = Aggregator::new(window_cfg(n));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut sealed = Vec::new();
+    for slot in 0..16u64 {
+        for edge in 0..n as u32 {
+            for _ in 0..4 {
+                agg.offer(rec(
+                    edge,
+                    slot * 100 + rng.random_range(0u64..100),
+                    rng.random_range(0.5f64..30.0),
+                ));
+            }
+        }
+    }
+    agg.seal_all(&mut sealed).unwrap();
+    let (batch1, batch2) = sealed.split_at(8);
+
+    let dir = tmpdir("refresh-crash");
+    let mut rcfg = RefreshConfig::new(dir.clone());
+    rcfg.holdout = 2;
+    rcfg.min_fresh_slots = 4;
+    // This test exercises crash semantics, not validation: a huge
+    // tolerance keeps the retry from rolling back on loss noise.
+    rcfg.max_regression = 100.0;
+    let mut driver =
+        RefreshDriver::new(rcfg.clone(), Box::new(mk.clone()), Arc::clone(&registry)).unwrap();
+    match driver.refresh(batch1).unwrap() {
+        RefreshOutcome::Applied { checkpoint_generation: 1, .. } => {}
+        other => panic!("bootstrap refresh not applied: {other:?}"),
+    }
+    let gen_before = registry.generation();
+
+    // Reference completion served by generation 1.
+    let probe = batch1[0].weights.matrix().clone();
+    let serve = |engine: &Engine| {
+        let mut client = engine.client();
+        let mut buf = client.input_buffer();
+        buf.copy_from(&probe);
+        client.send(buf, 1, 0).unwrap();
+        engine.process_queued();
+        let c = client.recv().unwrap();
+        (c.output.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(), c.generation)
+    };
+    let (bits_before, g_before) = serve(&engine);
+    assert_eq!(g_before, gen_before);
+
+    // Crash mid-refresh: the panic fires after the g2 checkpoints are
+    // written but before the manifest commit and registry install.
+    gcwc_failpoint::configure(failsite::REFRESH_SWAP, "1*panic->off").unwrap();
+    let crashed = catch_unwind(AssertUnwindSafe(|| driver.refresh(batch2))).is_err();
+    assert!(crashed, "refresh swap panic must fire");
+    drop(driver);
+
+    // No torn state: the registry still serves generation 1
+    // bit-identically, and a post-restart driver sees the manifest
+    // naming generation 1.
+    assert_eq!(registry.generation(), gen_before);
+    let (bits_after, g_after) = serve(&engine);
+    assert_eq!(g_after, gen_before);
+    assert_eq!(bits_before, bits_after, "crash must not disturb the served model");
+
+    let mut revived = RefreshDriver::new(rcfg, Box::new(mk), Arc::clone(&registry)).unwrap();
+    assert_eq!(revived.generation(), 1, "manifest must still name the committed generation");
+    revived.reinstall_current().unwrap();
+
+    // The retry consumes the same slots and commits generation 2.
+    match revived.refresh(batch2).unwrap() {
+        RefreshOutcome::Applied { checkpoint_generation: 2, .. } => {}
+        other => panic!("post-crash retry not applied: {other:?}"),
+    }
+    assert!(registry.generation() > gen_before);
+    assert!(dir.join("live.manifest").exists());
+    disarm();
+    let _ = std::fs::remove_dir_all(&dir);
+}

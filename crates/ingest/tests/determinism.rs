@@ -1,0 +1,176 @@
+//! Determinism properties of the ingestion pipeline.
+//!
+//! The load-bearing invariant: sealed slot `W` matrices are a pure
+//! function of the *set* of records accepted, never of arrival order
+//! or batching — and a refresh consumes the model RNG exactly like an
+//! offline fit, so the refreshed checkpoints are byte-identical to
+//! offline training on the same data.
+
+use gcwc::{GcwcModel, ModelConfig, ShardedModel};
+use gcwc_ingest::{
+    Aggregator, RefreshConfig, RefreshDriver, SealedSlot, SpeedRecord, WindowConfig,
+};
+use gcwc_serve::{AnyModel, ModelRegistry};
+use gcwc_traffic::{generators, HistogramSpec};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn window_cfg(num_edges: usize) -> WindowConfig {
+    WindowConfig {
+        num_edges,
+        spec: HistogramSpec::hist4(),
+        slot_secs: 100,
+        slots_per_day: 8,
+        grace_secs: 100,
+        min_records: 2,
+        retain_slots: 64,
+    }
+}
+
+/// A synthetic record stream: every edge gets a few records per slot,
+/// timestamps jittered inside the slot.
+fn gen_records(seed: u64, num_edges: usize, slots: u64, per_edge: usize) -> Vec<SpeedRecord> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for slot in 0..slots {
+        for edge in 0..num_edges as u32 {
+            for _ in 0..per_edge {
+                out.push(SpeedRecord {
+                    edge,
+                    timestamp: slot * 100 + rng.random_range(0u64..100),
+                    speed: rng.random_range(0.5f64..30.0),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Feeds `records` (optionally in chunks, sealing between chunks) and
+/// returns every sealed slot.
+fn run_stream(cfg: WindowConfig, records: &[SpeedRecord], chunk: usize) -> Vec<SealedSlot> {
+    let mut agg = Aggregator::new(cfg);
+    let mut out = Vec::new();
+    for batch in records.chunks(chunk.max(1)) {
+        for &r in batch {
+            agg.offer(r);
+        }
+        agg.seal_ready(&mut out).unwrap();
+    }
+    agg.seal_all(&mut out).unwrap();
+    out
+}
+
+fn assert_bit_identical(a: &[SealedSlot], b: &[SealedSlot]) {
+    assert_eq!(a.len(), b.len(), "sealed slot counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.slot, y.slot);
+        assert_eq!(x.records, y.records);
+        assert_eq!(x.context.row_flags, y.context.row_flags);
+        let (mx, my) = (x.weights.matrix(), y.weights.matrix());
+        assert_eq!(mx.shape(), my.shape());
+        for (va, vb) in mx.as_slice().iter().zip(my.as_slice()) {
+            assert_eq!(va.to_bits(), vb.to_bits(), "slot {} differs", x.slot);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any permutation of the same record stream, fed whole and then
+    /// sealed, yields `to_bits`-identical slot matrices.
+    #[test]
+    fn permutation_invariant_sealing(seed in 0u64..500, shuffle_seed in 0u64..500) {
+        let records = gen_records(seed, 5, 4, 4);
+        let baseline = run_stream(window_cfg(5), &records, records.len());
+        prop_assert!(!baseline.is_empty());
+        // Fisher–Yates with an independent seed.
+        let mut shuffled = records.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(shuffle_seed);
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.random_range(0usize..i + 1);
+            shuffled.swap(i, j);
+        }
+        let permuted = run_stream(window_cfg(5), &shuffled, shuffled.len());
+        assert_bit_identical(&baseline, &permuted);
+    }
+
+    /// Any chunking of an in-order stream — sealing eagerly between
+    /// chunks — yields the same sealed matrices as one single-shot
+    /// feed-then-seal.
+    #[test]
+    fn chunking_invariant_sealing(seed in 0u64..500, chunk in 1usize..40) {
+        let records = gen_records(seed, 5, 4, 4);
+        let baseline = run_stream(window_cfg(5), &records, records.len());
+        let chunked = run_stream(window_cfg(5), &records, chunk);
+        assert_bit_identical(&baseline, &chunked);
+    }
+}
+
+fn tmpdir(tag: &str, seed: u64) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("gcwc-ingest-det-{tag}-{seed}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// A refresh fine-tunes with exactly the RNG stream of an offline
+    /// fit: the committed checkpoints are byte-identical to training a
+    /// fresh model offline on the same sealed slots.
+    #[test]
+    fn refresh_checkpoints_match_offline_training(seed in 0u64..50) {
+        let hw = generators::highway_tollgate(seed);
+        let n = hw.graph.num_nodes();
+        let sealed = run_stream(window_cfg(n), &gen_records(seed, n, 8, 4), 50);
+        prop_assert!(sealed.len() >= 6);
+
+        let cfg = ModelConfig::hw_hist().with_epochs(1);
+        let graph = hw.graph.clone();
+        let mk = {
+            let (graph, cfg) = (graph.clone(), cfg.clone());
+            move || ShardedModel::gcwc(&graph, 4, cfg.clone(), 42 + seed, 1)
+        };
+        let registry = Arc::new(ModelRegistry::new(Box::new({
+            let (graph, cfg) = (graph.clone(), cfg.clone());
+            move || AnyModel::Gcwc(GcwcModel::new(&graph, 4, cfg.clone(), 42 + seed))
+        })));
+
+        let dir = tmpdir("refresh", seed);
+        let mut rcfg = RefreshConfig::new(dir.clone());
+        rcfg.holdout = 2;
+        rcfg.min_fresh_slots = 4;
+        let plan = rcfg.plan;
+        let mut driver = RefreshDriver::new(rcfg, Box::new(mk.clone()), registry).unwrap();
+        let outcome = driver.refresh(&sealed).unwrap();
+        prop_assert!(
+            matches!(outcome, gcwc_ingest::RefreshOutcome::Applied { .. }),
+            "expected Applied, got {outcome:?}"
+        );
+
+        // Offline replication: same factory, same fresh samples, same
+        // plan — trained in a different directory.
+        let split = sealed.len() - 2;
+        let samples: Vec<_> =
+            sealed[..split].iter().enumerate().map(|(i, s)| s.to_sample(i)).collect();
+        let offline_dir = tmpdir("offline", seed);
+        std::fs::create_dir_all(&offline_dir).unwrap();
+        let mut offline: ShardedModel<GcwcModel> = mk();
+        offline
+            .fine_tune_shards_resumable(&samples, &offline_dir, "off", 1, false, &plan)
+            .unwrap();
+        offline.save_shards(&offline_dir, "off.g1").unwrap();
+
+        let committed = std::fs::read(dir.join("live.g1.shard0.ckpt")).unwrap();
+        let reference = std::fs::read(offline_dir.join("off.g1.shard0.ckpt")).unwrap();
+        prop_assert_eq!(committed, reference, "refresh checkpoint diverged from offline fit");
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&offline_dir);
+    }
+}

@@ -28,7 +28,7 @@ use gcwc::{InferRequest, InferWorkspace, OutputKind};
 use gcwc_linalg::Matrix;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Engine tuning knobs.
@@ -253,6 +253,69 @@ struct Counters {
     retries: AtomicU64,
 }
 
+/// Shared counters of the streaming-ingestion pipeline (`gcwc-ingest`
+/// feeds them; the engine folds them into [`StatsSnapshot`] so the
+/// wire `stats` response surfaces refresh observability without the
+/// serving layer depending on the ingest crate). All monotonic except
+/// `generation_age`, a gauge: slots sealed since the last applied
+/// refresh — how stale the served model is in slot units.
+#[derive(Default)]
+pub struct IngestStats {
+    records_ingested: AtomicU64,
+    slots_sealed: AtomicU64,
+    late_records_dropped: AtomicU64,
+    refreshes_applied: AtomicU64,
+    refreshes_rolled_back: AtomicU64,
+    generation_age: AtomicU64,
+}
+
+impl IngestStats {
+    /// Fresh all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts `n` records accepted into the log + window.
+    pub fn add_records(&self, n: u64) {
+        self.records_ingested.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one slot sealed; the served model ages by one slot.
+    pub fn slot_sealed(&self) {
+        self.slots_sealed.fetch_add(1, Ordering::Relaxed);
+        self.generation_age.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one record dropped for arriving after its slot sealed.
+    pub fn late_dropped(&self) {
+        self.late_records_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one refresh hot-swapped into the registry; the served
+    /// model is fresh again, so the age gauge resets.
+    pub fn refresh_applied(&self) {
+        self.refreshes_applied.fetch_add(1, Ordering::Relaxed);
+        self.generation_age.store(0, Ordering::Relaxed);
+    }
+
+    /// Counts one refresh discarded after validation regressed.
+    pub fn refresh_rolled_back(&self) {
+        self.refreshes_rolled_back.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time values in [`StatsSnapshot`] field order.
+    pub fn snapshot(&self) -> [u64; 6] {
+        [
+            self.records_ingested.load(Ordering::Relaxed),
+            self.slots_sealed.load(Ordering::Relaxed),
+            self.late_records_dropped.load(Ordering::Relaxed),
+            self.refreshes_applied.load(Ordering::Relaxed),
+            self.refreshes_rolled_back.load(Ordering::Relaxed),
+            self.generation_age.load(Ordering::Relaxed),
+        ]
+    }
+}
+
 /// Point-in-time view of the engine counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StatsSnapshot {
@@ -286,6 +349,20 @@ pub struct StatsSnapshot {
     pub degraded_responses: u64,
     /// Client-side retry attempts (bounded-retry policy).
     pub retries: u64,
+    /// Speed records accepted by the ingestion pipeline (0 when no
+    /// [`IngestStats`] is attached).
+    pub records_ingested: u64,
+    /// Time slots sealed by the sliding-window aggregator.
+    pub slots_sealed: u64,
+    /// Records dropped for arriving after their slot sealed (outside
+    /// the grace window).
+    pub late_records_dropped: u64,
+    /// Incremental refreshes hot-swapped into the registry.
+    pub refreshes_applied: u64,
+    /// Incremental refreshes discarded after validation regressed.
+    pub refreshes_rolled_back: u64,
+    /// Slots sealed since the last applied refresh (staleness gauge).
+    pub generation_age: u64,
 }
 
 /// Per-worker (or inline-drain) scratch, reused across batches.
@@ -334,6 +411,9 @@ struct EngineInner {
     /// Per-shard failpoint site names, precomputed so the hot path
     /// never formats (allocation-free evaluation).
     forward_sites: Vec<String>,
+    /// Ingestion counters, attached once by the streaming pipeline
+    /// (absent — all-zero in stats — for a purely static deployment).
+    ingest: OnceLock<Arc<IngestStats>>,
 }
 
 impl EngineInner {
@@ -621,6 +701,7 @@ impl Engine {
             inline_state: Mutex::new(WorkerState::new(max_batch)),
             health,
             forward_sites,
+            ingest: OnceLock::new(),
         });
         let mut workers = Vec::with_capacity(cfg.workers);
         for w in 0..cfg.workers {
@@ -780,6 +861,7 @@ impl Engine {
             cache_misses += m;
             cache_evictions += e;
         }
+        let ingest = self.inner.ingest.get().map(|i| i.snapshot()).unwrap_or_default();
         StatsSnapshot {
             requests: c.requests.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
@@ -795,7 +877,20 @@ impl Engine {
             breaker_open: c.breaker_open.load(Ordering::Relaxed),
             degraded_responses: c.degraded_responses.load(Ordering::Relaxed),
             retries: c.retries.load(Ordering::Relaxed),
+            records_ingested: ingest[0],
+            slots_sealed: ingest[1],
+            late_records_dropped: ingest[2],
+            refreshes_applied: ingest[3],
+            refreshes_rolled_back: ingest[4],
+            generation_age: ingest[5],
         }
+    }
+
+    /// Attaches the ingestion pipeline's counters so `stats` responses
+    /// surface refresh observability. Idempotent for the same Arc;
+    /// only the first attachment wins.
+    pub fn attach_ingest(&self, stats: Arc<IngestStats>) {
+        let _ = self.inner.ingest.set(stats);
     }
 
     /// True while shard `k`'s circuit breaker denies regular traffic

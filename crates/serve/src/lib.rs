@@ -49,8 +49,8 @@ pub mod wire;
 
 pub use cache::{CacheKey, CompletionCache};
 pub use engine::{
-    Client, Completion, CompletionHook, Engine, EngineConfig, RetryPolicy, StatsSnapshot,
-    SubmitError,
+    Client, Completion, CompletionHook, Engine, EngineConfig, IngestStats, RetryPolicy,
+    StatsSnapshot, SubmitError,
 };
 pub use health::{Admission, BreakerConfig, ShardHealth};
 pub use queue::BoundedQueue;

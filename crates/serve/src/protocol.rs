@@ -16,6 +16,8 @@
 //! degraded <rows> <cols> <hit 0|1> <generation> <shards> <hex…>
 //! stats <requests> <completed> <batches> <hits> <misses> <evictions> <generation> <shards>
 //!       <worker_restarts> <breaker_open> <degraded_responses> <retries>
+//!       <records_ingested> <slots_sealed> <late_records_dropped>
+//!       <refreshes_applied> <refreshes_rolled_back> <generation_age>
 //! pong
 //! bye
 //! err <code> <message…>
@@ -181,12 +183,15 @@ pub fn write_err(buf: &mut String, err: &ServeError) {
     let _ = write!(buf, "err {} {}", err.code(), err);
 }
 
-/// Renders the `stats` response line (no trailing newline).
+/// Renders the `stats` response line (no trailing newline). The six
+/// ingestion fields (records ingested, slots sealed, late drops,
+/// refreshes applied / rolled back, generation age) trail the original
+/// serving counters so existing positional consumers keep working.
 pub fn write_stats(buf: &mut String, s: &StatsSnapshot) {
     use std::fmt::Write;
     let _ = write!(
         buf,
-        "stats {} {} {} {} {} {} {} {} {} {} {} {}",
+        "stats {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
         s.requests,
         s.completed,
         s.batches,
@@ -198,7 +203,13 @@ pub fn write_stats(buf: &mut String, s: &StatsSnapshot) {
         s.worker_restarts,
         s.breaker_open,
         s.degraded_responses,
-        s.retries
+        s.retries,
+        s.records_ingested,
+        s.slots_sealed,
+        s.late_records_dropped,
+        s.refreshes_applied,
+        s.refreshes_rolled_back,
+        s.generation_age
     );
 }
 

@@ -312,6 +312,46 @@ impl ModelRegistry {
         self.install_shard(0, model)
     }
 
+    /// Swaps a complete shard set in as **one** atomic snapshot
+    /// replacement under a single generation bump — the hot-swap path
+    /// of an incremental refresh, where shard-by-shard
+    /// [`ModelRegistry::install_shard`] calls would expose mixed
+    /// generations to in-flight requests (and a crash between them
+    /// would strand a half-swapped set). Every shard's generation
+    /// changes, so all cached completions of the previous set miss.
+    /// Returns the new generation.
+    pub fn install_set(&self, models: Vec<AnyModel>) -> u64 {
+        assert_eq!(models.len(), self.factories.len(), "install_set needs one model per shard");
+        for (k, model) in models.iter().enumerate() {
+            assert_eq!(
+                model.num_edges(),
+                self.views[k].num_local(),
+                "installed model does not match shard {k}'s view"
+            );
+        }
+        // Same injection point as the per-shard swap: a `panic` here
+        // dies before the generation bump, leaving the previous
+        // snapshot serving untouched.
+        if gcwc_failpoint::triggered(crate::failsite::REGISTRY_INSTALL) {
+            panic!("failpoint {}: injected install failure", crate::failsite::REGISTRY_INSTALL);
+        }
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let shards: Vec<Arc<ModelShard>> = models
+            .into_iter()
+            .map(|model| Arc::new(ModelShard { model, generation, source: None }))
+            .collect();
+        let mut current = self.current.write().unwrap();
+        *current = Arc::new(ModelSnapshot {
+            shards,
+            views: Arc::clone(&self.views),
+            generation,
+            n: current.n,
+            m: current.m,
+            out_cols: current.out_cols,
+        });
+        generation
+    }
+
     fn swap_shard(&self, k: usize, model: AnyModel, source: Option<PathBuf>) -> u64 {
         // Failpoint: `panic` here simulates dying mid-install,
         // `delay(ms)` a slow swap racing in-flight batches (which keep

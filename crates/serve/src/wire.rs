@@ -405,8 +405,8 @@ pub fn decode_err(payload: &[u8]) -> Result<ServeError, WireError> {
     Ok(protocol::remote_error(code, &message))
 }
 
-/// Field order of the `stats` response payload (14 `u64`s).
-fn stats_fields(s: &StatsSnapshot) -> [u64; 14] {
+/// Field order of the `stats` response payload (20 `u64`s).
+fn stats_fields(s: &StatsSnapshot) -> [u64; 20] {
     [
         s.requests,
         s.completed,
@@ -422,6 +422,12 @@ fn stats_fields(s: &StatsSnapshot) -> [u64; 14] {
         s.breaker_open,
         s.degraded_responses,
         s.retries,
+        s.records_ingested,
+        s.slots_sealed,
+        s.late_records_dropped,
+        s.refreshes_applied,
+        s.refreshes_rolled_back,
+        s.generation_age,
     ]
 }
 
@@ -436,7 +442,7 @@ pub fn encode_stats(buf: &mut Vec<u8>, request_id: u64, s: &StatsSnapshot) {
 
 /// Decodes a `stats` response payload.
 pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, WireError> {
-    if payload.len() != 14 * 8 {
+    if payload.len() != 20 * 8 {
         return Err(WireError::Truncated { what: "stats response" });
     }
     let v = |i: usize| u64_at(payload, i * 8);
@@ -455,6 +461,12 @@ pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, WireError> {
         breaker_open: v(11),
         degraded_responses: v(12),
         retries: v(13),
+        records_ingested: v(14),
+        slots_sealed: v(15),
+        late_records_dropped: v(16),
+        refreshes_applied: v(17),
+        refreshes_rolled_back: v(18),
+        generation_age: v(19),
     })
 }
 
@@ -625,10 +637,24 @@ mod tests {
             breaker_open: 12,
             degraded_responses: 13,
             retries: 14,
+            records_ingested: 15,
+            slots_sealed: 16,
+            late_records_dropped: 17,
+            refreshes_applied: 18,
+            refreshes_rolled_back: 19,
+            generation_age: 20,
         };
         let mut buf = Vec::new();
         encode_stats(&mut buf, 3, &s);
         let back = decode_stats(&buf[HEADER_LEN..]).unwrap();
         assert_eq!(format!("{s:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn stats_payload_length_is_enforced() {
+        let mut buf = Vec::new();
+        encode_stats(&mut buf, 1, &StatsSnapshot::default());
+        assert_eq!(buf.len(), HEADER_LEN + 20 * 8);
+        assert!(decode_stats(&buf[HEADER_LEN..buf.len() - 8]).is_err());
     }
 }

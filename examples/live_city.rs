@@ -1,0 +1,156 @@
+//! Live loop quickstart: stream probe-vehicle records into the ingest
+//! pipeline, watch slots seal into weight matrices, and see the served
+//! model refresh itself — warm-start fine-tune, validate, atomic
+//! hot-swap — while completions keep flowing.
+//!
+//! ```sh
+//! cargo run --release --example live_city
+//! ```
+
+use gcwc::{GcwcModel, ModelConfig, ShardedModel};
+use gcwc_ingest::{
+    Aggregator, Intake, Pipeline, RecordLog, RefreshConfig, RefreshDriver, RefreshOutcome,
+    SpeedRecord, WindowConfig,
+};
+use gcwc_serve::{AnyModel, Engine, EngineConfig, IngestStats, ModelRegistry};
+use gcwc_traffic::{generators, HistogramSpec};
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const SLOT_SECS: u64 = 900; // the paper's 15-minute intervals
+const M: usize = 4;
+
+fn main() {
+    // 1. A synthetic city and the serving stack: registry + engine.
+    //    `workers: 0` keeps the example single-threaded and
+    //    deterministic; a real deployment runs worker threads.
+    let city = generators::city_network_sized(3, 96);
+    let graph = city.graph.clone();
+    let n = graph.num_nodes();
+    let cfg = ModelConfig::ci_hist().with_epochs(1);
+    let seed = 42u64;
+
+    let registry = Arc::new(ModelRegistry::new(Box::new({
+        let (graph, cfg) = (graph.clone(), cfg.clone());
+        move || AnyModel::Gcwc(GcwcModel::new(&graph, M, cfg.clone(), seed))
+    })));
+    let engine = Engine::new(
+        Arc::clone(&registry),
+        EngineConfig { workers: 0, cache_capacity: 256, ..Default::default() },
+    );
+    let stats = Arc::new(IngestStats::new());
+    engine.attach_ingest(Arc::clone(&stats));
+
+    // 2. The ingest pipeline: a crash-safe record log plus a sliding
+    //    window that folds records into per-slot weight matrices.
+    let dir = std::env::temp_dir().join("gcwc_live_city");
+    let _ = std::fs::remove_dir_all(&dir);
+    let window = WindowConfig {
+        num_edges: n,
+        spec: HistogramSpec::hist4(),
+        slot_secs: SLOT_SECS,
+        slots_per_day: 96,
+        grace_secs: SLOT_SECS,
+        min_records: 2,
+        retain_slots: 64,
+    };
+    let mut pipe = Pipeline::new(
+        RecordLog::open(&dir.join("log"), 4096).expect("open record log"),
+        Aggregator::new(window),
+    )
+    .with_stats(Arc::clone(&stats));
+
+    // 3. The refresh driver: fine-tunes the current checkpoint on
+    //    freshly sealed slots, validates on a holdout, and hot-swaps
+    //    the registry only when the candidate passes.
+    let mk = {
+        let (graph, cfg) = (graph.clone(), cfg.clone());
+        move || ShardedModel::gcwc(&graph, M, cfg.clone(), seed, 1)
+    };
+    let mut rcfg = RefreshConfig::new(dir.join("ckpt"));
+    rcfg.holdout = 2;
+    rcfg.min_fresh_slots = 4;
+    let mut driver = RefreshDriver::new(rcfg, Box::new(mk), Arc::clone(&registry))
+        .expect("open refresh state")
+        .with_stats(Arc::clone(&stats));
+
+    // 4. Stream two batches of probe records. Producers push through
+    //    the bounded intake queue (blocking when full — backpressure,
+    //    never data loss); the consumer drains into the pipeline.
+    let intake = Intake::new(1024);
+    let handle = intake.handle();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    for batch in 0..2u64 {
+        for slot in batch * 8..(batch + 1) * 8 {
+            for edge in 0..n as u32 {
+                for _ in 0..6 {
+                    handle
+                        .send(SpeedRecord {
+                            edge,
+                            timestamp: slot * SLOT_SECS + rng.random_range(0u64..SLOT_SECS),
+                            speed: rng.random_range(0.5f64..30.0),
+                        })
+                        .expect("intake open");
+                }
+            }
+            intake.drain(|r| {
+                pipe.ingest(r).expect("ingest");
+            });
+            pipe.seal_ready().expect("seal");
+        }
+        pipe.seal_all().expect("seal tail");
+
+        // Refresh on everything sealed so far. The first pass
+        // bootstraps generation 1; the second warm-starts from it.
+        let sealed = pipe.take_sealed();
+        match driver.refresh(&sealed).expect("refresh") {
+            RefreshOutcome::Applied {
+                registry_generation,
+                checkpoint_generation,
+                prev_loss,
+                cand_loss,
+                trained_slots,
+            } => println!(
+                "batch {batch}: refreshed to checkpoint g{checkpoint_generation} \
+                 (registry generation {registry_generation}, {trained_slots} fresh slots, \
+                 holdout loss {prev_loss:.4} -> {cand_loss:.4})"
+            ),
+            RefreshOutcome::RolledBack { prev_loss, cand_loss } => println!(
+                "batch {batch}: candidate regressed ({prev_loss:.4} -> {cand_loss:.4}), \
+                 kept the previous generation"
+            ),
+            RefreshOutcome::NotReady { fresh_slots, needed } => {
+                println!("batch {batch}: only {fresh_slots}/{needed} fresh slots, waiting")
+            }
+        }
+
+        // 5. Completions keep flowing against whatever generation is
+        //    installed; a swap invalidates the cache atomically.
+        let mut client = engine.client();
+        let mut buf = client.input_buffer();
+        for v in buf.as_mut_slice() {
+            *v = 0.25;
+        }
+        client.send(buf, 17, 0).expect("send");
+        engine.process_queued();
+        let c = client.recv().expect("recv");
+        println!(
+            "  completion: {}x{} matrix, generation {}, cache hit {}",
+            c.output.rows(),
+            c.output.cols(),
+            c.generation,
+            c.cache_hit
+        );
+    }
+
+    // 6. The ingest counters the serving stats report alongside the
+    //    request/cache counters (also on the wire via `stats`).
+    let [records, sealed, late, applied, rolled_back, age] = stats.snapshot();
+    println!(
+        "\ningest stats: {records} records, {sealed} slots sealed, {late} late dropped, \
+         {applied} refreshes applied, {rolled_back} rolled back, generation age {age}"
+    );
+
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
