@@ -41,6 +41,15 @@
 //!                      intake path (0 mid-slot; live under
 //!                      `--features count-allocs`); with `--json`,
 //!                      also writes `BENCH_ingest.json`
+//!   tenant-bench       multi-tenant serving benchmark: a victim
+//!                      tenant's p50/p99 solo vs under a quota-capped
+//!                      noisy neighbor (responses asserted
+//!                      bit-identical, fault counters zero),
+//!                      delta-repair wall time vs a full post-delta
+//!                      rebuild (strictly fewer than K shards
+//!                      repaired), and allocs/request on the cached
+//!                      path (0 under `--features count-allocs`);
+//!                      with `--json`, also writes `BENCH_tenant.json`
 //!   train              resumable sharded training: checkpoints the
 //!                      per-shard training state under `--state=DIR`
 //!                      every few epochs; re-running with `--resume`
@@ -58,7 +67,7 @@
 
 use gcwc_bench::{
     ablations, ingestbench, jsonbench, params_table, resumable, run_table, scalability, scalesweep,
-    servebench, shardsweep, Profile, ScalModel,
+    servebench, shardsweep, tenantbench, Profile, ScalModel,
 };
 
 /// Counts every heap allocation so `bench` can report allocs/iter.
@@ -126,7 +135,7 @@ fn main() {
     // follow the process-wide kernel default.
     gcwc_linalg::parallel::set_global_threads(threads);
     if commands.is_empty() {
-        eprintln!("usage: exp_runner [--fast|--full|--smoke] [--threads=N] [--shards=K] [--epochs=N] [--state=DIR] [--resume] [--json] <table3|table4..table13|tables|fig6a|fig6b|threads|ablations|bench|serve-bench|shard-sweep|scale-sweep|ingest-bench|train|all>");
+        eprintln!("usage: exp_runner [--fast|--full|--smoke] [--threads=N] [--shards=K] [--epochs=N] [--state=DIR] [--resume] [--json] <table3|table4..table13|tables|fig6a|fig6b|threads|ablations|bench|serve-bench|shard-sweep|scale-sweep|ingest-bench|tenant-bench|train|all>");
         std::process::exit(2);
     }
 
@@ -211,6 +220,18 @@ fn main() {
                 if json {
                     let path = "BENCH_ingest.json";
                     if let Err(e) = std::fs::write(path, ingestbench::to_json(&report)) {
+                        eprintln!("failed to write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("wrote {path}");
+                }
+            }
+            "tenant-bench" => {
+                let report = tenantbench::run();
+                print!("{}", tenantbench::render(&report));
+                if json {
+                    let path = "BENCH_tenant.json";
+                    if let Err(e) = std::fs::write(path, tenantbench::to_json(&report)) {
                         eprintln!("failed to write {path}: {e}");
                         std::process::exit(1);
                     }

@@ -22,6 +22,7 @@ pub mod scalesweep;
 pub mod servebench;
 pub mod shardsweep;
 pub mod tables;
+pub mod tenantbench;
 
 pub use harness::{evaluate_average, evaluate_hist, make_bundle, Bundle, HistScores};
 pub use methods::{make_model, Method};

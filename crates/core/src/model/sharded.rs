@@ -22,7 +22,8 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use gcwc_graph::{EdgeGraph, PartitionSet};
+use gcwc_graph::delta::{DeltaError, DeltaRepair, GraphDelta};
+use gcwc_graph::{EdgeGraph, Partition, PartitionSet};
 use gcwc_linalg::Matrix;
 use gcwc_nn::PersistError;
 use gcwc_traffic::view_context;
@@ -385,6 +386,75 @@ impl<M: ShardModel> ShardedModel<M> {
             },
             |shard, local, control| shard.fine_tune(local, plan, control),
         )
+    }
+
+    /// Absorbs a topology delta: repairs the partition set over
+    /// `graph` (the current global edge graph) and rebuilds *only* the
+    /// delta-affected shards via `rebuild(shard, partition)` — the
+    /// caller constructs a fresh untrained model for each repaired
+    /// partition (same config and per-shard seed as the original
+    /// build). Untouched shards keep their trained parameters and
+    /// their partition `Arc`s, so the surviving majority of the model
+    /// survives a localized delta untouched.
+    ///
+    /// Returns the post-delta global graph and the repaired shard
+    /// indices (retrain those with
+    /// [`ShardedModel::fit_shards_subset`]).
+    pub fn apply_delta(
+        &mut self,
+        graph: &EdgeGraph,
+        delta: &GraphDelta,
+        rebuild: impl Fn(usize, &Partition) -> M,
+    ) -> Result<(EdgeGraph, Vec<usize>), DeltaError> {
+        let DeltaRepair { graph: new_graph, partitions, repaired } =
+            self.partition.apply_delta(graph, delta)?;
+        let partitions = Arc::new(partitions);
+        for &b in &repaired {
+            let p = partitions.partition(b);
+            assert!(p.num_owned() > 0, "repaired partition {b} owns no edges");
+            self.shards[b] = rebuild(b, p);
+        }
+        self.partition = partitions;
+        self.n = self.partition.num_nodes();
+        Ok((new_graph, repaired))
+    }
+
+    /// Trains only the shards in `subset` on their local restriction
+    /// of `samples` — the retrain step after
+    /// [`ShardedModel::apply_delta`]. Each shard trains exactly like a
+    /// full [`ShardedModel::fit_shards`] pass would train it (K = 1
+    /// inline on the calling thread, K > 1 under a pinned kernel
+    /// thread), so a repaired-and-retrained shard is bit-identical to
+    /// the same shard trained in a from-scratch model.
+    pub fn fit_shards_subset(
+        &mut self,
+        subset: &[usize],
+        samples: &[TrainSample],
+    ) -> Result<(), TrainError> {
+        let partition = Arc::clone(&self.partition);
+        let single = self.shards.len() == 1;
+        for &k in subset {
+            let view = partition.partition(k).view();
+            let local: Vec<TrainSample> = samples
+                .iter()
+                .map(|s| TrainSample {
+                    snapshot_index: s.snapshot_index,
+                    input: view.select(&s.input),
+                    label: view.select(&s.label),
+                    label_mask: view.owned_mask(&s.label_mask),
+                    context: view_context(view, &s.context),
+                    history: s.history.iter().map(|h| view.select(h)).collect(),
+                })
+                .collect();
+            let control = TrainControl::default();
+            let shard = &mut self.shards[k];
+            if single {
+                shard.try_fit(&local, &control)?;
+            } else {
+                gcwc_linalg::parallel::with_threads(1, || shard.try_fit(&local, &control))?;
+            }
+        }
+        Ok(())
     }
 
     /// Predicts the global completion: each shard predicts on its

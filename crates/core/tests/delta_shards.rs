@@ -1,0 +1,105 @@
+//! Delta-repair bit-equivalence at the model level, K ∈ {1, 2, 4}:
+//! a sharded model trained on the pre-delta graph, repaired with
+//! [`GraphDelta`], and retrained *only on its repaired shards* must
+//! predict `to_bits`-identically to a fresh model built directly on
+//! the post-delta graph (same ownership, same seed) and trained on the
+//! same samples — while keeping the surviving shards' parameters (and
+//! partition `Arc`s) untouched.
+
+use std::sync::Arc;
+
+use gcwc::{
+    build_samples, shard_seed, GcwcModel, ModelConfig, ShardedModel, TaskKind, TrainSample,
+};
+use gcwc_graph::{GraphDelta, PartitionSet};
+use gcwc_linalg::Matrix;
+use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn samples_for(instance: &gcwc_traffic::NetworkInstance) -> Vec<TrainSample> {
+    let cfg = SimConfig {
+        days: 2,
+        intervals_per_day: 8,
+        records_per_interval: 10.0,
+        ..Default::default()
+    };
+    let data = simulate(instance, HistogramSpec::hist8(), &cfg);
+    let ds = data.to_dataset(0.5, 5, 11);
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    build_samples(&ds, &idx, TaskKind::Estimation, 0)
+}
+
+/// A link interior to one partition's owned block — the most localized
+/// delta possible — falling back to any existing link.
+fn pick_link(ps: &PartitionSet, graph: &gcwc_graph::EdgeGraph) -> (usize, usize) {
+    for u in 0..graph.num_nodes() {
+        for &v in graph.neighbors(u) {
+            if u < v && ps.owner_of(u) == ps.owner_of(v) && !ps.is_boundary(u) {
+                return (u, v);
+            }
+        }
+    }
+    for u in 0..graph.num_nodes() {
+        if let Some(&v) = graph.neighbors(u).iter().find(|&&v| v > u) {
+            return (u, v);
+        }
+    }
+    panic!("graph has no links");
+}
+
+#[test]
+fn repaired_model_matches_fresh_postdelta_model() {
+    let city = generators::city_network_sized(2, 64);
+    let samples = samples_for(&city);
+    let cfg = ModelConfig::ci_hist().with_epochs(2);
+    let seed = 42u64;
+
+    for k in [1usize, 2, 4] {
+        // Model A: train on the pre-delta graph, absorb the delta,
+        // retrain only the repaired shards.
+        let pre = Arc::new(PartitionSet::build(&city.graph, k));
+        let mut repaired_model = ShardedModel::gcwc_on(Arc::clone(&pre), 8, cfg.clone(), seed);
+        repaired_model.fit_shards(&samples[..6]);
+
+        let link = pick_link(&pre, &city.graph);
+        let delta = GraphDelta { added_edges: vec![], removed_edges: vec![link] };
+        let (new_graph, repaired) = repaired_model
+            .apply_delta(&city.graph, &delta, |b, p| {
+                GcwcModel::new(p.graph(), 8, cfg.clone(), shard_seed(seed, b))
+            })
+            .unwrap();
+        assert!(!repaired.is_empty(), "K={k}: the delta must repair at least one shard");
+        if k > 1 {
+            assert!(
+                repaired.len() < k,
+                "K={k}: a localized delta must repair strictly fewer than all shards"
+            );
+        }
+        repaired_model.fit_shards_subset(&repaired, &samples[..6]).unwrap();
+
+        // Model B: built directly on the post-delta graph with the
+        // same ownership and seed, trained from scratch.
+        let owners = repaired_model.partition_set().owners().to_vec();
+        let post = Arc::new(PartitionSet::from_owner_of(&new_graph, owners, k));
+        let mut fresh_model = ShardedModel::gcwc_on(post, 8, cfg.clone(), seed);
+        fresh_model.fit_shards(&samples[..6]);
+
+        for s in &samples[..3] {
+            assert_eq!(
+                bits(&repaired_model.predict_global(s)),
+                bits(&fresh_model.predict_global(s)),
+                "K={k}: repaired model diverged from fresh post-delta model"
+            );
+        }
+
+        // Surviving shards kept their partition Arcs.
+        for b in 0..k {
+            let kept =
+                Arc::ptr_eq(&pre.partitions()[b], &repaired_model.partition_set().partitions()[b]);
+            assert_eq!(kept, !repaired.contains(&b), "K={k} partition {b}");
+        }
+    }
+}

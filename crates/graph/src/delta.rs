@@ -1,0 +1,334 @@
+//! Incremental topology repair: apply a [`GraphDelta`] to an edge
+//! graph and its [`PartitionSet`] without rebuilding the parts the
+//! delta does not touch.
+//!
+//! A delta lists undirected edge-graph links to add and remove. Node
+//! indices are *stable*: a road closure severs links but never
+//! renumbers nodes, and a new road appends nodes at the end (an added
+//! link whose endpoint is `>= n` grows the graph to cover it). That
+//! stability is what lets a repair keep untouched partitions — their
+//! [`RowView`](crate::RowView)s still name the same global rows.
+//!
+//! ## Repair algorithm
+//!
+//! 1. Apply the delta to the global adjacency (removals first, then
+//!    additions) and rebuild the [`EdgeGraph`] through the same
+//!    canonical CSR constructor a from-scratch build uses.
+//! 2. Assign every appended node to the partition owning the majority
+//!    of its neighbours (ties to the lowest partition index; isolated
+//!    nodes to partition 0).
+//! 3. Mark a partition *affected* when its owned ∪ halo row set
+//!    intersects the delta's endpoints (or it was assigned a new
+//!    node). Only affected partitions are rebuilt — through
+//!    [`PartitionSet::from_owner_of`]'s shared constructor, so the
+//!    rebuilt partition is bit-identical to a from-scratch one.
+//!    Untouched partitions keep their `Arc`s: pointer identity is the
+//!    cache-invalidation signal downstream (model shards, completion
+//!    caches) keys off.
+//!
+//! The correctness argument for reuse: a changed link has both
+//! endpoints in the delta's endpoint set, so any partition whose local
+//! rows see the change is marked affected; an unaffected partition's
+//! owned set, halo set, and induced local subgraph are therefore
+//! byte-identical before and after the delta.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use gcwc_linalg::CsrMatrix;
+
+use crate::edge_graph::EdgeGraph;
+use crate::partition::{build_partition, Partition, PartitionSet};
+use crate::plan::{ConvPlan, StageSpec};
+
+/// Failpoint site evaluated at the top of [`GraphDelta::apply`] (and
+/// thus every repair); `err` refuses the delta with
+/// [`DeltaError::Injected`] leaving the old graph serving.
+pub const DELTA_APPLY_SITE: &str = "graph.delta.apply";
+
+/// A topology change: undirected links between edge-graph nodes to
+/// remove (closures) and add (new turns / new roads). An added link
+/// with an endpoint `>= num_nodes` appends nodes up to that index.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Links to add, as unordered node pairs (weight 1.0).
+    pub added_edges: Vec<(usize, usize)>,
+    /// Links to remove; each must exist in the pre-delta graph.
+    pub removed_edges: Vec<(usize, usize)>,
+}
+
+/// Why a delta could not be applied. The pre-delta graph is untouched
+/// in every case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A link endpoint pairs a node with itself.
+    SelfLoop(usize),
+    /// A removed link does not exist (or names a node `>= n`).
+    MissingEdge(usize, usize),
+    /// An added link already exists (or is listed twice).
+    DuplicateEdge(usize, usize),
+    /// An armed failpoint injected a failure at [`DELTA_APPLY_SITE`].
+    Injected(&'static str),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::SelfLoop(u) => write!(f, "delta link ({u},{u}) is a self loop"),
+            DeltaError::MissingEdge(u, v) => write!(f, "removed link ({u},{v}) does not exist"),
+            DeltaError::DuplicateEdge(u, v) => write!(f, "added link ({u},{v}) already exists"),
+            DeltaError::Injected(site) => write!(f, "failpoint {site}: injected failure"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+fn norm(u: usize, v: usize) -> (usize, usize) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+impl GraphDelta {
+    /// True when the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.added_edges.is_empty() && self.removed_edges.is_empty()
+    }
+
+    /// Node count after applying to a graph of `n` nodes.
+    pub fn new_num_nodes(&self, n: usize) -> usize {
+        self.added_edges.iter().map(|&(u, v)| u.max(v) + 1).fold(n, usize::max)
+    }
+
+    /// Every node an added or removed link touches, sorted, deduped
+    /// (including appended nodes).
+    pub fn touched_nodes(&self) -> Vec<usize> {
+        let mut nodes: Vec<usize> =
+            self.added_edges.iter().chain(&self.removed_edges).flat_map(|&(u, v)| [u, v]).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Applies the delta to `graph`, producing the post-delta edge
+    /// graph. Removals are processed before additions, so removing a
+    /// link and re-adding it is legal. The result goes through the
+    /// same canonical CSR constructor as a from-scratch build, so it
+    /// is bit-identical to one.
+    pub fn apply(&self, graph: &EdgeGraph) -> Result<EdgeGraph, DeltaError> {
+        if gcwc_failpoint::triggered(DELTA_APPLY_SITE) {
+            return Err(DeltaError::Injected(DELTA_APPLY_SITE));
+        }
+        let n = graph.num_nodes();
+        let new_n = self.new_num_nodes(n);
+        let mut links: BTreeMap<(usize, usize), f64> = graph
+            .adjacency()
+            .iter()
+            .filter(|&(i, j, _)| i < j)
+            .map(|(i, j, w)| ((i, j), w))
+            .collect();
+        for &(u, v) in &self.removed_edges {
+            if u == v {
+                return Err(DeltaError::SelfLoop(u));
+            }
+            if u >= n || v >= n || links.remove(&norm(u, v)).is_none() {
+                return Err(DeltaError::MissingEdge(u, v));
+            }
+        }
+        for &(u, v) in &self.added_edges {
+            if u == v {
+                return Err(DeltaError::SelfLoop(u));
+            }
+            if links.insert(norm(u, v), 1.0).is_some() {
+                return Err(DeltaError::DuplicateEdge(u, v));
+            }
+        }
+        let triplets = links.iter().flat_map(|(&(u, v), &w)| [(u, v, w), (v, u, w)]);
+        Ok(EdgeGraph::from_adjacency(CsrMatrix::from_triplets(new_n, new_n, triplets)))
+    }
+}
+
+/// The result of an incremental repair: the post-delta graph, the
+/// repaired partition set (untouched partitions share their `Arc`s
+/// with the old set), and which partition indices were rebuilt.
+#[derive(Debug)]
+pub struct DeltaRepair {
+    /// The post-delta global edge graph.
+    pub graph: EdgeGraph,
+    /// The repaired partition set over [`DeltaRepair::graph`].
+    pub partitions: PartitionSet,
+    /// Indices of the partitions that were rebuilt (ascending).
+    pub repaired: Vec<usize>,
+}
+
+impl PartitionSet {
+    /// Applies `delta` to this partition set over its `graph`,
+    /// rebuilding only the partitions whose owned/halo rows the delta
+    /// touches. See the [module docs](crate::delta) for the algorithm
+    /// and the reuse-correctness argument.
+    ///
+    /// # Panics
+    /// Panics when `graph` does not match this set's node count.
+    pub fn apply_delta(
+        &self,
+        graph: &EdgeGraph,
+        delta: &GraphDelta,
+    ) -> Result<DeltaRepair, DeltaError> {
+        assert_eq!(graph.num_nodes(), self.num_nodes(), "graph/partition node count mismatch");
+        let new_graph = delta.apply(graph)?;
+        let n_old = self.num_nodes();
+        let k = self.num_partitions();
+
+        // Appended nodes: majority-neighbour owner, ties to the lowest
+        // partition index, isolated nodes to partition 0. Processed in
+        // index order so a new node linked only to later new nodes
+        // still resolves deterministically.
+        let mut owner_of = self.owners().to_vec();
+        for u in n_old..new_graph.num_nodes() {
+            let mut counts = vec![0usize; k];
+            for &v in new_graph.neighbors(u) {
+                if v < owner_of.len() {
+                    counts[owner_of[v]] += 1;
+                }
+            }
+            let owner = (0..k).max_by_key(|&b| (counts[b], k - b)).unwrap_or(0);
+            owner_of.push(owner);
+        }
+
+        let touched = delta.touched_nodes();
+        let mut affected = vec![false; k];
+        for &u in owner_of.iter().skip(n_old) {
+            affected[u] = true; // partitions gaining a new owned node
+        }
+        for (b, flag) in affected.iter_mut().enumerate() {
+            if !*flag {
+                let local = self.partition(b).view().local_to_global();
+                *flag = local.iter().any(|g| touched.binary_search(g).is_ok());
+            }
+        }
+
+        let mut repaired = Vec::new();
+        let partitions: Vec<Arc<Partition>> = (0..k)
+            .map(|b| {
+                if affected[b] {
+                    repaired.push(b);
+                    Arc::new(build_partition(&new_graph, &owner_of, b))
+                } else {
+                    self.partition_arc(b)
+                }
+            })
+            .collect();
+        let boundary = (0..new_graph.num_nodes())
+            .map(|u| new_graph.neighbors(u).iter().any(|&v| owner_of[v] != owner_of[u]))
+            .collect();
+        let partitions = PartitionSet::from_parts(partitions, owner_of, boundary);
+        Ok(DeltaRepair { graph: new_graph, partitions, repaired })
+    }
+}
+
+/// Repairs a per-partition [`ConvPlan`] ladder after a delta: rebuilt
+/// partitions get a fresh plan over their new local subgraph, while
+/// untouched partitions keep their old plan `Arc` (the Laplacian,
+/// Chebyshev bases, and pooling hierarchy inside it are unchanged
+/// because the local subgraph is unchanged).
+///
+/// # Panics
+/// Panics when `old_plans` does not match the repair's partition count.
+pub fn repair_plans(
+    old_plans: &[Arc<ConvPlan>],
+    repair: &DeltaRepair,
+    specs: &[StageSpec],
+) -> Vec<Arc<ConvPlan>> {
+    assert_eq!(
+        old_plans.len(),
+        repair.partitions.num_partitions(),
+        "plan count does not match partition count"
+    );
+    (0..old_plans.len())
+        .map(|b| {
+            if repair.repaired.binary_search(&b).is_ok() {
+                Arc::new(repair.partitions.partition(b).conv_plan(specs))
+            } else {
+                Arc::clone(&old_plans[b])
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> EdgeGraph {
+        EdgeGraph::from_adjacency(CsrMatrix::from_triplets(
+            n,
+            n,
+            (0..n - 1).flat_map(|i| [(i, i + 1, 1.0), (i + 1, i, 1.0)]),
+        ))
+    }
+
+    #[test]
+    fn empty_delta_reuses_every_partition() {
+        let g = path_graph(12);
+        let ps = PartitionSet::build(&g, 3);
+        let repair = ps.apply_delta(&g, &GraphDelta::default()).unwrap();
+        assert!(repair.repaired.is_empty());
+        for b in 0..3 {
+            assert!(Arc::ptr_eq(&ps.partitions()[b], &repair.partitions.partitions()[b]));
+        }
+        assert_eq!(repair.graph.adjacency().to_dense(), g.adjacency().to_dense());
+    }
+
+    #[test]
+    fn removal_repairs_only_touching_partitions() {
+        let g = path_graph(12);
+        let ps = PartitionSet::build(&g, 3);
+        // Sever a link interior to the first partition's owned block.
+        let (u, v) = (0usize, 1usize);
+        assert_eq!(ps.owner_of(u), ps.owner_of(v));
+        let delta = GraphDelta { added_edges: vec![], removed_edges: vec![(u, v)] };
+        let repair = ps.apply_delta(&g, &delta).unwrap();
+        assert!(repair.repaired.len() < 3, "a localized delta must not rebuild everything");
+        assert!(repair.repaired.contains(&ps.owner_of(u)));
+        for b in 0..3 {
+            let reused = Arc::ptr_eq(&ps.partitions()[b], &repair.partitions.partitions()[b]);
+            assert_eq!(reused, !repair.repaired.contains(&b));
+        }
+        assert_eq!(repair.graph.degree(0), 0);
+    }
+
+    #[test]
+    fn appended_node_joins_its_neighbours_partition() {
+        let g = path_graph(8);
+        let ps = PartitionSet::build(&g, 2);
+        let delta = GraphDelta { added_edges: vec![(7, 8)], removed_edges: vec![] };
+        let repair = ps.apply_delta(&g, &delta).unwrap();
+        assert_eq!(repair.graph.num_nodes(), 9);
+        assert_eq!(repair.partitions.owner_of(8), ps.owner_of(7));
+        assert_eq!(repair.partitions.num_nodes(), 9);
+    }
+
+    #[test]
+    fn bad_deltas_are_rejected_without_side_effects() {
+        let g = path_graph(4);
+        let ps = PartitionSet::build(&g, 2);
+        let missing = GraphDelta { added_edges: vec![], removed_edges: vec![(0, 2)] };
+        assert_eq!(ps.apply_delta(&g, &missing).unwrap_err(), DeltaError::MissingEdge(0, 2));
+        let dup = GraphDelta { added_edges: vec![(0, 1)], removed_edges: vec![] };
+        assert_eq!(ps.apply_delta(&g, &dup).unwrap_err(), DeltaError::DuplicateEdge(0, 1));
+        let loopy = GraphDelta { added_edges: vec![(2, 2)], removed_edges: vec![] };
+        assert_eq!(ps.apply_delta(&g, &loopy).unwrap_err(), DeltaError::SelfLoop(2));
+    }
+
+    #[test]
+    fn remove_then_readd_is_identity_on_links() {
+        let g = path_graph(6);
+        let ps = PartitionSet::build(&g, 2);
+        let delta = GraphDelta { added_edges: vec![(2, 3)], removed_edges: vec![(2, 3)] };
+        let repair = ps.apply_delta(&g, &delta).unwrap();
+        assert_eq!(repair.graph.adjacency().to_dense(), g.adjacency().to_dense());
+    }
+}

@@ -12,6 +12,7 @@
 
 pub mod chebyshev;
 pub mod coarsen;
+pub mod delta;
 pub mod edge_graph;
 pub mod laplacian;
 pub mod partition;
@@ -21,8 +22,18 @@ pub mod road;
 
 pub use chebyshev::{ChebyshevBasis, PolyBasis, RandomWalkBasis};
 pub use coarsen::{coarsen_once, CoarsenLevel, GraphHierarchy};
+pub use delta::{repair_plans, DeltaError, DeltaRepair, GraphDelta};
 pub use edge_graph::EdgeGraph;
 pub use partition::{shard_seed, Partition, PartitionSet, RowView};
 pub use plan::{log2_exact, ConvPlan, ConvStage, StageSpec};
 pub use pool::PoolingMap;
 pub use road::{RoadClass, RoadEdge, RoadNetwork, Vertex};
+
+/// Failpoint site names this crate evaluates (see `gcwc_failpoint`;
+/// sites are inert unless the `failpoints` feature is enabled *and*
+/// the site is armed).
+pub mod failsite {
+    /// Delta application, evaluated before any graph state is built;
+    /// `err` refuses the delta and the pre-delta graph keeps serving.
+    pub const DELTA_APPLY: &str = crate::delta::DELTA_APPLY_SITE;
+}

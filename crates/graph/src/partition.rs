@@ -21,6 +21,7 @@
 //! the unsharded path.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use gcwc_linalg::Matrix;
 
@@ -189,10 +190,47 @@ impl Partition {
     }
 }
 
+/// Builds one partition from a global ownership assignment: the owned
+/// set sorted ascending, its out-of-partition 1-hop neighbourhood as
+/// the halo, and the induced local subgraph. This is the *only* place
+/// a partition is assembled — [`PartitionSet::build`],
+/// [`PartitionSet::from_owner_of`], and the delta-repair path all call
+/// it, which is what makes an incrementally repaired partition
+/// bit-identical to a from-scratch one.
+pub(crate) fn build_partition(graph: &EdgeGraph, owner_of: &[usize], b: usize) -> Partition {
+    let n = graph.num_nodes();
+    let owned: Vec<usize> = (0..n).filter(|&u| owner_of[u] == b).collect();
+    let mut halo: Vec<usize> = owned
+        .iter()
+        .flat_map(|&u| graph.neighbors(u).iter().copied())
+        .filter(|&v| owner_of[v] != b)
+        .collect();
+    halo.sort_unstable();
+    halo.dedup();
+    let num_owned = owned.len();
+    let mut local_to_global = owned;
+    local_to_global.extend_from_slice(&halo);
+    let view = RowView::new(local_to_global, num_owned);
+    // The identity view clones the graph verbatim (same CSR layout),
+    // which is what makes K = 1 bit-identical to the unsharded
+    // pipeline end to end.
+    let local = if view.num_local() == n && view.is_identity() {
+        graph.clone()
+    } else {
+        graph.induced_subgraph(view.local_to_global())
+    };
+    Partition { view, graph: local }
+}
+
 /// A complete edge-owned partitioning of an edge graph.
+///
+/// Partitions are held behind [`Arc`] so a topology repair
+/// ([`crate::delta`]) can hand untouched partitions to the new set
+/// without copying them — downstream caches keyed on the partition
+/// pointer stay warm.
 #[derive(Clone, Debug)]
 pub struct PartitionSet {
-    partitions: Vec<Partition>,
+    partitions: Vec<Arc<Partition>>,
     owner_of: Vec<usize>,
     boundary: Vec<bool>,
 }
@@ -219,38 +257,41 @@ impl PartitionSet {
             }
         }
         debug_assert!(owner_of.iter().all(|&o| o != usize::MAX));
+        Self::assemble(graph, owner_of, k)
+    }
 
-        let partitions = bins
-            .into_iter()
-            .enumerate()
-            .map(|(b, mut owned)| {
-                owned.sort_unstable();
-                let mut halo: Vec<usize> = owned
-                    .iter()
-                    .flat_map(|&u| graph.neighbors(u).iter().copied())
-                    .filter(|&v| owner_of[v] != b)
-                    .collect();
-                halo.sort_unstable();
-                halo.dedup();
-                let num_owned = owned.len();
-                let mut local_to_global = owned;
-                local_to_global.extend_from_slice(&halo);
-                let view = RowView::new(local_to_global, num_owned);
-                // The identity view clones the graph verbatim (same CSR
-                // layout), which is what makes K = 1 bit-identical to
-                // the unsharded pipeline end to end.
-                let local = if view.num_local() == n && view.is_identity() {
-                    graph.clone()
-                } else {
-                    graph.induced_subgraph(view.local_to_global())
-                };
-                Partition { view, graph: local }
-            })
-            .collect();
+    /// Rebuilds a partition set from an explicit ownership assignment
+    /// (`owner_of[u]` = partition owning global node `u`) — the
+    /// from-scratch reference the incremental delta repair is pinned
+    /// against, and the constructor a repair uses for the partitions it
+    /// must rebuild.
+    ///
+    /// # Panics
+    /// Panics when `owner_of.len() != graph.num_nodes()` or an owner
+    /// index is `>= k`.
+    pub fn from_owner_of(graph: &EdgeGraph, owner_of: Vec<usize>, k: usize) -> Self {
+        assert!(k >= 1, "need at least one partition");
+        assert_eq!(owner_of.len(), graph.num_nodes(), "owner_of length mismatch");
+        assert!(owner_of.iter().all(|&o| o < k), "owner index out of range");
+        Self::assemble(graph, owner_of, k)
+    }
 
+    fn assemble(graph: &EdgeGraph, owner_of: Vec<usize>, k: usize) -> Self {
+        let n = graph.num_nodes();
+        let partitions = (0..k).map(|b| Arc::new(build_partition(graph, &owner_of, b))).collect();
         let boundary = (0..n)
             .map(|u| graph.neighbors(u).iter().any(|&v| owner_of[v] != owner_of[u]))
             .collect();
+        Self { partitions, owner_of, boundary }
+    }
+
+    /// Replaces partition `b` and the ownership/boundary metadata —
+    /// the delta-repair path's constructor (crate-internal).
+    pub(crate) fn from_parts(
+        partitions: Vec<Arc<Partition>>,
+        owner_of: Vec<usize>,
+        boundary: Vec<bool>,
+    ) -> Self {
         Self { partitions, owner_of, boundary }
     }
 
@@ -265,7 +306,7 @@ impl PartitionSet {
     }
 
     /// All partitions, in index order.
-    pub fn partitions(&self) -> &[Partition] {
+    pub fn partitions(&self) -> &[Arc<Partition>] {
         &self.partitions
     }
 
@@ -274,9 +315,20 @@ impl PartitionSet {
         &self.partitions[p]
     }
 
+    /// Partition `p` as a shared handle (pointer identity survives a
+    /// delta repair for untouched partitions).
+    pub fn partition_arc(&self, p: usize) -> Arc<Partition> {
+        Arc::clone(&self.partitions[p])
+    }
+
     /// The partition owning global node `u`.
     pub fn owner_of(&self, u: usize) -> usize {
         self.owner_of[u]
+    }
+
+    /// The full node→owner assignment.
+    pub fn owners(&self) -> &[usize] {
+        &self.owner_of
     }
 
     /// True when node `u` has a neighbour owned by another partition.

@@ -1,0 +1,143 @@
+//! The incremental-repair pin: applying a [`GraphDelta`] to a
+//! partition set must be `to_bits`-identical to rebuilding the
+//! partition set from scratch on the post-delta graph — for K ∈
+//! {1, 2, 4}, over random graphs and random (valid) deltas — while
+//! reusing the `Arc` of every partition the delta does not touch.
+
+use std::sync::Arc;
+
+use gcwc_graph::{ConvPlan, EdgeGraph, GraphDelta, PartitionSet, StageSpec};
+use gcwc_linalg::{CsrMatrix, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a random symmetric adjacency on `n` nodes plus a delta
+/// that is valid by construction — each undirected pair is toggled
+/// (present → removed, absent → added) with small probability, and
+/// optionally one appended node linked to an existing one.
+fn graph_and_delta(max_n: usize) -> impl Strategy<Value = (EdgeGraph, GraphDelta)> {
+    (4usize..max_n).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        (
+            proptest::collection::vec(proptest::bool::weighted(0.3), pairs),
+            proptest::collection::vec(proptest::bool::weighted(0.12), pairs),
+            proptest::bool::weighted(0.3),
+            0usize..n,
+        )
+            .prop_map(move |(bits, toggles, append, attach)| {
+                let mut triplets = Vec::new();
+                let mut added = Vec::new();
+                let mut removed = Vec::new();
+                let mut k = 0;
+                for i in 0..n {
+                    for j in i + 1..n {
+                        if bits[k] {
+                            triplets.push((i, j, 1.0));
+                            triplets.push((j, i, 1.0));
+                            if toggles[k] {
+                                removed.push((i, j));
+                            }
+                        } else if toggles[k] {
+                            added.push((i, j));
+                        }
+                        k += 1;
+                    }
+                }
+                if append {
+                    added.push((attach, n)); // appends node n
+                }
+                let graph = EdgeGraph::from_adjacency(CsrMatrix::from_triplets(n, n, triplets));
+                (graph, GraphDelta { added_edges: added, removed_edges: removed })
+            })
+    })
+}
+
+fn assert_matrix_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "{what}: shape");
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: entry bits differ");
+    }
+}
+
+fn assert_graph_bits_eq(a: &EdgeGraph, b: &EdgeGraph, what: &str) {
+    assert_eq!(a.num_nodes(), b.num_nodes(), "{what}: node count");
+    assert_matrix_bits_eq(&a.adjacency_dense(), &b.adjacency_dense(), what);
+    for u in 0..a.num_nodes() {
+        assert_eq!(a.neighbors(u), b.neighbors(u), "{what}: neighbours of {u}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Incremental apply == from-scratch rebuild, bit for bit, at
+    /// every K — and untouched partitions are the *same allocation*.
+    #[test]
+    fn incremental_repair_matches_from_scratch((graph, delta) in graph_and_delta(12)) {
+        for k in [1usize, 2, 4] {
+            let ps = PartitionSet::build(&graph, k);
+            let repair = match ps.apply_delta(&graph, &delta) {
+                Ok(r) => r,
+                Err(e) => panic!("valid-by-construction delta rejected: {e}"),
+            };
+
+            // The post-delta graph itself must equal a from-scratch
+            // construction of the same link set.
+            let fresh_graph = delta.apply(&graph).unwrap();
+            assert_graph_bits_eq(&repair.graph, &fresh_graph, "global graph");
+
+            // From-scratch reference: same ownership, post-delta graph.
+            let reference = PartitionSet::from_owner_of(
+                &repair.graph,
+                repair.partitions.owners().to_vec(),
+                k,
+            );
+            prop_assert_eq!(repair.partitions.num_partitions(), k);
+            prop_assert_eq!(repair.partitions.owners(), reference.owners());
+            for u in 0..repair.graph.num_nodes() {
+                prop_assert_eq!(
+                    repair.partitions.is_boundary(u),
+                    reference.is_boundary(u),
+                    "boundary flag of node {}", u
+                );
+            }
+            for b in 0..k {
+                let (inc, refp) = (repair.partitions.partition(b), reference.partition(b));
+                prop_assert_eq!(inc.view(), refp.view(), "view of partition {}", b);
+                assert_graph_bits_eq(inc.graph(), refp.graph(), "local graph");
+                // The downstream ladder rebuilt on the repaired local
+                // graph matches the reference ladder bit for bit.
+                let spec = [StageSpec { cheb_order: 2, pool: 1 }];
+                let (pi, pr) = (inc.conv_plan(&spec), refp.conv_plan(&spec));
+                assert_matrix_bits_eq(
+                    &pi.stages()[0].basis.scaled_laplacian().to_dense(),
+                    &pr.stages()[0].basis.scaled_laplacian().to_dense(),
+                    "scaled Laplacian",
+                );
+            }
+
+            // Arc reuse: exactly the non-repaired partitions are shared.
+            for b in 0..k {
+                let reused = Arc::ptr_eq(&ps.partitions()[b], &repair.partitions.partitions()[b]);
+                prop_assert_eq!(reused, !repair.repaired.contains(&b), "partition {}", b);
+            }
+
+            // Plan repair keeps untouched plan Arcs and rebuilds the rest.
+            let spec = [StageSpec { cheb_order: 2, pool: 1 }];
+            let old_plans: Vec<Arc<ConvPlan>> =
+                (0..k).map(|b| Arc::new(ps.partition(b).conv_plan(&spec))).collect();
+            let new_plans = gcwc_graph::repair_plans(&old_plans, &repair, &spec);
+            for b in 0..k {
+                let kept = Arc::ptr_eq(&old_plans[b], &new_plans[b]);
+                prop_assert_eq!(kept, !repair.repaired.contains(&b), "plan {}", b);
+                assert_matrix_bits_eq(
+                    &new_plans[b].stages()[0].basis.scaled_laplacian().to_dense(),
+                    &reference.partition(b).conv_plan(&spec).stages()[0]
+                        .basis
+                        .scaled_laplacian()
+                        .to_dense(),
+                    "repaired plan Laplacian",
+                );
+            }
+        }
+    }
+}

@@ -33,6 +33,7 @@ pub mod log;
 pub mod pipeline;
 pub mod record;
 pub mod refresh;
+pub mod tenants;
 pub mod window;
 
 pub use intake::{Intake, IntakeHandle};
@@ -40,6 +41,7 @@ pub use log::RecordLog;
 pub use pipeline::Pipeline;
 pub use record::SpeedRecord;
 pub use refresh::{RefreshConfig, RefreshDriver, RefreshOutcome, ShardedFactory};
+pub use tenants::{IngestLane, TenantLanes};
 pub use window::{Aggregator, SealedSlot, WindowConfig};
 
 /// Failpoint site names this crate evaluates (see `gcwc_failpoint`;
@@ -82,6 +84,8 @@ pub enum IngestError {
     Train(gcwc::TrainError),
     /// An armed failpoint injected a failure at the named site.
     Injected(&'static str),
+    /// A record was routed to a tenant with no registered ingest lane.
+    UnknownTenant(u64),
 }
 
 impl std::fmt::Display for IngestError {
@@ -94,6 +98,9 @@ impl std::fmt::Display for IngestError {
             IngestError::Persist(e) => write!(f, "checkpoint error: {e}"),
             IngestError::Train(e) => write!(f, "fine-tune failed: {e}"),
             IngestError::Injected(site) => write!(f, "failpoint {site}: injected failure"),
+            IngestError::UnknownTenant(id) => {
+                write!(f, "tenant {id} has no registered ingest lane")
+            }
         }
     }
 }

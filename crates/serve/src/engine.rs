@@ -48,6 +48,12 @@ pub struct EngineConfig {
     pub default_deadline: Option<Duration>,
     /// Per-shard circuit-breaker tuning (threshold + cooldown).
     pub breaker: BreakerConfig,
+    /// When serving as one tenant of a multi-tenant process, the
+    /// tenant id to tag this engine's forward failpoint sites with
+    /// (`serve.t<id>.shard<k>.forward`), so chaos schedules can target
+    /// one tenant's shards without touching any other tenant. `None`
+    /// (the default) keeps the legacy `serve.shard<k>.forward` names.
+    pub tenant_site: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +65,7 @@ impl Default for EngineConfig {
             cache_capacity: 256,
             default_deadline: None,
             breaker: BreakerConfig::default(),
+            tenant_site: None,
         }
     }
 }
@@ -363,6 +370,79 @@ pub struct StatsSnapshot {
     pub refreshes_rolled_back: u64,
     /// Slots sealed since the last applied refresh (staleness gauge).
     pub generation_age: u64,
+    /// The tenant's graph-topology generation: bumped on every applied
+    /// [`gcwc_graph::GraphDelta`], so clients detect topology swaps.
+    /// `0` for a legacy (tenant-less) engine.
+    pub graph_generation: u64,
+    /// Requests rejected by the tenant's quota (token bucket empty or
+    /// the `serve.tenant.quota` failpoint armed). `0` for a legacy
+    /// engine — quotas exist only at the tenant layer.
+    pub quota_rejected: u64,
+}
+
+impl StatsSnapshot {
+    /// Number of `u64` fields in the per-tenant serialization (the 20
+    /// legacy counters plus `graph_generation` and `quota_rejected`).
+    pub const TENANT_FIELDS: usize = 22;
+
+    /// Canonical per-tenant field order, shared by the text (`tstats`)
+    /// and binary (`RespTStats`) protocols — both serialize exactly
+    /// this array, so the two wire forms agree field for field by
+    /// construction.
+    pub fn tenant_fields(&self) -> [u64; Self::TENANT_FIELDS] {
+        [
+            self.requests,
+            self.completed,
+            self.batches,
+            self.rejected,
+            self.expired,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.generation,
+            self.shards,
+            self.worker_restarts,
+            self.breaker_open,
+            self.degraded_responses,
+            self.retries,
+            self.records_ingested,
+            self.slots_sealed,
+            self.late_records_dropped,
+            self.refreshes_applied,
+            self.refreshes_rolled_back,
+            self.generation_age,
+            self.graph_generation,
+            self.quota_rejected,
+        ]
+    }
+
+    /// Inverse of [`StatsSnapshot::tenant_fields`].
+    pub fn from_tenant_fields(f: [u64; Self::TENANT_FIELDS]) -> Self {
+        Self {
+            requests: f[0],
+            completed: f[1],
+            batches: f[2],
+            rejected: f[3],
+            expired: f[4],
+            cache_hits: f[5],
+            cache_misses: f[6],
+            cache_evictions: f[7],
+            generation: f[8],
+            shards: f[9],
+            worker_restarts: f[10],
+            breaker_open: f[11],
+            degraded_responses: f[12],
+            retries: f[13],
+            records_ingested: f[14],
+            slots_sealed: f[15],
+            late_records_dropped: f[16],
+            refreshes_applied: f[17],
+            refreshes_rolled_back: f[18],
+            generation_age: f[19],
+            graph_generation: f[20],
+            quota_rejected: f[21],
+        }
+    }
 }
 
 /// Per-worker (or inline-drain) scratch, reused across batches.
@@ -691,7 +771,12 @@ impl Engine {
         let caches =
             (0..num_shards).map(|_| Mutex::new(CompletionCache::new(cfg.cache_capacity))).collect();
         let health = (0..num_shards).map(|_| ShardHealth::new(cfg.breaker)).collect();
-        let forward_sites = (0..num_shards).map(failsite::shard_forward).collect();
+        let forward_sites = (0..num_shards)
+            .map(|k| match cfg.tenant_site {
+                Some(t) => failsite::tenant_shard_forward(t, k),
+                None => failsite::shard_forward(k),
+            })
+            .collect();
         let inner = Arc::new(EngineInner {
             queue: BoundedQueue::new(cfg.queue_capacity),
             caches,
@@ -883,6 +968,9 @@ impl Engine {
             refreshes_applied: ingest[3],
             refreshes_rolled_back: ingest[4],
             generation_age: ingest[5],
+            // The tenant layer owns these two; Tenant::stats overwrites.
+            graph_generation: 0,
+            quota_rejected: 0,
         }
     }
 

@@ -45,6 +45,7 @@ pub mod queue;
 pub mod registry;
 pub mod server;
 pub mod sys;
+pub mod tenant;
 pub mod wire;
 
 pub use cache::{CacheKey, CompletionCache};
@@ -54,8 +55,9 @@ pub use engine::{
 };
 pub use health::{Admission, BreakerConfig, ShardHealth};
 pub use queue::BoundedQueue;
-pub use registry::{AnyModel, ModelRegistry, ModelShard, ModelSnapshot};
+pub use registry::{AnyModel, ModelRegistry, ModelShard, ModelSnapshot, TopologyUpdate};
 pub use server::{BinClient, Server, ServerConfig, TcpClient};
+pub use tenant::{QuotaConfig, Tenant, TenantId, TenantRegistry, TokenBucket};
 
 use gcwc_linalg::Matrix;
 
@@ -88,12 +90,27 @@ pub mod failsite {
     /// In-process model install into a shard (panic/delay site).
     pub const REGISTRY_INSTALL: &str = "serve.registry.install";
 
+    /// Per-tenant quota admission: a triggered site rejects the
+    /// request with [`crate::ServeError::QuotaExceeded`] as if the
+    /// tenant's token bucket were empty. Only evaluated for tenants
+    /// that carry a quota, so arming it never touches quota-free
+    /// tenants (isolation holds under chaos).
+    pub const TENANT_QUOTA: &str = "serve.tenant.quota";
+
     /// Per-shard batched forward: `err` fails the attempt, `panic`
     /// unwinds into the containment `catch_unwind` — either way the
     /// shard's circuit breaker records a failure and the batch
     /// degrades that shard's rows.
     pub fn shard_forward(k: usize) -> String {
         format!("serve.shard{k}.forward")
+    }
+
+    /// Tenant-tagged variant of [`shard_forward`]: engines created for
+    /// a [`crate::TenantId`] evaluate `serve.t<id>.shard<k>.forward`
+    /// instead, so a chaos schedule can open one tenant's breakers
+    /// without touching any other tenant's forwards.
+    pub fn tenant_shard_forward(tenant: u64, k: usize) -> String {
+        format!("serve.t{tenant}.shard{k}.forward")
     }
 }
 
@@ -112,6 +129,11 @@ pub enum ServeError {
     ShardRestarting,
     /// The request is malformed (wrong shape, out-of-range context…).
     BadRequest(String),
+    /// The tenant's request quota is exhausted (token bucket empty) —
+    /// back off and retry after the refill interval.
+    QuotaExceeded,
+    /// The request names a tenant this server does not host.
+    UnknownTenant(u64),
     /// Loading or validating a checkpoint failed.
     Checkpoint(gcwc_nn::PersistError),
     /// Socket-level failure on the TCP front end.
@@ -128,6 +150,8 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server shutting down"),
             ServeError::ShardRestarting => write!(f, "worker restarting; retry"),
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::QuotaExceeded => write!(f, "per-tenant quota exhausted"),
+            ServeError::UnknownTenant(id) => write!(f, "tenant {id} is not registered"),
             ServeError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
             ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
@@ -160,6 +184,8 @@ impl ServeError {
             ServeError::ShuttingDown => "shutdown",
             ServeError::ShardRestarting => "restarting",
             ServeError::BadRequest(_) => "bad_request",
+            ServeError::QuotaExceeded => "quota",
+            ServeError::UnknownTenant(_) => "unknown_tenant",
             ServeError::Checkpoint(_) => "checkpoint",
             ServeError::Io(_) => "io",
             ServeError::Protocol(_) => "protocol",

@@ -3,10 +3,12 @@
 //! Requests (one per line):
 //!
 //! ```text
-//! complete <time> <day> <rows> <cols> <hex…>   completion request
-//! stats                                        engine counters
-//! ping                                         liveness probe
-//! quit                                         close the connection
+//! complete <time> <day> <rows> <cols> <hex…>             completion request
+//! tcomplete <tenant> <time> <day> <rows> <cols> <hex…>   tenant-scoped completion
+//! stats                                                  engine counters
+//! tstats <tenant>                                        tenant-scoped counters
+//! ping                                                   liveness probe
+//! quit                                                   close the connection
 //! ```
 //!
 //! Responses:
@@ -14,14 +16,30 @@
 //! ```text
 //! ok <rows> <cols> <hit 0|1> <generation> <shards> <hex…>
 //! degraded <rows> <cols> <hit 0|1> <generation> <shards> <hex…>
+//! tok <tenant> <graph_gen> <rows> <cols> <hit 0|1> <generation> <shards> <hex…>
+//! tdegraded <tenant> <graph_gen> <rows> <cols> <hit 0|1> <generation> <shards> <hex…>
 //! stats <requests> <completed> <batches> <hits> <misses> <evictions> <generation> <shards>
 //!       <worker_restarts> <breaker_open> <degraded_responses> <retries>
 //!       <records_ingested> <slots_sealed> <late_records_dropped>
 //!       <refreshes_applied> <refreshes_rolled_back> <generation_age>
+//! tstats <tenant> <22 fields: requests completed batches rejected expired hits misses
+//!        evictions generation shards worker_restarts breaker_open degraded_responses
+//!        retries records_ingested slots_sealed late_records_dropped refreshes_applied
+//!        refreshes_rolled_back generation_age graph_generation quota_rejected>
 //! pong
 //! bye
 //! err <code> <message…>
 //! ```
+//!
+//! The tenant forms (`tcomplete`/`tstats`, answered `tok`/`tdegraded`/
+//! `tstats <tenant> …`) scope a request to one registered
+//! [`crate::TenantId`] and carry the tenant's **graph generation** so
+//! clients detect topology swaps. The legacy tenant-less forms map to
+//! the default tenant (id 0) with byte-identical responses, so
+//! single-tenant deployments are unaffected. `tstats` reports the full
+//! 22-field [`StatsSnapshot`] in declaration order (the legacy `stats`
+//! line keeps its historical 18 fields, which skip `rejected`,
+//! `expired`, and the two tenant-layer fields).
 //!
 //! `degraded` has the exact layout of `ok` but signals a *partial*
 //! completion: at least one shard could not compute and its owned
@@ -66,12 +84,73 @@ pub enum Request {
         /// Observed `rows × cols` weight matrix.
         input: Matrix,
     },
+    /// [`Complete`](Request::Complete) scoped to one tenant.
+    TComplete {
+        /// Target tenant id.
+        tenant: u64,
+        /// Time-of-day interval index.
+        time_of_day: usize,
+        /// Day-of-week index.
+        day_of_week: usize,
+        /// Observed `rows × cols` weight matrix.
+        input: Matrix,
+    },
     /// Report engine counters.
     Stats,
+    /// Report one tenant's counters (all 22 snapshot fields).
+    TStats {
+        /// Target tenant id.
+        tenant: u64,
+    },
     /// Liveness probe.
     Ping,
     /// Close the connection.
     Quit,
+}
+
+/// Parses the `<time> <day> <rows> <cols> <hex…>` tail shared by the
+/// `complete` and `tcomplete` forms.
+fn parse_complete_body(
+    tokens: &mut std::str::SplitWhitespace<'_>,
+    line: &str,
+) -> Result<(usize, usize, Matrix), ServeError> {
+    let time_of_day = parse_usize(tokens.next(), "time")?;
+    let day_of_week = parse_usize(tokens.next(), "day")?;
+    let rows = parse_usize(tokens.next(), "rows")?;
+    let cols = parse_usize(tokens.next(), "cols")?;
+    let total = checked_elems(rows, cols)?;
+    // Reserve no more than the line itself could carry, so a
+    // short line claiming a big shape cannot reserve much.
+    let mut data = Vec::with_capacity(total.min(line.len() / WIRE_ELEM_BYTES + 1));
+    for _ in 0..total {
+        let tok =
+            tokens.next().ok_or_else(|| ServeError::Protocol("truncated matrix data".into()))?;
+        let v = parse_f64_hex(tok)?;
+        // The hex encoding can smuggle any bit pattern; a NaN
+        // or ±Inf here would flow straight into inference and
+        // poison every row it convolves with.
+        if !v.is_finite() {
+            return Err(ServeError::Protocol(format!("non-finite matrix entry {tok}")));
+        }
+        data.push(v);
+    }
+    if tokens.next().is_some() {
+        return Err(ServeError::Protocol("trailing tokens after matrix".into()));
+    }
+    // Observed rows are (unnormalised) histogram mass. A row
+    // whose entries cancel to exactly zero mass while carrying
+    // negative entries is indistinguishable from a missing row
+    // by total mass but not all-missing — normalisation would
+    // divide by zero downstream. Reject it as malformed.
+    for r in 0..rows {
+        let row = &data[r * cols..(r + 1) * cols];
+        if row.iter().sum::<f64>() == 0.0 && row.iter().any(|&v| v < 0.0) {
+            return Err(ServeError::Protocol(format!(
+                "row {r} has zero total mass but negative entries"
+            )));
+        }
+    }
+    Ok((time_of_day, day_of_week, Matrix::from_vec(rows, cols, data)))
 }
 
 /// Parses one request line.
@@ -79,50 +158,22 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
     let mut tokens = line.split_whitespace();
     match tokens.next() {
         Some("complete") => {
-            let time_of_day = parse_usize(tokens.next(), "time")?;
-            let day_of_week = parse_usize(tokens.next(), "day")?;
-            let rows = parse_usize(tokens.next(), "rows")?;
-            let cols = parse_usize(tokens.next(), "cols")?;
-            let total = checked_elems(rows, cols)?;
-            // Reserve no more than the line itself could carry, so a
-            // short line claiming a big shape cannot reserve much.
-            let mut data = Vec::with_capacity(total.min(line.len() / WIRE_ELEM_BYTES + 1));
-            for _ in 0..total {
-                let tok = tokens
-                    .next()
-                    .ok_or_else(|| ServeError::Protocol("truncated matrix data".into()))?;
-                let v = parse_f64_hex(tok)?;
-                // The hex encoding can smuggle any bit pattern; a NaN
-                // or ±Inf here would flow straight into inference and
-                // poison every row it convolves with.
-                if !v.is_finite() {
-                    return Err(ServeError::Protocol(format!("non-finite matrix entry {tok}")));
-                }
-                data.push(v);
-            }
-            if tokens.next().is_some() {
-                return Err(ServeError::Protocol("trailing tokens after matrix".into()));
-            }
-            // Observed rows are (unnormalised) histogram mass. A row
-            // whose entries cancel to exactly zero mass while carrying
-            // negative entries is indistinguishable from a missing row
-            // by total mass but not all-missing — normalisation would
-            // divide by zero downstream. Reject it as malformed.
-            for r in 0..rows {
-                let row = &data[r * cols..(r + 1) * cols];
-                if row.iter().sum::<f64>() == 0.0 && row.iter().any(|&v| v < 0.0) {
-                    return Err(ServeError::Protocol(format!(
-                        "row {r} has zero total mass but negative entries"
-                    )));
-                }
-            }
-            Ok(Request::Complete {
-                time_of_day,
-                day_of_week,
-                input: Matrix::from_vec(rows, cols, data),
-            })
+            let (time_of_day, day_of_week, input) = parse_complete_body(&mut tokens, line)?;
+            Ok(Request::Complete { time_of_day, day_of_week, input })
+        }
+        Some("tcomplete") => {
+            let tenant = parse_usize(tokens.next(), "tenant")? as u64;
+            let (time_of_day, day_of_week, input) = parse_complete_body(&mut tokens, line)?;
+            Ok(Request::TComplete { tenant, time_of_day, day_of_week, input })
         }
         Some("stats") => Ok(Request::Stats),
+        Some("tstats") => {
+            let tenant = parse_usize(tokens.next(), "tenant")? as u64;
+            if tokens.next().is_some() {
+                return Err(ServeError::Protocol("trailing tokens after tenant".into()));
+            }
+            Ok(Request::TStats { tenant })
+        }
         Some("ping") => Ok(Request::Ping),
         Some("quit") => Ok(Request::Quit),
         Some(other) => Err(ServeError::Protocol(format!("unknown command {other:?}"))),
@@ -177,6 +228,36 @@ pub fn write_ok(
     write_matrix_hex(buf, output);
 }
 
+/// Renders the `tok` (or `tdegraded`) response line (no trailing
+/// newline): the tenant id and its graph generation, then the exact
+/// legacy `ok`/`degraded` tail.
+#[allow(clippy::too_many_arguments)]
+pub fn write_tok(
+    buf: &mut String,
+    tenant: u64,
+    graph_generation: u64,
+    output: &Matrix,
+    cache_hit: bool,
+    generation: u64,
+    shards: usize,
+    degraded: bool,
+) {
+    use std::fmt::Write;
+    let _ = write!(
+        buf,
+        "{} {} {} {} {} {} {} {}",
+        if degraded { "tdegraded" } else { "tok" },
+        tenant,
+        graph_generation,
+        output.rows(),
+        output.cols(),
+        u8::from(cache_hit),
+        generation,
+        shards
+    );
+    write_matrix_hex(buf, output);
+}
+
 /// Renders the `err` response line (no trailing newline).
 pub fn write_err(buf: &mut String, err: &ServeError) {
     use std::fmt::Write;
@@ -213,7 +294,43 @@ pub fn write_stats(buf: &mut String, s: &StatsSnapshot) {
     );
 }
 
+/// Renders one tenant's `tstats` response line (no trailing newline):
+/// the tenant id followed by all [`StatsSnapshot::TENANT_FIELDS`]
+/// counters in declaration order.
+pub fn write_tstats(buf: &mut String, tenant: u64, s: &StatsSnapshot) {
+    use std::fmt::Write;
+    let _ = write!(buf, "tstats {tenant}");
+    for field in s.tenant_fields() {
+        let _ = write!(buf, " {field}");
+    }
+}
+
+/// Parses a `tstats` response line back into `(tenant, snapshot)`.
+pub fn parse_tstats_response(line: &str) -> Result<(u64, StatsSnapshot), ServeError> {
+    let mut tokens = line.split_whitespace();
+    match tokens.next() {
+        Some("tstats") => {
+            let tenant = parse_usize(tokens.next(), "tenant")? as u64;
+            let mut fields = [0u64; StatsSnapshot::TENANT_FIELDS];
+            for slot in fields.iter_mut() {
+                *slot = parse_usize(tokens.next(), "stats field")? as u64;
+            }
+            if tokens.next().is_some() {
+                return Err(ServeError::Protocol("trailing tokens after stats".into()));
+            }
+            Ok((tenant, StatsSnapshot::from_tenant_fields(fields)))
+        }
+        Some("err") => {
+            let code = tokens.next().unwrap_or("unknown");
+            let rest: Vec<&str> = tokens.collect();
+            Err(remote_error(code, &rest.join(" ")))
+        }
+        other => Err(ServeError::Protocol(format!("unexpected response {other:?}"))),
+    }
+}
+
 /// A parsed `ok` or `degraded` response.
+#[derive(Debug)]
 pub struct OkResponse {
     /// The completed matrix.
     pub output: Matrix,
@@ -263,6 +380,42 @@ pub fn parse_complete_response(line: &str) -> Result<OkResponse, ServeError> {
     }
 }
 
+/// A parsed `tok` or `tdegraded` response.
+#[derive(Debug)]
+pub struct TokResponse {
+    /// The tenant that served the completion.
+    pub tenant: u64,
+    /// The tenant's graph-topology generation at serve time; a bump
+    /// between two responses means a [`gcwc_graph::GraphDelta`] was
+    /// applied in between and row indices may have shifted.
+    pub graph_generation: u64,
+    /// The legacy response body.
+    pub body: OkResponse,
+}
+
+/// Parses a server response to a `tcomplete` request.
+pub fn parse_tcomplete_response(line: &str) -> Result<TokResponse, ServeError> {
+    let mut tokens = line.split_whitespace();
+    match tokens.next() {
+        head @ (Some("tok") | Some("tdegraded")) => {
+            let tenant = parse_usize(tokens.next(), "tenant")? as u64;
+            let graph_generation = parse_usize(tokens.next(), "graph generation")? as u64;
+            // The tail is exactly the legacy layout; reuse its parser
+            // by re-prefixing the matching legacy keyword.
+            let keyword = if head == Some("tdegraded") { "degraded" } else { "ok" };
+            let rest: Vec<&str> = tokens.collect();
+            let body = parse_complete_response(&format!("{keyword} {}", rest.join(" ")))?;
+            Ok(TokResponse { tenant, graph_generation, body })
+        }
+        Some("err") => {
+            let code = tokens.next().unwrap_or("unknown");
+            let rest: Vec<&str> = tokens.collect();
+            Err(remote_error(code, &rest.join(" ")))
+        }
+        other => Err(ServeError::Protocol(format!("unexpected response {other:?}"))),
+    }
+}
+
 /// Maps a wire error code back onto a [`ServeError`] (shared by the
 /// text response parser and the binary codec in [`crate::wire`]).
 pub(crate) fn remote_error(code: &str, message: &str) -> ServeError {
@@ -272,6 +425,12 @@ pub(crate) fn remote_error(code: &str, message: &str) -> ServeError {
         "shutdown" => ServeError::ShuttingDown,
         "restarting" => ServeError::ShardRestarting,
         "bad_request" => ServeError::BadRequest(message.to_owned()),
+        "quota" => ServeError::QuotaExceeded,
+        // `tenant <id> is not registered` — recover the id when the
+        // message carries it in the documented position.
+        "unknown_tenant" => ServeError::UnknownTenant(
+            message.split_whitespace().nth(1).and_then(|t| t.parse().ok()).unwrap_or(0),
+        ),
         _ => ServeError::Protocol(format!("{code}: {message}")),
     }
 }
@@ -396,5 +555,73 @@ mod tests {
         let mut line = String::new();
         write_err(&mut line, &ServeError::Overloaded);
         assert!(matches!(parse_complete_response(&line), Err(ServeError::Overloaded)));
+    }
+
+    #[test]
+    fn tcomplete_roundtrip_is_bit_exact() {
+        let m = Matrix::from_vec(2, 2, vec![0.1, -2.5, f64::MIN_POSITIVE, 3.0e300]);
+        let mut line = String::from("tcomplete 9 3 5 2 2");
+        write_matrix_hex(&mut line, &m);
+        match parse_request(&line).unwrap() {
+            Request::TComplete { tenant, time_of_day, day_of_week, input } => {
+                assert_eq!((tenant, time_of_day, day_of_week), (9, 3, 5));
+                assert_eq!(input, m);
+            }
+            _ => panic!("expected TComplete"),
+        }
+        assert!(matches!(parse_request("tstats 7").unwrap(), Request::TStats { tenant: 7 }));
+        assert!(parse_request("tstats").is_err(), "tstats requires a tenant id");
+        assert!(parse_request("tstats 7 8").is_err(), "trailing tokens rejected");
+    }
+
+    #[test]
+    fn tok_response_wraps_the_legacy_tail() {
+        let m = Matrix::from_vec(1, 3, vec![0.25, 0.5, 0.25]);
+        for degraded in [false, true] {
+            let mut line = String::new();
+            write_tok(&mut line, 4, 2, &m, true, 7, 2, degraded);
+            let expect = if degraded { "tdegraded 4 2 " } else { "tok 4 2 " };
+            assert!(line.starts_with(expect), "got {line:?}");
+            let r = parse_tcomplete_response(&line).unwrap();
+            assert_eq!((r.tenant, r.graph_generation), (4, 2));
+            assert_eq!(r.body.output, m);
+            assert_eq!(r.body.degraded, degraded);
+            assert!(r.body.cache_hit);
+            assert_eq!((r.body.generation, r.body.shards), (7, 2));
+            // The tail after `tok <tenant> <graph_gen>` is exactly the
+            // legacy layout.
+            let mut legacy = String::new();
+            write_ok(&mut legacy, &m, true, 7, 2, degraded);
+            let legacy_tail = legacy.split_once(' ').unwrap().1;
+            assert!(line.ends_with(legacy_tail));
+        }
+    }
+
+    #[test]
+    fn tenant_errors_map_back() {
+        let mut line = String::new();
+        write_err(&mut line, &ServeError::QuotaExceeded);
+        assert!(matches!(parse_tcomplete_response(&line), Err(ServeError::QuotaExceeded)));
+        line.clear();
+        write_err(&mut line, &ServeError::UnknownTenant(12));
+        assert!(matches!(parse_tcomplete_response(&line), Err(ServeError::UnknownTenant(12))));
+        assert!(matches!(parse_tstats_response(&line), Err(ServeError::UnknownTenant(12))));
+    }
+
+    #[test]
+    fn tstats_roundtrip() {
+        let fields: [u64; StatsSnapshot::TENANT_FIELDS] =
+            std::array::from_fn(|i| (i as u64 + 1) * 3);
+        let snap = StatsSnapshot::from_tenant_fields(fields);
+        let mut line = String::new();
+        write_tstats(&mut line, 11, &snap);
+        assert_eq!(
+            line.split_whitespace().count(),
+            2 + StatsSnapshot::TENANT_FIELDS,
+            "tstats line carries the keyword, the tenant, and every field"
+        );
+        let (tenant, parsed) = parse_tstats_response(&line).unwrap();
+        assert_eq!(tenant, 11);
+        assert_eq!(parsed.tenant_fields(), fields);
     }
 }

@@ -178,13 +178,30 @@ impl ModelSnapshot {
 /// architecture.
 pub type ModelFactory = Box<dyn Fn() -> AnyModel + Send + Sync>;
 
+/// One shard's replacement under a topology change (see
+/// [`ModelRegistry::install_topology`]): the repaired model plus the
+/// factory matching its new local architecture.
+pub struct TopologyUpdate {
+    /// Which shard the delta repaired.
+    pub shard: usize,
+    /// The model rebuilt (and retrained) on the repaired local graph.
+    pub model: AnyModel,
+    /// Factory for the repaired architecture, replacing the stale one
+    /// so later [`ModelRegistry::load_shard`] calls build the right
+    /// local shape.
+    pub factory: ModelFactory,
+}
+
 /// Registry holding the current [`ModelSnapshot`] behind an [`RwLock`]
 /// for lock-cheap reads and atomic hot swaps.
+///
+/// Lock order (deadlock freedom): `factories` → `views` → `current`.
 pub struct ModelRegistry {
-    factories: Vec<ModelFactory>,
-    views: Arc<Vec<RowView>>,
+    factories: RwLock<Vec<ModelFactory>>,
+    views: RwLock<Arc<Vec<RowView>>>,
     current: RwLock<Arc<ModelSnapshot>>,
     generation: AtomicU64,
+    num_shards: usize,
 }
 
 impl ModelRegistry {
@@ -230,6 +247,7 @@ impl ModelRegistry {
             assert_eq!(model.output_cols(), out_cols, "shard {k} head differs");
         }
         let views = Arc::new(views);
+        let num_shards = factories.len();
         let shards = models
             .into_iter()
             .map(|model| Arc::new(ModelShard { model, generation: 0, source: None }))
@@ -242,7 +260,13 @@ impl ModelRegistry {
             m,
             out_cols,
         });
-        Self { factories, views, current: RwLock::new(snapshot), generation: AtomicU64::new(0) }
+        Self {
+            factories: RwLock::new(factories),
+            views: RwLock::new(views),
+            current: RwLock::new(snapshot),
+            generation: AtomicU64::new(0),
+            num_shards,
+        }
     }
 
     /// The currently served snapshot. Cheap; callers hold the `Arc`
@@ -253,7 +277,7 @@ impl ModelRegistry {
 
     /// Number of shards K.
     pub fn num_shards(&self) -> usize {
-        self.factories.len()
+        self.num_shards
     }
 
     /// Current global generation number.
@@ -265,7 +289,7 @@ impl ModelRegistry {
     /// in; every other shard is shared unchanged. On any error the
     /// previous snapshot keeps serving. Returns the new generation.
     pub fn load_shard(&self, k: usize, path: &Path) -> Result<u64, ServeError> {
-        assert!(k < self.factories.len(), "shard {k} out of range");
+        assert!(k < self.num_shards, "shard {k} out of range");
         // Failpoint: an injected load failure (disk error, torn
         // checkpoint) must leave the previous snapshot serving.
         if gcwc_failpoint::triggered(crate::failsite::REGISTRY_LOAD) {
@@ -274,7 +298,7 @@ impl ModelRegistry {
                 crate::failsite::REGISTRY_LOAD
             ))));
         }
-        let mut model = (self.factories[k])();
+        let mut model = (self.factories.read().unwrap()[k])();
         model.load(path)?;
         Ok(self.swap_shard(k, model, Some(path.to_path_buf())))
     }
@@ -282,10 +306,10 @@ impl ModelRegistry {
     /// Swaps an already-built model (e.g. trained in-process) into
     /// shard `k`. Returns the new generation number.
     pub fn install_shard(&self, k: usize, model: AnyModel) -> u64 {
-        assert!(k < self.factories.len(), "shard {k} out of range");
+        assert!(k < self.num_shards, "shard {k} out of range");
         assert_eq!(
             model.num_edges(),
-            self.views[k].num_local(),
+            self.views.read().unwrap()[k].num_local(),
             "installed model does not match shard {k}'s view"
         );
         self.swap_shard(k, model, None)
@@ -297,7 +321,7 @@ impl ModelRegistry {
     /// Panics on a sharded registry — load each shard with
     /// [`ModelRegistry::load_shard`].
     pub fn load(&self, path: &Path) -> Result<u64, ServeError> {
-        assert_eq!(self.factories.len(), 1, "load() is single-shard only; use load_shard");
+        assert_eq!(self.num_shards, 1, "load() is single-shard only; use load_shard");
         self.load_shard(0, path)
     }
 
@@ -308,7 +332,7 @@ impl ModelRegistry {
     /// Panics on a sharded registry — use
     /// [`ModelRegistry::install_shard`].
     pub fn install(&self, model: AnyModel) -> u64 {
-        assert_eq!(self.factories.len(), 1, "install() is single-shard only; use install_shard");
+        assert_eq!(self.num_shards, 1, "install() is single-shard only; use install_shard");
         self.install_shard(0, model)
     }
 
@@ -321,11 +345,12 @@ impl ModelRegistry {
     /// changes, so all cached completions of the previous set miss.
     /// Returns the new generation.
     pub fn install_set(&self, models: Vec<AnyModel>) -> u64 {
-        assert_eq!(models.len(), self.factories.len(), "install_set needs one model per shard");
+        assert_eq!(models.len(), self.num_shards, "install_set needs one model per shard");
+        let views = Arc::clone(&self.views.read().unwrap());
         for (k, model) in models.iter().enumerate() {
             assert_eq!(
                 model.num_edges(),
-                self.views[k].num_local(),
+                views[k].num_local(),
                 "installed model does not match shard {k}'s view"
             );
         }
@@ -343,9 +368,76 @@ impl ModelRegistry {
         let mut current = self.current.write().unwrap();
         *current = Arc::new(ModelSnapshot {
             shards,
-            views: Arc::clone(&self.views),
+            views,
             generation,
             n: current.n,
+            m: current.m,
+            out_cols: current.out_cols,
+        });
+        generation
+    }
+
+    /// Absorbs a graph-topology change (an applied
+    /// [`gcwc_graph::GraphDelta`]) into the served shard set as **one**
+    /// atomic snapshot swap: every repaired shard gets its rebuilt
+    /// model (and a fresh generation, invalidating exactly its cached
+    /// completions), while untouched shards keep their `Arc`s *and*
+    /// their generations — their cache entries stay valid across the
+    /// swap. The row views are replaced wholesale (`views[k]` must be
+    /// byte-identical to the old view for every unrepaired shard `k`,
+    /// which [`gcwc_graph::DeltaRepair`] guarantees by construction).
+    /// Returns the new model generation.
+    pub fn install_topology(&self, updates: Vec<TopologyUpdate>, views: Vec<RowView>) -> u64 {
+        assert_eq!(views.len(), self.num_shards, "install_topology needs one view per shard");
+        let mut factories = self.factories.write().unwrap();
+        let mut cur_views = self.views.write().unwrap();
+        {
+            let current = self.current.read().unwrap();
+            let mut seen = vec![false; self.num_shards];
+            for u in &updates {
+                assert!(u.shard < self.num_shards, "shard {} out of range", u.shard);
+                assert!(!seen[u.shard], "duplicate update for shard {}", u.shard);
+                seen[u.shard] = true;
+                assert_eq!(
+                    u.model.num_edges(),
+                    views[u.shard].num_local(),
+                    "repaired model does not match shard {}'s new view",
+                    u.shard
+                );
+                assert_eq!(u.model.num_buckets(), current.m, "shard {} bucket count", u.shard);
+                assert_eq!(u.model.output_cols(), current.out_cols, "shard {} head", u.shard);
+            }
+            for k in 0..self.num_shards {
+                if !seen[k] {
+                    assert_eq!(
+                        current.shards[k].model.num_edges(),
+                        views[k].num_local(),
+                        "unrepaired shard {k}'s view changed; it must carry an update"
+                    );
+                }
+            }
+        }
+        // Same injection point as the full-set swap: a `panic` here
+        // dies before the generation bump, leaving the previous
+        // snapshot (and the previous topology) serving untouched.
+        if gcwc_failpoint::triggered(crate::failsite::REGISTRY_INSTALL) {
+            panic!("failpoint {}: injected install failure", crate::failsite::REGISTRY_INSTALL);
+        }
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let views = Arc::new(views);
+        let n: usize = views.iter().map(RowView::num_owned).sum();
+        let mut current = self.current.write().unwrap();
+        let mut shards = current.shards.clone();
+        for u in updates {
+            shards[u.shard] = Arc::new(ModelShard { model: u.model, generation, source: None });
+            factories[u.shard] = u.factory;
+        }
+        *cur_views = Arc::clone(&views);
+        *current = Arc::new(ModelSnapshot {
+            shards,
+            views,
+            generation,
+            n,
             m: current.m,
             out_cols: current.out_cols,
         });
@@ -361,12 +453,13 @@ impl ModelRegistry {
         }
         let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
         let shard = Arc::new(ModelShard { model, generation, source });
+        let views = Arc::clone(&self.views.read().unwrap());
         let mut current = self.current.write().unwrap();
         let mut shards = current.shards.clone();
         shards[k] = shard;
         *current = Arc::new(ModelSnapshot {
             shards,
-            views: Arc::clone(&self.views),
+            views,
             generation,
             n: current.n,
             m: current.m,

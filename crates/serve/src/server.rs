@@ -22,13 +22,26 @@
 //! across writes; per-connection buffers are hard-capped and in-flight
 //! requests per connection are bounded — beyond the bound the reactor
 //! simply stops reading that socket, pushing backpressure into TCP.
+//!
+//! **Multi-tenancy.** One reactor serves every tenant of a
+//! [`TenantRegistry`] ([`Server::start_tenants`]): tenant-form
+//! requests (`tcomplete`/`tstats`, opcodes 0x05/0x06) route to their
+//! tenant's own engine, queue, caches, and quota, while the legacy
+//! tenant-less forms address [`TenantId::DEFAULT`]. Isolation is
+//! structural — tenants share nothing but the reactor thread and the
+//! listeners, so one tenant's open breakers or exhausted quota cannot
+//! alter another tenant's responses. [`Server::start`] remains the
+//! single-tenant path: it adopts the engine as the default tenant and
+//! stays byte-compatible with pre-tenancy builds.
 
 use crate::engine::{Completion, CompletionHook, Engine};
 use crate::protocol::{self, Request};
 use crate::sys::{Poller, Waker};
+use crate::tenant::{Tenant, TenantId, TenantRegistry};
 use crate::wire::{self, Opcode};
 use crate::{failsite, ServeError};
 use gcwc_linalg::Matrix;
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
@@ -91,6 +104,13 @@ struct Done {
     token: usize,
     gen: u64,
     request_id: u64,
+    /// Index into the reactor's tenant table (owns the buffer pools
+    /// the completion's matrices return to).
+    tenant: usize,
+    /// `Some(tenant id)` when the request arrived in tenant form and
+    /// must be answered in tenant form (carrying the tenant's graph
+    /// generation); `None` keeps the legacy reply byte-identical.
+    treply: Option<u64>,
     result: Result<Completion, ServeError>,
 }
 
@@ -120,16 +140,41 @@ impl Server {
     }
 
     /// Like [`Server::start`], with explicit tuning — notably
-    /// [`ServerConfig::text_port`] for the debug text protocol.
+    /// [`ServerConfig::text_port`] for the debug text protocol. The
+    /// engine is adopted as [`TenantId::DEFAULT`] with no quota, so
+    /// legacy tenant-less traffic is served exactly as before
+    /// multi-tenancy existed.
     pub fn start_with<A: ToSocketAddrs>(
         engine: Arc<Engine>,
         addr: A,
         cfg: ServerConfig,
     ) -> std::io::Result<Self> {
-        assert!(
-            engine.worker_count() > 0,
-            "the reactor front end needs engine workers to serve completions"
-        );
+        let tenants = TenantRegistry::new();
+        tenants.adopt(TenantId::DEFAULT, engine, None);
+        Self::start_tenants(&Arc::new(tenants), addr, cfg)
+    }
+
+    /// Starts the front end over every tenant registered in `tenants`
+    /// — the multi-city entry point. The tenant set is snapshotted at
+    /// start: tenants registered later answer
+    /// [`ServeError::UnknownTenant`] until a new front end is started.
+    /// Legacy tenant-less requests are served by the
+    /// [`TenantId::DEFAULT`] tenant when one is registered.
+    pub fn start_tenants<A: ToSocketAddrs>(
+        tenants: &Arc<TenantRegistry>,
+        addr: A,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let states: Vec<TenantState> =
+            tenants.tenants().into_iter().map(TenantState::new).collect();
+        assert!(!states.is_empty(), "the front end needs at least one registered tenant");
+        for s in &states {
+            assert!(
+                s.tenant.engine().worker_count() > 0,
+                "tenant {}: the reactor front end needs engine workers to serve completions",
+                s.tenant.id()
+            );
+        }
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -157,9 +202,10 @@ impl Server {
             waker,
             open_conns: AtomicUsize::new(0),
         });
-        let (in_shape, out_shape) = (engine.input_shape(), engine.output_shape());
+        let by_id: HashMap<u64, usize> =
+            states.iter().enumerate().map(|(i, s)| (s.tenant.id().0, i)).collect();
+        let default_idx = by_id.get(&TenantId::DEFAULT.0).copied();
         let mut reactor = Reactor {
-            engine,
             shared: Arc::clone(&shared),
             poller,
             listener,
@@ -167,10 +213,9 @@ impl Server {
             cfg,
             slots: Vec::new(),
             free: Vec::new(),
-            in_shape,
-            out_shape,
-            spare_inputs: Vec::new(),
-            spare_outputs: Vec::new(),
+            tenants: states,
+            by_id,
+            default_idx,
             scratch: vec![0u8; 64 << 10],
             text_buf: String::new(),
         };
@@ -286,8 +331,38 @@ struct Slot {
     conn: Option<Conn>,
 }
 
+/// Per-tenant reactor state: the tenant handle plus that tenant's
+/// matrix pools (pooling is per tenant because every tenant's graph —
+/// and therefore its request/response shapes — differs).
+struct TenantState {
+    tenant: Arc<Tenant>,
+    in_shape: (usize, usize),
+    out_shape: (usize, usize),
+    spare_inputs: Vec<Matrix>,
+    spare_outputs: Vec<Matrix>,
+}
+
+impl TenantState {
+    fn new(tenant: Arc<Tenant>) -> Self {
+        let (in_shape, out_shape) = (tenant.engine().input_shape(), tenant.engine().output_shape());
+        Self { tenant, in_shape, out_shape, spare_inputs: Vec::new(), spare_outputs: Vec::new() }
+    }
+
+    /// Re-reads the engine's shapes after a topology swap so the warm
+    /// path goes back to pooled (allocation-free) buffers on the new
+    /// shape; stale-shaped spares are dropped.
+    fn refresh_shapes(&mut self) {
+        let cur = self.tenant.engine().input_shape();
+        if cur != self.in_shape {
+            self.in_shape = cur;
+            self.out_shape = self.tenant.engine().output_shape();
+            self.spare_inputs.clear();
+            self.spare_outputs.clear();
+        }
+    }
+}
+
 struct Reactor {
-    engine: Arc<Engine>,
     shared: Arc<Shared>,
     poller: Poller,
     listener: TcpListener,
@@ -295,10 +370,12 @@ struct Reactor {
     cfg: ServerConfig,
     slots: Vec<Slot>,
     free: Vec<usize>,
-    in_shape: (usize, usize),
-    out_shape: (usize, usize),
-    spare_inputs: Vec<Matrix>,
-    spare_outputs: Vec<Matrix>,
+    /// Snapshot of the registered tenants at server start.
+    tenants: Vec<TenantState>,
+    /// Tenant id → index into `tenants`.
+    by_id: HashMap<u64, usize>,
+    /// Index of the default tenant (serves legacy tenant-less forms).
+    default_idx: Option<usize>,
     scratch: Vec<u8>,
     text_buf: String,
 }
@@ -310,14 +387,110 @@ fn completion_hook(
     token: usize,
     gen: u64,
     request_id: u64,
+    tenant: usize,
+    treply: Option<u64>,
 ) -> CompletionHook {
     let shared = Arc::clone(shared);
     Box::new(move |result| {
         let mut done = shared.done.lock().unwrap_or_else(PoisonError::into_inner);
-        done.push(Done { token, gen, request_id, result });
+        done.push(Done { token, gen, request_id, tenant, treply, result });
         drop(done);
         shared.waker.wake();
     })
+}
+
+/// Shared submission tail of the binary `complete`/`tcomplete` forms:
+/// pooled buffers, input hardening, engine submit, inline error frame
+/// on refusal. Takes the connection's fields individually because the
+/// decoded request still borrows its receive buffer.
+#[allow(clippy::too_many_arguments)]
+fn submit_decoded(
+    state: &mut TenantState,
+    state_idx: usize,
+    in_flight: &mut usize,
+    wbuf: &mut Vec<u8>,
+    shared: &Arc<Shared>,
+    idx: usize,
+    gen: u64,
+    request_id: u64,
+    treply: Option<u64>,
+    req: &wire::CompleteRequest<'_>,
+) {
+    if (req.rows, req.cols) != state.in_shape {
+        state.refresh_shapes();
+    }
+    let mut input = if (req.rows, req.cols) == state.in_shape {
+        state.spare_inputs.pop().unwrap_or_else(|| Matrix::zeros(req.rows, req.cols))
+    } else {
+        // Wrong shape for the served model: let the
+        // engine answer the typed BadRequest.
+        Matrix::zeros(req.rows, req.cols)
+    };
+    match wire::fill_matrix(req, &mut input) {
+        Ok(()) => {
+            let out_buf = state
+                .spare_outputs
+                .pop()
+                .unwrap_or_else(|| Matrix::zeros(state.out_shape.0, state.out_shape.1));
+            let hook = completion_hook(shared, idx, gen, request_id, state_idx, treply);
+            match state.tenant.engine().submit(
+                input,
+                out_buf,
+                req.time_of_day,
+                req.day_of_week,
+                None,
+                hook,
+            ) {
+                Ok(()) => *in_flight += 1,
+                Err(refused) => {
+                    // Backpressure (or shutdown):
+                    // answer inline, reuse buffers.
+                    recycle(&mut state.spare_inputs, refused.input, state.in_shape);
+                    recycle(&mut state.spare_outputs, refused.out_buf, state.out_shape);
+                    wire::encode_err(wbuf, request_id, &refused.error);
+                }
+            }
+        }
+        Err(e) => {
+            recycle(&mut state.spare_inputs, input, state.in_shape);
+            wire::encode_err(wbuf, request_id, &e.into());
+        }
+    }
+}
+
+/// Shared submission tail of the text `complete`/`tcomplete` forms.
+#[allow(clippy::too_many_arguments)]
+fn submit_text(
+    state: &mut TenantState,
+    state_idx: usize,
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    idx: usize,
+    gen: u64,
+    treply: Option<u64>,
+    time_of_day: usize,
+    day_of_week: usize,
+    input: Matrix,
+    text_buf: &mut String,
+) {
+    if input.shape() != state.in_shape {
+        state.refresh_shapes();
+    }
+    let out_buf = state
+        .spare_outputs
+        .pop()
+        .unwrap_or_else(|| Matrix::zeros(state.out_shape.0, state.out_shape.1));
+    let hook = completion_hook(shared, idx, gen, 0, state_idx, treply);
+    match state.tenant.engine().submit(input, out_buf, time_of_day, day_of_week, None, hook) {
+        Ok(()) => {
+            conn.in_flight += 1;
+            conn.text_waiting = true;
+        }
+        Err(refused) => {
+            recycle(&mut state.spare_outputs, refused.out_buf, state.out_shape);
+            protocol::write_err(text_buf, &refused.error);
+        }
+    }
 }
 
 impl Reactor {
@@ -502,19 +675,7 @@ impl Reactor {
     /// id and continue; header-level errors poison the stream and
     /// close the connection after a best-effort error frame.
     fn process_binary(&mut self, idx: usize) {
-        let Reactor {
-            slots,
-            free: _,
-            poller,
-            engine,
-            shared,
-            cfg,
-            in_shape,
-            out_shape,
-            spare_inputs,
-            spare_outputs,
-            ..
-        } = self;
+        let Reactor { slots, poller, shared, cfg, tenants, by_id, default_idx, .. } = self;
         let gen = slots[idx].gen;
         let Some(conn) = slots[idx].conn.as_mut() else { return };
         loop {
@@ -550,53 +711,85 @@ impl Reactor {
             let payload = &conn.rbuf[conn.rstart + wire::HEADER_LEN..conn.rstart + total];
             match header.opcode {
                 Opcode::Complete => match wire::decode_complete_request(payload) {
-                    Ok(req) => {
-                        let mut input = if (req.rows, req.cols) == *in_shape {
-                            spare_inputs.pop().unwrap_or_else(|| Matrix::zeros(req.rows, req.cols))
-                        } else {
-                            // Wrong shape for the served model: let the
-                            // engine answer the typed BadRequest.
-                            Matrix::zeros(req.rows, req.cols)
-                        };
-                        match wire::fill_matrix(&req, &mut input) {
-                            Ok(()) => {
-                                let out_buf = spare_outputs
-                                    .pop()
-                                    .unwrap_or_else(|| Matrix::zeros(out_shape.0, out_shape.1));
-                                let hook = completion_hook(shared, idx, gen, header.request_id);
-                                match engine.submit(
-                                    input,
-                                    out_buf,
-                                    req.time_of_day,
-                                    req.day_of_week,
-                                    None,
-                                    hook,
-                                ) {
-                                    Ok(()) => conn.in_flight += 1,
-                                    Err(refused) => {
-                                        // Backpressure (or shutdown):
-                                        // answer inline, reuse buffers.
-                                        recycle(spare_inputs, refused.input, *in_shape);
-                                        recycle(spare_outputs, refused.out_buf, *out_shape);
-                                        wire::encode_err(
-                                            &mut conn.wbuf,
-                                            header.request_id,
-                                            &refused.error,
-                                        );
-                                    }
-                                }
-                            }
-                            Err(e) => {
-                                recycle(spare_inputs, input, *in_shape);
-                                wire::encode_err(&mut conn.wbuf, header.request_id, &e.into());
-                            }
-                        }
-                    }
+                    Ok(req) => match *default_idx {
+                        Some(ti) => match tenants[ti].tenant.admit() {
+                            Ok(()) => submit_decoded(
+                                &mut tenants[ti],
+                                ti,
+                                &mut conn.in_flight,
+                                &mut conn.wbuf,
+                                shared,
+                                idx,
+                                gen,
+                                header.request_id,
+                                None,
+                                &req,
+                            ),
+                            Err(e) => wire::encode_err(&mut conn.wbuf, header.request_id, &e),
+                        },
+                        None => wire::encode_err(
+                            &mut conn.wbuf,
+                            header.request_id,
+                            &ServeError::UnknownTenant(TenantId::DEFAULT.0),
+                        ),
+                    },
                     Err(e) => wire::encode_err(&mut conn.wbuf, header.request_id, &e.into()),
                 },
-                Opcode::Stats => {
-                    wire::encode_stats(&mut conn.wbuf, header.request_id, &engine.stats());
-                }
+                Opcode::TComplete => match wire::decode_tcomplete_request(payload) {
+                    Ok((tid, req)) => match by_id.get(&tid).copied() {
+                        Some(ti) => match tenants[ti].tenant.admit() {
+                            Ok(()) => submit_decoded(
+                                &mut tenants[ti],
+                                ti,
+                                &mut conn.in_flight,
+                                &mut conn.wbuf,
+                                shared,
+                                idx,
+                                gen,
+                                header.request_id,
+                                Some(tid),
+                                &req,
+                            ),
+                            Err(e) => wire::encode_err(&mut conn.wbuf, header.request_id, &e),
+                        },
+                        None => wire::encode_err(
+                            &mut conn.wbuf,
+                            header.request_id,
+                            &ServeError::UnknownTenant(tid),
+                        ),
+                    },
+                    Err(e) => wire::encode_err(&mut conn.wbuf, header.request_id, &e.into()),
+                },
+                Opcode::Stats => match *default_idx {
+                    // The legacy stats frame: exactly the engine's 20
+                    // counters, byte-identical to pre-tenancy builds.
+                    Some(ti) => wire::encode_stats(
+                        &mut conn.wbuf,
+                        header.request_id,
+                        &tenants[ti].tenant.engine().stats(),
+                    ),
+                    None => wire::encode_err(
+                        &mut conn.wbuf,
+                        header.request_id,
+                        &ServeError::UnknownTenant(TenantId::DEFAULT.0),
+                    ),
+                },
+                Opcode::TStats => match wire::decode_tstats_request(payload) {
+                    Ok(tid) => match by_id.get(&tid).copied() {
+                        Some(ti) => wire::encode_tstats(
+                            &mut conn.wbuf,
+                            header.request_id,
+                            tid,
+                            &tenants[ti].tenant.stats(),
+                        ),
+                        None => wire::encode_err(
+                            &mut conn.wbuf,
+                            header.request_id,
+                            &ServeError::UnknownTenant(tid),
+                        ),
+                    },
+                    Err(e) => wire::encode_err(&mut conn.wbuf, header.request_id, &e.into()),
+                },
                 Opcode::Ping => wire::encode_empty(&mut conn.wbuf, Opcode::Pong, header.request_id),
                 Opcode::Quit => {
                     wire::encode_empty(&mut conn.wbuf, Opcode::Bye, header.request_id);
@@ -623,17 +816,7 @@ impl Reactor {
     /// while one is in flight (the text protocol carries no request
     /// ids, so responses must match request order).
     fn process_text(&mut self, idx: usize) {
-        let Reactor {
-            slots,
-            engine,
-            shared,
-            in_shape,
-            out_shape,
-            spare_outputs,
-            spare_inputs: _,
-            text_buf,
-            ..
-        } = self;
+        let Reactor { slots, shared, tenants, by_id, default_idx, text_buf, .. } = self;
         let gen = slots[idx].gen;
         let Some(conn) = slots[idx].conn.as_mut() else { return };
         loop {
@@ -665,24 +848,64 @@ impl Reactor {
             }
             text_buf.clear();
             match protocol::parse_request(line) {
-                Ok(Request::Complete { time_of_day, day_of_week, input }) => {
-                    let _ = in_shape; // validated by the engine
-                    let out_buf = spare_outputs
-                        .pop()
-                        .unwrap_or_else(|| Matrix::zeros(out_shape.0, out_shape.1));
-                    let hook = completion_hook(shared, idx, gen, 0);
-                    match engine.submit(input, out_buf, time_of_day, day_of_week, None, hook) {
-                        Ok(()) => {
-                            conn.in_flight += 1;
-                            conn.text_waiting = true;
-                        }
-                        Err(refused) => {
-                            recycle(spare_outputs, refused.out_buf, *out_shape);
-                            protocol::write_err(text_buf, &refused.error);
-                        }
+                Ok(Request::Complete { time_of_day, day_of_week, input }) => match *default_idx {
+                    Some(ti) => match tenants[ti].tenant.admit() {
+                        Ok(()) => submit_text(
+                            &mut tenants[ti],
+                            ti,
+                            conn,
+                            shared,
+                            idx,
+                            gen,
+                            None,
+                            time_of_day,
+                            day_of_week,
+                            input,
+                            text_buf,
+                        ),
+                        Err(e) => protocol::write_err(text_buf, &e),
+                    },
+                    None => protocol::write_err(
+                        text_buf,
+                        &ServeError::UnknownTenant(TenantId::DEFAULT.0),
+                    ),
+                },
+                Ok(Request::TComplete { tenant, time_of_day, day_of_week, input }) => {
+                    match by_id.get(&tenant).copied() {
+                        Some(ti) => match tenants[ti].tenant.admit() {
+                            Ok(()) => submit_text(
+                                &mut tenants[ti],
+                                ti,
+                                conn,
+                                shared,
+                                idx,
+                                gen,
+                                Some(tenant),
+                                time_of_day,
+                                day_of_week,
+                                input,
+                                text_buf,
+                            ),
+                            Err(e) => protocol::write_err(text_buf, &e),
+                        },
+                        None => protocol::write_err(text_buf, &ServeError::UnknownTenant(tenant)),
                     }
                 }
-                Ok(Request::Stats) => protocol::write_stats(text_buf, &engine.stats()),
+                Ok(Request::Stats) => match *default_idx {
+                    Some(ti) => {
+                        protocol::write_stats(text_buf, &tenants[ti].tenant.engine().stats())
+                    }
+                    None => protocol::write_err(
+                        text_buf,
+                        &ServeError::UnknownTenant(TenantId::DEFAULT.0),
+                    ),
+                },
+                Ok(Request::TStats { tenant }) => match by_id.get(&tenant).copied() {
+                    Some(ti) => {
+                        protocol::write_tstats(text_buf, tenant, &tenants[ti].tenant.stats())
+                    }
+                    None => protocol::write_err(text_buf, &ServeError::UnknownTenant(tenant)),
+                },
                 Ok(Request::Ping) => text_buf.push_str("pong"),
                 Ok(Request::Quit) => {
                     text_buf.push_str("bye");
@@ -715,13 +938,19 @@ impl Reactor {
             // The connection closed while the request was in flight:
             // keep the buffers, drop the result.
             if let Ok(c) = d.result {
-                recycle(&mut self.spare_inputs, c.input, self.in_shape);
-                recycle(&mut self.spare_outputs, c.output, self.out_shape);
+                let state = &mut self.tenants[d.tenant];
+                recycle(&mut state.spare_inputs, c.input, state.in_shape);
+                recycle(&mut state.spare_outputs, c.output, state.out_shape);
             }
             return;
         }
         let idx = d.token;
         {
+            let state = &mut self.tenants[d.tenant];
+            // Tenant-form replies carry the tenant's graph generation,
+            // observed at encode time (a delta applied while the
+            // request was in flight is visible on its response).
+            let graph_gen = d.treply.map(|_| state.tenant.graph_generation());
             let conn = self.slots[idx].conn.as_mut().expect("checked alive");
             conn.in_flight -= 1;
             if conn.text {
@@ -729,16 +958,28 @@ impl Reactor {
                 self.text_buf.clear();
                 match d.result {
                     Ok(c) => {
-                        protocol::write_ok(
-                            &mut self.text_buf,
-                            &c.output,
-                            c.cache_hit,
-                            c.generation,
-                            c.shards,
-                            c.degraded,
-                        );
-                        recycle(&mut self.spare_inputs, c.input, self.in_shape);
-                        recycle(&mut self.spare_outputs, c.output, self.out_shape);
+                        match d.treply {
+                            Some(tid) => protocol::write_tok(
+                                &mut self.text_buf,
+                                tid,
+                                graph_gen.unwrap_or(0),
+                                &c.output,
+                                c.cache_hit,
+                                c.generation,
+                                c.shards,
+                                c.degraded,
+                            ),
+                            None => protocol::write_ok(
+                                &mut self.text_buf,
+                                &c.output,
+                                c.cache_hit,
+                                c.generation,
+                                c.shards,
+                                c.degraded,
+                            ),
+                        }
+                        recycle(&mut state.spare_inputs, c.input, state.in_shape);
+                        recycle(&mut state.spare_outputs, c.output, state.out_shape);
                     }
                     Err(e) => protocol::write_err(&mut self.text_buf, &e),
                 }
@@ -747,17 +988,30 @@ impl Reactor {
             } else {
                 match d.result {
                     Ok(c) => {
-                        wire::encode_complete_ok(
-                            &mut conn.wbuf,
-                            d.request_id,
-                            &c.output,
-                            c.cache_hit,
-                            c.degraded,
-                            c.generation,
-                            c.shards,
-                        );
-                        recycle(&mut self.spare_inputs, c.input, self.in_shape);
-                        recycle(&mut self.spare_outputs, c.output, self.out_shape);
+                        match d.treply {
+                            Some(tid) => wire::encode_tcomplete_ok(
+                                &mut conn.wbuf,
+                                d.request_id,
+                                tid,
+                                graph_gen.unwrap_or(0),
+                                &c.output,
+                                c.cache_hit,
+                                c.degraded,
+                                c.generation,
+                                c.shards,
+                            ),
+                            None => wire::encode_complete_ok(
+                                &mut conn.wbuf,
+                                d.request_id,
+                                &c.output,
+                                c.cache_hit,
+                                c.degraded,
+                                c.generation,
+                                c.shards,
+                            ),
+                        }
+                        recycle(&mut state.spare_inputs, c.input, state.in_shape);
+                        recycle(&mut state.spare_outputs, c.output, state.out_shape);
                     }
                     Err(e) => wire::encode_err(&mut conn.wbuf, d.request_id, &e),
                 }
@@ -914,9 +1168,43 @@ impl TcpClient {
         protocol::parse_complete_response(line)
     }
 
+    /// Sends a tenant-scoped completion request and parses the
+    /// response (including the tenant's graph generation).
+    pub fn tcomplete(
+        &mut self,
+        tenant: u64,
+        input: &Matrix,
+        time_of_day: usize,
+        day_of_week: usize,
+    ) -> Result<protocol::TokResponse, ServeError> {
+        let mut request = format!(
+            "tcomplete {} {} {} {} {}",
+            tenant,
+            time_of_day,
+            day_of_week,
+            input.rows(),
+            input.cols()
+        );
+        protocol::write_matrix_hex(&mut request, input);
+        let line = self.roundtrip(&request)?;
+        protocol::parse_tcomplete_response(line)
+    }
+
     /// Fetches the raw `stats` response line.
     pub fn stats(&mut self) -> Result<String, ServeError> {
         Ok(self.roundtrip("stats")?.to_owned())
+    }
+
+    /// Fetches one tenant's full counters (all snapshot fields).
+    pub fn tstats(&mut self, tenant: u64) -> Result<crate::StatsSnapshot, ServeError> {
+        let line = self.roundtrip(&format!("tstats {tenant}"))?;
+        let (tid, snap) = protocol::parse_tstats_response(line)?;
+        if tid != tenant {
+            return Err(ServeError::Protocol(format!(
+                "tstats answered tenant {tid}, asked {tenant}"
+            )));
+        }
+        Ok(snap)
     }
 
     /// Liveness probe.
@@ -1009,6 +1297,78 @@ impl BinClient {
             )));
         }
         result
+    }
+
+    /// Sends a tenant-scoped completion request without waiting;
+    /// returns the frame's request id for matching the pipelined
+    /// response.
+    pub fn send_tcomplete(
+        &mut self,
+        tenant: u64,
+        input: &Matrix,
+        time_of_day: usize,
+        day_of_week: usize,
+    ) -> Result<u64, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sbuf.clear();
+        wire::encode_tcomplete_request(&mut self.sbuf, id, tenant, time_of_day, day_of_week, input);
+        self.stream.write_all(&self.sbuf)?;
+        Ok(id)
+    }
+
+    /// Sends a tenant-scoped completion request and waits for its
+    /// response (including the tenant's graph generation).
+    pub fn tcomplete(
+        &mut self,
+        tenant: u64,
+        input: &Matrix,
+        time_of_day: usize,
+        day_of_week: usize,
+    ) -> Result<protocol::TokResponse, ServeError> {
+        let id = self.send_tcomplete(tenant, input, time_of_day, day_of_week)?;
+        let header = self.read_frame()?;
+        if header.request_id != id {
+            return Err(ServeError::Protocol(format!(
+                "response id {} does not match request id {id} (pipelined sends must use \
+                 recv_response)",
+                header.request_id
+            )));
+        }
+        match header.opcode {
+            Opcode::RespTComplete => Ok(wire::decode_tcomplete_ok(&self.payload)?),
+            Opcode::RespErr => Err(wire::decode_err(&self.payload)?),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected response opcode {:#04x}",
+                other as u8
+            ))),
+        }
+    }
+
+    /// Fetches one tenant's full counters (all snapshot fields).
+    pub fn tstats_for(&mut self, tenant: u64) -> Result<crate::StatsSnapshot, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sbuf.clear();
+        wire::encode_tstats_request(&mut self.sbuf, id, tenant);
+        self.stream.write_all(&self.sbuf)?;
+        let header = self.read_frame()?;
+        match header.opcode {
+            Opcode::RespTStats => {
+                let (tid, snap) = wire::decode_tstats(&self.payload)?;
+                if tid != tenant {
+                    return Err(ServeError::Protocol(format!(
+                        "tstats answered tenant {tid}, asked {tenant}"
+                    )));
+                }
+                Ok(snap)
+            }
+            Opcode::RespErr => Err(wire::decode_err(&self.payload)?),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected response opcode {:#04x}",
+                other as u8
+            ))),
+        }
     }
 
     /// Liveness probe.

@@ -30,9 +30,21 @@
 //! ```
 //!
 //! `stats`/`ping`/`quit` requests and `pong`/`bye` responses carry an
-//! empty payload; the `stats` response is 14 `u64`s in
+//! empty payload; the `stats` response is 20 `u64`s in
 //! [`StatsSnapshot`] field order; the `err` response is a 1-byte code
 //! length, the ASCII error code, then a UTF-8 message.
+//!
+//! **Tenant forms.** The `tcomplete` request (0x05) is a `u64 LE`
+//! tenant id followed by the exact legacy `complete` payload; its
+//! response (0x85) is a `u64 LE` tenant id and the tenant's `u64 LE`
+//! **graph generation** (bumped on every applied topology delta, so
+//! clients detect swaps) followed by the exact legacy response
+//! payload. `tstats` (0x06) carries the `u64 LE` tenant id; its
+//! response (0x86) is the tenant id plus all
+//! [`StatsSnapshot::TENANT_FIELDS`] `u64`s in declaration order
+//! (unlike the legacy 20-field form, this includes the two
+//! tenant-layer counters). Legacy tenant-less frames address the
+//! default tenant and stay byte-identical to pre-tenancy builds.
 //!
 //! Request ids are chosen by the client and echoed verbatim, which is
 //! what makes **pipelining** work: many requests may be in flight on
@@ -50,9 +62,11 @@ pub const VERSION: u8 = 1;
 /// Fixed frame-header size in bytes.
 pub const HEADER_LEN: usize = 20;
 /// Largest admissible payload: the biggest wire matrix plus the
-/// complete-response head. Frames declaring more are refused before
-/// any buffering, which bounds per-connection memory (slowloris cap).
-pub const MAX_FRAME_PAYLOAD: usize = 24 + MAX_WIRE_ELEMS * 8;
+/// tenant-complete-response head (the largest fixed head: tenant id,
+/// graph generation, then the legacy 24-byte head). Frames declaring
+/// more are refused before any buffering, which bounds per-connection
+/// memory (slowloris cap).
+pub const MAX_FRAME_PAYLOAD: usize = 40 + MAX_WIRE_ELEMS * 8;
 
 /// Frame opcodes. Requests have the high bit clear, responses set.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,6 +80,10 @@ pub enum Opcode {
     Ping = 0x03,
     /// Close the connection (after in-flight responses drain).
     Quit = 0x04,
+    /// Tenant-scoped completion request (tenant id + legacy payload).
+    TComplete = 0x05,
+    /// Tenant-scoped counter request (tenant id payload).
+    TStats = 0x06,
     /// Completion response (exact or degraded; see payload flags).
     RespComplete = 0x81,
     /// Engine-counter response.
@@ -74,6 +92,12 @@ pub enum Opcode {
     Pong = 0x83,
     /// Connection-close acknowledgement.
     Bye = 0x84,
+    /// Tenant-scoped completion response (tenant id + graph
+    /// generation + legacy payload).
+    RespTComplete = 0x85,
+    /// Tenant-scoped counter response (tenant id + all snapshot
+    /// fields).
+    RespTStats = 0x86,
     /// Typed error response.
     RespErr = 0xEE,
 }
@@ -85,10 +109,14 @@ impl Opcode {
             0x02 => Opcode::Stats,
             0x03 => Opcode::Ping,
             0x04 => Opcode::Quit,
+            0x05 => Opcode::TComplete,
+            0x06 => Opcode::TStats,
             0x81 => Opcode::RespComplete,
             0x82 => Opcode::RespStats,
             0x83 => Opcode::Pong,
             0x84 => Opcode::Bye,
+            0x85 => Opcode::RespTComplete,
+            0x86 => Opcode::RespTStats,
             0xEE => Opcode::RespErr,
             _ => return None,
         })
@@ -306,6 +334,49 @@ pub fn decode_complete_request(payload: &[u8]) -> Result<CompleteRequest<'_>, Wi
     })
 }
 
+/// Appends a `tcomplete` request frame: the tenant id, then the exact
+/// legacy payload.
+pub fn encode_tcomplete_request(
+    buf: &mut Vec<u8>,
+    request_id: u64,
+    tenant: u64,
+    time_of_day: usize,
+    day_of_week: usize,
+    input: &Matrix,
+) {
+    let payload = 24 + input.as_slice().len() * 8;
+    encode_header(buf, Opcode::TComplete, request_id, payload);
+    buf.extend_from_slice(&tenant.to_le_bytes());
+    buf.extend_from_slice(&(time_of_day as u32).to_le_bytes());
+    buf.extend_from_slice(&(day_of_week as u32).to_le_bytes());
+    buf.extend_from_slice(&(input.rows() as u32).to_le_bytes());
+    buf.extend_from_slice(&(input.cols() as u32).to_le_bytes());
+    extend_matrix_le(buf, input);
+}
+
+/// Decodes a `tcomplete` request payload: the tenant id, then the
+/// legacy payload validated by [`decode_complete_request`].
+pub fn decode_tcomplete_request(payload: &[u8]) -> Result<(u64, CompleteRequest<'_>), WireError> {
+    if payload.len() < 8 {
+        return Err(WireError::Truncated { what: "tcomplete request head" });
+    }
+    Ok((u64_at(payload, 0), decode_complete_request(&payload[8..])?))
+}
+
+/// Appends a `tstats` request frame (payload: the tenant id).
+pub fn encode_tstats_request(buf: &mut Vec<u8>, request_id: u64, tenant: u64) {
+    encode_header(buf, Opcode::TStats, request_id, 8);
+    buf.extend_from_slice(&tenant.to_le_bytes());
+}
+
+/// Decodes a `tstats` request payload into the tenant id.
+pub fn decode_tstats_request(payload: &[u8]) -> Result<u64, WireError> {
+    if payload.len() != 8 {
+        return Err(WireError::Truncated { what: "tstats request" });
+    }
+    Ok(u64_at(payload, 0))
+}
+
 /// Copies a validated request's entries into `out` (which must already
 /// have the declared shape), enforcing the same input hardening as the
 /// text protocol: non-finite entries and zero-mass-with-negative rows
@@ -381,6 +452,46 @@ pub fn decode_complete_ok(payload: &[u8]) -> Result<protocol::OkResponse, WireEr
     })
 }
 
+/// Appends a `tcomplete` response frame: the tenant id and its graph
+/// generation, then the exact legacy response payload.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_tcomplete_ok(
+    buf: &mut Vec<u8>,
+    request_id: u64,
+    tenant: u64,
+    graph_generation: u64,
+    output: &Matrix,
+    cache_hit: bool,
+    degraded: bool,
+    generation: u64,
+    shards: usize,
+) {
+    let payload = 40 + output.as_slice().len() * 8;
+    encode_header(buf, Opcode::RespTComplete, request_id, payload);
+    buf.extend_from_slice(&tenant.to_le_bytes());
+    buf.extend_from_slice(&graph_generation.to_le_bytes());
+    buf.push(u8::from(cache_hit));
+    buf.push(u8::from(degraded));
+    buf.extend_from_slice(&[0, 0]);
+    buf.extend_from_slice(&(shards as u32).to_le_bytes());
+    buf.extend_from_slice(&generation.to_le_bytes());
+    buf.extend_from_slice(&(output.rows() as u32).to_le_bytes());
+    buf.extend_from_slice(&(output.cols() as u32).to_le_bytes());
+    extend_matrix_le(buf, output);
+}
+
+/// Decodes a `tcomplete` response payload.
+pub fn decode_tcomplete_ok(payload: &[u8]) -> Result<protocol::TokResponse, WireError> {
+    if payload.len() < 16 {
+        return Err(WireError::Truncated { what: "tcomplete response head" });
+    }
+    Ok(protocol::TokResponse {
+        tenant: u64_at(payload, 0),
+        graph_generation: u64_at(payload, 8),
+        body: decode_complete_ok(&payload[16..])?,
+    })
+}
+
 /// Appends an `err` response frame: code length, ASCII code, message.
 pub fn encode_err(buf: &mut Vec<u8>, request_id: u64, err: &ServeError) {
     let code = err.code().as_bytes();
@@ -440,7 +551,9 @@ pub fn encode_stats(buf: &mut Vec<u8>, request_id: u64, s: &StatsSnapshot) {
     }
 }
 
-/// Decodes a `stats` response payload.
+/// Decodes a `stats` response payload. The legacy frame predates the
+/// tenant layer, so `graph_generation` and `quota_rejected` decode as
+/// zero (use the `tstats` form to observe them).
 pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, WireError> {
     if payload.len() != 20 * 8 {
         return Err(WireError::Truncated { what: "stats response" });
@@ -467,7 +580,32 @@ pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, WireError> {
         refreshes_applied: v(17),
         refreshes_rolled_back: v(18),
         generation_age: v(19),
+        graph_generation: 0,
+        quota_rejected: 0,
     })
+}
+
+/// Appends a `tstats` response frame: the tenant id, then all
+/// [`StatsSnapshot::TENANT_FIELDS`] counters in declaration order.
+pub fn encode_tstats(buf: &mut Vec<u8>, request_id: u64, tenant: u64, s: &StatsSnapshot) {
+    let fields = s.tenant_fields();
+    encode_header(buf, Opcode::RespTStats, request_id, 8 + fields.len() * 8);
+    buf.extend_from_slice(&tenant.to_le_bytes());
+    for v in fields {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decodes a `tstats` response payload into `(tenant, snapshot)`.
+pub fn decode_tstats(payload: &[u8]) -> Result<(u64, StatsSnapshot), WireError> {
+    if payload.len() != 8 + StatsSnapshot::TENANT_FIELDS * 8 {
+        return Err(WireError::Truncated { what: "tstats response" });
+    }
+    let mut fields = [0u64; StatsSnapshot::TENANT_FIELDS];
+    for (i, slot) in fields.iter_mut().enumerate() {
+        *slot = u64_at(payload, 8 + i * 8);
+    }
+    Ok((u64_at(payload, 0), StatsSnapshot::from_tenant_fields(fields)))
 }
 
 #[cfg(test)]
@@ -643,6 +781,10 @@ mod tests {
             refreshes_applied: 18,
             refreshes_rolled_back: 19,
             generation_age: 20,
+            // The legacy 20-field frame does not carry the tenant-layer
+            // fields; they must decode back as zero.
+            graph_generation: 0,
+            quota_rejected: 0,
         };
         let mut buf = Vec::new();
         encode_stats(&mut buf, 3, &s);
@@ -656,5 +798,65 @@ mod tests {
         encode_stats(&mut buf, 1, &StatsSnapshot::default());
         assert_eq!(buf.len(), HEADER_LEN + 20 * 8);
         assert!(decode_stats(&buf[HEADER_LEN..buf.len() - 8]).is_err());
+    }
+
+    #[test]
+    fn tcomplete_request_roundtrip_is_bit_exact() {
+        let m = Matrix::from_vec(2, 2, vec![0.1, -2.5, f64::MIN_POSITIVE, 3.0e300]);
+        let mut buf = Vec::new();
+        encode_tcomplete_request(&mut buf, 99, 7, 3, 5, &m);
+        let header = decode_header(&buf).unwrap().unwrap();
+        assert_eq!(header.opcode, Opcode::TComplete);
+        assert_eq!(buf.len(), HEADER_LEN + header.payload_len);
+        let (tenant, req) = decode_tcomplete_request(&buf[HEADER_LEN..]).unwrap();
+        assert_eq!(tenant, 7);
+        assert_eq!((req.time_of_day, req.day_of_week), (3, 5));
+        let mut out = Matrix::zeros(2, 2);
+        fill_matrix(&req, &mut out).unwrap();
+        assert_eq!(out, m);
+        // The tail past the tenant id is byte-identical to the legacy
+        // encoding of the same request.
+        let mut legacy = Vec::new();
+        encode_complete_request(&mut legacy, 99, 3, 5, &m);
+        assert_eq!(&buf[HEADER_LEN + 8..], &legacy[HEADER_LEN..]);
+    }
+
+    #[test]
+    fn tcomplete_response_roundtrip() {
+        let m = Matrix::from_vec(1, 3, vec![0.25, 0.5, 0.25]);
+        let mut buf = Vec::new();
+        encode_tcomplete_ok(&mut buf, 7, 4, 2, &m, true, false, 11, 2);
+        let header = decode_header(&buf).unwrap().unwrap();
+        assert_eq!(header.opcode, Opcode::RespTComplete);
+        let r = decode_tcomplete_ok(&buf[HEADER_LEN..]).unwrap();
+        assert_eq!((r.tenant, r.graph_generation), (4, 2));
+        assert_eq!(r.body.output, m);
+        assert!(r.body.cache_hit && !r.body.degraded);
+        assert_eq!((r.body.generation, r.body.shards), (11, 2));
+        // The tail past tenant id + graph generation is byte-identical
+        // to the legacy response encoding.
+        let mut legacy = Vec::new();
+        encode_complete_ok(&mut legacy, 7, &m, true, false, 11, 2);
+        assert_eq!(&buf[HEADER_LEN + 16..], &legacy[HEADER_LEN..]);
+    }
+
+    #[test]
+    fn tstats_roundtrip_and_length_enforcement() {
+        let mut buf = Vec::new();
+        encode_tstats_request(&mut buf, 2, 9);
+        let header = decode_header(&buf).unwrap().unwrap();
+        assert_eq!(header.opcode, Opcode::TStats);
+        assert_eq!(decode_tstats_request(&buf[HEADER_LEN..]).unwrap(), 9);
+
+        let fields: [u64; StatsSnapshot::TENANT_FIELDS] =
+            std::array::from_fn(|i| (i as u64).wrapping_mul(0x9e37_79b9) + 1);
+        let s = StatsSnapshot::from_tenant_fields(fields);
+        let mut buf = Vec::new();
+        encode_tstats(&mut buf, 3, 9, &s);
+        assert_eq!(buf.len(), HEADER_LEN + 8 + StatsSnapshot::TENANT_FIELDS * 8);
+        let (tenant, back) = decode_tstats(&buf[HEADER_LEN..]).unwrap();
+        assert_eq!(tenant, 9);
+        assert_eq!(back.tenant_fields(), fields);
+        assert!(decode_tstats(&buf[HEADER_LEN..buf.len() - 8]).is_err());
     }
 }

@@ -27,8 +27,8 @@ use gcwc::{build_samples, GcwcModel, ModelConfig, ShardedModel, TaskKind, TrainS
 use gcwc_graph::PartitionSet;
 use gcwc_linalg::Matrix;
 use gcwc_serve::{
-    failsite, AnyModel, BinClient, BreakerConfig, Engine, EngineConfig, ModelRegistry, RetryPolicy,
-    ServeError, Server, ServerConfig,
+    failsite, AnyModel, BinClient, BreakerConfig, Engine, EngineConfig, ModelRegistry, QuotaConfig,
+    RetryPolicy, ServeError, Server, ServerConfig, TenantId, TenantRegistry,
 };
 use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
 use proptest::prelude::*;
@@ -114,8 +114,12 @@ fn disarm_all() {
     gcwc_failpoint::remove(failsite::CONN_READ);
     gcwc_failpoint::remove(failsite::ACCEPT);
     gcwc_failpoint::remove(failsite::WRITE);
+    gcwc_failpoint::remove(failsite::TENANT_QUOTA);
     for k in 0..2 {
         gcwc_failpoint::remove(&failsite::shard_forward(k));
+        for t in 1..=2 {
+            gcwc_failpoint::remove(&failsite::tenant_shard_forward(t, k));
+        }
     }
 }
 
@@ -483,6 +487,128 @@ fn unarmed_binary_front_end_serves_bit_identically() {
     assert_eq!(stats.degraded_responses, 0, "stats: {stats:?}");
     server.stop();
     engine.shutdown();
+}
+
+/// The multi-tenant isolation guarantee under chaos: with tenant A's
+/// breakers forced open by its tenant-tagged forward failpoints AND
+/// its quota exhausted (both organically and via the quota failpoint),
+/// tenant B — sharing the same process, reactor, and listener — serves
+/// every request bit-identical to its unarmed baseline with zero
+/// degraded / retry / quota / breaker counters. Also pins the legacy
+/// compatibility contract: with no default tenant registered,
+/// tenant-less requests answer `unknown_tenant`.
+#[test]
+fn tenant_chaos_never_leaks_across_tenants() {
+    let _guard = chaos_lock();
+    let _disarm = DisarmOnDrop;
+    disarm_all();
+    let f = fixture();
+
+    let tenants = Arc::new(TenantRegistry::new());
+    let engine_cfg = EngineConfig {
+        workers: 1,
+        cache_capacity: 0,
+        breaker: BreakerConfig { failure_threshold: 1, cooldown: Duration::from_secs(3600) },
+        ..Default::default()
+    };
+    // Tenant A: hard burst budget of 2, no refill — deterministic
+    // exhaustion. Tenant B: no quota at all.
+    let a = TenantId(1);
+    let b = TenantId(2);
+    tenants.register(
+        a,
+        make_registry(),
+        engine_cfg,
+        Some(QuotaConfig { burst: 2, refill_per_sec: 0 }),
+    );
+    tenants.register(b, make_registry(), engine_cfg, None);
+    let mut server =
+        Server::start_tenants(&tenants, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = BinClient::connect(server.addr()).unwrap();
+
+    // No default tenant: the legacy forms answer unknown_tenant, and
+    // an unregistered tenant id answers it too.
+    let s0 = &f.samples[0];
+    match client.complete(&s0.input, s0.context.time_of_day, s0.context.day_of_week) {
+        Err(ServeError::UnknownTenant(0)) => {}
+        other => panic!("legacy complete without a default tenant: {other:?}"),
+    }
+    match client.tcomplete(99, &s0.input, s0.context.time_of_day, s0.context.day_of_week) {
+        Err(ServeError::UnknownTenant(99)) => {}
+        other => panic!("tcomplete for an unregistered tenant: {other:?}"),
+    }
+
+    // Unarmed baseline for tenant B: exact, bit-identical to the
+    // fixture reference, graph generation 0.
+    let baseline: Vec<Vec<u64>> = f
+        .reference
+        .iter()
+        .enumerate()
+        .map(|(i, want)| {
+            let s = &f.samples[i];
+            let r = client
+                .tcomplete(b.0, &s.input, s.context.time_of_day, s.context.day_of_week)
+                .unwrap();
+            assert!(!r.body.degraded, "baseline request {i}");
+            assert_eq!(r.graph_generation, 0);
+            assert_eq!(bits(want), bits(&r.body.output), "baseline request {i}");
+            bits(&r.body.output)
+        })
+        .collect();
+
+    // Arm tenant A only: both of its shard forwards fail persistently
+    // (its tenant-tagged sites), so its first request trips both
+    // breakers (threshold 1) and degrades.
+    for k in 0..2 {
+        gcwc_failpoint::configure(&failsite::tenant_shard_forward(a.0, k), "err").unwrap();
+    }
+    let ra =
+        client.tcomplete(a.0, &s0.input, s0.context.time_of_day, s0.context.day_of_week).unwrap();
+    assert!(ra.body.degraded, "tenant A with every shard failing must degrade");
+    // Second request spends A's last quota token (still degraded), the
+    // third hits the empty bucket, and with the quota failpoint armed
+    // the rejection path is exercised both organically and injected.
+    let ra2 =
+        client.tcomplete(a.0, &s0.input, s0.context.time_of_day, s0.context.day_of_week).unwrap();
+    assert!(ra2.body.degraded);
+    match client.tcomplete(a.0, &s0.input, s0.context.time_of_day, s0.context.day_of_week) {
+        Err(ServeError::QuotaExceeded) => {}
+        other => panic!("tenant A past its burst budget: {other:?}"),
+    }
+    gcwc_failpoint::configure(failsite::TENANT_QUOTA, "err").unwrap();
+    match client.tcomplete(a.0, &s0.input, s0.context.time_of_day, s0.context.day_of_week) {
+        Err(ServeError::QuotaExceeded) => {}
+        other => panic!("tenant A with the quota failpoint armed: {other:?}"),
+    }
+
+    // Tenant A's counters show the carnage.
+    let sa = client.tstats_for(a.0).unwrap();
+    assert!(sa.breaker_open >= 1, "A stats: {sa:?}");
+    assert_eq!(sa.degraded_responses, 2, "A stats: {sa:?}");
+    assert_eq!(sa.quota_rejected, 2, "A stats: {sa:?}");
+
+    // Tenant B, same process, while A is broken AND the quota
+    // failpoint is globally armed (B carries no quota, so it must not
+    // even evaluate that site): every response bit-identical to the
+    // unarmed baseline.
+    for (i, want) in baseline.iter().enumerate() {
+        let s = &f.samples[i];
+        let r =
+            client.tcomplete(b.0, &s.input, s.context.time_of_day, s.context.day_of_week).unwrap();
+        assert!(!r.body.degraded, "B request {i} under A's chaos");
+        assert_eq!(r.graph_generation, 0);
+        assert_eq!(want, &bits(&r.body.output), "B request {i} under A's chaos");
+    }
+    let sb = client.tstats_for(b.0).unwrap();
+    assert_eq!(sb.degraded_responses, 0, "B stats: {sb:?}");
+    assert_eq!(sb.retries, 0, "B stats: {sb:?}");
+    assert_eq!(sb.quota_rejected, 0, "B stats: {sb:?}");
+    assert_eq!(sb.breaker_open, 0, "B stats: {sb:?}");
+    assert_eq!(sb.worker_restarts, 0, "B stats: {sb:?}");
+
+    disarm_all();
+    server.stop();
+    tenants.shutdown();
 }
 
 #[test]

@@ -1,0 +1,51 @@
+//! Property: the text (`tstats`) and binary (`RespTStats`) stats
+//! serializations agree **field for field** for every tenant and every
+//! counter vector. Both protocols serialize exactly
+//! [`StatsSnapshot::tenant_fields`], so a drift in either encoder or
+//! decoder — a reordered, dropped, or misparsed field — breaks the
+//! round-trip equality this suite pins.
+
+use gcwc_serve::wire::{self, HEADER_LEN};
+use gcwc_serve::{protocol, StatsSnapshot};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Text and binary round-trips of the same snapshot yield the same
+    /// tenant id and the same 22-field counter vector.
+    #[test]
+    fn text_and_binary_tstats_agree_field_for_field(
+        tenant in 0u64..u64::MAX,
+        request_id in 0u64..u64::MAX,
+        field_vec in collection::vec(0u64..u64::MAX, StatsSnapshot::TENANT_FIELDS),
+    ) {
+        let mut fields = [0u64; StatsSnapshot::TENANT_FIELDS];
+        fields.copy_from_slice(&field_vec);
+        let snapshot = StatsSnapshot::from_tenant_fields(fields);
+        // A snapshot built from a field vector reproduces it exactly.
+        prop_assert_eq!(snapshot.tenant_fields(), fields);
+
+        // Text protocol round-trip.
+        let mut line = String::new();
+        protocol::write_tstats(&mut line, tenant, &snapshot);
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        prop_assert_eq!(
+            tokens.len(),
+            2 + StatsSnapshot::TENANT_FIELDS,
+            "tstats line is the keyword, the tenant id, and one token per field"
+        );
+        let (text_tenant, text_snapshot) = protocol::parse_tstats_response(&line).unwrap();
+
+        // Binary protocol round-trip.
+        let mut frame = Vec::new();
+        wire::encode_tstats(&mut frame, request_id, tenant, &snapshot);
+        let (bin_tenant, bin_snapshot) = wire::decode_tstats(&frame[HEADER_LEN..]).unwrap();
+
+        // The two protocols agree with each other and with the source.
+        prop_assert_eq!(text_tenant, tenant);
+        prop_assert_eq!(bin_tenant, tenant);
+        prop_assert_eq!(text_snapshot.tenant_fields(), fields);
+        prop_assert_eq!(bin_snapshot.tenant_fields(), fields);
+    }
+}
