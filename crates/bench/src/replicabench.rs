@@ -1,0 +1,377 @@
+//! Replica-group availability benchmark (`exp_runner replica-bench`).
+//!
+//! Trains a K=2 sharded GCWC, checkpoints it, and serves it three
+//! ways: an unreplicated (N=1) baseline, an N-replica group per shard
+//! (healthy), and — when the `failpoints` feature is compiled in — the
+//! kill-one-replica schedule, where one replica of each shard's group
+//! is killed persistently by ordinal. Measures p50/p99 per phase and
+//! asserts the invariants the CI step depends on: every replicated
+//! response bit-identical to the solo baseline, **zero** degraded
+//! responses and 100% availability while one replica per group is
+//! dead (survivor responses still bit-identical), warm-standby
+//! promotions recorded in the engine counters — and the promotion
+//! counters visible over *both* wire protocols (the text `stats` line
+//! and the binary `stats` frame agree).
+//!
+//! Without the `failpoints` feature the kill phase is skipped (there
+//! is no way to kill a replica) and the report's kill fields read
+//! zero; the bit-equality and protocol-stats assertions still run.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gcwc::{build_samples, GcwcModel, ModelConfig, ShardedModel, TaskKind, TrainSample};
+use gcwc_graph::PartitionSet;
+use gcwc_serve::{
+    failsite, AnyModel, BinClient, BreakerConfig, Engine, EngineConfig, ModelRegistry, RetryPolicy,
+    Server, ServerConfig, TcpClient,
+};
+use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+
+/// Latency summary of one serving phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplicaPhase {
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests per second (wall clock).
+    pub requests_per_sec: f64,
+    /// Median latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Full replica-bench result.
+#[derive(Clone, Debug)]
+pub struct ReplicaBenchReport {
+    /// Replicas per shard (N) in the replicated phases.
+    pub replicas: usize,
+    /// Unreplicated (N=1) in-process baseline.
+    pub solo: ReplicaPhase,
+    /// N-replica groups, all healthy.
+    pub replicated: ReplicaPhase,
+    /// Kill-one-replica schedule (zeroed without `failpoints`).
+    pub killed: ReplicaPhase,
+    /// Whether the kill phase ran (the `failpoints` feature is on).
+    pub kill_phase_ran: bool,
+    /// Fraction of kill-phase requests answered exactly (must be 1.0).
+    pub availability_under_kill: f64,
+    /// Degraded responses during the kill phase (must be 0).
+    pub degraded_under_kill: u64,
+    /// Replica failovers recorded by the engine.
+    pub failovers: u64,
+    /// Warm-standby promotions recorded by the engine.
+    pub promotions: u64,
+    /// `replicas` gauge reported over the text protocol.
+    pub text_replicas: u64,
+    /// `replica_promotions` reported over the text protocol.
+    pub text_promotions: u64,
+    /// `replicas` gauge reported over the binary protocol.
+    pub binary_replicas: u64,
+    /// `replica_promotions` reported over the binary protocol.
+    pub binary_promotions: u64,
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)]
+}
+
+fn phase_from(ns: &mut [u64], total_ns: u64) -> ReplicaPhase {
+    let requests = ns.len() as u64;
+    ns.sort_unstable();
+    ReplicaPhase {
+        requests,
+        requests_per_sec: if total_ns == 0 {
+            0.0
+        } else {
+            requests as f64 * 1.0e9 / total_ns as f64
+        },
+        p50_ns: percentile(ns, 0.50),
+        p99_ns: percentile(ns, 0.99),
+    }
+}
+
+fn model_config() -> ModelConfig {
+    ModelConfig::hw_hist().with_epochs(2)
+}
+
+struct Fixture {
+    samples: Vec<TrainSample>,
+    partition: Arc<PartitionSet>,
+    ckpts: Vec<std::path::PathBuf>,
+}
+
+fn fixture() -> Fixture {
+    let hw = generators::highway_tollgate(1);
+    let sim = SimConfig {
+        days: 2,
+        intervals_per_day: 16,
+        records_per_interval: 10.0,
+        ..Default::default()
+    };
+    let data = simulate(&hw, HistogramSpec::hist8(), &sim);
+    let ds = data.to_dataset(0.5, 5, 11);
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let samples = build_samples(&ds, &idx, TaskKind::Estimation, 0);
+    let partition = Arc::new(PartitionSet::build(&hw.graph, 2));
+    let mut sharded = ShardedModel::gcwc_on(Arc::clone(&partition), 8, model_config(), 42);
+    sharded.fit_shards(&samples[..8]);
+    let dir = std::env::temp_dir().join("gcwc_replica_bench");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let (_, shards) = sharded.into_shards();
+    let ckpts: Vec<_> = shards
+        .iter()
+        .enumerate()
+        .map(|(k, shard)| {
+            let path = dir.join(format!("replica.shard{k}.ckpt"));
+            shard.save(&path).expect("save checkpoint");
+            path
+        })
+        .collect();
+    Fixture { samples, partition, ckpts }
+}
+
+fn make_registry(f: &Fixture, replication: usize) -> Arc<ModelRegistry> {
+    let factories = (0..f.partition.num_partitions())
+        .map(|k| {
+            let graph = f.partition.partition(k).graph().clone();
+            let fac: Box<dyn Fn() -> AnyModel + Send + Sync> =
+                Box::new(move || AnyModel::Gcwc(GcwcModel::new(&graph, 8, model_config(), 0)));
+            fac
+        })
+        .collect();
+    let registry =
+        Arc::new(ModelRegistry::sharded_replicated(factories, &f.partition, replication));
+    for (k, ckpt) in f.ckpts.iter().enumerate() {
+        registry.load_shard(k, ckpt).expect("load checkpoint");
+    }
+    registry
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        workers: 1,
+        // Caching off: every request exercises the routed forward path,
+        // so solo-vs-replicated latency compares computation, not hits.
+        cache_capacity: 0,
+        breaker: BreakerConfig { failure_threshold: 1, cooldown: Duration::from_secs(3600) },
+        ..Default::default()
+    }
+}
+
+/// Drives `iters` requests through the engine, asserting each response
+/// exact; returns per-request latencies, total wall time, and the
+/// response bits per pool index (for cross-phase bit-equality).
+fn drive(
+    engine: &Engine,
+    pool: &[TrainSample],
+    iters: usize,
+    label: &str,
+) -> (Vec<u64>, u64, Vec<Vec<u64>>) {
+    let mut client = engine.client();
+    client.set_retry_policy(Some(RetryPolicy::default()));
+    let mut ns = Vec::with_capacity(iters);
+    let mut bits: Vec<Vec<u64>> = vec![Vec::new(); pool.len()];
+    let t0 = Instant::now();
+    for k in 0..iters {
+        let s = &pool[k % pool.len()];
+        let mut input = client.input_buffer();
+        input.copy_from(&s.input);
+        let t = Instant::now();
+        let completion = client
+            .complete(input, s.context.time_of_day, s.context.day_of_week)
+            .unwrap_or_else(|e| panic!("{label} request {k} failed: {e}"));
+        ns.push(t.elapsed().as_nanos() as u64);
+        assert!(!completion.degraded, "{label} request {k} degraded");
+        let got: Vec<u64> = completion.output.as_slice().iter().map(|v| v.to_bits()).collect();
+        let slot = &mut bits[k % pool.len()];
+        if slot.is_empty() {
+            *slot = got;
+        } else {
+            assert_eq!(slot, &got, "{label} request {k} diverged from its own earlier response");
+        }
+        client.recycle(completion);
+    }
+    (ns, t0.elapsed().as_nanos() as u64, bits)
+}
+
+/// Parses the three trailing replica fields off the text `stats` line
+/// (`… <replicas> <replica_failovers> <replica_promotions>`).
+fn parse_text_replica_fields(line: &str) -> (u64, u64, u64) {
+    let fields: Vec<u64> =
+        line.split_whitespace().skip(1).map(|t| t.parse().expect("numeric stats field")).collect();
+    assert!(fields.len() >= 3, "stats line too short: {line:?}");
+    (fields[fields.len() - 3], fields[fields.len() - 2], fields[fields.len() - 1])
+}
+
+/// Runs the replica benchmark end to end. Panics when an availability
+/// or bit-equality invariant is violated (the CI step relies on this).
+pub fn run(replicas: usize) -> ReplicaBenchReport {
+    assert!(replicas >= 2, "replica-bench needs N >= 2 (got {replicas})");
+    let f = fixture();
+    let pool = &f.samples[..8.min(f.samples.len())];
+    let iters = 200usize;
+
+    // Phase 1: the unreplicated baseline.
+    let solo_engine = Engine::new(make_registry(&f, 1), engine_config());
+    let (mut ns, total, solo_bits) = drive(&solo_engine, pool, iters, "solo");
+    let solo = phase_from(&mut ns, total);
+    solo_engine.shutdown();
+
+    // Phase 2: N-replica groups, all healthy. Every response must be
+    // bit-identical to the solo baseline (replicas are independently
+    // loaded from the same checkpoints).
+    let engine = Engine::new(make_registry(&f, replicas), engine_config());
+    let (mut ns, total, rep_bits) = drive(&engine, pool, iters, "replicated");
+    let replicated = phase_from(&mut ns, total);
+    assert_eq!(solo_bits, rep_bits, "replicated responses must be bit-identical to solo");
+
+    // Phase 3 (failpoints builds only): kill one replica of each
+    // shard's group by ordinal and keep serving. Availability must
+    // stay 100% with zero degraded responses, survivors bit-identical.
+    let mut killed = ReplicaPhase::default();
+    let kill_phase_ran = gcwc_failpoint::ENABLED;
+    if kill_phase_ran {
+        // Initial ordinals are shard-major: shard 0's slot 1 is
+        // ordinal 1, shard 1's slot 0 is ordinal N.
+        let sites = [failsite::replica_forward(1), failsite::replica_forward(replicas as u64)];
+        for site in &sites {
+            gcwc_failpoint::configure(site, "err").expect("arm replica kill site");
+        }
+        let (mut ns, total, kill_bits) = drive(&engine, pool, iters, "kill-one");
+        killed = phase_from(&mut ns, total);
+        assert_eq!(
+            solo_bits, kill_bits,
+            "survivor responses must be bit-identical to the healthy baseline"
+        );
+        for site in &sites {
+            gcwc_failpoint::remove(site);
+        }
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.replicas, replicas as u64, "stats: {stats:?}");
+    assert_eq!(stats.degraded_responses, 0, "stats: {stats:?}");
+    if kill_phase_ran {
+        assert!(stats.replica_promotions >= 1, "kill phase must promote: {stats:?}");
+    }
+
+    // Phase 4: the promotion counters must be visible over both wire
+    // protocols, and the two encodings must agree.
+    let engine = Arc::new(engine);
+    let mut server = Server::start_with(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerConfig { text_port: Some(0), ..Default::default() },
+    )
+    .expect("bind server");
+    let mut text = TcpClient::connect(server.text_addr().expect("text port")).expect("connect");
+    let (text_replicas, text_failovers, text_promotions) =
+        parse_text_replica_fields(&text.stats().expect("text stats"));
+    text.quit().expect("quit");
+    let mut bin = BinClient::connect(server.addr()).expect("connect binary");
+    let bin_stats = bin.stats().expect("binary stats");
+    server.stop();
+    engine.shutdown();
+
+    assert_eq!(text_replicas, replicas as u64, "text stats replicas gauge");
+    assert_eq!(bin_stats.replicas, replicas as u64, "binary stats replicas gauge");
+    assert_eq!(text_promotions, bin_stats.replica_promotions, "protocols must agree");
+    assert_eq!(text_failovers, bin_stats.replica_failovers, "protocols must agree");
+    if kill_phase_ran {
+        assert!(text_promotions >= 1, "text protocol must surface the promotion");
+        assert!(bin_stats.replica_promotions >= 1, "binary protocol must surface the promotion");
+    }
+
+    ReplicaBenchReport {
+        replicas,
+        solo,
+        replicated,
+        killed,
+        kill_phase_ran,
+        availability_under_kill: if kill_phase_ran { 1.0 } else { 0.0 },
+        degraded_under_kill: 0,
+        failovers: stats.replica_failovers,
+        promotions: stats.replica_promotions,
+        text_replicas,
+        text_promotions,
+        binary_replicas: bin_stats.replicas,
+        binary_promotions: bin_stats.replica_promotions,
+    }
+}
+
+/// Renders the report as an aligned text table.
+pub fn render(r: &ReplicaBenchReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Replica availability benchmark (K=2 shards, N={} replicas)", r.replicas);
+    let _ = writeln!(
+        s,
+        "{:<14}{:>10}{:>14}{:>14}{:>14}",
+        "phase", "requests", "req/s", "p50 ns", "p99 ns"
+    );
+    let mut rows = vec![("solo (N=1)", &r.solo), ("replicated", &r.replicated)];
+    if r.kill_phase_ran {
+        rows.push(("kill-one", &r.killed));
+    }
+    for (name, p) in rows {
+        let _ = writeln!(
+            s,
+            "{:<14}{:>10}{:>14.0}{:>14}{:>14}",
+            name, p.requests, p.requests_per_sec, p.p50_ns, p.p99_ns
+        );
+    }
+    if r.kill_phase_ran {
+        let _ = writeln!(
+            s,
+            "kill-one availability: {:.3} ({} degraded), {} failovers, {} promotions",
+            r.availability_under_kill, r.degraded_under_kill, r.failovers, r.promotions
+        );
+    } else {
+        let _ = writeln!(s, "kill phase skipped (build without --features failpoints)");
+    }
+    let _ = writeln!(
+        s,
+        "wire stats: text replicas={} promotions={}, binary replicas={} promotions={}",
+        r.text_replicas, r.text_promotions, r.binary_replicas, r.binary_promotions
+    );
+    s
+}
+
+/// Serialises the report as JSON (hand-rolled; all fields numeric or
+/// boolean).
+pub fn to_json(r: &ReplicaBenchReport) -> String {
+    fn phase(s: &mut String, name: &str, p: &ReplicaPhase) {
+        let _ = write!(
+            s,
+            "  \"{}\": {{\"requests\": {}, \"requests_per_sec\": {:.1}, \"p50_ns\": {}, \
+             \"p99_ns\": {}}}",
+            name, p.requests, p.requests_per_sec, p.p50_ns, p.p99_ns
+        );
+    }
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"replicas\": {},", r.replicas);
+    phase(&mut s, "solo", &r.solo);
+    s.push_str(",\n");
+    phase(&mut s, "replicated", &r.replicated);
+    s.push_str(",\n");
+    phase(&mut s, "kill_one", &r.killed);
+    s.push_str(",\n");
+    let _ = writeln!(s, "  \"kill_phase_ran\": {},", r.kill_phase_ran);
+    let _ = writeln!(s, "  \"availability_under_kill\": {:.3},", r.availability_under_kill);
+    let _ = writeln!(s, "  \"degraded_under_kill\": {},", r.degraded_under_kill);
+    let _ = writeln!(s, "  \"replica_failovers\": {},", r.failovers);
+    let _ = writeln!(s, "  \"replica_promotions\": {},", r.promotions);
+    let _ = writeln!(
+        s,
+        "  \"wire_stats\": {{\"text_replicas\": {}, \"text_promotions\": {}, \
+         \"binary_replicas\": {}, \"binary_promotions\": {}}}",
+        r.text_replicas, r.text_promotions, r.binary_replicas, r.binary_promotions
+    );
+    s.push_str("}\n");
+    s
+}

@@ -22,10 +22,12 @@
 //!       <worker_restarts> <breaker_open> <degraded_responses> <retries>
 //!       <records_ingested> <slots_sealed> <late_records_dropped>
 //!       <refreshes_applied> <refreshes_rolled_back> <generation_age>
-//! tstats <tenant> <22 fields: requests completed batches rejected expired hits misses
+//!       <replicas> <replica_failovers> <replica_promotions>
+//! tstats <tenant> <25 fields: requests completed batches rejected expired hits misses
 //!        evictions generation shards worker_restarts breaker_open degraded_responses
 //!        retries records_ingested slots_sealed late_records_dropped refreshes_applied
-//!        refreshes_rolled_back generation_age graph_generation quota_rejected>
+//!        refreshes_rolled_back generation_age graph_generation quota_rejected
+//!        replicas replica_failovers replica_promotions>
 //! pong
 //! bye
 //! err <code> <message…>
@@ -37,9 +39,10 @@
 //! clients detect topology swaps. The legacy tenant-less forms map to
 //! the default tenant (id 0) with byte-identical responses, so
 //! single-tenant deployments are unaffected. `tstats` reports the full
-//! 22-field [`StatsSnapshot`] in declaration order (the legacy `stats`
-//! line keeps its historical 18 fields, which skip `rejected`,
-//! `expired`, and the two tenant-layer fields).
+//! 25-field [`StatsSnapshot`] in declaration order (the legacy `stats`
+//! line keeps its historical prefix — which skips `rejected`,
+//! `expired`, and the two tenant-layer fields — plus the three
+//! trailing replica counters, 21 fields in all).
 //!
 //! `degraded` has the exact layout of `ok` but signals a *partial*
 //! completion: at least one shard could not compute and its owned
@@ -97,7 +100,7 @@ pub enum Request {
     },
     /// Report engine counters.
     Stats,
-    /// Report one tenant's counters (all 22 snapshot fields).
+    /// Report one tenant's counters (all 25 snapshot fields).
     TStats {
         /// Target tenant id.
         tenant: u64,
@@ -266,13 +269,14 @@ pub fn write_err(buf: &mut String, err: &ServeError) {
 
 /// Renders the `stats` response line (no trailing newline). The six
 /// ingestion fields (records ingested, slots sealed, late drops,
-/// refreshes applied / rolled back, generation age) trail the original
+/// refreshes applied / rolled back, generation age) and the three
+/// replica fields (replicas, failovers, promotions) trail the original
 /// serving counters so existing positional consumers keep working.
 pub fn write_stats(buf: &mut String, s: &StatsSnapshot) {
     use std::fmt::Write;
     let _ = write!(
         buf,
-        "stats {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        "stats {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
         s.requests,
         s.completed,
         s.batches,
@@ -290,7 +294,10 @@ pub fn write_stats(buf: &mut String, s: &StatsSnapshot) {
         s.late_records_dropped,
         s.refreshes_applied,
         s.refreshes_rolled_back,
-        s.generation_age
+        s.generation_age,
+        s.replicas,
+        s.replica_failovers,
+        s.replica_promotions
     );
 }
 
@@ -424,6 +431,7 @@ pub(crate) fn remote_error(code: &str, message: &str) -> ServeError {
         "deadline" => ServeError::DeadlineExceeded,
         "shutdown" => ServeError::ShuttingDown,
         "restarting" => ServeError::ShardRestarting,
+        "failing_over" => ServeError::ReplicaFailingOver,
         "bad_request" => ServeError::BadRequest(message.to_owned()),
         "quota" => ServeError::QuotaExceeded,
         // `tenant <id> is not registered` — recover the id when the

@@ -1,0 +1,177 @@
+//! Replica groups: per-shard replication with deterministic,
+//! cache-locality-preserving routing.
+//!
+//! Each shard of the served set is backed by a group of N replicas —
+//! independently loaded [`ModelShard`] instances behind one row view.
+//! A request routes to exactly one replica of its shard's group via
+//! **rendezvous (highest-random-weight) hashing** over the request's
+//! cache-key content `(time_of_day, day_of_week, coverage signature)`
+//! and each replica's **ordinal**:
+//!
+//! ```text
+//! point = mix(time_of_day, day_of_week, signature)
+//! winner = argmax over replicas r of score(point, ordinal(r))
+//! ```
+//!
+//! Rendezvous hashing gives the two properties the serving tier needs
+//! without any routing state:
+//!
+//! - **Stability**: adding or removing one replica remaps only the
+//!   keys whose winner was that replica (~1/N of them); every other
+//!   key keeps its winner *exactly*, so its per-replica cache locality
+//!   survives membership churn.
+//! - **Identity at N = 1**: with one replica there is nothing to
+//!   rank — routing is the constant function, and the pipeline is
+//!   bit-identical to the unreplicated engine.
+//!
+//! The **ordinal** is a replica's monotonic incarnation id, distinct
+//! from its slot index in the group: a warm-standby promotion installs
+//! the replacement under a *fresh* ordinal. Failpoint kill sites are
+//! keyed by ordinal (`serve.replica{ordinal}.forward`), so a
+//! persistently armed site dies with the incarnation it targeted
+//! instead of following the promoted successor, and routing re-ranks
+//! only the slain replica's keys.
+//!
+//! Scores are produced by a SplitMix64-style finalizer — the same
+//! integer mixer the coverage-signature hash uses — applied to the
+//! route point XOR a per-ordinal salt. Everything here is pure integer
+//! arithmetic: deterministic across runs, platforms, and replica
+//! orderings.
+
+use crate::registry::ModelShard;
+use std::sync::Arc;
+
+/// One member of a shard's replica group: a warm shard plus the
+/// incarnation id routing ranks it by.
+#[derive(Clone)]
+pub struct Replica {
+    /// The replica's independently loaded (or donor-shared) model
+    /// shard. Carries its own `generation`, which cache keys embed —
+    /// so entries cached for one replica are only served back by a
+    /// replica holding the same installed generation.
+    pub shard: Arc<ModelShard>,
+    /// Monotonic incarnation id. Initial groups number their replicas
+    /// shard-major (`k * N + slot`); every promotion draws a fresh
+    /// ordinal from the registry's counter.
+    pub ordinal: u64,
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed bijection on `u64`.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Collapses a request's cache-key content into the 64-bit route
+/// point rendezvous scoring ranks replicas against. Two requests with
+/// the same `(time_of_day, day_of_week, signature)` always produce the
+/// same point — the routed replica is a pure function of the cache
+/// key, so repeats of a hot key land on the replica that cached it.
+#[inline]
+pub fn route_point(time_of_day: usize, day_of_week: usize, signature: u64) -> u64 {
+    mix(signature ^ mix((time_of_day as u64) << 3 | day_of_week as u64))
+}
+
+/// The rendezvous score of one replica (by ordinal) for one route
+/// point. The winner is the highest score; ties break toward the
+/// lower slot index in [`select_by`].
+#[inline]
+pub fn score(point: u64, ordinal: u64) -> u64 {
+    mix(point ^ mix(ordinal ^ 0xd6e8_feb8_6659_fd93))
+}
+
+/// Rendezvous selection over the replicas of a group for which
+/// `eligible(slot)` holds: returns the eligible slot whose ordinal
+/// scores highest against `point` (ties toward the lowest slot), or
+/// `None` when no slot is eligible. A single-replica group trivially
+/// selects slot 0 — N = 1 routing is the identity.
+pub fn select_by<F>(point: u64, group: &[Replica], eligible: F) -> Option<usize>
+where
+    F: Fn(usize) -> bool,
+{
+    let mut best: Option<(u64, usize)> = None;
+    for (slot, replica) in group.iter().enumerate() {
+        if !eligible(slot) {
+            continue;
+        }
+        let s = score(point, replica.ordinal);
+        if best.is_none_or(|(bs, _)| s > bs) {
+            best = Some((s, slot));
+        }
+    }
+    best.map(|(_, slot)| slot)
+}
+
+/// [`select_by`] with every slot eligible.
+///
+/// # Panics
+/// Panics on an empty group.
+pub fn select(point: u64, group: &[Replica]) -> usize {
+    select_by(point, group, |_| true).expect("replica group must not be empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::AnyModel;
+    use gcwc::{GcwcModel, ModelConfig};
+    use gcwc_graph::EdgeGraph;
+    use gcwc_linalg::CsrMatrix;
+
+    fn tiny_group(ordinals: &[u64]) -> Vec<Replica> {
+        // Routing only reads the ordinals, so every slot can share one
+        // trivial 3-edge shard.
+        let graph = EdgeGraph::from_adjacency(CsrMatrix::identity(3));
+        let shard = Arc::new(ModelShard {
+            model: AnyModel::Gcwc(GcwcModel::new(&graph, 2, ModelConfig::hw_hist(), 7)),
+            generation: 0,
+            source: None,
+        });
+        ordinals.iter().map(|&ordinal| Replica { shard: Arc::clone(&shard), ordinal }).collect()
+    }
+
+    #[test]
+    fn single_replica_routing_is_identity() {
+        let group = tiny_group(&[42]);
+        for tod in 0..8 {
+            for dow in 0..7 {
+                assert_eq!(select(route_point(tod, dow, tod as u64 * 31 + dow as u64), &group), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_ordinal_keyed() {
+        let group = tiny_group(&[0, 1, 2]);
+        let point = route_point(5, 3, 0xdead_beef);
+        let a = select(point, &group);
+        let b = select(point, &group);
+        assert_eq!(a, b, "same point must route to the same slot");
+        // The winner is decided by ordinal, not slot position: rotating
+        // the ordinals moves the winner with them.
+        let rotated = tiny_group(&[1, 2, 0]);
+        let winner_ordinal = group[select(point, &group)].ordinal;
+        let rotated_winner = rotated[select(point, &rotated)].ordinal;
+        assert_eq!(winner_ordinal, rotated_winner);
+    }
+
+    #[test]
+    fn removing_a_loser_never_remaps() {
+        let group = tiny_group(&[0, 1, 2, 3]);
+        for seed in 0..512u64 {
+            let point = mix(seed);
+            let winner = group[select(point, &group)].ordinal;
+            for dead in 0..group.len() {
+                if group[dead].ordinal == winner {
+                    continue;
+                }
+                let survivor =
+                    select_by(point, &group, |s| s != dead).map(|s| group[s].ordinal).unwrap();
+                assert_eq!(survivor, winner, "removing a non-winner remapped point {point:#x}");
+            }
+        }
+    }
+}

@@ -13,7 +13,7 @@ fn fixture() -> StatsSnapshot {
     StatsSnapshot::from_tenant_fields(fields)
 }
 
-/// The legacy text `stats` line is the keyword plus exactly 18 counter
+/// The legacy text `stats` line is the keyword plus exactly 21 counter
 /// fields; the tenant-scoped `tstats` line is the keyword, the tenant
 /// id, and exactly [`StatsSnapshot::TENANT_FIELDS`] counters.
 #[test]
@@ -23,13 +23,13 @@ fn stats_lines_carry_the_documented_field_counts() {
     let mut line = String::new();
     protocol::write_stats(&mut line, &s);
     let legacy_fields = line.split_whitespace().count() - 1;
-    assert_eq!(legacy_fields, 18, "legacy stats line drifted: {line:?}");
+    assert_eq!(legacy_fields, 21, "legacy stats line drifted: {line:?}");
 
     line.clear();
     protocol::write_tstats(&mut line, 7, &s);
     let tenant_fields = line.split_whitespace().count() - 2;
     assert_eq!(tenant_fields, StatsSnapshot::TENANT_FIELDS, "tstats line drifted: {line:?}");
-    assert_eq!(tenant_fields, 22, "TENANT_FIELDS changed without updating the docs suite");
+    assert_eq!(tenant_fields, 25, "TENANT_FIELDS changed without updating the docs suite");
 }
 
 /// README.md and DESIGN.md each state both counts in prose; the

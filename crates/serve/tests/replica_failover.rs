@@ -1,0 +1,330 @@
+//! Replica failover under injected faults (`--features failpoints`):
+//! a killed replica fails over to its group's survivor with the
+//! response bit-identical to the healthy baseline, a group whose every
+//! replica fails answers the typed retryable
+//! [`ServeError::ReplicaFailingOver`] once a warm-standby promotion
+//! succeeded, and [`gcwc_serve::Client::complete`]'s bounded retry
+//! rides a mid-failover request through to a bit-exact success on the
+//! promoted incarnations. The promotion failpoint pins the fallback:
+//! with promotion failing too, an exhausted group degrades exactly as
+//! an unreplicated tripped shard does.
+//!
+//! The failpoint registry is process-global; every test serialises on
+//! [`fail_lock`] and disarms its sites before releasing it.
+
+#![cfg(feature = "failpoints")]
+
+use gcwc::{build_samples, GcwcModel, ModelConfig, ShardedModel, TaskKind, TrainSample};
+use gcwc_graph::PartitionSet;
+use gcwc_linalg::Matrix;
+use gcwc_serve::{
+    failsite, AnyModel, BreakerConfig, Engine, EngineConfig, ModelRegistry, RetryPolicy, ServeError,
+};
+use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+fn fail_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn model_config() -> ModelConfig {
+    ModelConfig::hw_hist().with_epochs(2)
+}
+
+struct Fixture {
+    samples: Vec<TrainSample>,
+    partition: Arc<PartitionSet>,
+    ckpts: Vec<std::path::PathBuf>,
+    /// `predict_global` of the trained sharded model on `samples[..4]`.
+    reference: Vec<Matrix>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let hw = generators::highway_tollgate(1);
+        let sim = SimConfig {
+            days: 2,
+            intervals_per_day: 16,
+            records_per_interval: 10.0,
+            ..Default::default()
+        };
+        let data = simulate(&hw, HistogramSpec::hist8(), &sim);
+        let ds = data.to_dataset(0.5, 5, 11);
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let samples = build_samples(&ds, &idx, TaskKind::Estimation, 0);
+        let partition = Arc::new(PartitionSet::build(&hw.graph, 2));
+        let mut sharded = ShardedModel::gcwc_on(Arc::clone(&partition), 8, model_config(), 42);
+        sharded.fit_shards(&samples[..8]);
+        let reference = samples[..4].iter().map(|s| sharded.predict_global(s)).collect();
+        let dir = std::env::temp_dir().join("gcwc_replica_failover");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (_, shards) = sharded.into_shards();
+        let ckpts: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(k, shard)| {
+                let path = dir.join(format!("failover.shard{k}.ckpt"));
+                shard.save(&path).unwrap();
+                path
+            })
+            .collect();
+        Fixture { samples, partition, ckpts, reference }
+    })
+}
+
+/// A fresh K=2, N-replica registry loaded from the fixture checkpoints
+/// (each slot independently loaded; promotions reload from `source`).
+fn make_registry(replication: usize) -> Arc<ModelRegistry> {
+    let f = fixture();
+    let factories = (0..f.partition.num_partitions())
+        .map(|k| {
+            let graph = f.partition.partition(k).graph().clone();
+            let fac: Box<dyn Fn() -> AnyModel + Send + Sync> =
+                Box::new(move || AnyModel::Gcwc(GcwcModel::new(&graph, 8, model_config(), 0)));
+            fac
+        })
+        .collect();
+    let registry =
+        Arc::new(ModelRegistry::sharded_replicated(factories, &f.partition, replication));
+    for (k, ckpt) in f.ckpts.iter().enumerate() {
+        registry.load_shard(k, ckpt).unwrap();
+    }
+    registry
+}
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn disarm_all() {
+    gcwc_failpoint::remove(failsite::REPLICA_PROMOTE);
+    for k in 0..2 {
+        gcwc_failpoint::remove(&failsite::shard_forward(k));
+    }
+    // Initial ordinals are shard-major (K=2 × N=2 → 0..4); promotions
+    // draw fresh ones, so sweep a generous range.
+    for ordinal in 0..32 {
+        gcwc_failpoint::remove(&failsite::replica_forward(ordinal));
+    }
+}
+
+/// Disarms every site when dropped, so an assertion failure can never
+/// leak an armed site into the next test.
+struct DisarmOnDrop;
+
+impl Drop for DisarmOnDrop {
+    fn drop(&mut self) {
+        disarm_all();
+    }
+}
+
+fn breaker_cfg() -> BreakerConfig {
+    // Threshold 1: the first failed attempt trips the replica's
+    // breaker (and, with a group behind it, triggers promotion).
+    // The long cooldown keeps a tripped slot out of routing for the
+    // whole test, so behavior is deterministic.
+    BreakerConfig { failure_threshold: 1, cooldown: Duration::from_secs(3600) }
+}
+
+/// One replica of each shard's group is killed persistently (by
+/// ordinal): every request fails over to the survivor, every response
+/// stays exact and bit-identical to the healthy baseline, and the
+/// tripped slots are promoted under fresh ordinals.
+#[test]
+fn killed_replica_fails_over_bit_exactly_with_zero_degraded() {
+    let _guard = fail_lock();
+    let _disarm = DisarmOnDrop;
+    disarm_all();
+    let f = fixture();
+    let engine = Engine::new(
+        make_registry(2),
+        EngineConfig {
+            workers: 0,
+            cache_capacity: 0,
+            breaker: breaker_cfg(),
+            ..Default::default()
+        },
+    );
+    let mut client = engine.client();
+
+    // Kill one slot of each shard's group: shard 0's slot 1 (ordinal
+    // 1) and shard 1's slot 0 (ordinal 2).
+    gcwc_failpoint::configure(&failsite::replica_forward(1), "err").unwrap();
+    gcwc_failpoint::configure(&failsite::replica_forward(2), "err").unwrap();
+
+    for round in 0..2 {
+        for (i, want) in f.reference.iter().enumerate() {
+            let s = &f.samples[i];
+            let mut input = client.input_buffer();
+            input.copy_from(&s.input);
+            client.send(input, s.context.time_of_day, s.context.day_of_week).unwrap();
+            engine.process_queued();
+            let completion = client.recv().unwrap();
+            assert!(!completion.degraded, "round {round} request {i} must stay exact");
+            assert_eq!(bits(want), bits(&completion.output), "round {round} request {i}");
+            client.recycle(completion);
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.degraded_responses, 0, "stats: {stats:?}");
+    assert_eq!(stats.replicas, 2, "stats: {stats:?}");
+    assert!(stats.replica_failovers >= 1, "stats: {stats:?}");
+    assert!(stats.replica_promotions >= 1, "stats: {stats:?}");
+    // Promotion re-armed the slots under fresh ordinals, so neither
+    // shard is left with its whole group open.
+    assert!(!engine.shard_breaker_open(0));
+    assert!(!engine.shard_breaker_open(1));
+    engine.shutdown();
+}
+
+/// Every replica of every group killed: the batch exhausts the groups,
+/// promotions succeed (reload from the checkpoint source under fresh
+/// ordinals the armed sites do not match), and the request answers the
+/// typed retryable `ReplicaFailingOver` — then an *unretried* re-send
+/// succeeds bit-exactly on the promoted incarnations.
+#[test]
+fn exhausted_group_answers_typed_failing_over_and_resend_succeeds() {
+    let _guard = fail_lock();
+    let _disarm = DisarmOnDrop;
+    disarm_all();
+    let f = fixture();
+    let engine = Engine::new(
+        make_registry(2),
+        EngineConfig {
+            workers: 0,
+            cache_capacity: 0,
+            breaker: breaker_cfg(),
+            ..Default::default()
+        },
+    );
+    let mut client = engine.client();
+    // Shard 0's whole group (ordinals 0 and 1); shard 1 stays healthy.
+    for ordinal in 0..2 {
+        gcwc_failpoint::configure(&failsite::replica_forward(ordinal), "err").unwrap();
+    }
+
+    let s = &f.samples[0];
+    let mut input = client.input_buffer();
+    input.copy_from(&s.input);
+    client.send(input, s.context.time_of_day, s.context.day_of_week).unwrap();
+    engine.process_queued();
+    match client.recv() {
+        Err(e @ ServeError::ReplicaFailingOver) => assert_eq!(e.code(), "failing_over"),
+        Err(other) => panic!("expected ReplicaFailingOver, got error: {other}"),
+        Ok(_) => panic!("exhausted-but-promoted group must not answer a completion"),
+    }
+    assert!(engine.stats().replica_promotions >= 2, "stats: {:?}", engine.stats());
+
+    // The promoted incarnations carry fresh ordinals no armed site
+    // names — the plain re-send lands on them and serves exactly.
+    let mut input = client.input_buffer();
+    input.copy_from(&s.input);
+    client.send(input, s.context.time_of_day, s.context.day_of_week).unwrap();
+    engine.process_queued();
+    let completion = client.recv().unwrap();
+    assert!(!completion.degraded);
+    assert_eq!(bits(&f.reference[0]), bits(&completion.output));
+    client.recycle(completion);
+    assert_eq!(engine.stats().degraded_responses, 0);
+    engine.shutdown();
+}
+
+/// The client-side regression the wire contract promises: with a
+/// `RetryPolicy` installed, a request that lands mid-failover (typed
+/// `ReplicaFailingOver`) is retried automatically and eventually
+/// succeeds bit-exactly — the caller never sees the transient.
+#[test]
+fn bounded_retry_rides_through_a_failover_bit_exactly() {
+    let _guard = fail_lock();
+    let _disarm = DisarmOnDrop;
+    disarm_all();
+    let f = fixture();
+    let engine = Engine::new(
+        make_registry(2),
+        EngineConfig {
+            workers: 1,
+            cache_capacity: 0,
+            breaker: breaker_cfg(),
+            ..Default::default()
+        },
+    );
+    let mut client = engine.client();
+    client.set_retry_policy(Some(RetryPolicy::default()));
+    for ordinal in 0..4 {
+        gcwc_failpoint::configure(&failsite::replica_forward(ordinal), "err").unwrap();
+    }
+
+    let s = &f.samples[1];
+    let mut input = client.input_buffer();
+    input.copy_from(&s.input);
+    let completion = client
+        .complete(input, s.context.time_of_day, s.context.day_of_week)
+        .expect("retry must ride through the failover");
+    assert!(!completion.degraded);
+    assert_eq!(bits(&f.reference[1]), bits(&completion.output));
+    client.recycle(completion);
+
+    let stats = engine.stats();
+    assert!(stats.retries >= 1, "stats: {stats:?}");
+    assert!(stats.replica_promotions >= 1, "stats: {stats:?}");
+    assert_eq!(stats.degraded_responses, 0, "stats: {stats:?}");
+    engine.shutdown();
+}
+
+/// With the promotion failpoint armed too, an exhausted group has no
+/// fresh incarnation to offer: the shard degrades exactly like an
+/// unreplicated tripped shard (prior-filled owned rows, healthy shard
+/// bit-identical), and no promotion is counted.
+#[test]
+fn failed_promotion_falls_back_to_degraded_serving() {
+    let _guard = fail_lock();
+    let _disarm = DisarmOnDrop;
+    disarm_all();
+    let f = fixture();
+    let engine = Engine::new(
+        make_registry(2),
+        EngineConfig {
+            workers: 0,
+            cache_capacity: 0,
+            breaker: breaker_cfg(),
+            ..Default::default()
+        },
+    );
+    let mut client = engine.client();
+    gcwc_failpoint::configure(failsite::REPLICA_PROMOTE, "err").unwrap();
+    // Kill shard 1's whole group (ordinals 2 and 3); shard 0 is
+    // healthy throughout.
+    gcwc_failpoint::configure(&failsite::replica_forward(2), "err").unwrap();
+    gcwc_failpoint::configure(&failsite::replica_forward(3), "err").unwrap();
+
+    let s = &f.samples[1];
+    let want = &f.reference[1];
+    let mut input = client.input_buffer();
+    input.copy_from(&s.input);
+    client.send(input, s.context.time_of_day, s.context.day_of_week).unwrap();
+    engine.process_queued();
+    let completion = client.recv().unwrap();
+    assert!(completion.degraded, "no promotion and no survivor → degraded");
+    let prior = 1.0 / 8.0;
+    for &g in f.partition.partition(0).view().owned() {
+        assert_eq!(
+            bits(&Matrix::from_fn(1, 8, |_, c| want[(g, c)])),
+            bits(&Matrix::from_fn(1, 8, |_, c| completion.output[(g, c)])),
+            "healthy shard row {g} must stay exact"
+        );
+    }
+    for &g in f.partition.partition(1).view().owned() {
+        for c in 0..8 {
+            assert_eq!(completion.output[(g, c)], prior, "row {g} col {c}");
+        }
+    }
+    client.recycle(completion);
+    let stats = engine.stats();
+    assert_eq!(stats.replica_promotions, 0, "stats: {stats:?}");
+    assert_eq!(stats.degraded_responses, 1, "stats: {stats:?}");
+    assert!(engine.shard_breaker_open(1), "whole group open → shard degraded");
+    engine.shutdown();
+}

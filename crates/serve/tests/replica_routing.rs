@@ -1,0 +1,269 @@
+//! Pins the consistent-hash routing contract of replica groups:
+//! rendezvous selection is a pure function of the cache-key content,
+//! membership churn (one replica added or removed) remaps only the
+//! keys whose winner changed (~1/N of them), N = 1 routing is the
+//! identity — and, end to end, a replicated engine's responses are
+//! bit-identical to the unreplicated engine for N = 1 *and* for any
+//! healthy replica of an N = 2 group.
+
+use gcwc::{build_samples, GcwcModel, ModelConfig, ShardedModel, TaskKind, TrainSample};
+use gcwc_graph::{EdgeGraph, PartitionSet};
+use gcwc_linalg::{CsrMatrix, Matrix};
+use gcwc_serve::replica::{self, Replica};
+use gcwc_serve::{AnyModel, Engine, EngineConfig, ModelRegistry, ModelShard};
+use gcwc_traffic::{generators, simulate, HistogramSpec, SimConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A replica group over one shared tiny shard: routing only reads the
+/// ordinals, so every slot can share the same model.
+fn group_of(ordinals: &[u64]) -> Vec<Replica> {
+    let graph = EdgeGraph::from_adjacency(CsrMatrix::identity(3));
+    let cfg = ModelConfig::hw_hist().with_epochs(1);
+    let shard = Arc::new(ModelShard {
+        model: AnyModel::Gcwc(GcwcModel::new(&graph, 8, cfg, 7)),
+        generation: 0,
+        source: None,
+    });
+    ordinals.iter().map(|&ordinal| Replica { shard: Arc::clone(&shard), ordinal }).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Removing one replica remaps *only* the keys it was winning:
+    /// every key whose winner survives keeps its winner exactly.
+    #[test]
+    fn removing_one_replica_remaps_only_its_own_keys(
+        base in 0u64..1_000_000,
+        n in 2usize..6,
+        sigs in collection::vec(0u64..u64::MAX, 1..32),
+    ) {
+        let ordinals: Vec<u64> = (0..n as u64).map(|s| base + s).collect();
+        let group = group_of(&ordinals);
+        for sig in sigs {
+            let point = replica::route_point(sig as usize % 96, sig as usize % 7, sig);
+            let winner = replica::select(point, &group);
+            for dead in 0..group.len() {
+                let survivor = replica::select_by(point, &group, |s| s != dead)
+                    .expect("n >= 2 leaves a survivor");
+                if dead == winner {
+                    prop_assert!(survivor != dead, "removed slot still selected");
+                } else {
+                    prop_assert_eq!(
+                        survivor, winner,
+                        "removing loser slot {} remapped the key", dead
+                    );
+                }
+            }
+        }
+    }
+
+    /// Adding one replica (a promotion's fresh incarnation) steals
+    /// keys only for itself: every other key keeps its old winner.
+    #[test]
+    fn adding_one_replica_only_steals_keys_for_itself(
+        base in 0u64..1_000_000,
+        n in 1usize..5,
+        fresh in 2_000_000u64..3_000_000,
+        sigs in collection::vec(0u64..u64::MAX, 1..32),
+    ) {
+        let ordinals: Vec<u64> = (0..n as u64).map(|s| base + s).collect();
+        let group = group_of(&ordinals);
+        let mut grown: Vec<u64> = ordinals.clone();
+        grown.push(fresh);
+        let grown = group_of(&grown);
+        for sig in sigs {
+            let point = replica::route_point(sig as usize % 96, sig as usize % 7, sig);
+            let before = group[replica::select(point, &group)].ordinal;
+            let after = grown[replica::select(point, &grown)].ordinal;
+            prop_assert!(
+                after == before || after == fresh,
+                "growing the group moved a key to a pre-existing replica \
+                 ({before} -> {after})"
+            );
+        }
+    }
+
+    /// N = 1 routing is the identity for any ordinal and any key.
+    #[test]
+    fn single_replica_group_routes_identically(
+        ordinal in 0u64..u64::MAX,
+        sigs in collection::vec(0u64..u64::MAX, 1..16),
+    ) {
+        let group = group_of(&[ordinal]);
+        for sig in sigs {
+            let point = replica::route_point(sig as usize % 96, sig as usize % 7, sig);
+            prop_assert_eq!(replica::select(point, &group), 0);
+        }
+    }
+}
+
+/// Growing N = 4 to N = 5 moves roughly 1/5 of the keys (rendezvous
+/// hashing's defining property); a modulo-style scheme would move 4/5.
+#[test]
+fn membership_growth_moves_about_one_in_n_keys() {
+    let group = group_of(&[0, 1, 2, 3]);
+    let grown = group_of(&[0, 1, 2, 3, 4]);
+    let total = 4096u64;
+    let moved = (0..total)
+        .filter(|&seed| {
+            let point = replica::route_point(seed as usize % 96, seed as usize % 7, seed * 31);
+            group[replica::select(point, &group)].ordinal
+                != grown[replica::select(point, &grown)].ordinal
+        })
+        .count();
+    let fraction = moved as f64 / total as f64;
+    assert!(
+        (0.12..=0.30).contains(&fraction),
+        "expected ~1/5 of keys to move to the new replica, got {fraction:.3}"
+    );
+}
+
+fn model_config() -> ModelConfig {
+    ModelConfig::hw_hist().with_epochs(2)
+}
+
+fn samples_for(instance: &gcwc_traffic::NetworkInstance) -> Vec<TrainSample> {
+    let sim = SimConfig {
+        days: 2,
+        intervals_per_day: 16,
+        records_per_interval: 10.0,
+        ..Default::default()
+    };
+    let data = simulate(instance, HistogramSpec::hist8(), &sim);
+    let ds = data.to_dataset(0.5, 5, 11);
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    build_samples(&ds, &idx, TaskKind::Estimation, 0)
+}
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// A K=2 registry with an N-replica group per shard, each slot loaded
+/// independently from the trained shard checkpoints.
+fn replicated_registry(
+    partition: &Arc<PartitionSet>,
+    ckpts: &[std::path::PathBuf],
+    replication: usize,
+) -> Arc<ModelRegistry> {
+    let factories = (0..partition.num_partitions())
+        .map(|k| {
+            let graph = partition.partition(k).graph().clone();
+            let f: Box<dyn Fn() -> AnyModel + Send + Sync> =
+                Box::new(move || AnyModel::Gcwc(GcwcModel::new(&graph, 8, model_config(), 0)));
+            f
+        })
+        .collect();
+    let registry = Arc::new(ModelRegistry::sharded_replicated(factories, partition, replication));
+    for (k, ckpt) in ckpts.iter().enumerate() {
+        registry.load_shard(k, ckpt).unwrap();
+    }
+    registry
+}
+
+/// End-to-end routing identity and bit-parity: the N = 1 replicated
+/// engine answers every request with exactly the bits of the
+/// unreplicated engine, and the N = 2 group — whichever replica each
+/// request routes to — matches them too (its slots were independently
+/// loaded from the same checkpoints).
+#[test]
+fn replicated_engines_serve_bit_identically_to_unreplicated() {
+    let hw = generators::highway_tollgate(1);
+    let samples = samples_for(&hw);
+    let partition = Arc::new(PartitionSet::build(&hw.graph, 2));
+    let mut sharded = ShardedModel::gcwc_on(Arc::clone(&partition), 8, model_config(), 42);
+    sharded.fit_shards(&samples[..8]);
+    let dir = std::env::temp_dir().join("gcwc_replica_routing");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (_, shards) = sharded.into_shards();
+    let ckpts: Vec<_> = shards
+        .iter()
+        .enumerate()
+        .map(|(k, shard)| {
+            let path = dir.join(format!("routing.shard{k}.ckpt"));
+            shard.save(&path).unwrap();
+            path
+        })
+        .collect();
+
+    let serve_all = |registry: Arc<ModelRegistry>| -> Vec<Vec<u64>> {
+        let engine = Engine::new(
+            registry,
+            EngineConfig { workers: 0, cache_capacity: 0, ..Default::default() },
+        );
+        let mut client = engine.client();
+        let outs = samples[..6]
+            .iter()
+            .map(|s| {
+                let mut input = client.input_buffer();
+                input.copy_from(&s.input);
+                client.send(input, s.context.time_of_day, s.context.day_of_week).unwrap();
+                engine.process_queued();
+                let completion = client.recv().unwrap();
+                assert!(!completion.degraded);
+                let out = bits(&completion.output);
+                client.recycle(completion);
+                out
+            })
+            .collect();
+        engine.shutdown();
+        outs
+    };
+
+    let reference = serve_all(replicated_registry(&partition, &ckpts, 1));
+    for n in [1usize, 2, 3] {
+        let replicated = serve_all(replicated_registry(&partition, &ckpts, n));
+        assert_eq!(reference, replicated, "N = {n} responses diverged from the N = 1 pipeline");
+    }
+}
+
+/// The replication gauge and cache behavior survive replication: with
+/// caching on, a repeated request is a full cache hit on the replica
+/// that computed it (routing is deterministic, so the repeat lands on
+/// the same replica's cache).
+#[test]
+fn repeat_requests_hit_the_routed_replicas_cache() {
+    let hw = generators::highway_tollgate(1);
+    let samples = samples_for(&hw);
+    let partition = Arc::new(PartitionSet::build(&hw.graph, 2));
+    let mut sharded = ShardedModel::gcwc_on(Arc::clone(&partition), 8, model_config(), 42);
+    sharded.fit_shards(&samples[..8]);
+    let dir = std::env::temp_dir().join("gcwc_replica_routing");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (_, shards) = sharded.into_shards();
+    let ckpts: Vec<_> = shards
+        .iter()
+        .enumerate()
+        .map(|(k, shard)| {
+            let path = dir.join(format!("cache.shard{k}.ckpt"));
+            shard.save(&path).unwrap();
+            path
+        })
+        .collect();
+
+    let engine = Engine::new(
+        replicated_registry(&partition, &ckpts, 2),
+        EngineConfig { workers: 0, ..Default::default() },
+    );
+    assert_eq!(engine.stats().replicas, 2);
+    let mut client = engine.client();
+    let s = &samples[0];
+    let ask = |client: &mut gcwc_serve::Client| {
+        let mut input = client.input_buffer();
+        input.copy_from(&s.input);
+        client.send(input, s.context.time_of_day, s.context.day_of_week).unwrap();
+        engine.process_queued();
+        client.recv().unwrap()
+    };
+    let first = ask(&mut client);
+    assert!(!first.cache_hit);
+    let before = bits(&first.output);
+    client.recycle(first);
+    let warm = ask(&mut client);
+    assert!(warm.cache_hit, "deterministic routing must land the repeat on the cached replica");
+    assert_eq!(before, bits(&warm.output));
+    client.recycle(warm);
+    engine.shutdown();
+}
